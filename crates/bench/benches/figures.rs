@@ -1,0 +1,39 @@
+//! Figure-regeneration benchmarks: how long does reproducing each evaluation
+//! experiment take end to end? (The `repro` binary prints the results; these
+//! benches keep the regeneration fast and regression-free.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use testbed::experiments;
+use testbed::ClusterKind;
+
+fn bench_trace_replays(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_trace_replay");
+    g.sample_size(10);
+    for kind in [ClusterKind::Docker, ClusterKind::K8s] {
+        for key in ["asm", "nginx"] {
+            let profile = containerd::ServiceSet::by_key(key).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), key),
+                &profile,
+                |b, profile| {
+                    b.iter(|| {
+                        black_box(experiments::run_trace_experiment(kind, profile, true, 7))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_static_figures(c: &mut Criterion) {
+    c.bench_function("fig9_trace_stats", |b| {
+        b.iter(|| black_box(experiments::fig9(7)))
+    });
+    c.bench_function("fig13_pull_times", |b| {
+        b.iter(|| black_box(experiments::fig13(8)))
+    });
+}
+
+criterion_group!(benches, bench_trace_replays, bench_static_figures);
+criterion_main!(benches);

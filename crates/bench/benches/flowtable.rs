@@ -1,0 +1,126 @@
+//! Microbenchmarks of the data-plane hot paths: flow-table lookup, OXM
+//! match handling, and frame/OpenFlow codec throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::{Duration, SimTime};
+use netsim::addr::{Ipv4Addr, MacAddr, ServiceAddr};
+use netsim::TcpFrame;
+use openflow::actions::{Action, Instruction};
+use openflow::messages::Message;
+use openflow::oxm::{Match, MatchView};
+use openflow::table::{entry, FlowTable};
+
+fn view(dst_port: u16) -> MatchView {
+    MatchView {
+        in_port: 1,
+        eth_dst: [2, 0, 0, 0, 0, 9],
+        eth_src: [2, 0, 0, 0, 0, 1],
+        eth_type: 0x0800,
+        ip_proto: 6,
+        ipv4_src: [192, 168, 1, 20],
+        ipv4_dst: [203, 0, 113, 10],
+        tcp_src: 50000,
+        tcp_dst: dst_port,
+    }
+}
+
+fn table_with(n: usize) -> FlowTable {
+    let mut t = FlowTable::new();
+    for i in 0..n {
+        let m = Match::connection(
+            [192, 168, (i >> 8) as u8, i as u8],
+            50000 + (i % 1000) as u16,
+            [203, 0, 113, 10],
+            80,
+        );
+        t.add(
+            entry(
+                m,
+                100,
+                i as u64,
+                vec![Instruction::ApplyActions(vec![Action::output(2)])],
+                Duration::from_secs(10),
+                Duration::ZERO,
+                0,
+            ),
+            SimTime::ZERO,
+        );
+    }
+    t
+}
+
+fn bench_flow_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowtable_lookup");
+    for n in [16usize, 128, 1024] {
+        let mut t = table_with(n);
+        g.bench_with_input(BenchmarkId::new("miss", n), &n, |b, _| {
+            b.iter(|| black_box(t.lookup(black_box(&view(9999)), 64, SimTime::ZERO)))
+        });
+        let hit_view = {
+            let mut v = view(80);
+            v.ipv4_src = [192, 168, 0, 0];
+            v.tcp_src = 50000;
+            v
+        };
+        g.bench_with_input(BenchmarkId::new("hit_first", n), &n, |b, _| {
+            b.iter(|| black_box(t.lookup(black_box(&hit_view), 64, SimTime::ZERO)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let frame = {
+        let mut f = TcpFrame::syn(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(192, 168, 1, 20),
+            50000,
+            ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+        );
+        f.payload = vec![0x47; 512];
+        f
+    };
+    let bytes = frame.encode();
+    c.bench_function("frame_encode_512B", |b| b.iter(|| black_box(frame.encode())));
+    c.bench_function("frame_decode_512B", |b| {
+        b.iter(|| black_box(TcpFrame::decode(black_box(&bytes)).unwrap()))
+    });
+
+    let fm = Message::FlowMod {
+        cookie: 1,
+        table_id: 0,
+        command: openflow::messages::FlowModCommand::Add,
+        idle_timeout: 10,
+        hard_timeout: 0,
+        priority: 100,
+        buffer_id: openflow::OFP_NO_BUFFER,
+        flags: 0,
+        match_: Match::connection([192, 168, 1, 20], 50000, [203, 0, 113, 10], 80),
+        instructions: vec![Instruction::ApplyActions(vec![
+            Action::SetField(openflow::oxm::OxmField::Ipv4Dst([10, 0, 0, 5])),
+            Action::SetField(openflow::oxm::OxmField::TcpDst(31000)),
+            Action::output(2),
+        ])],
+    };
+    let fm_bytes = fm.encode(1);
+    c.bench_function("flowmod_encode", |b| b.iter(|| black_box(fm.encode(1))));
+    c.bench_function("flowmod_decode", |b| {
+        b.iter(|| black_box(Message::decode(black_box(&fm_bytes)).unwrap()))
+    });
+}
+
+fn bench_expiry(c: &mut Criterion) {
+    c.bench_function("flowtable_expire_1024", |b| {
+        b.iter_with_setup(
+            || table_with(1024),
+            |mut t| {
+                black_box(t.expire(SimTime::from_secs(20)));
+                t
+            },
+        )
+    });
+}
+
+criterion_group!(benches, bench_flow_lookup, bench_codecs, bench_expiry);
+criterion_main!(benches);

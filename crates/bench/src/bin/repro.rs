@@ -1,0 +1,89 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro all [--seed N] [--csv]      # everything, publication order
+//! repro fig11 [--seed N] [--csv]    # one figure
+//! repro list                        # available figure ids
+//! repro summary [--seed N]          # verify every textual claim
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut id: Option<String> = None;
+    let mut seed = 7u64;
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--csv" => csv = true,
+            other if id.is_none() => id = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let id = id.unwrap_or_else(|| "all".to_owned());
+
+    match id.as_str() {
+        "summary" => {
+            println!("transparent-edge-rs — paper claims, measured fresh (seed {seed})\n");
+            let claims = bench::summary::verify_claims(seed);
+            print!("{}", bench::summary::render(&claims));
+            let all_hold = claims.iter().all(|c| c.holds);
+            println!("\n{} / {} claims hold", claims.iter().filter(|c| c.holds).count(), claims.len());
+            if all_hold {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "list" => {
+            for f in bench::FIGURE_IDS {
+                println!("{f}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            println!("transparent-edge-rs — reproducing the full evaluation (seed {seed})\n");
+            for fig in bench::all_figures(seed) {
+                if csv {
+                    println!("# {}: {}", fig.id, fig.title);
+                    print!("{}", fig.table.to_csv());
+                    println!();
+                } else {
+                    println!("{}", fig.body);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        other => match bench::figure_by_id(other, seed) {
+            Some(fig) => {
+                if csv {
+                    print!("{}", fig.table.to_csv());
+                } else {
+                    println!("{}", fig.body);
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown figure `{other}`; try `repro list`");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,30 @@
+//! `containerd` — the simulated container runtime shared by Docker and
+//! Kubernetes.
+//!
+//! In the paper's testbed both cluster types run on the *same* `containerd`
+//! runtime on the Edge Gateway Server — which is exactly why the measured
+//! difference between Docker (<1 s) and Kubernetes (≈3 s) scale-up is
+//! attributable to orchestrator overhead, not the container runtime. This
+//! crate models that shared runtime:
+//!
+//! * [`store`] — the content store: image pulls (via the `registry` crate)
+//!   into a digest-addressed layer cache,
+//! * [`container`] — container specs and the Created → Running(ready) →
+//!   Stopped → Removed lifecycle with timestamped transitions,
+//! * [`node`] — a containerd node: the store plus the container table and
+//!   the timing model for create/start/stop operations,
+//! * [`profiles`] — the four edge services of Table I with calibrated
+//!   startup/readiness/request-latency distributions (the basis of
+//!   Figs. 11–16).
+
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod node;
+pub mod profiles;
+pub mod store;
+
+pub use container::{ContainerId, ContainerSpec, ContainerState};
+pub use node::{ContainerdNode, RuntimeTimings};
+pub use profiles::{ServiceProfile, ServiceSet};
+pub use store::ContentStore;

@@ -1,0 +1,279 @@
+//! A containerd node: content store + container table + operation timings.
+
+use crate::container::{ContainerId, ContainerSpec, ContainerState};
+use crate::store::ContentStore;
+use desim::{Duration, LogNormal, Sample, SimRng, SimTime};
+use registry::ImageManifest;
+use std::collections::BTreeMap;
+
+/// Timing model for runtime operations. Mohan et al. (cited by the paper)
+/// attribute ~90 % of container startup to network-namespace creation and
+/// initialization; that cost lives in `task_start`.
+#[derive(Clone, Debug)]
+pub struct RuntimeTimings {
+    /// Writing the container spec + preparing the snapshot (**Create**).
+    pub create: LogNormal,
+    /// Launching the task: runc, namespaces, cgroups (**Scale Up**).
+    pub task_start: LogNormal,
+    /// Stopping a task (**Scale Down**).
+    pub stop: LogNormal,
+    /// Removing a container (**Remove**).
+    pub remove: LogNormal,
+}
+
+impl Default for RuntimeTimings {
+    fn default() -> Self {
+        RuntimeTimings {
+            create: LogNormal::from_median(0.090, 0.25),
+            task_start: LogNormal::from_median(0.400, 0.20),
+            stop: LogNormal::from_median(0.200, 0.25),
+            remove: LogNormal::from_median(0.050, 0.25),
+        }
+    }
+}
+
+struct Entry {
+    spec: ContainerSpec,
+    state: ContainerState,
+}
+
+/// A containerd instance on one host, shared by the Docker engine and the
+/// kubelet exactly as on the paper's Edge Gateway Server.
+pub struct ContainerdNode {
+    store: ContentStore,
+    timings: RuntimeTimings,
+    containers: BTreeMap<ContainerId, Entry>,
+    next_id: u64,
+}
+
+impl ContainerdNode {
+    /// Creates a node with the given store and timing model.
+    pub fn new(store: ContentStore, timings: RuntimeTimings) -> ContainerdNode {
+        ContainerdNode {
+            store,
+            timings,
+            containers: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Creates a node with defaults (public registries).
+    pub fn with_defaults() -> ContainerdNode {
+        Self::new(ContentStore::new(), RuntimeTimings::default())
+    }
+
+    /// The content store.
+    pub fn store(&self) -> &ContentStore {
+        &self.store
+    }
+
+    /// Mutable content store access (pulls).
+    pub fn store_mut(&mut self) -> &mut ContentStore {
+        &mut self.store
+    }
+
+    /// Pulls image layers for `manifests` concurrently; returns wall time
+    /// (zero when fully cached).
+    pub fn pull(&mut self, manifests: &[ImageManifest], rng: &mut SimRng) -> Duration {
+        self.store.pull_all(manifests, rng)
+    }
+
+    /// **Create** phase for one container. Returns the id and the instant
+    /// creation completes.
+    ///
+    /// # Panics
+    /// Panics if the image is not in the content store — pulls are a
+    /// separate, observable phase (Fig. 4) and must happen first.
+    pub fn create(
+        &mut self,
+        spec: ContainerSpec,
+        manifest: &ImageManifest,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> (ContainerId, SimTime) {
+        assert!(
+            self.store.has_image(manifest),
+            "image {} not pulled before create",
+            manifest.reference
+        );
+        let done = now + self.timings.create.sample_duration(rng);
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        self.containers.insert(
+            id,
+            Entry {
+                spec,
+                state: ContainerState::Created { at: done },
+            },
+        );
+        (id, done)
+    }
+
+    /// **Scale Up** phase: starts the task. `ready_delay` is the
+    /// application's own startup time (sampled from its service profile by
+    /// the caller). Returns `(task_started_at, ready_at)`.
+    ///
+    /// # Panics
+    /// Panics if the container does not exist or is already running.
+    pub fn start(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+        ready_delay: Duration,
+        rng: &mut SimRng,
+    ) -> (SimTime, SimTime) {
+        let entry = self.containers.get_mut(&id).expect("unknown container");
+        assert!(
+            !entry.state.is_running(),
+            "container {id:?} already running"
+        );
+        let started_at = now + self.timings.task_start.sample_duration(rng);
+        let ready_at = started_at + ready_delay;
+        entry.state = ContainerState::Running {
+            started_at,
+            ready_at,
+        };
+        (started_at, ready_at)
+    }
+
+    /// **Scale Down** phase: stops the task. Returns the completion instant.
+    pub fn stop(&mut self, id: ContainerId, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let entry = self.containers.get_mut(&id).expect("unknown container");
+        let done = now + self.timings.stop.sample_duration(rng);
+        entry.state = ContainerState::Stopped { at: done };
+        done
+    }
+
+    /// **Remove** phase: deletes the container record.
+    pub fn remove(&mut self, id: ContainerId, now: SimTime, rng: &mut SimRng) -> SimTime {
+        self.containers.remove(&id).expect("unknown container");
+        now + self.timings.remove.sample_duration(rng)
+    }
+
+    /// State query.
+    pub fn state(&self, id: ContainerId) -> Option<ContainerState> {
+        self.containers.get(&id).map(|e| e.state)
+    }
+
+    /// Spec query.
+    pub fn spec(&self, id: ContainerId) -> Option<&ContainerSpec> {
+        self.containers.get(&id).map(|e| &e.spec)
+    }
+
+    /// The controller's readiness probe: is `port` accepting connections on
+    /// container `id` at `now`? (Section VI: "the controller continuously
+    /// tests if the respective port is open".)
+    pub fn port_open(&self, id: ContainerId, port: u16, now: SimTime) -> bool {
+        self.containers.get(&id).is_some_and(|e| {
+            e.spec.listen_port == Some(port) && e.state.is_ready(now)
+        })
+    }
+
+    /// All containers carrying label `key=value` (the controller queries its
+    /// `edge.service` label this way).
+    pub fn find_by_label(&self, key: &str, value: &str) -> Vec<ContainerId> {
+        self.containers
+            .iter()
+            .filter(|(_, e)| e.spec.labels.get(key).is_some_and(|v| v == value))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Number of containers (any state).
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use registry::image::catalog;
+    use registry::ImageRef;
+
+    fn node_with_nginx(rng: &mut SimRng) -> ContainerdNode {
+        let mut n = ContainerdNode::with_defaults();
+        n.pull(&[catalog::nginx()], rng);
+        n
+    }
+
+    fn nginx_spec() -> ContainerSpec {
+        ContainerSpec::new("web", ImageRef::parse("nginx:1.23.2"), Some(80))
+            .with_label("edge.service", "svc-a")
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut rng = SimRng::new(1);
+        let mut n = node_with_nginx(&mut rng);
+        let t0 = SimTime::from_secs(10);
+        let (id, created_at) = n.create(nginx_spec(), &catalog::nginx(), t0, &mut rng);
+        assert!(created_at > t0);
+        assert!(matches!(n.state(id), Some(ContainerState::Created { .. })));
+
+        let (started_at, ready_at) =
+            n.start(id, created_at, Duration::from_millis(50), &mut rng);
+        assert!(started_at > created_at);
+        assert_eq!(ready_at, started_at + Duration::from_millis(50));
+        assert!(!n.port_open(id, 80, started_at));
+        assert!(n.port_open(id, 80, ready_at));
+        assert!(!n.port_open(id, 8080, ready_at), "wrong port stays closed");
+
+        let stopped_at = n.stop(id, ready_at + Duration::from_secs(60), &mut rng);
+        assert!(!n.port_open(id, 80, stopped_at));
+        n.remove(id, stopped_at, &mut rng);
+        assert_eq!(n.state(id), None);
+        assert_eq!(n.container_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not pulled before create")]
+    fn create_without_pull_panics() {
+        let mut rng = SimRng::new(2);
+        let mut n = ContainerdNode::with_defaults();
+        n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "already running")]
+    fn double_start_panics() {
+        let mut rng = SimRng::new(3);
+        let mut n = node_with_nginx(&mut rng);
+        let (id, t) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng);
+        n.start(id, t, Duration::ZERO, &mut rng);
+        n.start(id, t + Duration::from_secs(1), Duration::ZERO, &mut rng);
+    }
+
+    #[test]
+    fn label_queries() {
+        let mut rng = SimRng::new(4);
+        let mut n = node_with_nginx(&mut rng);
+        let (a, _) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng);
+        let other = ContainerSpec::new("web2", ImageRef::parse("nginx:1.23.2"), Some(80))
+            .with_label("edge.service", "svc-b");
+        let (_b, _) = n.create(other, &catalog::nginx(), SimTime::ZERO, &mut rng);
+        assert_eq!(n.find_by_label("edge.service", "svc-a"), vec![a]);
+        assert_eq!(n.find_by_label("edge.service", "nope"), vec![]);
+        assert_eq!(n.container_count(), 2);
+    }
+
+    #[test]
+    fn create_start_medians_are_calibrated() {
+        // Across many runs, create ≈ 90 ms and task start ≈ 330 ms medians —
+        // the "+100 ms for create" and sub-second Docker starts of the paper.
+        let mut creates = Vec::new();
+        let mut starts = Vec::new();
+        for seed in 0..200 {
+            let mut rng = SimRng::new(seed);
+            let mut n = node_with_nginx(&mut rng);
+            let (id, c) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng);
+            creates.push((c - SimTime::ZERO).as_secs_f64());
+            let (s, _) = n.start(id, c, Duration::ZERO, &mut rng);
+            starts.push((s - c).as_secs_f64());
+        }
+        let mc = desim::Summary::new(creates).median().unwrap();
+        let ms = desim::Summary::new(starts).median().unwrap();
+        assert!((0.07..0.12).contains(&mc), "create median {mc}");
+        assert!((0.30..0.52).contains(&ms), "start median {ms}");
+    }
+}

@@ -1,0 +1,156 @@
+//! The content store: digest-addressed layers plus pull orchestration.
+
+use desim::{Duration, SimRng};
+use registry::{ImageManifest, LayerCache, PullOutcome, PullPlanner, RegistryProfile};
+use std::collections::HashMap;
+
+/// The node-local content store. Owns the layer cache and knows how to reach
+/// registries (public by default, optionally a private mirror).
+pub struct ContentStore {
+    cache: LayerCache,
+    /// Optional private registry used for every pull when set (the paper's
+    /// in-network registry alternative).
+    mirror: Option<RegistryProfile>,
+    /// Manifests known to this store (by display reference), so `has_image`
+    /// queries can resolve locally.
+    manifests: HashMap<String, ImageManifest>,
+}
+
+impl Default for ContentStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentStore {
+    /// Creates an empty store pulling from public registries.
+    pub fn new() -> ContentStore {
+        ContentStore {
+            cache: LayerCache::new(),
+            mirror: None,
+            manifests: HashMap::new(),
+        }
+    }
+
+    /// Creates a store that pulls everything from a private mirror.
+    pub fn with_mirror(mirror: RegistryProfile) -> ContentStore {
+        ContentStore {
+            cache: LayerCache::new(),
+            mirror: Some(mirror),
+            manifests: HashMap::new(),
+        }
+    }
+
+    /// `true` if every layer of `manifest` is on disk.
+    pub fn has_image(&self, manifest: &ImageManifest) -> bool {
+        self.cache.has_image(manifest)
+    }
+
+    /// Pulls an image, returning the outcome (zero-duration when cached).
+    pub fn pull(&mut self, manifest: &ImageManifest, rng: &mut SimRng) -> PullOutcome {
+        let profile = match &self.mirror {
+            Some(m) => m.clone(),
+            None => RegistryProfile::for_host(&manifest.reference.host),
+        };
+        let planner = PullPlanner::new(&profile);
+        let out = planner.pull(manifest, &mut self.cache, rng);
+        self.manifests
+            .insert(manifest.reference.to_string(), manifest.clone());
+        out
+    }
+
+    /// Pulls several images *concurrently* (e.g. the two containers of the
+    /// Nginx+Py service): wall time is the max of the individual pulls, since
+    /// each registry connection is independent.
+    pub fn pull_all(&mut self, manifests: &[ImageManifest], rng: &mut SimRng) -> Duration {
+        manifests
+            .iter()
+            .map(|m| self.pull(m, rng).duration)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Deletes an image's layers except those shared with other known images.
+    /// Returns bytes freed.
+    pub fn delete_image(&mut self, manifest: &ImageManifest) -> u64 {
+        self.manifests.remove(&manifest.reference.to_string());
+        let still_used: Vec<_> = self
+            .manifests
+            .values()
+            .flat_map(|m| m.layers.iter().map(|l| l.digest))
+            .collect();
+        self.cache.remove_image(manifest, &still_used)
+    }
+
+    /// Bytes on disk.
+    pub fn disk_usage(&self) -> u64 {
+        self.cache.disk_usage()
+    }
+
+    /// Direct cache access (tests, stats).
+    pub fn cache(&self) -> &LayerCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use registry::image::catalog;
+
+    #[test]
+    fn pull_then_cached() {
+        let mut s = ContentStore::new();
+        let mut rng = SimRng::new(1);
+        let m = catalog::nginx();
+        assert!(!s.has_image(&m));
+        let out = s.pull(&m, &mut rng);
+        assert!(out.duration > Duration::ZERO);
+        assert!(s.has_image(&m));
+        let out = s.pull(&m, &mut rng);
+        assert_eq!(out.duration, Duration::ZERO);
+    }
+
+    #[test]
+    fn mirror_is_faster_than_hub() {
+        let m = catalog::nginx();
+        let mut hub = ContentStore::new();
+        let mut private = ContentStore::with_mirror(RegistryProfile::private_local());
+        let mut r1 = SimRng::new(7);
+        let mut r2 = SimRng::new(7);
+        let t_hub = hub.pull(&m, &mut r1).duration;
+        let t_priv = private.pull(&m, &mut r2).duration;
+        assert!(t_priv < t_hub);
+    }
+
+    #[test]
+    fn pull_all_is_max_not_sum() {
+        let mut s = ContentStore::new();
+        let mut rng = SimRng::new(3);
+        let manifests = [catalog::nginx(), catalog::env_writer_py()];
+        let combined = s.pull_all(&manifests, &mut rng);
+        // Must not exceed a fresh pull of both sequentially.
+        let mut s2 = ContentStore::new();
+        let mut rng2 = SimRng::new(3);
+        let a = s2.pull(&manifests[0], &mut rng2).duration;
+        let b = s2.pull(&manifests[1], &mut rng2).duration;
+        assert!(combined < a + b);
+        assert!(combined >= a.max(b).min(a) || combined > Duration::ZERO);
+    }
+
+    #[test]
+    fn delete_respects_cross_image_sharing() {
+        let mut s = ContentStore::new();
+        let mut rng = SimRng::new(5);
+        let nginx = catalog::nginx();
+        let py = catalog::env_writer_py();
+        s.pull(&nginx, &mut rng);
+        s.pull(&py, &mut rng);
+        let usage = s.disk_usage();
+        let freed = s.delete_image(&py);
+        assert_eq!(freed, py.total_size());
+        assert_eq!(s.disk_usage(), usage - freed);
+        assert!(s.has_image(&nginx));
+        assert!(!s.has_image(&py));
+    }
+}

@@ -1,0 +1,322 @@
+//! Latency-model distributions.
+//!
+//! Every timing in the simulated testbed (container start, image pull
+//! throughput, API-server round trip, link jitter, ...) is drawn from a
+//! [`Sample`] implementation. All samplers draw exclusively from the supplied
+//! [`SimRng`], keeping experiments reproducible.
+//!
+//! Durations in the models are expressed in *seconds* as `f64` and converted
+//! by callers via [`crate::Duration::from_secs_f64`]; sampling in seconds
+//! keeps the parameters legible against the paper's reported numbers.
+
+use crate::rng::SimRng;
+use crate::time::Duration;
+
+/// A source of random values of type `f64` (interpreted by convention as
+/// seconds when used for latency models).
+pub trait Sample {
+    /// Draws one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Draws one value and converts it to a non-negative [`Duration`].
+    fn sample_duration(&self, rng: &mut SimRng) -> Duration {
+        Duration::from_secs_f64(self.sample(rng))
+    }
+}
+
+/// Always returns the same value. Useful for tests and for components the
+/// paper reports as having negligible variance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Sample for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform over `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform sampler; `lo` must not exceed `hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "Uniform: lo > hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+}
+
+/// Exponential with the given rate `lambda` (mean `1/lambda`). Models
+/// memoryless inter-arrival gaps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter (events per second).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "Exponential: lambda must be positive");
+        Exponential { lambda }
+    }
+
+    /// Creates an exponential sampler with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse transform; (1 - u) avoids ln(0).
+        let u = rng.next_f64();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Normal (Gaussian) via the Marsaglia polar method.
+///
+/// For latency models prefer [`LogNormal`]; `Normal` can go negative and is
+/// mostly useful as a building block or for additive jitter that callers clamp.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal sampler; `std_dev` must be non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev >= 0.0, "Normal: negative std_dev");
+        Normal { mean, std_dev }
+    }
+
+    fn standard(rng: &mut SimRng) -> f64 {
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mean + self.std_dev * Normal::standard(rng)
+    }
+}
+
+/// Log-normal, parameterised directly by the *median* and a multiplicative
+/// spread `sigma` (the std-dev of the underlying normal in log space).
+///
+/// This parameterisation matches how the paper reports results: medians of
+/// right-skewed timing populations. `median` is exactly the distribution
+/// median, so calibrating a model to a published median is a one-liner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    /// Median of the distribution (`exp(mu)`).
+    pub median: f64,
+    /// Log-space standard deviation.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal sampler with the given median (> 0) and log-space
+    /// sigma (>= 0).
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "LogNormal: median must be positive");
+        assert!(sigma >= 0.0, "LogNormal: negative sigma");
+        LogNormal { median, sigma }
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let z = Normal::standard(rng);
+        self.median * (self.sigma * z).exp()
+    }
+}
+
+/// Adds a constant offset to another sampler: `offset + inner`. Models a
+/// fixed floor (e.g. a mandatory syscall path) under a noisy component.
+#[derive(Clone, Copy, Debug)]
+pub struct Shifted<S> {
+    /// Constant floor added to every draw.
+    pub offset: f64,
+    /// The noisy component.
+    pub inner: S,
+}
+
+impl<S: Sample> Sample for Shifted<S> {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.offset + self.inner.sample(rng)
+    }
+}
+
+/// Draws uniformly from a fixed set of observed values (with replacement).
+/// Used to replay empirical timing populations.
+#[derive(Clone, Debug)]
+pub struct Empirical {
+    values: Vec<f64>,
+}
+
+impl Empirical {
+    /// Creates an empirical sampler over `values`.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "Empirical: no values");
+        Empirical { values }
+    }
+
+    /// The underlying observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Sample for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.values[rng.below(self.values.len() as u64) as usize]
+    }
+}
+
+/// A boxed, dynamically-typed sampler. The latency-model configuration
+/// structs store these so models can be swapped per experiment.
+pub type DynSample = Box<dyn Sample + Send + Sync>;
+
+impl Sample for DynSample {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.as_ref().sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(s: &impl Sample, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| s.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::new(0);
+        let c = Constant(2.5);
+        for _ in 0..10 {
+            assert_eq!(c.sample(&mut rng), 2.5);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let u = Uniform::new(1.0, 3.0);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10_000 {
+            let x = u.sample(&mut rng);
+            assert!((1.0..3.0).contains(&x));
+        }
+        assert!((mean_of(&u, 2, 100_000) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let e = Exponential::with_mean(0.25);
+        let m = mean_of(&e, 3, 200_000);
+        assert!((m - 0.25).abs() < 0.005, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let e = Exponential::new(10.0);
+        let mut rng = SimRng::new(4);
+        assert!((0..10_000).all(|_| e.sample(&mut rng) >= 0.0));
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let n = Normal::new(5.0, 2.0);
+        let m = mean_of(&n, 5, 200_000);
+        assert!((m - 5.0).abs() < 0.02, "mean {m}");
+        let mut rng = SimRng::new(6);
+        let var: f64 = (0..200_000)
+            .map(|_| {
+                let x = n.sample(&mut rng) - 5.0;
+                x * x
+            })
+            .sum::<f64>()
+            / 200_000.0;
+        assert!((var.sqrt() - 2.0).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let ln = LogNormal::from_median(0.5, 0.3);
+        let mut rng = SimRng::new(7);
+        let mut v: Vec<f64> = (0..100_001).map(|_| ln.sample(&mut rng)).collect();
+        v.sort_by(f64::total_cmp);
+        let med = v[v.len() / 2];
+        assert!((med - 0.5).abs() < 0.01, "median {med}");
+        assert!(v.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let ln = LogNormal::from_median(1.25, 0.0);
+        let mut rng = SimRng::new(8);
+        for _ in 0..100 {
+            assert!((ln.sample(&mut rng) - 1.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shifted_adds_floor() {
+        let s = Shifted { offset: 1.0, inner: Constant(0.5) };
+        let mut rng = SimRng::new(9);
+        assert_eq!(s.sample(&mut rng), 1.5);
+    }
+
+    #[test]
+    fn empirical_draws_only_given_values() {
+        let e = Empirical::new(vec![0.1, 0.2, 0.3]);
+        let mut rng = SimRng::new(10);
+        for _ in 0..1000 {
+            let x = e.sample(&mut rng);
+            assert!([0.1, 0.2, 0.3].contains(&x));
+        }
+    }
+
+    #[test]
+    fn sample_duration_clamps_negative() {
+        let n = Normal::new(-5.0, 0.1);
+        let mut rng = SimRng::new(11);
+        assert_eq!(n.sample_duration(&mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn dyn_sample_boxing_works() {
+        let d: DynSample = Box::new(Constant(0.75));
+        let mut rng = SimRng::new(12);
+        assert_eq!(d.sample(&mut rng), 0.75);
+    }
+}

@@ -1,0 +1,299 @@
+//! Summary statistics for experiment reporting.
+//!
+//! The paper reports medians of timing populations; [`Summary`] computes
+//! those plus the usual descriptive statistics and simple fixed-width
+//! histograms used to render the request/deployment distribution figures.
+
+use crate::time::Duration;
+
+/// Descriptive statistics over a population of `f64` observations.
+///
+/// Construction sorts a copy of the data once; all queries are then O(1) or
+/// O(log n).
+#[derive(Clone, Debug)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    sum: f64,
+}
+
+impl Summary {
+    /// Builds a summary from observations. Non-finite values are rejected.
+    ///
+    /// # Panics
+    /// Panics if any observation is NaN or infinite.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "Summary: non-finite observation"
+        );
+        values.sort_by(f64::total_cmp);
+        let sum = values.iter().sum();
+        Summary { sorted: values, sum }
+    }
+
+    /// Builds a summary from durations, in seconds.
+    pub fn from_durations(values: impl IntoIterator<Item = Duration>) -> Self {
+        Self::new(values.into_iter().map(|d| d.as_secs_f64()).collect())
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.len() as f64)
+        }
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .sorted
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Linear-interpolated percentile `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        if n == 1 {
+            return Some(self.sorted[0]);
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac)
+    }
+
+    /// The sorted observations.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// A bootstrap 95 % confidence interval for the median: resamples the
+    /// population `resamples` times with replacement and takes the 2.5th and
+    /// 97.5th percentiles of the resampled medians. Returns `None` for
+    /// populations smaller than two observations.
+    pub fn median_ci95(&self, resamples: usize, rng: &mut crate::SimRng) -> Option<(f64, f64)> {
+        if self.sorted.len() < 2 || resamples == 0 {
+            return None;
+        }
+        let n = self.sorted.len();
+        let mut medians = Vec::with_capacity(resamples);
+        let mut sample = vec![0.0; n];
+        for _ in 0..resamples {
+            for slot in sample.iter_mut() {
+                *slot = self.sorted[rng.below(n as u64) as usize];
+            }
+            sample.sort_by(f64::total_cmp);
+            medians.push(sample[n / 2]);
+        }
+        let s = Summary::new(medians);
+        Some((s.percentile(2.5)?, s.percentile(97.5)?))
+    }
+}
+
+/// A fixed-width histogram over `[0, width * bins)`, used to render the
+/// per-second request/deployment timelines (Figs. 9 and 10).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` buckets of `bin_width` each.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `bin_width <= 0`.
+    pub fn new(bin_width: f64, bins: usize) -> Self {
+        assert!(bins > 0 && bin_width > 0.0, "degenerate histogram");
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation at coordinate `x` (negative values land in
+    /// bucket 0).
+    pub fn record(&mut self, x: f64) {
+        let idx = (x.max(0.0) / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded observations (including overflow).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Largest single-bucket count.
+    pub fn peak(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Width of each bucket.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std_dev(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::new(vec![3.0]);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.median(), Some(3.0));
+        assert_eq!(s.percentile(0.0), Some(3.0));
+        assert_eq!(s.percentile(100.0), Some(3.0));
+        assert_eq!(s.std_dev(), Some(0.0));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let odd = Summary::new(vec![5.0, 1.0, 3.0]);
+        assert_eq!(odd.median(), Some(3.0));
+        let even = Summary::new(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(even.median(), Some(2.5));
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::new((1..=5).map(|i| i as f64).collect());
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(25.0), Some(2.0));
+        assert_eq!(s.percentile(100.0), Some(5.0));
+        assert_eq!(s.percentile(87.5), Some(4.5));
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let s = Summary::new(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.std_dev(), Some(2.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        Summary::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn from_durations_converts_to_seconds() {
+        let s = Summary::from_durations(vec![
+            Duration::from_millis(500),
+            Duration::from_millis(1500),
+        ]);
+        assert_eq!(s.mean(), Some(1.0));
+    }
+
+    #[test]
+    fn median_ci_brackets_the_median() {
+        let mut rng = crate::SimRng::new(7);
+        // A population with a clear median of ~0.5.
+        let values: Vec<f64> = (0..500)
+            .map(|_| 0.5 + 0.1 * (rng.next_f64() - 0.5))
+            .collect();
+        let s = Summary::new(values);
+        let med = s.median().unwrap();
+        let (lo, hi) = s.median_ci95(200, &mut rng).unwrap();
+        assert!(lo <= med && med <= hi, "{lo} <= {med} <= {hi}");
+        assert!(hi - lo < 0.02, "tight CI for 500 samples: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn median_ci_degenerate_cases() {
+        let mut rng = crate::SimRng::new(1);
+        assert!(Summary::new(vec![]).median_ci95(100, &mut rng).is_none());
+        assert!(Summary::new(vec![1.0]).median_ci95(100, &mut rng).is_none());
+        assert!(Summary::new(vec![1.0, 2.0]).median_ci95(0, &mut rng).is_none());
+        // Constant population: zero-width interval.
+        let (lo, hi) = Summary::new(vec![3.0; 10]).median_ci95(50, &mut rng).unwrap();
+        assert_eq!((lo, hi), (3.0, 3.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(1.0, 3);
+        h.record(0.5);
+        h.record(1.2);
+        h.record(1.9);
+        h.record(2.0);
+        h.record(99.0);
+        h.record(-1.0); // clamps into bucket 0
+        assert_eq!(h.counts(), &[2, 2, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.peak(), 2);
+        assert_eq!(h.bin_width(), 1.0);
+    }
+}

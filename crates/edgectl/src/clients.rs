@@ -1,0 +1,171 @@
+//! Client location tracking.
+//!
+//! The Dispatcher "also tracks the clients' current location" (Section
+//! IV-B): in the transparent edge, a client's location is the switch ingress
+//! port its traffic arrives on. When a client shows up on a different port
+//! (UE mobility — it attached to a different gNB/access point), redirect
+//! decisions made for the old location are stale: the nearest edge may have
+//! changed, and reverse flows point at the old port. The tracker detects
+//! moves so the controller can flush the client's memorized flows and
+//! re-schedule.
+
+use desim::SimTime;
+use netsim::addr::Ipv4Addr;
+use std::collections::HashMap;
+
+/// A detected client move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientMove {
+    /// The client that moved.
+    pub client: Ipv4Addr,
+    /// Previous ingress port.
+    pub from_port: u32,
+    /// New ingress port.
+    pub to_port: u32,
+    /// When the move was observed.
+    pub at: SimTime,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Location {
+    in_port: u32,
+    last_seen: SimTime,
+}
+
+/// Tracks where each client currently enters the network.
+#[derive(Default)]
+pub struct ClientTracker {
+    locations: HashMap<Ipv4Addr, Location>,
+    /// All moves observed, in order.
+    moves: Vec<ClientMove>,
+}
+
+impl ClientTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> ClientTracker {
+        ClientTracker::default()
+    }
+
+    /// Records that `client` was seen on `in_port` at `now`. Returns the
+    /// move if the client changed location.
+    pub fn observe(&mut self, client: Ipv4Addr, in_port: u32, now: SimTime) -> Option<ClientMove> {
+        match self.locations.insert(
+            client,
+            Location {
+                in_port,
+                last_seen: now,
+            },
+        ) {
+            Some(prev) if prev.in_port != in_port => {
+                let mv = ClientMove {
+                    client,
+                    from_port: prev.in_port,
+                    to_port: in_port,
+                    at: now,
+                };
+                self.moves.push(mv);
+                Some(mv)
+            }
+            _ => None,
+        }
+    }
+
+    /// The client's current ingress port, if known.
+    pub fn location(&self, client: Ipv4Addr) -> Option<u32> {
+        self.locations.get(&client).map(|l| l.in_port)
+    }
+
+    /// When the client was last seen, if ever.
+    pub fn last_seen(&self, client: Ipv4Addr) -> Option<SimTime> {
+        self.locations.get(&client).map(|l| l.last_seen)
+    }
+
+    /// Number of tracked clients.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// `true` if no client has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// All moves observed so far.
+    pub fn moves(&self) -> &[ClientMove] {
+        &self.moves
+    }
+
+    /// Drops clients not seen since `cutoff` (bookkeeping hygiene on very
+    /// long-running controllers).
+    pub fn evict_stale(&mut self, cutoff: SimTime) -> usize {
+        let before = self.locations.len();
+        self.locations.retain(|_, l| l.last_seen >= cutoff);
+        before - self.locations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(192, 168, 1, last)
+    }
+
+    #[test]
+    fn first_sighting_is_not_a_move() {
+        let mut t = ClientTracker::new();
+        assert!(t.observe(ip(20), 3, SimTime::from_secs(1)).is_none());
+        assert_eq!(t.location(ip(20)), Some(3));
+        assert_eq!(t.last_seen(ip(20)), Some(SimTime::from_secs(1)));
+        assert!(t.moves().is_empty());
+    }
+
+    #[test]
+    fn same_port_refreshes_without_move() {
+        let mut t = ClientTracker::new();
+        t.observe(ip(20), 3, SimTime::from_secs(1));
+        assert!(t.observe(ip(20), 3, SimTime::from_secs(5)).is_none());
+        assert_eq!(t.last_seen(ip(20)), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn port_change_is_a_move() {
+        let mut t = ClientTracker::new();
+        t.observe(ip(20), 3, SimTime::from_secs(1));
+        let mv = t.observe(ip(20), 7, SimTime::from_secs(9)).unwrap();
+        assert_eq!(
+            mv,
+            ClientMove {
+                client: ip(20),
+                from_port: 3,
+                to_port: 7,
+                at: SimTime::from_secs(9)
+            }
+        );
+        assert_eq!(t.location(ip(20)), Some(7));
+        assert_eq!(t.moves().len(), 1);
+        // Moving back counts again.
+        assert!(t.observe(ip(20), 3, SimTime::from_secs(12)).is_some());
+        assert_eq!(t.moves().len(), 2);
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let mut t = ClientTracker::new();
+        t.observe(ip(20), 3, SimTime::from_secs(1));
+        assert!(t.observe(ip(21), 7, SimTime::from_secs(2)).is_none());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn eviction_drops_stale_clients() {
+        let mut t = ClientTracker::new();
+        t.observe(ip(20), 3, SimTime::from_secs(1));
+        t.observe(ip(21), 4, SimTime::from_secs(100));
+        assert_eq!(t.evict_stale(SimTime::from_secs(50)), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.location(ip(20)).is_none());
+        assert!(t.location(ip(21)).is_some());
+    }
+}

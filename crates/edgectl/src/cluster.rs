@@ -1,0 +1,783 @@
+//! The [`EdgeCluster`] abstraction: one interface, two cluster types.
+//!
+//! The controller manipulates every edge cluster through the paper's
+//! deployment phases (Fig. 4):
+//!
+//! * **Pull** — download missing image layers;
+//! * **Create** — Docker: create the containers; Kubernetes: create the
+//!   `Deployment` + `Service` with zero replicas;
+//! * **Scale Up** — Docker: start the containers; Kubernetes: set
+//!   `replicas = 1`;
+//! * **Scale Down** / **Remove** — the reverse, driven by idle-flow expiry.
+//!
+//! The same annotated service definition drives both implementations.
+
+use crate::annotate::EDGE_SERVICE_LABEL;
+use crate::service::EdgeService;
+use containerd::ServiceProfile;
+use desim::{Duration, LogNormal, Sample, SimRng, SimTime};
+use dockersim::DockerEngine;
+use k8ssim::objects::{PodContainer, PodTemplate};
+use k8ssim::{ClusterEvent, K8sCluster};
+use netsim::addr::{Ipv4Addr, MacAddr};
+use registry::{ImageManifest, ImageRef};
+use std::collections::BTreeMap;
+
+/// Where a ready instance can be reached by the data plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstanceAddr {
+    /// MAC to address frames to (the cluster host's NIC).
+    pub mac: MacAddr,
+    /// Instance IP (host IP for Docker, pod IP for Kubernetes).
+    pub ip: Ipv4Addr,
+    /// TCP port the instance serves on.
+    pub port: u16,
+}
+
+/// Deployment state of a service on one cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Nothing deployed.
+    NotDeployed,
+    /// Created (containers exist / Deployment at zero replicas).
+    Created,
+    /// Scale-up in progress; ready at the contained instant.
+    Starting {
+        /// When the instance will accept connections.
+        ready_at: SimTime,
+    },
+    /// Serving.
+    Ready(InstanceAddr),
+}
+
+impl InstanceState {
+    /// `true` if the instance serves traffic.
+    pub fn is_ready(&self) -> bool {
+        matches!(self, InstanceState::Ready(_))
+    }
+}
+
+/// A deployable edge cluster.
+pub trait EdgeCluster {
+    /// Cluster name (unique within the controller).
+    fn name(&self) -> &str;
+
+    /// `"docker"` or `"k8s"`.
+    fn kind(&self) -> &'static str;
+
+    /// One-way latency from the ingress switch to this cluster (the Global
+    /// Scheduler's distance metric; hierarchical far-away clusters have
+    /// larger values).
+    fn latency(&self) -> Duration;
+
+    /// `true` if every image layer of the service is cached here.
+    fn has_image_cached(&self, svc: &EdgeService) -> bool;
+
+    /// Deployment state of `svc` at `now`.
+    fn state(&self, svc: &EdgeService, now: SimTime) -> InstanceState;
+
+    /// **Pull** phase. Returns its completion instant (`now` when cached).
+    fn pull(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime;
+
+    /// **Create** phase. Returns its completion instant.
+    ///
+    /// # Panics
+    /// Panics if images are not pulled (phases are explicit) or the service
+    /// is already created.
+    fn create(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime;
+
+    /// **Scale Up** phase. Returns `(command_done, ready_at)`:
+    /// `command_done` is when the scale-up API call returns to the
+    /// controller (Docker: `docker start` completed; Kubernetes: the scale
+    /// request was acknowledged), `ready_at` when the instance actually
+    /// accepts connections. The controller discovers the latter by port
+    /// polling from `command_done` onward — the gap is the paper's *wait
+    /// time* (Figs. 14/15).
+    fn scale_up(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng)
+        -> (SimTime, SimTime);
+
+    /// **Scale Down** phase. Returns its completion instant.
+    fn scale_down(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime;
+
+    /// **Remove** phase. Returns its completion instant.
+    fn remove(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime;
+
+    /// The address a (ready or starting) instance serves at.
+    fn instance_addr(&self, svc: &EdgeService) -> Option<InstanceAddr>;
+
+    /// Number of services currently scaled up (scheduler load metric).
+    fn load(&self) -> usize;
+}
+
+/// Readiness model for sidecar containers without a listen port.
+fn sidecar_ready() -> LogNormal {
+    LogNormal::from_median(0.25, 0.25)
+}
+
+/// Finds the manifest of `image` within a service profile.
+fn manifest_for<'a>(image: &ImageRef, profile: &'a ServiceProfile) -> &'a ImageManifest {
+    profile
+        .manifests
+        .iter()
+        .find(|m| m.reference == *image)
+        .unwrap_or_else(|| panic!("image {image} not part of service profile {}", profile.key))
+}
+
+// ---------------------------------------------------------------------------
+// Docker
+// ---------------------------------------------------------------------------
+
+struct DockerEntry {
+    host_port: u16,
+    containers: Vec<String>, // engine names, serving container first
+    created: bool,
+    running: bool,
+    ready_at: SimTime,
+}
+
+/// A Docker-based edge cluster (the lightweight, fast-start option).
+pub struct DockerCluster {
+    name: String,
+    engine: DockerEngine,
+    host_mac: MacAddr,
+    host_ip: Ipv4Addr,
+    latency: Duration,
+    next_port: u16,
+    entries: BTreeMap<String, DockerEntry>,
+}
+
+impl DockerCluster {
+    /// Creates a Docker cluster on a host reachable at `host_ip`/`host_mac`.
+    /// On-demand services get host ports allocated from 31000 upward.
+    pub fn new(
+        name: impl Into<String>,
+        engine: DockerEngine,
+        host_mac: MacAddr,
+        host_ip: Ipv4Addr,
+        latency: Duration,
+    ) -> DockerCluster {
+        DockerCluster {
+            name: name.into(),
+            engine,
+            host_mac,
+            host_ip,
+            latency,
+            next_port: 31000,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Access to the engine (image pre-seeding, assertions).
+    pub fn engine_mut(&mut self) -> &mut DockerEngine {
+        &mut self.engine
+    }
+
+    fn serving_container<'a>(&self, svc: &'a EdgeService) -> &'a containerd::ContainerSpec {
+        svc.annotated
+            .containers
+            .iter()
+            .find(|c| c.listen_port.is_some())
+            .unwrap_or(&svc.annotated.containers[0])
+    }
+}
+
+impl EdgeCluster for DockerCluster {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> &'static str {
+        "docker"
+    }
+
+    fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    fn has_image_cached(&self, svc: &EdgeService) -> bool {
+        svc.profile
+            .manifests
+            .iter()
+            .all(|m| self.engine.node().store().has_image(m))
+    }
+
+    fn state(&self, svc: &EdgeService, now: SimTime) -> InstanceState {
+        match self.entries.get(&svc.name) {
+            None => InstanceState::NotDeployed,
+            Some(e) if !e.running => InstanceState::Created,
+            Some(e) => {
+                let serving = self.serving_container(svc);
+                let port = serving.listen_port.unwrap_or(svc.annotated.target_port);
+                if self.engine.port_open(&serving.name, port, now) {
+                    InstanceState::Ready(InstanceAddr {
+                        mac: self.host_mac,
+                        ip: self.host_ip,
+                        port: e.host_port,
+                    })
+                } else {
+                    InstanceState::Starting { ready_at: e.ready_at }
+                }
+            }
+        }
+    }
+
+    fn pull(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+        now + self.engine.pull(&svc.profile.manifests, rng)
+    }
+
+    fn create(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+        assert!(
+            !self.entries.contains_key(&svc.name),
+            "service {} already created on {}",
+            svc.name,
+            self.name
+        );
+        let host_port = self.next_port;
+        self.next_port += 1;
+        let mut t = now;
+        let mut names = Vec::new();
+        // Serving container first so readiness probes target it.
+        let mut specs: Vec<_> = svc.annotated.containers.iter().collect();
+        specs.sort_by_key(|c| c.listen_port.is_none());
+        for spec in specs {
+            let manifest = manifest_for(&spec.image, &svc.profile).clone();
+            let (_, done) = self
+                .engine
+                .create(spec.clone(), &manifest, t, rng)
+                .unwrap_or_else(|e| panic!("docker create failed: {e}"));
+            t = done;
+            names.push(spec.name.clone());
+        }
+        self.entries.insert(
+            svc.name.clone(),
+            DockerEntry {
+                host_port,
+                containers: names,
+                created: true,
+                running: false,
+                ready_at: SimTime::MAX,
+            },
+        );
+        t
+    }
+
+    fn scale_up(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> (SimTime, SimTime) {
+        let entry = self
+            .entries
+            .get(&svc.name)
+            .unwrap_or_else(|| panic!("scale_up before create for {}", svc.name));
+        assert!(entry.created && !entry.running, "bad phase order");
+        let containers = entry.containers.clone();
+        let mut t = now;
+        let mut ready = now;
+        for name in &containers {
+            // The serving container draws from the service profile; sidecars
+            // from the generic sidecar model.
+            let serving = self.serving_container(svc).name == *name;
+            let delay = if serving {
+                svc.profile.ready_delay.sample_duration(rng)
+            } else {
+                sidecar_ready().sample_duration(rng)
+            };
+            let (started, r) = self
+                .engine
+                .start(name, t, delay, rng)
+                .unwrap_or_else(|e| panic!("docker start failed: {e}"));
+            t = started;
+            if serving {
+                ready = ready.max(r);
+            }
+        }
+        let entry = self.entries.get_mut(&svc.name).expect("entry exists");
+        entry.running = true;
+        entry.ready_at = ready.max(t);
+        // `docker start` returns once every task is launched (t); the app
+        // inside may still be loading until `ready_at`.
+        (t, entry.ready_at)
+    }
+
+    fn scale_down(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let Some(entry) = self.entries.get_mut(&svc.name) else {
+            return now;
+        };
+        if !entry.running {
+            return now;
+        }
+        entry.running = false;
+        entry.ready_at = SimTime::MAX;
+        let containers = entry.containers.clone();
+        let mut t = now;
+        for name in &containers {
+            t = self.engine.stop(name, t, rng).expect("container exists");
+        }
+        t
+    }
+
+    fn remove(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let Some(entry) = self.entries.remove(&svc.name) else {
+            return now;
+        };
+        let mut t = now;
+        for name in &entry.containers {
+            t = self.engine.remove(name, t, rng).expect("container exists");
+        }
+        t
+    }
+
+    fn instance_addr(&self, svc: &EdgeService) -> Option<InstanceAddr> {
+        self.entries.get(&svc.name).map(|e| InstanceAddr {
+            mac: self.host_mac,
+            ip: self.host_ip,
+            port: e.host_port,
+        })
+    }
+
+    fn load(&self) -> usize {
+        self.entries.values().filter(|e| e.running).count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kubernetes
+// ---------------------------------------------------------------------------
+
+struct K8sEntry {
+    applied: bool,
+    scaled_up: bool,
+    ready_at: SimTime,
+    pod_addr: Option<([u8; 4], u16)>,
+}
+
+/// A Kubernetes-based edge cluster (automated management, slower starts).
+pub struct K8sEdgeCluster {
+    name: String,
+    cluster: K8sCluster,
+    host_mac: MacAddr,
+    latency: Duration,
+    scheduler_name: Option<String>,
+    entries: BTreeMap<String, K8sEntry>,
+}
+
+impl K8sEdgeCluster {
+    /// Creates a K8s cluster adapter; `host_mac` is the worker node's NIC
+    /// (pod IPs are reached through it). `scheduler_name` selects a Local
+    /// Scheduler for edge pods.
+    pub fn new(
+        name: impl Into<String>,
+        cluster: K8sCluster,
+        host_mac: MacAddr,
+        latency: Duration,
+        scheduler_name: Option<String>,
+    ) -> K8sEdgeCluster {
+        K8sEdgeCluster {
+            name: name.into(),
+            cluster,
+            host_mac,
+            latency,
+            scheduler_name,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Access to the underlying cluster (pre-pulls, assertions).
+    pub fn cluster_mut(&mut self) -> &mut K8sCluster {
+        &mut self.cluster
+    }
+
+    fn build_objects(&self, svc: &EdgeService) -> (k8ssim::Deployment, k8ssim::Service) {
+        let labels: BTreeMap<String, String> = [
+            ("app".to_owned(), svc.name.clone()),
+            (EDGE_SERVICE_LABEL.to_owned(), svc.annotated.edge_label.clone()),
+        ]
+        .into();
+        let containers = svc
+            .annotated
+            .containers
+            .iter()
+            .map(|spec| {
+                let serving = spec.listen_port.is_some();
+                PodContainer {
+                    spec: spec.clone(),
+                    manifest: manifest_for(&spec.image, &svc.profile).clone(),
+                    ready: if serving {
+                        svc.profile.ready_delay
+                    } else {
+                        sidecar_ready()
+                    },
+                }
+            })
+            .collect();
+        let dep = k8ssim::Deployment {
+            name: svc.name.clone(),
+            labels: labels.clone(),
+            replicas: 0,
+            selector: labels.clone(),
+            template: PodTemplate {
+                labels: labels.clone(),
+                containers,
+            },
+            scheduler_name: self.scheduler_name.clone(),
+        };
+        let service = k8ssim::Service {
+            name: svc.name.clone(),
+            selector: labels,
+            port: svc.annotated.port,
+            target_port: svc.annotated.target_port,
+            protocol: "TCP".to_owned(),
+        };
+        (dep, service)
+    }
+}
+
+impl EdgeCluster for K8sEdgeCluster {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> &'static str {
+        "k8s"
+    }
+
+    fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    fn has_image_cached(&self, svc: &EdgeService) -> bool {
+        // Caches are per worker node: the image counts as cached when some
+        // node could start the service without pulling.
+        self.cluster.any_worker_has(&svc.profile.manifests)
+    }
+
+    fn state(&self, svc: &EdgeService, now: SimTime) -> InstanceState {
+        match self.entries.get(&svc.name) {
+            None => InstanceState::NotDeployed,
+            Some(e) if !e.scaled_up => InstanceState::Created,
+            Some(e) => {
+                let eps = self.cluster.ready_endpoints(&svc.name, now);
+                match eps.first() {
+                    Some(&(ip, port)) => InstanceState::Ready(InstanceAddr {
+                        mac: self.host_mac,
+                        ip: Ipv4Addr(ip),
+                        port,
+                    }),
+                    None => InstanceState::Starting { ready_at: e.ready_at },
+                }
+            }
+        }
+    }
+
+    fn pull(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+        now + self.cluster.node_mut().pull(&svc.profile.manifests, rng)
+    }
+
+    fn create(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+        assert!(
+            !self.entries.contains_key(&svc.name),
+            "service {} already created on {}",
+            svc.name,
+            self.name
+        );
+        let (dep, service) = self.build_objects(svc);
+        let acked = self.cluster.apply(dep, service, now, rng);
+        // The zero-replica reconciliation (ReplicaSet creation) completes the
+        // Create phase.
+        let events = self.cluster.settle(rng);
+        let done = events
+            .iter()
+            .filter_map(|e| match e {
+                ClusterEvent::ReplicaSetCreated { at, .. } => Some(*at),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(acked);
+        self.entries.insert(
+            svc.name.clone(),
+            K8sEntry {
+                applied: true,
+                scaled_up: false,
+                ready_at: SimTime::MAX,
+                pod_addr: None,
+            },
+        );
+        done
+    }
+
+    fn scale_up(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> (SimTime, SimTime) {
+        let entry = self
+            .entries
+            .get(&svc.name)
+            .unwrap_or_else(|| panic!("scale_up before create for {}", svc.name));
+        assert!(entry.applied && !entry.scaled_up, "bad phase order");
+        // `kubectl scale` returns as soon as the API server acknowledges;
+        // the whole reconciliation happens afterwards.
+        let acked = self.cluster.scale(&svc.name, 1, now, rng);
+        let events = self.cluster.settle(rng);
+        let ready = events.iter().find_map(|e| match e {
+            ClusterEvent::PodReady { at, ip, .. } => Some((*at, *ip)),
+            _ => None,
+        });
+        let entry = self.entries.get_mut(&svc.name).expect("entry exists");
+        entry.scaled_up = true;
+        match ready {
+            Some((at, ip)) => {
+                entry.ready_at = at;
+                entry.pod_addr = Some((ip, svc.annotated.target_port));
+                (acked, at)
+            }
+            None => {
+                // Unschedulable: stays Starting forever; callers time out.
+                entry.ready_at = SimTime::MAX;
+                (acked, SimTime::MAX)
+            }
+        }
+    }
+
+    fn scale_down(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let Some(entry) = self.entries.get_mut(&svc.name) else {
+            return now;
+        };
+        if !entry.scaled_up {
+            return now;
+        }
+        entry.scaled_up = false;
+        entry.ready_at = SimTime::MAX;
+        entry.pod_addr = None;
+        self.cluster.scale(&svc.name, 0, now, rng);
+        let events = self.cluster.settle(rng);
+        events
+            .iter()
+            .filter_map(|e| match e {
+                ClusterEvent::PodTerminated { at, .. } => Some(*at),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(now)
+    }
+
+    fn remove(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+        if self.entries.remove(&svc.name).is_none() {
+            return now;
+        }
+        let t = self.cluster.delete_deployment(&svc.name, now, rng);
+        let t = self.cluster.delete_service(&svc.name, t, rng);
+        let events = self.cluster.settle(rng);
+        events
+            .iter()
+            .filter_map(|e| match e {
+                ClusterEvent::PodTerminated { at, .. } => Some(*at),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(t)
+    }
+
+    fn instance_addr(&self, svc: &EdgeService) -> Option<InstanceAddr> {
+        let entry = self.entries.get(&svc.name)?;
+        let (ip, port) = entry.pod_addr?;
+        Some(InstanceAddr {
+            mac: self.host_mac,
+            ip: Ipv4Addr(ip),
+            port,
+        })
+    }
+
+    fn load(&self) -> usize {
+        self.entries.values().filter(|e| e.scaled_up).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate_deployment;
+    use netsim::ServiceAddr;
+
+    fn make_service(key: &str, port: u16) -> EdgeService {
+        let profile = containerd::ServiceSet::by_key(key).unwrap();
+        let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), port);
+        let containers: String = profile
+            .manifests
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let ports = if i == 0 {
+                    format!("\n          ports:\n            - containerPort: {}", profile.listen_port)
+                } else {
+                    String::new()
+                };
+                format!("        - name: c{i}\n          image: {}{}\n", m.reference, ports)
+            })
+            .collect();
+        let yaml = format!("spec:\n  template:\n    spec:\n      containers:\n{containers}");
+        let annotated = annotate_deployment(&yaml, addr, None).unwrap();
+        EdgeService {
+            addr,
+            name: annotated.service_name.clone(),
+            annotated,
+            profile,
+        }
+    }
+
+    fn docker_cluster() -> DockerCluster {
+        DockerCluster::new(
+            "edge-docker",
+            DockerEngine::with_defaults(),
+            MacAddr::from_id(100),
+            Ipv4Addr::new(10, 0, 0, 10),
+            Duration::from_micros(150),
+        )
+    }
+
+    fn k8s_cluster() -> K8sEdgeCluster {
+        K8sEdgeCluster::new(
+            "edge-k8s",
+            K8sCluster::with_defaults(),
+            MacAddr::from_id(100),
+            Duration::from_micros(150),
+            None,
+        )
+    }
+
+    #[test]
+    fn docker_full_phase_cycle() {
+        let mut rng = SimRng::new(1);
+        let mut c = docker_cluster();
+        let svc = make_service("nginx", 80);
+        assert!(!c.has_image_cached(&svc));
+        assert_eq!(c.state(&svc, SimTime::ZERO), InstanceState::NotDeployed);
+
+        let t = c.pull(&svc, SimTime::ZERO, &mut rng);
+        assert!(t > SimTime::ZERO);
+        assert!(c.has_image_cached(&svc));
+
+        let t2 = c.create(&svc, t, &mut rng);
+        assert!(t2 > t);
+        assert_eq!(c.state(&svc, t2), InstanceState::Created);
+
+        let (_, ready) = c.scale_up(&svc, t2, &mut rng);
+        // Cached-image Docker scale-up: sub-second (the headline number).
+        assert!(ready - t2 < Duration::from_secs(1), "took {}", ready - t2);
+        assert!(matches!(c.state(&svc, t2), InstanceState::Starting { .. }));
+        let state = c.state(&svc, ready);
+        let InstanceState::Ready(addr) = state else {
+            panic!("not ready: {state:?}");
+        };
+        assert_eq!(addr.ip, Ipv4Addr::new(10, 0, 0, 10));
+        assert_eq!(addr.port, 31000);
+        assert_eq!(c.load(), 1);
+
+        let t3 = c.scale_down(&svc, ready + Duration::from_secs(60), &mut rng);
+        assert!(!c.state(&svc, t3 + Duration::from_secs(1)).is_ready());
+        assert_eq!(c.load(), 0);
+        let t4 = c.remove(&svc, t3, &mut rng);
+        assert_eq!(c.state(&svc, t4), InstanceState::NotDeployed);
+    }
+
+    #[test]
+    fn k8s_full_phase_cycle_is_slower() {
+        let mut rng = SimRng::new(2);
+        let mut c = k8s_cluster();
+        let svc = make_service("nginx", 80);
+        let t = c.pull(&svc, SimTime::ZERO, &mut rng);
+        let t2 = c.create(&svc, t, &mut rng);
+        assert_eq!(c.state(&svc, t2), InstanceState::Created);
+
+        let (_, ready) = c.scale_up(&svc, t2, &mut rng);
+        let elapsed = ready - t2;
+        // The K8s orchestration gap: around 3 s vs Docker's sub-second.
+        assert!(
+            elapsed > Duration::from_millis(1800) && elapsed < Duration::from_millis(4500),
+            "took {elapsed}"
+        );
+        let InstanceState::Ready(addr) = c.state(&svc, ready) else {
+            panic!("not ready");
+        };
+        assert_eq!(addr.ip.octets()[0], 10, "pod IP");
+        assert_eq!(addr.port, 80);
+        assert_eq!(c.load(), 1);
+
+        let down = c.scale_down(&svc, ready + Duration::from_secs(60), &mut rng);
+        assert!(down > ready);
+        assert!(!c.state(&svc, down + Duration::from_secs(5)).is_ready());
+        c.remove(&svc, down, &mut rng);
+        assert_eq!(c.state(&svc, down), InstanceState::NotDeployed);
+    }
+
+    #[test]
+    fn docker_beats_k8s_on_scale_up_same_seed() {
+        let svc = make_service("nginx", 80);
+        let mut rng = SimRng::new(3);
+        let mut d = docker_cluster();
+        let t = d.pull(&svc, SimTime::ZERO, &mut rng);
+        let t = d.create(&svc, t, &mut rng);
+        let d_ready = d.scale_up(&svc, t, &mut rng).1 - t;
+
+        let mut rng = SimRng::new(3);
+        let mut k = k8s_cluster();
+        let t = k.pull(&svc, SimTime::ZERO, &mut rng);
+        let t = k.create(&svc, t, &mut rng);
+        let k_ready = k.scale_up(&svc, t, &mut rng).1 - t;
+
+        assert!(k_ready > d_ready * 2, "docker {d_ready} vs k8s {k_ready}");
+    }
+
+    #[test]
+    fn two_container_service_on_both_clusters() {
+        let svc = make_service("nginx-py", 80);
+        assert_eq!(svc.annotated.containers.len(), 2);
+        let mut rng = SimRng::new(4);
+
+        let mut d = docker_cluster();
+        let t = d.pull(&svc, SimTime::ZERO, &mut rng);
+        let t = d.create(&svc, t, &mut rng);
+        let (_, ready) = d.scale_up(&svc, t, &mut rng);
+        assert!(d.state(&svc, ready).is_ready());
+        assert_eq!(d.engine_mut().container_count(), 2);
+
+        let mut k = k8s_cluster();
+        let t = k.pull(&svc, SimTime::ZERO, &mut rng);
+        let t = k.create(&svc, t, &mut rng);
+        let (_, ready) = k.scale_up(&svc, t, &mut rng);
+        assert!(k.state(&svc, ready).is_ready());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale_up before create")]
+    fn phase_order_enforced_docker() {
+        let mut rng = SimRng::new(5);
+        let mut c = docker_cluster();
+        let svc = make_service("asm", 80);
+        c.scale_up(&svc, SimTime::ZERO, &mut rng);
+    }
+
+    #[test]
+    fn resnet_takes_longer_to_become_ready() {
+        let mut rng = SimRng::new(6);
+        let mut c = docker_cluster();
+        let svc = make_service("resnet", 8501);
+        let t = c.pull(&svc, SimTime::ZERO, &mut rng);
+        let t = c.create(&svc, t, &mut rng);
+        let (_, ready) = c.scale_up(&svc, t, &mut rng);
+        assert!(
+            ready - t > Duration::from_millis(1500),
+            "resnet ready in {}",
+            ready - t
+        );
+    }
+
+    #[test]
+    fn distinct_services_get_distinct_docker_host_ports() {
+        let mut rng = SimRng::new(7);
+        let mut c = docker_cluster();
+        let a = make_service("asm", 80);
+        let b = make_service("nginx", 81);
+        let t = c.pull(&a, SimTime::ZERO, &mut rng);
+        let t = c.pull(&b, t, &mut rng);
+        let t = c.create(&a, t, &mut rng);
+        let t = c.create(&b, t, &mut rng);
+        let pa = c.instance_addr(&a).unwrap().port;
+        let pb = c.instance_addr(&b).unwrap().port;
+        assert_ne!(pa, pb);
+        let _ = t;
+    }
+}

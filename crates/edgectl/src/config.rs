@@ -1,0 +1,251 @@
+//! Controller configuration files.
+//!
+//! The reference controller reads its configuration — which Global Scheduler
+//! to load dynamically, the per-cluster Local Scheduler, the timeouts — from
+//! a file. [`EdgeConfig`] is that file, in the same YAML dialect as the
+//! service definitions:
+//!
+//! ```yaml
+//! scheduler: proximity
+//! predictor: none
+//! flowIdleTimeout: 10        # seconds, installed into switch flows
+//! memoryIdleTimeout: 60      # seconds, FlowMemory / scale-down trigger
+//! removeAfter: 600           # seconds from scale-down to full removal
+//! pollIntervalMs: 25         # readiness port-probe interval
+//! scaleDownIdle: true
+//! clusters:
+//!   - name: egs-docker
+//!     kind: docker
+//!   - name: egs-k8s
+//!     kind: k8s
+//!     localScheduler: edge-pack-scheduler
+//! ```
+
+use crate::controller::ControllerConfig;
+use desim::Duration;
+use yamlite::Value;
+
+/// A cluster declaration in the configuration file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterDecl {
+    /// Cluster name.
+    pub name: String,
+    /// `"docker"` or `"k8s"`.
+    pub kind: String,
+    /// Optional Local Scheduler (Kubernetes `schedulerName`).
+    pub local_scheduler: Option<String>,
+}
+
+/// Parsed controller configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeConfig {
+    /// Global Scheduler name (see [`crate::scheduler_by_name`]).
+    pub scheduler: String,
+    /// Predictor name (see [`crate::predictor_by_name`]).
+    pub predictor: String,
+    /// Controller timing/behaviour knobs.
+    pub controller: ControllerConfig,
+    /// Declared clusters.
+    pub clusters: Vec<ClusterDecl>,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            scheduler: "proximity".to_owned(),
+            predictor: "none".to_owned(),
+            controller: ControllerConfig::default(),
+            clusters: Vec::new(),
+        }
+    }
+}
+
+/// Errors from loading a configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// YAML syntax error.
+    Yaml(yamlite::ParseError),
+    /// A field had the wrong type or an invalid value.
+    Invalid(String),
+    /// The named scheduler/predictor is not known.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Yaml(e) => write!(f, "{e}"),
+            ConfigError::Invalid(m) => write!(f, "invalid config: {m}"),
+            ConfigError::Unknown(m) => write!(f, "unknown component: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<yamlite::ParseError> for ConfigError {
+    fn from(e: yamlite::ParseError) -> Self {
+        ConfigError::Yaml(e)
+    }
+}
+
+impl EdgeConfig {
+    /// Parses a configuration file. Missing keys fall back to the defaults;
+    /// unknown scheduler/predictor names are rejected eagerly (the reference
+    /// controller fails at dynamic-load time — we fail at parse time).
+    pub fn from_yaml(text: &str) -> Result<EdgeConfig, ConfigError> {
+        let doc = yamlite::parse_str(text)?;
+        let mut cfg = EdgeConfig::default();
+        if doc.is_null() {
+            return Ok(cfg);
+        }
+        if doc.as_map().is_none() {
+            return Err(ConfigError::Invalid("config must be a mapping".into()));
+        }
+
+        if let Some(s) = doc["scheduler"].as_str() {
+            if crate::scheduler_by_name(s).is_none() {
+                return Err(ConfigError::Unknown(format!("scheduler `{s}`")));
+            }
+            cfg.scheduler = s.to_owned();
+        }
+        if let Some(p) = doc["predictor"].as_str() {
+            if crate::predictor_by_name(p).is_none() {
+                return Err(ConfigError::Unknown(format!("predictor `{p}`")));
+            }
+            cfg.predictor = p.to_owned();
+        }
+
+        let secs = |v: &Value, key: &str| -> Result<Option<Duration>, ConfigError> {
+            match &v[key] {
+                Value::Null => Ok(None),
+                Value::Int(s) if *s >= 0 => Ok(Some(Duration::from_secs(*s as u64))),
+                Value::Float(s) if *s >= 0.0 => Ok(Some(Duration::from_secs_f64(*s))),
+                other => Err(ConfigError::Invalid(format!(
+                    "{key}: expected a non-negative number, got {other:?}"
+                ))),
+            }
+        };
+        if let Some(d) = secs(&doc, "flowIdleTimeout")? {
+            cfg.controller.switch_flow_idle = d;
+        }
+        if let Some(d) = secs(&doc, "memoryIdleTimeout")? {
+            cfg.controller.memory_idle = d;
+        }
+        if let Some(d) = secs(&doc, "removeAfter")? {
+            cfg.controller.remove_after = Some(d);
+        }
+        match &doc["pollIntervalMs"] {
+            Value::Null => {}
+            Value::Int(ms) if *ms > 0 => {
+                cfg.controller.poll_interval = Duration::from_millis(*ms as u64);
+            }
+            other => {
+                return Err(ConfigError::Invalid(format!(
+                    "pollIntervalMs: expected a positive integer, got {other:?}"
+                )))
+            }
+        }
+        if let Some(b) = doc["scaleDownIdle"].as_bool() {
+            cfg.controller.scale_down_idle = b;
+        }
+
+        if let Some(clusters) = doc["clusters"].as_seq() {
+            for (i, c) in clusters.iter().enumerate() {
+                let name = c["name"]
+                    .as_str()
+                    .ok_or_else(|| ConfigError::Invalid(format!("clusters[{i}]: missing name")))?;
+                let kind = c["kind"]
+                    .as_str()
+                    .ok_or_else(|| ConfigError::Invalid(format!("clusters[{i}]: missing kind")))?;
+                if kind != "docker" && kind != "k8s" {
+                    return Err(ConfigError::Invalid(format!(
+                        "clusters[{i}]: kind must be docker|k8s, got `{kind}`"
+                    )));
+                }
+                cfg.clusters.push(ClusterDecl {
+                    name: name.to_owned(),
+                    kind: kind.to_owned(),
+                    local_scheduler: c["localScheduler"].as_str().map(str::to_owned),
+                });
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_config_is_defaults() {
+        let cfg = EdgeConfig::from_yaml("").unwrap();
+        assert_eq!(cfg, EdgeConfig::default());
+        assert_eq!(cfg.scheduler, "proximity");
+        assert_eq!(cfg.controller.memory_idle, Duration::from_secs(60));
+    }
+
+    #[test]
+    fn full_config_parses() {
+        let cfg = EdgeConfig::from_yaml(
+            "
+scheduler: latency-aware
+predictor: recency
+flowIdleTimeout: 5
+memoryIdleTimeout: 120
+removeAfter: 900
+pollIntervalMs: 10
+scaleDownIdle: false
+clusters:
+  - name: egs-docker
+    kind: docker
+  - name: egs-k8s
+    kind: k8s
+    localScheduler: edge-pack-scheduler
+",
+        )
+        .unwrap();
+        assert_eq!(cfg.scheduler, "latency-aware");
+        assert_eq!(cfg.predictor, "recency");
+        assert_eq!(cfg.controller.switch_flow_idle, Duration::from_secs(5));
+        assert_eq!(cfg.controller.memory_idle, Duration::from_secs(120));
+        assert_eq!(cfg.controller.remove_after, Some(Duration::from_secs(900)));
+        assert_eq!(cfg.controller.poll_interval, Duration::from_millis(10));
+        assert!(!cfg.controller.scale_down_idle);
+        assert_eq!(cfg.clusters.len(), 2);
+        assert_eq!(cfg.clusters[1].local_scheduler.as_deref(), Some("edge-pack-scheduler"));
+    }
+
+    #[test]
+    fn fractional_timeouts_accepted() {
+        let cfg = EdgeConfig::from_yaml("memoryIdleTimeout: 2.5").unwrap();
+        assert_eq!(cfg.controller.memory_idle, Duration::from_millis(2500));
+    }
+
+    #[test]
+    fn unknown_scheduler_rejected() {
+        let err = EdgeConfig::from_yaml("scheduler: quantum").unwrap_err();
+        assert!(matches!(err, ConfigError::Unknown(_)), "{err}");
+        let err = EdgeConfig::from_yaml("predictor: psychic").unwrap_err();
+        assert!(matches!(err, ConfigError::Unknown(_)));
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        assert!(EdgeConfig::from_yaml("pollIntervalMs: 0").is_err());
+        assert!(EdgeConfig::from_yaml("pollIntervalMs: fast").is_err());
+        assert!(EdgeConfig::from_yaml("flowIdleTimeout: -3").is_err());
+        assert!(EdgeConfig::from_yaml("- a\n- b").is_err());
+        assert!(EdgeConfig::from_yaml("clusters:\n  - kind: docker").is_err());
+        assert!(EdgeConfig::from_yaml("clusters:\n  - name: x\n    kind: vm").is_err());
+    }
+
+    #[test]
+    fn yaml_errors_propagate() {
+        assert!(matches!(
+            EdgeConfig::from_yaml("scheduler: [unclosed"),
+            Err(ConfigError::Yaml(_))
+        ));
+    }
+}

@@ -1,0 +1,1047 @@
+//! The SDN controller: OpenFlow packet-in handling, redirect flow
+//! installation, buffered-packet release, and idle scale-down.
+//!
+//! The controller speaks real OpenFlow bytes on its switch channel. For each
+//! table-miss `PACKET_IN` to a registered service it runs the Dispatcher and
+//! answers — possibly later, for on-demand deployment *with waiting* — with:
+//!
+//! * a **forward flow**: match the client connection to the service address,
+//!   rewrite MAC/IP/port toward the chosen instance, output toward its
+//!   cluster (releasing the buffered packet through the new flow);
+//! * a **reverse flow**: match the instance's replies to this client and
+//!   rewrite the source back to the registered cloud address — the client
+//!   never learns the edge exists.
+//!
+//! Expired switch flows (`FLOW_REMOVED`) and the controller's own FlowMemory
+//! timeouts feed the idle-service scale-down (Section V).
+
+use crate::clients::ClientTracker;
+use crate::cluster::{EdgeCluster, InstanceAddr};
+use crate::dispatch::{DispatchDecision, DispatchOutcome, Dispatcher, PhaseTimes};
+use crate::flowmemory::FlowMemory;
+use crate::scheduler::GlobalScheduler;
+use crate::service::EdgeService;
+use desim::{Duration, LogNormal, Sample, SimRng, SimTime};
+use netsim::addr::Ipv4Addr;
+use netsim::{ServiceAddr, TcpFrame};
+use openflow::actions::{Action, Instruction};
+use openflow::messages::{Message, OFPFF_SEND_FLOW_REM};
+use openflow::oxm::{Match, OxmField};
+use openflow::{OfError, OFP_NO_BUFFER};
+use std::collections::HashMap;
+
+/// Maps clusters and the cloud to switch egress ports.
+#[derive(Clone, Debug, Default)]
+pub struct PortMap {
+    /// Cluster name → switch port leading to it.
+    pub cluster_ports: HashMap<String, u32>,
+    /// Port toward the cloud uplink.
+    pub cloud_port: u32,
+}
+
+/// Controller configuration (the reference implementation reads these from
+/// its config file; see [`crate::config::EdgeConfig`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControllerConfig {
+    /// Idle timeout installed into switch flows (kept low; the FlowMemory
+    /// remembers longer).
+    pub switch_flow_idle: Duration,
+    /// FlowMemory idle timeout (drives idle scale-down).
+    pub memory_idle: Duration,
+    /// Port-probe interval for readiness polling.
+    pub poll_interval: Duration,
+    /// Controller packet-in processing latency model.
+    pub processing: LogNormal,
+    /// Priority of installed redirect flows.
+    pub flow_priority: u16,
+    /// Scale idle services down when their last memorized flow expires.
+    pub scale_down_idle: bool,
+    /// Remove a scaled-down service entirely (delete containers /
+    /// Deployment+Service) after this long without a redeploy — the paper's
+    /// **Remove** phase. `None` keeps created-but-stopped services around
+    /// (cheap, faster next scale-up).
+    pub remove_after: Option<Duration>,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            switch_flow_idle: Duration::from_secs(10),
+            memory_idle: Duration::from_secs(60),
+            poll_interval: Duration::from_millis(25),
+            processing: LogNormal::from_median(0.0015, 0.30),
+            flow_priority: 100,
+            scale_down_idle: true,
+            remove_after: None,
+        }
+    }
+}
+
+/// An OpenFlow message scheduled toward the switch at a given instant
+/// (possibly later than the triggering event: the *with waiting* hold).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutboundMessage {
+    /// When the controller emits it.
+    pub at: SimTime,
+    /// Encoded OpenFlow bytes.
+    pub data: Vec<u8>,
+}
+
+/// How a request was answered (for the evaluation harness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Answered from FlowMemory (no scheduling).
+    MemoryHit,
+    /// Instance was ready; immediate redirect.
+    Redirect,
+    /// On-demand deployment with waiting.
+    Waited,
+    /// Forwarded toward the cloud.
+    Cloud,
+    /// Destination was not a registered edge service.
+    Unregistered,
+}
+
+/// Per-request record for experiments.
+#[derive(Clone, Debug)]
+pub struct RequestRecord {
+    /// Packet-in arrival.
+    pub at: SimTime,
+    /// Requested service address.
+    pub service: ServiceAddr,
+    /// Client address.
+    pub client: Ipv4Addr,
+    /// Outcome kind.
+    pub kind: RequestKind,
+    /// When the redirect flows were emitted.
+    pub answered_at: SimTime,
+    /// Deployment phase timing, when a deployment ran.
+    pub phases: PhaseTimes,
+    /// Cluster index serving the request (edge outcomes only).
+    pub cluster: Option<usize>,
+    /// When a background (BEST-choice) deployment triggered by this request
+    /// will be ready, if one was triggered.
+    pub background_ready: Option<SimTime>,
+}
+
+/// What the idle sweep did to a service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifecycleAction {
+    /// The service was scaled to zero (containers stopped / replicas=0).
+    ScaleDown,
+    /// The service was removed entirely (containers / Deployment deleted).
+    Remove,
+}
+
+/// A lifecycle action taken by the idle sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleDownEvent {
+    /// When.
+    pub at: SimTime,
+    /// The idle service.
+    pub service: ServiceAddr,
+    /// Cluster acted on.
+    pub cluster: String,
+    /// What happened.
+    pub action: LifecycleAction,
+}
+
+/// The transparent-edge SDN controller.
+pub struct Controller {
+    services: crate::service::ServiceRegistry,
+    clusters: Vec<Box<dyn EdgeCluster>>,
+    dispatcher: Dispatcher,
+    memory: FlowMemory,
+    ports: PortMap,
+    config: ControllerConfig,
+    next_xid: u32,
+    /// Per-request records (the harness reads these).
+    pub records: Vec<RequestRecord>,
+    /// Count of `FLOW_REMOVED` notifications seen.
+    pub flows_removed: u64,
+    /// Client location tracking (moves flush the client's memorized flows).
+    pub clients: ClientTracker,
+    /// Errors reported by the switch.
+    pub switch_errors: Vec<(openflow::messages::ErrorType, u16)>,
+    /// Services scaled down and when, awaiting possible removal.
+    scaled_down: HashMap<(ServiceAddr, usize), SimTime>,
+    /// The most recent flow-statistics reply (see
+    /// [`Controller::request_flow_stats`]).
+    pub last_flow_stats: Option<Vec<openflow::messages::FlowStatsEntry>>,
+}
+
+impl Controller {
+    /// Creates a controller with the given Global Scheduler.
+    pub fn new(
+        scheduler: Box<dyn GlobalScheduler>,
+        ports: PortMap,
+        config: ControllerConfig,
+    ) -> Controller {
+        Controller {
+            services: crate::service::ServiceRegistry::new(),
+            clusters: Vec::new(),
+            dispatcher: Dispatcher::new(scheduler, config.poll_interval),
+            memory: FlowMemory::new(config.memory_idle),
+            ports,
+            config,
+            next_xid: 1,
+            records: Vec::new(),
+            flows_removed: 0,
+            clients: ClientTracker::new(),
+            switch_errors: Vec::new(),
+            scaled_down: HashMap::new(),
+            last_flow_stats: None,
+        }
+    }
+
+    /// Registers an edge cluster reachable via `switch_port`. Returns its
+    /// index.
+    pub fn add_cluster(&mut self, cluster: Box<dyn EdgeCluster>, switch_port: u32) -> usize {
+        self.ports
+            .cluster_ports
+            .insert(cluster.name().to_owned(), switch_port);
+        self.clusters.push(cluster);
+        self.clusters.len() - 1
+    }
+
+    /// Registers an edge service.
+    pub fn register_service(&mut self, service: EdgeService) {
+        self.services.register(service);
+    }
+
+    /// The service registry.
+    pub fn services(&self) -> &crate::service::ServiceRegistry {
+        &self.services
+    }
+
+    /// The FlowMemory (stats, tests).
+    pub fn memory(&self) -> &FlowMemory {
+        &self.memory
+    }
+
+    /// Cluster access by index.
+    pub fn cluster(&self, idx: usize) -> &dyn EdgeCluster {
+        self.clusters[idx].as_ref()
+    }
+
+    /// Mutable cluster access (pre-pulls in experiment setup).
+    pub fn cluster_mut(&mut self, idx: usize) -> &mut Box<dyn EdgeCluster> {
+        &mut self.clusters[idx]
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    fn xid(&mut self) -> u32 {
+        let x = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        x
+    }
+
+    /// Asks the switch for its installed flows (diagnostics; the reply lands
+    /// in [`Controller::last_flow_stats`]).
+    pub fn request_flow_stats(&mut self, at: SimTime) -> OutboundMessage {
+        let x = self.xid();
+        OutboundMessage {
+            at,
+            data: Message::FlowStatsRequest {
+                table_id: 0xff,
+                match_: Match::any(),
+            }
+            .encode(x),
+        }
+    }
+
+    /// Session bootstrap: HELLO + FEATURES_REQUEST.
+    pub fn bootstrap(&mut self) -> Vec<OutboundMessage> {
+        vec![
+            OutboundMessage {
+                at: SimTime::ZERO,
+                data: Message::Hello.encode(self.xid()),
+            },
+            OutboundMessage {
+                at: SimTime::ZERO,
+                data: Message::FeaturesRequest.encode(self.xid()),
+            },
+        ]
+    }
+
+    /// Handles one encoded message from the switch.
+    pub fn handle_switch_message(
+        &mut self,
+        now: SimTime,
+        bytes: &[u8],
+        rng: &mut SimRng,
+    ) -> Result<Vec<OutboundMessage>, OfError> {
+        let (_xid, msg, _) = Message::decode(bytes)?;
+        match msg {
+            Message::EchoRequest(payload) => {
+                let x = self.xid();
+                Ok(vec![OutboundMessage {
+                    at: now,
+                    data: Message::EchoReply(payload).encode(x),
+                }])
+            }
+            Message::PacketIn {
+                buffer_id,
+                match_,
+                data,
+                ..
+            } => Ok(self.handle_packet_in(now, buffer_id, &match_, &data, rng)),
+            Message::FlowRemoved { .. } => {
+                self.flows_removed += 1;
+                Ok(vec![])
+            }
+            Message::Error { error_type, code, .. } => {
+                self.switch_errors.push((error_type, code));
+                Ok(vec![])
+            }
+            Message::FlowStatsReply { flows } => {
+                self.last_flow_stats = Some(flows);
+                Ok(vec![])
+            }
+            // Session replies need no action.
+            Message::Hello
+            | Message::EchoReply(_)
+            | Message::FeaturesReply { .. }
+            | Message::BarrierReply => Ok(vec![]),
+            // Messages a switch should not send us.
+            Message::FeaturesRequest
+            | Message::PacketOut { .. }
+            | Message::FlowMod { .. }
+            | Message::FlowStatsRequest { .. }
+            | Message::BarrierRequest => Ok(vec![]),
+        }
+    }
+
+    fn in_port_of(match_: &Match) -> u32 {
+        match_
+            .fields()
+            .iter()
+            .find_map(|f| match f {
+                OxmField::InPort(p) => Some(*p),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    fn handle_packet_in(
+        &mut self,
+        now: SimTime,
+        buffer_id: u32,
+        match_: &Match,
+        data: &[u8],
+        rng: &mut SimRng,
+    ) -> Vec<OutboundMessage> {
+        let in_port = Self::in_port_of(match_);
+        let Ok(frame) = TcpFrame::decode(data) else {
+            return vec![];
+        };
+        // Location tracking: a client arriving on a new ingress port moved;
+        // its memorized redirects were chosen for the old location.
+        if self.clients.observe(frame.src_ip, in_port, now).is_some() {
+            self.memory.forget_client(frame.src_ip);
+        }
+        let svc_addr = frame.dst_service();
+        let t = now + self.config.processing.sample_duration(rng);
+
+        let Some(svc) = self.services.get(svc_addr).cloned() else {
+            // Not an edge service: plain cloud forwarding flows.
+            self.records.push(RequestRecord {
+                at: now,
+                service: svc_addr,
+                client: frame.src_ip,
+                kind: RequestKind::Unregistered,
+                answered_at: t,
+                phases: PhaseTimes::default(),
+                cluster: None,
+                background_ready: None,
+            });
+            return self.install_cloud_path(t, buffer_id, in_port, &frame);
+        };
+
+        let outcome: DispatchOutcome = self.dispatcher.dispatch(
+            &svc,
+            frame.src_ip,
+            t,
+            &mut self.clusters,
+            &mut self.memory,
+            rng,
+        );
+
+        let background_ready = outcome.background.map(|b| b.ready_at);
+        let (kind, answered_at, cluster, msgs) = match outcome.decision {
+            DispatchDecision::Redirect { instance, cluster } => {
+                let msgs = self.install_redirect(t, buffer_id, in_port, &frame, &svc, instance, cluster);
+                let kind = if outcome.from_memory {
+                    RequestKind::MemoryHit
+                } else {
+                    RequestKind::Redirect
+                };
+                (kind, t, Some(cluster), msgs)
+            }
+            DispatchDecision::WaitThenRedirect {
+                instance,
+                cluster,
+                ready_at,
+            } => {
+                // The request is held; flows go out when the port answered.
+                let at = ready_at.max(t);
+                let msgs = self.install_redirect(at, buffer_id, in_port, &frame, &svc, instance, cluster);
+                (RequestKind::Waited, at, Some(cluster), msgs)
+            }
+            DispatchDecision::ForwardToCloud => {
+                let msgs = self.install_cloud_path(t, buffer_id, in_port, &frame);
+                (RequestKind::Cloud, t, None, msgs)
+            }
+        };
+
+        self.records.push(RequestRecord {
+            at: now,
+            service: svc_addr,
+            client: frame.src_ip,
+            kind,
+            answered_at,
+            phases: outcome.phases,
+            cluster,
+            background_ready,
+        });
+        msgs
+    }
+
+    /// Builds the forward + reverse redirect flows (and a packet-out when the
+    /// switch could not buffer).
+    #[allow(clippy::too_many_arguments)]
+    fn install_redirect(
+        &mut self,
+        at: SimTime,
+        buffer_id: u32,
+        in_port: u32,
+        frame: &TcpFrame,
+        svc: &EdgeService,
+        instance: InstanceAddr,
+        cluster: usize,
+    ) -> Vec<OutboundMessage> {
+        let out_port = *self
+            .ports
+            .cluster_ports
+            .get(self.clusters[cluster].name())
+            .unwrap_or_else(|| panic!("no switch port for cluster {}", self.clusters[cluster].name()));
+
+        let fwd_actions = vec![
+            Action::SetField(OxmField::EthDst(instance.mac.octets())),
+            Action::SetField(OxmField::Ipv4Dst(instance.ip.octets())),
+            Action::SetField(OxmField::TcpDst(instance.port)),
+            Action::output(out_port),
+        ];
+        let rev_actions = vec![
+            // Replies must look like they come from the cloud service.
+            Action::SetField(OxmField::EthSrc(frame.dst_mac.octets())),
+            Action::SetField(OxmField::EthDst(frame.src_mac.octets())),
+            Action::SetField(OxmField::Ipv4Src(svc.addr.ip.octets())),
+            Action::SetField(OxmField::TcpSrc(svc.addr.port)),
+            Action::output(in_port),
+        ];
+        self.install_pair(
+            at,
+            buffer_id,
+            frame,
+            Match::connection(
+                frame.src_ip.octets(),
+                frame.src_port,
+                svc.addr.ip.octets(),
+                svc.addr.port,
+            ),
+            fwd_actions,
+            Match::connection(
+                instance.ip.octets(),
+                instance.port,
+                frame.src_ip.octets(),
+                frame.src_port,
+            ),
+            rev_actions,
+        )
+    }
+
+    /// Builds plain bidirectional cloud-forwarding flows.
+    fn install_cloud_path(
+        &mut self,
+        at: SimTime,
+        buffer_id: u32,
+        in_port: u32,
+        frame: &TcpFrame,
+    ) -> Vec<OutboundMessage> {
+        let fwd = vec![Action::output(self.ports.cloud_port)];
+        let rev = vec![Action::output(in_port)];
+        self.install_pair(
+            at,
+            buffer_id,
+            frame,
+            Match::connection(
+                frame.src_ip.octets(),
+                frame.src_port,
+                frame.dst_ip.octets(),
+                frame.dst_port,
+            ),
+            fwd,
+            Match::connection(
+                frame.dst_ip.octets(),
+                frame.dst_port,
+                frame.src_ip.octets(),
+                frame.src_port,
+            ),
+            rev,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn install_pair(
+        &mut self,
+        at: SimTime,
+        buffer_id: u32,
+        frame: &TcpFrame,
+        fwd_match: Match,
+        fwd_actions: Vec<Action>,
+        rev_match: Match,
+        rev_actions: Vec<Action>,
+    ) -> Vec<OutboundMessage> {
+        let idle = (self.config.switch_flow_idle.as_nanos() / 1_000_000_000) as u16;
+        let mut msgs = Vec::with_capacity(3);
+        // Reverse flow first: when the buffered packet is released through
+        // the forward flow, the reply path must already exist.
+        let x = self.xid();
+        msgs.push(OutboundMessage {
+            at,
+            data: Message::FlowMod {
+                cookie: 2,
+                table_id: 0,
+                command: openflow::messages::FlowModCommand::Add,
+                idle_timeout: idle,
+                hard_timeout: 0,
+                priority: self.config.flow_priority,
+                buffer_id: OFP_NO_BUFFER,
+                flags: 0,
+                match_: rev_match,
+                instructions: vec![Instruction::ApplyActions(rev_actions)],
+            }
+            .encode(x),
+        });
+        let x = self.xid();
+        msgs.push(OutboundMessage {
+            at,
+            data: Message::FlowMod {
+                cookie: 1,
+                table_id: 0,
+                command: openflow::messages::FlowModCommand::Add,
+                idle_timeout: idle,
+                hard_timeout: 0,
+                priority: self.config.flow_priority,
+                buffer_id,
+                flags: OFPFF_SEND_FLOW_REM,
+                match_: fwd_match,
+                instructions: vec![Instruction::ApplyActions(fwd_actions.clone())],
+            }
+            .encode(x),
+        });
+        if buffer_id == OFP_NO_BUFFER {
+            // Nothing buffered: re-inject the original packet ourselves.
+            let x = self.xid();
+            msgs.push(OutboundMessage {
+                at,
+                data: Message::PacketOut {
+                    buffer_id: OFP_NO_BUFFER,
+                    in_port: 0,
+                    actions: fwd_actions,
+                    data: frame.encode(),
+                }
+                .encode(x),
+            });
+        }
+        msgs
+    }
+
+    /// Proactively deploys a service (prediction-driven, Sections I/VII):
+    /// ensures an instance exists on the nearest cluster without a client
+    /// request. Returns the instant the instance will be ready, or `None`
+    /// if the service is unknown or already deployed/starting.
+    pub fn proactive_deploy(
+        &mut self,
+        addr: ServiceAddr,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
+        let svc = self.services.get(addr)?.clone();
+        let idx = (0..self.clusters.len()).min_by_key(|&i| self.clusters[i].latency())?;
+        let cluster = &mut self.clusters[idx];
+        let mut t = now;
+        match cluster.state(&svc, now) {
+            crate::cluster::InstanceState::Ready(_)
+            | crate::cluster::InstanceState::Starting { .. } => None,
+            crate::cluster::InstanceState::NotDeployed => {
+                if !cluster.has_image_cached(&svc) {
+                    t = cluster.pull(&svc, t, rng);
+                }
+                t = cluster.create(&svc, t, rng);
+                let (_, ready) = cluster.scale_up(&svc, t, rng);
+                (ready != SimTime::MAX).then_some(ready)
+            }
+            crate::cluster::InstanceState::Created => {
+                let (_, ready) = cluster.scale_up(&svc, t, rng);
+                (ready != SimTime::MAX).then_some(ready)
+            }
+        }
+    }
+
+    /// Periodic idle sweep: expires FlowMemory entries and scales down
+    /// services whose last flow vanished. Returns what was scaled down.
+    pub fn tick(&mut self, now: SimTime, rng: &mut SimRng) -> Vec<ScaleDownEvent> {
+        let mut events = Vec::new();
+        if !self.config.scale_down_idle {
+            self.memory.expire(now);
+            return events;
+        }
+        for (svc_addr, cluster_idx) in self.memory.expire(now) {
+            let Some(svc) = self.services.get(svc_addr).cloned() else {
+                continue;
+            };
+            if cluster_idx < self.clusters.len() {
+                self.clusters[cluster_idx].scale_down(&svc, now, rng);
+                self.scaled_down.insert((svc_addr, cluster_idx), now);
+                events.push(ScaleDownEvent {
+                    at: now,
+                    service: svc_addr,
+                    cluster: self.clusters[cluster_idx].name().to_owned(),
+                    action: LifecycleAction::ScaleDown,
+                });
+            }
+        }
+        // The Remove phase: services down long enough are deleted entirely.
+        if let Some(after) = self.config.remove_after {
+            let due: Vec<(ServiceAddr, usize)> = self
+                .scaled_down
+                .iter()
+                .filter(|(_, &t)| now.saturating_since(t) >= after)
+                .map(|(&k, _)| k)
+                .collect();
+            for (svc_addr, cluster_idx) in due {
+                self.scaled_down.remove(&(svc_addr, cluster_idx));
+                let Some(svc) = self.services.get(svc_addr).cloned() else {
+                    continue;
+                };
+                if cluster_idx >= self.clusters.len() {
+                    continue;
+                }
+                // Redeployed in the meantime? Then it is not removable.
+                if matches!(
+                    self.clusters[cluster_idx].state(&svc, now),
+                    crate::cluster::InstanceState::Created
+                ) {
+                    self.clusters[cluster_idx].remove(&svc, now, rng);
+                    events.push(ScaleDownEvent {
+                        at: now,
+                        service: svc_addr,
+                        cluster: self.clusters[cluster_idx].name().to_owned(),
+                        action: LifecycleAction::Remove,
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    /// Earliest instant the next `tick` could have work.
+    pub fn next_tick_at(&self) -> Option<SimTime> {
+        let removal = self.config.remove_after.and_then(|after| {
+            self.scaled_down.values().map(|&t| t + after).min()
+        });
+        match (self.memory.next_expiry(), removal) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate_deployment;
+    use crate::cluster::DockerCluster;
+    use crate::scheduler::ProximityScheduler;
+    use dockersim::DockerEngine;
+    use netsim::addr::MacAddr;
+    use netsim::TcpFlags;
+    use ovs::{Effect, Switch, SwitchConfig};
+
+    const CLIENT_PORT: u32 = 1;
+    const EDGE_PORT: u32 = 2;
+    const CLOUD_PORT: u32 = 3;
+
+    fn make_service(key: &str, port: u16) -> EdgeService {
+        let profile = containerd::ServiceSet::by_key(key).unwrap();
+        let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), port);
+        let yaml = format!(
+            "spec:\n  template:\n    spec:\n      containers:\n        - name: main\n          image: {}\n          ports:\n            - containerPort: {}\n",
+            profile.manifests[0].reference, profile.listen_port
+        );
+        let annotated = annotate_deployment(&yaml, addr, None).unwrap();
+        EdgeService {
+            addr,
+            name: annotated.service_name.clone(),
+            annotated,
+            profile,
+        }
+    }
+
+    fn setup(rng: &mut SimRng) -> (Controller, Switch) {
+        let mut engine = DockerEngine::with_defaults();
+        engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, rng);
+        let cluster = DockerCluster::new(
+            "edge-docker",
+            engine,
+            MacAddr::from_id(200),
+            Ipv4Addr::new(10, 0, 0, 10),
+            Duration::from_micros(150),
+        );
+        let mut ctl = Controller::new(
+            Box::<ProximityScheduler>::default(),
+            PortMap {
+                cluster_ports: HashMap::new(),
+                cloud_port: CLOUD_PORT,
+            },
+            ControllerConfig::default(),
+        );
+        ctl.add_cluster(Box::new(cluster), EDGE_PORT);
+        ctl.register_service(make_service("asm", 80));
+        let sw = Switch::new(SwitchConfig {
+            datapath_id: 1,
+            n_buffers: 64,
+            miss_send_len: 0xffff,
+            ports: vec![CLIENT_PORT, EDGE_PORT, CLOUD_PORT],
+        });
+        (ctl, sw)
+    }
+
+    fn client_syn(src_port: u16) -> TcpFrame {
+        TcpFrame::syn(
+            MacAddr::from_id(1),
+            MacAddr::from_id(99), // perceived cloud gateway
+            Ipv4Addr::new(192, 168, 1, 20),
+            src_port,
+            ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+        )
+    }
+
+    /// Full round: client SYN → switch miss → controller → deployment →
+    /// flows installed → buffered packet released toward the edge, rewritten.
+    #[test]
+    fn end_to_end_on_demand_with_waiting() {
+        let mut rng = SimRng::new(1);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        let t0 = SimTime::from_secs(1);
+
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else {
+            panic!("expected packet-in");
+        };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        assert_eq!(out.len(), 2, "reverse + forward flow (buffered packet)");
+        let answered = out[0].at;
+        assert!(answered > t0, "with waiting: answered later");
+        assert!(answered - t0 < Duration::from_secs(1), "sub-second for cached asm");
+
+        // Deliver the flow mods to the switch at their scheduled time.
+        let mut forwards = Vec::new();
+        for m in &out {
+            forwards.extend(sw.handle_controller(m.at, &m.data).unwrap());
+        }
+        // The buffered SYN was released, rewritten toward the edge instance.
+        let fwd = forwards
+            .iter()
+            .find_map(|e| match e {
+                Effect::Forward { port, data } => Some((*port, data.clone())),
+                _ => None,
+            })
+            .expect("buffered packet released");
+        assert_eq!(fwd.0, EDGE_PORT);
+        let f = TcpFrame::decode(&fwd.1).unwrap();
+        assert_eq!(f.dst_ip, Ipv4Addr::new(10, 0, 0, 10));
+        assert_eq!(f.dst_port, 31000);
+        assert_eq!(f.dst_mac, MacAddr::from_id(200));
+        assert_eq!(f.src_ip, Ipv4Addr::new(192, 168, 1, 20), "client src kept");
+
+        // Server reply is rewritten back to the cloud address (reverse flow).
+        let reply = f.reply(TcpFlags::SYN_ACK, Vec::new());
+        let effects = sw.handle_frame(answered, EDGE_PORT, &reply.encode());
+        let Effect::Forward { port, data } = &effects[0] else {
+            panic!("reply should flow back: {effects:?}");
+        };
+        assert_eq!(*port, CLIENT_PORT);
+        let r = TcpFrame::decode(data).unwrap();
+        assert_eq!(r.src_ip, Ipv4Addr::new(203, 0, 113, 10), "masqueraded");
+        assert_eq!(r.src_port, 80);
+        assert_eq!(r.dst_mac, MacAddr::from_id(1));
+
+        // Subsequent client packets take the switch fast path (no packet-in).
+        let misses_before = sw.table_misses;
+        let mut ack = client_syn(50000);
+        ack.flags = TcpFlags::ACK;
+        ack.payload = b"GET / HTTP/1.1\r\n\r\n".to_vec();
+        let effects = sw.handle_frame(answered + Duration::from_millis(1), CLIENT_PORT, &ack.encode());
+        assert!(matches!(effects[0], Effect::Forward { port: EDGE_PORT, .. }));
+        assert_eq!(sw.table_misses, misses_before);
+
+        // Controller recorded the request as Waited with phase data.
+        assert_eq!(ctl.records.len(), 1);
+        let rec = &ctl.records[0];
+        assert_eq!(rec.kind, RequestKind::Waited);
+        assert!(rec.phases.wait_time().is_some());
+        assert_eq!(rec.cluster, Some(0));
+    }
+
+    #[test]
+    fn second_connection_is_memory_hit_and_fast() {
+        let mut rng = SimRng::new(2);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        let answered = out[0].at;
+        for m in &out {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+
+        // New connection (different src port) later: flows for it are new,
+        // but the FlowMemory answers instantly — no deployment.
+        let t1 = answered + Duration::from_secs(5);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &client_syn(50001).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap();
+        assert!(out[0].at - t1 < Duration::from_millis(20), "instant answer");
+        assert_eq!(ctl.records[1].kind, RequestKind::MemoryHit);
+    }
+
+    #[test]
+    fn unregistered_service_goes_to_cloud() {
+        let mut rng = SimRng::new(3);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        let mut frame = client_syn(50000);
+        frame.dst_port = 443; // not registered
+        let effects = sw.handle_frame(SimTime::from_secs(1), CLIENT_PORT, &frame.encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl
+            .handle_switch_message(SimTime::from_secs(1), pkt_in, &mut rng)
+            .unwrap();
+        let mut released = Vec::new();
+        for m in &out {
+            released.extend(sw.handle_controller(m.at, &m.data).unwrap());
+        }
+        let Effect::Forward { port, data } = &released[0] else {
+            panic!("expected forward: {released:?}")
+        };
+        assert_eq!(*port, CLOUD_PORT);
+        // Untouched: still addressed to the original destination.
+        let f = TcpFrame::decode(data).unwrap();
+        assert_eq!(f.dst_port, 443);
+        assert_eq!(ctl.records[0].kind, RequestKind::Unregistered);
+    }
+
+    #[test]
+    fn idle_sweep_scales_down_and_next_request_redeploys() {
+        let mut rng = SimRng::new(4);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        let answered = out[0].at;
+        assert_eq!(ctl.memory().len(), 1);
+
+        // Idle past the memory timeout: service gets scaled down.
+        let idle_at = answered + Duration::from_secs(61);
+        let events = ctl.tick(idle_at, &mut rng);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].cluster, "edge-docker");
+        assert!(ctl.memory().is_empty());
+
+        // Next request must deploy again (Waited, not MemoryHit).
+        let t1 = idle_at + Duration::from_secs(5);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &client_syn(50002).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap();
+        assert_eq!(ctl.records[1].kind, RequestKind::Waited);
+    }
+
+    #[test]
+    fn echo_and_bootstrap() {
+        let mut rng = SimRng::new(5);
+        let (mut ctl, _) = setup(&mut rng);
+        let boot = ctl.bootstrap();
+        assert_eq!(boot.len(), 2);
+        let (_, m, _) = Message::decode(&boot[0].data).unwrap();
+        assert_eq!(m, Message::Hello);
+        let out = ctl
+            .handle_switch_message(
+                SimTime::ZERO,
+                &Message::EchoRequest(b"ka".to_vec()).encode(7),
+                &mut rng,
+            )
+            .unwrap();
+        let (_, m, _) = Message::decode(&out[0].data).unwrap();
+        assert_eq!(m, Message::EchoReply(b"ka".to_vec()));
+    }
+
+    #[test]
+    fn flow_stats_round_trip_through_the_switch() {
+        let mut rng = SimRng::new(8);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        // Deploy + install flows for one connection.
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        for m in &out {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        // Query stats and feed the reply back.
+        let q = ctl.request_flow_stats(SimTime::from_secs(5));
+        let effects = sw.handle_controller(q.at, &q.data).unwrap();
+        let Effect::ToController(reply) = &effects[0] else { panic!() };
+        ctl.handle_switch_message(SimTime::from_secs(5), reply, &mut rng)
+            .unwrap();
+        let stats = ctl.last_flow_stats.as_ref().expect("stats recorded");
+        assert_eq!(stats.len(), 2, "forward + reverse flow");
+        assert!(stats.iter().any(|f| f.cookie == 1));
+        assert!(stats.iter().any(|f| f.cookie == 2));
+    }
+
+    #[test]
+    fn switch_errors_are_recorded() {
+        let mut rng = SimRng::new(9);
+        let (mut ctl, _) = setup(&mut rng);
+        let err = Message::Error {
+            error_type: openflow::messages::ErrorType::FlowModFailed,
+            code: 6,
+            data: vec![1, 2, 3],
+        };
+        ctl.handle_switch_message(SimTime::ZERO, &err.encode(4), &mut rng)
+            .unwrap();
+        assert_eq!(
+            ctl.switch_errors,
+            vec![(openflow::messages::ErrorType::FlowModFailed, 6)]
+        );
+    }
+
+    #[test]
+    fn client_mobility_flushes_memory_and_reschedules() {
+        let mut rng = SimRng::new(10);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        let t0 = SimTime::from_secs(1);
+        // First request from port 1.
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        let answered = out[0].at;
+        assert_eq!(ctl.memory().len(), 1);
+        assert_eq!(ctl.clients.location(Ipv4Addr::new(192, 168, 1, 20)), Some(CLIENT_PORT));
+
+        // Same client shows up on a *different* ingress port (mobility):
+        // its memorized flows must be flushed and the request rescheduled.
+        let t1 = answered + Duration::from_secs(3);
+        let effects = sw.handle_frame(t1, CLOUD_PORT, &client_syn(50001).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap();
+        assert_eq!(ctl.clients.moves().len(), 1);
+        assert_eq!(ctl.clients.location(Ipv4Addr::new(192, 168, 1, 20)), Some(CLOUD_PORT));
+        // Rescheduled (Redirect via scheduler), not a memory hit.
+        assert_eq!(ctl.records[1].kind, RequestKind::Redirect);
+    }
+
+    #[test]
+    fn remove_phase_deletes_after_grace_period() {
+        let mut rng = SimRng::new(11);
+        let mut engine = DockerEngine::with_defaults();
+        engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, &mut rng);
+        let cluster = DockerCluster::new(
+            "edge-docker",
+            engine,
+            MacAddr::from_id(200),
+            Ipv4Addr::new(10, 0, 0, 10),
+            Duration::from_micros(150),
+        );
+        let mut ctl = Controller::new(
+            Box::<ProximityScheduler>::default(),
+            PortMap { cluster_ports: HashMap::new(), cloud_port: CLOUD_PORT },
+            ControllerConfig {
+                memory_idle: Duration::from_secs(20),
+                remove_after: Duration::from_secs(30).into(),
+                ..ControllerConfig::default()
+            },
+        );
+        ctl.add_cluster(Box::new(cluster), EDGE_PORT);
+        ctl.register_service(make_service("asm", 80));
+        let mut sw = Switch::new(SwitchConfig {
+            datapath_id: 1,
+            n_buffers: 64,
+            miss_send_len: 0xffff,
+            ports: vec![CLIENT_PORT, EDGE_PORT, CLOUD_PORT],
+        });
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+
+        // Idle sweep at t=25: scale-down only.
+        let ev = ctl.tick(SimTime::from_secs(25), &mut rng);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].action, LifecycleAction::ScaleDown);
+        let svc = ctl.services().get(ev[0].service).cloned().unwrap();
+        assert!(matches!(
+            ctl.cluster(0).state(&svc, SimTime::from_secs(26)),
+            crate::cluster::InstanceState::Created
+        ));
+        // next_tick_at points at the pending removal.
+        assert_eq!(ctl.next_tick_at(), Some(SimTime::from_secs(55)));
+
+        // Sweep past the grace period: removed entirely.
+        let ev = ctl.tick(SimTime::from_secs(56), &mut rng);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].action, LifecycleAction::Remove);
+        assert!(matches!(
+            ctl.cluster(0).state(&svc, SimTime::from_secs(57)),
+            crate::cluster::InstanceState::NotDeployed
+        ));
+        // The next request redeploys through the full Create + Scale Up.
+        let t1 = SimTime::from_secs(60);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &client_syn(50002).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap();
+        let rec = ctl.records.last().unwrap();
+        assert_eq!(rec.kind, RequestKind::Waited);
+        assert!(rec.phases.create_done.is_some(), "create ran again");
+    }
+
+    #[test]
+    fn flow_removed_is_counted() {
+        let mut rng = SimRng::new(6);
+        let (mut ctl, _) = setup(&mut rng);
+        let fr = Message::FlowRemoved {
+            cookie: 1,
+            priority: 100,
+            reason: openflow::messages::RemovedReason::IdleTimeout,
+            table_id: 0,
+            duration_sec: 10,
+            duration_nsec: 0,
+            idle_timeout: 10,
+            hard_timeout: 0,
+            packet_count: 5,
+            byte_count: 500,
+            match_: Match::any(),
+        };
+        ctl.handle_switch_message(SimTime::ZERO, &fr.encode(9), &mut rng)
+            .unwrap();
+        assert_eq!(ctl.flows_removed, 1);
+    }
+}

@@ -1,0 +1,486 @@
+//! The Dispatcher (Fig. 7): gathers instances, consults the Global
+//! Scheduler, and drives the deployment phases.
+//!
+//! For every table-miss request to a registered service:
+//!
+//! 1. the FlowMemory is checked — a memorized flow short-circuits everything;
+//! 2. otherwise the Dispatcher gathers existing/running instances across all
+//!    clusters and passes them to the Global Scheduler;
+//! 3. the scheduler's **BEST** choice (if different from FAST) is deployed in
+//!    the background (*without waiting*, Fig. 3);
+//! 4. the **FAST** choice serves the current request: immediately if ready,
+//!    after on-demand deployment *with waiting* (Fig. 5) otherwise, or the
+//!    request is forwarded toward the cloud when FAST is empty.
+//!
+//! Readiness is discovered by port polling: after triggering Scale Up the
+//! controller repeatedly probes the service port and only installs the
+//! redirect flows once the port answers (Section VI).
+
+use crate::cluster::{EdgeCluster, InstanceAddr, InstanceState};
+use crate::flowmemory::{FlowKey, FlowMemory};
+use crate::scheduler::{ClusterView, GlobalScheduler};
+use crate::service::EdgeService;
+use desim::{Duration, SimRng, SimTime};
+use netsim::addr::Ipv4Addr;
+
+/// Timing breakdown of one dispatch, for the evaluation harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Pull phase completion (if a pull ran).
+    pub pull_done: Option<SimTime>,
+    /// Create phase completion (if a create ran).
+    pub create_done: Option<SimTime>,
+    /// Scale-up issued at.
+    pub scale_up_at: Option<SimTime>,
+    /// Scale-up API call returned (Docker: `docker start` done; K8s: scale
+    /// acknowledged). Port polling begins here.
+    pub scale_up_done: Option<SimTime>,
+    /// Instance actually ready (app accepting connections).
+    pub instance_ready: Option<SimTime>,
+    /// First successful port probe (flows can be installed from here).
+    pub port_confirmed: Option<SimTime>,
+}
+
+impl PhaseTimes {
+    /// The readiness wait the controller observed: from the scale-up command
+    /// *returning* until the port probe succeeded (the quantity of
+    /// Figs. 14/15 — "our SDN controller continuously tests whether the
+    /// respective port is open").
+    pub fn wait_time(&self) -> Option<Duration> {
+        Some(self.port_confirmed?.saturating_since(self.scale_up_done?))
+    }
+}
+
+/// The outcome of dispatching one request.
+#[derive(Clone, Debug)]
+pub enum DispatchDecision {
+    /// Redirect immediately (instance ready or flow memorized).
+    Redirect {
+        /// Target instance.
+        instance: InstanceAddr,
+        /// Cluster index.
+        cluster: usize,
+    },
+    /// On-demand deployment **with waiting**: hold the request, redirect at
+    /// `ready_at`.
+    WaitThenRedirect {
+        /// Target instance.
+        instance: InstanceAddr,
+        /// Cluster index.
+        cluster: usize,
+        /// When the redirect can be installed (first successful port probe).
+        ready_at: SimTime,
+    },
+    /// Forward the request toward the cloud.
+    ForwardToCloud,
+}
+
+/// A background (BEST-choice) deployment triggered alongside the decision.
+#[derive(Clone, Copy, Debug)]
+pub struct BackgroundDeployment {
+    /// Cluster index being deployed to.
+    pub cluster: usize,
+    /// When that instance will be ready.
+    pub ready_at: SimTime,
+}
+
+/// Full dispatch result.
+#[derive(Clone, Debug)]
+pub struct DispatchOutcome {
+    /// What happens to the current request.
+    pub decision: DispatchDecision,
+    /// Parallel deployment for future requests, if any.
+    pub background: Option<BackgroundDeployment>,
+    /// Phase timing of the foreground deployment (when one ran).
+    pub phases: PhaseTimes,
+    /// Whether the FlowMemory answered (no scheduling happened).
+    pub from_memory: bool,
+}
+
+/// The Dispatcher component.
+pub struct Dispatcher {
+    scheduler: Box<dyn GlobalScheduler>,
+    /// Port-probe interval for readiness polling.
+    poll_interval: Duration,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with the given Global Scheduler and port-poll
+    /// interval.
+    pub fn new(scheduler: Box<dyn GlobalScheduler>, poll_interval: Duration) -> Dispatcher {
+        assert!(!poll_interval.is_zero(), "poll interval must be positive");
+        Dispatcher {
+            scheduler,
+            poll_interval,
+        }
+    }
+
+    /// The active scheduler's name.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// Swaps the Global Scheduler (the controller's dynamic configuration).
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn GlobalScheduler>) {
+        self.scheduler = scheduler;
+    }
+
+    /// Dispatches one request from `client_ip` to `svc` (Fig. 7).
+    pub fn dispatch(
+        &mut self,
+        svc: &EdgeService,
+        client_ip: Ipv4Addr,
+        now: SimTime,
+        clusters: &mut [Box<dyn EdgeCluster>],
+        memory: &mut FlowMemory,
+        rng: &mut SimRng,
+    ) -> DispatchOutcome {
+        let key = FlowKey {
+            client_ip,
+            service: svc.addr,
+        };
+
+        // 1. Memorized flow? Verify the instance still serves.
+        if let Some(flow) = memory.lookup(key, now) {
+            if flow.cluster < clusters.len()
+                && clusters[flow.cluster].state(svc, now).is_ready()
+            {
+                return DispatchOutcome {
+                    decision: DispatchDecision::Redirect {
+                        instance: flow.instance,
+                        cluster: flow.cluster,
+                    },
+                    background: None,
+                    phases: PhaseTimes::default(),
+                    from_memory: true,
+                };
+            }
+            // Instance vanished (scaled down elsewhere): forget and reschedule.
+            memory.forget_service(svc.addr);
+        }
+
+        // 2. Gather views and consult the Global Scheduler.
+        let views: Vec<ClusterView> = clusters
+            .iter()
+            .map(|c| ClusterView {
+                name: c.name().to_owned(),
+                kind: c.kind(),
+                distance: c.latency(),
+                image_cached: c.has_image_cached(svc),
+                state: c.state(svc, now),
+                load: c.load(),
+            })
+            .collect();
+        let choice = self.scheduler.choose(&views);
+
+        // 3. BEST ≠ FAST: deploy in the background (without waiting).
+        let background = match choice.best {
+            Some(b) if choice.best != choice.fast => {
+                let mut phases = PhaseTimes::default();
+                let ready_at = self.ensure_ready(svc, b, now, clusters, &mut phases, rng);
+                Some(BackgroundDeployment {
+                    cluster: b,
+                    ready_at,
+                })
+            }
+            _ => None,
+        };
+
+        // 4. FAST serves the current request.
+        let Some(f) = choice.fast else {
+            return DispatchOutcome {
+                decision: DispatchDecision::ForwardToCloud,
+                background,
+                phases: PhaseTimes::default(),
+                from_memory: false,
+            };
+        };
+
+        if let InstanceState::Ready(instance) = clusters[f].state(svc, now) {
+            memory.memorize(key, instance, f, now);
+            return DispatchOutcome {
+                decision: DispatchDecision::Redirect {
+                    instance,
+                    cluster: f,
+                },
+                background,
+                phases: PhaseTimes::default(),
+                from_memory: false,
+            };
+        }
+
+        // On-demand deployment with waiting.
+        let mut phases = PhaseTimes::default();
+        let ready_at = self.ensure_ready(svc, f, now, clusters, &mut phases, rng);
+        if ready_at == SimTime::MAX {
+            // Deployment cannot complete (e.g. unschedulable): fall back.
+            return DispatchOutcome {
+                decision: DispatchDecision::ForwardToCloud,
+                background,
+                phases,
+                from_memory: false,
+            };
+        }
+        let instance = clusters[f]
+            .instance_addr(svc)
+            .expect("deployed instance has an address");
+        memory.memorize(key, instance, f, ready_at);
+        DispatchOutcome {
+            decision: DispatchDecision::WaitThenRedirect {
+                instance,
+                cluster: f,
+                ready_at,
+            },
+            background,
+            phases,
+            from_memory: false,
+        }
+    }
+
+    /// Drives the missing phases on `cluster` until the instance is ready;
+    /// returns the first successful port-probe instant ([`SimTime::MAX`] if
+    /// the deployment cannot complete).
+    fn ensure_ready(
+        &self,
+        svc: &EdgeService,
+        cluster: usize,
+        now: SimTime,
+        clusters: &mut [Box<dyn EdgeCluster>],
+        phases: &mut PhaseTimes,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let c = &mut clusters[cluster];
+        let mut t = now;
+        let ready_at = match c.state(svc, now) {
+            InstanceState::Ready(_) => now,
+            InstanceState::Starting { ready_at } => ready_at,
+            InstanceState::NotDeployed => {
+                if !c.has_image_cached(svc) {
+                    t = c.pull(svc, t, rng);
+                    phases.pull_done = Some(t);
+                }
+                t = c.create(svc, t, rng);
+                phases.create_done = Some(t);
+                phases.scale_up_at = Some(t);
+                let (done, ready) = c.scale_up(svc, t, rng);
+                phases.scale_up_done = Some(done);
+                ready
+            }
+            InstanceState::Created => {
+                // Images were necessarily pulled before create.
+                phases.scale_up_at = Some(t);
+                let (done, ready) = c.scale_up(svc, t, rng);
+                phases.scale_up_done = Some(done);
+                ready
+            }
+        };
+        if ready_at == SimTime::MAX {
+            return SimTime::MAX;
+        }
+        phases.instance_ready = Some(ready_at);
+        // Port polling: probes run every `poll_interval` from the moment the
+        // scale-up command returned (or from `now` when no deployment ran);
+        // the first probe at or after readiness confirms.
+        let base = phases.scale_up_done.unwrap_or(now).max(now);
+        let ready_for_poll = ready_at.max(base);
+        let confirmed = next_poll_at(base, ready_for_poll, self.poll_interval);
+        phases.port_confirmed = Some(confirmed);
+        confirmed
+    }
+}
+
+/// First poll tick at or after `ready`, with ticks at `base + k*interval`
+/// (k ≥ 1; the probe right at scale-up would always fail).
+fn next_poll_at(base: SimTime, ready: SimTime, interval: Duration) -> SimTime {
+    debug_assert!(ready >= base);
+    let gap = ready.saturating_since(base).as_nanos();
+    let step = interval.as_nanos().max(1);
+    let k = gap.div_ceil(step).max(1);
+    base + Duration::from_nanos(k * step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate_deployment;
+    use crate::cluster::DockerCluster;
+    use crate::scheduler::{LatencyAwareScheduler, ProximityScheduler};
+    use dockersim::DockerEngine;
+    use netsim::addr::MacAddr;
+    use netsim::ServiceAddr;
+
+    fn make_service(key: &str) -> EdgeService {
+        let profile = containerd::ServiceSet::by_key(key).unwrap();
+        let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80);
+        let yaml = format!(
+            "spec:\n  template:\n    spec:\n      containers:\n        - name: main\n          image: {}\n          ports:\n            - containerPort: {}\n",
+            profile.manifests[0].reference, profile.listen_port
+        );
+        let annotated = annotate_deployment(&yaml, addr, None).unwrap();
+        EdgeService {
+            addr,
+            name: annotated.service_name.clone(),
+            annotated,
+            profile,
+        }
+    }
+
+    fn docker(name: &str, id: u32, latency_us: u64, cached: bool, rng: &mut SimRng) -> Box<dyn EdgeCluster> {
+        let mut engine = DockerEngine::with_defaults();
+        if cached {
+            engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, rng);
+        }
+        Box::new(DockerCluster::new(
+            name,
+            engine,
+            MacAddr::from_id(id),
+            Ipv4Addr::new(10, 0, id as u8, 1),
+            Duration::from_micros(latency_us),
+        ))
+    }
+
+    fn dispatcher(sched: Box<dyn GlobalScheduler>) -> Dispatcher {
+        Dispatcher::new(sched, Duration::from_millis(25))
+    }
+
+    #[test]
+    fn with_waiting_deploys_on_nearest_and_waits() {
+        let mut rng = SimRng::new(1);
+        let svc = make_service("asm");
+        let mut clusters = vec![docker("near", 1, 100, true, &mut rng)];
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<ProximityScheduler>::default());
+
+        let now = SimTime::from_secs(1);
+        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        assert!(!out.from_memory);
+        let DispatchDecision::WaitThenRedirect { ready_at, cluster, .. } = out.decision else {
+            panic!("expected with-waiting: {:?}", out.decision);
+        };
+        assert_eq!(cluster, 0);
+        // Cached asm on Docker: waiting stays sub-second ("as low as 0.5 s").
+        assert!(ready_at - now < Duration::from_secs(1), "{}", ready_at - now);
+        // Phases: no pull (cached), but create + scale-up + port confirm.
+        assert!(out.phases.pull_done.is_none());
+        assert!(out.phases.create_done.is_some());
+        assert!(out.phases.port_confirmed.unwrap() >= out.phases.instance_ready.unwrap());
+        // Port probes are discretized to the poll grid (based at the
+        // scale-up command's return).
+        let base = out.phases.scale_up_done.unwrap();
+        let gap = out.phases.port_confirmed.unwrap().saturating_since(base).as_nanos();
+        assert_eq!(gap % Duration::from_millis(25).as_nanos(), 0);
+
+        // Second request from the same client: memorized, immediate.
+        let later = ready_at + Duration::from_secs(1);
+        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), later, &mut clusters, &mut memory, &mut rng);
+        assert!(out2.from_memory);
+        assert!(matches!(out2.decision, DispatchDecision::Redirect { .. }));
+    }
+
+    #[test]
+    fn without_waiting_serves_from_far_and_deploys_near() {
+        let mut rng = SimRng::new(2);
+        let svc = make_service("asm");
+        // Far cluster already runs the service; near is empty.
+        let mut clusters = vec![
+            docker("far", 1, 900, true, &mut rng),
+            docker("near", 2, 100, true, &mut rng),
+        ];
+        // Pre-deploy on far.
+        let t0 = SimTime::ZERO;
+        let t = clusters[0].pull(&svc, t0, &mut rng);
+        let t = clusters[0].create(&svc, t, &mut rng);
+        let (_, far_ready) = clusters[0].scale_up(&svc, t, &mut rng);
+
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<LatencyAwareScheduler>::default());
+        let now = far_ready + Duration::from_secs(1);
+        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        // Current request: immediate redirect to the far instance.
+        let DispatchDecision::Redirect { cluster, .. } = out.decision else {
+            panic!("expected immediate redirect: {:?}", out.decision);
+        };
+        assert_eq!(cluster, 0);
+        // Background: near cluster deploying.
+        let bg = out.background.expect("background deployment");
+        assert_eq!(bg.cluster, 1);
+        assert!(bg.ready_at > now);
+
+        // After the near instance is up, a *new* client is redirected there.
+        let later = bg.ready_at + Duration::from_secs(1);
+        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 21), later, &mut clusters, &mut memory, &mut rng);
+        let DispatchDecision::Redirect { cluster, .. } = out2.decision else {
+            panic!("expected redirect: {:?}", out2.decision);
+        };
+        assert_eq!(cluster, 1, "future requests go to the optimal edge");
+        assert!(out2.background.is_none());
+    }
+
+    #[test]
+    fn nothing_running_without_waiting_goes_to_cloud() {
+        let mut rng = SimRng::new(3);
+        let svc = make_service("asm");
+        let mut clusters = vec![docker("near", 1, 100, true, &mut rng)];
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<LatencyAwareScheduler>::default());
+        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), SimTime::ZERO, &mut clusters, &mut memory, &mut rng);
+        assert!(matches!(out.decision, DispatchDecision::ForwardToCloud));
+        assert!(out.background.is_some(), "deployment still triggered");
+    }
+
+    #[test]
+    fn uncached_image_includes_pull_phase() {
+        let mut rng = SimRng::new(4);
+        let svc = make_service("nginx");
+        let mut clusters = vec![docker("near", 1, 100, false, &mut rng)];
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<ProximityScheduler>::default());
+        let now = SimTime::ZERO;
+        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        let DispatchDecision::WaitThenRedirect { ready_at, .. } = out.decision else {
+            panic!("expected with-waiting");
+        };
+        assert!(out.phases.pull_done.is_some(), "pull phase ran");
+        // Pull pushes the total beyond the cached sub-second band.
+        assert!(ready_at - now > Duration::from_secs(2), "{}", ready_at - now);
+        let wait = out.phases.wait_time().unwrap();
+        assert!(wait < ready_at - now, "wait is a component of the total");
+    }
+
+    #[test]
+    fn second_client_hits_running_instance_without_memory() {
+        let mut rng = SimRng::new(5);
+        let svc = make_service("asm");
+        let mut clusters = vec![docker("near", 1, 100, true, &mut rng)];
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<ProximityScheduler>::default());
+        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), SimTime::ZERO, &mut clusters, &mut memory, &mut rng);
+        let DispatchDecision::WaitThenRedirect { ready_at, .. } = out.decision else {
+            panic!()
+        };
+        // Different client, after readiness: scheduler runs but redirect is
+        // immediate (instance ready), no new deployment.
+        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 99), ready_at + Duration::from_secs(1), &mut clusters, &mut memory, &mut rng);
+        assert!(!out2.from_memory);
+        assert!(matches!(out2.decision, DispatchDecision::Redirect { .. }));
+        assert!(out2.phases.scale_up_at.is_none(), "no deployment phases ran");
+    }
+
+    #[test]
+    fn poll_grid_arithmetic() {
+        let base = SimTime::from_secs(10);
+        let i = Duration::from_millis(25);
+        // Ready exactly at base: first probe still waits one interval.
+        assert_eq!(next_poll_at(base, base, i), base + i);
+        // Ready mid-interval: round up.
+        assert_eq!(
+            next_poll_at(base, base + Duration::from_millis(26), i),
+            base + Duration::from_millis(50)
+        );
+        // Ready exactly on a tick: confirmed on that tick.
+        assert_eq!(
+            next_poll_at(base, base + Duration::from_millis(50), i),
+            base + Duration::from_millis(50)
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! The FlowMemory (Section V).
+//!
+//! The controller does not merely install flows in the switches — it
+//! memorizes them. This allows the *switch* idle timeouts to stay low (small
+//! TCAM tables) while the controller still remembers where a client↔service
+//! pair was redirected, so repeat requests go to the same instance without
+//! rescheduling. Memorized flows themselves carry an idle timeout; expiry
+//! (a) drops stale entries and (b) reports services whose last flow is gone —
+//! the trigger for automatic scale-down of idle edge services.
+
+use crate::cluster::InstanceAddr;
+use desim::{Duration, SimTime};
+use netsim::addr::Ipv4Addr;
+use netsim::ServiceAddr;
+use std::collections::HashMap;
+
+/// Key: one client talking to one registered service.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowKey {
+    /// Client IP.
+    pub client_ip: Ipv4Addr,
+    /// Registered service address.
+    pub service: ServiceAddr,
+}
+
+/// A memorized redirect decision.
+#[derive(Clone, Copy, Debug)]
+pub struct MemorizedFlow {
+    /// Where the flow is redirected.
+    pub instance: InstanceAddr,
+    /// Cluster serving it (index into the controller's cluster list).
+    pub cluster: usize,
+    /// Last time traffic (or a switch flow refresh) touched this entry.
+    pub last_used: SimTime,
+}
+
+/// The controller-side flow memory with idle expiry.
+pub struct FlowMemory {
+    idle_timeout: Duration,
+    flows: HashMap<FlowKey, MemorizedFlow>,
+}
+
+impl FlowMemory {
+    /// Creates a memory whose entries expire after `idle_timeout` without
+    /// traffic.
+    pub fn new(idle_timeout: Duration) -> FlowMemory {
+        FlowMemory {
+            idle_timeout,
+            flows: HashMap::new(),
+        }
+    }
+
+    /// The configured idle timeout.
+    pub fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
+    }
+
+    /// Looks up a memorized flow, refreshing its idle timer on hit.
+    pub fn lookup(&mut self, key: FlowKey, now: SimTime) -> Option<MemorizedFlow> {
+        let flow = self.flows.get_mut(&key)?;
+        if now.saturating_since(flow.last_used) >= self.idle_timeout {
+            // Already stale — treat as absent; `expire` will reap it.
+            return None;
+        }
+        flow.last_used = now;
+        Some(*flow)
+    }
+
+    /// Memorizes (or refreshes) a redirect decision.
+    pub fn memorize(&mut self, key: FlowKey, instance: InstanceAddr, cluster: usize, now: SimTime) {
+        self.flows.insert(
+            key,
+            MemorizedFlow {
+                instance,
+                cluster,
+                last_used: now,
+            },
+        );
+    }
+
+    /// Refreshes the idle timer (e.g. when the switch reports traffic via a
+    /// flow-removed + reinstall cycle).
+    pub fn touch(&mut self, key: FlowKey, now: SimTime) {
+        if let Some(f) = self.flows.get_mut(&key) {
+            f.last_used = now;
+        }
+    }
+
+    /// Forgets all flows of `client` (e.g. after the client moved to a
+    /// different ingress — its redirect decisions are location-dependent).
+    pub fn forget_client(&mut self, client: Ipv4Addr) -> usize {
+        let before = self.flows.len();
+        self.flows.retain(|k, _| k.client_ip != client);
+        before - self.flows.len()
+    }
+
+    /// Forgets all flows toward `service` (e.g. after its instance moved).
+    pub fn forget_service(&mut self, service: ServiceAddr) -> usize {
+        let before = self.flows.len();
+        self.flows.retain(|k, _| k.service != service);
+        before - self.flows.len()
+    }
+
+    /// Removes expired entries; returns the services that now have **zero**
+    /// remaining flows (candidates for scale-down) along with the cluster
+    /// that served them.
+    pub fn expire(&mut self, now: SimTime) -> Vec<(ServiceAddr, usize)> {
+        let timeout = self.idle_timeout;
+        let mut expired: Vec<(ServiceAddr, usize)> = Vec::new();
+        self.flows.retain(|k, f| {
+            let keep = now.saturating_since(f.last_used) < timeout;
+            if !keep {
+                expired.push((k.service, f.cluster));
+            }
+            keep
+        });
+        expired.sort_by_key(|(s, _)| *s);
+        expired.dedup();
+        // Only report services with no remaining live flows.
+        expired
+            .into_iter()
+            .filter(|(svc, _)| !self.flows.keys().any(|k| k.service == *svc))
+            .collect()
+    }
+
+    /// Number of live flows toward `service`.
+    pub fn flows_for(&self, service: ServiceAddr) -> usize {
+        self.flows.keys().filter(|k| k.service == service).count()
+    }
+
+    /// Total memorized flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// `true` if no flows are memorized.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The earliest instant any entry could expire.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .map(|f| f.last_used + self.idle_timeout)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::addr::MacAddr;
+
+    fn key(client: u8, port: u16) -> FlowKey {
+        FlowKey {
+            client_ip: Ipv4Addr::new(192, 168, 1, client),
+            service: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), port),
+        }
+    }
+
+    fn inst(port: u16) -> InstanceAddr {
+        InstanceAddr {
+            mac: MacAddr::from_id(9),
+            ip: Ipv4Addr::new(10, 0, 0, 5),
+            port,
+        }
+    }
+
+    #[test]
+    fn memorize_lookup_touch() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        let k = key(20, 80);
+        assert!(m.lookup(k, SimTime::ZERO).is_none());
+        m.memorize(k, inst(31000), 0, SimTime::ZERO);
+        let f = m.lookup(k, SimTime::from_secs(5)).unwrap();
+        assert_eq!(f.instance.port, 31000);
+        assert_eq!(f.cluster, 0);
+        // Lookup refreshed the timer: still alive at t=14.
+        assert!(m.lookup(k, SimTime::from_secs(14)).is_some());
+    }
+
+    #[test]
+    fn stale_entries_do_not_hit() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        let k = key(20, 80);
+        m.memorize(k, inst(1), 0, SimTime::ZERO);
+        assert!(m.lookup(k, SimTime::from_secs(10)).is_none());
+    }
+
+    #[test]
+    fn expire_reports_idle_services_once_empty() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        // Two clients on service :80, one on :81.
+        m.memorize(key(20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key(21, 80), inst(1), 0, SimTime::from_secs(8));
+        m.memorize(key(22, 81), inst(2), 1, SimTime::ZERO);
+
+        // t=10: client 20's flow and :81's flow expire; :80 still has client
+        // 21, so only :81 is reported idle.
+        let idle = m.expire(SimTime::from_secs(10));
+        assert_eq!(idle, vec![(ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 81), 1)]);
+        assert_eq!(m.flows_for(key(20, 80).service), 1);
+
+        // t=18: the last :80 flow expires too.
+        let idle = m.expire(SimTime::from_secs(18));
+        assert_eq!(idle.len(), 1);
+        assert_eq!(idle[0].0.port, 80);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn forget_service_drops_all_its_flows() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        m.memorize(key(20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key(21, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key(21, 81), inst(2), 0, SimTime::ZERO);
+        assert_eq!(m.forget_service(key(20, 80).service), 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn next_expiry_is_earliest() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        assert!(m.next_expiry().is_none());
+        m.memorize(key(20, 80), inst(1), 0, SimTime::from_secs(2));
+        m.memorize(key(21, 80), inst(1), 0, SimTime::from_secs(1));
+        assert_eq!(m.next_expiry(), Some(SimTime::from_secs(11)));
+    }
+}

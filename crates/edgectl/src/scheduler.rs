@@ -1,0 +1,288 @@
+//! The Global Scheduler (Section IV-B, Fig. 6).
+//!
+//! The Global Scheduler chooses the appropriate edge **cluster** and returns
+//! two results:
+//!
+//! * **FAST** — the fastest location for the *current* request;
+//! * **BEST** — the best location for *future* requests (empty when equal to
+//!   FAST).
+//!
+//! A non-empty BEST different from FAST is exactly *on-demand deployment
+//! without waiting* (Fig. 3): answer now from FAST, deploy at BEST in
+//! parallel. An empty FAST forwards the request toward the cloud.
+//!
+//! Concrete schedulers are pluggable; [`scheduler_by_name`] mirrors the
+//! reference controller's configuration-driven dynamic loading.
+
+use crate::cluster::InstanceState;
+use desim::Duration;
+
+/// What the scheduler sees about one candidate cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterView {
+    /// Cluster name.
+    pub name: String,
+    /// `"docker"` / `"k8s"`.
+    pub kind: &'static str,
+    /// Distance (one-way latency) from the requesting client's ingress.
+    pub distance: Duration,
+    /// Whether the service's images are cached there.
+    pub image_cached: bool,
+    /// Deployment state of the requested service there.
+    pub state: InstanceState,
+    /// Services currently scaled up (load).
+    pub load: usize,
+}
+
+/// The scheduler's decision: indices into the candidate list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Choice {
+    /// Where to serve the *current* request; `None` = forward to the cloud.
+    pub fast: Option<usize>,
+    /// Where *future* requests should go; `None` = same as FAST.
+    pub best: Option<usize>,
+}
+
+impl Choice {
+    /// `true` if this decision triggers on-demand deployment *without*
+    /// waiting (a BEST differing from FAST).
+    pub fn is_without_waiting(&self) -> bool {
+        self.best.is_some() && self.best != self.fast
+    }
+}
+
+/// A Global Scheduler implementation.
+pub trait GlobalScheduler: Send {
+    /// The name this scheduler is loaded under.
+    fn name(&self) -> &str;
+
+    /// Chooses FAST/BEST for a request. `clusters` is never reordered between
+    /// calls for one controller, so indices are stable.
+    fn choose(&mut self, clusters: &[ClusterView]) -> Choice;
+}
+
+fn nearest(clusters: &[ClusterView], pred: impl Fn(&ClusterView) -> bool) -> Option<usize> {
+    clusters
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| pred(c))
+        .min_by_key(|(_, c)| c.distance)
+        .map(|(i, _)| i)
+}
+
+/// The default scheduler: always serve from the nearest cluster, deploying
+/// there if needed — on-demand deployment **with waiting** (Fig. 5). The
+/// evaluation's primary configuration.
+#[derive(Default)]
+pub struct ProximityScheduler;
+
+impl GlobalScheduler for ProximityScheduler {
+    fn name(&self) -> &str {
+        "proximity"
+    }
+
+    fn choose(&mut self, clusters: &[ClusterView]) -> Choice {
+        Choice {
+            fast: nearest(clusters, |_| true),
+            best: None,
+        }
+    }
+}
+
+/// The low-response-time scheduler: serve the current request from the
+/// nearest cluster that *already has a ready instance* (or the cloud if
+/// none), while deploying at the nearest cluster for future requests —
+/// on-demand deployment **without waiting** (Fig. 3).
+#[derive(Default)]
+pub struct LatencyAwareScheduler;
+
+impl GlobalScheduler for LatencyAwareScheduler {
+    fn name(&self) -> &str {
+        "latency-aware"
+    }
+
+    fn choose(&mut self, clusters: &[ClusterView]) -> Choice {
+        let optimal = nearest(clusters, |_| true);
+        let running = nearest(clusters, |c| c.state.is_ready());
+        match (running, optimal) {
+            // An instance is already running at the optimal spot: done.
+            (Some(r), Some(o)) if r == o => Choice { fast: Some(r), best: None },
+            // Serve from the farther running instance, deploy at the optimum.
+            (Some(r), o) => Choice { fast: Some(r), best: o.filter(|&x| x != r) },
+            // Nothing runs anywhere: current request goes to the cloud while
+            // the optimal edge deploys.
+            (None, o) => Choice { fast: None, best: o },
+        }
+    }
+}
+
+/// Spreads services round-robin over clusters (load-balancing baseline).
+#[derive(Default)]
+pub struct RoundRobinScheduler {
+    next: usize,
+}
+
+impl GlobalScheduler for RoundRobinScheduler {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn choose(&mut self, clusters: &[ClusterView]) -> Choice {
+        if clusters.is_empty() {
+            return Choice { fast: None, best: None };
+        }
+        // Keep serving from a cluster that already runs the instance.
+        if let Some(i) = clusters.iter().position(|c| c.state.is_ready()) {
+            return Choice { fast: Some(i), best: None };
+        }
+        let i = self.next % clusters.len();
+        self.next += 1;
+        Choice { fast: Some(i), best: None }
+    }
+}
+
+/// Section VII's hybrid: answer the first request through a **Docker**
+/// cluster (fast start), while deploying on **Kubernetes** in the background
+/// for automated management of future requests. Once any instance is ready,
+/// the nearest ready one serves — give the K8s cluster a (marginally)
+/// smaller distance to hand steady-state traffic over to it.
+#[derive(Default)]
+pub struct DockerFirstScheduler;
+
+impl GlobalScheduler for DockerFirstScheduler {
+    fn name(&self) -> &str {
+        "docker-first"
+    }
+
+    fn choose(&mut self, clusters: &[ClusterView]) -> Choice {
+        if let Some(r) = nearest(clusters, |c| c.state.is_ready()) {
+            return Choice { fast: Some(r), best: None };
+        }
+        let docker = nearest(clusters, |c| c.kind == "docker");
+        let k8s = nearest(clusters, |c| c.kind == "k8s");
+        match (docker, k8s) {
+            (Some(d), k) => Choice { fast: Some(d), best: k },
+            (None, k) => Choice { fast: k, best: None },
+        }
+    }
+}
+
+/// Never uses the edge: every request goes to the cloud (the no-MEC
+/// baseline the transparent approach is compared against).
+#[derive(Default)]
+pub struct CloudOnlyScheduler;
+
+impl GlobalScheduler for CloudOnlyScheduler {
+    fn name(&self) -> &str {
+        "cloud-only"
+    }
+
+    fn choose(&mut self, _clusters: &[ClusterView]) -> Choice {
+        Choice { fast: None, best: None }
+    }
+}
+
+/// Loads a scheduler by its configured name (the controller's
+/// `scheduler = "..."` configuration key).
+pub fn scheduler_by_name(name: &str) -> Option<Box<dyn GlobalScheduler>> {
+    match name {
+        "proximity" => Some(Box::<ProximityScheduler>::default()),
+        "latency-aware" => Some(Box::<LatencyAwareScheduler>::default()),
+        "round-robin" => Some(Box::<RoundRobinScheduler>::default()),
+        "cloud-only" => Some(Box::<CloudOnlyScheduler>::default()),
+        "docker-first" => Some(Box::<DockerFirstScheduler>::default()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::InstanceAddr;
+    use netsim::addr::{Ipv4Addr, MacAddr};
+
+    fn view(name: &str, us: u64, ready: bool) -> ClusterView {
+        ClusterView {
+            name: name.into(),
+            kind: "docker",
+            distance: Duration::from_micros(us),
+            image_cached: true,
+            state: if ready {
+                InstanceState::Ready(InstanceAddr {
+                    mac: MacAddr::from_id(1),
+                    ip: Ipv4Addr::new(10, 0, 0, 1),
+                    port: 31000,
+                })
+            } else {
+                InstanceState::NotDeployed
+            },
+            load: 0,
+        }
+    }
+
+    #[test]
+    fn proximity_always_picks_nearest() {
+        let mut s = ProximityScheduler;
+        let clusters = [view("far", 500, true), view("near", 100, false)];
+        let c = s.choose(&clusters);
+        assert_eq!(c, Choice { fast: Some(1), best: None });
+        assert!(!c.is_without_waiting());
+        // Empty cluster list → cloud.
+        assert_eq!(s.choose(&[]), Choice { fast: None, best: None });
+    }
+
+    #[test]
+    fn latency_aware_uses_running_far_instance_and_deploys_near() {
+        let mut s = LatencyAwareScheduler;
+        // Near cluster idle, far cluster running: answer from far, deploy near.
+        let clusters = [view("far", 500, true), view("near", 100, false)];
+        let c = s.choose(&clusters);
+        assert_eq!(c, Choice { fast: Some(0), best: Some(1) });
+        assert!(c.is_without_waiting());
+    }
+
+    #[test]
+    fn latency_aware_nothing_running_goes_to_cloud_and_deploys() {
+        let mut s = LatencyAwareScheduler;
+        let clusters = [view("far", 500, false), view("near", 100, false)];
+        let c = s.choose(&clusters);
+        assert_eq!(c, Choice { fast: None, best: Some(1) });
+        assert!(c.is_without_waiting());
+    }
+
+    #[test]
+    fn latency_aware_optimal_already_running_is_terminal() {
+        let mut s = LatencyAwareScheduler;
+        let clusters = [view("far", 500, false), view("near", 100, true)];
+        let c = s.choose(&clusters);
+        assert_eq!(c, Choice { fast: Some(1), best: None });
+        assert!(!c.is_without_waiting());
+    }
+
+    #[test]
+    fn round_robin_rotates_but_sticks_to_running() {
+        let mut s = RoundRobinScheduler::default();
+        let idle = [view("a", 100, false), view("b", 100, false)];
+        assert_eq!(s.choose(&idle).fast, Some(0));
+        assert_eq!(s.choose(&idle).fast, Some(1));
+        assert_eq!(s.choose(&idle).fast, Some(0));
+        let with_running = [view("a", 100, false), view("b", 100, true)];
+        assert_eq!(s.choose(&with_running).fast, Some(1));
+    }
+
+    #[test]
+    fn cloud_only_never_uses_edge() {
+        let mut s = CloudOnlyScheduler;
+        let clusters = [view("near", 100, true)];
+        assert_eq!(s.choose(&clusters), Choice { fast: None, best: None });
+    }
+
+    #[test]
+    fn dynamic_loading_by_name() {
+        for name in ["proximity", "latency-aware", "round-robin", "cloud-only", "docker-first"] {
+            let s = scheduler_by_name(name).unwrap();
+            assert_eq!(s.name(), name);
+        }
+        assert!(scheduler_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! The edge service registry.
+//!
+//! Services are registered with the mobile edge platform provider and
+//! identified by their unique combination of domain name/IP address and port
+//! number (Section II). The registry maps that cloud-facing address to the
+//! deployable artefact: the annotated service definition and its runtime
+//! profile.
+
+use crate::annotate::AnnotatedService;
+use containerd::ServiceProfile;
+use netsim::ServiceAddr;
+use std::collections::BTreeMap;
+
+/// A registered edge service.
+#[derive(Clone, Debug)]
+pub struct EdgeService {
+    /// The cloud address clients use (the registration key).
+    pub addr: ServiceAddr,
+    /// Unique worldwide service name (assigned during annotation).
+    pub name: String,
+    /// The annotated deployment definition.
+    pub annotated: AnnotatedService,
+    /// Runtime/traffic profile (images, readiness, processing model).
+    pub profile: ServiceProfile,
+}
+
+/// The registry of services eligible for transparent edge redirection.
+/// Requests to addresses not present here are forwarded to the cloud
+/// untouched.
+#[derive(Default)]
+pub struct ServiceRegistry {
+    services: BTreeMap<ServiceAddr, EdgeService>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ServiceRegistry {
+        ServiceRegistry::default()
+    }
+
+    /// Registers a service; replaces an existing registration for the same
+    /// address and returns the previous one, if any.
+    pub fn register(&mut self, service: EdgeService) -> Option<EdgeService> {
+        self.services.insert(service.addr, service)
+    }
+
+    /// Removes a registration.
+    pub fn deregister(&mut self, addr: ServiceAddr) -> Option<EdgeService> {
+        self.services.remove(&addr)
+    }
+
+    /// Looks up the service registered at `addr`.
+    pub fn get(&self, addr: ServiceAddr) -> Option<&EdgeService> {
+        self.services.get(&addr)
+    }
+
+    /// `true` if `addr` belongs to a registered edge service.
+    pub fn is_registered(&self, addr: ServiceAddr) -> bool {
+        self.services.contains_key(&addr)
+    }
+
+    /// All registered services in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &EdgeService> {
+        self.services.values()
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate_deployment;
+    use netsim::addr::Ipv4Addr;
+
+    fn service(ip: [u8; 4], port: u16, key: &str) -> EdgeService {
+        let profile = containerd::ServiceSet::by_key(key).unwrap();
+        let addr = ServiceAddr::new(Ipv4Addr(ip), port);
+        let yaml = format!(
+            "spec:\n  template:\n    spec:\n      containers:\n        - name: main\n          image: {}\n",
+            profile.manifests[0].reference
+        );
+        let annotated = annotate_deployment(&yaml, addr, None).unwrap();
+        EdgeService {
+            addr,
+            name: annotated.service_name.clone(),
+            annotated,
+            profile,
+        }
+    }
+
+    #[test]
+    fn register_lookup_deregister() {
+        let mut r = ServiceRegistry::new();
+        assert!(r.is_empty());
+        let svc = service([203, 0, 113, 10], 80, "nginx");
+        let addr = svc.addr;
+        assert!(r.register(svc).is_none());
+        assert!(r.is_registered(addr));
+        assert_eq!(r.get(addr).unwrap().profile.key, "nginx");
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_registered(ServiceAddr::new(Ipv4Addr([203, 0, 113, 10]), 443)));
+        assert!(r.deregister(addr).is_some());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn same_ip_different_port_are_distinct_services() {
+        let mut r = ServiceRegistry::new();
+        r.register(service([203, 0, 113, 10], 80, "nginx"));
+        r.register(service([203, 0, 113, 10], 8501, "resnet"));
+        assert_eq!(r.len(), 2);
+        let keys: Vec<&str> = r.iter().map(|s| s.profile.key).collect();
+        assert_eq!(keys, ["nginx", "resnet"]);
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let mut r = ServiceRegistry::new();
+        r.register(service([203, 0, 113, 10], 80, "nginx"));
+        let old = r.register(service([203, 0, 113, 10], 80, "asm"));
+        assert_eq!(old.unwrap().profile.key, "nginx");
+        assert_eq!(r.get(ServiceAddr::new(Ipv4Addr([203, 0, 113, 10]), 80)).unwrap().profile.key, "asm");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the controller's dispatch logic and FlowMemory.
+
+use desim::{Duration, SimRng, SimTime};
+use edgectl::annotate_deployment;
+use edgectl::cluster::{DockerCluster, EdgeCluster};
+use edgectl::dispatch::{DispatchDecision, Dispatcher};
+use edgectl::flowmemory::{FlowKey, FlowMemory};
+use edgectl::scheduler::scheduler_by_name;
+use edgectl::EdgeService;
+use netsim::addr::{Ipv4Addr, MacAddr};
+use netsim::ServiceAddr;
+use proptest::prelude::*;
+
+fn make_service(port: u16) -> EdgeService {
+    let profile = containerd::ServiceSet::by_key("asm").unwrap();
+    let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), port);
+    let yaml = format!(
+        "spec:\n  template:\n    spec:\n      containers:\n        - image: {}\n          ports:\n            - containerPort: 80\n",
+        profile.manifests[0].reference
+    );
+    let annotated = annotate_deployment(&yaml, addr, None).unwrap();
+    EdgeService {
+        addr,
+        name: annotated.service_name.clone(),
+        annotated,
+        profile,
+    }
+}
+
+fn clusters(n: usize, seed: u64) -> Vec<Box<dyn EdgeCluster>> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let mut engine = dockersim::DockerEngine::with_defaults();
+            engine.pull(
+                &containerd::ServiceSet::by_key("asm").unwrap().manifests,
+                &mut rng,
+            );
+            Box::new(DockerCluster::new(
+                format!("edge-{i}"),
+                engine,
+                MacAddr::from_id(100 + i as u32),
+                Ipv4Addr::new(10, i as u8, 0, 1),
+                Duration::from_micros(100 * (i as u64 + 1)),
+            )) as Box<dyn EdgeCluster>
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the scheduler and request interleaving: once a request was
+    /// dispatched to the edge, *subsequent* requests from the same client to
+    /// the same service never re-deploy while the instance is alive.
+    #[test]
+    fn repeat_dispatches_never_redeploy(
+        scheduler in prop_oneof![Just("proximity"), Just("round-robin")],
+        n_clusters in 1usize..4,
+        gaps in prop::collection::vec(1u64..20, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let svc = make_service(80);
+        let mut cls = clusters(n_clusters, seed);
+        let mut memory = FlowMemory::new(Duration::from_secs(600));
+        let mut d = Dispatcher::new(scheduler_by_name(scheduler).unwrap(), Duration::from_millis(25));
+        let mut rng = SimRng::new(seed ^ 1);
+        let client = Ipv4Addr::new(192, 168, 1, 20);
+
+        let mut now = SimTime::from_secs(1);
+        let first = d.dispatch(&svc, client, now, &mut cls, &mut memory, &mut rng);
+        let ready = match first.decision {
+            DispatchDecision::WaitThenRedirect { ready_at, .. } => ready_at,
+            DispatchDecision::Redirect { .. } => now,
+            DispatchDecision::ForwardToCloud => return Ok(()), // cloud-only path
+        };
+        now = ready;
+        for g in gaps {
+            now += Duration::from_secs(g);
+            let out = d.dispatch(&svc, client, now, &mut cls, &mut memory, &mut rng);
+            prop_assert!(
+                matches!(out.decision, DispatchDecision::Redirect { .. }),
+                "redeployed at {now:?}: {:?}", out.decision
+            );
+            prop_assert!(out.phases.scale_up_at.is_none(), "no new scale-up");
+        }
+    }
+
+    /// Distinct clients to the same service always land on the *same*
+    /// instance while it is alive (the service is deployed once).
+    #[test]
+    fn many_clients_one_instance(
+        n_clients in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let svc = make_service(80);
+        let mut cls = clusters(2, seed);
+        let mut memory = FlowMemory::new(Duration::from_secs(600));
+        let mut d = Dispatcher::new(scheduler_by_name("proximity").unwrap(), Duration::from_millis(25));
+        let mut rng = SimRng::new(seed ^ 2);
+
+        let mut instances = std::collections::HashSet::new();
+        let mut now = SimTime::from_secs(1);
+        for i in 0..n_clients {
+            let client = Ipv4Addr::new(192, 168, 1, 20 + i as u8);
+            let out = d.dispatch(&svc, client, now, &mut cls, &mut memory, &mut rng);
+            match out.decision {
+                DispatchDecision::Redirect { instance, .. } => {
+                    instances.insert((instance.ip, instance.port));
+                }
+                DispatchDecision::WaitThenRedirect { instance, ready_at, .. } => {
+                    instances.insert((instance.ip, instance.port));
+                    now = now.max(ready_at);
+                }
+                DispatchDecision::ForwardToCloud => {
+                    return Err(TestCaseError::fail("unexpected cloud"));
+                }
+            }
+            now += Duration::from_millis(100);
+        }
+        prop_assert_eq!(instances.len(), 1, "one shared instance");
+        prop_assert_eq!(memory.len(), n_clients, "one memorized flow per client");
+    }
+
+    /// FlowMemory expiry is exact: entries live strictly less than the idle
+    /// timeout without traffic, and touching always extends life.
+    #[test]
+    fn flow_memory_expiry_is_exact(
+        timeout_s in 1u64..100,
+        touches in prop::collection::vec(1u64..50, 0..10),
+        seed in any::<u64>(),
+    ) {
+        let timeout = Duration::from_secs(timeout_s);
+        let mut m = FlowMemory::new(timeout);
+        let key = FlowKey {
+            client_ip: Ipv4Addr::new(192, 168, 1, 20),
+            service: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+        };
+        let inst = edgectl::InstanceAddr {
+            mac: MacAddr::from_id(1),
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            port: 31000,
+        };
+        let mut now = SimTime::from_secs(1);
+        m.memorize(key, inst, 0, now);
+        let mut rng = SimRng::new(seed);
+        for t in touches {
+            // Touch strictly within the timeout: entry must survive.
+            let dt = Duration::from_secs(t.min(timeout_s.saturating_sub(1).max(1) )) ;
+            let dt = if dt >= timeout { Duration::from_secs(timeout_s - 1) } else { dt };
+            now += dt;
+            let _ = rng.next_u64();
+            prop_assert!(m.lookup(key, now).is_some(), "alive within timeout");
+        }
+        // One instant before expiry: alive (and refreshed). At a full
+        // timeout after that refresh: gone.
+        let just_before = now + (timeout - Duration::from_nanos(1));
+        prop_assert!(m.lookup(key, just_before).is_some());
+        let at_expiry = just_before + timeout;
+        prop_assert!(m.lookup(key, at_expiry).is_none());
+        let idle = m.expire(at_expiry);
+        prop_assert_eq!(idle.len(), 1);
+        prop_assert!(m.is_empty());
+    }
+}

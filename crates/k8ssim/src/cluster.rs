@@ -1,0 +1,908 @@
+//! The cluster: API server state, controllers, kubelet, reconciliation.
+
+use crate::objects::{
+    selector_matches, Deployment, Endpoints, Pod, PodPhase, ReplicaSet, Service,
+};
+use crate::scheduler::{K8sScheduler, NodeView, SchedulerRegistry};
+use containerd::ContainerdNode;
+use desim::{EventQueue, LogNormal, Sample, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// Control-plane latency model. Each reconciliation arrow pays a watch
+/// reaction; each object mutation pays an API round trip. The defaults are
+/// calibrated so that a cached-image scale-up lands around the paper's ≈3 s
+/// (Fig. 11) versus Docker's sub-second on the same containerd.
+#[derive(Clone, Debug)]
+pub struct K8sTimings {
+    /// One API-server round trip (create/update/bind).
+    pub api_call: LogNormal,
+    /// Watch-notification reaction time of a controller.
+    pub watch_reaction: LogNormal,
+    /// Scheduler queue + scoring + binding latency.
+    pub scheduler_latency: LogNormal,
+    /// Kubelet pod-sync reaction after binding.
+    pub kubelet_reaction: LogNormal,
+    /// Pod sandbox setup: pause container, network namespace, CNI plugin.
+    pub sandbox_setup: LogNormal,
+    /// Endpoints controller propagation after readiness.
+    pub endpoint_propagation: LogNormal,
+}
+
+impl Default for K8sTimings {
+    fn default() -> Self {
+        K8sTimings {
+            api_call: LogNormal::from_median(0.015, 0.30),
+            watch_reaction: LogNormal::from_median(0.090, 0.30),
+            scheduler_latency: LogNormal::from_median(0.250, 0.25),
+            kubelet_reaction: LogNormal::from_median(0.350, 0.25),
+            sandbox_setup: LogNormal::from_median(1.350, 0.20),
+            endpoint_propagation: LogNormal::from_median(0.150, 0.30),
+        }
+    }
+}
+
+/// Observable reconciliation events, timestamped.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterEvent {
+    /// A replica set was created for a deployment.
+    ReplicaSetCreated {
+        /// When.
+        at: SimTime,
+        /// RS name.
+        name: String,
+    },
+    /// A pod object was created (Pending).
+    PodCreated {
+        /// When.
+        at: SimTime,
+        /// Pod name.
+        name: String,
+    },
+    /// A pod was bound to a node.
+    PodScheduled {
+        /// When.
+        at: SimTime,
+        /// Pod name.
+        name: String,
+        /// Node.
+        node: String,
+    },
+    /// A pod could not be scheduled (left Pending).
+    PodUnschedulable {
+        /// When.
+        at: SimTime,
+        /// Pod name.
+        name: String,
+    },
+    /// A pod's containers all started and the app accepts connections.
+    PodReady {
+        /// When the app is ready.
+        at: SimTime,
+        /// Pod name.
+        name: String,
+        /// Pod IP.
+        ip: [u8; 4],
+    },
+    /// A pod was terminated (scale-down).
+    PodTerminated {
+        /// When.
+        at: SimTime,
+        /// Pod name.
+        name: String,
+    },
+    /// Service endpoints were recomputed.
+    EndpointsUpdated {
+        /// When.
+        at: SimTime,
+        /// Service name.
+        service: String,
+        /// Number of ready addresses.
+        addresses: usize,
+    },
+}
+
+impl ClusterEvent {
+    /// The event timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            ClusterEvent::ReplicaSetCreated { at, .. }
+            | ClusterEvent::PodCreated { at, .. }
+            | ClusterEvent::PodScheduled { at, .. }
+            | ClusterEvent::PodUnschedulable { at, .. }
+            | ClusterEvent::PodReady { at, .. }
+            | ClusterEvent::PodTerminated { at, .. }
+            | ClusterEvent::EndpointsUpdated { at, .. } => *at,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Work {
+    DeploymentChanged(String),
+    ReplicaSetChanged(String),
+    SchedulePod(String),
+    KubeletSync(String),
+    TerminatePod(String),
+}
+
+/// One worker node: a named containerd instance with a pod capacity.
+pub struct WorkerNode {
+    /// Node name (`egs`, `pi-01`, ...).
+    pub name: String,
+    /// The node's containerd (image cache is *per node*).
+    pub node: ContainerdNode,
+    /// Pod capacity.
+    pub capacity: usize,
+}
+
+/// The simulated Kubernetes cluster: control plane plus one or more worker
+/// nodes. The paper's testbed runs a single worker (the Edge Gateway
+/// Server); additional Raspberry-Pi-class workers can be added to exercise
+/// the Local Scheduler (`schedulerName`) meaningfully — image caches are
+/// per node, so placement decides who pulls.
+pub struct K8sCluster {
+    timings: K8sTimings,
+    workers: Vec<WorkerNode>,
+    deployments: BTreeMap<String, Deployment>,
+    replicasets: BTreeMap<String, ReplicaSet>,
+    pods: BTreeMap<String, Pod>,
+    services: BTreeMap<String, Service>,
+    endpoints: BTreeMap<String, Endpoints>,
+    schedulers: SchedulerRegistry,
+    work: EventQueue<Work>,
+    pod_seq: u64,
+    next_ip: u16,
+}
+
+impl K8sCluster {
+    /// Creates a cluster with one worker node (named `egs`) backed by `node`.
+    pub fn new(node: ContainerdNode, timings: K8sTimings, capacity: usize) -> K8sCluster {
+        K8sCluster {
+            timings,
+            workers: vec![WorkerNode {
+                name: "egs".to_owned(),
+                node,
+                capacity,
+            }],
+            deployments: BTreeMap::new(),
+            replicasets: BTreeMap::new(),
+            pods: BTreeMap::new(),
+            services: BTreeMap::new(),
+            endpoints: BTreeMap::new(),
+            schedulers: SchedulerRegistry::new(),
+            work: EventQueue::new(),
+            pod_seq: 0,
+            next_ip: 2,
+        }
+    }
+
+    /// Default cluster (public registries, default timings, 110-pod node).
+    pub fn with_defaults() -> K8sCluster {
+        K8sCluster::new(ContainerdNode::with_defaults(), K8sTimings::default(), 110)
+    }
+
+    /// Registers a custom (Local) scheduler.
+    pub fn register_scheduler(&mut self, scheduler: Box<dyn K8sScheduler>) {
+        self.schedulers.register(scheduler);
+    }
+
+    /// Adds another worker node. Returns its index.
+    pub fn add_worker(&mut self, name: impl Into<String>, node: ContainerdNode, capacity: usize) -> usize {
+        self.workers.push(WorkerNode {
+            name: name.into(),
+            node,
+            capacity,
+        });
+        self.workers.len() - 1
+    }
+
+    /// The first worker node's containerd (image pre-pulls, probes). For
+    /// multi-worker clusters use [`K8sCluster::worker`].
+    pub fn node(&self) -> &ContainerdNode {
+        &self.workers[0].node
+    }
+
+    /// Mutable first-worker containerd access.
+    pub fn node_mut(&mut self) -> &mut ContainerdNode {
+        &mut self.workers[0].node
+    }
+
+    /// Worker by name.
+    pub fn worker(&self, name: &str) -> Option<&WorkerNode> {
+        self.workers.iter().find(|w| w.name == name)
+    }
+
+    /// Mutable worker by name.
+    pub fn worker_mut(&mut self, name: &str) -> Option<&mut WorkerNode> {
+        self.workers.iter_mut().find(|w| w.name == name)
+    }
+
+    /// All workers.
+    pub fn workers(&self) -> &[WorkerNode] {
+        &self.workers
+    }
+
+    /// `true` if *some* worker has every layer of every manifest cached.
+    pub fn any_worker_has(&self, manifests: &[registry::ImageManifest]) -> bool {
+        self.workers
+            .iter()
+            .any(|w| manifests.iter().all(|m| w.node.store().has_image(m)))
+    }
+
+    fn api(&self, now: SimTime, rng: &mut SimRng) -> SimTime {
+        now + self.timings.api_call.sample_duration(rng)
+    }
+
+    /// `kubectl apply` of a deployment (+ its service). Returns the instant
+    /// the API server acknowledged both objects. Reconciliation continues in
+    /// [`K8sCluster::settle`].
+    pub fn apply(
+        &mut self,
+        deployment: Deployment,
+        service: Service,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let t1 = self.api(now, rng);
+        let name = deployment.name.clone();
+        self.deployments.insert(name.clone(), deployment);
+        let t2 = self.api(t1, rng);
+        self.endpoints
+            .insert(service.name.clone(), Endpoints::default());
+        self.services.insert(service.name.clone(), service);
+        let react = t2 + self.timings.watch_reaction.sample_duration(rng);
+        self.work.push(react, Work::DeploymentChanged(name));
+        t2
+    }
+
+    /// Scales a deployment (the controller's **Scale Up** / **Scale Down**
+    /// API call). Returns the API acknowledgement instant.
+    ///
+    /// # Panics
+    /// Panics if the deployment does not exist.
+    pub fn scale(&mut self, name: &str, replicas: u32, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let t = self.api(now, rng);
+        let dep = self
+            .deployments
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no deployment {name}"));
+        dep.replicas = replicas;
+        let react = t + self.timings.watch_reaction.sample_duration(rng);
+        self.work.push(react, Work::DeploymentChanged(name.to_owned()));
+        t
+    }
+
+    /// Deletes a deployment and its pods (**Remove** phase). Returns the API
+    /// acknowledgement instant.
+    pub fn delete_deployment(&mut self, name: &str, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let t = self.api(now, rng);
+        self.deployments.remove(name);
+        let rs_names: Vec<String> = self
+            .replicasets
+            .values()
+            .filter(|rs| rs.owner == name)
+            .map(|rs| rs.name.clone())
+            .collect();
+        for rs in rs_names {
+            self.replicasets.remove(&rs);
+            let pods: Vec<String> = self
+                .pods
+                .values()
+                .filter(|p| p.owner == rs && p.phase != PodPhase::Terminated)
+                .map(|p| p.name.clone())
+                .collect();
+            for p in pods {
+                let react = t + self.timings.watch_reaction.sample_duration(rng);
+                self.work.push(react, Work::TerminatePod(p));
+            }
+        }
+        t
+    }
+
+    /// Deletes a service object.
+    pub fn delete_service(&mut self, name: &str, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let t = self.api(now, rng);
+        self.services.remove(name);
+        self.endpoints.remove(name);
+        t
+    }
+
+    /// Runs the control loops until quiescence, returning the timestamped
+    /// event trail.
+    pub fn settle(&mut self, rng: &mut SimRng) -> Vec<ClusterEvent> {
+        let mut events = Vec::new();
+        while let Some((now, work)) = self.work.pop() {
+            match work {
+                Work::DeploymentChanged(name) => self.reconcile_deployment(&name, now, rng, &mut events),
+                Work::ReplicaSetChanged(name) => self.reconcile_replicaset(&name, now, rng, &mut events),
+                Work::SchedulePod(name) => self.schedule_pod(&name, now, rng, &mut events),
+                Work::KubeletSync(name) => self.kubelet_sync(&name, now, rng, &mut events),
+                Work::TerminatePod(name) => self.terminate_pod(&name, now, rng, &mut events),
+            }
+        }
+        events.sort_by_key(ClusterEvent::at);
+        events
+    }
+
+    fn reconcile_deployment(
+        &mut self,
+        name: &str,
+        now: SimTime,
+        rng: &mut SimRng,
+        events: &mut Vec<ClusterEvent>,
+    ) {
+        let Some(dep) = self.deployments.get(name) else {
+            return; // deleted meanwhile
+        };
+        let replicas = dep.replicas;
+        let rs_name = format!("{name}-rs");
+        let t = if let Some(rs) = self.replicasets.get_mut(&rs_name) {
+            if rs.replicas == replicas {
+                return; // nothing to do
+            }
+            rs.replicas = replicas;
+            self.api(now, rng)
+        } else {
+            let t = self.api(now, rng);
+            self.replicasets.insert(
+                rs_name.clone(),
+                ReplicaSet {
+                    name: rs_name.clone(),
+                    owner: name.to_owned(),
+                    replicas,
+                },
+            );
+            events.push(ClusterEvent::ReplicaSetCreated {
+                at: t,
+                name: rs_name.clone(),
+            });
+            t
+        };
+        let react = t + self.timings.watch_reaction.sample_duration(rng);
+        self.work.push(react, Work::ReplicaSetChanged(rs_name));
+    }
+
+    fn reconcile_replicaset(
+        &mut self,
+        name: &str,
+        now: SimTime,
+        rng: &mut SimRng,
+        events: &mut Vec<ClusterEvent>,
+    ) {
+        let Some(rs) = self.replicasets.get(name) else {
+            return;
+        };
+        let desired = rs.replicas as usize;
+        let owner = rs.owner.clone();
+        let live: Vec<String> = self
+            .pods
+            .values()
+            .filter(|p| p.owner == name && p.phase != PodPhase::Terminated)
+            .map(|p| p.name.clone())
+            .collect();
+        if live.len() < desired {
+            let Some(dep) = self.deployments.get(&owner) else {
+                return;
+            };
+            let template_labels = dep.template.labels.clone();
+            let scheduler_name = dep.scheduler_name.clone();
+            let mut t = now;
+            for _ in live.len()..desired {
+                self.pod_seq += 1;
+                let pod_name = format!("{name}-{}", self.pod_seq);
+                t = self.api(t, rng);
+                self.pods.insert(
+                    pod_name.clone(),
+                    Pod {
+                        name: pod_name.clone(),
+                        owner: name.to_owned(),
+                        labels: template_labels.clone(),
+                        phase: PodPhase::Pending,
+                        node: None,
+                        ip: None,
+                        container_ids: vec![],
+                        ready_at: None,
+                        scheduler_name: scheduler_name.clone(),
+                    },
+                );
+                events.push(ClusterEvent::PodCreated {
+                    at: t,
+                    name: pod_name.clone(),
+                });
+                let sched_at = t + self.timings.scheduler_latency.sample_duration(rng);
+                self.work.push(sched_at, Work::SchedulePod(pod_name));
+            }
+        } else if live.len() > desired {
+            // Scale down: newest pods go first (K8s victim preference).
+            let mut victims = live;
+            victims.sort();
+            let n_remove = victims.len() - desired;
+            for v in victims.into_iter().rev().take(n_remove) {
+                let react = now + self.timings.watch_reaction.sample_duration(rng);
+                self.work.push(react, Work::TerminatePod(v));
+            }
+        }
+    }
+
+    fn node_views(&self) -> Vec<NodeView> {
+        self.workers
+            .iter()
+            .map(|w| NodeView {
+                name: w.name.clone(),
+                pods: self
+                    .pods
+                    .values()
+                    .filter(|p| {
+                        p.node.as_deref() == Some(w.name.as_str())
+                            && p.phase != PodPhase::Terminated
+                    })
+                    .count(),
+                capacity: w.capacity,
+            })
+            .collect()
+    }
+
+    fn schedule_pod(
+        &mut self,
+        name: &str,
+        now: SimTime,
+        rng: &mut SimRng,
+        events: &mut Vec<ClusterEvent>,
+    ) {
+        let views = self.node_views();
+        let Some(pod) = self.pods.get(name) else {
+            return;
+        };
+        if pod.phase != PodPhase::Pending {
+            return;
+        }
+        match self.schedulers.schedule(pod, &views) {
+            Some(node) => {
+                let t = self.api(now, rng); // binding API call
+                let pod = self.pods.get_mut(name).expect("pod exists");
+                pod.node = Some(node.clone());
+                pod.phase = PodPhase::Scheduled;
+                events.push(ClusterEvent::PodScheduled {
+                    at: t,
+                    name: name.to_owned(),
+                    node,
+                });
+                let sync = t + self.timings.kubelet_reaction.sample_duration(rng);
+                self.work.push(sync, Work::KubeletSync(name.to_owned()));
+            }
+            None => {
+                events.push(ClusterEvent::PodUnschedulable {
+                    at: now,
+                    name: name.to_owned(),
+                });
+            }
+        }
+    }
+
+    fn kubelet_sync(
+        &mut self,
+        name: &str,
+        now: SimTime,
+        rng: &mut SimRng,
+        events: &mut Vec<ClusterEvent>,
+    ) {
+        let Some(pod) = self.pods.get(name) else {
+            return;
+        };
+        if pod.phase != PodPhase::Scheduled {
+            return;
+        }
+        let owner_rs = pod.owner.clone();
+        let Some(rs) = self.replicasets.get(&owner_rs) else {
+            return;
+        };
+        let Some(dep) = self.deployments.get(&rs.owner) else {
+            return;
+        };
+        let containers = dep.template.containers.clone();
+        let worker_name = pod.node.clone().expect("scheduled pod has a node");
+        let worker_idx = self
+            .workers
+            .iter()
+            .position(|w| w.name == worker_name)
+            .expect("pod bound to a known node");
+        let worker = &mut self.workers[worker_idx].node;
+
+        // Pull whatever is missing on *this node* (imagePullPolicy:
+        // IfNotPresent) — this is the Pull phase showing up inside K8s when
+        // the node's cache is cold.
+        let manifests: Vec<_> = containers.iter().map(|c| c.manifest.clone()).collect();
+        let pull_time = worker.pull(&manifests, rng);
+        let mut t = now + pull_time;
+
+        // Sandbox: pause container + netns + CNI.
+        t += self.timings.sandbox_setup.sample_duration(rng);
+
+        // Create and start each container; app readiness runs concurrently
+        // once its task is up, so pod readiness is the max over containers.
+        let mut ids = Vec::with_capacity(containers.len());
+        let mut ready_at = t;
+        for c in &containers {
+            let (id, created) = worker.create(c.spec.clone(), &c.manifest, t, rng);
+            let ready_delay = c.ready.sample_duration(rng);
+            let (started, ready) = worker.start(id, created, ready_delay, rng);
+            t = started; // next container's create begins after this start
+            ready_at = ready_at.max(ready);
+            ids.push(id);
+        }
+
+        let ip = [10, 244, (self.next_ip >> 8) as u8, (self.next_ip & 0xff) as u8];
+        self.next_ip += 1;
+        let pod = self.pods.get_mut(name).expect("pod exists");
+        pod.phase = PodPhase::Running;
+        pod.ip = Some(ip);
+        pod.container_ids = ids;
+        pod.ready_at = Some(ready_at);
+        events.push(ClusterEvent::PodReady {
+            at: ready_at,
+            name: name.to_owned(),
+            ip,
+        });
+
+        let ep_at = ready_at + self.timings.endpoint_propagation.sample_duration(rng);
+        self.recompute_endpoints(ep_at, events);
+    }
+
+    fn terminate_pod(
+        &mut self,
+        name: &str,
+        now: SimTime,
+        rng: &mut SimRng,
+        events: &mut Vec<ClusterEvent>,
+    ) {
+        let Some(pod) = self.pods.get_mut(name) else {
+            return;
+        };
+        if pod.phase == PodPhase::Terminated {
+            return;
+        }
+        let ids = pod.container_ids.clone();
+        let worker_name = pod.node.clone();
+        pod.phase = PodPhase::Terminated;
+        pod.ready_at = None;
+        let worker = worker_name
+            .and_then(|n| self.workers.iter_mut().find(|w| w.name == n))
+            .map(|w| &mut w.node);
+        let mut t = now;
+        if let Some(worker) = worker {
+            for id in ids {
+                t = worker.stop(id, t, rng);
+                t = worker.remove(id, t, rng);
+            }
+        }
+        events.push(ClusterEvent::PodTerminated {
+            at: t,
+            name: name.to_owned(),
+        });
+        self.recompute_endpoints(t, events);
+    }
+
+    fn recompute_endpoints(&mut self, at: SimTime, events: &mut Vec<ClusterEvent>) {
+        for (svc_name, svc) in &self.services {
+            let mut addrs: Vec<([u8; 4], u16)> = self
+                .pods
+                .values()
+                .filter(|p| {
+                    p.phase == PodPhase::Running && selector_matches(&svc.selector, &p.labels)
+                })
+                .filter_map(|p| p.ip.map(|ip| (ip, svc.target_port)))
+                .collect();
+            addrs.sort();
+            let ep = self.endpoints.entry(svc_name.clone()).or_default();
+            if ep.addresses != addrs {
+                ep.addresses = addrs;
+                ep.updated_at = at;
+                events.push(ClusterEvent::EndpointsUpdated {
+                    at,
+                    service: svc_name.clone(),
+                    addresses: ep.addresses.len(),
+                });
+            }
+        }
+    }
+
+    /// Ready `(ip, port)` addresses behind a service at `now`.
+    pub fn ready_endpoints(&self, service: &str, now: SimTime) -> Vec<([u8; 4], u16)> {
+        let Some(svc) = self.services.get(service) else {
+            return vec![];
+        };
+        self.pods
+            .values()
+            .filter(|p| p.is_ready(now) && selector_matches(&svc.selector, &p.labels))
+            .filter_map(|p| p.ip.map(|ip| (ip, svc.target_port)))
+            .collect()
+    }
+
+    /// `true` if the deployment object exists.
+    pub fn has_deployment(&self, name: &str) -> bool {
+        self.deployments.contains_key(name)
+    }
+
+    /// Live (non-terminated) pods of a deployment.
+    pub fn live_pods(&self, deployment: &str) -> Vec<&Pod> {
+        let rs_name = format!("{deployment}-rs");
+        self.pods
+            .values()
+            .filter(|p| p.owner == rs_name && p.phase != PodPhase::Terminated)
+            .collect()
+    }
+
+    /// Looks up a pod.
+    pub fn pod(&self, name: &str) -> Option<&Pod> {
+        self.pods.get(name)
+    }
+
+    /// Endpoints object of a service.
+    pub fn endpoints(&self, service: &str) -> Option<&Endpoints> {
+        self.endpoints.get(service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{PodContainer, PodTemplate};
+    use containerd::ContainerSpec;
+    use registry::image::catalog;
+    use registry::ImageRef;
+
+    fn labels(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    fn nginx_deployment(replicas: u32) -> (Deployment, Service) {
+        let sel = labels(&[("app", "nginx")]);
+        let dep = Deployment {
+            name: "nginx-edge".into(),
+            labels: sel.clone(),
+            replicas,
+            selector: sel.clone(),
+            template: PodTemplate {
+                labels: sel.clone(),
+                containers: vec![PodContainer {
+                    spec: ContainerSpec::new("nginx", ImageRef::parse("nginx:1.23.2"), Some(80)),
+                    manifest: catalog::nginx(),
+                    ready: LogNormal::from_median(0.045, 0.0),
+                }],
+            },
+            scheduler_name: None,
+        };
+        let svc = Service {
+            name: "nginx-edge".into(),
+            selector: sel,
+            port: 80,
+            target_port: 80,
+            protocol: "TCP".into(),
+        };
+        (dep, svc)
+    }
+
+    fn cluster_with_cached_nginx(rng: &mut SimRng) -> K8sCluster {
+        let mut c = K8sCluster::with_defaults();
+        c.node_mut().pull(&[catalog::nginx()], rng);
+        c
+    }
+
+    #[test]
+    fn create_with_zero_replicas_spawns_no_pods() {
+        let mut rng = SimRng::new(1);
+        let mut c = cluster_with_cached_nginx(&mut rng);
+        let (dep, svc) = nginx_deployment(0);
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        let events = c.settle(&mut rng);
+        assert!(events.iter().any(|e| matches!(e, ClusterEvent::ReplicaSetCreated { .. })));
+        assert!(!events.iter().any(|e| matches!(e, ClusterEvent::PodCreated { .. })));
+        assert!(c.ready_endpoints("nginx-edge", SimTime::from_secs(100)).is_empty());
+    }
+
+    #[test]
+    fn scale_up_produces_ready_pod_in_about_three_seconds() {
+        let mut rng = SimRng::new(2);
+        let mut c = cluster_with_cached_nginx(&mut rng);
+        let (dep, svc) = nginx_deployment(0);
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        c.settle(&mut rng);
+
+        let t0 = SimTime::from_secs(10);
+        c.scale("nginx-edge", 1, t0, &mut rng);
+        let events = c.settle(&mut rng);
+        let ready = events
+            .iter()
+            .find_map(|e| match e {
+                ClusterEvent::PodReady { at, ip, .. } => Some((*at, *ip)),
+                _ => None,
+            })
+            .expect("pod became ready");
+        let elapsed = (ready.0 - t0).as_secs_f64();
+        // The paper's K8s overhead: ~3 s (vs <1 s on Docker).
+        assert!((1.8..4.5).contains(&elapsed), "scale-up took {elapsed}s");
+        assert_eq!(ready.1[0], 10);
+        // Event causality: created < scheduled < ready <= endpoints.
+        let ts: Vec<(u8, SimTime)> = events
+            .iter()
+            .filter_map(|e| match e {
+                ClusterEvent::PodCreated { at, .. } => Some((0, *at)),
+                ClusterEvent::PodScheduled { at, .. } => Some((1, *at)),
+                ClusterEvent::PodReady { at, .. } => Some((2, *at)),
+                ClusterEvent::EndpointsUpdated { at, .. } => Some((3, *at)),
+                _ => None,
+            })
+            .collect();
+        for w in ts.windows(2) {
+            assert!(w[0].1 <= w[1].1, "events out of causal order: {ts:?}");
+        }
+        // Ready endpoints appear only after readiness.
+        assert!(c.ready_endpoints("nginx-edge", t0).is_empty());
+        assert_eq!(c.ready_endpoints("nginx-edge", ready.0).len(), 1);
+    }
+
+    #[test]
+    fn cold_image_adds_pull_time() {
+        let mut rng1 = SimRng::new(3);
+        let mut warm = cluster_with_cached_nginx(&mut rng1);
+        let (dep, svc) = nginx_deployment(1);
+        warm.apply(dep, svc, SimTime::ZERO, &mut rng1);
+        let warm_ready = warm
+            .settle(&mut rng1)
+            .iter()
+            .find_map(|e| match e {
+                ClusterEvent::PodReady { at, .. } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+
+        let mut rng2 = SimRng::new(3);
+        let mut cold = K8sCluster::with_defaults();
+        let (dep, svc) = nginx_deployment(1);
+        cold.apply(dep, svc, SimTime::ZERO, &mut rng2);
+        let cold_ready = cold
+            .settle(&mut rng2)
+            .iter()
+            .find_map(|e| match e {
+                ClusterEvent::PodReady { at, .. } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+        assert!(
+            cold_ready > warm_ready + desim::Duration::from_secs(1),
+            "cold {cold_ready:?} vs warm {warm_ready:?}"
+        );
+        assert!(cold.node().store().has_image(&catalog::nginx()), "kubelet pulled the image");
+    }
+
+    #[test]
+    fn scale_down_terminates_and_clears_endpoints() {
+        let mut rng = SimRng::new(4);
+        let mut c = cluster_with_cached_nginx(&mut rng);
+        let (dep, svc) = nginx_deployment(1);
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        c.settle(&mut rng);
+        let ready_time = SimTime::from_secs(30);
+        assert_eq!(c.ready_endpoints("nginx-edge", ready_time).len(), 1);
+
+        c.scale("nginx-edge", 0, ready_time, &mut rng);
+        let events = c.settle(&mut rng);
+        assert!(events.iter().any(|e| matches!(e, ClusterEvent::PodTerminated { .. })));
+        assert!(c.ready_endpoints("nginx-edge", SimTime::from_secs(120)).is_empty());
+        assert_eq!(c.live_pods("nginx-edge").len(), 0);
+        // Containers are gone from containerd too.
+        assert_eq!(c.node().container_count(), 0);
+    }
+
+    #[test]
+    fn multi_replica_scale() {
+        let mut rng = SimRng::new(5);
+        let mut c = cluster_with_cached_nginx(&mut rng);
+        let (dep, svc) = nginx_deployment(3);
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        let events = c.settle(&mut rng);
+        let ready = events
+            .iter()
+            .filter(|e| matches!(e, ClusterEvent::PodReady { .. }))
+            .count();
+        assert_eq!(ready, 3);
+        assert_eq!(c.ready_endpoints("nginx-edge", SimTime::from_secs(60)).len(), 3);
+        // Distinct pod IPs.
+        let ips: std::collections::HashSet<_> = c
+            .live_pods("nginx-edge")
+            .iter()
+            .map(|p| p.ip.unwrap())
+            .collect();
+        assert_eq!(ips.len(), 3);
+    }
+
+    #[test]
+    fn two_container_pod_readiness_is_max() {
+        let mut rng = SimRng::new(6);
+        let mut c = K8sCluster::with_defaults();
+        c.node_mut()
+            .pull(&[catalog::nginx(), catalog::env_writer_py()], &mut rng);
+        let sel = labels(&[("app", "nginx-py")]);
+        let dep = Deployment {
+            name: "nginx-py".into(),
+            labels: sel.clone(),
+            replicas: 1,
+            selector: sel.clone(),
+            template: PodTemplate {
+                labels: sel.clone(),
+                containers: vec![
+                    PodContainer {
+                        spec: ContainerSpec::new("nginx", ImageRef::parse("nginx:1.23.2"), Some(80)),
+                        manifest: catalog::nginx(),
+                        ready: LogNormal::from_median(0.045, 0.0),
+                    },
+                    PodContainer {
+                        spec: ContainerSpec::new(
+                            "env-writer",
+                            ImageRef::parse("josefhammer/env-writer-py"),
+                            None,
+                        ),
+                        manifest: catalog::env_writer_py(),
+                        ready: LogNormal::from_median(0.25, 0.0),
+                    },
+                ],
+            },
+            scheduler_name: None,
+        };
+        let svc = Service {
+            name: "nginx-py".into(),
+            selector: sel,
+            port: 80,
+            target_port: 80,
+            protocol: "TCP".into(),
+        };
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        let events = c.settle(&mut rng);
+        let pod_name = events
+            .iter()
+            .find_map(|e| match e {
+                ClusterEvent::PodReady { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let pod = c.pod(&pod_name).unwrap();
+        assert_eq!(pod.container_ids.len(), 2);
+    }
+
+    #[test]
+    fn custom_scheduler_is_used() {
+        struct Refuser;
+        impl K8sScheduler for Refuser {
+            fn name(&self) -> &str {
+                "refuser"
+            }
+            fn schedule(&mut self, _: &Pod, _: &[NodeView]) -> Option<String> {
+                None
+            }
+        }
+        let mut rng = SimRng::new(7);
+        let mut c = cluster_with_cached_nginx(&mut rng);
+        c.register_scheduler(Box::new(Refuser));
+        let (mut dep, svc) = nginx_deployment(1);
+        dep.scheduler_name = Some("refuser".into());
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        let events = c.settle(&mut rng);
+        assert!(events.iter().any(|e| matches!(e, ClusterEvent::PodUnschedulable { .. })));
+        assert!(!events.iter().any(|e| matches!(e, ClusterEvent::PodReady { .. })));
+    }
+
+    #[test]
+    fn delete_deployment_cleans_up() {
+        let mut rng = SimRng::new(8);
+        let mut c = cluster_with_cached_nginx(&mut rng);
+        let (dep, svc) = nginx_deployment(1);
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        c.settle(&mut rng);
+        c.delete_deployment("nginx-edge", SimTime::from_secs(60), &mut rng);
+        c.delete_service("nginx-edge", SimTime::from_secs(60), &mut rng);
+        let events = c.settle(&mut rng);
+        assert!(events.iter().any(|e| matches!(e, ClusterEvent::PodTerminated { .. })));
+        assert!(!c.has_deployment("nginx-edge"));
+        assert!(c.endpoints("nginx-edge").is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the reconciliation engine: arbitrary apply/scale
+//! sequences settle, events stay causally ordered, and the pod population
+//! always converges to the declared replica counts.
+
+use containerd::ContainerSpec;
+use desim::{Duration, LogNormal, SimRng, SimTime};
+use k8ssim::objects::{PodContainer, PodTemplate};
+use k8ssim::{ClusterEvent, Deployment, K8sCluster, Service};
+use proptest::prelude::*;
+use registry::image::catalog;
+use registry::ImageRef;
+use std::collections::BTreeMap;
+
+fn deployment(name: &str, replicas: u32) -> (Deployment, Service) {
+    let sel: BTreeMap<String, String> = [("app".to_string(), name.to_string())].into();
+    (
+        Deployment {
+            name: name.into(),
+            labels: sel.clone(),
+            replicas,
+            selector: sel.clone(),
+            template: PodTemplate {
+                labels: sel.clone(),
+                containers: vec![PodContainer {
+                    spec: ContainerSpec::new("c", ImageRef::parse("josefhammer/web-asm:amd64"), Some(80)),
+                    manifest: catalog::web_asm(),
+                    ready: LogNormal::from_median(0.005, 0.1),
+                }],
+            },
+            scheduler_name: None,
+        },
+        Service {
+            name: name.into(),
+            selector: sel,
+            port: 80,
+            target_port: 80,
+            protocol: "TCP".into(),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any sequence of scale targets, the cluster converges to the last
+    /// declared replica count, and endpoints match ready pods.
+    #[test]
+    fn scaling_converges(targets in prop::collection::vec(0u32..5, 1..8), seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let mut c = K8sCluster::with_defaults();
+        c.node_mut().pull(&[catalog::web_asm()], &mut rng);
+        let (dep, svc) = deployment("svc", 0);
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        c.settle(&mut rng);
+        let mut now = SimTime::from_secs(10);
+        let mut last = 0;
+        for t in targets {
+            c.scale("svc", t, now, &mut rng);
+            c.settle(&mut rng);
+            now = now + Duration::from_secs(60);
+            last = t;
+        }
+        let live = c.live_pods("svc").len();
+        prop_assert_eq!(live, last as usize, "converged to declared replicas");
+        let eps = c.ready_endpoints("svc", now);
+        prop_assert_eq!(eps.len(), last as usize);
+        // Distinct pod addresses.
+        let distinct: std::collections::HashSet<_> = eps.iter().collect();
+        prop_assert_eq!(distinct.len(), eps.len());
+    }
+
+    /// Every pod's events are causally ordered: Created ≤ Scheduled ≤ Ready,
+    /// for arbitrary multi-deployment workloads.
+    #[test]
+    fn events_causally_ordered(n_deps in 1usize..5, replicas in 1u32..4, seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let mut c = K8sCluster::with_defaults();
+        c.node_mut().pull(&[catalog::web_asm()], &mut rng);
+        let mut events = Vec::new();
+        for i in 0..n_deps {
+            let (dep, svc) = deployment(&format!("svc-{i}"), replicas);
+            c.apply(dep, svc, SimTime::from_secs(i as u64), &mut rng);
+            events.extend(c.settle(&mut rng));
+        }
+        use std::collections::HashMap;
+        let mut created: HashMap<String, SimTime> = HashMap::new();
+        let mut scheduled: HashMap<String, SimTime> = HashMap::new();
+        for e in &events {
+            match e {
+                ClusterEvent::PodCreated { at, name } => {
+                    created.insert(name.clone(), *at);
+                }
+                ClusterEvent::PodScheduled { at, name, .. } => {
+                    prop_assert!(created[name] <= *at);
+                    scheduled.insert(name.clone(), *at);
+                }
+                ClusterEvent::PodReady { at, name, .. } => {
+                    prop_assert!(scheduled[name] <= *at);
+                }
+                _ => {}
+            }
+        }
+        let ready_count = events.iter().filter(|e| matches!(e, ClusterEvent::PodReady { .. })).count();
+        prop_assert_eq!(ready_count, n_deps * replicas as usize);
+    }
+
+    /// settle() is idempotent: a second call with no new work produces no
+    /// events and changes nothing.
+    #[test]
+    fn settle_is_idempotent(replicas in 0u32..4, seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let mut c = K8sCluster::with_defaults();
+        c.node_mut().pull(&[catalog::web_asm()], &mut rng);
+        let (dep, svc) = deployment("svc", replicas);
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        c.settle(&mut rng);
+        let live_before = c.live_pods("svc").len();
+        let again = c.settle(&mut rng);
+        prop_assert!(again.is_empty());
+        prop_assert_eq!(c.live_pods("svc").len(), live_before);
+    }
+}

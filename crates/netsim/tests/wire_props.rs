@@ -1,0 +1,111 @@
+//! Property tests for the wire formats and topology.
+
+use desim::SimRng;
+use netsim::addr::{Ipv4Addr, MacAddr};
+use netsim::link::LinkSpec;
+use netsim::topo::{NodeKind, Topology};
+use netsim::{TcpFlags, TcpFrame};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = TcpFrame> {
+    (
+        any::<[u8; 6]>(),
+        any::<[u8; 6]>(),
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(
+            |(sm, dm, si, di, sp, dp, flags, seq, ack, payload)| TcpFrame {
+                src_mac: MacAddr(sm),
+                dst_mac: MacAddr(dm),
+                src_ip: Ipv4Addr(si),
+                dst_ip: Ipv4Addr(di),
+                src_port: sp,
+                dst_port: dp,
+                flags: TcpFlags(flags),
+                seq,
+                ack,
+                payload,
+            },
+        )
+}
+
+proptest! {
+    /// Arbitrary frames encode then decode to the identical structure, and
+    /// the checksums self-verify.
+    #[test]
+    fn frame_roundtrip(frame in arb_frame()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.wire_len());
+        let decoded = TcpFrame::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Any single-bit corruption of a frame is caught (checksum failure or a
+    /// changed decode result, never a silently identical decode).
+    #[test]
+    fn bit_flips_never_go_unnoticed(frame in arb_frame(), bit in 0usize..((14+20+20)*8)) {
+        let mut bytes = frame.encode();
+        let byte = bit / 8;
+        prop_assume!(byte < bytes.len());
+        bytes[byte] ^= 1 << (bit % 8);
+        match TcpFrame::decode(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, frame),
+        }
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = TcpFrame::decode(&bytes);
+    }
+
+    /// Rewriting destination then encoding keeps a decodable frame whose
+    /// rewritten fields survive.
+    #[test]
+    fn rewrite_roundtrip(frame in arb_frame(), new_ip in any::<[u8;4]>(), new_port in any::<u16>()) {
+        let mut f = frame;
+        f.rewrite_dst(MacAddr::from_id(9), Ipv4Addr(new_ip), new_port);
+        let decoded = TcpFrame::decode(&f.encode()).unwrap();
+        prop_assert_eq!(decoded.dst_ip, Ipv4Addr(new_ip));
+        prop_assert_eq!(decoded.dst_port, new_port);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// In a random connected chain topology, shortest paths exist between all
+    /// pairs and path latency is positive and additive over subpaths.
+    #[test]
+    fn chain_paths_consistent(n in 2usize..12, seed in any::<u64>()) {
+        let mut t = Topology::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                t.add_node(
+                    &format!("n{i}"),
+                    NodeKind::Switch,
+                    Ipv4Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8),
+                )
+            })
+            .collect();
+        for w in ids.windows(2) {
+            t.connect(w[0], w[1], LinkSpec::gigabit(desim::Duration::from_micros(100)));
+        }
+        let mut rng = SimRng::new(seed);
+        let first = ids[0];
+        let last = ids[n - 1];
+        let path = t.shortest_path(first, last).unwrap();
+        prop_assert_eq!(path.len(), n);
+        prop_assert_eq!(t.hop_count(first, last), Some(n - 1));
+        let lat = t.path_latency(first, last, 100, &mut rng).unwrap();
+        prop_assert!(lat >= desim::Duration::from_micros(100 * (n as u64 - 1)));
+    }
+}

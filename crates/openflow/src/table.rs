@@ -1,0 +1,424 @@
+//! Flow-table semantics: priority lookup, counters, timeouts.
+//!
+//! This is the state a switch keeps per table. The same structure backs the
+//! controller's *FlowMemory* (Section V of the paper): memorized flows with
+//! idle timeouts whose expiry both cleans the memory and triggers automatic
+//! scale-down of idle edge services.
+
+use crate::actions::Instruction;
+use crate::messages::{RemovedReason, OFPFF_SEND_FLOW_REM};
+use crate::oxm::{Match, MatchView};
+use desim::{Duration, SimTime};
+
+/// One installed flow.
+#[derive(Clone, Debug)]
+pub struct FlowEntry {
+    /// Match condition.
+    pub match_: Match,
+    /// Priority; higher wins.
+    pub priority: u16,
+    /// Controller cookie.
+    pub cookie: u64,
+    /// Instructions to run on match.
+    pub instructions: Vec<Instruction>,
+    /// Idle timeout ([`Duration::ZERO`] = none).
+    pub idle_timeout: Duration,
+    /// Hard timeout ([`Duration::ZERO`] = none).
+    pub hard_timeout: Duration,
+    /// `FLOW_MOD` flags.
+    pub flags: u16,
+    /// Installation time.
+    pub installed_at: SimTime,
+    /// Last time a packet hit this flow.
+    pub last_hit: SimTime,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+}
+
+impl FlowEntry {
+    /// `true` if this entry requested a `FLOW_REMOVED` notification.
+    pub fn wants_removed_msg(&self) -> bool {
+        self.flags & OFPFF_SEND_FLOW_REM != 0
+    }
+}
+
+/// A removal record produced by expiry or deletion.
+#[derive(Clone, Debug)]
+pub struct Removed {
+    /// The removed entry (with final counters).
+    pub entry: FlowEntry,
+    /// Why it went away.
+    pub reason: RemovedReason,
+    /// When it was removed.
+    pub at: SimTime,
+}
+
+impl Removed {
+    /// Lifetime of the flow.
+    pub fn duration(&self) -> Duration {
+        self.at - self.entry.installed_at
+    }
+}
+
+/// A single OpenFlow table.
+#[derive(Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Number of installed flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no flows are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries (diagnostics / stats).
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Adds a flow. An existing entry with identical match and priority is
+    /// replaced (OpenFlow ADD semantics), preserving nothing.
+    pub fn add(&mut self, mut entry: FlowEntry, now: SimTime) {
+        entry.installed_at = now;
+        entry.last_hit = now;
+        entry.packet_count = 0;
+        entry.byte_count = 0;
+        self.entries
+            .retain(|e| !(e.priority == entry.priority && e.match_ == entry.match_));
+        self.entries.push(entry);
+        // Keep sorted by descending priority; stable sort preserves insertion
+        // order among equal priorities (first-added wins lookups).
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
+    }
+
+    /// Modifies instructions of all flows whose match equals `match_`
+    /// (counters and timers preserved). Returns how many changed.
+    pub fn modify(&mut self, match_: &Match, instructions: &[Instruction]) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.match_ == *match_ {
+                e.instructions = instructions.to_vec();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Deletes all flows whose match equals `match_` (exact-match delete;
+    /// the controller always deletes what it installed). A wildcard `match_`
+    /// deletes everything. Returns removal records.
+    pub fn delete(&mut self, match_: &Match, now: SimTime) -> Vec<Removed> {
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            if match_.is_empty() || e.match_ == *match_ {
+                removed.push(Removed {
+                    entry: e,
+                    reason: RemovedReason::Delete,
+                    at: now,
+                });
+            } else {
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+        removed
+    }
+
+    /// Looks up the highest-priority matching flow, updating its counters and
+    /// idle timer. Returns a clone of the matched entry's instructions plus
+    /// its cookie.
+    pub fn lookup(
+        &mut self,
+        view: &MatchView,
+        frame_len: usize,
+        now: SimTime,
+    ) -> Option<(u64, Vec<Instruction>)> {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.match_.matches(view))?;
+        e.packet_count += 1;
+        e.byte_count += frame_len as u64;
+        e.last_hit = now;
+        Some((e.cookie, e.instructions.clone()))
+    }
+
+    /// Read-only lookup (no counter updates).
+    pub fn peek(&self, view: &MatchView) -> Option<&FlowEntry> {
+        self.entries.iter().find(|e| e.match_.matches(view))
+    }
+
+    /// Removes every flow whose idle or hard timeout has elapsed at `now`,
+    /// returning removal records (hard timeout takes precedence when both
+    /// expired).
+    pub fn expire(&mut self, now: SimTime) -> Vec<Removed> {
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            let hard_exp = e.hard_timeout != Duration::ZERO
+                && now - e.installed_at >= e.hard_timeout;
+            let idle_exp =
+                e.idle_timeout != Duration::ZERO && now - e.last_hit >= e.idle_timeout;
+            if hard_exp || idle_exp {
+                removed.push(Removed {
+                    entry: e,
+                    reason: if hard_exp {
+                        RemovedReason::HardTimeout
+                    } else {
+                        RemovedReason::IdleTimeout
+                    },
+                    at: now,
+                });
+            } else {
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+        removed
+    }
+
+    /// The earliest instant at which some flow could expire (for efficient
+    /// timer scheduling), or `None` if no flow has a timeout.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .flat_map(|e| {
+                let idle = (e.idle_timeout != Duration::ZERO)
+                    .then(|| e.last_hit + e.idle_timeout);
+                let hard = (e.hard_timeout != Duration::ZERO)
+                    .then(|| e.installed_at + e.hard_timeout);
+                [idle, hard].into_iter().flatten()
+            })
+            .min()
+    }
+}
+
+/// Builds a [`FlowEntry`] with zeroed counters/timers (filled in by
+/// [`FlowTable::add`]).
+pub fn entry(
+    match_: Match,
+    priority: u16,
+    cookie: u64,
+    instructions: Vec<Instruction>,
+    idle_timeout: Duration,
+    hard_timeout: Duration,
+    flags: u16,
+) -> FlowEntry {
+    FlowEntry {
+        match_,
+        priority,
+        cookie,
+        instructions,
+        idle_timeout,
+        hard_timeout,
+        flags,
+        installed_at: SimTime::ZERO,
+        last_hit: SimTime::ZERO,
+        packet_count: 0,
+        byte_count: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::Action;
+
+    fn view(dst_port: u16) -> MatchView {
+        MatchView {
+            in_port: 1,
+            eth_dst: [0; 6],
+            eth_src: [0; 6],
+            eth_type: 0x0800,
+            ip_proto: 6,
+            ipv4_src: [192, 168, 1, 20],
+            ipv4_dst: [203, 0, 113, 10],
+            tcp_src: 50000,
+            tcp_dst: dst_port,
+        }
+    }
+
+    fn fwd(port: u32) -> Vec<Instruction> {
+        vec![Instruction::ApplyActions(vec![Action::output(port)])]
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new();
+        t.add(
+            entry(Match::any(), 0, 1, fwd(1), Duration::ZERO, Duration::ZERO, 0),
+            SimTime::ZERO,
+        );
+        t.add(
+            entry(
+                Match::service([203, 0, 113, 10], 80),
+                100,
+                2,
+                fwd(2),
+                Duration::ZERO,
+                Duration::ZERO,
+                0,
+            ),
+            SimTime::ZERO,
+        );
+        let (cookie, _) = t.lookup(&view(80), 64, SimTime::ZERO).unwrap();
+        assert_eq!(cookie, 2);
+        let (cookie, _) = t.lookup(&view(443), 64, SimTime::ZERO).unwrap();
+        assert_eq!(cookie, 1); // only the wildcard matches
+    }
+
+    #[test]
+    fn add_replaces_same_match_and_priority() {
+        let mut t = FlowTable::new();
+        let m = Match::service([1, 1, 1, 1], 80);
+        t.add(entry(m.clone(), 10, 1, fwd(1), Duration::ZERO, Duration::ZERO, 0), SimTime::ZERO);
+        t.add(entry(m, 10, 2, fwd(2), Duration::ZERO, Duration::ZERO, 0), SimTime::ZERO);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries().next().unwrap().cookie, 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new();
+        t.add(
+            entry(Match::any(), 0, 9, fwd(1), Duration::ZERO, Duration::ZERO, 0),
+            SimTime::ZERO,
+        );
+        t.lookup(&view(80), 100, SimTime::from_nanos(10)).unwrap();
+        t.lookup(&view(80), 150, SimTime::from_nanos(20)).unwrap();
+        let e = t.entries().next().unwrap();
+        assert_eq!(e.packet_count, 2);
+        assert_eq!(e.byte_count, 250);
+        assert_eq!(e.last_hit, SimTime::from_nanos(20));
+    }
+
+    #[test]
+    fn idle_timeout_expires_without_traffic() {
+        let mut t = FlowTable::new();
+        t.add(
+            entry(
+                Match::any(),
+                0,
+                1,
+                fwd(1),
+                Duration::from_secs(10),
+                Duration::ZERO,
+                OFPFF_SEND_FLOW_REM,
+            ),
+            SimTime::ZERO,
+        );
+        assert!(t.expire(SimTime::ZERO + Duration::from_secs(9)).is_empty());
+        let removed = t.expire(SimTime::ZERO + Duration::from_secs(10));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, RemovedReason::IdleTimeout);
+        assert!(removed[0].entry.wants_removed_msg());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn traffic_refreshes_idle_timer() {
+        let mut t = FlowTable::new();
+        t.add(
+            entry(Match::any(), 0, 1, fwd(1), Duration::from_secs(10), Duration::ZERO, 0),
+            SimTime::ZERO,
+        );
+        // Hit at t=8s: timer restarts.
+        t.lookup(&view(80), 64, SimTime::ZERO + Duration::from_secs(8));
+        assert!(t.expire(SimTime::ZERO + Duration::from_secs(15)).is_empty());
+        assert_eq!(t.expire(SimTime::ZERO + Duration::from_secs(18)).len(), 1);
+    }
+
+    #[test]
+    fn hard_timeout_ignores_traffic() {
+        let mut t = FlowTable::new();
+        t.add(
+            entry(Match::any(), 0, 1, fwd(1), Duration::ZERO, Duration::from_secs(5), 0),
+            SimTime::ZERO,
+        );
+        t.lookup(&view(80), 64, SimTime::ZERO + Duration::from_secs(4));
+        let removed = t.expire(SimTime::ZERO + Duration::from_secs(5));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, RemovedReason::HardTimeout);
+        assert_eq!(removed[0].duration(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn delete_exact_and_wildcard() {
+        let mut t = FlowTable::new();
+        let m1 = Match::service([1, 1, 1, 1], 80);
+        let m2 = Match::service([2, 2, 2, 2], 80);
+        t.add(entry(m1.clone(), 5, 1, fwd(1), Duration::ZERO, Duration::ZERO, 0), SimTime::ZERO);
+        t.add(entry(m2, 5, 2, fwd(2), Duration::ZERO, Duration::ZERO, 0), SimTime::ZERO);
+        let removed = t.delete(&m1, SimTime::from_nanos(7));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].entry.cookie, 1);
+        assert_eq!(removed[0].reason, RemovedReason::Delete);
+        assert_eq!(t.len(), 1);
+        let removed = t.delete(&Match::any(), SimTime::from_nanos(8));
+        assert_eq!(removed.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn modify_swaps_instructions_keeps_counters() {
+        let mut t = FlowTable::new();
+        let m = Match::service([1, 1, 1, 1], 80);
+        t.add(entry(m.clone(), 5, 1, fwd(1), Duration::ZERO, Duration::ZERO, 0), SimTime::ZERO);
+        let mut v = view(80);
+        v.ipv4_dst = [1, 1, 1, 1];
+        t.lookup(&v, 64, SimTime::from_nanos(1)).unwrap();
+        assert_eq!(t.modify(&m, &fwd(9)), 1);
+        let e = t.entries().next().unwrap();
+        assert_eq!(e.packet_count, 1, "counters preserved");
+        assert_eq!(e.instructions, fwd(9));
+        assert_eq!(t.modify(&Match::service([9, 9, 9, 9], 80), &fwd(1)), 0);
+    }
+
+    #[test]
+    fn next_expiry_is_earliest() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.next_expiry(), None);
+        t.add(
+            entry(Match::any(), 0, 1, fwd(1), Duration::from_secs(10), Duration::ZERO, 0),
+            SimTime::ZERO,
+        );
+        t.add(
+            entry(
+                Match::service([1, 1, 1, 1], 80),
+                5,
+                2,
+                fwd(2),
+                Duration::ZERO,
+                Duration::from_secs(3),
+                0,
+            ),
+            SimTime::ZERO,
+        );
+        assert_eq!(t.next_expiry(), Some(SimTime::ZERO + Duration::from_secs(3)));
+    }
+
+    #[test]
+    fn peek_does_not_touch_counters() {
+        let mut t = FlowTable::new();
+        t.add(
+            entry(Match::any(), 0, 1, fwd(1), Duration::ZERO, Duration::ZERO, 0),
+            SimTime::ZERO,
+        );
+        assert!(t.peek(&view(80)).is_some());
+        assert_eq!(t.entries().next().unwrap().packet_count, 0);
+    }
+}

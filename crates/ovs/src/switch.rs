@@ -1,0 +1,799 @@
+//! The switch state machine.
+
+use desim::{Duration, SimTime};
+use netsim::TcpFrame;
+use openflow::actions::Action;
+use openflow::messages::{FlowModCommand, Message, PacketInReason};
+use openflow::oxm::{Match, MatchView, OxmField};
+use openflow::table::{entry, FlowTable, Removed};
+use openflow::{OfError, OFPP_CONTROLLER, OFPP_FLOOD, OFP_NO_BUFFER};
+use std::collections::HashMap;
+
+/// Switch configuration.
+#[derive(Clone, Debug)]
+pub struct SwitchConfig {
+    /// Datapath id reported in `FEATURES_REPLY`.
+    pub datapath_id: u64,
+    /// Number of packet-in buffer slots.
+    pub n_buffers: u32,
+    /// Bytes of the frame included in a buffered `PACKET_IN`.
+    pub miss_send_len: u16,
+    /// Ports attached to this switch (for FLOOD).
+    pub ports: Vec<u32>,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            datapath_id: 1,
+            n_buffers: 256,
+            miss_send_len: 128,
+            ports: Vec::new(),
+        }
+    }
+}
+
+/// An externally visible consequence of switch processing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Effect {
+    /// Emit `data` out of `port`.
+    Forward {
+        /// Egress port.
+        port: u32,
+        /// Frame bytes.
+        data: Vec<u8>,
+    },
+    /// Send an encoded OpenFlow message up the control channel.
+    ToController(Vec<u8>),
+    /// The frame was dropped (no matching flow action produced output).
+    Drop,
+}
+
+/// The virtual OpenFlow switch.
+pub struct Switch {
+    config: SwitchConfig,
+    table: FlowTable,
+    buffers: HashMap<u32, (u32, Vec<u8>)>, // buffer_id -> (in_port, frame)
+    next_buffer: u32,
+    next_xid: u32,
+    /// Count of packets handled on the fast path (no controller).
+    pub fast_path_packets: u64,
+    /// Count of table misses sent to the controller.
+    pub table_misses: u64,
+}
+
+impl Switch {
+    /// Creates a switch with the given configuration.
+    pub fn new(config: SwitchConfig) -> Switch {
+        Switch {
+            config,
+            table: FlowTable::new(),
+            buffers: HashMap::new(),
+            next_buffer: 1,
+            next_xid: 1,
+            fast_path_packets: 0,
+            table_misses: 0,
+        }
+    }
+
+    /// Read access to the flow table (stats & tests).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Number of frames currently parked in packet buffers.
+    pub fn buffered(&self) -> usize {
+        self.buffers.len()
+    }
+
+    fn fresh_xid(&mut self) -> u32 {
+        let x = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        x
+    }
+
+    /// Processes a frame arriving on `in_port`.
+    pub fn handle_frame(&mut self, now: SimTime, in_port: u32, data: &[u8]) -> Vec<Effect> {
+        let Ok(frame) = TcpFrame::decode(data) else {
+            // Non-TCP/IPv4 traffic is out of scope for the edge pipeline.
+            return vec![Effect::Drop];
+        };
+        let view = view_of(&frame, in_port);
+        match self.table.lookup(&view, data.len(), now) {
+            Some((_cookie, instructions)) => {
+                self.fast_path_packets += 1;
+                let actions: Vec<Action> = instructions
+                    .iter()
+                    .flat_map(|i| i.actions().iter().copied())
+                    .collect();
+                self.apply_actions(now, frame, in_port, &actions)
+            }
+            None => {
+                self.table_misses += 1;
+                vec![self.packet_in(now, in_port, data, PacketInReason::NoMatch)]
+            }
+        }
+    }
+
+    fn packet_in(
+        &mut self,
+        _now: SimTime,
+        in_port: u32,
+        data: &[u8],
+        reason: PacketInReason,
+    ) -> Effect {
+        let (buffer_id, included) = if (self.buffers.len() as u32) < self.config.n_buffers {
+            let id = self.next_buffer;
+            self.next_buffer = self.next_buffer.wrapping_add(1).max(1);
+            self.buffers.insert(id, (in_port, data.to_vec()));
+            let n = (self.config.miss_send_len as usize).min(data.len());
+            (id, data[..n].to_vec())
+        } else {
+            // No buffer space: ship the whole frame.
+            (OFP_NO_BUFFER, data.to_vec())
+        };
+        let msg = Message::PacketIn {
+            buffer_id,
+            total_len: data.len() as u16,
+            reason,
+            table_id: 0,
+            cookie: 0,
+            match_: Match::any().with(OxmField::InPort(in_port)),
+            data: included,
+        };
+        let xid = self.fresh_xid();
+        Effect::ToController(msg.encode(xid))
+    }
+
+    /// Applies an action list to a frame, producing forward effects.
+    fn apply_actions(
+        &mut self,
+        now: SimTime,
+        mut frame: TcpFrame,
+        in_port: u32,
+        actions: &[Action],
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        for action in actions {
+            match action {
+                Action::SetField(f) => apply_set_field(&mut frame, *f),
+                Action::Output { port, max_len } => match *port {
+                    OFPP_CONTROLLER => {
+                        let data = frame.encode();
+                        let n = (*max_len as usize).min(data.len());
+                        let msg = Message::PacketIn {
+                            buffer_id: OFP_NO_BUFFER,
+                            total_len: data.len() as u16,
+                            reason: PacketInReason::Action,
+                            table_id: 0,
+                            cookie: 0,
+                            match_: Match::any().with(OxmField::InPort(in_port)),
+                            data: data[..n].to_vec(),
+                        };
+                        let xid = self.fresh_xid();
+                        effects.push(Effect::ToController(msg.encode(xid)));
+                        let _ = now;
+                    }
+                    OFPP_FLOOD => {
+                        for &p in &self.config.ports {
+                            if p != in_port {
+                                effects.push(Effect::Forward {
+                                    port: p,
+                                    data: frame.encode(),
+                                });
+                            }
+                        }
+                    }
+                    p => effects.push(Effect::Forward {
+                        port: p,
+                        data: frame.encode(),
+                    }),
+                },
+            }
+        }
+        if effects.is_empty() {
+            effects.push(Effect::Drop);
+        }
+        effects
+    }
+
+    /// Processes an encoded OpenFlow message from the controller.
+    ///
+    /// Returns the effects (forwards triggered by `PACKET_OUT` / buffered
+    /// `FLOW_MOD` packets, and control-channel replies).
+    pub fn handle_controller(&mut self, now: SimTime, bytes: &[u8]) -> Result<Vec<Effect>, OfError> {
+        let (xid, msg, _) = Message::decode(bytes)?;
+        let mut effects = Vec::new();
+        match msg {
+            Message::Hello => {
+                effects.push(Effect::ToController(Message::Hello.encode(xid)));
+            }
+            Message::EchoRequest(payload) => {
+                effects.push(Effect::ToController(Message::EchoReply(payload).encode(xid)));
+            }
+            Message::FeaturesRequest => {
+                effects.push(Effect::ToController(
+                    Message::FeaturesReply {
+                        datapath_id: self.config.datapath_id,
+                        n_buffers: self.config.n_buffers,
+                        n_tables: 1,
+                    }
+                    .encode(xid),
+                ));
+            }
+            Message::BarrierRequest => {
+                effects.push(Effect::ToController(Message::BarrierReply.encode(xid)));
+            }
+            Message::FlowMod {
+                cookie,
+                command,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                buffer_id,
+                flags,
+                match_,
+                instructions,
+                ..
+            } => match command {
+                FlowModCommand::Add => {
+                    self.table.add(
+                        entry(
+                            match_.clone(),
+                            priority,
+                            cookie,
+                            instructions,
+                            Duration::from_secs(idle_timeout as u64),
+                            Duration::from_secs(hard_timeout as u64),
+                            flags,
+                        ),
+                        now,
+                    );
+                    // Run the buffered packet through the (new) table state.
+                    if buffer_id != OFP_NO_BUFFER {
+                        if let Some((in_port, data)) = self.buffers.remove(&buffer_id) {
+                            effects.extend(self.handle_frame(now, in_port, &data));
+                        }
+                    }
+                }
+                FlowModCommand::Modify => {
+                    self.table.modify(&match_, &instructions);
+                }
+                FlowModCommand::Delete => {
+                    for removed in self.table.delete(&match_, now) {
+                        if let Some(e) = self.flow_removed_msg(&removed) {
+                            effects.push(e);
+                        }
+                    }
+                }
+            },
+            Message::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            } => {
+                let frame_bytes = if buffer_id != OFP_NO_BUFFER {
+                    match self.buffers.remove(&buffer_id) {
+                        Some((_, stored)) => stored,
+                        None => return Ok(vec![Effect::Drop]), // stale buffer
+                    }
+                } else {
+                    data
+                };
+                match TcpFrame::decode(&frame_bytes) {
+                    Ok(frame) => {
+                        effects.extend(self.apply_actions(now, frame, in_port, &actions));
+                    }
+                    Err(_) => effects.push(Effect::Drop),
+                }
+            }
+            Message::FlowStatsRequest { table_id, match_ } => {
+                use openflow::messages::FlowStatsEntry;
+                let flows: Vec<FlowStatsEntry> = self
+                    .table
+                    .entries()
+                    .filter(|_| table_id == 0xff || table_id == 0)
+                    .filter(|e| match_.is_empty() || e.match_ == match_)
+                    .map(|e| FlowStatsEntry {
+                        table_id: 0,
+                        duration_sec: ((now - e.installed_at).as_nanos() / 1_000_000_000) as u32,
+                        priority: e.priority,
+                        idle_timeout: (e.idle_timeout.as_nanos() / 1_000_000_000) as u16,
+                        hard_timeout: (e.hard_timeout.as_nanos() / 1_000_000_000) as u16,
+                        cookie: e.cookie,
+                        packet_count: e.packet_count,
+                        byte_count: e.byte_count,
+                        match_: e.match_.clone(),
+                    })
+                    .collect();
+                effects.push(Effect::ToController(
+                    Message::FlowStatsReply { flows }.encode(xid),
+                ));
+            }
+            // Symmetric/unsolicited messages a switch ignores.
+            Message::EchoReply(_)
+            | Message::FeaturesReply { .. }
+            | Message::PacketIn { .. }
+            | Message::FlowRemoved { .. }
+            | Message::Error { .. }
+            | Message::FlowStatsReply { .. }
+            | Message::BarrierReply => {}
+        }
+        Ok(effects)
+    }
+
+    fn flow_removed_msg(&mut self, removed: &Removed) -> Option<Effect> {
+        if !removed.entry.wants_removed_msg() {
+            return None;
+        }
+        let d = removed.duration();
+        let msg = Message::FlowRemoved {
+            cookie: removed.entry.cookie,
+            priority: removed.entry.priority,
+            reason: removed.reason,
+            table_id: 0,
+            duration_sec: (d.as_nanos() / 1_000_000_000) as u32,
+            duration_nsec: (d.as_nanos() % 1_000_000_000) as u32,
+            idle_timeout: (removed.entry.idle_timeout.as_nanos() / 1_000_000_000) as u16,
+            hard_timeout: (removed.entry.hard_timeout.as_nanos() / 1_000_000_000) as u16,
+            packet_count: removed.entry.packet_count,
+            byte_count: removed.entry.byte_count,
+            match_: removed.entry.match_.clone(),
+        };
+        let xid = self.fresh_xid();
+        Some(Effect::ToController(msg.encode(xid)))
+    }
+
+    /// Expires timed-out flows, producing `FLOW_REMOVED` notifications for
+    /// entries that requested them.
+    pub fn expire_flows(&mut self, now: SimTime) -> Vec<Effect> {
+        let removed = self.table.expire(now);
+        removed
+            .iter()
+            .filter_map(|r| self.flow_removed_msg(r))
+            .collect()
+    }
+
+    /// Earliest possible flow expiry (for scheduling expiry sweeps).
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.table.next_expiry()
+    }
+}
+
+/// Builds the match view of a decoded frame.
+pub fn view_of(frame: &TcpFrame, in_port: u32) -> MatchView {
+    MatchView {
+        in_port,
+        eth_dst: frame.dst_mac.octets(),
+        eth_src: frame.src_mac.octets(),
+        eth_type: 0x0800,
+        ip_proto: 6,
+        ipv4_src: frame.src_ip.octets(),
+        ipv4_dst: frame.dst_ip.octets(),
+        tcp_src: frame.src_port,
+        tcp_dst: frame.dst_port,
+    }
+}
+
+/// Applies a single `SET_FIELD` rewrite to a frame.
+fn apply_set_field(frame: &mut TcpFrame, field: OxmField) {
+    use netsim::addr::{Ipv4Addr, MacAddr};
+    match field {
+        OxmField::EthDst(m) => frame.dst_mac = MacAddr(m),
+        OxmField::EthSrc(m) => frame.src_mac = MacAddr(m),
+        OxmField::Ipv4Dst(a) => frame.dst_ip = Ipv4Addr(a),
+        OxmField::Ipv4Src(a) => frame.src_ip = Ipv4Addr(a),
+        OxmField::TcpDst(p) => frame.dst_port = p,
+        OxmField::TcpSrc(p) => frame.src_port = p,
+        // EthType / IpProto / InPort rewrites are not meaningful here.
+        OxmField::EthType(_) | OxmField::IpProto(_) | OxmField::InPort(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::addr::{Ipv4Addr, MacAddr, ServiceAddr};
+    use openflow::actions::Instruction;
+    use openflow::messages::RemovedReason;
+    use openflow::messages::OFPFF_SEND_FLOW_REM;
+
+    fn client_frame() -> TcpFrame {
+        TcpFrame::syn(
+            MacAddr::from_id(1),
+            MacAddr::from_id(100),
+            Ipv4Addr::new(192, 168, 1, 20),
+            50000,
+            ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+        )
+    }
+
+    fn sw() -> Switch {
+        Switch::new(SwitchConfig {
+            datapath_id: 0xabc,
+            n_buffers: 4,
+            miss_send_len: 64,
+            ports: vec![1, 2, 3],
+        })
+    }
+
+    fn decode_controller(e: &Effect) -> Message {
+        match e {
+            Effect::ToController(bytes) => Message::decode(bytes).unwrap().1,
+            other => panic!("expected ToController, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_buffers_and_sends_packet_in() {
+        let mut s = sw();
+        let data = client_frame().encode();
+        let effects = s.handle_frame(SimTime::ZERO, 1, &data);
+        assert_eq!(effects.len(), 1);
+        match decode_controller(&effects[0]) {
+            Message::PacketIn {
+                buffer_id,
+                total_len,
+                reason,
+                data: included,
+                match_,
+                ..
+            } => {
+                assert_ne!(buffer_id, OFP_NO_BUFFER);
+                assert_eq!(total_len as usize, data.len());
+                assert_eq!(reason, PacketInReason::NoMatch);
+                assert_eq!(included.len(), 54); // SYN frame is 54 B < miss_send_len
+                assert_eq!(match_.fields(), &[OxmField::InPort(1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.buffered(), 1);
+        assert_eq!(s.table_misses, 1);
+    }
+
+    #[test]
+    fn flow_mod_with_buffer_releases_packet() {
+        let mut s = sw();
+        let data = client_frame().encode();
+        let effects = s.handle_frame(SimTime::ZERO, 1, &data);
+        let buffer_id = match decode_controller(&effects[0]) {
+            Message::PacketIn { buffer_id, .. } => buffer_id,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Install the transparent redirect: rewrite dst to the edge instance
+        // and output on port 3, releasing the buffered packet.
+        let fm = Message::FlowMod {
+            cookie: 7,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 10,
+            hard_timeout: 0,
+            priority: 100,
+            buffer_id,
+            flags: 0,
+            match_: Match::connection([192, 168, 1, 20], 50000, [203, 0, 113, 10], 80),
+            instructions: vec![Instruction::ApplyActions(vec![
+                Action::SetField(OxmField::EthDst(MacAddr::from_id(200).octets())),
+                Action::SetField(OxmField::Ipv4Dst([10, 0, 0, 5])),
+                Action::SetField(OxmField::TcpDst(31080)),
+                Action::output(3),
+            ])],
+        };
+        let effects = s.handle_controller(SimTime::ZERO, &fm.encode(1)).unwrap();
+        assert_eq!(effects.len(), 1);
+        match &effects[0] {
+            Effect::Forward { port, data } => {
+                assert_eq!(*port, 3);
+                let f = TcpFrame::decode(data).unwrap();
+                assert_eq!(f.dst_ip, Ipv4Addr::new(10, 0, 0, 5));
+                assert_eq!(f.dst_port, 31080);
+                assert_eq!(f.dst_mac, MacAddr::from_id(200));
+                // Source untouched: the client address survives.
+                assert_eq!(f.src_ip, Ipv4Addr::new(192, 168, 1, 20));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.buffered(), 0);
+        // Subsequent identical packets take the fast path.
+        let effects = s.handle_frame(SimTime::ZERO, 1, &data);
+        assert!(matches!(effects[0], Effect::Forward { port: 3, .. }));
+        assert_eq!(s.fast_path_packets, 2); // buffered replay + this one
+        assert_eq!(s.table_misses, 1);
+    }
+
+    #[test]
+    fn packet_out_inline_applies_actions() {
+        let mut s = sw();
+        let f = client_frame();
+        let po = Message::PacketOut {
+            buffer_id: OFP_NO_BUFFER,
+            in_port: 1,
+            actions: vec![Action::output(2)],
+            data: f.encode(),
+        };
+        let effects = s.handle_controller(SimTime::ZERO, &po.encode(5)).unwrap();
+        assert_eq!(
+            effects,
+            vec![Effect::Forward {
+                port: 2,
+                data: f.encode()
+            }]
+        );
+    }
+
+    #[test]
+    fn packet_out_with_stale_buffer_drops() {
+        let mut s = sw();
+        let po = Message::PacketOut {
+            buffer_id: 999,
+            in_port: 1,
+            actions: vec![Action::output(2)],
+            data: vec![],
+        };
+        let effects = s.handle_controller(SimTime::ZERO, &po.encode(5)).unwrap();
+        assert_eq!(effects, vec![Effect::Drop]);
+    }
+
+    #[test]
+    fn hello_echo_features_barrier() {
+        let mut s = sw();
+        let effects = s
+            .handle_controller(SimTime::ZERO, &Message::Hello.encode(1))
+            .unwrap();
+        assert!(matches!(decode_controller(&effects[0]), Message::Hello));
+        let effects = s
+            .handle_controller(SimTime::ZERO, &Message::EchoRequest(b"hi".to_vec()).encode(2))
+            .unwrap();
+        assert_eq!(
+            decode_controller(&effects[0]),
+            Message::EchoReply(b"hi".to_vec())
+        );
+        let effects = s
+            .handle_controller(SimTime::ZERO, &Message::FeaturesRequest.encode(3))
+            .unwrap();
+        match decode_controller(&effects[0]) {
+            Message::FeaturesReply { datapath_id, n_buffers, n_tables } => {
+                assert_eq!(datapath_id, 0xabc);
+                assert_eq!(n_buffers, 4);
+                assert_eq!(n_tables, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let effects = s
+            .handle_controller(SimTime::ZERO, &Message::BarrierRequest.encode(4))
+            .unwrap();
+        assert!(matches!(decode_controller(&effects[0]), Message::BarrierReply));
+    }
+
+    #[test]
+    fn flood_outputs_everywhere_but_ingress() {
+        let mut s = sw();
+        let fm = Message::FlowMod {
+            cookie: 0,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 1,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: Match::any(),
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(OFPP_FLOOD)])],
+        };
+        s.handle_controller(SimTime::ZERO, &fm.encode(1)).unwrap();
+        let effects = s.handle_frame(SimTime::ZERO, 2, &client_frame().encode());
+        let ports: Vec<u32> = effects
+            .iter()
+            .map(|e| match e {
+                Effect::Forward { port, .. } => *port,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ports, vec![1, 3]);
+    }
+
+    #[test]
+    fn idle_expiry_emits_flow_removed() {
+        let mut s = sw();
+        let fm = Message::FlowMod {
+            cookie: 42,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 10,
+            hard_timeout: 0,
+            priority: 50,
+            buffer_id: OFP_NO_BUFFER,
+            flags: OFPFF_SEND_FLOW_REM,
+            match_: Match::service([203, 0, 113, 10], 80),
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(3)])],
+        };
+        s.handle_controller(SimTime::ZERO, &fm.encode(1)).unwrap();
+        assert_eq!(s.next_expiry(), Some(SimTime::from_secs(10)));
+        assert!(s.expire_flows(SimTime::from_secs(9)).is_empty());
+        let effects = s.expire_flows(SimTime::from_secs(10));
+        assert_eq!(effects.len(), 1);
+        match decode_controller(&effects[0]) {
+            Message::FlowRemoved {
+                cookie,
+                reason,
+                duration_sec,
+                ..
+            } => {
+                assert_eq!(cookie, 42);
+                assert_eq!(reason, RemovedReason::IdleTimeout);
+                assert_eq!(duration_sec, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(s.table().is_empty());
+    }
+
+    #[test]
+    fn delete_with_notify_flag_emits_flow_removed() {
+        let mut s = sw();
+        let m = Match::service([1, 2, 3, 4], 80);
+        let add = Message::FlowMod {
+            cookie: 9,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 5,
+            buffer_id: OFP_NO_BUFFER,
+            flags: OFPFF_SEND_FLOW_REM,
+            match_: m.clone(),
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(1)])],
+        };
+        s.handle_controller(SimTime::ZERO, &add.encode(1)).unwrap();
+        let del = Message::FlowMod {
+            cookie: 9,
+            table_id: 0,
+            command: FlowModCommand::Delete,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 0,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: m,
+            instructions: vec![],
+        };
+        let effects = s.handle_controller(SimTime::from_secs(1), &del.encode(2)).unwrap();
+        assert_eq!(effects.len(), 1);
+        assert!(matches!(
+            decode_controller(&effects[0]),
+            Message::FlowRemoved {
+                reason: RemovedReason::Delete,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn buffer_exhaustion_ships_full_frame() {
+        let mut s = sw(); // 4 buffers
+        let data = client_frame().encode();
+        for i in 0..4 {
+            let mut f = client_frame();
+            f.src_port = 50000 + i as u16;
+            s.handle_frame(SimTime::ZERO, 1, &f.encode());
+        }
+        assert_eq!(s.buffered(), 4);
+        let effects = s.handle_frame(SimTime::ZERO, 1, &data);
+        match decode_controller(&effects[0]) {
+            Message::PacketIn {
+                buffer_id, data: included, ..
+            } => {
+                assert_eq!(buffer_id, OFP_NO_BUFFER);
+                assert_eq!(included.len(), data.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_to_controller_action() {
+        let mut s = sw();
+        let fm = Message::FlowMod {
+            cookie: 0,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 1,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: Match::any(),
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(
+                OFPP_CONTROLLER,
+            )])],
+        };
+        s.handle_controller(SimTime::ZERO, &fm.encode(1)).unwrap();
+        let effects = s.handle_frame(SimTime::ZERO, 1, &client_frame().encode());
+        assert!(matches!(
+            decode_controller(&effects[0]),
+            Message::PacketIn {
+                reason: PacketInReason::Action,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn garbage_frames_drop_and_garbage_control_errors() {
+        let mut s = sw();
+        assert_eq!(s.handle_frame(SimTime::ZERO, 1, &[0xff; 30]), vec![Effect::Drop]);
+        assert!(s.handle_controller(SimTime::ZERO, &[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn flow_stats_report_counters() {
+        let mut s = sw();
+        let m = Match::service([203, 0, 113, 10], 80);
+        let fm = Message::FlowMod {
+            cookie: 42,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 10,
+            hard_timeout: 0,
+            priority: 100,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: m.clone(),
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(3)])],
+        };
+        s.handle_controller(SimTime::ZERO, &fm.encode(1)).unwrap();
+        let data = client_frame().encode();
+        s.handle_frame(SimTime::from_secs(2), 1, &data);
+        let req = Message::FlowStatsRequest {
+            table_id: 0xff,
+            match_: Match::any(),
+        };
+        let effects = s
+            .handle_controller(SimTime::from_secs(5), &req.encode(2))
+            .unwrap();
+        match decode_controller(&effects[0]) {
+            Message::FlowStatsReply { flows } => {
+                assert_eq!(flows.len(), 1);
+                assert_eq!(flows[0].cookie, 42);
+                assert_eq!(flows[0].packet_count, 1);
+                assert_eq!(flows[0].byte_count, data.len() as u64);
+                assert_eq!(flows[0].duration_sec, 5);
+                assert_eq!(flows[0].match_, m);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Filtered query for a non-matching service: empty reply.
+        let req = Message::FlowStatsRequest {
+            table_id: 0xff,
+            match_: Match::service([1, 2, 3, 4], 9),
+        };
+        let effects = s
+            .handle_controller(SimTime::from_secs(5), &req.encode(3))
+            .unwrap();
+        assert!(matches!(
+            decode_controller(&effects[0]),
+            Message::FlowStatsReply { flows } if flows.is_empty()
+        ));
+    }
+
+    #[test]
+    fn drop_rule_drops() {
+        let mut s = sw();
+        let fm = Message::FlowMod {
+            cookie: 0,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 1,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: Match::any(),
+            instructions: vec![Instruction::ApplyActions(vec![])],
+        };
+        s.handle_controller(SimTime::ZERO, &fm.encode(1)).unwrap();
+        let effects = s.handle_frame(SimTime::ZERO, 1, &client_frame().encode());
+        assert_eq!(effects, vec![Effect::Drop]);
+    }
+}

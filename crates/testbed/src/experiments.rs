@@ -1,0 +1,1010 @@
+//! One entry point per table/figure of the paper, plus the ablations.
+//!
+//! Every experiment is deterministic in its seed and returns a [`Figure`]:
+//! a machine-readable table plus rendered text. The `repro` binary in the
+//! `bench` crate prints these; `EXPERIMENTS.md` records them against the
+//! paper's numbers.
+
+use crate::harness::{ClusterKind, Testbed, TestbedConfig};
+use crate::report::{bar_chart, timeline, Table};
+use containerd::{ContentStore, ServiceProfile, ServiceSet};
+use desim::{Duration, SimRng, SimTime, Summary};
+use edgectl::controller::RequestKind;
+use edgectl::ControllerConfig;
+use netsim::{Ipv4Addr, ServiceAddr};
+use registry::RegistryProfile;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use workload::{Trace, TraceConfig};
+
+/// A reproduced table or figure.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Identifier (`table1`, `fig9`, ... `fig16`, `hybrid`, ...).
+    pub id: &'static str,
+    /// Title line.
+    pub title: String,
+    /// Machine-readable result rows.
+    pub table: Table,
+    /// Fully rendered text (table plus charts/notes).
+    pub body: String,
+}
+
+impl Figure {
+    fn new(id: &'static str, title: impl Into<String>, table: Table) -> Figure {
+        let title = title.into();
+        let body = format!("== {id}: {title} ==\n{}", table.render());
+        Figure { id, title, table, body }
+    }
+
+    fn with_extra(mut self, extra: &str) -> Figure {
+        self.body.push_str(extra);
+        if !extra.ends_with('\n') {
+            self.body.push('\n');
+        }
+        self
+    }
+}
+
+fn addr_of(profile: &ServiceProfile, index: usize) -> ServiceAddr {
+    ServiceAddr::new(Ipv4Addr::new(203, 0, 113, (index + 1) as u8), profile.listen_port)
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+/// Table I: the four edge services.
+pub fn table1() -> Figure {
+    let mut t = Table::new(&["Service", "Image(s)", "Size", "Layers", "Containers", "HTTP"]);
+    for p in ServiceSet::all() {
+        let images: Vec<String> = p.manifests.iter().map(|m| m.reference.to_string()).collect();
+        let size = p.total_image_size();
+        let size_str = if size < 1024 * 1024 {
+            format!("{:.2} KiB", size as f64 / 1024.0)
+        } else {
+            format!("{} MiB", size / (1024 * 1024))
+        };
+        t.row(vec![
+            p.display.to_string(),
+            images.join(" + "),
+            size_str,
+            p.total_layers().to_string(),
+            p.container_count().to_string(),
+            p.http_method.to_string(),
+        ]);
+    }
+    Figure::new("table1", "Edge services used in this work", t)
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 9 & 10 — the request / deployment distributions
+// ---------------------------------------------------------------------------
+
+/// Fig. 9: distribution of 1708 requests to 42 services over five minutes.
+pub fn fig9(seed: u64) -> Figure {
+    let trace = Trace::generate(TraceConfig::default(), seed);
+    let mut counts = trace.per_service_counts();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let mut t = Table::new(&["Service rank", "Requests"]);
+    for (i, c) in counts.iter().enumerate() {
+        t.row(vec![format!("{}", i + 1), c.to_string()]);
+    }
+    let labels: Vec<String> = (1..=counts.len()).map(|i| format!("#{i:02}")).collect();
+    let values: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    let chart = format!(
+        "\nRequests per service (sorted):\n{}\nArrivals over the 5-minute trace:\n{}\n",
+        bar_chart(&labels[..12], &values[..12], 40, "requests"),
+        timeline(&trace.requests_per_second(), 75)
+    );
+    Figure::new(
+        "fig9",
+        format!(
+            "Distribution of {} requests to {} edge services over five minutes",
+            trace.requests.len(),
+            counts.len()
+        ),
+        t,
+    )
+    .with_extra(&chart)
+}
+
+/// Fig. 10: distribution of the 42 deployments over five minutes.
+pub fn fig10(seed: u64) -> Figure {
+    let trace = Trace::generate(TraceConfig::default(), seed);
+    let per_sec = trace.deployments_per_second();
+    let peak = *per_sec.iter().max().unwrap();
+    let mut t = Table::new(&["Second", "Deployments"]);
+    for (s, &d) in per_sec.iter().enumerate() {
+        if d > 0 {
+            t.row(vec![s.to_string(), d.to_string()]);
+        }
+    }
+    let chart = format!(
+        "\nDeployments over the trace (peak {peak}/s, paper: up to ~8/s early):\n{}\n",
+        timeline(&per_sec, 75)
+    );
+    Figure::new(
+        "fig10",
+        "Distribution of 42 edge service deployments over five minutes",
+        t,
+    )
+    .with_extra(&chart)
+}
+
+// ---------------------------------------------------------------------------
+// The deployment-phase experiments (Figs. 11/12/14/15/16)
+// ---------------------------------------------------------------------------
+
+/// The measurements of one trace replay: one service type on one cluster.
+#[derive(Clone, Debug, Default)]
+pub struct DeploymentRun {
+    /// `time_total` of each service's *first* request (deployment included),
+    /// seconds.
+    pub firsts: Vec<f64>,
+    /// Controller-observed wait-until-ready per deployment, seconds.
+    pub waits: Vec<f64>,
+    /// `time_total` of warm (non-first) requests, seconds.
+    pub warm: Vec<f64>,
+    /// Connection resets seen (expected zero).
+    pub resets: u64,
+}
+
+impl DeploymentRun {
+    fn median_first(&self) -> f64 {
+        Summary::new(self.firsts.clone()).median().unwrap_or(f64::NAN)
+    }
+    fn median_wait(&self) -> f64 {
+        Summary::new(self.waits.clone()).median().unwrap_or(f64::NAN)
+    }
+    fn median_warm(&self) -> f64 {
+        Summary::new(self.warm.clone()).median().unwrap_or(f64::NAN)
+    }
+}
+
+/// Replays the bigFlows-like trace with every one of the 42 services bound
+/// to `profile` on a cluster of `kind`. `pre_create` distinguishes the
+/// scale-up-only scenario (Fig. 11: images pulled *and* services created)
+/// from create+scale-up (Fig. 12: images pulled only).
+pub fn run_trace_experiment(
+    kind: ClusterKind,
+    profile: &ServiceProfile,
+    pre_create: bool,
+    seed: u64,
+) -> DeploymentRun {
+    let trace = Trace::generate(TraceConfig::default(), seed);
+    let mut tb = Testbed::new(TestbedConfig {
+        cluster: kind,
+        seed,
+        controller: ControllerConfig {
+            // Keep all 42 services alive for the whole trace so the run
+            // produces exactly the 42 deployments of Fig. 10.
+            memory_idle: Duration::from_secs(400),
+            ..ControllerConfig::default()
+        },
+        ..TestbedConfig::default()
+    });
+    let n_services = trace.config.n_services;
+    let mut addrs = Vec::with_capacity(n_services);
+    for i in 0..n_services {
+        let addr = addr_of(profile, i);
+        tb.register_service(profile.clone(), addr);
+        tb.pre_pull(addr);
+        if pre_create {
+            tb.pre_create(addr);
+        }
+        addrs.push(addr);
+    }
+    for r in &trace.requests {
+        // Offset by 1 s so setup happens strictly before traffic.
+        tb.request_at(r.at + Duration::from_secs(1), r.client, addrs[r.service]);
+    }
+    tb.run_until(SimTime::from_secs(400));
+
+    let mut first_done: BTreeMap<ServiceAddr, f64> = BTreeMap::new();
+    let mut warm = Vec::new();
+    for c in &tb.completed {
+        let total = c.timing.time_total().expect("completed").as_secs_f64();
+        if let std::collections::btree_map::Entry::Vacant(e) = first_done.entry(c.service) {
+            e.insert(total);
+        } else {
+            warm.push(total);
+        }
+    }
+    let waits = tb
+        .controller
+        .records
+        .iter()
+        .filter(|r| r.kind == RequestKind::Waited)
+        .filter_map(|r| r.phases.wait_time())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    DeploymentRun {
+        firsts: first_done.into_values().collect(),
+        waits,
+        warm,
+        resets: tb.resets,
+    }
+}
+
+/// All eight trace replays (4 services × 2 clusters) for one scenario.
+pub struct EvalRuns {
+    /// `(cluster, service key)` → run.
+    pub runs: BTreeMap<(&'static str, &'static str), DeploymentRun>,
+    /// Whether services were pre-created (Fig. 11) or not (Fig. 12).
+    pub pre_created: bool,
+}
+
+impl EvalRuns {
+    /// Runs the full matrix for the given scenario.
+    pub fn collect(pre_create: bool, seed: u64) -> EvalRuns {
+        let mut runs = BTreeMap::new();
+        for kind in [ClusterKind::Docker, ClusterKind::K8s] {
+            for profile in ServiceSet::all() {
+                let run = run_trace_experiment(kind, &profile, pre_create, seed);
+                runs.insert((kind.label(), profile.key), run);
+            }
+        }
+        EvalRuns {
+            runs,
+            pre_created: pre_create,
+        }
+    }
+
+    fn matrix_figure(
+        &self,
+        id: &'static str,
+        title: &str,
+        value: impl Fn(&DeploymentRun) -> f64,
+        unit: &str,
+    ) -> Figure {
+        let mut t = Table::new(&["Service", "Docker", "K8s"]);
+        let mut labels = Vec::new();
+        let mut docker_vals = Vec::new();
+        let mut k8s_vals = Vec::new();
+        for profile in ServiceSet::all() {
+            let d = value(&self.runs[&("Docker", profile.key)]);
+            let k = value(&self.runs[&("K8s", profile.key)]);
+            t.row(vec![
+                profile.key.to_string(),
+                format!("{d:.3} {unit}"),
+                format!("{k:.3} {unit}"),
+            ]);
+            labels.push(format!("{} (Docker)", profile.key));
+            docker_vals.push(d);
+            labels.push(format!("{} (K8s)", profile.key));
+            k8s_vals.push(k);
+        }
+        let mut values = Vec::new();
+        for i in 0..docker_vals.len() {
+            values.push(docker_vals[i]);
+            values.push(k8s_vals[i]);
+        }
+        let chart = format!("\n{}", bar_chart(&labels, &values, 50, unit));
+        Figure::new(id, title.to_owned(), t).with_extra(&chart)
+    }
+}
+
+/// Fig. 11: median total time to *scale up* on both clusters (images pulled,
+/// services created; 42 instances per test).
+pub fn fig11(runs: &EvalRuns) -> Figure {
+    assert!(runs.pre_created, "fig11 needs the pre-created scenario");
+    runs.matrix_figure(
+        "fig11",
+        "Total time (median) to scale up four services on two clusters",
+        DeploymentRun::median_first,
+        "s",
+    )
+}
+
+/// Fig. 12: median total time to *create + scale up* (images pulled only).
+pub fn fig12(runs: &EvalRuns) -> Figure {
+    assert!(!runs.pre_created, "fig12 needs the non-pre-created scenario");
+    runs.matrix_figure(
+        "fig12",
+        "Total time (median) to create + scale up four services on two clusters",
+        DeploymentRun::median_first,
+        "s",
+    )
+}
+
+/// Fig. 14: median wait-until-ready after scale-up (component of Fig. 11).
+pub fn fig14(runs: &EvalRuns) -> Figure {
+    assert!(runs.pre_created);
+    runs.matrix_figure(
+        "fig14",
+        "Wait time (median) until services are ready after being scaled up",
+        DeploymentRun::median_wait,
+        "s",
+    )
+}
+
+/// Fig. 15: median wait-until-ready after create + scale-up (component of
+/// Fig. 12).
+pub fn fig15(runs: &EvalRuns) -> Figure {
+    assert!(!runs.pre_created);
+    runs.matrix_figure(
+        "fig15",
+        "Wait time (median) until services are ready after create + scale up",
+        DeploymentRun::median_wait,
+        "s",
+    )
+}
+
+/// Fig. 16: median total request time once the instance runs.
+pub fn fig16(runs: &EvalRuns) -> Figure {
+    runs.matrix_figure(
+        "fig16",
+        "Total time (median) for client requests once the instance is running",
+        DeploymentRun::median_warm,
+        "s",
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13 — pull times
+// ---------------------------------------------------------------------------
+
+/// Fig. 13: total time to pull each service's images from its public
+/// registry (Docker Hub / GCR) versus a private in-network registry.
+pub fn fig13(n_seeds: u64) -> Figure {
+    let mut t = Table::new(&["Service", "Public registry", "Private registry", "Saving"]);
+    let mut labels = Vec::new();
+    let mut values = Vec::new();
+    for profile in ServiceSet::all() {
+        let mut public = Vec::new();
+        let mut private = Vec::new();
+        for seed in 0..n_seeds {
+            let mut rng = SimRng::new(seed ^ 0x000f_1613);
+            let mut store = ContentStore::new();
+            public.push(store.pull_all(&profile.manifests, &mut rng).as_secs_f64());
+            let mut rng = SimRng::new(seed ^ 0x000f_1613);
+            let mut store = ContentStore::with_mirror(RegistryProfile::private_local());
+            private.push(store.pull_all(&profile.manifests, &mut rng).as_secs_f64());
+        }
+        let pu = Summary::new(public).median().unwrap();
+        let pr = Summary::new(private).median().unwrap();
+        t.row(vec![
+            profile.key.to_string(),
+            format!("{pu:.3} s"),
+            format!("{pr:.3} s"),
+            format!("{:.3} s", pu - pr),
+        ]);
+        labels.push(format!("{} (public)", profile.key));
+        values.push(pu);
+        labels.push(format!("{} (private)", profile.key));
+        values.push(pr);
+    }
+    let chart = format!("\n{}", bar_chart(&labels, &values, 50, "s"));
+    Figure::new(
+        "fig13",
+        "Total time to pull the service container images (public vs private registry)",
+        t,
+    )
+    .with_extra(&chart)
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (Sections V & VII)
+// ---------------------------------------------------------------------------
+
+/// Section VII's hybrid proposal: answer the first request via Docker
+/// (fast), deploy the same service on Kubernetes in the background for
+/// future requests — one controller, two clusters, the `docker-first`
+/// Global Scheduler. Reported per service: the first answer (Docker speed),
+/// when the background K8s instance became ready, the K8s-only baseline it
+/// beats, and which cluster serves a later fresh client.
+pub fn hybrid(seed: u64) -> Figure {
+    let mut t = Table::new(&[
+        "Service",
+        "First answer (hybrid)",
+        "K8s ready (background)",
+        "K8s-only first answer",
+        "Later client served by",
+    ]);
+    for profile in ServiceSet::all() {
+        let mut tb = Testbed::new(TestbedConfig {
+            cluster: ClusterKind::Docker,
+            scheduler: "docker-first".to_owned(),
+            seed,
+            ..TestbedConfig::default()
+        });
+        tb.add_hybrid_k8s();
+        let addr = addr_of(&profile, 0);
+        tb.register_service(profile.clone(), addr);
+        tb.pre_pull(addr);
+        tb.pre_create(addr);
+        tb.pre_pull_on(addr, 1);
+        let t0 = SimTime::from_secs(1);
+        tb.request_at(t0, 0, addr);
+        // A fresh client well after the background deployment finished.
+        tb.request_at(SimTime::from_secs(30), 1, addr);
+        tb.run_until(SimTime::from_secs(90));
+
+        let first = tb
+            .completed
+            .iter()
+            .find(|c| c.client == 0)
+            .and_then(|c| c.timing.time_total())
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(f64::NAN);
+        let bg_ready = tb
+            .controller
+            .records
+            .first()
+            .and_then(|r| r.background_ready)
+            .map(|at| at.saturating_since(t0).as_secs_f64());
+        let later_cluster = tb
+            .controller
+            .records
+            .iter()
+            .find(|r| r.client == tb.topology().client_ip(1))
+            .and_then(|r| r.cluster)
+            .map(|i| tb.controller.cluster(i).name().to_owned())
+            .unwrap_or_else(|| "-".to_owned());
+        let k8s_only = run_single(ClusterKind::K8s, &profile, seed);
+        t.row(vec![
+            profile.key.to_string(),
+            format!("{first:.3} s"),
+            bg_ready
+                .map(|b| format!("{b:.3} s"))
+                .unwrap_or_else(|| "-".to_owned()),
+            format!("{k8s_only:.3} s"),
+            later_cluster,
+        ]);
+    }
+    Figure::new(
+        "hybrid",
+        "Docker-first + Kubernetes-later hybrid (Section VII)",
+        t,
+    )
+    .with_extra("\nFirst response arrives at Docker speed while Kubernetes deploys in the background; once its pod is ready, new clients are served by K8s.\n")
+}
+
+fn run_single(kind: ClusterKind, profile: &ServiceProfile, seed: u64) -> f64 {
+    let mut tb = Testbed::new(TestbedConfig {
+        cluster: kind,
+        seed,
+        ..TestbedConfig::default()
+    });
+    let addr = addr_of(profile, 0);
+    tb.register_service(profile.clone(), addr);
+    tb.pre_pull(addr);
+    tb.pre_create(addr);
+    tb.request_at(SimTime::from_secs(1), 0, addr);
+    tb.run_until(SimTime::from_secs(60));
+    tb.completed
+        .first()
+        .and_then(|c| c.timing.time_total())
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::NAN)
+}
+
+/// On-demand deployment *with* vs *without* waiting (Figs. 3/5): when a
+/// farther edge already runs the service, the without-waiting scheduler
+/// answers the first request immediately from there while the nearby edge
+/// deploys; with-waiting holds the first request until the nearby instance
+/// is up.
+pub fn waiting_comparison(seed: u64) -> Figure {
+    let mut t = Table::new(&[
+        "Service",
+        "With waiting (first req)",
+        "Without waiting (first req)",
+        "Near edge ready (bg)",
+    ]);
+    for profile in ServiceSet::all() {
+        let (with_wait, _) = first_request_under(&profile, "proximity", seed);
+        let (without_wait, bg_ready) = first_request_under(&profile, "latency-aware", seed);
+        t.row(vec![
+            profile.key.to_string(),
+            format!("{with_wait:.3} s"),
+            format!("{without_wait:.3} s"),
+            bg_ready
+                .map(|b| format!("{b:.3} s"))
+                .unwrap_or_else(|| "-".to_owned()),
+        ]);
+    }
+    Figure::new(
+        "waiting",
+        "On-demand deployment with vs without waiting (first request)",
+        t,
+    )
+}
+
+/// First-request `time_total` under a given Global Scheduler, in a two-edge
+/// scenario: the near edge is empty (images cached) and a *far* instance is
+/// already running — emulated by the cloud hosting the service.
+fn first_request_under(profile: &ServiceProfile, scheduler: &str, seed: u64) -> (f64, Option<f64>) {
+    let mut tb = Testbed::new(TestbedConfig {
+        cluster: ClusterKind::Docker,
+        scheduler: scheduler.to_owned(),
+        seed,
+        ..TestbedConfig::default()
+    });
+    let addr = addr_of(profile, 0);
+    tb.register_service(profile.clone(), addr);
+    tb.pre_pull(addr);
+    tb.pre_create(addr);
+    let t0 = SimTime::from_secs(1);
+    tb.request_at(t0, 0, addr);
+    tb.run_until(SimTime::from_secs(60));
+    let total = tb
+        .completed
+        .first()
+        .and_then(|c| c.timing.time_total())
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::NAN);
+    let bg = tb
+        .controller
+        .records
+        .first()
+        .and_then(|r| r.background_ready.or(r.phases.instance_ready))
+        .map(|t| t.saturating_since(t0).as_secs_f64());
+    (total, bg)
+}
+
+/// FlowMemory idle-timeout sweep (Section V): shorter timeouts scale idle
+/// services down sooner but cause re-deployments; longer timeouts keep
+/// instances warm at the cost of occupancy.
+pub fn timeout_sweep(seed: u64) -> Figure {
+    let profile = ServiceSet::by_key("asm").expect("asm profile");
+    let trace = Trace::generate(
+        TraceConfig {
+            n_services: 8,
+            n_requests: 240,
+            min_per_service: 10,
+            ..TraceConfig::default()
+        },
+        seed,
+    );
+    let mut t = Table::new(&[
+        "Idle timeout [s]",
+        "Deployments",
+        "Memory hits",
+        "Scale-downs",
+        "Median first-req [s]",
+    ]);
+    for timeout_s in [5u64, 15, 30, 60, 120, 300] {
+        let mut tb = Testbed::new(TestbedConfig {
+            cluster: ClusterKind::Docker,
+            seed,
+            controller: ControllerConfig {
+                memory_idle: Duration::from_secs(timeout_s),
+                ..ControllerConfig::default()
+            },
+            ..TestbedConfig::default()
+        });
+        let mut addrs = Vec::new();
+        for i in 0..trace.config.n_services {
+            let addr = addr_of(&profile, i);
+            tb.register_service(profile.clone(), addr);
+            tb.pre_pull(addr);
+            tb.pre_create(addr);
+            addrs.push(addr);
+        }
+        for r in &trace.requests {
+            tb.request_at(r.at + Duration::from_secs(1), r.client, addrs[r.service]);
+        }
+        tb.run_until(SimTime::from_secs(400));
+        // A deployment = a record that actually issued a scale-up (several
+        // concurrent requests may wait on one in-flight deployment).
+        let deployments = tb
+            .controller
+            .records
+            .iter()
+            .filter(|r| r.phases.scale_up_at.is_some())
+            .count();
+        let hits = tb
+            .controller
+            .records
+            .iter()
+            .filter(|r| r.kind == RequestKind::MemoryHit)
+            .count();
+        let waited_totals: Vec<f64> = tb
+            .completed
+            .iter()
+            .zip(tb.controller.records.iter())
+            .filter(|(_, r)| r.kind == RequestKind::Waited)
+            .filter_map(|(c, _)| c.timing.time_total())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        let med = Summary::new(waited_totals).median().unwrap_or(f64::NAN);
+        // Scale-downs equal re-deployments beyond the initial ones.
+        let scale_downs = deployments.saturating_sub(trace.config.n_services);
+        t.row(vec![
+            timeout_s.to_string(),
+            deployments.to_string(),
+            hits.to_string(),
+            scale_downs.to_string(),
+            format!("{med:.3}"),
+        ]);
+    }
+    Figure::new(
+        "timeout-sweep",
+        "FlowMemory idle-timeout sweep: re-deployments vs memory hits",
+        t,
+    )
+}
+
+/// Proactive deployment (Sections I/VII): the paper argues on-demand
+/// deployment is the safety net for imperfect prediction; this ablation
+/// quantifies the trade-off. The trace is replayed with an aggressive idle
+/// timeout (services scale down between bursts), under different predictors:
+/// cold dispatches ("waited") drop as prediction improves, at the cost of
+/// proactive deployments.
+pub fn proactive(seed: u64) -> Figure {
+    let profile = ServiceSet::by_key("nginx").expect("nginx profile");
+    let trace = Trace::generate(
+        TraceConfig {
+            n_services: 12,
+            n_requests: 420,
+            min_per_service: 12,
+            ..TraceConfig::default()
+        },
+        seed,
+    );
+    let mut t = Table::new(&[
+        "Predictor",
+        "Cold (waited) requests",
+        "Proactive deployments",
+        "Median time_total [s]",
+        "p90 time_total [s]",
+    ]);
+    for predictor in ["none", "recency", "frequency", "markov"] {
+        let mut tb = Testbed::new(TestbedConfig {
+            cluster: ClusterKind::Docker,
+            seed,
+            predictor: predictor.to_owned(),
+            controller: ControllerConfig {
+                memory_idle: Duration::from_secs(20),
+                ..ControllerConfig::default()
+            },
+            ..TestbedConfig::default()
+        });
+        let mut addrs = Vec::new();
+        for i in 0..trace.config.n_services {
+            let addr = addr_of(&profile, i);
+            tb.register_service(profile.clone(), addr);
+            tb.pre_pull(addr);
+            tb.pre_create(addr);
+            addrs.push(addr);
+        }
+        for r in &trace.requests {
+            tb.request_at(r.at + Duration::from_secs(1), r.client, addrs[r.service]);
+        }
+        tb.run_until(SimTime::from_secs(400));
+        let waited = tb
+            .controller
+            .records
+            .iter()
+            .filter(|r| r.kind == RequestKind::Waited)
+            .count();
+        let totals: Vec<f64> = tb
+            .completed
+            .iter()
+            .filter_map(|c| c.timing.time_total())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        let s = Summary::new(totals);
+        t.row(vec![
+            predictor.to_string(),
+            waited.to_string(),
+            tb.proactive_deployments.to_string(),
+            format!("{:.4}", s.median().unwrap_or(f64::NAN)),
+            format!("{:.4}", s.percentile(90.0).unwrap_or(f64::NAN)),
+        ]);
+    }
+    Figure::new(
+        "proactive",
+        "Proactive deployment: prediction quality vs cold requests",
+        t,
+    )
+    .with_extra("\nPrediction keeps services warm across idle gaps: cold (held) requests fall, paid for in proactive deployments. On-demand deployment absorbs every miss.\n")
+}
+
+/// The Local Scheduler ablation (Section IV-B, Fig. 6): on a multi-worker
+/// Kubernetes edge cluster, the pluggable `schedulerName` decides placement —
+/// and since image caches are per node, placement decides who pulls. The
+/// default spreading scheduler distributes load but multiplies cold pulls;
+/// the packing scheduler reuses one node's cache and leaves the others free.
+pub fn local_scheduler(seed: u64) -> Figure {
+    use containerd::ContainerdNode;
+    use k8ssim::objects::{PodContainer, PodTemplate};
+    use k8ssim::{ClusterEvent, K8sCluster, PackFirstScheduler};
+    use registry::image::catalog;
+
+    let mut t = Table::new(&[
+        "Local scheduler",
+        "Nodes used",
+        "Cold pulls",
+        "Bytes pulled",
+        "Median pod-ready [s]",
+    ]);
+    for (label, scheduler_name) in [
+        ("default (spread)", None::<&str>),
+        ("edge-pack-scheduler", Some("edge-pack-scheduler")),
+    ] {
+        let mut rng = SimRng::new(seed ^ 0x10c);
+        let mut c = K8sCluster::with_defaults();
+        c.add_worker("pi-01", ContainerdNode::with_defaults(), 30);
+        c.add_worker("pi-02", ContainerdNode::with_defaults(), 30);
+        c.register_scheduler(Box::<PackFirstScheduler>::default());
+
+        let mut ready_latencies = Vec::new();
+        let mut nodes_used = std::collections::BTreeSet::new();
+        for i in 0..9u64 {
+            let name = format!("svc-{i}");
+            let sel: std::collections::BTreeMap<String, String> =
+                [("app".to_string(), name.clone())].into();
+            let dep = k8ssim::Deployment {
+                name: name.clone(),
+                labels: sel.clone(),
+                replicas: 1,
+                selector: sel.clone(),
+                template: PodTemplate {
+                    labels: sel.clone(),
+                    containers: vec![PodContainer {
+                        spec: containerd::ContainerSpec::new(
+                            "nginx",
+                            registry::ImageRef::parse("nginx:1.23.2"),
+                            Some(80),
+                        ),
+                        manifest: catalog::nginx(),
+                        ready: desim::LogNormal::from_median(0.045, 0.2),
+                    }],
+                },
+                scheduler_name: scheduler_name.map(str::to_owned),
+            };
+            let svc = k8ssim::Service {
+                name: name.clone(),
+                selector: sel,
+                port: 80,
+                target_port: 80,
+                protocol: "TCP".into(),
+            };
+            let t0 = SimTime::from_secs(i * 30);
+            c.apply(dep, svc, t0, &mut rng);
+            for e in c.settle(&mut rng) {
+                match e {
+                    ClusterEvent::PodScheduled { node, .. } => {
+                        nodes_used.insert(node);
+                    }
+                    ClusterEvent::PodReady { at, .. } => {
+                        ready_latencies.push(at.saturating_since(t0).as_secs_f64());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let bytes: u64 = c.workers().iter().map(|w| w.node.store().disk_usage()).sum();
+        let cold_pulls = c
+            .workers()
+            .iter()
+            .filter(|w| w.node.store().has_image(&catalog::nginx()))
+            .count();
+        let med = Summary::new(ready_latencies).median().unwrap_or(f64::NAN);
+        t.row(vec![
+            label.to_string(),
+            nodes_used.len().to_string(),
+            cold_pulls.to_string(),
+            format!("{} MiB", bytes / (1024 * 1024)),
+            format!("{med:.3}"),
+        ]);
+    }
+    Figure::new(
+        "local-scheduler",
+        "Local Scheduler ablation: placement decides per-node pulls",
+        t,
+    )
+}
+
+/// The hierarchical-edge scenario (Section IV-A-2): "a 'non-optimal'
+/// (further away, but on the route to the cloud) edge cluster is much more
+/// likely to have the requested service cached or even running already."
+/// With a far edge running the service, the without-waiting first request is
+/// answered from there (milliseconds) instead of the cloud (tens of ms) or
+/// a held deployment (hundreds of ms) — while the near edge warms up.
+pub fn hierarchy(seed: u64) -> Figure {
+    let mut t = Table::new(&[
+        "Service",
+        "First req via far edge",
+        "First req via cloud (no far edge)",
+        "First req held (with waiting)",
+        "Steady state (near edge)",
+    ]);
+    for profile in ServiceSet::all() {
+        let far = hierarchy_run(&profile, true, "latency-aware", seed);
+        let cloud = hierarchy_run(&profile, false, "latency-aware", seed);
+        let held = hierarchy_run(&profile, false, "proximity", seed);
+        t.row(vec![
+            profile.key.to_string(),
+            format!("{:.4} s", far.0),
+            format!("{:.4} s", cloud.0),
+            format!("{:.4} s", held.0),
+            format!("{:.4} s", far.1),
+        ]);
+    }
+    Figure::new(
+        "hierarchy",
+        "Hierarchical edges: a farther cluster already running the service",
+        t,
+    )
+    .with_extra("\nThe far edge answers the first request ~an order of magnitude faster than the cloud and without any deployment hold; future requests move to the near edge once it is up.\n")
+}
+
+/// Returns `(first request total, steady-state total)` for one scenario.
+fn hierarchy_run(
+    profile: &ServiceProfile,
+    far_edge: bool,
+    scheduler: &str,
+    seed: u64,
+) -> (f64, f64) {
+    let mut tb = Testbed::new(TestbedConfig {
+        cluster: ClusterKind::Docker,
+        scheduler: scheduler.to_owned(),
+        far_edge,
+        seed,
+        ..TestbedConfig::default()
+    });
+    let addr = addr_of(profile, 0);
+    tb.register_service(profile.clone(), addr);
+    tb.pre_pull(addr);
+    tb.pre_create(addr);
+    if far_edge {
+        tb.pre_deploy_on(addr, 1);
+    }
+    // Setup (including the far edge's own cold pull) finishes well before
+    // t = 10 s; the steady-state probe runs after the background deployment.
+    tb.request_at(SimTime::from_secs(10), 0, addr);
+    tb.request_at(SimTime::from_secs(40), 1, addr);
+    tb.run_until(SimTime::from_secs(90));
+    let total_of = |client: usize| {
+        tb.completed
+            .iter()
+            .find(|c| c.client == client)
+            .and_then(|c| c.timing.time_total())
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    };
+    (total_of(0), total_of(1))
+}
+
+/// Renders a quick summary of every figure (used by `repro all`).
+pub fn summary_line(fig: &Figure) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{:14} {}", fig.id, fig.title);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let f = table1();
+        assert_eq!(f.table.rows.len(), 4);
+        assert!(f.body.contains("6.18 KiB"));
+        assert!(f.body.contains("135 MiB"));
+        assert!(f.body.contains("308 MiB"));
+        assert!(f.body.contains("181 MiB"));
+        assert!(f.body.contains("POST"));
+    }
+
+    #[test]
+    fn fig9_and_fig10_aggregates() {
+        let f9 = fig9(7);
+        assert!(f9.title.contains("1708 requests"));
+        assert!(f9.title.contains("42 edge services"));
+        let f10 = fig10(7);
+        let total: u64 = f10
+            .table
+            .rows
+            .iter()
+            .map(|r| r[1].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn fig13_private_registry_saves_seconds() {
+        let f = fig13(24);
+        // nginx row: saving between 1 and 3 s (paper: 1.5–2 s).
+        let nginx = f.table.rows.iter().find(|r| r[0] == "nginx").unwrap();
+        let saving: f64 = nginx[3].trim_end_matches(" s").parse().unwrap();
+        assert!((1.0..3.0).contains(&saving), "saving {saving}");
+        // asm pulls fastest.
+        let parse = |row: &Vec<String>| -> f64 { row[1].trim_end_matches(" s").parse().unwrap() };
+        let asm = parse(f.table.rows.iter().find(|r| r[0] == "asm").unwrap());
+        let resnet = parse(f.table.rows.iter().find(|r| r[0] == "resnet").unwrap());
+        assert!(asm < resnet);
+    }
+
+    #[test]
+    fn single_run_shapes() {
+        // One full trace replay on Docker with nginx: the paper's headline.
+        let run = run_trace_experiment(
+            ClusterKind::Docker,
+            &ServiceSet::by_key("nginx").unwrap(),
+            true,
+            3,
+        );
+        assert_eq!(run.firsts.len(), 42, "42 deployments");
+        assert_eq!(run.resets, 0);
+        let med = run.median_first();
+        assert!((0.3..1.0).contains(&med), "docker nginx median {med}");
+        assert!(run.median_warm() < 0.05, "warm requests are milliseconds");
+        assert!(run.median_wait() < med);
+        assert!(run.warm.len() > 1500, "most trace requests are warm");
+    }
+
+    #[test]
+    fn k8s_run_is_slower() {
+        let run = run_trace_experiment(
+            ClusterKind::K8s,
+            &ServiceSet::by_key("asm").unwrap(),
+            true,
+            3,
+        );
+        let med = run.median_first();
+        assert!((2.0..4.5).contains(&med), "k8s asm median {med}");
+        assert_eq!(run.resets, 0);
+    }
+
+    #[test]
+    fn proactive_prediction_reduces_cold_requests() {
+        let f = proactive(5);
+        let cold: Vec<usize> = f.table.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let deployments: Vec<usize> = f.table.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        // Row 0 is the reactive baseline.
+        assert_eq!(deployments[0], 0, "no prediction, no proactive deployments");
+        for i in 1..cold.len() {
+            assert!(cold[i] <= cold[0], "predictor {} made things worse", f.table.rows[i][0]);
+            assert!(deployments[i] > 0, "predictors deploy proactively");
+        }
+        // Recency should be the strongest on this bursty workload.
+        assert!(cold[1] < cold[0] / 2, "recency halves cold requests: {cold:?}");
+    }
+
+    #[test]
+    fn local_scheduler_pack_pulls_once() {
+        let f = local_scheduler(5);
+        let cold: Vec<usize> = f.table.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert_eq!(cold, vec![3, 1], "spread pulls everywhere, pack once");
+        let nodes: Vec<usize> = f.table.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert_eq!(nodes, vec![3, 1]);
+    }
+
+    #[test]
+    fn hierarchy_far_edge_beats_cloud_and_waiting() {
+        let f = hierarchy(5);
+        let parse = |row: &Vec<String>, col: usize| -> f64 {
+            row[col].trim_end_matches(" s").parse().unwrap()
+        };
+        let nginx = f.table.rows.iter().find(|r| r[0] == "nginx").unwrap();
+        let far = parse(nginx, 1);
+        let cloud = parse(nginx, 2);
+        let held = parse(nginx, 3);
+        let steady = parse(nginx, 4);
+        assert!(far < cloud / 2.0, "far edge {far} vs cloud {cloud}");
+        assert!(held > cloud, "holding costs more than the cloud answer");
+        assert!(steady < far, "near edge steady state is the fastest");
+    }
+
+    #[test]
+    fn timeout_sweep_monotonic_behaviour() {
+        let f = timeout_sweep(5);
+        let deployments: Vec<usize> = f
+            .table
+            .rows
+            .iter()
+            .map(|r| r[1].parse().unwrap())
+            .collect();
+        // Shorter timeouts can only cause more (or equal) re-deployments.
+        for w in deployments.windows(2) {
+            assert!(w[0] >= w[1], "deployments {deployments:?}");
+        }
+        // The longest timeout needs exactly one deployment per service.
+        assert_eq!(*deployments.last().unwrap(), 8);
+    }
+}

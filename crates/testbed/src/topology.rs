@@ -1,0 +1,143 @@
+//! The virtual evaluation topology (Fig. 8).
+//!
+//! Clients (Raspberry Pis) attach to the virtual OVS switch running on the
+//! Edge Gateway Server; the EGS itself (hosting Docker and Kubernetes) hangs
+//! off the switch on a fast internal link; a WAN link leads to the cloud.
+
+use desim::Duration;
+use netsim::link::LinkSpec;
+use netsim::topo::{NodeId, NodeKind, PortNo, Topology};
+use netsim::Ipv4Addr;
+
+/// The assembled topology plus the node/port bookkeeping the harness needs.
+pub struct C3Topology {
+    /// The network graph.
+    pub topo: Topology,
+    /// The Raspberry Pi client nodes.
+    pub clients: Vec<NodeId>,
+    /// The virtual OVS switch node.
+    pub ovs: NodeId,
+    /// The Edge Gateway Server node (runs the clusters).
+    pub egs: NodeId,
+    /// The cloud node.
+    pub cloud: NodeId,
+    /// OVS port leading to each client (indexed like `clients`).
+    pub client_ports: Vec<PortNo>,
+    /// OVS port toward the EGS.
+    pub egs_port: PortNo,
+    /// OVS port toward the cloud.
+    pub cloud_port: PortNo,
+    /// Optional hierarchical far-edge host (larger cluster on the route to
+    /// the cloud) and the OVS port toward it.
+    pub far_edge: Option<(NodeId, PortNo)>,
+}
+
+impl C3Topology {
+    /// Builds the evaluation topology with `n_clients` Pis (the paper uses
+    /// 20).
+    pub fn build(n_clients: usize) -> C3Topology {
+        Self::build_with_far_edge(n_clients, false)
+    }
+
+    /// Builds the topology, optionally with a hierarchical *far edge*: a
+    /// larger cluster further away, on the route toward the cloud
+    /// (Section IV-A-2: such clusters are "much more likely to have the
+    /// requested service cached or even running already").
+    pub fn build_with_far_edge(n_clients: usize, far_edge: bool) -> C3Topology {
+        assert!(n_clients > 0 && n_clients <= 250, "client count out of range");
+        let mut topo = Topology::new();
+        let ovs = topo.add_node("ovs", NodeKind::OpenFlowSwitch, Ipv4Addr::new(10, 0, 0, 1));
+        let mut clients = Vec::with_capacity(n_clients);
+        let mut client_ports = Vec::with_capacity(n_clients);
+        for i in 0..n_clients {
+            let c = topo.add_node(
+                &format!("pi-{:02}", i + 1),
+                NodeKind::Client,
+                Ipv4Addr::new(192, 168, 1, 20 + i as u8),
+            );
+            // 1 GbE through the Aruba access switch: ~150 µs one way.
+            let (p_ovs, _) = topo.connect(ovs, c, LinkSpec::gigabit(Duration::from_micros(150)));
+            clients.push(c);
+            client_ports.push(p_ovs);
+        }
+        let egs = topo.add_node("egs", NodeKind::EdgeHost, Ipv4Addr::new(10, 0, 0, 10));
+        let (egs_port, _) = topo.connect(ovs, egs, LinkSpec::local());
+        let cloud = topo.add_node("cloud", NodeKind::Cloud, Ipv4Addr::new(198, 51, 100, 1));
+        // WAN: ~15 ms one way, shared 1 Gbit/s uplink.
+        let (cloud_port, _) = topo.connect(
+            ovs,
+            cloud,
+            LinkSpec::wan(Duration::from_millis(15), 1_000_000_000),
+        );
+        let far = far_edge.then(|| {
+            let far = topo.add_node("far-edge", NodeKind::EdgeHost, Ipv4Addr::new(10, 8, 0, 10));
+            // Metro aggregation: ~2 ms one way — 40× farther than the EGS,
+            // still 7× closer than the cloud.
+            let (far_port, _) = topo.connect(
+                ovs,
+                far,
+                LinkSpec::wan(Duration::from_millis(2), 10_000_000_000),
+            );
+            (far, far_port)
+        });
+        C3Topology {
+            topo,
+            clients,
+            ovs,
+            egs,
+            cloud,
+            client_ports,
+            egs_port,
+            cloud_port,
+            far_edge: far,
+        }
+    }
+
+    /// The IPv4 address of client `i`.
+    pub fn client_ip(&self, i: usize) -> Ipv4Addr {
+        self.topo.node(self.clients[i]).ip
+    }
+
+    /// All OVS port numbers (for the switch FLOOD config).
+    pub fn ovs_ports(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.client_ports.iter().map(|p| p.0).collect();
+        v.push(self.egs_port.0);
+        v.push(self.cloud_port.0);
+        if let Some((_, p)) = self.far_edge {
+            v.push(p.0);
+        }
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimRng;
+
+    #[test]
+    fn shape_matches_fig8() {
+        let t = C3Topology::build(20);
+        assert_eq!(t.clients.len(), 20);
+        assert_eq!(t.client_ports.len(), 20);
+        assert_eq!(t.ovs_ports().len(), 22);
+        // Edge path is much faster than the cloud path.
+        let mut rng = SimRng::new(1);
+        let to_edge = t.topo.path_latency(t.clients[0], t.egs, 64, &mut rng).unwrap();
+        let to_cloud = t.topo.path_latency(t.clients[0], t.cloud, 64, &mut rng).unwrap();
+        assert!(to_cloud > to_edge * 10, "edge {to_edge} vs cloud {to_cloud}");
+        assert!(to_edge < desim::Duration::from_millis(1));
+    }
+
+    #[test]
+    fn client_addressing() {
+        let t = C3Topology::build(3);
+        assert_eq!(t.client_ip(0), Ipv4Addr::new(192, 168, 1, 20));
+        assert_eq!(t.client_ip(2), Ipv4Addr::new(192, 168, 1, 22));
+        // Ports are distinct per client.
+        let mut ports = t.client_ports.clone();
+        ports.dedup();
+        assert_eq!(ports.len(), 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for trace generation: the published aggregate invariants
+//! hold for every feasible configuration and seed.
+
+use desim::{Duration, SimTime};
+use proptest::prelude::*;
+use workload::{Trace, TraceConfig};
+
+fn arb_config() -> impl Strategy<Value = TraceConfig> {
+    (2usize..30, 5usize..40, 1usize..15, 30u64..600, 1usize..25).prop_map(
+        |(n_services, per, min, secs, clients)| TraceConfig {
+            n_services,
+            n_requests: n_services * (min + per),
+            min_per_service: min,
+            duration: Duration::from_secs(secs),
+            n_clients: clients,
+            ..TraceConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counts are exact: total requests, service floor, client bounds and
+    /// the time horizon all hold for arbitrary feasible configurations.
+    #[test]
+    fn invariants_for_all_configs(cfg in arb_config(), seed in any::<u64>()) {
+        let horizon = SimTime::ZERO + cfg.duration;
+        let trace = Trace::generate(cfg.clone(), seed);
+        prop_assert_eq!(trace.requests.len(), cfg.n_requests);
+        let counts = trace.per_service_counts();
+        prop_assert_eq!(counts.len(), cfg.n_services);
+        prop_assert_eq!(counts.iter().sum::<usize>(), cfg.n_requests);
+        prop_assert!(counts.iter().all(|&c| c >= cfg.min_per_service));
+        prop_assert!(trace.requests.iter().all(|r| r.client < cfg.n_clients));
+        prop_assert!(trace.requests.iter().all(|r| r.at <= horizon));
+        prop_assert!(trace.requests.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    /// Deployment accounting: exactly one deployment per service, at the
+    /// service's earliest request; histograms sum to the totals.
+    #[test]
+    fn deployment_accounting(cfg in arb_config(), seed in any::<u64>()) {
+        let trace = Trace::generate(cfg.clone(), seed);
+        let firsts = trace.deployment_times();
+        prop_assert_eq!(firsts.len(), cfg.n_services);
+        for (svc, &t) in firsts.iter().enumerate() {
+            let earliest = trace
+                .requests
+                .iter()
+                .filter(|r| r.service == svc)
+                .map(|r| r.at)
+                .min()
+                .unwrap();
+            prop_assert_eq!(t, earliest);
+        }
+        prop_assert_eq!(
+            trace.deployments_per_second().iter().sum::<u64>(),
+            cfg.n_services as u64
+        );
+        prop_assert_eq!(
+            trace.requests_per_second().iter().sum::<u64>(),
+            cfg.n_requests as u64
+        );
+    }
+
+    /// Determinism: identical (config, seed) pairs generate identical traces.
+    #[test]
+    fn deterministic(cfg in arb_config(), seed in any::<u64>()) {
+        let a = Trace::generate(cfg.clone(), seed);
+        let b = Trace::generate(cfg, seed);
+        prop_assert_eq!(a.requests, b.requests);
+    }
+}

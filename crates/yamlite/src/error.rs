@@ -1,0 +1,44 @@
+//! Parse errors with source locations.
+
+use std::fmt;
+
+/// Result alias for yamlite operations.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// A parse failure, carrying the 1-based source line where it occurred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `line` with the given message.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::new(7, "bad indent");
+        assert_eq!(e.to_string(), "yaml parse error at line 7: bad indent");
+    }
+}

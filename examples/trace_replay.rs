@@ -1,0 +1,116 @@
+//! Replays the full five-minute evaluation workload — 1708 requests to 42
+//! edge services (the paper's filtered bigFlows trace) — against the
+//! transparent edge with on-demand deployment, and prints the aggregate
+//! behaviour: deployments, memory hits, fast-path share, latency percentiles.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [docker|k8s] [seed]
+//! ```
+
+use desim::{Duration, SimTime, Summary};
+use edgectl::controller::RequestKind;
+use edgectl::ControllerConfig;
+use transparent_edge::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let kind = match args.next().as_deref() {
+        Some("k8s") => ClusterKind::K8s,
+        _ => ClusterKind::Docker,
+    };
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    let trace = Trace::generate(TraceConfig::default(), seed);
+    println!(
+        "trace: {} requests to {} services over {}s (peak {} deployments/s)",
+        trace.requests.len(),
+        trace.config.n_services,
+        trace.config.duration.as_secs_f64(),
+        trace.deployments_per_second().iter().max().unwrap()
+    );
+
+    let mut tb = Testbed::new(TestbedConfig {
+        cluster: kind,
+        seed,
+        controller: ControllerConfig {
+            memory_idle: Duration::from_secs(400),
+            ..ControllerConfig::default()
+        },
+        ..TestbedConfig::default()
+    });
+    let profile = ServiceSet::by_key("nginx").unwrap();
+    let mut addrs = Vec::new();
+    for i in 0..trace.config.n_services {
+        let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, (i + 1) as u8), 80);
+        tb.register_service(profile.clone(), addr);
+        tb.pre_pull(addr);
+        tb.pre_create(addr);
+        addrs.push(addr);
+    }
+    for r in &trace.requests {
+        tb.request_at(r.at + Duration::from_secs(1), r.client, addrs[r.service]);
+    }
+    println!("replaying on {}...", kind.label());
+    let events = tb.run_until(SimTime::from_secs(400));
+
+    // Split first (deployment) requests from warm ones.
+    let mut seen = std::collections::HashSet::new();
+    let mut firsts = Vec::new();
+    let mut warm = Vec::new();
+    for c in &tb.completed {
+        let t = c.timing.time_total().unwrap().as_secs_f64();
+        if seen.insert(c.service) {
+            firsts.push(t);
+        } else {
+            warm.push(t);
+        }
+    }
+    let deployments = tb
+        .controller
+        .records
+        .iter()
+        .filter(|r| r.kind == RequestKind::Waited)
+        .count();
+    let hits = tb
+        .controller
+        .records
+        .iter()
+        .filter(|r| r.kind == RequestKind::MemoryHit)
+        .count();
+
+    println!("\n--- results ({} simulated events) ---", events);
+    println!("completed requests:     {}", tb.completed.len());
+    println!("on-demand deployments:  {}", firsts.len());
+    println!("dispatches that waited: {deployments}");
+    println!("FlowMemory hits:        {hits}");
+    println!(
+        "switch fast path:       {} packets ({} table misses)",
+        tb.switch().fast_path_packets,
+        tb.switch().table_misses
+    );
+    println!(
+        "resets / violations:    {} / {}",
+        tb.resets, tb.transparency_violations
+    );
+
+    let f = Summary::new(firsts);
+    let w = Summary::new(warm);
+    println!("\nfirst-request (deployment) time_total [s]:");
+    println!(
+        "  median {:.3}   p90 {:.3}   min {:.3}   max {:.3}",
+        f.median().unwrap(),
+        f.percentile(90.0).unwrap(),
+        f.min().unwrap(),
+        f.max().unwrap()
+    );
+    println!("warm-request time_total [s]:");
+    println!(
+        "  median {:.4}   p90 {:.4}   p99 {:.4}   n={}",
+        w.median().unwrap(),
+        w.percentile(90.0).unwrap(),
+        w.percentile(99.0).unwrap(),
+        w.len()
+    );
+    assert_eq!(tb.resets, 0);
+    assert_eq!(tb.transparency_violations, 0);
+}

@@ -1,0 +1,78 @@
+//! # transparent-edge
+//!
+//! A full-system Rust reproduction of *"Distributed On-Demand Deployment for
+//! Transparent Access to 5G Edge Computing Services"* (Hammer & Hellwagner),
+//! the follow-up to *"Transparent Access to 5G Edge Computing Services"*
+//! (IPDPS-W 2019) whose transparent-access system it extends.
+//!
+//! Clients address registered **cloud** services; an OpenFlow switch at the
+//! network ingress intercepts those requests and an SDN controller redirects
+//! them — rewriting packets — to service instances it deploys **on demand**
+//! in nearby edge clusters (Docker or Kubernetes). To the client, the edge
+//! does not exist.
+//!
+//! This crate is a façade over the workspace:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`edgectl`] | **The controller** (the paper's contribution): FlowMemory, Dispatcher, Global/Local schedulers, deployment phases, YAML auto-annotation |
+//! | [`testbed`] | The emulated C³ evaluation testbed and every experiment (Table I, Figs. 9–16, ablations) |
+//! | [`ovs`] / [`openflow`] | Virtual OpenFlow switch + the protocol subset, byte-exact |
+//! | [`k8ssim`] / [`dockersim`] / [`containerd`] / [`registry`] | The cluster substrates: orchestrators over a simulated container runtime and image registries |
+//! | [`netsim`] | Frames (real Ethernet/IPv4/TCP bytes), links, the topology |
+//! | [`workload`] | bigFlows-like request traces and `timecurl` measurement semantics |
+//! | [`yamlite`] | Dependency-free YAML subset parser for service definitions |
+//! | [`desim`] | Deterministic discrete-event simulation kernel |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use transparent_edge::prelude::*;
+//!
+//! // Assemble the emulated testbed: 20 clients, OVS, controller, Docker.
+//! let mut tb = Testbed::new(TestbedConfig::default());
+//!
+//! // Register nginx as an edge service at its *cloud* address and cache the
+//! // image at the edge.
+//! let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80);
+//! tb.register_service(ServiceSet::by_key("nginx").unwrap(), addr);
+//! tb.pre_pull(addr);
+//! tb.pre_create(addr);
+//!
+//! // A client requests the cloud address; the controller deploys on demand
+//! // and answers through the edge, transparently.
+//! tb.request_at(SimTime::from_secs(1), 0, addr);
+//! tb.run_until(SimTime::from_secs(30));
+//!
+//! let total = tb.completed[0].timing.time_total().unwrap();
+//! assert!(total < desim::Duration::from_secs(1)); // the headline result
+//! assert_eq!(tb.transparency_violations, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use containerd;
+pub use desim;
+pub use dockersim;
+pub use edgectl;
+pub use k8ssim;
+pub use netsim;
+pub use openflow;
+pub use ovs;
+pub use registry;
+pub use testbed;
+pub use workload;
+pub use yamlite;
+
+/// The most common imports for using the system end to end.
+pub mod prelude {
+    pub use containerd::{ServiceProfile, ServiceSet};
+    pub use desim::{Duration, SimRng, SimTime, Summary};
+    pub use edgectl::{
+        annotate_deployment, Controller, ControllerConfig, DockerCluster, EdgeCluster,
+        EdgeService, GlobalScheduler, K8sEdgeCluster, PortMap,
+    };
+    pub use netsim::{Ipv4Addr, MacAddr, ServiceAddr};
+    pub use testbed::{ClusterKind, Testbed, TestbedConfig};
+    pub use workload::{Trace, TraceConfig};
+}
