@@ -1,14 +1,20 @@
-//! Microbenchmarks of the data-plane hot paths: flow-table lookup, OXM
-//! match handling, and frame/OpenFlow codec throughput.
+//! Microbenchmarks of the data-plane hot paths: flow-table lookup (naive
+//! linear scan vs indexed classification), microflow-cache hits, OXM match
+//! handling, frame/OpenFlow codec throughput, and expiry sweeps.
+//!
+//! After the criterion groups run, `main` emits `BENCH_flowtable.json` at
+//! the repository root (via [`bench::fastpath`]) so the headline ns/op
+//! numbers and cache hit rate are tracked across PRs.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use desim::{Duration, SimTime};
 use netsim::addr::{Ipv4Addr, MacAddr, ServiceAddr};
 use netsim::TcpFrame;
 use openflow::actions::{Action, Instruction};
 use openflow::messages::Message;
 use openflow::oxm::{Match, MatchView};
-use openflow::table::{entry, FlowTable};
+use openflow::table::{entry, FlowEntry, FlowTable};
+use openflow::NaiveFlowTable;
 
 fn view(dst_port: u16) -> MatchView {
     MatchView {
@@ -24,46 +30,105 @@ fn view(dst_port: u16) -> MatchView {
     }
 }
 
-fn table_with(n: usize) -> FlowTable {
-    let mut t = FlowTable::new();
-    for i in 0..n {
-        let m = Match::connection(
-            [192, 168, (i >> 8) as u8, i as u8],
-            50000 + (i % 1000) as u16,
-            [203, 0, 113, 10],
-            80,
-        );
-        t.add(
+fn flow_entries(n: usize) -> Vec<FlowEntry> {
+    (0..n)
+        .map(|i| {
+            let m = Match::connection(
+                [192, 168, (i >> 8) as u8, i as u8],
+                50000 + (i % 1000) as u16,
+                [203, 0, 113, 10],
+                80,
+            );
             entry(
                 m,
                 100,
                 i as u64,
                 vec![Instruction::ApplyActions(vec![Action::output(2)])],
-                Duration::from_secs(10),
+                Duration::from_secs(600),
                 Duration::ZERO,
                 0,
-            ),
-            SimTime::ZERO,
-        );
+            )
+        })
+        .collect()
+}
+
+fn table_with(n: usize) -> FlowTable {
+    let mut t = FlowTable::new();
+    for e in flow_entries(n) {
+        t.add(e, SimTime::ZERO);
     }
     t
 }
 
+/// The view hitting the flow at index `i` of `flow_entries`.
+fn hit_view(i: usize) -> MatchView {
+    let mut v = view(80);
+    v.ipv4_src = [192, 168, (i >> 8) as u8, i as u8];
+    v.tcp_src = 50000 + (i % 1000) as u16;
+    v
+}
+
 fn bench_flow_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("flowtable_lookup");
-    for n in [16usize, 128, 1024] {
-        let mut t = table_with(n);
-        g.bench_with_input(BenchmarkId::new("miss", n), &n, |b, _| {
-            b.iter(|| black_box(t.lookup(black_box(&view(9999)), 64, SimTime::ZERO)))
+    g.sample_size(10);
+    for n in [10usize, 1024, 100_000] {
+        let mut naive = NaiveFlowTable::with_entries(flow_entries(n), SimTime::ZERO);
+        let mut indexed = table_with(n);
+        // Mid-table hit: the naive scan's average-depth case; the indexed
+        // table's cost is the same wherever the entry sits.
+        let v = hit_view(n / 2);
+        g.bench_with_input(BenchmarkId::new("naive_hit", n), &n, |b, _| {
+            b.iter(|| black_box(naive.lookup(black_box(&v), 64, SimTime::ZERO)))
         });
-        let hit_view = {
-            let mut v = view(80);
-            v.ipv4_src = [192, 168, 0, 0];
-            v.tcp_src = 50000;
-            v
-        };
-        g.bench_with_input(BenchmarkId::new("hit_first", n), &n, |b, _| {
-            b.iter(|| black_box(t.lookup(black_box(&hit_view), 64, SimTime::ZERO)))
+        g.bench_with_input(BenchmarkId::new("indexed_hit", n), &n, |b, _| {
+            b.iter(|| black_box(indexed.lookup(black_box(&v), 64, SimTime::ZERO)))
+        });
+        let miss = view(9999);
+        g.bench_with_input(BenchmarkId::new("indexed_miss", n), &n, |b, _| {
+            b.iter(|| black_box(indexed.lookup(black_box(&miss), 64, SimTime::ZERO)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_microflow(c: &mut Criterion) {
+    use openflow::messages::FlowModCommand;
+    use ovs::{Switch, SwitchConfig};
+    let mut g = c.benchmark_group("microflow_warm");
+    g.sample_size(10);
+    for n in [1024usize, 100_000] {
+        let mut sw = Switch::new(SwitchConfig {
+            datapath_id: 1,
+            n_buffers: 64,
+            miss_send_len: 128,
+            ports: vec![1, 2],
+        });
+        for e in flow_entries(n) {
+            let fm = Message::FlowMod {
+                cookie: e.cookie,
+                table_id: 0,
+                command: FlowModCommand::Add,
+                idle_timeout: 600,
+                hard_timeout: 0,
+                priority: e.priority,
+                buffer_id: openflow::OFP_NO_BUFFER,
+                flags: 0,
+                match_: e.match_,
+                instructions: e.instructions,
+            };
+            sw.handle_controller(SimTime::ZERO, &fm.encode(1)).unwrap();
+        }
+        let i = n / 2;
+        let frame = TcpFrame::syn(
+            MacAddr::from_id(1),
+            MacAddr::from_id(100),
+            Ipv4Addr([192, 168, (i >> 8) as u8, i as u8]),
+            50000 + (i % 1000) as u16,
+            ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+        )
+        .encode();
+        g.bench_with_input(BenchmarkId::new("switch_repeat_packet", n), &n, |b, _| {
+            b.iter(|| black_box(sw.handle_frame(SimTime::ZERO, 1, black_box(&frame))))
         });
     }
     g.finish();
@@ -115,12 +180,36 @@ fn bench_expiry(c: &mut Criterion) {
         b.iter_with_setup(
             || table_with(1024),
             |mut t| {
-                black_box(t.expire(SimTime::from_secs(20)));
+                black_box(t.expire(SimTime::from_secs(700)));
                 t
             },
         )
     });
+    // Sweep with nothing due: the timer wheel makes this O(slots crossed),
+    // not O(entries) — the common case in the event loop.
+    c.bench_function("flowtable_expire_idle_sweep_100k", |b| {
+        let mut t = table_with(100_000);
+        b.iter(|| black_box(t.expire(SimTime::from_secs(1))))
+    });
 }
 
-criterion_group!(benches, bench_flow_lookup, bench_codecs, bench_expiry);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_flow_lookup,
+    bench_microflow,
+    bench_codecs,
+    bench_expiry
+);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    // Emit the machine-readable summary for the perf trajectory.
+    let report = bench::fastpath::run();
+    let path = bench::fastpath::default_output_path();
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+    print!("{}", report.render());
+}

@@ -5,6 +5,7 @@
 //! repro fig11 [--seed N] [--csv]    # one figure
 //! repro list                        # available figure ids
 //! repro summary [--seed N]          # verify every textual claim
+//! repro fastpath                    # data-plane bench -> BENCH_flowtable.json
 //! ```
 
 use std::env;
@@ -52,10 +53,27 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "fastpath" => {
+            println!("transparent-edge-rs — data-plane fast path (naive vs indexed vs microflow)\n");
+            let report = bench::fastpath::run();
+            print!("{}", report.render());
+            let path = bench::fastpath::default_output_path();
+            match std::fs::write(&path, report.to_json()) {
+                Ok(()) => {
+                    println!("\nwrote {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "list" => {
             for f in bench::FIGURE_IDS {
                 println!("{f}");
             }
+            println!("fastpath");
             ExitCode::SUCCESS
         }
         "all" => {

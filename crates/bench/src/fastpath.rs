@@ -1,0 +1,280 @@
+//! Data-plane fast-path measurement: naive vs indexed flow table, plus the
+//! switch's microflow cache, at several table sizes.
+//!
+//! This module is plain `std` (no criterion) so it can run both from the
+//! `repro fastpath` subcommand and from the tail of the `flowtable` criterion
+//! bench, where it emits the machine-readable `BENCH_flowtable.json` summary
+//! that tracks the perf trajectory across PRs. The headline acceptance
+//! numbers live here:
+//!
+//! * indexed lookup at 100k installed flows within 3× of the 10-flow cost
+//!   (size-independent exact-match classification), and
+//! * a warm microflow-cache hit at least 10× faster than the seed's
+//!   linear-scan lookup at 100k flows.
+
+use desim::{Duration, SimTime};
+use netsim::addr::{Ipv4Addr, MacAddr, ServiceAddr};
+use netsim::TcpFrame;
+use openflow::actions::{Action, Instruction};
+use openflow::messages::{FlowModCommand, Message};
+use openflow::oxm::{Match, MatchView};
+use openflow::table::{entry, FlowEntry, FlowTable};
+use openflow::{NaiveFlowTable, OFP_NO_BUFFER};
+use ovs::{Switch, SwitchConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Table sizes the fast path is measured at.
+pub const SIZES: [usize; 3] = [10, 1_000, 100_000];
+
+/// Measurements at one table size (all ns per operation).
+#[derive(Clone, Copy, Debug)]
+pub struct SizePoint {
+    /// Installed flow count.
+    pub flows: usize,
+    /// Seed implementation: linear scan over the sorted `Vec`.
+    pub naive_lookup_ns: f64,
+    /// Indexed table: tuple-space hash classification.
+    pub indexed_lookup_ns: f64,
+    /// Full switch path for a repeated packet (microflow-cache hit,
+    /// including frame decode, actions, and re-encode).
+    pub microflow_hit_ns: f64,
+}
+
+/// The full fast-path report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// One row per entry of [`SIZES`].
+    pub points: Vec<SizePoint>,
+    /// Microflow hit rate over the warm-switch measurement loops.
+    pub cache_hit_rate: f64,
+}
+
+impl Report {
+    /// Indexed-lookup cost ratio of the largest size over the smallest —
+    /// the "size-independence" acceptance number (want: ≤ 3).
+    pub fn indexed_scaling_ratio(&self) -> f64 {
+        let first = self.points.first().map_or(1.0, |p| p.indexed_lookup_ns);
+        let last = self.points.last().map_or(1.0, |p| p.indexed_lookup_ns);
+        last / first
+    }
+
+    /// Warm microflow hit speedup over the naive linear scan at the largest
+    /// size (want: ≥ 10).
+    pub fn microflow_speedup(&self) -> f64 {
+        self.points
+            .last()
+            .map_or(1.0, |p| p.naive_lookup_ns / p.microflow_hit_ns)
+    }
+
+    /// Renders the hand-rolled JSON summary (`serde` is deliberately not a
+    /// dependency of this workspace).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"bench\": \"flowtable\",\n  \"sizes\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"flows\": {}, \"naive_lookup_ns\": {:.1}, \
+                 \"indexed_lookup_ns\": {:.1}, \"microflow_hit_ns\": {:.1}}}{}\n",
+                p.flows,
+                p.naive_lookup_ns,
+                p.indexed_lookup_ns,
+                p.microflow_hit_ns,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"cache_hit_rate\": {:.6},\n  \"indexed_100k_over_10_ratio\": {:.3},\n  \
+             \"microflow_speedup_vs_naive_100k\": {:.1}\n}}\n",
+            self.cache_hit_rate,
+            self.indexed_scaling_ratio(),
+            self.microflow_speedup()
+        ));
+        s
+    }
+
+    /// Renders a human-readable table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "flows      naive ns/op   indexed ns/op   microflow ns/op\n",
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{:<10} {:>11.1}   {:>13.1}   {:>15.1}\n",
+                p.flows, p.naive_lookup_ns, p.indexed_lookup_ns, p.microflow_hit_ns
+            ));
+        }
+        s.push_str(&format!(
+            "cache hit rate {:.4}; indexed 100k/10 ratio {:.2}x (want <=3); \
+             microflow vs naive@100k {:.0}x (want >=10)\n",
+            self.cache_hit_rate,
+            self.indexed_scaling_ratio(),
+            self.microflow_speedup()
+        ));
+        s
+    }
+}
+
+/// Where `BENCH_flowtable.json` is written: the repository root.
+pub fn default_output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_flowtable.json")
+}
+
+/// The i-th per-connection redirect flow (distinct src ip/port for every
+/// `i < 8M`, all sharing the service-side destination — the shape the
+/// controller actually installs).
+fn connection_entry(i: usize) -> FlowEntry {
+    let m = Match::connection(src_ip(i), src_port(i), [203, 0, 113, 10], 80);
+    entry(
+        m,
+        100,
+        i as u64,
+        vec![Instruction::ApplyActions(vec![Action::output(2)])],
+        Duration::from_secs(600),
+        Duration::ZERO,
+        0,
+    )
+}
+
+fn src_ip(i: usize) -> [u8; 4] {
+    [192, 168, (i >> 8) as u8, i as u8]
+}
+
+fn src_port(i: usize) -> u16 {
+    50_000 + (i % 1000) as u16
+}
+
+/// The packet view that hits flow `i`.
+fn view_for(i: usize) -> MatchView {
+    MatchView {
+        in_port: 1,
+        eth_dst: [2, 0, 0, 0, 0, 9],
+        eth_src: [2, 0, 0, 0, 0, 1],
+        eth_type: 0x0800,
+        ip_proto: 6,
+        ipv4_src: src_ip(i),
+        ipv4_dst: [203, 0, 113, 10],
+        tcp_src: src_port(i),
+        tcp_dst: 80,
+    }
+}
+
+/// A spread of views hitting flows across the whole table, so the naive
+/// linear scan is measured at its *average* depth, not its best case.
+fn sample_views(size: usize) -> Vec<MatchView> {
+    let n = size.min(256);
+    (0..n).map(|k| view_for(k * size / n)).collect()
+}
+
+fn ns_per_op(iters: usize, mut op: impl FnMut(usize)) -> f64 {
+    let start = Instant::now();
+    for k in 0..iters {
+        op(k);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// A switch preloaded (through the real control channel) with `size`
+/// per-connection flows.
+fn loaded_switch(size: usize) -> Switch {
+    let mut sw = Switch::new(SwitchConfig {
+        datapath_id: 1,
+        n_buffers: 64,
+        miss_send_len: 128,
+        ports: vec![1, 2],
+    });
+    for i in 0..size {
+        let e = connection_entry(i);
+        let fm = Message::FlowMod {
+            cookie: e.cookie,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 600,
+            hard_timeout: 0,
+            priority: e.priority,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: e.match_,
+            instructions: e.instructions,
+        };
+        sw.handle_controller(SimTime::ZERO, &fm.encode(i as u32))
+            .expect("flow-mod accepted");
+    }
+    sw
+}
+
+/// Runs the whole measurement matrix. Iteration counts are scaled so the
+/// naive O(n) baseline stays tractable at 100k flows; total runtime is a few
+/// seconds.
+pub fn run() -> Report {
+    let mut points = Vec::new();
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    for size in SIZES {
+        let entries: Vec<FlowEntry> = (0..size).map(connection_entry).collect();
+        let mut naive = NaiveFlowTable::with_entries(entries.clone(), SimTime::ZERO);
+        let mut indexed = FlowTable::new();
+        for e in entries {
+            indexed.add(e, SimTime::ZERO);
+        }
+        let views = sample_views(size);
+        let naive_iters = (20_000_000 / size).clamp(200, 200_000);
+        let naive_lookup_ns = ns_per_op(naive_iters, |k| {
+            black_box(naive.lookup(black_box(&views[k % views.len()]), 64, SimTime::ZERO));
+        });
+        let indexed_lookup_ns = ns_per_op(200_000, |k| {
+            black_box(indexed.lookup(black_box(&views[k % views.len()]), 64, SimTime::ZERO));
+        });
+
+        // Warm switch path: the same connection's packets, repeated — the
+        // microflow cache serves every packet after the first.
+        let mut sw = loaded_switch(size);
+        let frame = TcpFrame::syn(
+            MacAddr::from_id(1),
+            MacAddr::from_id(100),
+            Ipv4Addr(src_ip(size / 2)),
+            src_port(size / 2),
+            ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+        )
+        .encode();
+        let microflow_hit_ns = ns_per_op(100_000, |_| {
+            black_box(sw.handle_frame(SimTime::ZERO, 1, black_box(&frame)));
+        });
+        hits += sw.microflow_hits;
+        total += sw.microflow_hits + sw.microflow_misses;
+
+        points.push(SizePoint {
+            flows: size,
+            naive_lookup_ns,
+            indexed_lookup_ns,
+            microflow_hit_ns,
+        });
+    }
+    Report {
+        points,
+        cache_hit_rate: hits as f64 / total as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = Report {
+            points: vec![SizePoint {
+                flows: 10,
+                naive_lookup_ns: 12.5,
+                indexed_lookup_ns: 30.0,
+                microflow_hit_ns: 100.0,
+            }],
+            cache_hit_rate: 0.5,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"flowtable\""));
+        assert!(j.contains("\"flows\": 10"));
+        assert!(j.contains("\"cache_hit_rate\": 0.500000"));
+        assert!(r.render().contains("cache hit rate"));
+    }
+}

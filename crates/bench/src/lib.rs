@@ -2,6 +2,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fastpath;
 pub mod summary;
 
 use testbed::experiments::{self, EvalRuns, Figure};

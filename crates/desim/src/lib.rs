@@ -37,6 +37,7 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use dist::{Constant, Empirical, Exponential, LogNormal, Normal, Sample, Shifted, Uniform};
 pub use engine::Engine;
@@ -44,3 +45,4 @@ pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::{Duration, SimTime};
+pub use wheel::TimerWheel;

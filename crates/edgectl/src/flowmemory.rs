@@ -7,12 +7,20 @@
 //! rescheduling. Memorized flows themselves carry an idle timeout; expiry
 //! (a) drops stale entries and (b) reports services whose last flow is gone —
 //! the trigger for automatic scale-down of idle edge services.
+//!
+//! Expiry runs on a [`TimerWheel`], so a sweep visits only entries actually
+//! due instead of scanning the whole memory, and [`FlowMemory::next_expiry`]
+//! is O(1). Idle refreshes ([`FlowMemory::lookup`] / [`FlowMemory::touch`])
+//! are lazy: they update `last_used` without rescheduling; a sweep that
+//! reaches a refreshed entry re-arms it instead of expiring it. Per-service
+//! live counts are maintained incrementally, making the "service has zero
+//! remaining flows" scale-down check O(1) per expired service.
 
 use crate::cluster::InstanceAddr;
-use desim::{Duration, SimTime};
+use desim::{Duration, SimTime, TimerWheel};
 use netsim::addr::Ipv4Addr;
 use netsim::ServiceAddr;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Key: one client talking to one registered service.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -38,6 +46,12 @@ pub struct MemorizedFlow {
 pub struct FlowMemory {
     idle_timeout: Duration,
     flows: HashMap<FlowKey, MemorizedFlow>,
+    /// Live flow count per service; an expiring service is a scale-down
+    /// candidate exactly when its count reaches zero.
+    per_service: HashMap<ServiceAddr, usize>,
+    /// Expiry wheel; a key's deadline is never later than its true expiry
+    /// (refreshes are applied lazily at sweep time).
+    wheel: TimerWheel<FlowKey>,
 }
 
 impl FlowMemory {
@@ -47,6 +61,8 @@ impl FlowMemory {
         FlowMemory {
             idle_timeout,
             flows: HashMap::new(),
+            per_service: HashMap::new(),
+            wheel: TimerWheel::new(),
         }
     }
 
@@ -68,7 +84,7 @@ impl FlowMemory {
 
     /// Memorizes (or refreshes) a redirect decision.
     pub fn memorize(&mut self, key: FlowKey, instance: InstanceAddr, cluster: usize, now: SimTime) {
-        self.flows.insert(
+        let prev = self.flows.insert(
             key,
             MemorizedFlow {
                 instance,
@@ -76,6 +92,10 @@ impl FlowMemory {
                 last_used: now,
             },
         );
+        if prev.is_none() {
+            *self.per_service.entry(key.service).or_insert(0) += 1;
+        }
+        self.wheel.schedule(key, now + self.idle_timeout);
     }
 
     /// Refreshes the idle timer (e.g. when the switch reports traffic via a
@@ -86,46 +106,71 @@ impl FlowMemory {
         }
     }
 
+    /// Unfiles `key` from the count and wheel; `true` if it was present.
+    fn remove(&mut self, key: &FlowKey) -> bool {
+        if self.flows.remove(key).is_none() {
+            return false;
+        }
+        let n = self.per_service.get_mut(&key.service).expect("service count");
+        *n -= 1;
+        if *n == 0 {
+            self.per_service.remove(&key.service);
+        }
+        self.wheel.cancel(key);
+        true
+    }
+
     /// Forgets all flows of `client` (e.g. after the client moved to a
     /// different ingress — its redirect decisions are location-dependent).
     pub fn forget_client(&mut self, client: Ipv4Addr) -> usize {
-        let before = self.flows.len();
-        self.flows.retain(|k, _| k.client_ip != client);
-        before - self.flows.len()
+        let victims: Vec<FlowKey> = self
+            .flows
+            .keys()
+            .filter(|k| k.client_ip == client)
+            .copied()
+            .collect();
+        victims.iter().filter(|k| self.remove(k)).count()
     }
 
     /// Forgets all flows toward `service` (e.g. after its instance moved).
     pub fn forget_service(&mut self, service: ServiceAddr) -> usize {
-        let before = self.flows.len();
-        self.flows.retain(|k, _| k.service != service);
-        before - self.flows.len()
+        let victims: Vec<FlowKey> = self
+            .flows
+            .keys()
+            .filter(|k| k.service == service)
+            .copied()
+            .collect();
+        victims.iter().filter(|k| self.remove(k)).count()
     }
 
     /// Removes expired entries; returns the services that now have **zero**
     /// remaining flows (candidates for scale-down) along with the cluster
-    /// that served them.
+    /// that served them, one report per distinct `(service, cluster)` pair,
+    /// in sorted order. A service whose flows expired on several clusters in
+    /// the same sweep is reported once *per cluster* — each cluster's
+    /// instance is independently idle.
     pub fn expire(&mut self, now: SimTime) -> Vec<(ServiceAddr, usize)> {
         let timeout = self.idle_timeout;
-        let mut expired: Vec<(ServiceAddr, usize)> = Vec::new();
-        self.flows.retain(|k, f| {
-            let keep = now.saturating_since(f.last_used) < timeout;
-            if !keep {
-                expired.push((k.service, f.cluster));
+        let mut expired: BTreeSet<(ServiceAddr, usize)> = BTreeSet::new();
+        for key in self.wheel.expired(now) {
+            let f = self.flows[&key];
+            if now.saturating_since(f.last_used) >= timeout {
+                self.remove(&key);
+                expired.insert((key.service, f.cluster));
+            } else {
+                // Refreshed since its deadline was set: re-arm.
+                self.wheel.schedule(key, f.last_used + timeout);
             }
-            keep
-        });
-        expired.sort_by_key(|(s, _)| *s);
-        expired.dedup();
-        // Only report services with no remaining live flows.
+        }
         expired
             .into_iter()
-            .filter(|(svc, _)| !self.flows.keys().any(|k| k.service == *svc))
+            .filter(|(svc, _)| !self.per_service.contains_key(svc))
             .collect()
     }
 
     /// Number of live flows toward `service`.
     pub fn flows_for(&self, service: ServiceAddr) -> usize {
-        self.flows.keys().filter(|k| k.service == service).count()
+        self.per_service.get(&service).copied().unwrap_or(0)
     }
 
     /// Total memorized flows.
@@ -138,12 +183,12 @@ impl FlowMemory {
         self.flows.is_empty()
     }
 
-    /// The earliest instant any entry could expire.
+    /// The earliest instant any entry could expire: a constant-time lower
+    /// bound (exact when no entry was refreshed since it was scheduled);
+    /// `None` iff the memory is empty. An early sweep is harmless — it
+    /// re-arms refreshed entries and tightens the bound.
     pub fn next_expiry(&self) -> Option<SimTime> {
-        self.flows
-            .values()
-            .map(|f| f.last_used + self.idle_timeout)
-            .min()
+        self.wheel.next_deadline()
     }
 }
 
@@ -209,6 +254,38 @@ mod tests {
         assert!(m.is_empty());
     }
 
+    /// Regression: one sweep expiring the last flows of the *same* service
+    /// on two *different* clusters must report both `(service, cluster)`
+    /// pairs — each cluster's instance is independently idle. The seed's
+    /// sort-by-service + adjacent-dedup reporting could drop or duplicate
+    /// pairs here; the `BTreeSet` makes the report exact and sorted.
+    #[test]
+    fn same_service_on_two_clusters_reports_both() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        let svc = key(20, 80).service;
+        m.memorize(key(20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key(21, 80), inst(2), 1, SimTime::ZERO);
+        // A duplicate on cluster 1 must not yield a duplicate report.
+        m.memorize(key(22, 80), inst(2), 1, SimTime::ZERO);
+        let idle = m.expire(SimTime::from_secs(10));
+        assert_eq!(idle, vec![(svc, 0), (svc, 1)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn refreshed_entry_survives_its_original_deadline() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        let k = key(20, 80);
+        m.memorize(k, inst(1), 0, SimTime::ZERO);
+        assert!(m.lookup(k, SimTime::from_secs(6)).is_some()); // refresh
+        assert!(m.expire(SimTime::from_secs(10)).is_empty(), "re-armed, not expired");
+        assert_eq!(m.len(), 1);
+        // The re-armed deadline is exact again.
+        assert_eq!(m.next_expiry(), Some(SimTime::from_secs(16)));
+        let idle = m.expire(SimTime::from_secs(16));
+        assert_eq!(idle.len(), 1);
+    }
+
     #[test]
     fn forget_service_drops_all_its_flows() {
         let mut m = FlowMemory::new(Duration::from_secs(10));
@@ -217,6 +294,22 @@ mod tests {
         m.memorize(key(21, 81), inst(2), 0, SimTime::ZERO);
         assert_eq!(m.forget_service(key(20, 80).service), 2);
         assert_eq!(m.len(), 1);
+        assert_eq!(m.flows_for(key(20, 80).service), 0);
+        assert_eq!(m.flows_for(key(21, 81).service), 1);
+    }
+
+    #[test]
+    fn forget_client_drops_and_counts() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        m.memorize(key(20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key(20, 81), inst(2), 1, SimTime::ZERO);
+        m.memorize(key(21, 80), inst(1), 0, SimTime::ZERO);
+        assert_eq!(m.forget_client(Ipv4Addr::new(192, 168, 1, 20)), 2);
+        assert_eq!(m.len(), 1);
+        // The forgotten entries' wheel deadlines are cancelled: a sweep at
+        // their old deadline expires only the remaining flow.
+        let idle = m.expire(SimTime::from_secs(10));
+        assert_eq!(idle, vec![(key(21, 80).service, 0)]);
     }
 
     #[test]

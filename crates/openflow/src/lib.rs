@@ -18,7 +18,14 @@
 //!   `FLOW_REMOVED`, `BARRIER`) with binary encode/decode,
 //! * [`table`] — flow-table semantics: priority lookup, counters, and
 //!   idle/hard timeout expiry (the mechanism behind the controller's
-//!   `FlowMemory` and automatic scale-down).
+//!   `FlowMemory` and automatic scale-down). Classification is indexed
+//!   (tuple-space hashing over exact-match shapes) and expiry runs on a
+//!   timer wheel, so per-packet and per-sweep cost is independent of table
+//!   size,
+//! * [`naive`] — the seed's linear-scan table, kept as the semantic
+//!   reference, and [`diff`] — a differential harness that replays random
+//!   operation sequences against both tables and asserts identical
+//!   observable behavior.
 //!
 //! The wire format follows OpenFlow 1.3; the message subset used here is
 //! layout-identical in 1.5 (which the paper cites). No I/O happens in this
@@ -39,14 +46,17 @@
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod diff;
 pub mod messages;
+pub mod naive;
 pub mod oxm;
 pub mod table;
 
 pub use actions::{Action, Instruction};
 pub use messages::{FlowModCommand, Message, PacketInReason, RemovedReason};
+pub use naive::NaiveFlowTable;
 pub use oxm::{Match, MatchView};
-pub use table::{FlowEntry, FlowTable};
+pub use table::{FlowEntry, FlowId, FlowTable};
 
 /// Wire protocol version byte (OpenFlow 1.3).
 pub const OFP_VERSION: u8 = 0x04;

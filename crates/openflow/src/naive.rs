@@ -1,0 +1,197 @@
+//! The original linear-scan flow table, kept as a behavioral reference.
+//!
+//! [`NaiveFlowTable`] is the seed implementation that [`crate::table::FlowTable`]
+//! replaced: a priority-sorted `Vec` scanned linearly on every lookup, fully
+//! drained on every expiry sweep, and globally re-sorted on every add. It is
+//! semantically authoritative and obviously correct, which makes it the
+//! oracle for the differential tests (`crate::diff`) and the baseline the
+//! flow-table benchmarks measure speedups against. It must stay simple —
+//! do not optimize this type.
+
+use crate::actions::Instruction;
+use crate::messages::RemovedReason;
+use crate::oxm::{Match, MatchView};
+use crate::table::{FlowEntry, Removed};
+use desim::{Duration, SimTime};
+
+/// The reference flow table: every operation is a scan over a sorted `Vec`.
+#[derive(Default)]
+pub struct NaiveFlowTable {
+    entries: Vec<FlowEntry>,
+}
+
+impl NaiveFlowTable {
+    /// Creates an empty table.
+    pub fn new() -> NaiveFlowTable {
+        NaiveFlowTable::default()
+    }
+
+    /// Number of installed flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no flows are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in priority order (descending; first-added
+    /// first among equal priorities).
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Bulk constructor for benchmarks: installs `entries` with counters
+    /// reset at `now`, sorting once instead of per-add (the per-add path is
+    /// O(n log n) each, which makes building 100k-entry baselines painful).
+    pub fn with_entries(entries: Vec<FlowEntry>, now: SimTime) -> NaiveFlowTable {
+        let mut t = NaiveFlowTable {
+            entries: entries
+                .into_iter()
+                .map(|mut e| {
+                    e.installed_at = now;
+                    e.last_hit = now;
+                    e.packet_count = 0;
+                    e.byte_count = 0;
+                    e
+                })
+                .collect(),
+        };
+        t.entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
+        t
+    }
+
+    /// Adds a flow. An existing entry with identical match and priority is
+    /// replaced (OpenFlow ADD semantics), preserving nothing.
+    pub fn add(&mut self, mut entry: FlowEntry, now: SimTime) {
+        entry.installed_at = now;
+        entry.last_hit = now;
+        entry.packet_count = 0;
+        entry.byte_count = 0;
+        self.entries
+            .retain(|e| !(e.priority == entry.priority && e.match_ == entry.match_));
+        self.entries.push(entry);
+        // Keep sorted by descending priority; stable sort preserves insertion
+        // order among equal priorities (first-added wins lookups).
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
+    }
+
+    /// OpenFlow MODIFY: swaps instructions of all flows whose match equals
+    /// `match_`, at every priority (counters and timers preserved). Returns
+    /// how many changed.
+    pub fn modify(&mut self, match_: &Match, instructions: &[Instruction]) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.match_ == *match_ {
+                e.instructions = instructions.to_vec();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// OpenFlow MODIFY_STRICT: like [`NaiveFlowTable::modify`] but only for
+    /// flows at exactly `priority`.
+    pub fn modify_strict(
+        &mut self,
+        match_: &Match,
+        priority: u16,
+        instructions: &[Instruction],
+    ) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.priority == priority && e.match_ == *match_ {
+                e.instructions = instructions.to_vec();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Deletes all flows whose match equals `match_` (exact-match delete;
+    /// the controller always deletes what it installed). A wildcard `match_`
+    /// deletes everything. Returns removal records.
+    pub fn delete(&mut self, match_: &Match, now: SimTime) -> Vec<Removed> {
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            if match_.is_empty() || e.match_ == *match_ {
+                removed.push(Removed {
+                    entry: e,
+                    reason: RemovedReason::Delete,
+                    at: now,
+                });
+            } else {
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+        removed
+    }
+
+    /// Looks up the highest-priority matching flow, updating its counters and
+    /// idle timer. Returns a clone of the matched entry's instructions plus
+    /// its cookie.
+    pub fn lookup(
+        &mut self,
+        view: &MatchView,
+        frame_len: usize,
+        now: SimTime,
+    ) -> Option<(u64, Vec<Instruction>)> {
+        let e = self.entries.iter_mut().find(|e| e.match_.matches(view))?;
+        e.packet_count += 1;
+        e.byte_count += frame_len as u64;
+        e.last_hit = now;
+        Some((e.cookie, e.instructions.clone()))
+    }
+
+    /// Read-only lookup (no counter updates).
+    pub fn peek(&self, view: &MatchView) -> Option<&FlowEntry> {
+        self.entries.iter().find(|e| e.match_.matches(view))
+    }
+
+    /// Removes every flow whose idle or hard timeout has elapsed at `now`,
+    /// returning removal records (hard timeout takes precedence when both
+    /// expired).
+    pub fn expire(&mut self, now: SimTime) -> Vec<Removed> {
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            let hard_exp =
+                e.hard_timeout != Duration::ZERO && now - e.installed_at >= e.hard_timeout;
+            let idle_exp =
+                e.idle_timeout != Duration::ZERO && now - e.last_hit >= e.idle_timeout;
+            if hard_exp || idle_exp {
+                removed.push(Removed {
+                    entry: e,
+                    reason: if hard_exp {
+                        RemovedReason::HardTimeout
+                    } else {
+                        RemovedReason::IdleTimeout
+                    },
+                    at: now,
+                });
+            } else {
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+        removed
+    }
+
+    /// The earliest instant at which some flow could expire, or `None` if no
+    /// flow has a timeout.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .flat_map(|e| {
+                let idle =
+                    (e.idle_timeout != Duration::ZERO).then(|| e.last_hit + e.idle_timeout);
+                let hard =
+                    (e.hard_timeout != Duration::ZERO).then(|| e.installed_at + e.hard_timeout);
+                [idle, hard].into_iter().flatten()
+            })
+            .min()
+    }
+}

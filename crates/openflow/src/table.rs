@@ -4,11 +4,39 @@
 //! controller's *FlowMemory* (Section V of the paper): memorized flows with
 //! idle timeouts whose expiry both cleans the memory and triggers automatic
 //! scale-down of idle edge services.
+//!
+//! # Fast path
+//!
+//! The table is indexed for O(1) per-packet classification, replacing the
+//! seed's linear scan (kept as [`crate::naive::NaiveFlowTable`] for
+//! differential testing):
+//!
+//! * Every [`Match`] in this protocol subset is a conjunction of *exact*
+//!   fields, so entries are grouped by **shape** — the set of field kinds
+//!   they constrain — and hashed on the packed field values ([`ShapeKey`]).
+//!   A lookup probes one hash bucket per distinct shape in the table
+//!   (typically two: the per-connection redirect shape and the service
+//!   shape, plus the table-miss wildcard), not one comparison per entry.
+//! * Matches that a key cannot represent faithfully (duplicate field kinds,
+//!   only constructible by decoding hand-crafted wire bytes) fall back to a
+//!   linear `residual` list, preserving exact semantics.
+//! * A [`TimerWheel`] tracks a deadline per entry that is never later than
+//!   its true idle/hard expiry, so [`FlowTable::expire`] visits only entries
+//!   actually due and [`FlowTable::next_expiry`] is O(1). Idle-timer
+//!   refreshes are lazy: a packet hit does not touch the wheel; a sweep that
+//!   reaches a refreshed entry simply reschedules it.
+//!
+//! Observable semantics are identical to the naive table: priority order,
+//! first-added-wins among equal priorities, hard-over-idle timeout
+//! precedence, order-sensitive match equality for ADD/MODIFY/DELETE, and
+//! per-entry counters. `crate::diff` replays randomized operation sequences
+//! against both implementations to prove it.
 
 use crate::actions::Instruction;
 use crate::messages::{RemovedReason, OFPFF_SEND_FLOW_REM};
-use crate::oxm::{Match, MatchView};
-use desim::{Duration, SimTime};
+use crate::oxm::{Match, MatchView, OxmField};
+use desim::{Duration, SimTime, TimerWheel};
+use std::collections::HashMap;
 
 /// One installed flow.
 #[derive(Clone, Debug)]
@@ -42,6 +70,19 @@ impl FlowEntry {
     pub fn wants_removed_msg(&self) -> bool {
         self.flags & OFPFF_SEND_FLOW_REM != 0
     }
+
+    /// The earliest instant this entry could time out given its current
+    /// timers, or `None` if it has no timeout.
+    fn next_deadline(&self) -> Option<SimTime> {
+        let idle =
+            (self.idle_timeout != Duration::ZERO).then(|| self.last_hit + self.idle_timeout);
+        let hard =
+            (self.hard_timeout != Duration::ZERO).then(|| self.installed_at + self.hard_timeout);
+        match (idle, hard) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 /// A removal record produced by expiry or deletion.
@@ -62,10 +103,181 @@ impl Removed {
     }
 }
 
-/// A single OpenFlow table.
+/// Stable handle of an installed flow, valid until the entry is removed.
+/// Any removal bumps [`FlowTable::revision`], so a caller that caches ids
+/// alongside the revision (the switch's microflow cache) never dereferences
+/// a dangling one.
+pub type FlowId = u64;
+
+// Shape-mask bits, one per OXM field kind.
+const B_IN_PORT: u16 = 1 << 0;
+const B_ETH_DST: u16 = 1 << 1;
+const B_ETH_SRC: u16 = 1 << 2;
+const B_ETH_TYPE: u16 = 1 << 3;
+const B_IP_PROTO: u16 = 1 << 4;
+const B_IPV4_SRC: u16 = 1 << 5;
+const B_IPV4_DST: u16 = 1 << 6;
+const B_TCP_SRC: u16 = 1 << 7;
+const B_TCP_DST: u16 = 1 << 8;
+
+// Fixed byte offsets of each field in the packed key.
+const O_IN_PORT: usize = 0; // 4 bytes
+const O_ETH_DST: usize = 4; // 6
+const O_ETH_SRC: usize = 10; // 6
+const O_ETH_TYPE: usize = 16; // 2
+const O_IP_PROTO: usize = 18; // 1
+const O_IPV4_SRC: usize = 19; // 4
+const O_IPV4_DST: usize = 23; // 4
+const O_TCP_SRC: usize = 27; // 2
+const O_TCP_DST: usize = 29; // 2
+const KEY_BYTES: usize = 31;
+
+/// Hash key of the exact-match index: which field kinds a match constrains
+/// (`mask`) and their packed values (absent fields zeroed).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct ShapeKey {
+    mask: u16,
+    bytes: [u8; KEY_BYTES],
+}
+
+impl ShapeKey {
+    fn set(&mut self, field: &OxmField) {
+        match field {
+            OxmField::InPort(p) => {
+                self.mask |= B_IN_PORT;
+                self.bytes[O_IN_PORT..O_IN_PORT + 4].copy_from_slice(&p.to_be_bytes());
+            }
+            OxmField::EthDst(m) => {
+                self.mask |= B_ETH_DST;
+                self.bytes[O_ETH_DST..O_ETH_DST + 6].copy_from_slice(m);
+            }
+            OxmField::EthSrc(m) => {
+                self.mask |= B_ETH_SRC;
+                self.bytes[O_ETH_SRC..O_ETH_SRC + 6].copy_from_slice(m);
+            }
+            OxmField::EthType(v) => {
+                self.mask |= B_ETH_TYPE;
+                self.bytes[O_ETH_TYPE..O_ETH_TYPE + 2].copy_from_slice(&v.to_be_bytes());
+            }
+            OxmField::IpProto(v) => {
+                self.mask |= B_IP_PROTO;
+                self.bytes[O_IP_PROTO] = *v;
+            }
+            OxmField::Ipv4Src(a) => {
+                self.mask |= B_IPV4_SRC;
+                self.bytes[O_IPV4_SRC..O_IPV4_SRC + 4].copy_from_slice(a);
+            }
+            OxmField::Ipv4Dst(a) => {
+                self.mask |= B_IPV4_DST;
+                self.bytes[O_IPV4_DST..O_IPV4_DST + 4].copy_from_slice(a);
+            }
+            OxmField::TcpSrc(p) => {
+                self.mask |= B_TCP_SRC;
+                self.bytes[O_TCP_SRC..O_TCP_SRC + 2].copy_from_slice(&p.to_be_bytes());
+            }
+            OxmField::TcpDst(p) => {
+                self.mask |= B_TCP_DST;
+                self.bytes[O_TCP_DST..O_TCP_DST + 2].copy_from_slice(&p.to_be_bytes());
+            }
+        }
+    }
+
+    /// Packs the fields of `m`, or `None` if the match repeats a field kind
+    /// (possible only via decoded wire bytes) and must take the residual
+    /// slow path.
+    fn of_match(m: &Match) -> Option<ShapeKey> {
+        let mut key = ShapeKey {
+            mask: 0,
+            bytes: [0; KEY_BYTES],
+        };
+        for f in m.fields() {
+            let before = key.mask;
+            key.set(f);
+            if key.mask == before {
+                return None; // duplicate field kind: not representable
+            }
+        }
+        Some(key)
+    }
+
+    /// Packs the subset of `view`'s fields selected by `mask`.
+    fn of_view(mask: u16, view: &MatchView) -> ShapeKey {
+        let mut key = ShapeKey {
+            mask,
+            bytes: [0; KEY_BYTES],
+        };
+        if mask & B_IN_PORT != 0 {
+            key.bytes[O_IN_PORT..O_IN_PORT + 4].copy_from_slice(&view.in_port.to_be_bytes());
+        }
+        if mask & B_ETH_DST != 0 {
+            key.bytes[O_ETH_DST..O_ETH_DST + 6].copy_from_slice(&view.eth_dst);
+        }
+        if mask & B_ETH_SRC != 0 {
+            key.bytes[O_ETH_SRC..O_ETH_SRC + 6].copy_from_slice(&view.eth_src);
+        }
+        if mask & B_ETH_TYPE != 0 {
+            key.bytes[O_ETH_TYPE..O_ETH_TYPE + 2].copy_from_slice(&view.eth_type.to_be_bytes());
+        }
+        if mask & B_IP_PROTO != 0 {
+            key.bytes[O_IP_PROTO] = view.ip_proto;
+        }
+        if mask & B_IPV4_SRC != 0 {
+            key.bytes[O_IPV4_SRC..O_IPV4_SRC + 4].copy_from_slice(&view.ipv4_src);
+        }
+        if mask & B_IPV4_DST != 0 {
+            key.bytes[O_IPV4_DST..O_IPV4_DST + 4].copy_from_slice(&view.ipv4_dst);
+        }
+        if mask & B_TCP_SRC != 0 {
+            key.bytes[O_TCP_SRC..O_TCP_SRC + 2].copy_from_slice(&view.tcp_src.to_be_bytes());
+        }
+        if mask & B_TCP_DST != 0 {
+            key.bytes[O_TCP_DST..O_TCP_DST + 2].copy_from_slice(&view.tcp_dst.to_be_bytes());
+        }
+        key
+    }
+}
+
+/// Where an entry's id is filed.
+enum Slot {
+    Keyed(ShapeKey),
+    Residual,
+}
+
+fn slot_of(m: &Match) -> Slot {
+    match ShapeKey::of_match(m) {
+        Some(k) => Slot::Keyed(k),
+        None => Slot::Residual,
+    }
+}
+
+/// A single OpenFlow table, indexed for O(1) exact-match classification.
 #[derive(Default)]
 pub struct FlowTable {
-    entries: Vec<FlowEntry>,
+    /// Entry storage, keyed by stable id.
+    flows: HashMap<FlowId, FlowEntry>,
+    /// Exact-match index: shape+values → ids, each bucket sorted by
+    /// (priority desc, id asc) so its head is the bucket's best candidate.
+    index: HashMap<ShapeKey, Vec<FlowId>>,
+    /// Live entry count per shape mask — the set of probes a lookup makes.
+    shape_counts: HashMap<u16, usize>,
+    /// Entries whose match cannot be keyed (duplicate field kinds); scanned
+    /// linearly. Sorted by (priority desc, id asc).
+    residual: Vec<FlowId>,
+    /// Expiry wheel; per-entry deadlines are never later than the true
+    /// expiry instant (idle refreshes are applied lazily on sweep).
+    wheel: TimerWheel<FlowId>,
+    /// Next id to assign; ids grow monotonically, so id order is
+    /// insertion order (the OpenFlow tiebreak among equal priorities).
+    next_id: FlowId,
+    /// Bumped on every mutation that can change classification results
+    /// (add/modify/delete/expire). Caches key on this to self-invalidate.
+    revision: u64,
+}
+
+/// `true` if candidate `(priority, id)` `a` beats `b` (higher priority wins;
+/// first-added — lower id — wins ties).
+fn beats(a: (u16, FlowId), b: (u16, FlowId)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
 }
 
 impl FlowTable {
@@ -76,17 +288,61 @@ impl FlowTable {
 
     /// Number of installed flows.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.flows.len()
     }
 
     /// `true` if no flows are installed.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.flows.is_empty()
     }
 
-    /// Iterates over entries (diagnostics / stats).
+    /// Mutation counter: changes whenever a lookup could now resolve
+    /// differently. External exact-match caches (the switch's microflow
+    /// cache) store it next to a [`FlowId`] and treat any difference as
+    /// "re-classify".
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Iterates over entries in priority order (descending; first-added
+    /// first among equal priorities) — diagnostics / stats.
     pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
-        self.entries.iter()
+        let mut ids: Vec<(&FlowId, &FlowEntry)> = self.flows.iter().collect();
+        ids.sort_by_key(|(id, e)| (std::cmp::Reverse(e.priority), **id));
+        ids.into_iter().map(|(_, e)| e)
+    }
+
+    /// Inserts `id` into `bucket` keeping (priority desc, id asc) order.
+    /// `id` is always the newest, so it goes after every equal priority.
+    fn file(flows: &HashMap<FlowId, FlowEntry>, bucket: &mut Vec<FlowId>, id: FlowId) {
+        let prio = flows[&id].priority;
+        let pos = bucket
+            .iter()
+            .position(|other| flows[other].priority < prio)
+            .unwrap_or(bucket.len());
+        bucket.insert(pos, id);
+    }
+
+    /// Unfiles and drops entry `id`, returning it.
+    fn remove_entry(&mut self, id: FlowId) -> FlowEntry {
+        let entry = self.flows.remove(&id).expect("live flow id");
+        match slot_of(&entry.match_) {
+            Slot::Keyed(key) => {
+                let bucket = self.index.get_mut(&key).expect("indexed entry has bucket");
+                bucket.retain(|&x| x != id);
+                if bucket.is_empty() {
+                    self.index.remove(&key);
+                }
+                let n = self.shape_counts.get_mut(&key.mask).expect("shape count");
+                *n -= 1;
+                if *n == 0 {
+                    self.shape_counts.remove(&key.mask);
+                }
+            }
+            Slot::Residual => self.residual.retain(|&x| x != id),
+        }
+        self.wheel.cancel(&id);
+        entry
     }
 
     /// Adds a flow. An existing entry with identical match and priority is
@@ -96,46 +352,149 @@ impl FlowTable {
         entry.last_hit = now;
         entry.packet_count = 0;
         entry.byte_count = 0;
-        self.entries
-            .retain(|e| !(e.priority == entry.priority && e.match_ == entry.match_));
-        self.entries.push(entry);
-        // Keep sorted by descending priority; stable sort preserves insertion
-        // order among equal priorities (first-added wins lookups).
-        self.entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
+        let slot = slot_of(&entry.match_);
+        let candidates: &[FlowId] = match &slot {
+            Slot::Keyed(key) => self.index.get(key).map_or(&[], |b| b.as_slice()),
+            Slot::Residual => &self.residual,
+        };
+        let victims: Vec<FlowId> = candidates
+            .iter()
+            .copied()
+            .filter(|id| {
+                let e = &self.flows[id];
+                e.priority == entry.priority && e.match_ == entry.match_
+            })
+            .collect();
+        for id in victims {
+            self.remove_entry(id);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Some(deadline) = entry.next_deadline() {
+            self.wheel.schedule(id, deadline);
+        }
+        self.flows.insert(id, entry);
+        match slot {
+            Slot::Keyed(key) => {
+                *self.shape_counts.entry(key.mask).or_insert(0) += 1;
+                Self::file(&self.flows, self.index.entry(key).or_default(), id);
+            }
+            Slot::Residual => Self::file(&self.flows, &mut self.residual, id),
+        }
+        self.revision += 1;
     }
 
-    /// Modifies instructions of all flows whose match equals `match_`
-    /// (counters and timers preserved). Returns how many changed.
+    /// The ids whose match equals `match_` (order-sensitive equality, like
+    /// the wire protocol), optionally restricted to one priority.
+    fn ids_matching(&self, match_: &Match, priority: Option<u16>) -> Vec<FlowId> {
+        let candidates: &[FlowId] = match slot_of(match_) {
+            Slot::Keyed(key) => self.index.get(&key).map_or(&[], |b| b.as_slice()),
+            Slot::Residual => &self.residual,
+        };
+        candidates
+            .iter()
+            .copied()
+            .filter(|id| {
+                let e = &self.flows[id];
+                e.match_ == *match_ && priority.is_none_or(|p| e.priority == p)
+            })
+            .collect()
+    }
+
+    /// OpenFlow MODIFY: swaps instructions of all flows whose match equals
+    /// `match_`, at **every** priority (counters and timers preserved).
+    /// Returns how many changed. This cross-priority behavior is the
+    /// non-strict MODIFY of the OpenFlow spec — deliberate, and pinned by
+    /// tests; use [`FlowTable::modify_strict`] to target one priority.
     pub fn modify(&mut self, match_: &Match, instructions: &[Instruction]) -> usize {
-        let mut n = 0;
-        for e in &mut self.entries {
-            if e.match_ == *match_ {
-                e.instructions = instructions.to_vec();
-                n += 1;
-            }
+        let ids = self.ids_matching(match_, None);
+        for id in &ids {
+            self.flows.get_mut(id).expect("live flow id").instructions =
+                instructions.to_vec();
         }
-        n
+        if !ids.is_empty() {
+            self.revision += 1;
+        }
+        ids.len()
+    }
+
+    /// OpenFlow MODIFY_STRICT: like [`FlowTable::modify`] but only flows at
+    /// exactly `priority` — the unambiguous `(priority, match)` keying that
+    /// ADD and the index use. Returns how many changed (0 or 1, since ADD
+    /// keeps `(priority, match)` unique).
+    pub fn modify_strict(
+        &mut self,
+        match_: &Match,
+        priority: u16,
+        instructions: &[Instruction],
+    ) -> usize {
+        let ids = self.ids_matching(match_, Some(priority));
+        for id in &ids {
+            self.flows.get_mut(id).expect("live flow id").instructions =
+                instructions.to_vec();
+        }
+        if !ids.is_empty() {
+            self.revision += 1;
+        }
+        ids.len()
     }
 
     /// Deletes all flows whose match equals `match_` (exact-match delete;
     /// the controller always deletes what it installed). A wildcard `match_`
-    /// deletes everything. Returns removal records.
+    /// deletes everything. Returns removal records in priority order.
     pub fn delete(&mut self, match_: &Match, now: SimTime) -> Vec<Removed> {
-        let mut removed = Vec::new();
-        let mut kept = Vec::with_capacity(self.entries.len());
-        for e in self.entries.drain(..) {
-            if match_.is_empty() || e.match_ == *match_ {
-                removed.push(Removed {
-                    entry: e,
-                    reason: RemovedReason::Delete,
-                    at: now,
-                });
-            } else {
-                kept.push(e);
+        let mut taken: Vec<(FlowId, FlowEntry)> = if match_.is_empty() {
+            let all = self.flows.drain().collect();
+            self.index.clear();
+            self.shape_counts.clear();
+            self.residual.clear();
+            self.wheel.clear();
+            all
+        } else {
+            self.ids_matching(match_, None)
+                .into_iter()
+                .map(|id| (id, self.remove_entry(id)))
+                .collect()
+        };
+        if !taken.is_empty() {
+            self.revision += 1;
+        }
+        taken.sort_by_key(|(id, e)| (std::cmp::Reverse(e.priority), *id));
+        taken
+            .into_iter()
+            .map(|(_, entry)| Removed {
+                entry,
+                reason: RemovedReason::Delete,
+                at: now,
+            })
+            .collect()
+    }
+
+    /// The winning entry id for `view`: one hash probe per live shape plus a
+    /// scan of the (normally empty) residual list — independent of how many
+    /// flows are installed.
+    fn classify(&self, view: &MatchView) -> Option<FlowId> {
+        let mut best: Option<(u16, FlowId)> = None;
+        for &mask in self.shape_counts.keys() {
+            let key = ShapeKey::of_view(mask, view);
+            if let Some(&id) = self.index.get(&key).and_then(|b| b.first()) {
+                let cand = (self.flows[&id].priority, id);
+                if best.is_none_or(|b| beats(cand, b)) {
+                    best = Some(cand);
+                }
             }
         }
-        self.entries = kept;
-        removed
+        for &id in &self.residual {
+            let e = &self.flows[&id];
+            if e.match_.matches(view) {
+                let cand = (e.priority, id);
+                if best.is_none_or(|b| beats(cand, b)) {
+                    best = Some(cand);
+                }
+                break; // residual is priority-sorted: first hit is its best
+            }
+        }
+        best.map(|(_, id)| id)
     }
 
     /// Looks up the highest-priority matching flow, updating its counters and
@@ -147,10 +506,34 @@ impl FlowTable {
         frame_len: usize,
         now: SimTime,
     ) -> Option<(u64, Vec<Instruction>)> {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.match_.matches(view))?;
+        self.lookup_keyed(view, frame_len, now)
+            .map(|(_, cookie, instructions)| (cookie, instructions))
+    }
+
+    /// Like [`FlowTable::lookup`] but also returns the entry's [`FlowId`] so
+    /// callers can cache the classification (see [`FlowTable::hit`]).
+    pub fn lookup_keyed(
+        &mut self,
+        view: &MatchView,
+        frame_len: usize,
+        now: SimTime,
+    ) -> Option<(FlowId, u64, Vec<Instruction>)> {
+        let id = self.classify(view)?;
+        let (cookie, instructions) = self.hit(id, frame_len, now)?;
+        Some((id, cookie, instructions))
+    }
+
+    /// Accounts a packet against an already-classified flow: the microflow
+    /// fast path. Counters and the idle timer update exactly as a full
+    /// lookup would. Returns `None` if `id` is no longer installed (callers
+    /// guard with [`FlowTable::revision`], so this is belt-and-braces).
+    pub fn hit(
+        &mut self,
+        id: FlowId,
+        frame_len: usize,
+        now: SimTime,
+    ) -> Option<(u64, Vec<Instruction>)> {
+        let e = self.flows.get_mut(&id)?;
         e.packet_count += 1;
         e.byte_count += frame_len as u64;
         e.last_hit = now;
@@ -159,51 +542,57 @@ impl FlowTable {
 
     /// Read-only lookup (no counter updates).
     pub fn peek(&self, view: &MatchView) -> Option<&FlowEntry> {
-        self.entries.iter().find(|e| e.match_.matches(view))
+        self.classify(view).map(|id| &self.flows[&id])
     }
 
     /// Removes every flow whose idle or hard timeout has elapsed at `now`,
-    /// returning removal records (hard timeout takes precedence when both
-    /// expired).
+    /// returning removal records in priority order (hard timeout takes
+    /// precedence when both expired). Visits only entries whose wheel
+    /// deadline is due — entries whose idle timer was refreshed by traffic
+    /// since their deadline was set are rescheduled, not scanned again.
     pub fn expire(&mut self, now: SimTime) -> Vec<Removed> {
-        let mut removed = Vec::new();
-        let mut kept = Vec::with_capacity(self.entries.len());
-        for e in self.entries.drain(..) {
-            let hard_exp = e.hard_timeout != Duration::ZERO
-                && now - e.installed_at >= e.hard_timeout;
+        let mut taken: Vec<(FlowId, FlowEntry, RemovedReason)> = Vec::new();
+        for id in self.wheel.expired(now) {
+            let e = &self.flows[&id];
+            let hard_exp =
+                e.hard_timeout != Duration::ZERO && now - e.installed_at >= e.hard_timeout;
             let idle_exp =
                 e.idle_timeout != Duration::ZERO && now - e.last_hit >= e.idle_timeout;
             if hard_exp || idle_exp {
-                removed.push(Removed {
-                    entry: e,
-                    reason: if hard_exp {
-                        RemovedReason::HardTimeout
-                    } else {
-                        RemovedReason::IdleTimeout
-                    },
-                    at: now,
-                });
+                let reason = if hard_exp {
+                    RemovedReason::HardTimeout
+                } else {
+                    RemovedReason::IdleTimeout
+                };
+                let entry = self.remove_entry(id);
+                taken.push((id, entry, reason));
             } else {
-                kept.push(e);
+                // Idle timer was refreshed since this deadline was set.
+                let deadline = e.next_deadline().expect("scheduled entry has a timeout");
+                self.wheel.schedule(id, deadline);
             }
         }
-        self.entries = kept;
-        removed
+        if !taken.is_empty() {
+            self.revision += 1;
+        }
+        taken.sort_by_key(|(id, e, _)| (std::cmp::Reverse(e.priority), *id));
+        taken
+            .into_iter()
+            .map(|(_, entry, reason)| Removed {
+                entry,
+                reason,
+                at: now,
+            })
+            .collect()
     }
 
     /// The earliest instant at which some flow could expire (for efficient
-    /// timer scheduling), or `None` if no flow has a timeout.
+    /// timer scheduling), or `None` if no flow has a timeout. O(1): reads
+    /// the timer wheel's bound, which is never later than the true earliest
+    /// expiry (it can be earlier after idle refreshes; a sweep at that
+    /// instant is simply empty and re-tightens the bound).
     pub fn next_expiry(&self) -> Option<SimTime> {
-        self.entries
-            .iter()
-            .flat_map(|e| {
-                let idle = (e.idle_timeout != Duration::ZERO)
-                    .then(|| e.last_hit + e.idle_timeout);
-                let hard = (e.hard_timeout != Duration::ZERO)
-                    .then(|| e.installed_at + e.hard_timeout);
-                [idle, hard].into_iter().flatten()
-            })
-            .min()
+        self.wheel.next_deadline()
     }
 }
 
@@ -279,6 +668,38 @@ mod tests {
         assert_eq!(cookie, 2);
         let (cookie, _) = t.lookup(&view(443), 64, SimTime::ZERO).unwrap();
         assert_eq!(cookie, 1); // only the wildcard matches
+    }
+
+    #[test]
+    fn first_added_wins_priority_ties_across_shapes() {
+        let mut t = FlowTable::new();
+        // Same priority, different shapes, both match the view.
+        t.add(
+            entry(
+                Match::any().with(OxmField::TcpDst(80)),
+                5,
+                1,
+                fwd(1),
+                Duration::ZERO,
+                Duration::ZERO,
+                0,
+            ),
+            SimTime::ZERO,
+        );
+        t.add(
+            entry(
+                Match::any().with(OxmField::Ipv4Dst([203, 0, 113, 10])),
+                5,
+                2,
+                fwd(2),
+                Duration::ZERO,
+                Duration::ZERO,
+                0,
+            ),
+            SimTime::ZERO,
+        );
+        let (cookie, _) = t.lookup(&view(80), 64, SimTime::ZERO).unwrap();
+        assert_eq!(cookie, 1, "first-added wins the tie");
     }
 
     #[test]
@@ -371,6 +792,7 @@ mod tests {
         let removed = t.delete(&Match::any(), SimTime::from_nanos(8));
         assert_eq!(removed.len(), 1);
         assert!(t.is_empty());
+        assert_eq!(t.next_expiry(), None);
     }
 
     #[test]
@@ -386,6 +808,25 @@ mod tests {
         assert_eq!(e.packet_count, 1, "counters preserved");
         assert_eq!(e.instructions, fwd(9));
         assert_eq!(t.modify(&Match::service([9, 9, 9, 9], 80), &fwd(1)), 0);
+    }
+
+    /// MODIFY is deliberately non-strict: it rewrites the match at *every*
+    /// priority (OpenFlow's OFPFC_MODIFY). MODIFY_STRICT keys on
+    /// `(priority, match)` like ADD does.
+    #[test]
+    fn modify_is_cross_priority_and_strict_is_not() {
+        let mut t = FlowTable::new();
+        let m = Match::service([1, 1, 1, 1], 80);
+        t.add(entry(m.clone(), 5, 1, fwd(1), Duration::ZERO, Duration::ZERO, 0), SimTime::ZERO);
+        t.add(entry(m.clone(), 9, 2, fwd(2), Duration::ZERO, Duration::ZERO, 0), SimTime::ZERO);
+        assert_eq!(t.modify(&m, &fwd(7)), 2, "non-strict hits both priorities");
+        assert!(t.entries().all(|e| e.instructions == fwd(7)));
+        assert_eq!(t.modify_strict(&m, 9, &fwd(3)), 1, "strict hits exactly one");
+        assert_eq!(
+            t.entries().map(|e| (e.priority, e.instructions.clone())).collect::<Vec<_>>(),
+            vec![(9, fwd(3)), (5, fwd(7))]
+        );
+        assert_eq!(t.modify_strict(&m, 6, &fwd(4)), 0, "no flow at that priority");
     }
 
     #[test]
@@ -420,5 +861,78 @@ mod tests {
         );
         assert!(t.peek(&view(80)).is_some());
         assert_eq!(t.entries().next().unwrap().packet_count, 0);
+    }
+
+    #[test]
+    fn revision_tracks_classification_changes() {
+        let mut t = FlowTable::new();
+        let r0 = t.revision();
+        t.add(
+            entry(Match::any(), 0, 1, fwd(1), Duration::from_secs(1), Duration::ZERO, 0),
+            SimTime::ZERO,
+        );
+        let r1 = t.revision();
+        assert_ne!(r0, r1, "add bumps");
+        t.lookup(&view(80), 64, SimTime::ZERO);
+        assert_eq!(t.revision(), r1, "lookups do not bump");
+        assert_eq!(t.modify(&Match::any(), &fwd(2)), 1);
+        let r2 = t.revision();
+        assert_ne!(r1, r2, "modify bumps");
+        t.expire(SimTime::from_millis(500));
+        assert_eq!(t.revision(), r2, "empty sweep does not bump");
+        assert_eq!(t.expire(SimTime::from_secs(2)).len(), 1);
+        assert_ne!(t.revision(), r2, "expiry removal bumps");
+    }
+
+    #[test]
+    fn hit_by_id_matches_full_lookup() {
+        let mut t = FlowTable::new();
+        t.add(
+            entry(Match::any(), 0, 42, fwd(1), Duration::ZERO, Duration::ZERO, 0),
+            SimTime::ZERO,
+        );
+        let (id, cookie, instr) = t.lookup_keyed(&view(80), 10, SimTime::ZERO).unwrap();
+        assert_eq!((cookie, &instr), (42, &fwd(1)));
+        let (cookie2, instr2) = t.hit(id, 20, SimTime::from_nanos(5)).unwrap();
+        assert_eq!((cookie2, &instr2), (42, &fwd(1)));
+        let e = t.entries().next().unwrap();
+        assert_eq!((e.packet_count, e.byte_count), (2, 30));
+        assert_eq!(e.last_hit, SimTime::from_nanos(5));
+        t.delete(&Match::any(), SimTime::from_nanos(6));
+        assert!(t.hit(id, 1, SimTime::from_nanos(7)).is_none(), "stale id");
+    }
+
+    /// A match with a duplicated field kind (only constructible from wire
+    /// bytes) cannot be hashed faithfully and must take the residual path —
+    /// satisfiable duplicates still match, contradictory ones never do.
+    #[test]
+    fn duplicate_field_matches_use_residual_path() {
+        // type=1, length 4+2*6=16, two TcpDst TLVs (80 then 80 / 80 then 81).
+        fn dup_match(a: u16, b: u16) -> Match {
+            let mut buf = vec![0, 1, 0, 16];
+            for port in [a, b] {
+                buf.extend_from_slice(&[0x80, 0x00, 14 << 1, 2]);
+                buf.extend_from_slice(&port.to_be_bytes());
+            }
+            Match::decode(&buf).expect("valid duplicate-field match").0
+        }
+        let mut t = FlowTable::new();
+        let consistent = dup_match(80, 80);
+        let contradictory = dup_match(80, 81);
+        t.add(
+            entry(consistent.clone(), 7, 1, fwd(1), Duration::ZERO, Duration::ZERO, 0),
+            SimTime::ZERO,
+        );
+        t.add(
+            entry(contradictory, 9, 2, fwd(2), Duration::ZERO, Duration::ZERO, 0),
+            SimTime::ZERO,
+        );
+        let (cookie, _) = t.lookup(&view(80), 64, SimTime::ZERO).unwrap();
+        assert_eq!(cookie, 1, "consistent duplicate matches; contradictory never");
+        assert!(t.lookup(&view(443), 64, SimTime::ZERO).is_none());
+        let removed = t.delete(&consistent, SimTime::ZERO);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].entry.cookie, 1);
+        assert_eq!(t.len(), 1);
     }
 }

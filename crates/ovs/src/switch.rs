@@ -5,9 +5,13 @@ use netsim::TcpFrame;
 use openflow::actions::Action;
 use openflow::messages::{FlowModCommand, Message, PacketInReason};
 use openflow::oxm::{Match, MatchView, OxmField};
-use openflow::table::{entry, FlowTable, Removed};
+use openflow::table::{entry, FlowId, FlowTable, Removed};
 use openflow::{OfError, OFPP_CONTROLLER, OFPP_FLOOD, OFP_NO_BUFFER};
 use std::collections::HashMap;
+
+/// Microflow cache capacity; the cache is cleared wholesale when full (the
+/// OVS approach — entries are cheap to re-establish from the flow table).
+const MICROFLOW_CAP: usize = 65_536;
 
 /// Switch configuration.
 #[derive(Clone, Debug)]
@@ -50,16 +54,30 @@ pub enum Effect {
 }
 
 /// The virtual OpenFlow switch.
+///
+/// Packet classification is two-tier, mirroring Open vSwitch: an exact-match
+/// **microflow cache** keyed on the full [`MatchView`] resolves repeat
+/// packets of an established connection in one hash probe, falling back to
+/// the indexed flow table on a miss. Cache entries carry the table's
+/// revision counter; any flow-mod or expiry bumps it, so stale entries
+/// self-invalidate without a scan. Per-flow counters and idle timers stay
+/// exact: a cache hit is accounted through [`FlowTable::hit`].
 pub struct Switch {
     config: SwitchConfig,
     table: FlowTable,
     buffers: HashMap<u32, (u32, Vec<u8>)>, // buffer_id -> (in_port, frame)
+    /// Exact-match fast path: packet view -> (table revision, flow id).
+    microflow: HashMap<MatchView, (u64, FlowId)>,
     next_buffer: u32,
     next_xid: u32,
     /// Count of packets handled on the fast path (no controller).
     pub fast_path_packets: u64,
     /// Count of table misses sent to the controller.
     pub table_misses: u64,
+    /// Packets classified by the microflow cache alone.
+    pub microflow_hits: u64,
+    /// Packets that had to consult the flow table (includes table misses).
+    pub microflow_misses: u64,
 }
 
 impl Switch {
@@ -69,10 +87,13 @@ impl Switch {
             config,
             table: FlowTable::new(),
             buffers: HashMap::new(),
+            microflow: HashMap::new(),
             next_buffer: 1,
             next_xid: 1,
             fast_path_packets: 0,
             table_misses: 0,
+            microflow_hits: 0,
+            microflow_misses: 0,
         }
     }
 
@@ -84,6 +105,11 @@ impl Switch {
     /// Number of frames currently parked in packet buffers.
     pub fn buffered(&self) -> usize {
         self.buffers.len()
+    }
+
+    /// Number of (possibly stale) entries in the microflow cache.
+    pub fn microflow_len(&self) -> usize {
+        self.microflow.len()
     }
 
     fn fresh_xid(&mut self) -> u32 {
@@ -99,9 +125,33 @@ impl Switch {
             return vec![Effect::Drop];
         };
         let view = view_of(&frame, in_port);
-        match self.table.lookup(&view, data.len(), now) {
-            Some((_cookie, instructions)) => {
+        let revision = self.table.revision();
+        if let Some(&(cached_rev, id)) = self.microflow.get(&view) {
+            if cached_rev == revision {
+                // Warm path: one hash probe, then account the hit against
+                // the table entry so counters and the idle timer stay exact.
+                let (_cookie, instructions) = self
+                    .table
+                    .hit(id, data.len(), now)
+                    .expect("microflow id live at unchanged revision");
+                self.microflow_hits += 1;
                 self.fast_path_packets += 1;
+                let actions: Vec<Action> = instructions
+                    .iter()
+                    .flat_map(|i| i.actions().iter().copied())
+                    .collect();
+                return self.apply_actions(now, frame, in_port, &actions);
+            }
+            self.microflow.remove(&view); // table changed under the entry
+        }
+        self.microflow_misses += 1;
+        match self.table.lookup_keyed(&view, data.len(), now) {
+            Some((id, _cookie, instructions)) => {
+                self.fast_path_packets += 1;
+                if self.microflow.len() >= MICROFLOW_CAP {
+                    self.microflow.clear();
+                }
+                self.microflow.insert(view, (revision, id));
                 let actions: Vec<Action> = instructions
                     .iter()
                     .flat_map(|i| i.actions().iter().copied())
@@ -775,6 +825,106 @@ mod tests {
             decode_controller(&effects[0]),
             Message::FlowStatsReply { flows } if flows.is_empty()
         ));
+    }
+
+    #[test]
+    fn microflow_cache_hits_keep_exact_counters() {
+        let mut s = sw();
+        let fm = Message::FlowMod {
+            cookie: 42,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 100,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: Match::service([203, 0, 113, 10], 80),
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(3)])],
+        };
+        s.handle_controller(SimTime::ZERO, &fm.encode(1)).unwrap();
+        let data = client_frame().encode();
+        for i in 0..5 {
+            let effects = s.handle_frame(SimTime::from_secs(i), 1, &data);
+            assert!(matches!(effects[0], Effect::Forward { port: 3, .. }));
+        }
+        assert_eq!(s.microflow_misses, 1, "first packet consults the table");
+        assert_eq!(s.microflow_hits, 4, "repeats come from the cache");
+        assert_eq!(s.microflow_len(), 1);
+        // Per-flow counters are exact despite the cached path.
+        let req = Message::FlowStatsRequest { table_id: 0xff, match_: Match::any() };
+        let effects = s.handle_controller(SimTime::from_secs(5), &req.encode(2)).unwrap();
+        match decode_controller(&effects[0]) {
+            Message::FlowStatsReply { flows } => {
+                assert_eq!(flows[0].packet_count, 5);
+                assert_eq!(flows[0].byte_count, 5 * data.len() as u64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn microflow_cache_invalidates_on_flow_mod() {
+        let mut s = sw();
+        let m = Match::service([203, 0, 113, 10], 80);
+        let add = |instr: Vec<Instruction>, cmd| Message::FlowMod {
+            cookie: 1,
+            table_id: 0,
+            command: cmd,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 100,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: m.clone(),
+            instructions: instr,
+        };
+        let out = |p| vec![Instruction::ApplyActions(vec![Action::output(p)])];
+        s.handle_controller(SimTime::ZERO, &add(out(3), FlowModCommand::Add).encode(1))
+            .unwrap();
+        let data = client_frame().encode();
+        s.handle_frame(SimTime::ZERO, 1, &data); // miss, populates the cache
+        s.handle_frame(SimTime::ZERO, 1, &data); // warm hit
+        assert_eq!(s.microflow_hits, 1);
+        // MODIFY redirects to port 2; the cached entry must not survive.
+        s.handle_controller(SimTime::ZERO, &add(out(2), FlowModCommand::Modify).encode(2))
+            .unwrap();
+        let effects = s.handle_frame(SimTime::ZERO, 1, &data);
+        assert!(matches!(effects[0], Effect::Forward { port: 2, .. }));
+        assert_eq!(s.microflow_misses, 2, "revision bump forced a re-classify");
+        // Deleting the flow sends the next packet back to the controller.
+        s.handle_controller(SimTime::ZERO, &add(vec![], FlowModCommand::Delete).encode(3))
+            .unwrap();
+        let effects = s.handle_frame(SimTime::ZERO, 1, &data);
+        assert!(matches!(effects[0], Effect::ToController(_)));
+        assert_eq!(s.table_misses, 1);
+    }
+
+    #[test]
+    fn microflow_cache_invalidates_on_expiry() {
+        let mut s = sw();
+        let fm = Message::FlowMod {
+            cookie: 7,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 10,
+            hard_timeout: 0,
+            priority: 100,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: Match::service([203, 0, 113, 10], 80),
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(3)])],
+        };
+        s.handle_controller(SimTime::ZERO, &fm.encode(1)).unwrap();
+        let data = client_frame().encode();
+        s.handle_frame(SimTime::ZERO, 1, &data); // populates the cache
+        s.expire_flows(SimTime::from_secs(10)); // idle timeout fires
+        assert!(s.table().is_empty());
+        let effects = s.handle_frame(SimTime::from_secs(10), 1, &data);
+        assert!(
+            matches!(effects[0], Effect::ToController(_)),
+            "stale cache entry must not forward after expiry"
+        );
     }
 
     #[test]
