@@ -6,6 +6,7 @@
 //! repro list                        # available figure ids
 //! repro summary [--seed N]          # verify every textual claim
 //! repro fastpath                    # data-plane bench -> BENCH_flowtable.json
+//! repro chaos [--seed N] [--fault-rate F] [--smoke]   # fault injection
 //! ```
 
 use std::env;
@@ -16,6 +17,8 @@ fn main() -> ExitCode {
     let mut id: Option<String> = None;
     let mut seed = 7u64;
     let mut csv = false;
+    let mut fault_rate = 0.1f64;
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,6 +32,17 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--fault-rate" => {
+                i += 1;
+                fault_rate = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(r) if (0.0..=1.0).contains(&r) => r,
+                    _ => {
+                        eprintln!("--fault-rate needs a number in [0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--smoke" => smoke = true,
             "--csv" => csv = true,
             other if id.is_none() => id = Some(other.to_owned()),
             other => {
@@ -69,11 +83,29 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "chaos" => {
+            println!(
+                "transparent-edge-rs — chaos: deployment pipeline under faults \
+(seed {seed}, rate {fault_rate})\n"
+            );
+            let fig = bench::chaos_figure(seed, fault_rate, smoke);
+            if csv {
+                print!("{}", fig.table.to_csv());
+                // Keep the machine-readable summary even in CSV mode.
+                if let Some(line) = fig.body.lines().find(|l| l.starts_with("chaos-summary ")) {
+                    println!("{line}");
+                }
+            } else {
+                println!("{}", fig.body);
+            }
+            ExitCode::SUCCESS
+        }
         "list" => {
             for f in bench::FIGURE_IDS {
                 println!("{f}");
             }
             println!("fastpath");
+            println!("chaos");
             ExitCode::SUCCESS
         }
         "all" => {

@@ -54,6 +54,13 @@ pub fn figure_by_id(id: &str, seed: u64) -> Option<Figure> {
     })
 }
 
+/// The chaos experiment: fault injection over the deployment pipeline.
+/// Not part of [`all_figures`] — its output depends on the fault rate, so
+/// the `repro chaos` subcommand drives it explicitly.
+pub fn chaos_figure(seed: u64, fault_rate: f64, smoke: bool) -> Figure {
+    experiments::chaos(seed, fault_rate, smoke)
+}
+
 /// The figure ids `figure_by_id` accepts, in order.
 pub const FIGURE_IDS: &[&str] = &[
     "table1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hybrid",

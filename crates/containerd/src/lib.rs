@@ -25,6 +25,6 @@ pub mod profiles;
 pub mod store;
 
 pub use container::{ContainerId, ContainerSpec, ContainerState};
-pub use node::{ContainerdNode, RuntimeTimings};
+pub use node::{ContainerdNode, RuntimeError, RuntimeTimings};
 pub use profiles::{ServiceProfile, ServiceSet};
 pub use store::ContentStore;

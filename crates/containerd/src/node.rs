@@ -2,9 +2,54 @@
 
 use crate::container::{ContainerId, ContainerSpec, ContainerState};
 use crate::store::ContentStore;
-use desim::{Duration, LogNormal, Sample, SimRng, SimTime};
-use registry::ImageManifest;
+use desim::{Duration, FaultInjector, LogNormal, Sample, SimRng, SimTime};
+use registry::{ImageManifest, PullError};
 use std::collections::BTreeMap;
+
+/// Typed failure of a runtime operation.
+///
+/// Programming errors (unknown container id, double start) still panic —
+/// they indicate a broken caller, not a runtime condition to recover from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// **Create** was called before the image's layers were pulled; pulls
+    /// are a separate, observable phase (Fig. 4) and must happen first.
+    ImageNotPulled {
+        /// The offending image reference.
+        reference: String,
+    },
+    /// An injected runtime fault: the operation failed, surfacing at `at`.
+    Injected {
+        /// When the failure was observed.
+        at: SimTime,
+        /// Which operation failed.
+        what: &'static str,
+    },
+    /// The task started but crashed before turning ready (injected); the
+    /// container is back in the stopped state and may be started again.
+    CrashedAfterStart {
+        /// When the crash was observed.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::ImageNotPulled { reference } => {
+                write!(f, "image {reference} not pulled before create")
+            }
+            RuntimeError::Injected { at, what } => {
+                write!(f, "containerd {what} failed at {at} (injected)")
+            }
+            RuntimeError::CrashedAfterStart { at } => {
+                write!(f, "task crashed before readiness at {at} (injected)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
 
 /// Timing model for runtime operations. Mohan et al. (cited by the paper)
 /// attribute ~90 % of container startup to network-namespace creation and
@@ -44,6 +89,8 @@ pub struct ContainerdNode {
     timings: RuntimeTimings,
     containers: BTreeMap<ContainerId, Entry>,
     next_id: u64,
+    /// Chaos-testing fault injector for create/start/crash faults.
+    faults: Option<FaultInjector>,
 }
 
 impl ContainerdNode {
@@ -54,7 +101,15 @@ impl ContainerdNode {
             timings,
             containers: BTreeMap::new(),
             next_id: 1,
+            faults: None,
         }
+    }
+
+    /// Wires a fault injector into create/start. Success-path timing draws
+    /// are unchanged: the injector uses its own RNG stream, so a zero-rate
+    /// plan leaves behaviour byte-identical.
+    pub fn set_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
     }
 
     /// Creates a node with defaults (public registries).
@@ -78,25 +133,38 @@ impl ContainerdNode {
         self.store.pull_all(manifests, rng)
     }
 
+    /// Fallible pull consulting the store's fault injector (if wired).
+    pub fn try_pull(
+        &mut self,
+        manifests: &[ImageManifest],
+        rng: &mut SimRng,
+    ) -> Result<Duration, PullError> {
+        self.store.try_pull_all(manifests, rng)
+    }
+
     /// **Create** phase for one container. Returns the id and the instant
     /// creation completes.
     ///
-    /// # Panics
-    /// Panics if the image is not in the content store — pulls are a
-    /// separate, observable phase (Fig. 4) and must happen first.
+    /// Fails with [`RuntimeError::ImageNotPulled`] when the image's layers
+    /// are not in the content store, or [`RuntimeError::Injected`] under an
+    /// active fault plan; a failed create registers nothing, so a retry is
+    /// a clean second attempt.
     pub fn create(
         &mut self,
         spec: ContainerSpec,
         manifest: &ImageManifest,
         now: SimTime,
         rng: &mut SimRng,
-    ) -> (ContainerId, SimTime) {
-        assert!(
-            self.store.has_image(manifest),
-            "image {} not pulled before create",
-            manifest.reference
-        );
+    ) -> Result<(ContainerId, SimTime), RuntimeError> {
+        if !self.store.has_image(manifest) {
+            return Err(RuntimeError::ImageNotPulled {
+                reference: manifest.reference.to_string(),
+            });
+        }
         let done = now + self.timings.create.sample_duration(rng);
+        if self.faults.as_mut().is_some_and(|f| f.create_fails()) {
+            return Err(RuntimeError::Injected { at: done, what: "create" });
+        }
         let id = ContainerId(self.next_id);
         self.next_id += 1;
         self.containers.insert(
@@ -106,12 +174,18 @@ impl ContainerdNode {
                 state: ContainerState::Created { at: done },
             },
         );
-        (id, done)
+        Ok((id, done))
     }
 
     /// **Scale Up** phase: starts the task. `ready_delay` is the
     /// application's own startup time (sampled from its service profile by
     /// the caller). Returns `(task_started_at, ready_at)`.
+    ///
+    /// Under an active fault plan the start may fail outright
+    /// ([`RuntimeError::Injected`], state unchanged) or the task may crash
+    /// between start and readiness ([`RuntimeError::CrashedAfterStart`],
+    /// container back in the stopped state) — both leave the container
+    /// startable again.
     ///
     /// # Panics
     /// Panics if the container does not exist or is already running.
@@ -121,19 +195,29 @@ impl ContainerdNode {
         now: SimTime,
         ready_delay: Duration,
         rng: &mut SimRng,
-    ) -> (SimTime, SimTime) {
+    ) -> Result<(SimTime, SimTime), RuntimeError> {
         let entry = self.containers.get_mut(&id).expect("unknown container");
         assert!(
             !entry.state.is_running(),
             "container {id:?} already running"
         );
         let started_at = now + self.timings.task_start.sample_duration(rng);
+        if let Some(f) = self.faults.as_mut() {
+            if f.start_fails() {
+                return Err(RuntimeError::Injected { at: started_at, what: "start" });
+            }
+            if let Some(frac) = f.crashes_after_start() {
+                let crash_at = started_at + ready_delay.mul_f64(frac);
+                entry.state = ContainerState::Stopped { at: crash_at };
+                return Err(RuntimeError::CrashedAfterStart { at: crash_at });
+            }
+        }
         let ready_at = started_at + ready_delay;
         entry.state = ContainerState::Running {
             started_at,
             ready_at,
         };
-        (started_at, ready_at)
+        Ok((started_at, ready_at))
     }
 
     /// **Scale Down** phase: stops the task. Returns the completion instant.
@@ -207,12 +291,12 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut n = node_with_nginx(&mut rng);
         let t0 = SimTime::from_secs(10);
-        let (id, created_at) = n.create(nginx_spec(), &catalog::nginx(), t0, &mut rng);
+        let (id, created_at) = n.create(nginx_spec(), &catalog::nginx(), t0, &mut rng).unwrap();
         assert!(created_at > t0);
         assert!(matches!(n.state(id), Some(ContainerState::Created { .. })));
 
         let (started_at, ready_at) =
-            n.start(id, created_at, Duration::from_millis(50), &mut rng);
+            n.start(id, created_at, Duration::from_millis(50), &mut rng).unwrap();
         assert!(started_at > created_at);
         assert_eq!(ready_at, started_at + Duration::from_millis(50));
         assert!(!n.port_open(id, 80, started_at));
@@ -227,11 +311,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not pulled before create")]
-    fn create_without_pull_panics() {
+    fn create_without_pull_is_a_typed_error() {
         let mut rng = SimRng::new(2);
         let mut n = ContainerdNode::with_defaults();
-        n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng);
+        let err = n
+            .create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng)
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::ImageNotPulled { ref reference } if reference.contains("nginx")),
+            "{err}"
+        );
+        assert_eq!(n.container_count(), 0, "failed create registers nothing");
     }
 
     #[test]
@@ -239,19 +329,59 @@ mod tests {
     fn double_start_panics() {
         let mut rng = SimRng::new(3);
         let mut n = node_with_nginx(&mut rng);
-        let (id, t) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng);
-        n.start(id, t, Duration::ZERO, &mut rng);
-        n.start(id, t + Duration::from_secs(1), Duration::ZERO, &mut rng);
+        let (id, t) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng).unwrap();
+        n.start(id, t, Duration::ZERO, &mut rng).unwrap();
+        let _ = n.start(id, t + Duration::from_secs(1), Duration::ZERO, &mut rng);
+    }
+
+    #[test]
+    fn injected_create_and_start_faults_are_retryable() {
+        use desim::FaultPlan;
+        let mut rng = SimRng::new(8);
+        let mut n = node_with_nginx(&mut rng);
+        // Every create fails; starts succeed.
+        n.set_faults(
+            FaultPlan {
+                create_failure: 1.0,
+                ..FaultPlan::default()
+            }
+            .injector(0x1),
+        );
+        let err = n
+            .create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Injected { what: "create", .. }), "{err}");
+        assert_eq!(n.container_count(), 0);
+
+        // Flip to start-crash faults: create succeeds, start crashes, the
+        // container is left stopped and can be started again fault-free.
+        n.set_faults(
+            FaultPlan {
+                crash_after_start: 1.0,
+                ..FaultPlan::default()
+            }
+            .injector(0x2),
+        );
+        let (id, t) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng).unwrap();
+        let err = n.start(id, t, Duration::from_millis(100), &mut rng).unwrap_err();
+        let RuntimeError::CrashedAfterStart { at } = err else {
+            panic!("expected crash, got {err}");
+        };
+        assert!(at >= t && at <= t + Duration::from_secs(2));
+        assert!(matches!(n.state(id), Some(ContainerState::Stopped { .. })));
+        n.set_faults(FaultPlan::default().injector(0x3));
+        let (started, ready) = n.start(id, at, Duration::ZERO, &mut rng).unwrap();
+        assert!(ready >= started);
     }
 
     #[test]
     fn label_queries() {
         let mut rng = SimRng::new(4);
         let mut n = node_with_nginx(&mut rng);
-        let (a, _) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng);
+        let (a, _) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng).unwrap();
         let other = ContainerSpec::new("web2", ImageRef::parse("nginx:1.23.2"), Some(80))
             .with_label("edge.service", "svc-b");
-        let (_b, _) = n.create(other, &catalog::nginx(), SimTime::ZERO, &mut rng);
+        let (_b, _) = n.create(other, &catalog::nginx(), SimTime::ZERO, &mut rng).unwrap();
         assert_eq!(n.find_by_label("edge.service", "svc-a"), vec![a]);
         assert_eq!(n.find_by_label("edge.service", "nope"), vec![]);
         assert_eq!(n.container_count(), 2);
@@ -266,9 +396,9 @@ mod tests {
         for seed in 0..200 {
             let mut rng = SimRng::new(seed);
             let mut n = node_with_nginx(&mut rng);
-            let (id, c) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng);
+            let (id, c) = n.create(nginx_spec(), &catalog::nginx(), SimTime::ZERO, &mut rng).unwrap();
             creates.push((c - SimTime::ZERO).as_secs_f64());
-            let (s, _) = n.start(id, c, Duration::ZERO, &mut rng);
+            let (s, _) = n.start(id, c, Duration::ZERO, &mut rng).unwrap();
             starts.push((s - c).as_secs_f64());
         }
         let mc = desim::Summary::new(creates).median().unwrap();

@@ -1,7 +1,7 @@
 //! The content store: digest-addressed layers plus pull orchestration.
 
-use desim::{Duration, SimRng};
-use registry::{ImageManifest, LayerCache, PullOutcome, PullPlanner, RegistryProfile};
+use desim::{Duration, FaultInjector, SimRng};
+use registry::{ImageManifest, LayerCache, PullError, PullOutcome, PullPlanner, RegistryProfile};
 use std::collections::HashMap;
 
 /// The node-local content store. Owns the layer cache and knows how to reach
@@ -14,6 +14,9 @@ pub struct ContentStore {
     /// Manifests known to this store (by display reference), so `has_image`
     /// queries can resolve locally.
     manifests: HashMap<String, ImageManifest>,
+    /// Chaos-testing fault injector, consulted only by the `try_*` pull
+    /// entry points.
+    faults: Option<FaultInjector>,
 }
 
 impl Default for ContentStore {
@@ -29,6 +32,7 @@ impl ContentStore {
             cache: LayerCache::new(),
             mirror: None,
             manifests: HashMap::new(),
+            faults: None,
         }
     }
 
@@ -38,7 +42,16 @@ impl ContentStore {
             cache: LayerCache::new(),
             mirror: Some(mirror),
             manifests: HashMap::new(),
+            faults: None,
         }
+    }
+
+    /// Wires a fault injector into the pull path. Only the fallible
+    /// [`ContentStore::try_pull`] / [`ContentStore::try_pull_all`] entry
+    /// points consult it; the infallible `pull`/`pull_all` remain
+    /// fault-free (experiment setup helpers keep working under any plan).
+    pub fn set_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
     }
 
     /// `true` if every layer of `manifest` is on disk.
@@ -68,6 +81,56 @@ impl ContentStore {
             .map(|m| self.pull(m, rng).duration)
             .max()
             .unwrap_or(Duration::ZERO)
+    }
+
+    /// Fallible single pull consulting the wired fault injector (if any).
+    /// With no injector the behaviour — including the `rng` draw sequence —
+    /// is identical to [`ContentStore::pull`].
+    pub fn try_pull(
+        &mut self,
+        manifest: &ImageManifest,
+        rng: &mut SimRng,
+    ) -> Result<PullOutcome, PullError> {
+        let profile = match &self.mirror {
+            Some(m) => m.clone(),
+            None => RegistryProfile::for_host(&manifest.reference.host),
+        };
+        let planner = PullPlanner::new(&profile);
+        let out = planner.pull_with_faults(manifest, &mut self.cache, rng, self.faults.as_mut())?;
+        self.manifests
+            .insert(manifest.reference.to_string(), manifest.clone());
+        Ok(out)
+    }
+
+    /// Fallible concurrent pull of several images. All transfers run in
+    /// parallel, so a failure surfaces only after the slowest attempt:
+    /// the error's `elapsed` is the max over every attempt (successes keep
+    /// their layers cached, making a retry cheaper).
+    pub fn try_pull_all(
+        &mut self,
+        manifests: &[ImageManifest],
+        rng: &mut SimRng,
+    ) -> Result<Duration, PullError> {
+        let mut wall = Duration::ZERO;
+        let mut first_err: Option<PullError> = None;
+        for m in manifests {
+            match self.try_pull(m, rng) {
+                Ok(out) => wall = wall.max(out.duration),
+                Err(e) => {
+                    wall = wall.max(e.elapsed);
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(mut e) => {
+                e.elapsed = wall;
+                Err(e)
+            }
+            None => Ok(wall),
+        }
     }
 
     /// Deletes an image's layers except those shared with other known images.

@@ -1,0 +1,391 @@
+//! Seedable fault injection and retry policies.
+//!
+//! The deployment pipeline (Pull → Create → Scale Up → port-confirm) is
+//! exercised under *injected* failures: a [`FaultPlan`] describes per-phase
+//! failure probabilities, and each injection site owns a [`FaultInjector`]
+//! derived from the plan. Two invariants make chaos runs useful:
+//!
+//! 1. **Determinism** — an injector's decisions come from its own
+//!    [`SimRng`] stream, seeded from `plan.seed ^ site label`. The same plan
+//!    and the same sequence of operations produce the same faults.
+//! 2. **Zero-rate transparency** — with every probability at `0.0` an
+//!    injector never fires, and because it draws from its *own* stream (and
+//!    short-circuits on zero probabilities), the main simulation RNGs see
+//!    exactly the seed's draw sequence: fault-rate-0 runs are byte-identical
+//!    to runs without any injector wired in.
+//!
+//! [`RetryPolicy`] is the recovery side: capped exponential backoff with
+//! multiplicative jitter and a per-phase deadline, used by the Dispatcher to
+//! bound how long a held request can wait before falling back to the cloud.
+
+use crate::rng::SimRng;
+use crate::time::Duration;
+
+/// Per-phase fault probabilities for a chaos run.
+///
+/// All probabilities are clamped to `[0, 1]` at draw time; the default plan
+/// injects nothing. Sites that model *slowdowns* rather than hard failures
+/// (link flaps, readiness-probe flaps) additionally scale or delay by the
+/// associated knob.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector streams (independent of the simulation seed).
+    pub seed: u64,
+    /// Probability that a registry pull attempt fails mid-transfer.
+    pub pull_failure: f64,
+    /// Per-layer probability of a link flap slowing that layer's transfer.
+    pub pull_slowdown: f64,
+    /// Transfer-time multiplier for a flapped layer (applied to that layer
+    /// only, scaled by a uniform draw in `[0.5, 1.5)`).
+    pub pull_slowdown_factor: f64,
+    /// Probability that a container create call fails.
+    pub create_failure: f64,
+    /// Probability that a task start call fails outright.
+    pub start_failure: f64,
+    /// Probability that a started task crashes before becoming ready.
+    pub crash_after_start: f64,
+    /// Probability that the Kubernetes scheduler rejects a scale-up's pod.
+    pub scale_up_rejection: f64,
+    /// Probability that a pod's readiness probe flaps, delaying readiness.
+    pub probe_flap: f64,
+    /// Median extra readiness delay for a flapped probe (scaled by a uniform
+    /// draw in `[0.5, 1.5)`).
+    pub probe_flap_delay: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            pull_failure: 0.0,
+            pull_slowdown: 0.0,
+            pull_slowdown_factor: 4.0,
+            create_failure: 0.0,
+            start_failure: 0.0,
+            crash_after_start: 0.0,
+            scale_up_rejection: 0.0,
+            probe_flap: 0.0,
+            probe_flap_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with every fault probability set to `rate` (the chaos
+    /// experiment's uniform per-phase fault rate).
+    pub fn uniform(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            pull_failure: rate,
+            pull_slowdown: rate,
+            create_failure: rate,
+            start_failure: rate,
+            crash_after_start: rate,
+            scale_up_rejection: rate,
+            probe_flap: rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// `true` if any fault can ever fire. Harnesses skip wiring injectors
+    /// for disabled plans, keeping fault-free runs bit-identical to builds
+    /// that predate fault injection.
+    pub fn enabled(&self) -> bool {
+        [
+            self.pull_failure,
+            self.pull_slowdown,
+            self.create_failure,
+            self.start_failure,
+            self.crash_after_start,
+            self.scale_up_rejection,
+            self.probe_flap,
+        ]
+        .iter()
+        .any(|&p| p > 0.0)
+    }
+
+    /// Derives the injector for one injection site. Distinct `label`s give
+    /// sites decorrelated decision streams under the same plan.
+    pub fn injector(&self, label: u64) -> FaultInjector {
+        FaultInjector {
+            plan: self.clone(),
+            rng: SimRng::new(self.seed ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+/// One injection site's view of a [`FaultPlan`]: the plan plus a private
+/// RNG stream for its decisions.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+}
+
+impl FaultInjector {
+    /// Draws a fault decision, never touching the stream for `p <= 0`
+    /// (keeps the site's stream aligned across plans that disable only some
+    /// faults).
+    fn fires(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.chance(p)
+    }
+
+    /// Should this pull attempt fail mid-transfer?
+    pub fn pull_fails(&mut self) -> bool {
+        let p = self.plan.pull_failure;
+        self.fires(p)
+    }
+
+    /// How far through the transfer a failed pull got, in `[0, 1)`.
+    pub fn partial_fraction(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+
+    /// If this layer's link flaps, the factor its transfer time grows by
+    /// (always `> 1`).
+    pub fn pull_flap_factor(&mut self) -> Option<f64> {
+        let p = self.plan.pull_slowdown;
+        if self.fires(p) {
+            let scale = 0.5 + self.rng.next_f64();
+            Some(1.0 + (self.plan.pull_slowdown_factor - 1.0).max(0.0) * scale)
+        } else {
+            None
+        }
+    }
+
+    /// Should this container create call fail?
+    pub fn create_fails(&mut self) -> bool {
+        let p = self.plan.create_failure;
+        self.fires(p)
+    }
+
+    /// Should this task start call fail outright?
+    pub fn start_fails(&mut self) -> bool {
+        let p = self.plan.start_failure;
+        self.fires(p)
+    }
+
+    /// Should this started task crash before readiness? Returns the position
+    /// within the start→ready window, in `[0, 1)`, at which it crashes.
+    pub fn crashes_after_start(&mut self) -> Option<f64> {
+        let p = self.plan.crash_after_start;
+        if self.fires(p) {
+            Some(self.rng.next_f64())
+        } else {
+            None
+        }
+    }
+
+    /// Should the scheduler reject this pod?
+    pub fn scale_up_rejected(&mut self) -> bool {
+        let p = self.plan.scale_up_rejection;
+        self.fires(p)
+    }
+
+    /// If this pod's readiness probe flaps, the extra delay before it turns
+    /// Ready.
+    pub fn probe_flap(&mut self) -> Option<Duration> {
+        let p = self.plan.probe_flap;
+        if self.fires(p) {
+            let scale = 0.5 + self.rng.next_f64();
+            Some(self.plan.probe_flap_delay.mul_f64(scale))
+        } else {
+            None
+        }
+    }
+}
+
+/// Capped exponential backoff with multiplicative jitter and a per-phase
+/// deadline.
+///
+/// The delay before retry number `attempt` (0-based) is
+/// `min(cap, base · multiplier^attempt · (1 + jitter · u))` with
+/// `u ∈ [0, 1)`. Delays are monotone non-decreasing in `attempt` whenever
+/// `multiplier ≥ 1 + jitter` (the default), because the un-jittered value
+/// grows by at least the largest possible jitter factor per step; the `min`
+/// with `cap` preserves monotonicity and bounds every delay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per phase (values ≤ 1 mean no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry (before jitter).
+    pub base: Duration,
+    /// Growth factor per retry.
+    pub multiplier: f64,
+    /// Upper bound on any single delay (after jitter).
+    pub cap: Duration,
+    /// Jitter fraction: each delay is scaled by `1 + jitter·u`, `u ∈ [0,1)`.
+    pub jitter: f64,
+    /// Budget for one phase, measured from the phase's first attempt; a
+    /// retry that would begin past the deadline is not made.
+    pub phase_deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(250),
+            multiplier: 2.0,
+            cap: Duration::from_secs(5),
+            jitter: 0.25,
+            phase_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry `attempt` (0-based). Draws exactly one
+    /// value from `rng` (the jitter).
+    pub fn delay(&self, attempt: u32, rng: &mut SimRng) -> Duration {
+        let exp = self.base.as_secs_f64() * self.multiplier.powi(attempt.min(64) as i32);
+        let jittered = exp * (1.0 + self.jitter.max(0.0) * rng.next_f64());
+        Duration::from_secs_f64(jittered.min(self.cap.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_disabled_and_never_fires() {
+        let plan = FaultPlan::default();
+        assert!(!plan.enabled());
+        let mut inj = plan.injector(0x11);
+        for _ in 0..100 {
+            assert!(!inj.pull_fails());
+            assert!(inj.pull_flap_factor().is_none());
+            assert!(!inj.create_fails());
+            assert!(!inj.start_fails());
+            assert!(inj.crashes_after_start().is_none());
+            assert!(!inj.scale_up_rejected());
+            assert!(inj.probe_flap().is_none());
+        }
+    }
+
+    #[test]
+    fn zero_probability_draws_nothing_from_the_stream() {
+        // A disabled site must not consume stream state: two injectors that
+        // differ only in *disabled* probabilities make identical decisions
+        // for the enabled ones.
+        let a = FaultPlan {
+            create_failure: 0.5,
+            ..FaultPlan::default()
+        };
+        let b = FaultPlan {
+            create_failure: 0.5,
+            pull_failure: 0.0, // explicit zero: still never drawn
+            ..FaultPlan::default()
+        };
+        let (mut ia, mut ib) = (a.injector(7), b.injector(7));
+        for _ in 0..200 {
+            assert!(!ia.pull_fails() && !ib.pull_fails());
+            assert_eq!(ia.create_fails(), ib.create_fails());
+        }
+    }
+
+    #[test]
+    fn uniform_rate_fires_at_about_that_rate() {
+        let plan = FaultPlan::uniform(0.2, 99);
+        assert!(plan.enabled());
+        let mut inj = plan.injector(3);
+        let fired = (0..10_000).filter(|_| inj.create_fails()).count();
+        let rate = fired as f64 / 10_000.0;
+        assert!((0.17..0.23).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn injectors_are_deterministic_per_seed_and_label() {
+        let plan = FaultPlan::uniform(0.3, 1234);
+        let seq = |label: u64| -> Vec<bool> {
+            let mut inj = plan.injector(label);
+            (0..64).map(|_| inj.start_fails()).collect()
+        };
+        assert_eq!(seq(1), seq(1));
+        assert_ne!(seq(1), seq(2), "labels decorrelate sites");
+    }
+
+    #[test]
+    fn flap_factor_exceeds_one_and_delay_is_bounded() {
+        let plan = FaultPlan::uniform(1.0, 5);
+        let mut inj = plan.injector(9);
+        for _ in 0..100 {
+            let f = inj.pull_flap_factor().unwrap();
+            assert!(f > 1.0 && f <= 1.0 + 3.0 * 1.5, "factor {f}");
+            let d = inj.probe_flap().unwrap();
+            assert!(d >= plan.probe_flap_delay.mul_f64(0.5));
+            assert!(d < plan.probe_flap_delay.mul_f64(1.5));
+        }
+    }
+
+    // -- RetryPolicy property sweeps (plain deterministic loops over many
+    //    seeds; they cover the same claims a proptest would) ---------------
+
+    fn delays(policy: &RetryPolicy, seed: u64, n: u32) -> Vec<Duration> {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|a| policy.delay(a, &mut rng)).collect()
+    }
+
+    #[test]
+    fn backoff_is_monotone_nondecreasing_when_multiplier_dominates_jitter() {
+        // multiplier ≥ 1 + jitter ⇒ monotone for every seed.
+        for seed in 0..200u64 {
+            let p = RetryPolicy::default();
+            let d = delays(&p, seed, 12);
+            for w in d.windows(2) {
+                assert!(w[0] <= w[1], "seed {seed}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_bounded_by_cap_for_every_seed_and_attempt() {
+        for seed in 0..200u64 {
+            for p in [
+                RetryPolicy::default(),
+                RetryPolicy {
+                    base: Duration::from_secs(4),
+                    cap: Duration::from_secs(4),
+                    ..RetryPolicy::default()
+                },
+                RetryPolicy {
+                    multiplier: 10.0,
+                    jitter: 1.0,
+                    ..RetryPolicy::default()
+                },
+            ] {
+                for d in delays(&p, seed, 40) {
+                    assert!(d <= p.cap, "delay {d} over cap {}", p.cap);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_range() {
+        // Before the cap bites, delay(attempt) ∈ [base·m^a, base·m^a·(1+j)).
+        let p = RetryPolicy {
+            cap: Duration::from_secs(10_000),
+            ..RetryPolicy::default()
+        };
+        for seed in 0..100u64 {
+            let mut rng = SimRng::new(seed);
+            for attempt in 0..8u32 {
+                let d = p.delay(attempt, &mut rng).as_secs_f64();
+                let lo = p.base.as_secs_f64() * p.multiplier.powi(attempt as i32);
+                let hi = lo * (1.0 + p.jitter);
+                assert!(d >= lo * 0.999_999 && d < hi, "attempt {attempt}: {d} not in [{lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_rng_seed() {
+        let p = RetryPolicy::default();
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            assert_eq!(delays(&p, seed, 16), delays(&p, seed, 16));
+        }
+        assert_ne!(delays(&p, 1, 16), delays(&p, 2, 16));
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -41,6 +42,7 @@ pub mod wheel;
 
 pub use dist::{Constant, Empirical, Exponential, LogNormal, Normal, Sample, Shifted, Uniform};
 pub use engine::Engine;
+pub use fault::{FaultInjector, FaultPlan, RetryPolicy};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};

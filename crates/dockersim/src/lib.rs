@@ -11,9 +11,9 @@
 
 #![warn(missing_docs)]
 
-use containerd::{ContainerId, ContainerSpec, ContainerState, ContainerdNode};
+use containerd::{ContainerId, ContainerSpec, ContainerState, ContainerdNode, RuntimeError};
 use desim::{Duration, LogNormal, Sample, SimRng, SimTime};
-use registry::ImageManifest;
+use registry::{ImageManifest, PullError};
 use std::collections::HashMap;
 
 /// Docker Engine API timing: every engine call pays a small daemon overhead
@@ -39,6 +39,10 @@ pub enum DockerError {
     NameConflict(String),
     /// No such container.
     NoSuchContainer(String),
+    /// The underlying containerd runtime refused or aborted the operation
+    /// (injected faults, missing images). Carries the runtime's own error so
+    /// callers can recover the failure instant for retry scheduling.
+    Runtime(RuntimeError),
 }
 
 impl std::fmt::Display for DockerError {
@@ -46,6 +50,7 @@ impl std::fmt::Display for DockerError {
         match self {
             DockerError::NameConflict(n) => write!(f, "container name `{n}` already in use"),
             DockerError::NoSuchContainer(n) => write!(f, "no such container: {n}"),
+            DockerError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
 }
@@ -93,6 +98,24 @@ impl DockerEngine {
         self.overhead(rng) + self.node.pull(manifests, rng)
     }
 
+    /// Fallible `docker pull` consulting the node's fault injector (if any).
+    /// Behaves exactly like [`DockerEngine::pull`] when no injector is wired;
+    /// on failure the error's `elapsed` includes the daemon overhead.
+    pub fn try_pull(
+        &mut self,
+        manifests: &[ImageManifest],
+        rng: &mut SimRng,
+    ) -> Result<Duration, PullError> {
+        let oh = self.overhead(rng);
+        match self.node.try_pull(manifests, rng) {
+            Ok(d) => Ok(oh + d),
+            Err(mut e) => {
+                e.elapsed = oh + e.elapsed;
+                Err(e)
+            }
+        }
+    }
+
     /// `docker create`: allocates a named container. Returns the id and the
     /// completion instant.
     pub fn create(
@@ -107,7 +130,10 @@ impl DockerEngine {
         }
         let t = now + self.overhead(rng);
         let name = spec.name.clone();
-        let (id, done) = self.node.create(spec, manifest, t, rng);
+        let (id, done) = self
+            .node
+            .create(spec, manifest, t, rng)
+            .map_err(DockerError::Runtime)?;
         self.names.insert(name, id);
         Ok((id, done))
     }
@@ -123,7 +149,9 @@ impl DockerEngine {
     ) -> Result<(SimTime, SimTime), DockerError> {
         let id = self.id_of(name)?;
         let t = now + self.overhead(rng);
-        Ok(self.node.start(id, t, ready_delay, rng))
+        self.node
+            .start(id, t, ready_delay, rng)
+            .map_err(DockerError::Runtime)
     }
 
     /// `docker stop`. Returns the completion instant.
@@ -228,6 +256,29 @@ mod tests {
             .create(spec("web"), &catalog::nginx(), SimTime::ZERO, &mut rng)
             .unwrap_err();
         assert_eq!(err, DockerError::NameConflict("web".into()));
+    }
+
+    #[test]
+    fn injected_create_fault_leaves_the_name_free_for_retry() {
+        use desim::FaultPlan;
+        let mut rng = SimRng::new(9);
+        let mut e = engine_with_nginx(&mut rng);
+        e.node_mut().set_faults(
+            FaultPlan {
+                create_failure: 1.0,
+                ..FaultPlan::default()
+            }
+            .injector(0x7),
+        );
+        let err = e
+            .create(spec("web"), &catalog::nginx(), SimTime::ZERO, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, DockerError::Runtime(RuntimeError::Injected { .. })), "{err}");
+        assert_eq!(e.container_count(), 0);
+        // Retry under a clean injector reuses the name without conflict.
+        e.node_mut().set_faults(FaultPlan::default().injector(0x8));
+        e.create(spec("web"), &catalog::nginx(), SimTime::from_secs(1), &mut rng)
+            .unwrap();
     }
 
     #[test]

@@ -14,9 +14,9 @@
 
 use crate::annotate::EDGE_SERVICE_LABEL;
 use crate::service::EdgeService;
-use containerd::ServiceProfile;
+use containerd::{RuntimeError, ServiceProfile};
 use desim::{Duration, LogNormal, Sample, SimRng, SimTime};
-use dockersim::DockerEngine;
+use dockersim::{DockerEngine, DockerError};
 use k8ssim::objects::{PodContainer, PodTemplate};
 use k8ssim::{ClusterEvent, K8sCluster};
 use netsim::addr::{Ipv4Addr, MacAddr};
@@ -57,6 +57,47 @@ impl InstanceState {
     }
 }
 
+/// The deployment phase a failure surfaced in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeployPhase {
+    /// Image download.
+    Pull,
+    /// Container / Deployment object creation.
+    Create,
+    /// Scale-up (start / replicas=1).
+    ScaleUp,
+}
+
+impl std::fmt::Display for DeployPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployPhase::Pull => write!(f, "pull"),
+            DeployPhase::Create => write!(f, "create"),
+            DeployPhase::ScaleUp => write!(f, "scale-up"),
+        }
+    }
+}
+
+/// A failed deployment phase. The cluster has already rolled back any
+/// partial work, so a retry starting at `at` sees a clean slate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeployError {
+    /// When the failure (including rollback) finished surfacing.
+    pub at: SimTime,
+    /// Which phase failed.
+    pub phase: DeployPhase,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} phase failed at {}: {}", self.phase, self.at, self.reason)
+    }
+}
+
+impl std::error::Error for DeployError {}
+
 /// A deployable edge cluster.
 pub trait EdgeCluster {
     /// Cluster name (unique within the controller).
@@ -76,15 +117,20 @@ pub trait EdgeCluster {
     /// Deployment state of `svc` at `now`.
     fn state(&self, svc: &EdgeService, now: SimTime) -> InstanceState;
 
-    /// **Pull** phase. Returns its completion instant (`now` when cached).
-    fn pull(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime;
+    /// **Pull** phase. Returns its completion instant (`now` when cached),
+    /// or a [`DeployError`] when an injected registry fault drops the
+    /// transfer (nothing is cached from the failed attempt).
+    fn pull(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng)
+        -> Result<SimTime, DeployError>;
 
-    /// **Create** phase. Returns its completion instant.
+    /// **Create** phase. Returns its completion instant. A runtime fault
+    /// rolls back any partially created containers before the error
+    /// surfaces, so the phase can be retried.
     ///
     /// # Panics
-    /// Panics if images are not pulled (phases are explicit) or the service
-    /// is already created.
-    fn create(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime;
+    /// Panics if the service is already created (phases are explicit).
+    fn create(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng)
+        -> Result<SimTime, DeployError>;
 
     /// **Scale Up** phase. Returns `(command_done, ready_at)`:
     /// `command_done` is when the scale-up API call returns to the
@@ -93,8 +139,13 @@ pub trait EdgeCluster {
     /// accepts connections. The controller discovers the latter by port
     /// polling from `command_done` onward — the gap is the paper's *wait
     /// time* (Figs. 14/15).
+    ///
+    /// A genuinely unschedulable service is **not** an error: it returns
+    /// `ready_at = SimTime::MAX` and callers time out. Injected faults
+    /// (start failures, crashes, scheduling rejections) surface as
+    /// [`DeployError`] after rolling back, leaving the service Created.
     fn scale_up(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng)
-        -> (SimTime, SimTime);
+        -> Result<(SimTime, SimTime), DeployError>;
 
     /// **Scale Down** phase. Returns its completion instant.
     fn scale_down(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime;
@@ -221,19 +272,24 @@ impl EdgeCluster for DockerCluster {
         }
     }
 
-    fn pull(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
-        now + self.engine.pull(&svc.profile.manifests, rng)
+    fn pull(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> Result<SimTime, DeployError> {
+        match self.engine.try_pull(&svc.profile.manifests, rng) {
+            Ok(d) => Ok(now + d),
+            Err(e) => Err(DeployError {
+                at: now + e.elapsed,
+                phase: DeployPhase::Pull,
+                reason: e.reason,
+            }),
+        }
     }
 
-    fn create(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+    fn create(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> Result<SimTime, DeployError> {
         assert!(
             !self.entries.contains_key(&svc.name),
             "service {} already created on {}",
             svc.name,
             self.name
         );
-        let host_port = self.next_port;
-        self.next_port += 1;
         let mut t = now;
         let mut names = Vec::new();
         // Serving container first so readiness probes target it.
@@ -241,13 +297,34 @@ impl EdgeCluster for DockerCluster {
         specs.sort_by_key(|c| c.listen_port.is_none());
         for spec in specs {
             let manifest = manifest_for(&spec.image, &svc.profile).clone();
-            let (_, done) = self
-                .engine
-                .create(spec.clone(), &manifest, t, rng)
-                .unwrap_or_else(|e| panic!("docker create failed: {e}"));
-            t = done;
-            names.push(spec.name.clone());
+            match self.engine.create(spec.clone(), &manifest, t, rng) {
+                Ok((_, done)) => {
+                    t = done;
+                    names.push(spec.name.clone());
+                }
+                Err(e) => {
+                    let mut at = match &e {
+                        DockerError::Runtime(RuntimeError::Injected { at, .. }) => *at,
+                        _ => t,
+                    };
+                    // Remove the containers created so far, so a retry does
+                    // not trip over name conflicts.
+                    for n in &names {
+                        at = self
+                            .engine
+                            .remove(n, at, rng)
+                            .expect("partially created container exists");
+                    }
+                    return Err(DeployError {
+                        at,
+                        phase: DeployPhase::Create,
+                        reason: e.to_string(),
+                    });
+                }
+            }
         }
+        let host_port = self.next_port;
+        self.next_port += 1;
         self.entries.insert(
             svc.name.clone(),
             DockerEntry {
@@ -258,10 +335,15 @@ impl EdgeCluster for DockerCluster {
                 ready_at: SimTime::MAX,
             },
         );
-        t
+        Ok(t)
     }
 
-    fn scale_up(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> (SimTime, SimTime) {
+    fn scale_up(
+        &mut self,
+        svc: &EdgeService,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Result<(SimTime, SimTime), DeployError> {
         let entry = self
             .entries
             .get(&svc.name)
@@ -270,6 +352,7 @@ impl EdgeCluster for DockerCluster {
         let containers = entry.containers.clone();
         let mut t = now;
         let mut ready = now;
+        let mut started = Vec::new();
         for name in &containers {
             // The serving container draws from the service profile; sidecars
             // from the generic sidecar model.
@@ -279,13 +362,32 @@ impl EdgeCluster for DockerCluster {
             } else {
                 sidecar_ready().sample_duration(rng)
             };
-            let (started, r) = self
-                .engine
-                .start(name, t, delay, rng)
-                .unwrap_or_else(|e| panic!("docker start failed: {e}"));
-            t = started;
-            if serving {
-                ready = ready.max(r);
+            match self.engine.start(name, t, delay, rng) {
+                Ok((s, r)) => {
+                    t = s;
+                    if serving {
+                        ready = ready.max(r);
+                    }
+                    started.push(name.clone());
+                }
+                Err(e) => {
+                    let mut at = match &e {
+                        DockerError::Runtime(RuntimeError::Injected { at, .. })
+                        | DockerError::Runtime(RuntimeError::CrashedAfterStart { at }) => *at,
+                        _ => t,
+                    };
+                    // Stop the containers that did start (the failed one is
+                    // already stopped or never ran), so a retry can start
+                    // them all again.
+                    for n in &started {
+                        at = self.engine.stop(n, at, rng).expect("started container exists");
+                    }
+                    return Err(DeployError {
+                        at,
+                        phase: DeployPhase::ScaleUp,
+                        reason: e.to_string(),
+                    });
+                }
             }
         }
         let entry = self.entries.get_mut(&svc.name).expect("entry exists");
@@ -293,7 +395,7 @@ impl EdgeCluster for DockerCluster {
         entry.ready_at = ready.max(t);
         // `docker start` returns once every task is launched (t); the app
         // inside may still be loading until `ready_at`.
-        (t, entry.ready_at)
+        Ok((t, entry.ready_at))
     }
 
     fn scale_down(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
@@ -466,11 +568,18 @@ impl EdgeCluster for K8sEdgeCluster {
         }
     }
 
-    fn pull(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
-        now + self.cluster.node_mut().pull(&svc.profile.manifests, rng)
+    fn pull(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> Result<SimTime, DeployError> {
+        match self.cluster.node_mut().try_pull(&svc.profile.manifests, rng) {
+            Ok(d) => Ok(now + d),
+            Err(e) => Err(DeployError {
+                at: now + e.elapsed,
+                phase: DeployPhase::Pull,
+                reason: e.reason,
+            }),
+        }
     }
 
-    fn create(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime {
+    fn create(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> Result<SimTime, DeployError> {
         assert!(
             !self.entries.contains_key(&svc.name),
             "service {} already created on {}",
@@ -499,10 +608,15 @@ impl EdgeCluster for K8sEdgeCluster {
                 pod_addr: None,
             },
         );
-        done
+        Ok(done)
     }
 
-    fn scale_up(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> (SimTime, SimTime) {
+    fn scale_up(
+        &mut self,
+        svc: &EdgeService,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Result<(SimTime, SimTime), DeployError> {
         let entry = self
             .entries
             .get(&svc.name)
@@ -516,18 +630,49 @@ impl EdgeCluster for K8sEdgeCluster {
             ClusterEvent::PodReady { at, ip, .. } => Some((*at, *ip)),
             _ => None,
         });
+        let injected = self.cluster.take_injected_rejections();
+        if ready.is_none() && !injected.is_empty() {
+            // An *injected* scheduling rejection left a pod stuck Pending.
+            // Roll back to zero replicas (the ReplicaSet controller ignores
+            // unchanged counts, so a retry must re-create the pod) and
+            // surface the failure.
+            let rejected_at = events
+                .iter()
+                .filter_map(|e| match e {
+                    ClusterEvent::PodUnschedulable { at, .. } => Some(*at),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(acked);
+            let t = self.cluster.scale(&svc.name, 0, rejected_at, rng);
+            let cleanup = self.cluster.settle(rng);
+            let at = cleanup
+                .iter()
+                .filter_map(|e| match e {
+                    ClusterEvent::PodTerminated { at, .. } => Some(*at),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(t);
+            return Err(DeployError {
+                at,
+                phase: DeployPhase::ScaleUp,
+                reason: "scheduler rejected the scale-up".to_owned(),
+            });
+        }
         let entry = self.entries.get_mut(&svc.name).expect("entry exists");
         entry.scaled_up = true;
         match ready {
             Some((at, ip)) => {
                 entry.ready_at = at;
                 entry.pod_addr = Some((ip, svc.annotated.target_port));
-                (acked, at)
+                Ok((acked, at))
             }
             None => {
-                // Unschedulable: stays Starting forever; callers time out.
+                // Genuinely unschedulable (cluster full): stays Starting
+                // forever; callers time out.
                 entry.ready_at = SimTime::MAX;
-                (acked, SimTime::MAX)
+                Ok((acked, SimTime::MAX))
             }
         }
     }
@@ -646,15 +791,15 @@ mod tests {
         assert!(!c.has_image_cached(&svc));
         assert_eq!(c.state(&svc, SimTime::ZERO), InstanceState::NotDeployed);
 
-        let t = c.pull(&svc, SimTime::ZERO, &mut rng);
+        let t = c.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
         assert!(t > SimTime::ZERO);
         assert!(c.has_image_cached(&svc));
 
-        let t2 = c.create(&svc, t, &mut rng);
+        let t2 = c.create(&svc, t, &mut rng).unwrap();
         assert!(t2 > t);
         assert_eq!(c.state(&svc, t2), InstanceState::Created);
 
-        let (_, ready) = c.scale_up(&svc, t2, &mut rng);
+        let (_, ready) = c.scale_up(&svc, t2, &mut rng).unwrap();
         // Cached-image Docker scale-up: sub-second (the headline number).
         assert!(ready - t2 < Duration::from_secs(1), "took {}", ready - t2);
         assert!(matches!(c.state(&svc, t2), InstanceState::Starting { .. }));
@@ -678,11 +823,11 @@ mod tests {
         let mut rng = SimRng::new(2);
         let mut c = k8s_cluster();
         let svc = make_service("nginx", 80);
-        let t = c.pull(&svc, SimTime::ZERO, &mut rng);
-        let t2 = c.create(&svc, t, &mut rng);
+        let t = c.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+        let t2 = c.create(&svc, t, &mut rng).unwrap();
         assert_eq!(c.state(&svc, t2), InstanceState::Created);
 
-        let (_, ready) = c.scale_up(&svc, t2, &mut rng);
+        let (_, ready) = c.scale_up(&svc, t2, &mut rng).unwrap();
         let elapsed = ready - t2;
         // The K8s orchestration gap: around 3 s vs Docker's sub-second.
         assert!(
@@ -708,15 +853,15 @@ mod tests {
         let svc = make_service("nginx", 80);
         let mut rng = SimRng::new(3);
         let mut d = docker_cluster();
-        let t = d.pull(&svc, SimTime::ZERO, &mut rng);
-        let t = d.create(&svc, t, &mut rng);
-        let d_ready = d.scale_up(&svc, t, &mut rng).1 - t;
+        let t = d.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+        let t = d.create(&svc, t, &mut rng).unwrap();
+        let d_ready = d.scale_up(&svc, t, &mut rng).unwrap().1 - t;
 
         let mut rng = SimRng::new(3);
         let mut k = k8s_cluster();
-        let t = k.pull(&svc, SimTime::ZERO, &mut rng);
-        let t = k.create(&svc, t, &mut rng);
-        let k_ready = k.scale_up(&svc, t, &mut rng).1 - t;
+        let t = k.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+        let t = k.create(&svc, t, &mut rng).unwrap();
+        let k_ready = k.scale_up(&svc, t, &mut rng).unwrap().1 - t;
 
         assert!(k_ready > d_ready * 2, "docker {d_ready} vs k8s {k_ready}");
     }
@@ -728,16 +873,16 @@ mod tests {
         let mut rng = SimRng::new(4);
 
         let mut d = docker_cluster();
-        let t = d.pull(&svc, SimTime::ZERO, &mut rng);
-        let t = d.create(&svc, t, &mut rng);
-        let (_, ready) = d.scale_up(&svc, t, &mut rng);
+        let t = d.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+        let t = d.create(&svc, t, &mut rng).unwrap();
+        let (_, ready) = d.scale_up(&svc, t, &mut rng).unwrap();
         assert!(d.state(&svc, ready).is_ready());
         assert_eq!(d.engine_mut().container_count(), 2);
 
         let mut k = k8s_cluster();
-        let t = k.pull(&svc, SimTime::ZERO, &mut rng);
-        let t = k.create(&svc, t, &mut rng);
-        let (_, ready) = k.scale_up(&svc, t, &mut rng);
+        let t = k.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+        let t = k.create(&svc, t, &mut rng).unwrap();
+        let (_, ready) = k.scale_up(&svc, t, &mut rng).unwrap();
         assert!(k.state(&svc, ready).is_ready());
     }
 
@@ -747,7 +892,7 @@ mod tests {
         let mut rng = SimRng::new(5);
         let mut c = docker_cluster();
         let svc = make_service("asm", 80);
-        c.scale_up(&svc, SimTime::ZERO, &mut rng);
+        let _ = c.scale_up(&svc, SimTime::ZERO, &mut rng);
     }
 
     #[test]
@@ -755,9 +900,9 @@ mod tests {
         let mut rng = SimRng::new(6);
         let mut c = docker_cluster();
         let svc = make_service("resnet", 8501);
-        let t = c.pull(&svc, SimTime::ZERO, &mut rng);
-        let t = c.create(&svc, t, &mut rng);
-        let (_, ready) = c.scale_up(&svc, t, &mut rng);
+        let t = c.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+        let t = c.create(&svc, t, &mut rng).unwrap();
+        let (_, ready) = c.scale_up(&svc, t, &mut rng).unwrap();
         assert!(
             ready - t > Duration::from_millis(1500),
             "resnet ready in {}",
@@ -771,13 +916,99 @@ mod tests {
         let mut c = docker_cluster();
         let a = make_service("asm", 80);
         let b = make_service("nginx", 81);
-        let t = c.pull(&a, SimTime::ZERO, &mut rng);
-        let t = c.pull(&b, t, &mut rng);
-        let t = c.create(&a, t, &mut rng);
-        let t = c.create(&b, t, &mut rng);
+        let t = c.pull(&a, SimTime::ZERO, &mut rng).unwrap();
+        let t = c.pull(&b, t, &mut rng).unwrap();
+        let t = c.create(&a, t, &mut rng).unwrap();
+        let t = c.create(&b, t, &mut rng).unwrap();
         let pa = c.instance_addr(&a).unwrap().port;
         let pb = c.instance_addr(&b).unwrap().port;
         assert_ne!(pa, pb);
         let _ = t;
+    }
+
+    #[test]
+    fn docker_create_fault_rolls_back_and_is_retryable() {
+        use desim::FaultPlan;
+        let mut rng = SimRng::new(8);
+        let mut c = docker_cluster();
+        let svc = make_service("nginx-py", 80); // two containers
+        let t = c.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+        c.engine_mut().node_mut().set_faults(
+            FaultPlan {
+                create_failure: 0.5,
+                seed: 40,
+                ..FaultPlan::default()
+            }
+            .injector(0x31),
+        );
+        // Keep creating until a fault hits, then verify clean rollback.
+        let mut t = t;
+        let err = loop {
+            match c.create(&svc, t, &mut rng) {
+                Err(e) => break e,
+                Ok(done) => {
+                    t = c.scale_down(&svc, done, &mut rng);
+                    t = c.remove(&svc, t, &mut rng);
+                }
+            }
+        };
+        assert_eq!(err.phase, DeployPhase::Create);
+        assert!(err.at >= t);
+        assert_eq!(c.state(&svc, err.at), InstanceState::NotDeployed);
+        assert_eq!(c.engine_mut().container_count(), 0, "partial create rolled back");
+        // Retry without faults succeeds from the failure instant.
+        c.engine_mut().node_mut().set_faults(FaultPlan::default().injector(0x32));
+        let done = c.create(&svc, err.at, &mut rng).unwrap();
+        let (_, ready) = c.scale_up(&svc, done, &mut rng).unwrap();
+        assert!(c.state(&svc, ready).is_ready());
+    }
+
+    #[test]
+    fn docker_start_fault_leaves_service_created_for_retry() {
+        use desim::FaultPlan;
+        let mut rng = SimRng::new(9);
+        let mut c = docker_cluster();
+        let svc = make_service("nginx-py", 80);
+        let t = c.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+        let t = c.create(&svc, t, &mut rng).unwrap();
+        c.engine_mut().node_mut().set_faults(
+            FaultPlan {
+                start_failure: 1.0,
+                ..FaultPlan::default()
+            }
+            .injector(0x33),
+        );
+        let err = c.scale_up(&svc, t, &mut rng).unwrap_err();
+        assert_eq!(err.phase, DeployPhase::ScaleUp);
+        assert_eq!(c.state(&svc, err.at), InstanceState::Created);
+        assert_eq!(c.load(), 0);
+        c.engine_mut().node_mut().set_faults(FaultPlan::default().injector(0x34));
+        let (_, ready) = c.scale_up(&svc, err.at, &mut rng).unwrap();
+        assert!(c.state(&svc, ready).is_ready());
+    }
+
+    #[test]
+    fn k8s_injected_rejection_rolls_back_and_is_retryable() {
+        use desim::FaultPlan;
+        let mut rng = SimRng::new(10);
+        let mut c = k8s_cluster();
+        let svc = make_service("nginx", 80);
+        let t = c.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+        let t = c.create(&svc, t, &mut rng).unwrap();
+        c.cluster_mut().set_faults(
+            FaultPlan {
+                scale_up_rejection: 1.0,
+                ..FaultPlan::default()
+            }
+            .injector(0x35),
+        );
+        let err = c.scale_up(&svc, t, &mut rng).unwrap_err();
+        assert_eq!(err.phase, DeployPhase::ScaleUp);
+        assert_eq!(c.state(&svc, err.at), InstanceState::Created, "rolled back to Created");
+        // Retry after the fault clears redeploys the pod from scratch.
+        c.cluster_mut().set_faults(FaultPlan::default().injector(0x36));
+        let (_, ready) = c.scale_up(&svc, err.at, &mut rng).unwrap();
+        assert!(ready < SimTime::MAX);
+        assert!(c.state(&svc, ready).is_ready());
     }
 }

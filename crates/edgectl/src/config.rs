@@ -13,6 +13,21 @@
 //! removeAfter: 600           # seconds from scale-down to full removal
 //! pollIntervalMs: 25         # readiness port-probe interval
 //! scaleDownIdle: true
+//! retry:                     # deployment retry/backoff policy
+//!   maxAttempts: 3           # total attempts per phase
+//!   baseMs: 250
+//!   multiplier: 2.0
+//!   capMs: 5000
+//!   jitter: 0.25
+//!   phaseDeadline: 30        # seconds
+//! faults:                    # chaos testing (all rates default to 0)
+//!   seed: 7
+//!   pullFailure: 0.1
+//!   createFailure: 0.1
+//!   startFailure: 0.1
+//!   crashAfterStart: 0.05
+//!   scaleUpRejection: 0.1
+//!   probeFlap: 0.1
 //! clusters:
 //!   - name: egs-docker
 //!     kind: docker
@@ -22,7 +37,7 @@
 //! ```
 
 use crate::controller::ControllerConfig;
-use desim::Duration;
+use desim::{Duration, FaultPlan};
 use yamlite::Value;
 
 /// A cluster declaration in the configuration file.
@@ -45,6 +60,8 @@ pub struct EdgeConfig {
     pub predictor: String,
     /// Controller timing/behaviour knobs.
     pub controller: ControllerConfig,
+    /// Fault-injection plan for chaos testing (all rates 0 = disabled).
+    pub faults: FaultPlan,
     /// Declared clusters.
     pub clusters: Vec<ClusterDecl>,
 }
@@ -55,6 +72,7 @@ impl Default for EdgeConfig {
             scheduler: "proximity".to_owned(),
             predictor: "none".to_owned(),
             controller: ControllerConfig::default(),
+            faults: FaultPlan::default(),
             clusters: Vec::new(),
         }
     }
@@ -150,6 +168,106 @@ impl EdgeConfig {
             cfg.controller.scale_down_idle = b;
         }
 
+        let millis = |v: &Value, key: &str| -> Result<Option<Duration>, ConfigError> {
+            match &v[key] {
+                Value::Null => Ok(None),
+                Value::Int(ms) if *ms >= 0 => Ok(Some(Duration::from_millis(*ms as u64))),
+                other => Err(ConfigError::Invalid(format!(
+                    "{key}: expected a non-negative integer (milliseconds), got {other:?}"
+                ))),
+            }
+        };
+        let fraction = |v: &Value, key: &str| -> Result<Option<f64>, ConfigError> {
+            match &v[key] {
+                Value::Null => Ok(None),
+                Value::Int(n) if (0..=1).contains(n) => Ok(Some(*n as f64)),
+                Value::Float(p) if (0.0..=1.0).contains(p) => Ok(Some(*p)),
+                other => Err(ConfigError::Invalid(format!(
+                    "{key}: expected a number in [0, 1], got {other:?}"
+                ))),
+            }
+        };
+
+        let retry = &doc["retry"];
+        if !retry.is_null() {
+            if retry.as_map().is_none() {
+                return Err(ConfigError::Invalid("retry must be a mapping".into()));
+            }
+            match &retry["maxAttempts"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 1 => cfg.controller.retry.max_attempts = *n as u32,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "retry.maxAttempts: expected a positive integer, got {other:?}"
+                    )))
+                }
+            }
+            if let Some(d) = millis(retry, "baseMs")? {
+                cfg.controller.retry.base = d;
+            }
+            if let Some(d) = millis(retry, "capMs")? {
+                cfg.controller.retry.cap = d;
+            }
+            match &retry["multiplier"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 1 => cfg.controller.retry.multiplier = *n as f64,
+                Value::Float(m) if *m >= 1.0 => cfg.controller.retry.multiplier = *m,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "retry.multiplier: expected a number >= 1, got {other:?}"
+                    )))
+                }
+            }
+            if let Some(j) = fraction(retry, "jitter")? {
+                cfg.controller.retry.jitter = j;
+            }
+            if let Some(d) = secs(retry, "phaseDeadline")? {
+                cfg.controller.retry.phase_deadline = d;
+            }
+        }
+
+        let faults = &doc["faults"];
+        if !faults.is_null() {
+            if faults.as_map().is_none() {
+                return Err(ConfigError::Invalid("faults must be a mapping".into()));
+            }
+            match &faults["seed"] {
+                Value::Null => {}
+                Value::Int(s) if *s >= 0 => cfg.faults.seed = *s as u64,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "faults.seed: expected a non-negative integer, got {other:?}"
+                    )))
+                }
+            }
+            for (key, slot) in [
+                ("pullFailure", &mut cfg.faults.pull_failure),
+                ("pullSlowdown", &mut cfg.faults.pull_slowdown),
+                ("createFailure", &mut cfg.faults.create_failure),
+                ("startFailure", &mut cfg.faults.start_failure),
+                ("crashAfterStart", &mut cfg.faults.crash_after_start),
+                ("scaleUpRejection", &mut cfg.faults.scale_up_rejection),
+                ("probeFlap", &mut cfg.faults.probe_flap),
+            ] {
+                if let Some(p) = fraction(faults, key)? {
+                    *slot = p;
+                }
+            }
+            match &faults["pullSlowdownFactor"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 1 => cfg.faults.pull_slowdown_factor = *n as f64,
+                Value::Float(m) if *m >= 1.0 => cfg.faults.pull_slowdown_factor = *m,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "faults.pullSlowdownFactor: expected a number >= 1, got {other:?}"
+                    )))
+                }
+            }
+            if let Some(d) = millis(faults, "probeFlapDelayMs")? {
+                cfg.faults.probe_flap_delay = d;
+            }
+        }
+
         if let Some(clusters) = doc["clusters"].as_seq() {
             for (i, c) in clusters.iter().enumerate() {
                 let name = c["name"]
@@ -215,6 +333,68 @@ clusters:
         assert!(!cfg.controller.scale_down_idle);
         assert_eq!(cfg.clusters.len(), 2);
         assert_eq!(cfg.clusters[1].local_scheduler.as_deref(), Some("edge-pack-scheduler"));
+    }
+
+    #[test]
+    fn retry_and_faults_blocks_parse() {
+        let cfg = EdgeConfig::from_yaml(
+            "
+retry:
+  maxAttempts: 5
+  baseMs: 100
+  multiplier: 1.5
+  capMs: 2000
+  jitter: 0.1
+  phaseDeadline: 12
+faults:
+  seed: 42
+  pullFailure: 0.2
+  createFailure: 0.1
+  startFailure: 0.05
+  crashAfterStart: 0.01
+  scaleUpRejection: 0.3
+  probeFlap: 0.15
+  pullSlowdownFactor: 4.0
+  probeFlapDelayMs: 750
+",
+        )
+        .unwrap();
+        assert_eq!(cfg.controller.retry.max_attempts, 5);
+        assert_eq!(cfg.controller.retry.base, Duration::from_millis(100));
+        assert_eq!(cfg.controller.retry.multiplier, 1.5);
+        assert_eq!(cfg.controller.retry.cap, Duration::from_secs(2));
+        assert_eq!(cfg.controller.retry.jitter, 0.1);
+        assert_eq!(cfg.controller.retry.phase_deadline, Duration::from_secs(12));
+        assert_eq!(cfg.faults.seed, 42);
+        assert_eq!(cfg.faults.pull_failure, 0.2);
+        assert_eq!(cfg.faults.create_failure, 0.1);
+        assert_eq!(cfg.faults.start_failure, 0.05);
+        assert_eq!(cfg.faults.crash_after_start, 0.01);
+        assert_eq!(cfg.faults.scale_up_rejection, 0.3);
+        assert_eq!(cfg.faults.probe_flap, 0.15);
+        assert_eq!(cfg.faults.pull_slowdown_factor, 4.0);
+        assert_eq!(cfg.faults.probe_flap_delay, Duration::from_millis(750));
+        assert!(cfg.faults.enabled());
+    }
+
+    #[test]
+    fn missing_retry_and_faults_keep_defaults() {
+        let cfg = EdgeConfig::from_yaml("scheduler: proximity").unwrap();
+        assert_eq!(cfg.controller.retry, desim::RetryPolicy::default());
+        assert_eq!(cfg.faults, FaultPlan::default());
+        assert!(!cfg.faults.enabled());
+    }
+
+    #[test]
+    fn invalid_retry_and_fault_values_rejected() {
+        assert!(EdgeConfig::from_yaml("retry:\n  maxAttempts: 0").is_err());
+        assert!(EdgeConfig::from_yaml("retry:\n  multiplier: 0.5").is_err());
+        assert!(EdgeConfig::from_yaml("retry:\n  baseMs: -10").is_err());
+        assert!(EdgeConfig::from_yaml("retry: fast").is_err());
+        assert!(EdgeConfig::from_yaml("faults:\n  pullFailure: 1.5").is_err());
+        assert!(EdgeConfig::from_yaml("faults:\n  createFailure: -0.1").is_err());
+        assert!(EdgeConfig::from_yaml("faults:\n  seed: -1").is_err());
+        assert!(EdgeConfig::from_yaml("faults: chaos").is_err());
     }
 
     #[test]

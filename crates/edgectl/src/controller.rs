@@ -21,7 +21,7 @@ use crate::dispatch::{DispatchDecision, DispatchOutcome, Dispatcher, PhaseTimes}
 use crate::flowmemory::FlowMemory;
 use crate::scheduler::GlobalScheduler;
 use crate::service::EdgeService;
-use desim::{Duration, LogNormal, Sample, SimRng, SimTime};
+use desim::{Duration, LogNormal, RetryPolicy, Sample, SimRng, SimTime};
 use netsim::addr::Ipv4Addr;
 use netsim::{ServiceAddr, TcpFrame};
 use openflow::actions::{Action, Instruction};
@@ -61,6 +61,8 @@ pub struct ControllerConfig {
     /// **Remove** phase. `None` keeps created-but-stopped services around
     /// (cheap, faster next scale-up).
     pub remove_after: Option<Duration>,
+    /// Per-phase retry/backoff/deadline policy for deployment phases.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ControllerConfig {
@@ -73,6 +75,7 @@ impl Default for ControllerConfig {
             flow_priority: 100,
             scale_down_idle: true,
             remove_after: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -98,6 +101,9 @@ pub enum RequestKind {
     Waited,
     /// Forwarded toward the cloud.
     Cloud,
+    /// Held for a with-waiting deployment that exhausted its retries; the
+    /// request was released toward the cloud (graceful degradation).
+    FallbackCloud,
     /// Destination was not a registered edge service.
     Unregistered,
 }
@@ -165,6 +171,14 @@ pub struct Controller {
     pub switch_errors: Vec<(openflow::messages::ErrorType, u16)>,
     /// Services scaled down and when, awaiting possible removal.
     scaled_down: HashMap<(ServiceAddr, usize), SimTime>,
+    /// Requests currently held for a with-waiting deployment, by
+    /// (service, cluster): the latest release instant. The idle sweep must
+    /// not scale a service down while such a hold is pending — the held
+    /// client would be redirected to a stopped instance.
+    held: HashMap<(ServiceAddr, usize), SimTime>,
+    /// Idle expiries deferred because a held request pinned the service;
+    /// re-examined once the hold drains.
+    deferred: HashMap<(ServiceAddr, usize), SimTime>,
     /// The most recent flow-statistics reply (see
     /// [`Controller::request_flow_stats`]).
     pub last_flow_stats: Option<Vec<openflow::messages::FlowStatsEntry>>,
@@ -177,10 +191,12 @@ impl Controller {
         ports: PortMap,
         config: ControllerConfig,
     ) -> Controller {
+        let mut dispatcher = Dispatcher::new(scheduler, config.poll_interval);
+        dispatcher.set_retry_policy(config.retry);
         Controller {
             services: crate::service::ServiceRegistry::new(),
             clusters: Vec::new(),
-            dispatcher: Dispatcher::new(scheduler, config.poll_interval),
+            dispatcher,
             memory: FlowMemory::new(config.memory_idle),
             ports,
             config,
@@ -190,8 +206,16 @@ impl Controller {
             clients: ClientTracker::new(),
             switch_errors: Vec::new(),
             scaled_down: HashMap::new(),
+            held: HashMap::new(),
+            deferred: HashMap::new(),
             last_flow_stats: None,
         }
+    }
+
+    /// How many requests coalesced onto an already-failed deployment
+    /// (single-flight hits in the dispatcher).
+    pub fn coalesced_count(&self) -> u64 {
+        self.dispatcher.coalesced_count()
     }
 
     /// Registers an edge cluster reachable via `switch_port`. Returns its
@@ -389,12 +413,23 @@ impl Controller {
             } => {
                 // The request is held; flows go out when the port answered.
                 let at = ready_at.max(t);
+                // Pin the service: the idle sweep must not scale it down
+                // before this hold releases.
+                let hold = self.held.entry((svc_addr, cluster)).or_insert(at);
+                *hold = (*hold).max(at);
                 let msgs = self.install_redirect(at, buffer_id, in_port, &frame, &svc, instance, cluster);
                 (RequestKind::Waited, at, Some(cluster), msgs)
             }
             DispatchDecision::ForwardToCloud => {
                 let msgs = self.install_cloud_path(t, buffer_id, in_port, &frame);
                 (RequestKind::Cloud, t, None, msgs)
+            }
+            DispatchDecision::FallbackCloud { released_at } => {
+                // The deployment exhausted its retries while the request was
+                // held: release it toward the cloud instead.
+                let at = released_at.max(t);
+                let msgs = self.install_cloud_path(at, buffer_id, in_port, &frame);
+                (RequestKind::FallbackCloud, at, None, msgs)
             }
         };
 
@@ -581,14 +616,14 @@ impl Controller {
             | crate::cluster::InstanceState::Starting { .. } => None,
             crate::cluster::InstanceState::NotDeployed => {
                 if !cluster.has_image_cached(&svc) {
-                    t = cluster.pull(&svc, t, rng);
+                    t = cluster.pull(&svc, t, rng).ok()?;
                 }
-                t = cluster.create(&svc, t, rng);
-                let (_, ready) = cluster.scale_up(&svc, t, rng);
+                t = cluster.create(&svc, t, rng).ok()?;
+                let (_, ready) = cluster.scale_up(&svc, t, rng).ok()?;
                 (ready != SimTime::MAX).then_some(ready)
             }
             crate::cluster::InstanceState::Created => {
-                let (_, ready) = cluster.scale_up(&svc, t, rng);
+                let (_, ready) = cluster.scale_up(&svc, t, rng).ok()?;
                 (ready != SimTime::MAX).then_some(ready)
             }
         }
@@ -598,11 +633,37 @@ impl Controller {
     /// services whose last flow vanished. Returns what was scaled down.
     pub fn tick(&mut self, now: SimTime, rng: &mut SimRng) -> Vec<ScaleDownEvent> {
         let mut events = Vec::new();
+        // Holds whose release instant has passed no longer pin anything.
+        self.held.retain(|_, until| now < *until);
         if !self.config.scale_down_idle {
             self.memory.expire(now);
             return events;
         }
-        for (svc_addr, cluster_idx) in self.memory.expire(now) {
+        let mut expired = self.memory.expire(now);
+        // Re-examine deferred expiries whose hold has drained since.
+        let ripe: Vec<(ServiceAddr, usize)> = self
+            .deferred
+            .keys()
+            .filter(|k| !self.held.contains_key(k))
+            .copied()
+            .collect();
+        for key in ripe {
+            self.deferred.remove(&key);
+            // Re-used while deferred? Then it is no longer idle.
+            if self.memory.flows_for(key.0) > 0 {
+                continue;
+            }
+            if !expired.contains(&key) {
+                expired.push(key);
+            }
+        }
+        for (svc_addr, cluster_idx) in expired {
+            if self.held.contains_key(&(svc_addr, cluster_idx)) {
+                // A request is still held for this service: defer the
+                // scale-down until the hold releases.
+                self.deferred.insert((svc_addr, cluster_idx), now);
+                continue;
+            }
             let Some(svc) = self.services.get(svc_addr).cloned() else {
                 continue;
             };
@@ -656,10 +717,16 @@ impl Controller {
         let removal = self.config.remove_after.and_then(|after| {
             self.scaled_down.values().map(|&t| t + after).min()
         });
-        match (self.memory.next_expiry(), removal) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        // A deferred scale-down becomes actionable when its hold releases.
+        let deferred = self
+            .deferred
+            .keys()
+            .filter_map(|k| self.held.get(k).copied())
+            .min();
+        [self.memory.next_expiry(), removal, deferred]
+            .into_iter()
+            .flatten()
+            .min()
     }
 }
 
@@ -1043,5 +1110,170 @@ mod tests {
         ctl.handle_switch_message(SimTime::ZERO, &fr.encode(9), &mut rng)
             .unwrap();
         assert_eq!(ctl.flows_removed, 1);
+    }
+
+    /// A with-waiting deployment that exhausts its retries releases the held
+    /// request toward the cloud, and later requests inside the failure
+    /// window coalesce on the same verdict.
+    #[test]
+    fn exhausted_deployment_releases_the_request_to_the_cloud() {
+        let mut rng = SimRng::new(21);
+        let plan = desim::FaultPlan {
+            create_failure: 1.0,
+            ..desim::FaultPlan::uniform(0.0, 77)
+        };
+        let mut engine = DockerEngine::with_defaults();
+        engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, &mut rng);
+        engine.node_mut().set_faults(plan.injector(1));
+        let cluster = DockerCluster::new(
+            "edge-docker",
+            engine,
+            MacAddr::from_id(200),
+            Ipv4Addr::new(10, 0, 0, 10),
+            Duration::from_micros(150),
+        );
+        let mut ctl = Controller::new(
+            Box::<ProximityScheduler>::default(),
+            PortMap { cluster_ports: HashMap::new(), cloud_port: CLOUD_PORT },
+            ControllerConfig::default(),
+        );
+        ctl.add_cluster(Box::new(cluster), EDGE_PORT);
+        ctl.register_service(make_service("asm", 80));
+        let mut sw = Switch::new(SwitchConfig {
+            datapath_id: 1,
+            n_buffers: 64,
+            miss_send_len: 0xffff,
+            ports: vec![CLIENT_PORT, EDGE_PORT, CLOUD_PORT],
+        });
+
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+
+        let rec = &ctl.records[0];
+        assert_eq!(rec.kind, RequestKind::FallbackCloud);
+        assert_eq!(rec.cluster, None);
+        assert_eq!(
+            rec.phases.create_retries,
+            ctl.config.retry.max_attempts - 1,
+            "every allowed retry was spent on the create phase"
+        );
+        let released = rec.phases.gave_up_at.expect("deployment gave up");
+        assert_eq!(rec.answered_at, released.max(rec.at));
+        assert!(ctl.memory().is_empty(), "failed deployments are not memorized");
+
+        // The buffered SYN is released through a plain cloud path, with the
+        // original destination untouched.
+        let mut released_fx = Vec::new();
+        for m in &out {
+            released_fx.extend(sw.handle_controller(m.at, &m.data).unwrap());
+        }
+        let Effect::Forward { port, data } = released_fx
+            .iter()
+            .find(|e| matches!(e, Effect::Forward { .. }))
+            .expect("buffered packet released")
+        else {
+            unreachable!()
+        };
+        assert_eq!(*port, CLOUD_PORT);
+        let f = TcpFrame::decode(data).unwrap();
+        assert_eq!(f.dst_ip, Ipv4Addr::new(203, 0, 113, 10));
+        assert_eq!(f.dst_port, 80);
+
+        // A second request inside the failure window coalesces: same
+        // release instant, no fresh deployment attempt.
+        let t1 = t0 + Duration::from_millis(5);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &client_syn(50001).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap();
+        assert_eq!(ctl.coalesced_count(), 1);
+        assert_eq!(ctl.records[1].kind, RequestKind::FallbackCloud);
+        assert_eq!(ctl.records[1].answered_at, ctl.records[0].answered_at);
+    }
+
+    /// Regression: the idle sweep must not scale a service down while a
+    /// with-waiting request is held — the held client would be redirected
+    /// to a stopped instance. The expiry is deferred until the hold drains.
+    #[test]
+    fn scale_down_is_deferred_while_a_request_is_held() {
+        let mut rng = SimRng::new(22);
+        let mut engine = DockerEngine::with_defaults();
+        engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, &mut rng);
+        let cluster = DockerCluster::new(
+            "edge-docker",
+            engine,
+            MacAddr::from_id(200),
+            Ipv4Addr::new(10, 0, 0, 10),
+            Duration::from_micros(150),
+        );
+        let mut ctl = Controller::new(
+            Box::<ProximityScheduler>::default(),
+            PortMap { cluster_ports: HashMap::new(), cloud_port: CLOUD_PORT },
+            ControllerConfig {
+                // Tiny idle timeout so a stale entry can expire mid-hold.
+                memory_idle: Duration::from_millis(1),
+                ..ControllerConfig::default()
+            },
+        );
+        ctl.add_cluster(Box::new(cluster), EDGE_PORT);
+        ctl.register_service(make_service("asm", 80));
+        let mut sw = Switch::new(SwitchConfig {
+            datapath_id: 1,
+            n_buffers: 64,
+            miss_send_len: 0xffff,
+            ports: vec![CLIENT_PORT, EDGE_PORT, CLOUD_PORT],
+        });
+
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        assert_eq!(ctl.records[0].kind, RequestKind::Waited);
+        let held_until = out[0].at;
+
+        // The waiting client moves away (its own entry is flushed) and a
+        // stale entry from another client expires while the hold is live.
+        ctl.memory.forget_client(Ipv4Addr::new(192, 168, 1, 20));
+        let svc = ctl
+            .services()
+            .get(ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80))
+            .cloned()
+            .unwrap();
+        let inst = ctl.cluster(0).instance_addr(&svc).unwrap();
+        ctl.memory.memorize(
+            crate::flowmemory::FlowKey {
+                client_ip: Ipv4Addr::new(192, 168, 1, 99),
+                service: svc.addr,
+            },
+            inst,
+            0,
+            t0,
+        );
+
+        // Mid-hold sweep: the expiry fires but the scale-down is deferred.
+        let mid = t0 + (held_until - t0) / 2;
+        let ev = ctl.tick(mid, &mut rng);
+        assert!(ev.is_empty(), "scale-down deferred while the request is held");
+        assert!(
+            matches!(
+                ctl.cluster(0).state(&svc, mid),
+                crate::cluster::InstanceState::Ready(_)
+                    | crate::cluster::InstanceState::Starting { .. }
+            ),
+            "instance still up for the held client"
+        );
+        // The deferral is visible to the event loop.
+        assert_eq!(ctl.next_tick_at(), Some(held_until));
+
+        // Once the hold drains the idle scale-down proceeds.
+        let after = held_until + Duration::from_millis(10);
+        let ev = ctl.tick(after, &mut rng);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].action, LifecycleAction::ScaleDown);
+        assert!(matches!(
+            ctl.cluster(0).state(&svc, after + Duration::from_millis(1)),
+            crate::cluster::InstanceState::Created
+        ));
     }
 }

@@ -16,12 +16,14 @@
 //! controller repeatedly probes the service port and only installs the
 //! redirect flows once the port answers (Section VI).
 
-use crate::cluster::{EdgeCluster, InstanceAddr, InstanceState};
+use crate::cluster::{DeployError, EdgeCluster, InstanceAddr, InstanceState};
 use crate::flowmemory::{FlowKey, FlowMemory};
 use crate::scheduler::{ClusterView, GlobalScheduler};
 use crate::service::EdgeService;
-use desim::{Duration, SimRng, SimTime};
+use desim::{Duration, RetryPolicy, SimRng, SimTime};
 use netsim::addr::Ipv4Addr;
+use netsim::ServiceAddr;
+use std::collections::HashMap;
 
 /// Timing breakdown of one dispatch, for the evaluation harness.
 #[derive(Clone, Copy, Debug, Default)]
@@ -39,6 +41,15 @@ pub struct PhaseTimes {
     pub instance_ready: Option<SimTime>,
     /// First successful port probe (flows can be installed from here).
     pub port_confirmed: Option<SimTime>,
+    /// Pull attempts beyond the first (fault recovery).
+    pub pull_retries: u32,
+    /// Create attempts beyond the first.
+    pub create_retries: u32,
+    /// Scale-up attempts beyond the first.
+    pub scale_up_retries: u32,
+    /// When the dispatcher exhausted retries/deadline and released the
+    /// request toward the cloud (`None` on success).
+    pub gave_up_at: Option<SimTime>,
 }
 
 impl PhaseTimes {
@@ -48,6 +59,11 @@ impl PhaseTimes {
     /// respective port is open").
     pub fn wait_time(&self) -> Option<Duration> {
         Some(self.port_confirmed?.saturating_since(self.scale_up_done?))
+    }
+
+    /// Total retry count across all phases.
+    pub fn total_retries(&self) -> u32 {
+        self.pull_retries + self.create_retries + self.scale_up_retries
     }
 }
 
@@ -73,6 +89,13 @@ pub enum DispatchDecision {
     },
     /// Forward the request toward the cloud.
     ForwardToCloud,
+    /// Graceful degradation: a with-waiting deployment exhausted its retries
+    /// or deadline, so the held request is released toward the cloud at
+    /// `released_at` (the instant the last attempt failed).
+    FallbackCloud {
+        /// When the dispatcher gave up and released the request.
+        released_at: SimTime,
+    },
 }
 
 /// A background (BEST-choice) deployment triggered alongside the decision.
@@ -97,21 +120,53 @@ pub struct DispatchOutcome {
     pub from_memory: bool,
 }
 
+/// How [`Dispatcher::ensure_ready`] concluded.
+enum EnsureOutcome {
+    /// Instance ready; flows installable from the contained instant.
+    Ready(SimTime),
+    /// Genuinely unschedulable (cluster full): callers time out / go to
+    /// cloud, exactly as before fault injection existed.
+    Unschedulable,
+    /// Retries/deadline exhausted at the contained instant; the request is
+    /// released toward the cloud.
+    GaveUp(SimTime),
+}
+
+/// A deployment that exhausted its retries, kept so concurrent requests for
+/// the same (service, cluster) coalesce onto the failure instead of driving
+/// duplicate phase attempts (successes need no such cache: a second request
+/// during scale-up already coalesces via [`InstanceState::Starting`]).
+#[derive(Clone, Copy)]
+struct FailedDeploy {
+    gave_up_at: SimTime,
+    phases: PhaseTimes,
+}
+
 /// The Dispatcher component.
 pub struct Dispatcher {
     scheduler: Box<dyn GlobalScheduler>,
     /// Port-probe interval for readiness polling.
     poll_interval: Duration,
+    /// Per-phase retry/backoff/deadline policy.
+    retry: RetryPolicy,
+    /// Single-flight failure cache: deployments that gave up, by
+    /// (service, cluster), until their give-up instant passes.
+    in_flight: HashMap<(ServiceAddr, usize), FailedDeploy>,
+    /// Requests that coalesced onto an in-flight failure.
+    coalesced: u64,
 }
 
 impl Dispatcher {
     /// Creates a dispatcher with the given Global Scheduler and port-poll
-    /// interval.
+    /// interval, using the default [`RetryPolicy`].
     pub fn new(scheduler: Box<dyn GlobalScheduler>, poll_interval: Duration) -> Dispatcher {
         assert!(!poll_interval.is_zero(), "poll interval must be positive");
         Dispatcher {
             scheduler,
             poll_interval,
+            retry: RetryPolicy::default(),
+            in_flight: HashMap::new(),
+            coalesced: 0,
         }
     }
 
@@ -123,6 +178,22 @@ impl Dispatcher {
     /// Swaps the Global Scheduler (the controller's dynamic configuration).
     pub fn set_scheduler(&mut self, scheduler: Box<dyn GlobalScheduler>) {
         self.scheduler = scheduler;
+    }
+
+    /// Replaces the retry/backoff/deadline policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// How many requests coalesced onto an already-failed deployment
+    /// instead of re-driving the phases (single-flight hits).
+    pub fn coalesced_count(&self) -> u64 {
+        self.coalesced
     }
 
     /// Dispatches one request from `client_ip` to `svc` (Fig. 7).
@@ -177,11 +248,19 @@ impl Dispatcher {
         let background = match choice.best {
             Some(b) if choice.best != choice.fast => {
                 let mut phases = PhaseTimes::default();
-                let ready_at = self.ensure_ready(svc, b, now, clusters, &mut phases, rng);
-                Some(BackgroundDeployment {
-                    cluster: b,
-                    ready_at,
-                })
+                match self.ensure_ready(svc, b, now, clusters, &mut phases, rng) {
+                    EnsureOutcome::Ready(ready_at) => Some(BackgroundDeployment {
+                        cluster: b,
+                        ready_at,
+                    }),
+                    EnsureOutcome::Unschedulable => Some(BackgroundDeployment {
+                        cluster: b,
+                        ready_at: SimTime::MAX,
+                    }),
+                    // A failed background deployment leaves nothing for
+                    // future requests; nothing to advertise.
+                    EnsureOutcome::GaveUp(_) => None,
+                }
             }
             _ => None,
         };
@@ -211,16 +290,28 @@ impl Dispatcher {
 
         // On-demand deployment with waiting.
         let mut phases = PhaseTimes::default();
-        let ready_at = self.ensure_ready(svc, f, now, clusters, &mut phases, rng);
-        if ready_at == SimTime::MAX {
-            // Deployment cannot complete (e.g. unschedulable): fall back.
-            return DispatchOutcome {
-                decision: DispatchDecision::ForwardToCloud,
-                background,
-                phases,
-                from_memory: false,
-            };
-        }
+        let ready_at = match self.ensure_ready(svc, f, now, clusters, &mut phases, rng) {
+            EnsureOutcome::Ready(t) => t,
+            EnsureOutcome::Unschedulable => {
+                // Deployment cannot complete (e.g. unschedulable): fall back.
+                return DispatchOutcome {
+                    decision: DispatchDecision::ForwardToCloud,
+                    background,
+                    phases,
+                    from_memory: false,
+                };
+            }
+            EnsureOutcome::GaveUp(released_at) => {
+                // Graceful degradation: release the held request toward the
+                // cloud once the last attempt has failed.
+                return DispatchOutcome {
+                    decision: DispatchDecision::FallbackCloud { released_at },
+                    background,
+                    phases,
+                    from_memory: false,
+                };
+            }
+        };
         let instance = clusters[f]
             .instance_addr(svc)
             .expect("deployed instance has an address");
@@ -237,18 +328,30 @@ impl Dispatcher {
         }
     }
 
-    /// Drives the missing phases on `cluster` until the instance is ready;
-    /// returns the first successful port-probe instant ([`SimTime::MAX`] if
-    /// the deployment cannot complete).
+    /// Drives the missing phases on `cluster` until the instance is ready,
+    /// retrying failed phases under the configured [`RetryPolicy`].
     fn ensure_ready(
-        &self,
+        &mut self,
         svc: &EdgeService,
         cluster: usize,
         now: SimTime,
         clusters: &mut [Box<dyn EdgeCluster>],
         phases: &mut PhaseTimes,
         rng: &mut SimRng,
-    ) -> SimTime {
+    ) -> EnsureOutcome {
+        let key = (svc.addr, cluster);
+        // Single-flight on *failures*: while a give-up instant lies in the
+        // future, concurrent requests coalesce onto it instead of re-driving
+        // (and re-failing) the phases.
+        if let Some(failed) = self.in_flight.get(&key) {
+            if now < failed.gave_up_at {
+                self.coalesced += 1;
+                *phases = failed.phases;
+                return EnsureOutcome::GaveUp(failed.gave_up_at);
+            }
+            self.in_flight.remove(&key);
+        }
+        let policy = self.retry;
         let c = &mut clusters[cluster];
         let mut t = now;
         let ready_at = match c.state(svc, now) {
@@ -256,26 +359,52 @@ impl Dispatcher {
             InstanceState::Starting { ready_at } => ready_at,
             InstanceState::NotDeployed => {
                 if !c.has_image_cached(svc) {
-                    t = c.pull(svc, t, rng);
-                    phases.pull_done = Some(t);
+                    match with_retries(policy, t, &mut phases.pull_retries, rng, |t, rng| {
+                        c.pull(svc, t, rng)
+                    }) {
+                        Ok(done) => {
+                            t = done;
+                            phases.pull_done = Some(t);
+                        }
+                        Err(failed_at) => return self.give_up(key, failed_at, phases),
+                    }
                 }
-                t = c.create(svc, t, rng);
-                phases.create_done = Some(t);
+                match with_retries(policy, t, &mut phases.create_retries, rng, |t, rng| {
+                    c.create(svc, t, rng)
+                }) {
+                    Ok(done) => {
+                        t = done;
+                        phases.create_done = Some(t);
+                    }
+                    Err(failed_at) => return self.give_up(key, failed_at, phases),
+                }
                 phases.scale_up_at = Some(t);
-                let (done, ready) = c.scale_up(svc, t, rng);
-                phases.scale_up_done = Some(done);
-                ready
+                match with_retries(policy, t, &mut phases.scale_up_retries, rng, |t, rng| {
+                    c.scale_up(svc, t, rng)
+                }) {
+                    Ok((done, ready)) => {
+                        phases.scale_up_done = Some(done);
+                        ready
+                    }
+                    Err(failed_at) => return self.give_up(key, failed_at, phases),
+                }
             }
             InstanceState::Created => {
                 // Images were necessarily pulled before create.
                 phases.scale_up_at = Some(t);
-                let (done, ready) = c.scale_up(svc, t, rng);
-                phases.scale_up_done = Some(done);
-                ready
+                match with_retries(policy, t, &mut phases.scale_up_retries, rng, |t, rng| {
+                    c.scale_up(svc, t, rng)
+                }) {
+                    Ok((done, ready)) => {
+                        phases.scale_up_done = Some(done);
+                        ready
+                    }
+                    Err(failed_at) => return self.give_up(key, failed_at, phases),
+                }
             }
         };
         if ready_at == SimTime::MAX {
-            return SimTime::MAX;
+            return EnsureOutcome::Unschedulable;
         }
         phases.instance_ready = Some(ready_at);
         // Port polling: probes run every `poll_interval` from the moment the
@@ -285,7 +414,61 @@ impl Dispatcher {
         let ready_for_poll = ready_at.max(base);
         let confirmed = next_poll_at(base, ready_for_poll, self.poll_interval);
         phases.port_confirmed = Some(confirmed);
-        confirmed
+        EnsureOutcome::Ready(confirmed)
+    }
+
+    /// Records an exhausted deployment in the single-flight failure cache
+    /// and reports the give-up instant.
+    fn give_up(
+        &mut self,
+        key: (ServiceAddr, usize),
+        at: SimTime,
+        phases: &mut PhaseTimes,
+    ) -> EnsureOutcome {
+        phases.gave_up_at = Some(at);
+        self.in_flight.insert(
+            key,
+            FailedDeploy {
+                gave_up_at: at,
+                phases: *phases,
+            },
+        );
+        EnsureOutcome::GaveUp(at)
+    }
+}
+
+/// Runs `op` under the retry policy: on failure, waits out an
+/// exponential-backoff-with-jitter delay and tries again, until the attempt
+/// budget or the phase deadline is exhausted. Returns the last failure
+/// instant on give-up. The jitter draw only happens *after* a failure, so a
+/// first-try success (the whole zero-fault world) consumes no extra
+/// randomness.
+fn with_retries<T>(
+    policy: RetryPolicy,
+    phase_start: SimTime,
+    retries: &mut u32,
+    rng: &mut SimRng,
+    mut op: impl FnMut(SimTime, &mut SimRng) -> Result<T, DeployError>,
+) -> Result<T, SimTime> {
+    let mut t = phase_start;
+    let mut attempt: u32 = 0;
+    loop {
+        match op(t, rng) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let failed_at = e.at.max(t);
+                attempt += 1;
+                if attempt >= policy.max_attempts {
+                    return Err(failed_at);
+                }
+                let next = failed_at + policy.delay(attempt - 1, rng);
+                if next > phase_start + policy.phase_deadline {
+                    return Err(failed_at);
+                }
+                *retries += 1;
+                t = next;
+            }
+        }
     }
 }
 
@@ -343,6 +526,25 @@ mod tests {
         Dispatcher::new(sched, Duration::from_millis(25))
     }
 
+    fn docker_faulty(
+        name: &str,
+        id: u32,
+        plan: desim::FaultPlan,
+        label: u64,
+        rng: &mut SimRng,
+    ) -> Box<dyn EdgeCluster> {
+        let mut engine = DockerEngine::with_defaults();
+        engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, rng);
+        engine.node_mut().set_faults(plan.injector(label));
+        Box::new(DockerCluster::new(
+            name,
+            engine,
+            MacAddr::from_id(id),
+            Ipv4Addr::new(10, 0, id as u8, 1),
+            Duration::from_micros(100),
+        ))
+    }
+
     #[test]
     fn with_waiting_deploys_on_nearest_and_waits() {
         let mut rng = SimRng::new(1);
@@ -388,9 +590,9 @@ mod tests {
         ];
         // Pre-deploy on far.
         let t0 = SimTime::ZERO;
-        let t = clusters[0].pull(&svc, t0, &mut rng);
-        let t = clusters[0].create(&svc, t, &mut rng);
-        let (_, far_ready) = clusters[0].scale_up(&svc, t, &mut rng);
+        let t = clusters[0].pull(&svc, t0, &mut rng).unwrap();
+        let t = clusters[0].create(&svc, t, &mut rng).unwrap();
+        let (_, far_ready) = clusters[0].scale_up(&svc, t, &mut rng).unwrap();
 
         let mut memory = FlowMemory::new(Duration::from_secs(30));
         let mut d = dispatcher(Box::<LatencyAwareScheduler>::default());
@@ -464,6 +666,125 @@ mod tests {
         assert!(!out2.from_memory);
         assert!(matches!(out2.decision, DispatchDecision::Redirect { .. }));
         assert!(out2.phases.scale_up_at.is_none(), "no deployment phases ran");
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_on_the_starting_instance() {
+        // Regression: a second request arriving while the first one's
+        // scale-up is still in flight must NOT kick off a duplicate
+        // deployment of the same (service, cluster).
+        let mut rng = SimRng::new(11);
+        let svc = make_service("asm");
+        let mut clusters = vec![docker("near", 1, 100, true, &mut rng)];
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<ProximityScheduler>::default());
+
+        let now = SimTime::from_secs(1);
+        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        let DispatchDecision::WaitThenRedirect { ready_at, .. } = out.decision else {
+            panic!("expected with-waiting");
+        };
+        // Second client lands mid-deployment.
+        let mid = now + (ready_at - now) / 2;
+        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 21), mid, &mut clusters, &mut memory, &mut rng);
+        let DispatchDecision::WaitThenRedirect { ready_at: r2, .. } = out2.decision else {
+            panic!("expected with-waiting for the second client: {:?}", out2.decision);
+        };
+        assert!(out2.phases.scale_up_at.is_none(), "no duplicate deployment phases");
+        assert!(r2 + Duration::from_millis(25) >= ready_at, "waits for the same instance");
+        // Only one container set exists on the cluster.
+        let count = clusters[0]
+            .instance_addr(&svc)
+            .map(|_| 1)
+            .unwrap_or(0);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn exhausted_deployment_falls_back_to_cloud_and_coalesces() {
+        use desim::FaultPlan;
+        let mut rng = SimRng::new(12);
+        let svc = make_service("asm");
+        // Every create fails: the with-waiting deployment exhausts its
+        // retries and releases the request toward the cloud.
+        let plan = FaultPlan {
+            create_failure: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut clusters = vec![docker_faulty("near", 1, plan, 0x41, &mut rng)];
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<ProximityScheduler>::default());
+
+        let now = SimTime::from_secs(1);
+        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        let DispatchDecision::FallbackCloud { released_at } = out.decision else {
+            panic!("expected cloud fallback: {:?}", out.decision);
+        };
+        assert!(released_at > now, "failed attempts cost time");
+        assert_eq!(out.phases.create_retries, d.retry_policy().max_attempts - 1);
+        assert_eq!(out.phases.gave_up_at, Some(released_at));
+        assert!(out.phases.port_confirmed.is_none());
+
+        // A second request before the give-up instant coalesces instead of
+        // re-driving (and re-failing) the phases.
+        let mid = now + (released_at - now) / 2;
+        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 21), mid, &mut clusters, &mut memory, &mut rng);
+        let DispatchDecision::FallbackCloud { released_at: r2 } = out2.decision else {
+            panic!("expected coalesced fallback: {:?}", out2.decision);
+        };
+        assert_eq!(r2, released_at, "coalesced onto the same failure");
+        assert_eq!(d.coalesced_count(), 1);
+        assert_eq!(out2.phases.create_retries, out.phases.create_retries);
+
+        // After the give-up instant passes, a fresh attempt is made.
+        let later = released_at + Duration::from_secs(1);
+        let out3 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 22), later, &mut clusters, &mut memory, &mut rng);
+        let DispatchDecision::FallbackCloud { released_at: r3 } = out3.decision else {
+            panic!("expected a fresh failing attempt: {:?}", out3.decision);
+        };
+        assert!(r3 > released_at, "new attempt, new give-up instant");
+        assert_eq!(d.coalesced_count(), 1, "no coalescing after the window");
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retries() {
+        use desim::FaultPlan;
+        // Sweep plan seeds: at a 40% create-failure rate some dispatches
+        // recover via retries and some exhaust the budget — both paths must
+        // stay panic-free and internally consistent.
+        let mut recovered = 0u32;
+        let mut fell_back = 0u32;
+        for plan_seed in 0..40u64 {
+            let mut rng = SimRng::new(13);
+            let svc = make_service("asm");
+            let plan = FaultPlan {
+                create_failure: 0.4,
+                seed: plan_seed,
+                ..FaultPlan::default()
+            };
+            let mut clusters = vec![docker_faulty("near", 1, plan, 0x42, &mut rng)];
+            let mut memory = FlowMemory::new(Duration::from_secs(30));
+            let mut d = dispatcher(Box::<ProximityScheduler>::default());
+            let out = d.dispatch(
+                &svc,
+                Ipv4Addr::new(192, 168, 1, 20),
+                SimTime::from_secs(1),
+                &mut clusters,
+                &mut memory,
+                &mut rng,
+            );
+            match out.decision {
+                DispatchDecision::WaitThenRedirect { .. } => {
+                    if out.phases.total_retries() > 0 {
+                        recovered += 1;
+                    }
+                }
+                DispatchDecision::FallbackCloud { .. } => fell_back += 1,
+                other => panic!("unexpected decision: {other:?}"),
+            }
+        }
+        assert!(recovered > 0, "some runs recover via retries");
+        assert!(fell_back > 0, "some runs exhaust the budget");
     }
 
     #[test]

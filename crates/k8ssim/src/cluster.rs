@@ -5,7 +5,7 @@ use crate::objects::{
 };
 use crate::scheduler::{K8sScheduler, NodeView, SchedulerRegistry};
 use containerd::ContainerdNode;
-use desim::{EventQueue, LogNormal, Sample, SimRng, SimTime};
+use desim::{EventQueue, FaultInjector, LogNormal, Sample, SimRng, SimTime};
 use std::collections::BTreeMap;
 
 /// Control-plane latency model. Each reconciliation arrow pays a watch
@@ -152,6 +152,11 @@ pub struct K8sCluster {
     work: EventQueue<Work>,
     pod_seq: u64,
     next_ip: u16,
+    /// Chaos-testing injector: scale-up rejections and readiness-probe flaps.
+    faults: Option<FaultInjector>,
+    /// Pods left Pending by an *injected* rejection (as opposed to a genuine
+    /// scheduler refusal), so callers can tell the two apart and retry.
+    injected_rejections: Vec<String>,
 }
 
 impl K8sCluster {
@@ -173,6 +178,8 @@ impl K8sCluster {
             work: EventQueue::new(),
             pod_seq: 0,
             next_ip: 2,
+            faults: None,
+            injected_rejections: Vec::new(),
         }
     }
 
@@ -184,6 +191,20 @@ impl K8sCluster {
     /// Registers a custom (Local) scheduler.
     pub fn register_scheduler(&mut self, scheduler: Box<dyn K8sScheduler>) {
         self.schedulers.register(scheduler);
+    }
+
+    /// Wires a chaos-testing fault injector into the control plane. Injected
+    /// faults are scale-up (scheduling) rejections and readiness-probe
+    /// flaps; container-runtime faults are modelled on the Docker path.
+    pub fn set_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Drains the names of pods left Pending by an *injected* scheduling
+    /// rejection since the last call. A genuine scheduler refusal (cluster
+    /// full, no matching node) does not show up here.
+    pub fn take_injected_rejections(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.injected_rejections)
     }
 
     /// Adds another worker node. Returns its index.
@@ -456,6 +477,16 @@ impl K8sCluster {
         if pod.phase != PodPhase::Pending {
             return;
         }
+        if let Some(faults) = &mut self.faults {
+            if faults.scale_up_rejected() {
+                self.injected_rejections.push(name.to_owned());
+                events.push(ClusterEvent::PodUnschedulable {
+                    at: now,
+                    name: name.to_owned(),
+                });
+                return;
+            }
+        }
         match self.schedulers.schedule(pod, &views) {
             Some(node) => {
                 let t = self.api(now, rng); // binding API call
@@ -523,12 +554,27 @@ impl K8sCluster {
         let mut ids = Vec::with_capacity(containers.len());
         let mut ready_at = t;
         for c in &containers {
-            let (id, created) = worker.create(c.spec.clone(), &c.manifest, t, rng);
+            // K8s worker nodes run without containerd fault injection (the
+            // runtime fault model lives on the Docker path), so create/start
+            // cannot fail here.
+            let (id, created) = worker
+                .create(c.spec.clone(), &c.manifest, t, rng)
+                .expect("k8s worker nodes run without containerd fault injection");
             let ready_delay = c.ready.sample_duration(rng);
-            let (started, ready) = worker.start(id, created, ready_delay, rng);
+            let (started, ready) = worker
+                .start(id, created, ready_delay, rng)
+                .expect("k8s worker nodes run without containerd fault injection");
             t = started; // next container's create begins after this start
             ready_at = ready_at.max(ready);
             ids.push(id);
+        }
+
+        // An injected readiness-probe flap delays when the kubelet reports
+        // the pod Ready (the app restarts its probe grace period).
+        if let Some(faults) = &mut self.faults {
+            if let Some(extra) = faults.probe_flap() {
+                ready_at += extra;
+            }
         }
 
         let ip = [10, 244, (self.next_ip >> 8) as u8, (self.next_ip & 0xff) as u8];
@@ -889,6 +935,76 @@ mod tests {
         let events = c.settle(&mut rng);
         assert!(events.iter().any(|e| matches!(e, ClusterEvent::PodUnschedulable { .. })));
         assert!(!events.iter().any(|e| matches!(e, ClusterEvent::PodReady { .. })));
+    }
+
+    #[test]
+    fn injected_scale_up_rejection_is_recorded_and_retryable() {
+        use desim::FaultPlan;
+        let mut rng = SimRng::new(9);
+        let mut c = cluster_with_cached_nginx(&mut rng);
+        c.set_faults(
+            FaultPlan {
+                scale_up_rejection: 1.0,
+                ..FaultPlan::default()
+            }
+            .injector(0x11),
+        );
+        let (dep, svc) = nginx_deployment(0);
+        c.apply(dep, svc, SimTime::ZERO, &mut rng);
+        c.settle(&mut rng);
+        c.scale("nginx-edge", 1, SimTime::from_secs(10), &mut rng);
+        let events = c.settle(&mut rng);
+        assert!(events.iter().any(|e| matches!(e, ClusterEvent::PodUnschedulable { .. })));
+        assert!(!events.iter().any(|e| matches!(e, ClusterEvent::PodReady { .. })));
+        assert_eq!(c.take_injected_rejections().len(), 1);
+        assert!(c.take_injected_rejections().is_empty(), "drained on take");
+
+        // Retry after clearing the fault: reset to zero replicas (terminates
+        // the stuck Pending pod), then scale up again.
+        c.set_faults(FaultPlan::default().injector(0x12));
+        c.scale("nginx-edge", 0, SimTime::from_secs(12), &mut rng);
+        c.settle(&mut rng);
+        c.scale("nginx-edge", 1, SimTime::from_secs(14), &mut rng);
+        let events = c.settle(&mut rng);
+        assert!(events.iter().any(|e| matches!(e, ClusterEvent::PodReady { .. })));
+        assert!(c.take_injected_rejections().is_empty());
+    }
+
+    #[test]
+    fn injected_probe_flap_delays_readiness_only() {
+        use desim::FaultPlan;
+        let ready_with = |faulty: bool| {
+            let mut rng = SimRng::new(10);
+            let mut c = cluster_with_cached_nginx(&mut rng);
+            if faulty {
+                c.set_faults(
+                    FaultPlan {
+                        probe_flap: 1.0,
+                        ..FaultPlan::default()
+                    }
+                    .injector(0x21),
+                );
+            }
+            let (dep, svc) = nginx_deployment(1);
+            c.apply(dep, svc, SimTime::ZERO, &mut rng);
+            c.settle(&mut rng)
+                .iter()
+                .find_map(|e| match e {
+                    ClusterEvent::PodReady { at, .. } => Some(*at),
+                    _ => None,
+                })
+                .expect("pod became ready")
+        };
+        let clean = ready_with(false);
+        let flappy = ready_with(true);
+        // The injector has its own rng stream, so the main draws line up and
+        // the flap shows as a pure delay of delay*(0.5..1.5).
+        assert!(
+            flappy >= clean + desim::Duration::from_millis(900),
+            "flap added {:?}",
+            flappy.saturating_since(clean)
+        );
+        assert!(flappy <= clean + desim::Duration::from_secs(4));
     }
 
     #[test]

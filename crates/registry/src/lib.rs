@@ -42,4 +42,4 @@ pub mod pull;
 
 pub use cache::LayerCache;
 pub use image::{Digest, ImageManifest, ImageRef, Layer};
-pub use pull::{PullOutcome, PullPlanner, RegistryProfile};
+pub use pull::{PullError, PullOutcome, PullPlanner, RegistryProfile};

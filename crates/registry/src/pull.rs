@@ -8,7 +8,7 @@
 
 use crate::cache::LayerCache;
 use crate::image::{ImageManifest, Layer};
-use desim::{Duration, LogNormal, Sample, SimRng};
+use desim::{Duration, FaultInjector, LogNormal, Sample, SimRng};
 
 /// Network/processing profile of a registry endpoint.
 #[derive(Clone, Debug)]
@@ -104,6 +104,27 @@ impl PullOutcome {
     }
 }
 
+/// A pull attempt that failed mid-transfer (injected registry fault).
+///
+/// The attempt still cost wall-clock time — `elapsed` — which callers must
+/// account for before retrying. Nothing is cached from a failed attempt
+/// (containerd discards incomplete blob downloads).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PullError {
+    /// Time wasted before the failure surfaced.
+    pub elapsed: Duration,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pull failed after {}: {}", self.elapsed, self.reason)
+    }
+}
+
+impl std::error::Error for PullError {}
+
 /// Plans and executes pulls against a layer cache.
 pub struct PullPlanner<'a> {
     profile: &'a RegistryProfile,
@@ -126,20 +147,55 @@ impl<'a> PullPlanner<'a> {
         cache: &mut LayerCache,
         rng: &mut SimRng,
     ) -> PullOutcome {
+        self.pull_with_faults(manifest, cache, rng, None)
+            .expect("pull without fault injection cannot fail")
+    }
+
+    /// Like [`PullPlanner::pull`], but consulting a [`FaultInjector`]: the
+    /// transfer may be slowed by per-layer link flaps and may fail outright
+    /// partway through, in which case nothing is cached and the error
+    /// carries the time the doomed attempt cost. With `faults = None` (or a
+    /// zero-rate plan) the behaviour — including the draw sequence on `rng`
+    /// — is identical to `pull`.
+    pub fn pull_with_faults(
+        &self,
+        manifest: &ImageManifest,
+        cache: &mut LayerCache,
+        rng: &mut SimRng,
+        faults: Option<&mut FaultInjector>,
+    ) -> Result<PullOutcome, PullError> {
         let (cached, missing) = cache.plan(manifest);
         if missing.is_empty() {
-            return PullOutcome::cached(cached.len());
+            return Ok(PullOutcome::cached(cached.len()));
         }
-        let duration = self.simulate_transfer(&missing, rng);
+        let mut duration = self.simulate_transfer(&missing, rng);
+        if let Some(f) = faults {
+            // Link flaps: a flapped layer transfers at a fraction of the
+            // nominal bandwidth, adding (factor − 1) × its share of the
+            // transfer time.
+            for l in &missing {
+                if let Some(factor) = f.pull_flap_factor() {
+                    let layer_time =
+                        Duration::from_secs_f64(l.size as f64 / self.profile.bandwidth);
+                    duration += layer_time.mul_f64(factor - 1.0);
+                }
+            }
+            if f.pull_fails() {
+                return Err(PullError {
+                    elapsed: duration.mul_f64(f.partial_fraction()),
+                    reason: format!("{} dropped the connection", self.profile.name),
+                });
+            }
+        }
         for l in &missing {
             cache.insert(*l);
         }
-        PullOutcome {
+        Ok(PullOutcome {
             duration,
             bytes_transferred: missing.iter().map(|l| l.size).sum(),
             layers_fetched: missing.len(),
             layers_cached: cached.len(),
-        }
+        })
     }
 
     /// Estimates the median pull duration without mutating anything
@@ -282,6 +338,72 @@ mod tests {
         let est = planner.estimate(&m.layers).as_secs_f64();
         let med = med_pull(&profile, &m, 64);
         assert!((est - med).abs() / med < 0.25, "estimate {est} vs median {med}");
+    }
+
+    #[test]
+    fn zero_rate_faults_leave_pull_byte_identical() {
+        use desim::FaultPlan;
+        let profile = RegistryProfile::docker_hub();
+        let planner = PullPlanner::new(&profile);
+        let m = catalog::nginx();
+
+        let mut rng = SimRng::new(5);
+        let mut cache = LayerCache::new();
+        let plain = planner.pull(&m, &mut cache, &mut rng);
+
+        let mut rng = SimRng::new(5);
+        let mut cache = LayerCache::new();
+        let mut inj = FaultPlan::default().injector(0x9);
+        let faulted = planner
+            .pull_with_faults(&m, &mut cache, &mut rng, Some(&mut inj))
+            .unwrap();
+        assert_eq!(plain, faulted);
+        // The main rng stream is also in the same state afterwards.
+        let mut a = SimRng::new(5);
+        let _ = planner.pull(&m, &mut LayerCache::new(), &mut a);
+        let mut b = SimRng::new(5);
+        let _ = planner.pull_with_faults(&m, &mut LayerCache::new(), &mut b, Some(&mut inj));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn injected_pull_failure_caches_nothing_and_costs_time() {
+        use desim::FaultPlan;
+        let profile = RegistryProfile::docker_hub();
+        let planner = PullPlanner::new(&profile);
+        let m = catalog::nginx();
+        let mut inj = FaultPlan::uniform(1.0, 77).injector(0x9);
+        let mut cache = LayerCache::new();
+        let mut rng = SimRng::new(5);
+        let err = planner
+            .pull_with_faults(&m, &mut cache, &mut rng, Some(&mut inj))
+            .unwrap_err();
+        assert!(!cache.has_image(&m), "failed pull must not cache layers");
+        assert!(err.elapsed >= Duration::ZERO);
+        assert!(err.reason.contains("docker.io"), "{}", err.reason);
+    }
+
+    #[test]
+    fn link_flaps_slow_the_transfer_down() {
+        use desim::FaultPlan;
+        let profile = RegistryProfile::docker_hub();
+        let planner = PullPlanner::new(&profile);
+        let m = catalog::nginx();
+
+        let mut rng = SimRng::new(5);
+        let plain = planner.pull(&m, &mut LayerCache::new(), &mut rng);
+
+        // Flaps on, hard failures off.
+        let plan = FaultPlan {
+            pull_slowdown: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut inj = plan.injector(0x9);
+        let mut rng = SimRng::new(5);
+        let flapped = planner
+            .pull_with_faults(&m, &mut LayerCache::new(), &mut rng, Some(&mut inj))
+            .unwrap();
+        assert!(flapped.duration > plain.duration, "{} vs {}", flapped.duration, plain.duration);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! `timecurl`-style `time_total` is recorded.
 
 use crate::topology::C3Topology;
-use desim::{Duration, Engine, LogNormal, Sample, SimRng, SimTime};
+use desim::{Duration, Engine, FaultPlan, LogNormal, Sample, SimRng, SimTime};
 use edgectl::{
     annotate_deployment, Controller, ControllerConfig, DockerCluster, EdgeService,
     K8sEdgeCluster, PortMap,
@@ -61,6 +61,9 @@ pub struct TestbedConfig {
     /// Add a hierarchical *far edge* Docker cluster on the route to the
     /// cloud (Section IV-A-2).
     pub far_edge: bool,
+    /// Fault-injection plan (all rates 0 = faults disabled, byte-identical
+    /// behaviour to a build without the fault layer).
+    pub faults: FaultPlan,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -75,6 +78,7 @@ impl Default for TestbedConfig {
             private_registry: false,
             predictor: "none".to_owned(),
             far_edge: false,
+            faults: FaultPlan::default(),
             seed: 1,
         }
     }
@@ -161,6 +165,7 @@ pub struct Testbed {
     /// Deployments triggered by the predictor rather than a request.
     pub proactive_deployments: u64,
     capture: Option<netsim::PcapCapture>,
+    faults: FaultPlan,
 }
 
 impl TestbedConfig {
@@ -189,6 +194,7 @@ impl TestbedConfig {
                 scheduler: cfg.scheduler.clone(),
                 predictor: cfg.predictor.clone(),
                 controller: cfg.controller.clone(),
+                faults: cfg.faults.clone(),
                 seed,
                 ..TestbedConfig::default()
             },
@@ -236,9 +242,17 @@ impl Testbed {
         } else {
             containerd::ContentStore::new()
         };
-        let node = containerd::ContainerdNode::new(store, containerd::RuntimeTimings::default());
+        let mut node = containerd::ContainerdNode::new(store, containerd::RuntimeTimings::default());
+        // Fault injectors get one label per site so their draw streams stay
+        // independent; with all rates at zero nothing is wired at all,
+        // keeping fault-free runs byte-identical.
+        let chaos = config.faults.enabled();
         match config.cluster {
             ClusterKind::Docker => {
+                if chaos {
+                    node.store_mut().set_faults(config.faults.injector(0));
+                    node.set_faults(config.faults.injector(1));
+                }
                 let engine = DockerEngine::new(node, dockersim::EngineTimings::default());
                 controller.add_cluster(
                     Box::new(DockerCluster::new(
@@ -252,7 +266,12 @@ impl Testbed {
                 );
             }
             ClusterKind::K8s => {
-                let cluster = K8sCluster::new(node, k8ssim::K8sTimings::default(), 110);
+                // Kubernetes faults (scale-up rejection, probe flaps) live on
+                // the cluster; its worker containerd nodes stay fault-free.
+                let mut cluster = K8sCluster::new(node, k8ssim::K8sTimings::default(), 110);
+                if chaos {
+                    cluster.set_faults(config.faults.injector(2));
+                }
                 controller.add_cluster(
                     Box::new(K8sEdgeCluster::new(
                         "egs-k8s",
@@ -268,7 +287,11 @@ impl Testbed {
         if let Some((far_node, far_port)) = c3.far_edge {
             let far_mac = c3.topo.node(far_node).mac;
             let far_ip = c3.topo.node(far_node).ip;
-            let engine = DockerEngine::with_defaults();
+            let mut engine = DockerEngine::with_defaults();
+            if chaos {
+                engine.node_mut().store_mut().set_faults(config.faults.injector(5));
+                engine.node_mut().set_faults(config.faults.injector(3));
+            }
             controller.add_cluster(
                 Box::new(DockerCluster::new(
                     "far-edge",
@@ -308,6 +331,7 @@ impl Testbed {
             transparency_violations: 0,
             proactive_deployments: 0,
             capture: None,
+            faults: config.faults,
         }
     }
 
@@ -317,7 +341,10 @@ impl Testbed {
     /// nearest-ready rule hands steady-state traffic to it.
     pub fn add_hybrid_k8s(&mut self) {
         let egs_mac = self.c3.topo.node(self.c3.egs).mac;
-        let cluster = K8sCluster::with_defaults();
+        let mut cluster = K8sCluster::with_defaults();
+        if self.faults.enabled() {
+            cluster.set_faults(self.faults.injector(4));
+        }
         self.controller.add_cluster(
             Box::new(K8sEdgeCluster::new(
                 "egs-k8s",
@@ -342,9 +369,11 @@ impl Testbed {
         let now = self.engine.now();
         let rng = &mut self.rng;
         let cluster = self.controller.cluster_mut(idx);
-        let t = cluster.pull(&svc, now, rng);
-        let t = cluster.create(&svc, t, rng);
-        cluster.scale_up(&svc, t, rng);
+        let t = cluster.pull(&svc, now, rng).expect("pre-deploy: pull");
+        let t = cluster.create(&svc, t, rng).expect("pre-deploy: create");
+        cluster
+            .scale_up(&svc, t, rng)
+            .expect("pre-deploy: scale-up");
     }
 
     /// Pre-pulls a service's images on cluster `idx` (hybrid setups).
@@ -356,7 +385,10 @@ impl Testbed {
             .cloned()
             .expect("service registered");
         let now = self.engine.now();
-        self.controller.cluster_mut(idx).pull(&svc, now, &mut self.rng);
+        self.controller
+            .cluster_mut(idx)
+            .pull(&svc, now, &mut self.rng)
+            .expect("pre-pull");
     }
 
     /// Starts capturing every frame that traverses the OVS into a pcap
@@ -427,7 +459,10 @@ impl Testbed {
             .cloned()
             .expect("service registered");
         let now = self.engine.now();
-        self.controller.cluster_mut(0).pull(&svc, now, &mut self.rng);
+        self.controller
+            .cluster_mut(0)
+            .pull(&svc, now, &mut self.rng)
+            .expect("pre-pull");
     }
 
     /// Pre-creates a service (Create phase done ahead of time; scale-up
@@ -440,7 +475,10 @@ impl Testbed {
             .cloned()
             .expect("service registered");
         let now = self.engine.now();
-        self.controller.cluster_mut(0).create(&svc, now, &mut self.rng);
+        self.controller
+            .cluster_mut(0)
+            .create(&svc, now, &mut self.rng)
+            .expect("pre-create");
     }
 
     /// Schedules a client request at `at`.

@@ -37,6 +37,32 @@ impl Default for TraceConfig {
     }
 }
 
+impl TraceConfig {
+    /// The chaos-experiment workload: small enough to replay twice per run
+    /// (determinism check) under fault injection, large enough that every
+    /// failure mode fires at a ~10% per-phase rate.
+    pub fn chaos() -> TraceConfig {
+        TraceConfig {
+            n_services: 12,
+            n_requests: 360,
+            min_per_service: 10,
+            duration: Duration::from_secs(180),
+            ..TraceConfig::default()
+        }
+    }
+
+    /// A shrunk chaos workload for CI smoke runs: seconds, not minutes.
+    pub fn chaos_smoke() -> TraceConfig {
+        TraceConfig {
+            n_services: 6,
+            n_requests: 90,
+            min_per_service: 8,
+            duration: Duration::from_secs(90),
+            ..TraceConfig::default()
+        }
+    }
+}
+
 /// One request in the trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Request {
@@ -240,6 +266,21 @@ mod tests {
         assert_eq!(t.requests.len(), 200);
         assert_eq!(t.per_service_counts().len(), 5);
         assert!(t.per_service_counts().iter().all(|&c| c >= 10));
+    }
+
+    #[test]
+    fn chaos_configs_are_feasible_and_deterministic() {
+        for cfg in [TraceConfig::chaos(), TraceConfig::chaos_smoke()] {
+            let a = Trace::generate(cfg.clone(), 7);
+            let b = Trace::generate(cfg.clone(), 7);
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.requests.len(), cfg.n_requests);
+            assert_eq!(a.per_service_counts().len(), cfg.n_services);
+            assert!(a
+                .per_service_counts()
+                .iter()
+                .all(|&c| c >= cfg.min_per_service));
+        }
     }
 
     #[test]
