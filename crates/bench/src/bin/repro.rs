@@ -1,13 +1,19 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro all [--seed N] [--csv]      # everything, publication order
+//! repro all [--seed N] [--csv] [--telemetry]   # everything, publication order
 //! repro fig11 [--seed N] [--csv]    # one figure
 //! repro list                        # available figure ids
 //! repro summary [--seed N]          # verify every textual claim
 //! repro fastpath                    # data-plane bench -> BENCH_flowtable.json
-//! repro chaos [--seed N] [--fault-rate F] [--smoke]   # fault injection
+//! repro telemetry                   # telemetry-overhead bench
+//! repro chaos [--seed N] [--fault-rate F] [--smoke] [--telemetry]
 //! ```
+//!
+//! `--telemetry` turns observability output on: `chaos` records per-request
+//! span trees (printed as a one-line JSON log, a validation line, and an
+//! ASCII timeline of the busiest request); every mode appends a `metrics:`
+//! JSON snapshot. Simulation results are byte-identical either way.
 
 use std::env;
 use std::process::ExitCode;
@@ -19,6 +25,7 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut fault_rate = 0.1f64;
     let mut smoke = false;
+    let mut telemetry_on = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,6 +51,7 @@ fn main() -> ExitCode {
             }
             "--smoke" => smoke = true,
             "--csv" => csv = true,
+            "--telemetry" => telemetry_on = true,
             other if id.is_none() => id = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`");
@@ -53,6 +61,12 @@ fn main() -> ExitCode {
         i += 1;
     }
     let id = id.unwrap_or_else(|| "all".to_owned());
+    // Figure modes collect metrics through the process-global registry
+    // (every finished testbed run merges its snapshot); chaos records and
+    // prints its own, richer output below.
+    if telemetry_on && id != "chaos" {
+        telemetry::global::enable();
+    }
 
     match id.as_str() {
         "summary" => {
@@ -61,6 +75,7 @@ fn main() -> ExitCode {
             print!("{}", bench::summary::render(&claims));
             let all_hold = claims.iter().all(|c| c.holds);
             println!("\n{} / {} claims hold", claims.iter().filter(|c| c.holds).count(), claims.len());
+            print_global_metrics(telemetry_on);
             if all_hold {
                 ExitCode::SUCCESS
             } else {
@@ -88,7 +103,12 @@ fn main() -> ExitCode {
                 "transparent-edge-rs — chaos: deployment pipeline under faults \
 (seed {seed}, rate {fault_rate})\n"
             );
-            let fig = bench::chaos_figure(seed, fault_rate, smoke);
+            let (fig, traced) = if telemetry_on {
+                let (fig, log, metrics) = bench::chaos_figure_traced(seed, fault_rate, smoke);
+                (fig, Some((log, metrics)))
+            } else {
+                (bench::chaos_figure(seed, fault_rate, smoke), None)
+            };
             if csv {
                 print!("{}", fig.table.to_csv());
                 // Keep the machine-readable summary even in CSV mode.
@@ -98,13 +118,39 @@ fn main() -> ExitCode {
             } else {
                 println!("{}", fig.body);
             }
+            if let Some((log, metrics)) = traced {
+                println!("spans: {}", log.to_json());
+                println!("{}", log.check().to_json_line());
+                if let Some(busiest) = log
+                    .request_ids()
+                    .into_iter()
+                    .max_by_key(|r| log.spans_for_request(*r).count())
+                {
+                    println!("\nbusiest request timeline:");
+                    print!("{}", testbed::report::span_timeline(&log, busiest, 48));
+                }
+                println!("\nmetrics: {}", metrics.to_json());
+            }
             ExitCode::SUCCESS
+        }
+        "telemetry" => {
+            println!("transparent-edge-rs — telemetry overhead (disabled path vs fast path)\n");
+            let report = bench::telemetry::run();
+            print!("{}", report.render());
+            println!("{}", report.summary_line());
+            if report.overhead_pct() < 2.0 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("disabled telemetry overhead exceeds the 2% budget");
+                ExitCode::FAILURE
+            }
         }
         "list" => {
             for f in bench::FIGURE_IDS {
                 println!("{f}");
             }
             println!("fastpath");
+            println!("telemetry");
             println!("chaos");
             ExitCode::SUCCESS
         }
@@ -119,6 +165,7 @@ fn main() -> ExitCode {
                     println!("{}", fig.body);
                 }
             }
+            print_global_metrics(telemetry_on);
             ExitCode::SUCCESS
         }
         other => match bench::figure_by_id(other, seed) {
@@ -128,6 +175,7 @@ fn main() -> ExitCode {
                 } else {
                     println!("{}", fig.body);
                 }
+                print_global_metrics(telemetry_on);
                 ExitCode::SUCCESS
             }
             None => {
@@ -135,5 +183,12 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    }
+}
+
+/// Prints the process-global metrics snapshot (`--telemetry` figure modes).
+fn print_global_metrics(telemetry_on: bool) {
+    if telemetry_on {
+        println!("metrics: {}", telemetry::global::snapshot_json());
     }
 }

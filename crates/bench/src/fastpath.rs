@@ -136,11 +136,11 @@ fn connection_entry(i: usize) -> FlowEntry {
     )
 }
 
-fn src_ip(i: usize) -> [u8; 4] {
+pub(crate) fn src_ip(i: usize) -> [u8; 4] {
     [192, 168, (i >> 8) as u8, i as u8]
 }
 
-fn src_port(i: usize) -> u16 {
+pub(crate) fn src_port(i: usize) -> u16 {
     50_000 + (i % 1000) as u16
 }
 
@@ -176,7 +176,7 @@ fn ns_per_op(iters: usize, mut op: impl FnMut(usize)) -> f64 {
 
 /// A switch preloaded (through the real control channel) with `size`
 /// per-connection flows.
-fn loaded_switch(size: usize) -> Switch {
+pub(crate) fn loaded_switch(size: usize) -> Switch {
     let mut sw = Switch::new(SwitchConfig {
         datapath_id: 1,
         n_buffers: 64,

@@ -4,6 +4,7 @@
 
 pub mod fastpath;
 pub mod summary;
+pub mod telemetry;
 
 use testbed::experiments::{self, EvalRuns, Figure};
 
@@ -59,6 +60,16 @@ pub fn figure_by_id(id: &str, seed: u64) -> Option<Figure> {
 /// the `repro chaos` subcommand drives it explicitly.
 pub fn chaos_figure(seed: u64, fault_rate: f64, smoke: bool) -> Figure {
     experiments::chaos(seed, fault_rate, smoke)
+}
+
+/// The chaos experiment with span recording on: the same figure plus the
+/// merged span log and metrics snapshot (`repro chaos --telemetry`).
+pub fn chaos_figure_traced(
+    seed: u64,
+    fault_rate: f64,
+    smoke: bool,
+) -> (Figure, ::telemetry::SpanLog, ::telemetry::MetricsRegistry) {
+    experiments::chaos_traced(seed, fault_rate, smoke)
 }
 
 /// The figure ids `figure_by_id` accepts, in order.

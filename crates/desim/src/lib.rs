@@ -45,6 +45,6 @@ pub use engine::Engine;
 pub use fault::{FaultInjector, FaultPlan, RetryPolicy};
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use stats::{Histogram, Summary};
-pub use time::{Duration, SimTime};
+pub use stats::{Histogram, LogHistogram, Summary};
+pub use time::{fmt_duration, Duration, SimTime};
 pub use wheel::TimerWheel;

@@ -190,6 +190,148 @@ impl Histogram {
     }
 }
 
+/// Sub-buckets per power-of-two octave in a [`LogHistogram`]. Eight linear
+/// sub-buckets bound the relative quantile error at ~6 %.
+const LOG_SUB: u64 = 8;
+
+/// A log-scale histogram over `u64` nanosecond observations, sized for
+/// always-on metrics: fixed memory (one bucket per octave sub-division over
+/// the whole `u64` range), O(1) record, and approximate quantiles good to a
+/// few percent — plenty for p50/p95/p99 reporting where the populations span
+/// microseconds to minutes.
+///
+/// Unlike [`Summary`] it never stores observations, so it can sit on the
+/// telemetry hot path without unbounded growth.
+#[derive(Clone, Debug, Default)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for `value`: octave (floor log2) plus a linear
+    /// sub-position within the octave.
+    fn bucket(value: u64) -> usize {
+        if value < LOG_SUB {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros() as u64;
+        // Shift so the top bits after the leading one select the sub-bucket.
+        let sub = (value >> (octave - 3)) & (LOG_SUB - 1);
+        (octave * LOG_SUB + sub) as usize
+    }
+
+    /// Lower bound of bucket `idx` (inverse of [`Self::bucket`]).
+    fn bucket_floor(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < LOG_SUB {
+            return idx;
+        }
+        let octave = idx / LOG_SUB;
+        let sub = idx % LOG_SUB;
+        (1u64 << octave) + (sub << (octave - 3))
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate percentile `p` in `[0, 100]`: the lower bound of the
+    /// bucket holding the rank-`p` observation, clamped to the exact
+    /// min/max. Relative error is bounded by the sub-bucket width (~6 %).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        if rank >= self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +421,61 @@ mod tests {
         // Constant population: zero-width interval.
         let (lo, hi) = Summary::new(vec![3.0; 10]).median_ci95(50, &mut rng).unwrap();
         assert_eq!((lo, hi), (3.0, 3.0));
+    }
+
+    #[test]
+    fn log_histogram_small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(7));
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(7));
+    }
+
+    #[test]
+    fn log_histogram_quantiles_within_sub_bucket_error() {
+        let mut h = LogHistogram::new();
+        // Uniform 1..=100_000 ns: p50 ≈ 50_000, p99 ≈ 99_000.
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0).unwrap() as f64;
+        let p99 = h.percentile(99.0).unwrap() as f64;
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.07, "p50={p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.07, "p99={p99}");
+        assert_eq!(h.percentile(100.0), Some(100_000));
+        assert!((h.mean().unwrap() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_combined_record() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [3u64, 900, 1_000_000, 17] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [40_000u64, 5, 123_456_789] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for p in [0.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
+        // Merging an empty histogram is a no-op.
+        let before = a.percentile(50.0);
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.percentile(50.0), before);
+        assert!(LogHistogram::new().percentile(50.0).is_none());
     }
 
     #[test]

@@ -262,15 +262,24 @@ impl fmt::Debug for Duration {
 
 impl fmt::Display for Duration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000_000 {
-            write!(f, "{:.3}s", self.as_secs_f64())
-        } else if self.0 >= 1_000_000 {
-            write!(f, "{:.3}ms", self.as_millis_f64())
-        } else if self.0 >= 1_000 {
-            write!(f, "{:.3}us", self.0 as f64 / 1e3)
-        } else {
-            write!(f, "{}ns", self.0)
-        }
+        f.write_str(&fmt_duration(*self))
+    }
+}
+
+/// Renders a span with an automatically chosen unit (`1.500s`, `15.000ms`,
+/// `15.000us`, `15ns`). This is the single duration formatter the workspace
+/// shares — error messages, span timelines, and report tables all route
+/// through it so the same span always reads the same way.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", d.as_millis_f64())
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
     }
 }
 
@@ -327,6 +336,18 @@ mod tests {
         assert_eq!(format!("{}", Duration::from_micros(15)), "15.000us");
         assert_eq!(format!("{}", Duration::from_millis(15)), "15.000ms");
         assert_eq!(format!("{}", Duration::from_secs(15)), "15.000s");
+    }
+
+    #[test]
+    fn fmt_duration_matches_display() {
+        for d in [
+            Duration::from_nanos(7),
+            Duration::from_micros(42),
+            Duration::from_millis(350),
+            Duration::from_secs(12),
+        ] {
+            assert_eq!(fmt_duration(d), format!("{d}"));
+        }
     }
 
     #[test]

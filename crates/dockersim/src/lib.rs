@@ -57,11 +57,29 @@ impl std::fmt::Display for DockerError {
 
 impl std::error::Error for DockerError {}
 
+/// Lifetime counts of engine API calls (successful or not), read when a
+/// telemetry snapshot is taken.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `docker pull` calls.
+    pub pulls: u64,
+    /// `docker create` calls.
+    pub creates: u64,
+    /// `docker start` calls.
+    pub starts: u64,
+    /// `docker stop` calls.
+    pub stops: u64,
+    /// `docker rm` calls.
+    pub removes: u64,
+}
+
 /// The simulated Docker Engine on one host.
 pub struct DockerEngine {
     node: ContainerdNode,
     timings: EngineTimings,
     names: HashMap<String, ContainerId>,
+    /// API call counters for telemetry.
+    pub ops: OpCounts,
 }
 
 impl DockerEngine {
@@ -71,6 +89,7 @@ impl DockerEngine {
             node,
             timings,
             names: HashMap::new(),
+            ops: OpCounts::default(),
         }
     }
 
@@ -95,6 +114,7 @@ impl DockerEngine {
 
     /// `docker pull`: fetches image layers (no-op duration when cached).
     pub fn pull(&mut self, manifests: &[ImageManifest], rng: &mut SimRng) -> Duration {
+        self.ops.pulls += 1;
         self.overhead(rng) + self.node.pull(manifests, rng)
     }
 
@@ -106,6 +126,7 @@ impl DockerEngine {
         manifests: &[ImageManifest],
         rng: &mut SimRng,
     ) -> Result<Duration, PullError> {
+        self.ops.pulls += 1;
         let oh = self.overhead(rng);
         match self.node.try_pull(manifests, rng) {
             Ok(d) => Ok(oh + d),
@@ -125,6 +146,7 @@ impl DockerEngine {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Result<(ContainerId, SimTime), DockerError> {
+        self.ops.creates += 1;
         if self.names.contains_key(&spec.name) {
             return Err(DockerError::NameConflict(spec.name));
         }
@@ -147,6 +169,7 @@ impl DockerEngine {
         ready_delay: Duration,
         rng: &mut SimRng,
     ) -> Result<(SimTime, SimTime), DockerError> {
+        self.ops.starts += 1;
         let id = self.id_of(name)?;
         let t = now + self.overhead(rng);
         self.node
@@ -156,6 +179,7 @@ impl DockerEngine {
 
     /// `docker stop`. Returns the completion instant.
     pub fn stop(&mut self, name: &str, now: SimTime, rng: &mut SimRng) -> Result<SimTime, DockerError> {
+        self.ops.stops += 1;
         let id = self.id_of(name)?;
         let t = now + self.overhead(rng);
         Ok(self.node.stop(id, t, rng))
@@ -163,6 +187,7 @@ impl DockerEngine {
 
     /// `docker rm`. Returns the completion instant.
     pub fn remove(&mut self, name: &str, now: SimTime, rng: &mut SimRng) -> Result<SimTime, DockerError> {
+        self.ops.removes += 1;
         let id = self.id_of(name)?;
         let t = now + self.overhead(rng);
         let done = self.node.remove(id, t, rng);

@@ -92,7 +92,15 @@ pub struct DeployError {
 
 impl std::fmt::Display for DeployError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} phase failed at {}: {}", self.phase, self.at, self.reason)
+        // Same human-scale unit selection as every other duration the repo
+        // prints (see [`desim::fmt_duration`]).
+        write!(
+            f,
+            "{} phase failed at t={}: {}",
+            self.phase,
+            desim::fmt_duration(self.at.saturating_since(SimTime::ZERO)),
+            self.reason
+        )
     }
 }
 
@@ -158,6 +166,13 @@ pub trait EdgeCluster {
 
     /// Number of services currently scaled up (scheduler load metric).
     fn load(&self) -> usize;
+
+    /// Point-in-time operation counters and cache rates for telemetry
+    /// snapshots, as `(name, value)` pairs. Snapshots fold them into the
+    /// metrics registry as `cluster.<cluster-name>.<name>` gauges.
+    fn telemetry_stats(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
 }
 
 /// Readiness model for sidecar containers without a listen port.
@@ -436,6 +451,21 @@ impl EdgeCluster for DockerCluster {
 
     fn load(&self) -> usize {
         self.entries.values().filter(|e| e.running).count()
+    }
+
+    fn telemetry_stats(&self) -> Vec<(&'static str, f64)> {
+        let ops = self.engine.ops;
+        let mut stats = vec![
+            ("ops_pulls", ops.pulls as f64),
+            ("ops_creates", ops.creates as f64),
+            ("ops_starts", ops.starts as f64),
+            ("ops_stops", ops.stops as f64),
+            ("ops_removes", ops.removes as f64),
+        ];
+        if let Some(rate) = self.engine.node().store().cache().hit_rate() {
+            stats.push(("layer_cache_hit_rate", rate));
+        }
+        stats
     }
 }
 
@@ -728,6 +758,19 @@ impl EdgeCluster for K8sEdgeCluster {
 
     fn load(&self) -> usize {
         self.entries.values().filter(|e| e.scaled_up).count()
+    }
+
+    fn telemetry_stats(&self) -> Vec<(&'static str, f64)> {
+        let ops = self.cluster.ops;
+        let mut stats = vec![
+            ("ops_applies", ops.applies as f64),
+            ("ops_scales", ops.scales as f64),
+            ("ops_deletes", ops.deletes as f64),
+        ];
+        if let Some(rate) = self.cluster.node().store().cache().hit_rate() {
+            stats.push(("layer_cache_hit_rate", rate));
+        }
+        stats
     }
 }
 

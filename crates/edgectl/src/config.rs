@@ -122,8 +122,9 @@ impl EdgeConfig {
         }
 
         if let Some(s) = doc["scheduler"].as_str() {
-            if crate::scheduler_by_name(s).is_none() {
-                return Err(ConfigError::Unknown(format!("scheduler `{s}`")));
+            // The typed error carries the known-name list; surface it whole.
+            if let Err(e) = crate::scheduler_by_name(s) {
+                return Err(ConfigError::Unknown(e.to_string()));
             }
             cfg.scheduler = s.to_owned();
         }
@@ -407,6 +408,12 @@ faults:
     fn unknown_scheduler_rejected() {
         let err = EdgeConfig::from_yaml("scheduler: quantum").unwrap_err();
         assert!(matches!(err, ConfigError::Unknown(_)), "{err}");
+        // The message names the offender and lists every known scheduler.
+        let msg = err.to_string();
+        assert!(msg.contains("`quantum`"), "{msg}");
+        for known in crate::scheduler::KNOWN_SCHEDULERS {
+            assert!(msg.contains(known), "{msg} should list {known}");
+        }
         let err = EdgeConfig::from_yaml("predictor: psychic").unwrap_err();
         assert!(matches!(err, ConfigError::Unknown(_)));
     }

@@ -29,6 +29,7 @@ use openflow::messages::{Message, OFPFF_SEND_FLOW_REM};
 use openflow::oxm::{Match, OxmField};
 use openflow::{OfError, OFP_NO_BUFFER};
 use std::collections::HashMap;
+use telemetry::{SpanId, Telemetry};
 
 /// Maps clusters and the cloud to switch egress ports.
 #[derive(Clone, Debug, Default)]
@@ -182,6 +183,15 @@ pub struct Controller {
     /// The most recent flow-statistics reply (see
     /// [`Controller::request_flow_stats`]).
     pub last_flow_stats: Option<Vec<openflow::messages::FlowStatsEntry>>,
+    /// Telemetry endpoint: a disabled endpoint by default (every span/event
+    /// call is a never-taken branch); swap in a recording one with
+    /// [`Telemetry::recording`] to capture per-request span trees. Metric
+    /// counters are always maintained — they are plain integer bumps on the
+    /// controller path and never touch the switch fast path.
+    pub telemetry: Telemetry,
+    /// Request ids handed to spans; each packet-in gets the id its record
+    /// will have (index + 1).
+    next_request: u64,
 }
 
 impl Controller {
@@ -209,6 +219,8 @@ impl Controller {
             held: HashMap::new(),
             deferred: HashMap::new(),
             last_flow_stats: None,
+            telemetry: Telemetry::disabled(),
+            next_request: 0,
         }
     }
 
@@ -316,6 +328,7 @@ impl Controller {
             } => Ok(self.handle_packet_in(now, buffer_id, &match_, &data, rng)),
             Message::FlowRemoved { .. } => {
                 self.flows_removed += 1;
+                self.telemetry.metrics.inc("flows_removed");
                 Ok(vec![])
             }
             Message::Error { error_type, code, .. } => {
@@ -369,10 +382,20 @@ impl Controller {
             self.memory.forget_client(frame.src_ip);
         }
         let svc_addr = frame.dst_service();
+        self.next_request += 1;
+        let request = self.next_request;
+        let root = self.telemetry.span(request, SpanId::NONE, "request", now);
+        self.telemetry.event(root, "packet-in", now, || {
+            format!("client={} svc={svc_addr} in_port={in_port}", frame.src_ip)
+        });
         let t = now + self.config.processing.sample_duration(rng);
 
         let Some(svc) = self.services.get(svc_addr).cloned() else {
             // Not an edge service: plain cloud forwarding flows.
+            self.telemetry.event(root, "unregistered", t, || {
+                "not an edge service; plain cloud forwarding".to_owned()
+            });
+            self.telemetry.end_span(root, t);
             self.records.push(RequestRecord {
                 at: now,
                 service: svc_addr,
@@ -383,6 +406,7 @@ impl Controller {
                 cluster: None,
                 background_ready: None,
             });
+            self.record_request_metrics(self.records.len() - 1);
             return self.install_cloud_path(t, buffer_id, in_port, &frame);
         };
 
@@ -393,6 +417,9 @@ impl Controller {
             &mut self.clusters,
             &mut self.memory,
             rng,
+            &mut self.telemetry,
+            request,
+            root,
         );
 
         let background_ready = outcome.background.map(|b| b.ready_at);
@@ -433,6 +460,14 @@ impl Controller {
             }
         };
 
+        // The span closes exactly once per request, at the instant the
+        // answer goes out — possibly in the sim-future for held requests
+        // (Waited / FallbackCloud), whose release instant is already known.
+        let n_msgs = msgs.len();
+        self.telemetry.event(root, "flow-install", answered_at, || {
+            format!("{kind:?}: {n_msgs} message(s) toward the switch")
+        });
+        self.telemetry.end_span(root, answered_at);
         self.records.push(RequestRecord {
             at: now,
             service: svc_addr,
@@ -443,7 +478,50 @@ impl Controller {
             cluster,
             background_ready,
         });
+        self.record_request_metrics(self.records.len() - 1);
         msgs
+    }
+
+    /// Folds one finished request into the metrics registry. Phase durations
+    /// are reconstructed from the record's phase *instants*: pull runs from
+    /// packet arrival (plus controller processing), create from pull
+    /// completion, scale-up between its issue/return instants, and the
+    /// readiness wait is [`PhaseTimes::wait_time`].
+    fn record_request_metrics(&mut self, idx: usize) {
+        let rec = &self.records[idx];
+        let m = &mut self.telemetry.metrics;
+        m.inc("requests_total");
+        m.inc(match rec.kind {
+            RequestKind::MemoryHit => "requests_memory_hit",
+            RequestKind::Redirect => "requests_redirect",
+            RequestKind::Waited => "requests_waited",
+            RequestKind::Cloud => "requests_cloud",
+            RequestKind::FallbackCloud => "requests_fallback_cloud",
+            RequestKind::Unregistered => "requests_unregistered",
+        });
+        m.observe("answer_delay_ns", rec.answered_at.saturating_since(rec.at));
+        let p = &rec.phases;
+        if let Some(done) = p.pull_done {
+            m.observe("deploy_pull_ns", done.saturating_since(rec.at));
+        }
+        if let Some(done) = p.create_done {
+            m.observe("deploy_create_ns", done.saturating_since(p.pull_done.unwrap_or(rec.at)));
+        }
+        if let (Some(at), Some(done)) = (p.scale_up_at, p.scale_up_done) {
+            m.observe("deploy_scale_up_ns", done.saturating_since(at));
+        }
+        if let Some(wait) = p.wait_time() {
+            m.observe("deploy_wait_ns", wait);
+        }
+        if p.total_retries() > 0 {
+            m.add("deploy_retries_total", u64::from(p.total_retries()));
+        }
+        if p.gave_up_at.is_some() {
+            m.inc("deploys_gave_up");
+        }
+        if rec.background_ready.is_some() {
+            m.inc("background_deploys");
+        }
     }
 
     /// Builds the forward + reverse redirect flows (and a packet-out when the
@@ -708,6 +786,12 @@ impl Controller {
                     });
                 }
             }
+        }
+        for ev in &events {
+            self.telemetry.metrics.inc(match ev.action {
+                LifecycleAction::ScaleDown => "scale_downs",
+                LifecycleAction::Remove => "removes",
+            });
         }
         events
     }
@@ -1275,5 +1359,167 @@ mod tests {
             ctl.cluster(0).state(&svc, after + Duration::from_millis(1)),
             crate::cluster::InstanceState::Created
         ));
+    }
+
+    /// FlowMemory expiry racing a held (with-waiting) request, traced: the
+    /// expiry/deferral machinery must not disturb the span ledger — every
+    /// request's root span closes exactly once, and the scale-down that the
+    /// hold deferred still lands in the metrics.
+    #[test]
+    fn spans_close_once_across_expiry_and_held_requests() {
+        let mut rng = SimRng::new(23);
+        let mut engine = DockerEngine::with_defaults();
+        engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, &mut rng);
+        let cluster = DockerCluster::new(
+            "edge-docker",
+            engine,
+            MacAddr::from_id(200),
+            Ipv4Addr::new(10, 0, 0, 10),
+            Duration::from_micros(150),
+        );
+        let mut ctl = Controller::new(
+            Box::<ProximityScheduler>::default(),
+            PortMap { cluster_ports: HashMap::new(), cloud_port: CLOUD_PORT },
+            ControllerConfig {
+                memory_idle: Duration::from_millis(1),
+                ..ControllerConfig::default()
+            },
+        );
+        ctl.telemetry = Telemetry::recording();
+        ctl.add_cluster(Box::new(cluster), EDGE_PORT);
+        ctl.register_service(make_service("asm", 80));
+        let mut sw = Switch::new(SwitchConfig {
+            datapath_id: 1,
+            n_buffers: 64,
+            miss_send_len: 0xffff,
+            ports: vec![CLIENT_PORT, EDGE_PORT, CLOUD_PORT],
+        });
+
+        // Request 1: on-demand deployment with waiting (held).
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        assert_eq!(ctl.records[0].kind, RequestKind::Waited);
+        let held_until = out[0].at;
+
+        // A stale entry from another client expires mid-hold: deferred.
+        ctl.memory.forget_client(Ipv4Addr::new(192, 168, 1, 20));
+        let svc = ctl
+            .services()
+            .get(ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80))
+            .cloned()
+            .unwrap();
+        let inst = ctl.cluster(0).instance_addr(&svc).unwrap();
+        ctl.memory.memorize(
+            crate::flowmemory::FlowKey {
+                client_ip: Ipv4Addr::new(192, 168, 1, 99),
+                service: svc.addr,
+            },
+            inst,
+            0,
+            t0,
+        );
+        let mid = t0 + (held_until - t0) / 2;
+        assert!(ctl.tick(mid, &mut rng).is_empty(), "deferred while held");
+
+        // Request 2 after the hold drains and the service scaled down:
+        // a fresh deployment (the memory has long expired).
+        let after = held_until + Duration::from_millis(10);
+        assert_eq!(ctl.tick(after, &mut rng).len(), 1);
+        let t1 = after + Duration::from_secs(1);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &client_syn(50002).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap();
+        assert_eq!(ctl.records[1].kind, RequestKind::Waited);
+
+        // The span ledger: one root span per request, each closed exactly
+        // once, no orphans.
+        let log = ctl.telemetry.span_log().expect("recording endpoint");
+        let check = log.check();
+        assert!(check.ok(), "clean span log: {}", check.to_json_line());
+        let roots: Vec<_> = log.spans().filter(|s| s.name == "request").collect();
+        assert_eq!(roots.len(), ctl.records.len());
+        for (root, rec) in roots.iter().zip(&ctl.records) {
+            assert_eq!(root.end, Some(rec.answered_at), "closed at the answer instant");
+        }
+        assert_eq!(log.request_ids(), vec![1, 2]);
+        // The deferred scale-down still landed in the metrics.
+        assert_eq!(ctl.telemetry.metrics.counter("scale_downs"), 1);
+        assert_eq!(ctl.telemetry.metrics.counter("requests_waited"), 2);
+    }
+
+    /// A traced FallbackCloud release: the root span's close instant lies in
+    /// the sim-future at dispatch time (the give-up instant), yet it closes
+    /// exactly once — and the coalesced second request gets its own span.
+    #[test]
+    fn fallback_cloud_spans_close_once() {
+        let mut rng = SimRng::new(24);
+        let plan = desim::FaultPlan {
+            create_failure: 1.0,
+            ..desim::FaultPlan::uniform(0.0, 77)
+        };
+        let mut engine = DockerEngine::with_defaults();
+        engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, &mut rng);
+        engine.node_mut().set_faults(plan.injector(1));
+        let cluster = DockerCluster::new(
+            "edge-docker",
+            engine,
+            MacAddr::from_id(200),
+            Ipv4Addr::new(10, 0, 0, 10),
+            Duration::from_micros(150),
+        );
+        let mut ctl = Controller::new(
+            Box::<ProximityScheduler>::default(),
+            PortMap { cluster_ports: HashMap::new(), cloud_port: CLOUD_PORT },
+            ControllerConfig::default(),
+        );
+        ctl.telemetry = Telemetry::recording();
+        ctl.add_cluster(Box::new(cluster), EDGE_PORT);
+        ctl.register_service(make_service("asm", 80));
+        let mut sw = Switch::new(SwitchConfig {
+            datapath_id: 1,
+            n_buffers: 64,
+            miss_send_len: 0xffff,
+            ports: vec![CLIENT_PORT, EDGE_PORT, CLOUD_PORT],
+        });
+
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        assert_eq!(ctl.records[0].kind, RequestKind::FallbackCloud);
+
+        // Second request coalesces onto the cached failure.
+        let t1 = t0 + Duration::from_millis(5);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &client_syn(50001).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap();
+        assert_eq!(ctl.records[1].kind, RequestKind::FallbackCloud);
+
+        let log = ctl.telemetry.span_log().unwrap();
+        let check = log.check();
+        assert!(check.ok(), "clean span log: {}", check.to_json_line());
+        for request in [1u64, 2] {
+            let roots: Vec<_> = log
+                .spans_for_request(request)
+                .filter(|s| s.name == "request")
+                .collect();
+            assert_eq!(roots.len(), 1, "one root per request");
+            assert_eq!(
+                roots[0].end,
+                Some(ctl.records[request as usize - 1].answered_at),
+                "closed at the (future) release instant"
+            );
+        }
+        // Retry attempts and the give-up verdict reached the metrics. The
+        // coalesced request inherits the cached failure's phase data, so it
+        // reports the same retry spend.
+        assert_eq!(ctl.telemetry.metrics.counter("requests_fallback_cloud"), 2);
+        assert_eq!(
+            ctl.telemetry.metrics.counter("deploy_retries_total"),
+            2 * u64::from(ctl.config.retry.max_attempts - 1)
+        );
+        assert_eq!(ctl.telemetry.metrics.counter("deploys_gave_up"), 2);
     }
 }

@@ -18,12 +18,15 @@
 
 use crate::cluster::{DeployError, EdgeCluster, InstanceAddr, InstanceState};
 use crate::flowmemory::{FlowKey, FlowMemory};
-use crate::scheduler::{ClusterView, GlobalScheduler};
+use crate::scheduler::{
+    ClusterView, GlobalScheduler, RequestClass, SchedulingContext, ServiceRef,
+};
 use crate::service::EdgeService;
 use desim::{Duration, RetryPolicy, SimRng, SimTime};
 use netsim::addr::Ipv4Addr;
 use netsim::ServiceAddr;
 use std::collections::HashMap;
+use telemetry::{SpanId, Telemetry};
 
 /// Timing breakdown of one dispatch, for the evaluation harness.
 #[derive(Clone, Copy, Debug, Default)]
@@ -64,6 +67,38 @@ impl PhaseTimes {
     /// Total retry count across all phases.
     pub fn total_retries(&self) -> u32 {
         self.pull_retries + self.create_retries + self.scale_up_retries
+    }
+
+    /// Renders the phase breakdown as a compact arrow chain, e.g.
+    /// `pull 1.9s -> create 102ms -> wait 312ms`, with every duration going
+    /// through [`desim::fmt_duration`] — the same formatting the deploy
+    /// errors and the testbed reports use. `start` is the instant the first
+    /// phase ran from (the dispatch instant); phases that did not run are
+    /// omitted.
+    pub fn describe(&self, start: SimTime) -> String {
+        let mut parts = Vec::new();
+        let mut prev = start;
+        if let Some(done) = self.pull_done {
+            parts.push(format!("pull {}", desim::fmt_duration(done.saturating_since(prev))));
+            prev = done;
+        }
+        if let Some(done) = self.create_done {
+            parts.push(format!("create {}", desim::fmt_duration(done.saturating_since(prev))));
+        }
+        if let (Some(at), Some(done)) = (self.scale_up_at, self.scale_up_done) {
+            parts.push(format!("scale-up {}", desim::fmt_duration(done.saturating_since(at))));
+        }
+        if let Some(w) = self.wait_time() {
+            parts.push(format!("wait {}", desim::fmt_duration(w)));
+        }
+        if let Some(g) = self.gave_up_at {
+            parts.push(format!("gave up after {}", desim::fmt_duration(g.saturating_since(start))));
+        }
+        if parts.is_empty() {
+            "no deployment".to_owned()
+        } else {
+            parts.join(" -> ")
+        }
     }
 }
 
@@ -196,8 +231,10 @@ impl Dispatcher {
         self.coalesced
     }
 
-    /// Dispatches one request from `client_ip` to `svc` (Fig. 7).
-    pub fn dispatch(
+    /// Dispatches one request from `client_ip` to `svc` (Fig. 7), without
+    /// tracing — a convenience wrapper over [`Dispatcher::dispatch`] for
+    /// callers that drive the dispatcher directly (tests, examples).
+    pub fn dispatch_untraced(
         &mut self,
         svc: &EdgeService,
         client_ip: Ipv4Addr,
@@ -206,16 +243,55 @@ impl Dispatcher {
         memory: &mut FlowMemory,
         rng: &mut SimRng,
     ) -> DispatchOutcome {
+        let mut tele = Telemetry::disabled();
+        self.dispatch(
+            svc,
+            client_ip,
+            now,
+            clusters,
+            memory,
+            rng,
+            &mut tele,
+            0,
+            SpanId::NONE,
+        )
+    }
+
+    /// Dispatches one request from `client_ip` to `svc` (Fig. 7).
+    ///
+    /// `tele` is the controller's telemetry endpoint; `request`/`parent`
+    /// identify the request's root span so the dispatch's child spans
+    /// (schedule, deploy phases, port poll) hang off the right node. With a
+    /// disabled endpoint every telemetry call is a never-taken branch and
+    /// the dispatch is bit-identical to an untraced one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch(
+        &mut self,
+        svc: &EdgeService,
+        client_ip: Ipv4Addr,
+        now: SimTime,
+        clusters: &mut [Box<dyn EdgeCluster>],
+        memory: &mut FlowMemory,
+        rng: &mut SimRng,
+        tele: &mut Telemetry,
+        request: u64,
+        parent: SpanId,
+    ) -> DispatchOutcome {
         let key = FlowKey {
             client_ip,
             service: svc.addr,
         };
 
         // 1. Memorized flow? Verify the instance still serves.
+        let mut class = RequestClass::NewFlow;
         if let Some(flow) = memory.lookup(key, now) {
             if flow.cluster < clusters.len()
                 && clusters[flow.cluster].state(svc, now).is_ready()
             {
+                let cluster = flow.cluster;
+                tele.event(parent, "memory-hit", now, || {
+                    format!("memorized redirect to cluster {cluster}")
+                });
                 return DispatchOutcome {
                     decision: DispatchDecision::Redirect {
                         instance: flow.instance,
@@ -228,6 +304,10 @@ impl Dispatcher {
             }
             // Instance vanished (scaled down elsewhere): forget and reschedule.
             memory.forget_service(svc.addr);
+            class = RequestClass::Rescheduled;
+            tele.event(parent, "memory-stale", now, || {
+                "memorized instance vanished; rescheduling".to_owned()
+            });
         }
 
         // 2. Gather views and consult the Global Scheduler.
@@ -242,24 +322,57 @@ impl Dispatcher {
                 load: c.load(),
             })
             .collect();
-        let choice = self.scheduler.choose(&views);
+        let ctx = SchedulingContext {
+            clusters: &views,
+            service: ServiceRef {
+                addr: svc.addr,
+                name: &svc.name,
+            },
+            now,
+            class,
+        };
+        let sched_span = tele.span(request, parent, "schedule", now);
+        let choice = self.scheduler.choose(&ctx);
+        let sched_name = self.scheduler.name();
+        tele.event(sched_span, "decision", now, || {
+            format!(
+                "{} ({}): fast={} best={}",
+                sched_name,
+                class.label(),
+                choice.fast.map_or("cloud".to_owned(), |i| views[i].name.clone()),
+                choice.best.map_or("-".to_owned(), |i| views[i].name.clone()),
+            )
+        });
+        tele.end_span(sched_span, now);
 
         // 3. BEST ≠ FAST: deploy in the background (without waiting).
         let background = match choice.best {
             Some(b) if choice.best != choice.fast => {
                 let mut phases = PhaseTimes::default();
-                match self.ensure_ready(svc, b, now, clusters, &mut phases, rng) {
-                    EnsureOutcome::Ready(ready_at) => Some(BackgroundDeployment {
-                        cluster: b,
-                        ready_at,
-                    }),
-                    EnsureOutcome::Unschedulable => Some(BackgroundDeployment {
-                        cluster: b,
-                        ready_at: SimTime::MAX,
-                    }),
+                let bg_span = tele.span(request, parent, "background-deploy", now);
+                let outcome =
+                    self.ensure_ready(svc, b, now, clusters, &mut phases, rng, tele, request, bg_span);
+                match outcome {
+                    EnsureOutcome::Ready(ready_at) => {
+                        tele.end_span(bg_span, ready_at);
+                        Some(BackgroundDeployment {
+                            cluster: b,
+                            ready_at,
+                        })
+                    }
+                    EnsureOutcome::Unschedulable => {
+                        tele.end_span(bg_span, now);
+                        Some(BackgroundDeployment {
+                            cluster: b,
+                            ready_at: SimTime::MAX,
+                        })
+                    }
                     // A failed background deployment leaves nothing for
                     // future requests; nothing to advertise.
-                    EnsureOutcome::GaveUp(_) => None,
+                    EnsureOutcome::GaveUp(at) => {
+                        tele.end_span(bg_span, at);
+                        None
+                    }
                 }
             }
             _ => None,
@@ -290,9 +403,16 @@ impl Dispatcher {
 
         // On-demand deployment with waiting.
         let mut phases = PhaseTimes::default();
-        let ready_at = match self.ensure_ready(svc, f, now, clusters, &mut phases, rng) {
-            EnsureOutcome::Ready(t) => t,
+        let deploy_span = tele.span(request, parent, "deploy", now);
+        let outcome =
+            self.ensure_ready(svc, f, now, clusters, &mut phases, rng, tele, request, deploy_span);
+        let ready_at = match outcome {
+            EnsureOutcome::Ready(t) => {
+                tele.end_span(deploy_span, t);
+                t
+            }
             EnsureOutcome::Unschedulable => {
+                tele.end_span(deploy_span, now);
                 // Deployment cannot complete (e.g. unschedulable): fall back.
                 return DispatchOutcome {
                     decision: DispatchDecision::ForwardToCloud,
@@ -302,6 +422,7 @@ impl Dispatcher {
                 };
             }
             EnsureOutcome::GaveUp(released_at) => {
+                tele.end_span(deploy_span, released_at);
                 // Graceful degradation: release the held request toward the
                 // cloud once the last attempt has failed.
                 return DispatchOutcome {
@@ -329,7 +450,10 @@ impl Dispatcher {
     }
 
     /// Drives the missing phases on `cluster` until the instance is ready,
-    /// retrying failed phases under the configured [`RetryPolicy`].
+    /// retrying failed phases under the configured [`RetryPolicy`]. Each
+    /// phase gets a child span of `span`; retry attempts and injected
+    /// faults surface as events on it.
+    #[allow(clippy::too_many_arguments)]
     fn ensure_ready(
         &mut self,
         svc: &EdgeService,
@@ -338,6 +462,9 @@ impl Dispatcher {
         clusters: &mut [Box<dyn EdgeCluster>],
         phases: &mut PhaseTimes,
         rng: &mut SimRng,
+        tele: &mut Telemetry,
+        request: u64,
+        span: SpanId,
     ) -> EnsureOutcome {
         let key = (svc.addr, cluster);
         // Single-flight on *failures*: while a give-up instant lies in the
@@ -347,7 +474,11 @@ impl Dispatcher {
             if now < failed.gave_up_at {
                 self.coalesced += 1;
                 *phases = failed.phases;
-                return EnsureOutcome::GaveUp(failed.gave_up_at);
+                let gave_up_at = failed.gave_up_at;
+                tele.event(span, "coalesced", now, || {
+                    format!("joined in-flight failure; gives up at {gave_up_at}")
+                });
+                return EnsureOutcome::GaveUp(gave_up_at);
             }
             self.in_flight.remove(&key);
         }
@@ -356,54 +487,82 @@ impl Dispatcher {
         let mut t = now;
         let ready_at = match c.state(svc, now) {
             InstanceState::Ready(_) => now,
-            InstanceState::Starting { ready_at } => ready_at,
+            InstanceState::Starting { ready_at } => {
+                tele.event(span, "join-starting", now, || {
+                    format!("instance already starting; ready at {ready_at}")
+                });
+                ready_at
+            }
             InstanceState::NotDeployed => {
                 if !c.has_image_cached(svc) {
-                    match with_retries(policy, t, &mut phases.pull_retries, rng, |t, rng| {
+                    let pull_span = tele.span(request, span, "deploy-pull", t);
+                    match with_retries(policy, t, &mut phases.pull_retries, rng, tele, pull_span, |t, rng| {
                         c.pull(svc, t, rng)
                     }) {
                         Ok(done) => {
                             t = done;
                             phases.pull_done = Some(t);
+                            tele.end_span(pull_span, t);
                         }
-                        Err(failed_at) => return self.give_up(key, failed_at, phases),
+                        Err(failed_at) => {
+                            tele.end_span(pull_span, failed_at);
+                            return self.give_up(key, failed_at, phases);
+                        }
                     }
                 }
-                match with_retries(policy, t, &mut phases.create_retries, rng, |t, rng| {
+                let create_span = tele.span(request, span, "deploy-create", t);
+                match with_retries(policy, t, &mut phases.create_retries, rng, tele, create_span, |t, rng| {
                     c.create(svc, t, rng)
                 }) {
                     Ok(done) => {
                         t = done;
                         phases.create_done = Some(t);
+                        tele.end_span(create_span, t);
                     }
-                    Err(failed_at) => return self.give_up(key, failed_at, phases),
+                    Err(failed_at) => {
+                        tele.end_span(create_span, failed_at);
+                        return self.give_up(key, failed_at, phases);
+                    }
                 }
                 phases.scale_up_at = Some(t);
-                match with_retries(policy, t, &mut phases.scale_up_retries, rng, |t, rng| {
+                let scale_span = tele.span(request, span, "deploy-scale-up", t);
+                match with_retries(policy, t, &mut phases.scale_up_retries, rng, tele, scale_span, |t, rng| {
                     c.scale_up(svc, t, rng)
                 }) {
                     Ok((done, ready)) => {
                         phases.scale_up_done = Some(done);
+                        tele.end_span(scale_span, done);
                         ready
                     }
-                    Err(failed_at) => return self.give_up(key, failed_at, phases),
+                    Err(failed_at) => {
+                        tele.end_span(scale_span, failed_at);
+                        return self.give_up(key, failed_at, phases);
+                    }
                 }
             }
             InstanceState::Created => {
                 // Images were necessarily pulled before create.
                 phases.scale_up_at = Some(t);
-                match with_retries(policy, t, &mut phases.scale_up_retries, rng, |t, rng| {
+                let scale_span = tele.span(request, span, "deploy-scale-up", t);
+                match with_retries(policy, t, &mut phases.scale_up_retries, rng, tele, scale_span, |t, rng| {
                     c.scale_up(svc, t, rng)
                 }) {
                     Ok((done, ready)) => {
                         phases.scale_up_done = Some(done);
+                        tele.end_span(scale_span, done);
                         ready
                     }
-                    Err(failed_at) => return self.give_up(key, failed_at, phases),
+                    Err(failed_at) => {
+                        tele.end_span(scale_span, failed_at);
+                        return self.give_up(key, failed_at, phases);
+                    }
                 }
             }
         };
         if ready_at == SimTime::MAX {
+            tele.event(span, "unschedulable", now, || {
+                "cluster cannot schedule the instance".to_owned()
+            });
             return EnsureOutcome::Unschedulable;
         }
         phases.instance_ready = Some(ready_at);
@@ -414,6 +573,13 @@ impl Dispatcher {
         let ready_for_poll = ready_at.max(base);
         let confirmed = next_poll_at(base, ready_for_poll, self.poll_interval);
         phases.port_confirmed = Some(confirmed);
+        let poll = self.poll_interval;
+        tele.event(span, "port-confirmed", confirmed, || {
+            format!(
+                "port probe succeeded (instance ready {ready_at}, polled every {})",
+                desim::fmt_duration(poll)
+            )
+        });
         EnsureOutcome::Ready(confirmed)
     }
 
@@ -442,12 +608,17 @@ impl Dispatcher {
 /// budget or the phase deadline is exhausted. Returns the last failure
 /// instant on give-up. The jitter draw only happens *after* a failure, so a
 /// first-try success (the whole zero-fault world) consumes no extra
-/// randomness.
+/// randomness. Every failed attempt surfaces as a `fault` event on `span`
+/// (with a `retry` or `gave-up` follow-up), so injected faults are visible
+/// in the request's trace.
+#[allow(clippy::too_many_arguments)]
 fn with_retries<T>(
     policy: RetryPolicy,
     phase_start: SimTime,
     retries: &mut u32,
     rng: &mut SimRng,
+    tele: &mut Telemetry,
+    span: SpanId,
     mut op: impl FnMut(SimTime, &mut SimRng) -> Result<T, DeployError>,
 ) -> Result<T, SimTime> {
     let mut t = phase_start;
@@ -457,15 +628,25 @@ fn with_retries<T>(
             Ok(v) => return Ok(v),
             Err(e) => {
                 let failed_at = e.at.max(t);
+                tele.event(span, "fault", failed_at, || e.to_string());
                 attempt += 1;
                 if attempt >= policy.max_attempts {
+                    tele.event(span, "gave-up", failed_at, || {
+                        format!("attempt budget exhausted after {attempt} attempts")
+                    });
                     return Err(failed_at);
                 }
                 let next = failed_at + policy.delay(attempt - 1, rng);
                 if next > phase_start + policy.phase_deadline {
+                    tele.event(span, "gave-up", failed_at, || {
+                        format!("phase deadline exceeded after {attempt} attempts")
+                    });
                     return Err(failed_at);
                 }
                 *retries += 1;
+                tele.event(span, "retry", next, || {
+                    format!("attempt {} backing off until {next}", attempt + 1)
+                });
                 t = next;
             }
         }
@@ -554,7 +735,7 @@ mod tests {
         let mut d = dispatcher(Box::<ProximityScheduler>::default());
 
         let now = SimTime::from_secs(1);
-        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
         assert!(!out.from_memory);
         let DispatchDecision::WaitThenRedirect { ready_at, cluster, .. } = out.decision else {
             panic!("expected with-waiting: {:?}", out.decision);
@@ -574,7 +755,7 @@ mod tests {
 
         // Second request from the same client: memorized, immediate.
         let later = ready_at + Duration::from_secs(1);
-        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), later, &mut clusters, &mut memory, &mut rng);
+        let out2 = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), later, &mut clusters, &mut memory, &mut rng);
         assert!(out2.from_memory);
         assert!(matches!(out2.decision, DispatchDecision::Redirect { .. }));
     }
@@ -597,7 +778,7 @@ mod tests {
         let mut memory = FlowMemory::new(Duration::from_secs(30));
         let mut d = dispatcher(Box::<LatencyAwareScheduler>::default());
         let now = far_ready + Duration::from_secs(1);
-        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
         // Current request: immediate redirect to the far instance.
         let DispatchDecision::Redirect { cluster, .. } = out.decision else {
             panic!("expected immediate redirect: {:?}", out.decision);
@@ -610,7 +791,7 @@ mod tests {
 
         // After the near instance is up, a *new* client is redirected there.
         let later = bg.ready_at + Duration::from_secs(1);
-        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 21), later, &mut clusters, &mut memory, &mut rng);
+        let out2 = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 21), later, &mut clusters, &mut memory, &mut rng);
         let DispatchDecision::Redirect { cluster, .. } = out2.decision else {
             panic!("expected redirect: {:?}", out2.decision);
         };
@@ -625,7 +806,7 @@ mod tests {
         let mut clusters = vec![docker("near", 1, 100, true, &mut rng)];
         let mut memory = FlowMemory::new(Duration::from_secs(30));
         let mut d = dispatcher(Box::<LatencyAwareScheduler>::default());
-        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), SimTime::ZERO, &mut clusters, &mut memory, &mut rng);
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), SimTime::ZERO, &mut clusters, &mut memory, &mut rng);
         assert!(matches!(out.decision, DispatchDecision::ForwardToCloud));
         assert!(out.background.is_some(), "deployment still triggered");
     }
@@ -638,7 +819,7 @@ mod tests {
         let mut memory = FlowMemory::new(Duration::from_secs(30));
         let mut d = dispatcher(Box::<ProximityScheduler>::default());
         let now = SimTime::ZERO;
-        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
         let DispatchDecision::WaitThenRedirect { ready_at, .. } = out.decision else {
             panic!("expected with-waiting");
         };
@@ -656,13 +837,13 @@ mod tests {
         let mut clusters = vec![docker("near", 1, 100, true, &mut rng)];
         let mut memory = FlowMemory::new(Duration::from_secs(30));
         let mut d = dispatcher(Box::<ProximityScheduler>::default());
-        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), SimTime::ZERO, &mut clusters, &mut memory, &mut rng);
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), SimTime::ZERO, &mut clusters, &mut memory, &mut rng);
         let DispatchDecision::WaitThenRedirect { ready_at, .. } = out.decision else {
             panic!()
         };
         // Different client, after readiness: scheduler runs but redirect is
         // immediate (instance ready), no new deployment.
-        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 99), ready_at + Duration::from_secs(1), &mut clusters, &mut memory, &mut rng);
+        let out2 = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 99), ready_at + Duration::from_secs(1), &mut clusters, &mut memory, &mut rng);
         assert!(!out2.from_memory);
         assert!(matches!(out2.decision, DispatchDecision::Redirect { .. }));
         assert!(out2.phases.scale_up_at.is_none(), "no deployment phases ran");
@@ -680,13 +861,13 @@ mod tests {
         let mut d = dispatcher(Box::<ProximityScheduler>::default());
 
         let now = SimTime::from_secs(1);
-        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
         let DispatchDecision::WaitThenRedirect { ready_at, .. } = out.decision else {
             panic!("expected with-waiting");
         };
         // Second client lands mid-deployment.
         let mid = now + (ready_at - now) / 2;
-        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 21), mid, &mut clusters, &mut memory, &mut rng);
+        let out2 = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 21), mid, &mut clusters, &mut memory, &mut rng);
         let DispatchDecision::WaitThenRedirect { ready_at: r2, .. } = out2.decision else {
             panic!("expected with-waiting for the second client: {:?}", out2.decision);
         };
@@ -716,7 +897,7 @@ mod tests {
         let mut d = dispatcher(Box::<ProximityScheduler>::default());
 
         let now = SimTime::from_secs(1);
-        let out = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), now, &mut clusters, &mut memory, &mut rng);
         let DispatchDecision::FallbackCloud { released_at } = out.decision else {
             panic!("expected cloud fallback: {:?}", out.decision);
         };
@@ -728,7 +909,7 @@ mod tests {
         // A second request before the give-up instant coalesces instead of
         // re-driving (and re-failing) the phases.
         let mid = now + (released_at - now) / 2;
-        let out2 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 21), mid, &mut clusters, &mut memory, &mut rng);
+        let out2 = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 21), mid, &mut clusters, &mut memory, &mut rng);
         let DispatchDecision::FallbackCloud { released_at: r2 } = out2.decision else {
             panic!("expected coalesced fallback: {:?}", out2.decision);
         };
@@ -738,7 +919,7 @@ mod tests {
 
         // After the give-up instant passes, a fresh attempt is made.
         let later = released_at + Duration::from_secs(1);
-        let out3 = d.dispatch(&svc, Ipv4Addr::new(192, 168, 1, 22), later, &mut clusters, &mut memory, &mut rng);
+        let out3 = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 22), later, &mut clusters, &mut memory, &mut rng);
         let DispatchDecision::FallbackCloud { released_at: r3 } = out3.decision else {
             panic!("expected a fresh failing attempt: {:?}", out3.decision);
         };
@@ -765,7 +946,7 @@ mod tests {
             let mut clusters = vec![docker_faulty("near", 1, plan, 0x42, &mut rng)];
             let mut memory = FlowMemory::new(Duration::from_secs(30));
             let mut d = dispatcher(Box::<ProximityScheduler>::default());
-            let out = d.dispatch(
+            let out = d.dispatch_untraced(
                 &svc,
                 Ipv4Addr::new(192, 168, 1, 20),
                 SimTime::from_secs(1),
@@ -803,5 +984,28 @@ mod tests {
             next_poll_at(base, base + Duration::from_millis(50), i),
             base + Duration::from_millis(50)
         );
+    }
+
+    #[test]
+    fn phase_times_describe_uses_shared_formatting() {
+        let start = SimTime::from_secs(1);
+        let p = PhaseTimes {
+            pull_done: Some(start + Duration::from_millis(1900)),
+            create_done: Some(start + Duration::from_millis(2002)),
+            scale_up_at: Some(start + Duration::from_millis(2002)),
+            scale_up_done: Some(start + Duration::from_millis(2050)),
+            port_confirmed: Some(start + Duration::from_millis(2362)),
+            ..PhaseTimes::default()
+        };
+        assert_eq!(
+            p.describe(start),
+            "pull 1.900s -> create 102.000ms -> scale-up 48.000ms -> wait 312.000ms"
+        );
+        assert_eq!(PhaseTimes::default().describe(start), "no deployment");
+        let gave_up = PhaseTimes {
+            gave_up_at: Some(start + Duration::from_secs(3)),
+            ..PhaseTimes::default()
+        };
+        assert_eq!(gave_up.describe(start), "gave up after 3.000s");
     }
 }

@@ -42,8 +42,24 @@ pub struct MemorizedFlow {
     pub last_used: SimTime,
 }
 
+/// Plain counters over the memory's lifetime, read when a telemetry
+/// snapshot is taken. Always maintained — a few integer increments on
+/// controller-path (not switch-path) operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowMemoryStats {
+    /// Total [`FlowMemory::lookup`] calls.
+    pub lookups: u64,
+    /// Lookups that returned a live memorized flow.
+    pub hits: u64,
+    /// Entries reaped by expiry sweeps (stale-at-lookup entries count once,
+    /// when the sweep removes them).
+    pub expired: u64,
+}
+
 /// The controller-side flow memory with idle expiry.
 pub struct FlowMemory {
+    /// Lifetime counters for telemetry.
+    pub stats: FlowMemoryStats,
     idle_timeout: Duration,
     flows: HashMap<FlowKey, MemorizedFlow>,
     /// Live flow count per service; an expiring service is a scale-down
@@ -59,6 +75,7 @@ impl FlowMemory {
     /// traffic.
     pub fn new(idle_timeout: Duration) -> FlowMemory {
         FlowMemory {
+            stats: FlowMemoryStats::default(),
             idle_timeout,
             flows: HashMap::new(),
             per_service: HashMap::new(),
@@ -73,12 +90,14 @@ impl FlowMemory {
 
     /// Looks up a memorized flow, refreshing its idle timer on hit.
     pub fn lookup(&mut self, key: FlowKey, now: SimTime) -> Option<MemorizedFlow> {
+        self.stats.lookups += 1;
         let flow = self.flows.get_mut(&key)?;
         if now.saturating_since(flow.last_used) >= self.idle_timeout {
             // Already stale — treat as absent; `expire` will reap it.
             return None;
         }
         flow.last_used = now;
+        self.stats.hits += 1;
         Some(*flow)
     }
 
@@ -156,6 +175,7 @@ impl FlowMemory {
             let f = self.flows[&key];
             if now.saturating_since(f.last_used) >= timeout {
                 self.remove(&key);
+                self.stats.expired += 1;
                 expired.insert((key.service, f.cluster));
             } else {
                 // Refreshed since its deadline was set: re-arm.
@@ -310,6 +330,25 @@ mod tests {
         // their old deadline expires only the remaining flow.
         let idle = m.expire(SimTime::from_secs(10));
         assert_eq!(idle, vec![(key(21, 80).service, 0)]);
+    }
+
+    #[test]
+    fn stats_count_lookups_hits_and_expiry() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        let k = key(20, 80);
+        assert!(m.lookup(k, SimTime::ZERO).is_none()); // miss
+        m.memorize(k, inst(1), 0, SimTime::ZERO);
+        assert!(m.lookup(k, SimTime::from_secs(1)).is_some()); // hit
+        assert!(m.lookup(k, SimTime::from_secs(11)).is_none()); // stale miss
+        m.expire(SimTime::from_secs(30));
+        assert_eq!(
+            m.stats,
+            FlowMemoryStats {
+                lookups: 3,
+                hits: 1,
+                expired: 1
+            }
+        );
     }
 
     #[test]

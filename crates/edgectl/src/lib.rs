@@ -60,7 +60,8 @@ pub use dispatch::{DispatchDecision, Dispatcher};
 pub use flowmemory::FlowMemory;
 pub use scheduler::{
     scheduler_by_name, Choice, ClusterView, CloudOnlyScheduler, DockerFirstScheduler,
-    GlobalScheduler, LatencyAwareScheduler, ProximityScheduler, RoundRobinScheduler,
+    GlobalScheduler, LatencyAwareScheduler, ProximityScheduler, RequestClass,
+    RoundRobinScheduler, SchedulingContext, ServiceRef, UnknownScheduler, KNOWN_SCHEDULERS,
 };
 pub use clients::{ClientMove, ClientTracker};
 pub use config::EdgeConfig;

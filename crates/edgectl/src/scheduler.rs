@@ -15,7 +15,8 @@
 //! reference controller's configuration-driven dynamic loading.
 
 use crate::cluster::InstanceState;
-use desim::Duration;
+use desim::{Duration, SimTime};
+use netsim::ServiceAddr;
 
 /// What the scheduler sees about one candidate cluster.
 #[derive(Clone, Debug)]
@@ -51,14 +52,62 @@ impl Choice {
     }
 }
 
+/// A lightweight reference to the service being placed — enough for a
+/// scheduler to key decisions on *what* it is placing without dragging the
+/// full deployment manifest through the scheduling path.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceRef<'a> {
+    /// The service's public (cloud) address — its identity.
+    pub addr: ServiceAddr,
+    /// The service name from its annotated manifest.
+    pub name: &'a str,
+}
+
+/// Why the Dispatcher is consulting the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestClass {
+    /// First packet of a flow with no memorized redirect.
+    NewFlow,
+    /// A memorized redirect went stale (the instance scaled down or
+    /// vanished), so the flow is being re-placed.
+    Rescheduled,
+}
+
+impl RequestClass {
+    /// Short lowercase label (`"new-flow"` / `"rescheduled"`), used in
+    /// trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestClass::NewFlow => "new-flow",
+            RequestClass::Rescheduled => "rescheduled",
+        }
+    }
+}
+
+/// Everything a [`GlobalScheduler`] sees for one decision: the candidate
+/// clusters plus the service being placed, the simulated instant, and why
+/// the request reached the scheduler. This is also the tracer's single
+/// well-defined decision point — one context in, one [`Choice`] out.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulingContext<'a> {
+    /// Candidate clusters, in the controller's stable order.
+    pub clusters: &'a [ClusterView],
+    /// The service being placed.
+    pub service: ServiceRef<'a>,
+    /// The simulated instant of the decision.
+    pub now: SimTime,
+    /// Why the scheduler is being consulted.
+    pub class: RequestClass,
+}
+
 /// A Global Scheduler implementation.
 pub trait GlobalScheduler: Send {
     /// The name this scheduler is loaded under.
     fn name(&self) -> &str;
 
-    /// Chooses FAST/BEST for a request. `clusters` is never reordered between
-    /// calls for one controller, so indices are stable.
-    fn choose(&mut self, clusters: &[ClusterView]) -> Choice;
+    /// Chooses FAST/BEST for a request. `ctx.clusters` is never reordered
+    /// between calls for one controller, so indices are stable.
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice;
 }
 
 fn nearest(clusters: &[ClusterView], pred: impl Fn(&ClusterView) -> bool) -> Option<usize> {
@@ -81,9 +130,9 @@ impl GlobalScheduler for ProximityScheduler {
         "proximity"
     }
 
-    fn choose(&mut self, clusters: &[ClusterView]) -> Choice {
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
         Choice {
-            fast: nearest(clusters, |_| true),
+            fast: nearest(ctx.clusters, |_| true),
             best: None,
         }
     }
@@ -101,9 +150,9 @@ impl GlobalScheduler for LatencyAwareScheduler {
         "latency-aware"
     }
 
-    fn choose(&mut self, clusters: &[ClusterView]) -> Choice {
-        let optimal = nearest(clusters, |_| true);
-        let running = nearest(clusters, |c| c.state.is_ready());
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
+        let optimal = nearest(ctx.clusters, |_| true);
+        let running = nearest(ctx.clusters, |c| c.state.is_ready());
         match (running, optimal) {
             // An instance is already running at the optimal spot: done.
             (Some(r), Some(o)) if r == o => Choice { fast: Some(r), best: None },
@@ -127,15 +176,15 @@ impl GlobalScheduler for RoundRobinScheduler {
         "round-robin"
     }
 
-    fn choose(&mut self, clusters: &[ClusterView]) -> Choice {
-        if clusters.is_empty() {
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
+        if ctx.clusters.is_empty() {
             return Choice { fast: None, best: None };
         }
         // Keep serving from a cluster that already runs the instance.
-        if let Some(i) = clusters.iter().position(|c| c.state.is_ready()) {
+        if let Some(i) = ctx.clusters.iter().position(|c| c.state.is_ready()) {
             return Choice { fast: Some(i), best: None };
         }
-        let i = self.next % clusters.len();
+        let i = self.next % ctx.clusters.len();
         self.next += 1;
         Choice { fast: Some(i), best: None }
     }
@@ -154,12 +203,12 @@ impl GlobalScheduler for DockerFirstScheduler {
         "docker-first"
     }
 
-    fn choose(&mut self, clusters: &[ClusterView]) -> Choice {
-        if let Some(r) = nearest(clusters, |c| c.state.is_ready()) {
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
+        if let Some(r) = nearest(ctx.clusters, |c| c.state.is_ready()) {
             return Choice { fast: Some(r), best: None };
         }
-        let docker = nearest(clusters, |c| c.kind == "docker");
-        let k8s = nearest(clusters, |c| c.kind == "k8s");
+        let docker = nearest(ctx.clusters, |c| c.kind == "docker");
+        let k8s = nearest(ctx.clusters, |c| c.kind == "k8s");
         match (docker, k8s) {
             (Some(d), k) => Choice { fast: Some(d), best: k },
             (None, k) => Choice { fast: k, best: None },
@@ -177,21 +226,48 @@ impl GlobalScheduler for CloudOnlyScheduler {
         "cloud-only"
     }
 
-    fn choose(&mut self, _clusters: &[ClusterView]) -> Choice {
+    fn choose(&mut self, _ctx: &SchedulingContext) -> Choice {
         Choice { fast: None, best: None }
     }
 }
 
+/// Names [`scheduler_by_name`] accepts, in documentation order.
+pub const KNOWN_SCHEDULERS: &[&str] =
+    &["proximity", "latency-aware", "round-robin", "cloud-only", "docker-first"];
+
+/// A scheduler name no built-in answers to. The message lists the known
+/// names so a YAML typo points straight at the fix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownScheduler {
+    /// The name that failed to resolve.
+    pub requested: String,
+}
+
+impl std::fmt::Display for UnknownScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scheduler `{}` (known: {})",
+            self.requested,
+            KNOWN_SCHEDULERS.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownScheduler {}
+
 /// Loads a scheduler by its configured name (the controller's
 /// `scheduler = "..."` configuration key).
-pub fn scheduler_by_name(name: &str) -> Option<Box<dyn GlobalScheduler>> {
+pub fn scheduler_by_name(name: &str) -> Result<Box<dyn GlobalScheduler>, UnknownScheduler> {
     match name {
-        "proximity" => Some(Box::<ProximityScheduler>::default()),
-        "latency-aware" => Some(Box::<LatencyAwareScheduler>::default()),
-        "round-robin" => Some(Box::<RoundRobinScheduler>::default()),
-        "cloud-only" => Some(Box::<CloudOnlyScheduler>::default()),
-        "docker-first" => Some(Box::<DockerFirstScheduler>::default()),
-        _ => None,
+        "proximity" => Ok(Box::<ProximityScheduler>::default()),
+        "latency-aware" => Ok(Box::<LatencyAwareScheduler>::default()),
+        "round-robin" => Ok(Box::<RoundRobinScheduler>::default()),
+        "cloud-only" => Ok(Box::<CloudOnlyScheduler>::default()),
+        "docker-first" => Ok(Box::<DockerFirstScheduler>::default()),
+        _ => Err(UnknownScheduler {
+            requested: name.to_owned(),
+        }),
     }
 }
 
@@ -200,6 +276,18 @@ mod tests {
     use super::*;
     use crate::cluster::InstanceAddr;
     use netsim::addr::{Ipv4Addr, MacAddr};
+
+    fn ctx<'a>(clusters: &'a [ClusterView]) -> SchedulingContext<'a> {
+        SchedulingContext {
+            clusters,
+            service: ServiceRef {
+                addr: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+                name: "svc",
+            },
+            now: SimTime::ZERO,
+            class: RequestClass::NewFlow,
+        }
+    }
 
     fn view(name: &str, us: u64, ready: bool) -> ClusterView {
         ClusterView {
@@ -224,11 +312,11 @@ mod tests {
     fn proximity_always_picks_nearest() {
         let mut s = ProximityScheduler;
         let clusters = [view("far", 500, true), view("near", 100, false)];
-        let c = s.choose(&clusters);
+        let c = s.choose(&ctx(&clusters));
         assert_eq!(c, Choice { fast: Some(1), best: None });
         assert!(!c.is_without_waiting());
         // Empty cluster list → cloud.
-        assert_eq!(s.choose(&[]), Choice { fast: None, best: None });
+        assert_eq!(s.choose(&ctx(&[])), Choice { fast: None, best: None });
     }
 
     #[test]
@@ -236,7 +324,7 @@ mod tests {
         let mut s = LatencyAwareScheduler;
         // Near cluster idle, far cluster running: answer from far, deploy near.
         let clusters = [view("far", 500, true), view("near", 100, false)];
-        let c = s.choose(&clusters);
+        let c = s.choose(&ctx(&clusters));
         assert_eq!(c, Choice { fast: Some(0), best: Some(1) });
         assert!(c.is_without_waiting());
     }
@@ -245,7 +333,7 @@ mod tests {
     fn latency_aware_nothing_running_goes_to_cloud_and_deploys() {
         let mut s = LatencyAwareScheduler;
         let clusters = [view("far", 500, false), view("near", 100, false)];
-        let c = s.choose(&clusters);
+        let c = s.choose(&ctx(&clusters));
         assert_eq!(c, Choice { fast: None, best: Some(1) });
         assert!(c.is_without_waiting());
     }
@@ -254,7 +342,7 @@ mod tests {
     fn latency_aware_optimal_already_running_is_terminal() {
         let mut s = LatencyAwareScheduler;
         let clusters = [view("far", 500, false), view("near", 100, true)];
-        let c = s.choose(&clusters);
+        let c = s.choose(&ctx(&clusters));
         assert_eq!(c, Choice { fast: Some(1), best: None });
         assert!(!c.is_without_waiting());
     }
@@ -263,26 +351,44 @@ mod tests {
     fn round_robin_rotates_but_sticks_to_running() {
         let mut s = RoundRobinScheduler::default();
         let idle = [view("a", 100, false), view("b", 100, false)];
-        assert_eq!(s.choose(&idle).fast, Some(0));
-        assert_eq!(s.choose(&idle).fast, Some(1));
-        assert_eq!(s.choose(&idle).fast, Some(0));
+        assert_eq!(s.choose(&ctx(&idle)).fast, Some(0));
+        assert_eq!(s.choose(&ctx(&idle)).fast, Some(1));
+        assert_eq!(s.choose(&ctx(&idle)).fast, Some(0));
         let with_running = [view("a", 100, false), view("b", 100, true)];
-        assert_eq!(s.choose(&with_running).fast, Some(1));
+        assert_eq!(s.choose(&ctx(&with_running)).fast, Some(1));
     }
 
     #[test]
     fn cloud_only_never_uses_edge() {
         let mut s = CloudOnlyScheduler;
         let clusters = [view("near", 100, true)];
-        assert_eq!(s.choose(&clusters), Choice { fast: None, best: None });
+        assert_eq!(s.choose(&ctx(&clusters)), Choice { fast: None, best: None });
     }
 
     #[test]
     fn dynamic_loading_by_name() {
-        for name in ["proximity", "latency-aware", "round-robin", "cloud-only", "docker-first"] {
+        for name in KNOWN_SCHEDULERS {
             let s = scheduler_by_name(name).unwrap();
-            assert_eq!(s.name(), name);
+            assert_eq!(s.name(), *name);
         }
-        assert!(scheduler_by_name("nope").is_none());
+        let err = scheduler_by_name("nope").err().unwrap();
+        assert_eq!(err.requested, "nope");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown scheduler `nope`"), "{msg}");
+        for name in KNOWN_SCHEDULERS {
+            assert!(msg.contains(name), "error must list `{name}`: {msg}");
+        }
+    }
+
+    #[test]
+    fn context_exposes_request_metadata() {
+        // Schedulers are no longer blind to what they place: the context
+        // carries the service, the instant, and the request class.
+        let clusters = [view("near", 100, false)];
+        let c = ctx(&clusters);
+        assert_eq!(c.service.name, "svc");
+        assert_eq!(c.now, SimTime::ZERO);
+        assert_eq!(c.class.label(), "new-flow");
+        assert_eq!(RequestClass::Rescheduled.label(), "rescheduled");
     }
 }

@@ -68,7 +68,7 @@ proptest! {
         let client = Ipv4Addr::new(192, 168, 1, 20);
 
         let mut now = SimTime::from_secs(1);
-        let first = d.dispatch(&svc, client, now, &mut cls, &mut memory, &mut rng);
+        let first = d.dispatch_untraced(&svc, client, now, &mut cls, &mut memory, &mut rng);
         let ready = match first.decision {
             DispatchDecision::WaitThenRedirect { ready_at, .. } => ready_at,
             DispatchDecision::Redirect { .. } => now,
@@ -77,7 +77,7 @@ proptest! {
         now = ready;
         for g in gaps {
             now += Duration::from_secs(g);
-            let out = d.dispatch(&svc, client, now, &mut cls, &mut memory, &mut rng);
+            let out = d.dispatch_untraced(&svc, client, now, &mut cls, &mut memory, &mut rng);
             prop_assert!(
                 matches!(out.decision, DispatchDecision::Redirect { .. }),
                 "redeployed at {now:?}: {:?}", out.decision
@@ -103,7 +103,7 @@ proptest! {
         let mut now = SimTime::from_secs(1);
         for i in 0..n_clients {
             let client = Ipv4Addr::new(192, 168, 1, 20 + i as u8);
-            let out = d.dispatch(&svc, client, now, &mut cls, &mut memory, &mut rng);
+            let out = d.dispatch_untraced(&svc, client, now, &mut cls, &mut memory, &mut rng);
             match out.decision {
                 DispatchDecision::Redirect { instance, .. } => {
                     instances.insert((instance.ip, instance.port));

@@ -157,6 +157,20 @@ pub struct K8sCluster {
     /// Pods left Pending by an *injected* rejection (as opposed to a genuine
     /// scheduler refusal), so callers can tell the two apart and retry.
     injected_rejections: Vec<String>,
+    /// API-server call counters for telemetry.
+    pub ops: ApiOps,
+}
+
+/// Lifetime counts of API-server calls (`kubectl apply` / `scale` /
+/// deletes), read when a telemetry snapshot is taken.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApiOps {
+    /// Deployment+Service applies.
+    pub applies: u64,
+    /// Scale calls (up or down).
+    pub scales: u64,
+    /// Deployment/Service deletions.
+    pub deletes: u64,
 }
 
 impl K8sCluster {
@@ -180,6 +194,7 @@ impl K8sCluster {
             next_ip: 2,
             faults: None,
             injected_rejections: Vec::new(),
+            ops: ApiOps::default(),
         }
     }
 
@@ -264,6 +279,7 @@ impl K8sCluster {
         now: SimTime,
         rng: &mut SimRng,
     ) -> SimTime {
+        self.ops.applies += 1;
         let t1 = self.api(now, rng);
         let name = deployment.name.clone();
         self.deployments.insert(name.clone(), deployment);
@@ -282,6 +298,7 @@ impl K8sCluster {
     /// # Panics
     /// Panics if the deployment does not exist.
     pub fn scale(&mut self, name: &str, replicas: u32, now: SimTime, rng: &mut SimRng) -> SimTime {
+        self.ops.scales += 1;
         let t = self.api(now, rng);
         let dep = self
             .deployments
@@ -296,6 +313,7 @@ impl K8sCluster {
     /// Deletes a deployment and its pods (**Remove** phase). Returns the API
     /// acknowledgement instant.
     pub fn delete_deployment(&mut self, name: &str, now: SimTime, rng: &mut SimRng) -> SimTime {
+        self.ops.deletes += 1;
         let t = self.api(now, rng);
         self.deployments.remove(name);
         let rs_names: Vec<String> = self
@@ -322,6 +340,7 @@ impl K8sCluster {
 
     /// Deletes a service object.
     pub fn delete_service(&mut self, name: &str, now: SimTime, rng: &mut SimRng) -> SimTime {
+        self.ops.deletes += 1;
         let t = self.api(now, rng);
         self.services.remove(name);
         self.endpoints.remove(name);

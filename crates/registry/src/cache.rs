@@ -99,6 +99,13 @@ impl LayerCache {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Fraction of planned layers served from cache, or `None` before any
+    /// planning ran (telemetry snapshots report this per cluster).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +122,8 @@ mod tests {
         assert!(cached.is_empty());
         assert_eq!(missing.len(), 6);
         assert_eq!(c.stats(), (0, 6));
+        assert_eq!(c.hit_rate(), Some(0.0));
+        assert_eq!(LayerCache::new().hit_rate(), None);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use netsim::{Ipv4Addr, ServiceAddr};
 use registry::RegistryProfile;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use telemetry::{MetricsRegistry, SpanLog};
 use workload::{Trace, TraceConfig};
 
 /// A reproduced table or figure.
@@ -888,7 +889,13 @@ struct ChaosRun {
     resets: u64,
 }
 
-fn chaos_run(kind: ClusterKind, fault_rate: f64, smoke: bool, seed: u64) -> ChaosRun {
+fn chaos_run(
+    kind: ClusterKind,
+    fault_rate: f64,
+    smoke: bool,
+    seed: u64,
+    telemetry: bool,
+) -> (ChaosRun, Option<(SpanLog, MetricsRegistry)>) {
     let trace_cfg = if smoke {
         TraceConfig::chaos_smoke()
     } else {
@@ -899,6 +906,7 @@ fn chaos_run(kind: ClusterKind, fault_rate: f64, smoke: bool, seed: u64) -> Chao
     let mut tb = Testbed::new(TestbedConfig {
         cluster: kind,
         seed,
+        telemetry,
         faults: desim::FaultPlan::uniform(fault_rate, seed ^ 0xC4A0_5EED),
         controller: ControllerConfig {
             // Aggressive idle timeout: services cycle down and redeploy,
@@ -939,7 +947,14 @@ fn chaos_run(kind: ClusterKind, fault_rate: f64, smoke: bool, seed: u64) -> Chao
         run.create_retries += u64::from(r.phases.create_retries);
         run.scale_up_retries += u64::from(r.phases.scale_up_retries);
     }
-    run
+    let tele = telemetry.then(|| {
+        let metrics = tb.telemetry_snapshot();
+        let log = std::mem::take(&mut tb.controller.telemetry)
+            .into_span_log()
+            .expect("recording tracer keeps a log");
+        (log, metrics)
+    });
+    (run, tele)
 }
 
 /// The chaos experiment (deployment-pipeline hardening): replays a bursty
@@ -950,6 +965,27 @@ fn chaos_run(kind: ClusterKind, fault_rate: f64, smoke: bool, seed: u64) -> Chao
 /// reports per-phase retry totals and the cloud-fallback rate, plus a
 /// machine-readable `chaos-summary` line for CI. Deterministic per seed.
 pub fn chaos(seed: u64, fault_rate: f64, smoke: bool) -> Figure {
+    chaos_impl(seed, fault_rate, smoke, false).0
+}
+
+/// The chaos experiment with telemetry recording on: the exact same
+/// deterministic figure as [`chaos`] (recording is observation only), plus
+/// the merged span log of both testbed runs (span names prefixed
+/// `docker/` and `k8s/`, Kubernetes request ids offset past Docker's) and
+/// the combined metrics snapshot with a derived `fallback_cloud_rate`
+/// gauge.
+pub fn chaos_traced(seed: u64, fault_rate: f64, smoke: bool) -> (Figure, SpanLog, MetricsRegistry) {
+    let (fig, tele) = chaos_impl(seed, fault_rate, smoke, true);
+    let (log, metrics) = tele.expect("telemetry recorded");
+    (fig, log, metrics)
+}
+
+fn chaos_impl(
+    seed: u64,
+    fault_rate: f64,
+    smoke: bool,
+    telemetry: bool,
+) -> (Figure, Option<(SpanLog, MetricsRegistry)>) {
     let mut t = Table::new(&[
         "Cluster",
         "Requests",
@@ -962,8 +998,20 @@ pub fn chaos(seed: u64, fault_rate: f64, smoke: bool) -> Figure {
         "Resets",
     ]);
     let mut total = ChaosRun::default();
+    let mut merged_log = SpanLog::new();
+    let mut merged_metrics = MetricsRegistry::new();
+    let mut request_offset = 0u64;
     for kind in [ClusterKind::Docker, ClusterKind::K8s] {
-        let run = chaos_run(kind, fault_rate, smoke, seed);
+        let (run, tele) = chaos_run(kind, fault_rate, smoke, seed, telemetry);
+        if let Some((log, metrics)) = tele {
+            let label = match kind {
+                ClusterKind::Docker => "docker",
+                ClusterKind::K8s => "k8s",
+            };
+            merged_log.absorb(&log, label, request_offset);
+            merged_metrics.merge(&metrics);
+            request_offset += run.requests;
+        }
         t.row(vec![
             kind.label().to_string(),
             run.requests.to_string(),
@@ -1009,7 +1057,7 @@ pub fn chaos(seed: u64, fault_rate: f64, smoke: bool) -> Figure {
         total.coalesced,
         total.resets,
     );
-    Figure::new(
+    let fig = Figure::new(
         "chaos",
         format!(
             "Deployment pipeline under fault injection (rate {fault_rate}, {} trace)",
@@ -1017,7 +1065,18 @@ pub fn chaos(seed: u64, fault_rate: f64, smoke: bool) -> Figure {
         ),
         t,
     )
-    .with_extra(&summary)
+    .with_extra(&summary);
+    if !telemetry {
+        return (fig, None);
+    }
+    if merged_metrics.counter("requests_total") > 0 {
+        merged_metrics.set_gauge(
+            "fallback_cloud_rate",
+            merged_metrics.counter("requests_fallback_cloud") as f64
+                / merged_metrics.counter("requests_total") as f64,
+        );
+    }
+    (fig, Some((merged_log, merged_metrics)))
 }
 
 /// Renders a quick summary of every figure (used by `repro all`).
@@ -1173,6 +1232,27 @@ mod tests {
             field("requests"),
             "every request terminates (edge or cloud fallback): {line}"
         );
+    }
+
+    #[test]
+    fn chaos_traced_matches_untraced_figure_and_validates() {
+        let plain = chaos(7, 0.15, true);
+        let (fig, log, metrics) = chaos_traced(7, 0.15, true);
+        assert_eq!(plain.body, fig.body, "recording must not change the figure");
+        // The merged log is well-formed and spans both testbed runs.
+        let check = log.check();
+        assert!(check.ok(), "{check:?}");
+        assert!(log.spans().any(|s| s.name.starts_with("docker/")));
+        assert!(log.spans().any(|s| s.name.starts_with("k8s/")));
+        // Metrics carry the acceptance-relevant aggregates: deploy-phase
+        // percentiles, retry totals, and the derived fallback-cloud rate.
+        assert!(metrics.counter("requests_total") > 0);
+        assert!(metrics.counter("deploy_retries_total") > 0);
+        assert!(metrics.histogram("deploy_pull_ns").is_some());
+        assert!(metrics.gauge("fallback_cloud_rate").is_some());
+        assert!(metrics.gauge("switch.microflow_hit_rate").is_some());
+        let json = metrics.to_json();
+        assert!(json.contains("\"p95_ms\""), "{json}");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use netsim::topo::{NodeId, PortNo};
 use netsim::{Ipv4Addr, ServiceAddr, TcpFlags, TcpFrame};
 use ovs::{Effect, Switch, SwitchConfig};
 use std::collections::HashMap;
+use telemetry::{MetricsRegistry, SpanLog, Telemetry};
 use workload::RequestTiming;
 
 /// Which cluster type backs the edge (the paper evaluates both).
@@ -64,6 +65,9 @@ pub struct TestbedConfig {
     /// Fault-injection plan (all rates 0 = faults disabled, byte-identical
     /// behaviour to a build without the fault layer).
     pub faults: FaultPlan,
+    /// Record per-request span trees ([`Telemetry::recording`]); disabled
+    /// runs keep the no-op tracer and stay byte-identical.
+    pub telemetry: bool,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -79,6 +83,7 @@ impl Default for TestbedConfig {
             predictor: "none".to_owned(),
             far_edge: false,
             faults: FaultPlan::default(),
+            telemetry: false,
             seed: 1,
         }
     }
@@ -224,8 +229,8 @@ impl Testbed {
             miss_send_len: 0xffff,
             ports: c3.ovs_ports(),
         });
-        let scheduler = edgectl::scheduler_by_name(&config.scheduler)
-            .unwrap_or_else(|| panic!("unknown scheduler `{}`", config.scheduler));
+        let scheduler =
+            edgectl::scheduler_by_name(&config.scheduler).unwrap_or_else(|e| panic!("{e}"));
         let mut controller = Controller::new(
             scheduler,
             PortMap {
@@ -234,6 +239,9 @@ impl Testbed {
             },
             config.controller.clone(),
         );
+        if config.telemetry {
+            controller.telemetry = Telemetry::recording();
+        }
         let egs_mac = c3.topo.node(c3.egs).mac;
         let egs_ip = c3.topo.node(c3.egs).ip;
         let edge_latency = Duration::from_micros(50);
@@ -415,6 +423,44 @@ impl Testbed {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// A point-in-time metrics snapshot: the controller's registry plus
+    /// gauges folded in from every subsystem counter — switch fast-path
+    /// and microflow statistics, FlowMemory lookup accounting, and each
+    /// cluster's engine operations, layer-cache hit rate, and load.
+    pub fn telemetry_snapshot(&self) -> MetricsRegistry {
+        let mut m = self.controller.telemetry.metrics.clone();
+        let sw = &self.switch;
+        m.set_gauge("switch.fast_path_packets", sw.fast_path_packets as f64);
+        m.set_gauge("switch.table_misses", sw.table_misses as f64);
+        m.set_gauge("switch.microflow_hits", sw.microflow_hits as f64);
+        m.set_gauge("switch.microflow_misses", sw.microflow_misses as f64);
+        let probes = sw.microflow_hits + sw.microflow_misses;
+        if probes > 0 {
+            m.set_gauge(
+                "switch.microflow_hit_rate",
+                sw.microflow_hits as f64 / probes as f64,
+            );
+        }
+        let fm = self.controller.memory().stats;
+        m.set_gauge("flowmemory.lookups", fm.lookups as f64);
+        m.set_gauge("flowmemory.hits", fm.hits as f64);
+        m.set_gauge("flowmemory.expired", fm.expired as f64);
+        for idx in 0..self.controller.cluster_count() {
+            let c = self.controller.cluster(idx);
+            m.set_gauge(&format!("cluster.{}.load", c.name()), c.load() as f64);
+            for (k, v) in c.telemetry_stats() {
+                m.set_gauge(&format!("cluster.{}.{k}", c.name()), v);
+            }
+        }
+        m
+    }
+
+    /// The recorded span log when the testbed was built with
+    /// `telemetry: true`; `None` on disabled runs.
+    pub fn span_log(&self) -> Option<&SpanLog> {
+        self.controller.telemetry.span_log()
     }
 
     /// Registers `profile` as an edge service at `addr` and returns the
@@ -807,6 +853,18 @@ impl Testbed {
     }
 }
 
+impl Drop for Testbed {
+    /// Every finished testbed run contributes its metrics snapshot to the
+    /// process-global collection point when one was enabled
+    /// ([`telemetry::global`], `repro --telemetry`). With collection off —
+    /// the default — this is a single atomic load.
+    fn drop(&mut self) {
+        if telemetry::global::enabled() {
+            telemetry::global::merge(&self.telemetry_snapshot());
+        }
+    }
+}
+
 /// Splits `total_bytes` of application payload into MSS-sized TCP segments
 /// patterned on `template` (endpoints/flags copied, payload replaced).
 fn segments(template: &TcpFrame, total_bytes: usize) -> Vec<TcpFrame> {
@@ -993,6 +1051,47 @@ mod tests {
         let bytes = cap.to_bytes();
         let back = netsim::PcapCapture::from_bytes(&bytes).unwrap();
         assert_eq!(back.len(), cap.len());
+    }
+
+    #[test]
+    fn telemetry_records_spans_and_metrics_without_changing_results() {
+        let run = |telemetry: bool| {
+            let mut tb = Testbed::new(TestbedConfig {
+                telemetry,
+                seed: 5,
+                ..TestbedConfig::default()
+            });
+            let addr = svc_addr(10);
+            tb.register_service(containerd::ServiceSet::by_key("nginx").unwrap(), addr);
+            tb.pre_pull(addr);
+            tb.request_at(SimTime::from_secs(1), 0, addr);
+            tb.request_at(SimTime::from_secs(5), 1, addr);
+            tb.run_until(SimTime::from_secs(60));
+            tb
+        };
+        let plain = run(false);
+        let traced = run(true);
+        // Telemetry is observation only: identical timings either way.
+        let totals = |tb: &Testbed| {
+            tb.completed
+                .iter()
+                .map(|c| (c.client, c.timing.time_total()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(totals(&plain), totals(&traced));
+        assert!(plain.span_log().is_none(), "disabled runs record nothing");
+        let log = traced.span_log().unwrap();
+        assert!(log.check().ok(), "span log consistent: {:?}", log.check());
+        assert_eq!(log.request_ids(), vec![1, 2]);
+        // The snapshot folds every subsystem counter into one registry.
+        let m = traced.telemetry_snapshot();
+        assert_eq!(m.counter("requests_total"), 2);
+        assert!(m.gauge("switch.microflow_hit_rate").is_some());
+        assert!(m.gauge("flowmemory.lookups").unwrap() >= 2.0);
+        assert!(m.gauge("cluster.egs-docker.ops_pulls").unwrap() >= 1.0);
+        assert!(m.gauge("cluster.egs-docker.layer_cache_hit_rate").is_some());
+        assert!(m.gauge("cluster.egs-docker.load").is_some());
+        assert!(m.histogram("answer_delay_ns").is_some());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Plain-text rendering of experiment results: aligned tables, ASCII bar
-//! charts and CSV export.
+//! charts, per-request span timelines and CSV export.
 
+use desim::{fmt_duration, SimTime};
 use std::fmt::Write as _;
+use telemetry::{span_label, Span, SpanLog};
 
 /// A simple column-aligned table.
 #[derive(Clone, Debug, Default)]
@@ -126,6 +128,73 @@ pub fn timeline(series: &[u64], max_buckets: usize) -> String {
     out
 }
 
+/// Renders one request's span tree as an ASCII timeline: one line per span
+/// (indented by tree depth, labelled via [`telemetry::span_label`] so the
+/// duration formatting matches tables and error messages), followed by a
+/// `width`-character gantt track mapping the span onto the request's
+/// `[first start, last end]` interval. Point events render as `·` lines
+/// under their span.
+pub fn span_timeline(log: &SpanLog, request: u64, width: usize) -> String {
+    let spans: Vec<&Span> = log.spans_for_request(request).collect();
+    if spans.is_empty() {
+        return format!("request {request}: no spans recorded\n");
+    }
+    let t0 = spans.iter().map(|s| s.start).min().unwrap();
+    let t1 = spans
+        .iter()
+        .map(|s| s.end.unwrap_or(s.start))
+        .max()
+        .unwrap()
+        .max(t0);
+    let total = t1.saturating_since(t0);
+    let by_id: std::collections::HashMap<u32, &Span> =
+        spans.iter().map(|s| (s.id.0, *s)).collect();
+    let depth_of = |s: &Span| {
+        let mut d = 0usize;
+        let mut p = s.parent;
+        while let Some(ps) = by_id.get(&p.0) {
+            d += 1;
+            p = ps.parent;
+        }
+        d
+    };
+    let labels: Vec<String> = spans
+        .iter()
+        .map(|s| format!("{}{}", "  ".repeat(depth_of(s)), span_label(s)))
+        .collect();
+    let lwidth = labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let span_ns = u128::from(total.as_nanos()).max(1);
+    let col = |at: SimTime| {
+        (u128::from(at.saturating_since(t0).as_nanos()) * width as u128 / span_ns) as usize
+    };
+    let mut out = format!(
+        "request {request}: {} span(s) over {}\n",
+        spans.len(),
+        fmt_duration(total)
+    );
+    for (s, label) in spans.iter().zip(&labels) {
+        let from = col(s.start).min(width.saturating_sub(1));
+        let to = s.end.map(col).unwrap_or(width).clamp(from + 1, width);
+        let mut track = String::with_capacity(width);
+        track.extend(std::iter::repeat_n(' ', from));
+        track.extend(std::iter::repeat_n('█', to - from));
+        track.extend(std::iter::repeat_n(' ', width - to));
+        let pad = lwidth - label.chars().count();
+        let _ = writeln!(out, "{label}{}  |{track}|", " ".repeat(pad));
+        for e in &s.events {
+            let _ = writeln!(
+                out,
+                "{}· {} @{} {}",
+                "  ".repeat(depth_of(s) + 1),
+                e.name,
+                fmt_duration(e.at.saturating_since(SimTime::ZERO)),
+                e.detail
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +249,55 @@ mod tests {
         let s = timeline(&series, 60);
         assert!(s.contains("total 80"));
         assert!(s.starts_with('█'));
+    }
+
+    fn traced_request() -> SpanLog {
+        use telemetry::{SimTracer, SpanId, Tracer};
+        let mut t = SimTracer::new();
+        let root = t.span_start(1, SpanId::NONE, "request", SimTime::from_secs(1));
+        let deploy = t.span_start(1, root, "deploy", SimTime::from_secs(1));
+        let pull = t.span_start(1, deploy, "deploy-pull", SimTime::from_secs(1));
+        t.event(
+            pull,
+            "retry",
+            SimTime::from_millis(1500),
+            "pull: injected fault".into(),
+        );
+        t.span_end(pull, SimTime::from_secs(2));
+        t.span_end(deploy, SimTime::from_millis(2500));
+        t.span_end(root, SimTime::from_secs(3));
+        t.log().unwrap().clone()
+    }
+
+    #[test]
+    fn span_timeline_renders_tree_tracks_and_events() {
+        let log = traced_request();
+        let s = span_timeline(&log, 1, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "request 1: 3 span(s) over 2.000s");
+        // Depth-indented labels share fmt_duration formatting.
+        assert!(lines[1].starts_with("request @1.000s +2.000s"));
+        assert!(lines[2].starts_with("  deploy @1.000s +1.500s"));
+        assert!(lines[3].starts_with("    deploy-pull @1.000s +1.000s"));
+        // The root track spans the full width; the pull track half of it.
+        assert!(lines[1].contains(&format!("|{}|", "█".repeat(20))));
+        assert!(lines[3].contains(&format!("|{}{}|", "█".repeat(10), " ".repeat(10))));
+        // The retry event renders under its span.
+        assert!(lines[4].contains("· retry @1.500s pull: injected fault"));
+        // Gantt bars all align at the same column.
+        let bar = lines[1].find('|').unwrap();
+        assert_eq!(lines[2].find('|').unwrap(), bar);
+        assert_eq!(lines[3].find('|').unwrap(), bar);
+    }
+
+    #[test]
+    fn span_timeline_handles_missing_and_open_spans() {
+        let log = SpanLog::new();
+        assert_eq!(span_timeline(&log, 9, 10), "request 9: no spans recorded\n");
+        use telemetry::{SimTracer, SpanId, Tracer};
+        let mut t = SimTracer::new();
+        t.span_start(2, SpanId::NONE, "request", SimTime::from_secs(1));
+        let s = span_timeline(t.log().unwrap(), 2, 10);
+        assert!(s.contains("(open)"), "{s}");
     }
 }

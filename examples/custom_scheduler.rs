@@ -14,7 +14,7 @@
 use desim::{Duration, SimRng, SimTime};
 use std::collections::HashMap;
 use transparent_edge::prelude::*;
-use edgectl::{Choice, ClusterView};
+use edgectl::{Choice, SchedulingContext};
 
 /// Deploy only where images are cached; otherwise answer from the cloud and
 /// warm the nearest cluster in the background.
@@ -25,7 +25,8 @@ impl GlobalScheduler for CacheAwareScheduler {
         "cache-aware"
     }
 
-    fn choose(&mut self, clusters: &[ClusterView]) -> Choice {
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
+        let clusters = ctx.clusters;
         let ready = clusters
             .iter()
             .enumerate()
