@@ -8,6 +8,7 @@
 //! repro fastpath                    # data-plane bench -> BENCH_flowtable.json
 //! repro telemetry                   # telemetry-overhead bench
 //! repro chaos [--seed N] [--fault-rate F] [--smoke] [--telemetry]
+//! repro mobility [--seed N] [--smoke] [--telemetry]   # -> BENCH_mobility.json
 //! ```
 //!
 //! `--telemetry` turns observability output on: `chaos` records per-request
@@ -64,7 +65,7 @@ fn main() -> ExitCode {
     // Figure modes collect metrics through the process-global registry
     // (every finished testbed run merges its snapshot); chaos records and
     // prints its own, richer output below.
-    if telemetry_on && id != "chaos" {
+    if telemetry_on && id != "chaos" && id != "mobility" {
         telemetry::global::enable();
     }
 
@@ -133,6 +134,44 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "mobility" => {
+            println!(
+                "transparent-edge-rs — mobility: multi-gNB handover, anchored vs re-dispatch \
+(seed {seed})\n"
+            );
+            let (fig, traced) = if telemetry_on {
+                let (fig, log, metrics) = bench::mobility_figure_traced(seed, smoke);
+                (fig, Some((log, metrics)))
+            } else {
+                (bench::mobility_figure(seed, smoke), None)
+            };
+            if csv {
+                print!("{}", fig.table.to_csv());
+                if let Some(line) = fig.body.lines().find(|l| l.starts_with("mobility-summary ")) {
+                    println!("{line}");
+                }
+            } else {
+                println!("{}", fig.body);
+            }
+            if let Some((log, metrics)) = traced {
+                println!("spans: {}", log.to_json());
+                println!("{}", log.check().to_json_line());
+                println!("\nmetrics: {}", metrics.to_json());
+            }
+            let report = bench::mobility::run(seed, smoke);
+            print!("{}", report.render());
+            let path = bench::mobility::default_output_path();
+            match std::fs::write(&path, report.to_json()) {
+                Ok(()) => {
+                    println!("\nwrote {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "telemetry" => {
             println!("transparent-edge-rs — telemetry overhead (disabled path vs fast path)\n");
             let report = bench::telemetry::run();
@@ -152,6 +191,7 @@ fn main() -> ExitCode {
             println!("fastpath");
             println!("telemetry");
             println!("chaos");
+            println!("mobility");
             ExitCode::SUCCESS
         }
         "all" => {

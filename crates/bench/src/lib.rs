@@ -3,6 +3,7 @@
 #![warn(missing_docs)]
 
 pub mod fastpath;
+pub mod mobility;
 pub mod summary;
 pub mod telemetry;
 
@@ -70,6 +71,22 @@ pub fn chaos_figure_traced(
     smoke: bool,
 ) -> (Figure, ::telemetry::SpanLog, ::telemetry::MetricsRegistry) {
     experiments::chaos_traced(seed, fault_rate, smoke)
+}
+
+/// The mobility experiment: multi-gNB handover under user mobility. Like
+/// chaos, not part of [`all_figures`] — the `repro mobility` subcommand
+/// drives it explicitly (and writes `BENCH_mobility.json`).
+pub fn mobility_figure(seed: u64, smoke: bool) -> Figure {
+    experiments::mobility(seed, smoke)
+}
+
+/// The mobility experiment with span recording on: the same figure plus the
+/// merged span log and metrics snapshot (`repro mobility --telemetry`).
+pub fn mobility_figure_traced(
+    seed: u64,
+    smoke: bool,
+) -> (Figure, ::telemetry::SpanLog, ::telemetry::MetricsRegistry) {
+    experiments::mobility_traced(seed, smoke)
 }
 
 /// The figure ids `figure_by_id` accepts, in order.

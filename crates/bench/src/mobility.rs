@@ -1,0 +1,183 @@
+//! Mobility/handover bench: per-policy handover-interruption percentiles.
+//!
+//! Like [`crate::fastpath`] this is plain `std` (no criterion) so the
+//! `repro mobility` subcommand can run it directly and emit the
+//! machine-readable `BENCH_mobility.json` summary that tracks the handover
+//! numbers across PRs. It replays the same deterministic mobility scenario
+//! as `testbed::experiments::mobility` — once per [`HandoverPolicy`] — and
+//! reduces each run to handover counts plus the interruption distribution
+//! (announce → last new-switch install) at p50/p95/p99.
+
+use desim::Summary;
+use edgectl::HandoverPolicy;
+use std::path::PathBuf;
+use testbed::experiments;
+
+/// One policy's measurements (times in milliseconds).
+#[derive(Clone, Debug)]
+pub struct PolicyPoint {
+    /// Policy label (`anchored` / `redispatch`).
+    pub policy: &'static str,
+    /// Inter-gNB handovers performed.
+    pub handovers: u64,
+    /// FlowMemory entries migrated across all handovers.
+    pub flows_migrated: u64,
+    /// Sessions re-placed through the Global Scheduler.
+    pub redispatched: u64,
+    /// Handover-interruption median, ms.
+    pub p50_ms: f64,
+    /// Handover-interruption 95th percentile, ms.
+    pub p95_ms: f64,
+    /// Handover-interruption 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Pings answered (== pings sent on a clean run).
+    pub pings: u64,
+    /// Pings lost + frames dropped (want 0).
+    pub dropped: u64,
+}
+
+/// The full mobility report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Seed the scenario ran under.
+    pub seed: u64,
+    /// Smoke (short) or full trace.
+    pub smoke: bool,
+    /// One row per handover policy.
+    pub points: Vec<PolicyPoint>,
+}
+
+impl Report {
+    /// Pings lost or frames dropped across both policies (want: 0).
+    pub fn total_dropped(&self) -> u64 {
+        self.points.iter().map(|p| p.dropped).sum()
+    }
+
+    /// Renders the hand-rolled JSON summary (`serde` is deliberately not a
+    /// dependency of this workspace).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\n  \"bench\": \"mobility\",\n  \"seed\": {},\n  \"smoke\": {},\n  \"policies\": [\n",
+            self.seed, self.smoke
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"policy\": \"{}\", \"handovers\": {}, \"flows_migrated\": {}, \
+                 \"redispatched\": {}, \"interruption_p50_ms\": {:.3}, \
+                 \"interruption_p95_ms\": {:.3}, \"interruption_p99_ms\": {:.3}, \
+                 \"pings\": {}, \"dropped\": {}}}{}\n",
+                p.policy,
+                p.handovers,
+                p.flows_migrated,
+                p.redispatched,
+                p.p50_ms,
+                p.p95_ms,
+                p.p99_ms,
+                p.pings,
+                p.dropped,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"total_dropped\": {}\n}}\n",
+            self.total_dropped()
+        ));
+        s
+    }
+
+    /// Renders a human-readable table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "policy       handovers  migrated  redispatched  p50/p95/p99 [ms]      pings  dropped\n",
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{:<12} {:>9}  {:>8}  {:>12}  {:>6.1}/{:>6.1}/{:>6.1}  {:>7}  {:>7}\n",
+                p.policy,
+                p.handovers,
+                p.flows_migrated,
+                p.redispatched,
+                p.p50_ms,
+                p.p95_ms,
+                p.p99_ms,
+                p.pings,
+                p.dropped
+            ));
+        }
+        s.push_str(&format!("total dropped {} (want 0)\n", self.total_dropped()));
+        s
+    }
+}
+
+/// Where `BENCH_mobility.json` is written: the repository root.
+pub fn default_output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_mobility.json")
+}
+
+fn pct(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    Summary::new(xs.to_vec()).percentile(p).unwrap_or(0.0) * 1e3
+}
+
+/// Runs the mobility scenario under both policies and reduces the results.
+pub fn run(seed: u64, smoke: bool) -> Report {
+    let points = [HandoverPolicy::Anchored, HandoverPolicy::Redispatch]
+        .into_iter()
+        .map(|policy| {
+            let s = experiments::mobility_stats(policy, seed, smoke);
+            PolicyPoint {
+                policy: policy.label(),
+                handovers: s.handovers,
+                flows_migrated: s.flows_migrated,
+                redispatched: s.redispatched,
+                p50_ms: pct(&s.interruptions, 50.0),
+                p95_ms: pct(&s.interruptions, 95.0),
+                p99_ms: pct(&s.interruptions, 99.0),
+                pings: s.pings_done,
+                dropped: (s.pings_sent - s.pings_done) + s.drops,
+            }
+        })
+        .collect();
+    Report { seed, smoke, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = Report {
+            seed: 7,
+            smoke: true,
+            points: vec![PolicyPoint {
+                policy: "anchored",
+                handovers: 4,
+                flows_migrated: 4,
+                redispatched: 0,
+                p50_ms: 0.35,
+                p95_ms: 0.4,
+                p99_ms: 0.4,
+                pings: 300,
+                dropped: 0,
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"mobility\""));
+        assert!(j.contains("\"policy\": \"anchored\""));
+        assert!(j.contains("\"interruption_p99_ms\": 0.400"));
+        assert!(j.contains("\"total_dropped\": 0"));
+        assert!(r.render().contains("want 0"));
+    }
+
+    #[test]
+    fn smoke_run_is_clean() {
+        let r = run(7, true);
+        assert_eq!(r.points.len(), 2);
+        assert_eq!(r.total_dropped(), 0, "no ping lost, no frame dropped");
+        assert!(r.points.iter().all(|p| p.handovers > 0));
+        assert!(r.points.iter().any(|p| p.p99_ms > 0.0));
+    }
+}

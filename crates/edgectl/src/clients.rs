@@ -1,14 +1,18 @@
 //! Client location tracking.
 //!
 //! The Dispatcher "also tracks the clients' current location" (Section
-//! IV-B): in the transparent edge, a client's location is the switch ingress
-//! port its traffic arrives on. When a client shows up on a different port
+//! IV-B): in the transparent edge, a client's location is the ingress switch
+//! (gNB) plus the switch port its traffic arrives on. Port numbers alone are
+//! ambiguous once the controller manages several ingress switches — port 1
+//! on gNB 0 and port 1 on gNB 1 are different cells — so a location is the
+//! `(ingress, port)` pair. When a client shows up at a different location
 //! (UE mobility — it attached to a different gNB/access point), redirect
 //! decisions made for the old location are stale: the nearest edge may have
 //! changed, and reverse flows point at the old port. The tracker detects
-//! moves so the controller can flush the client's memorized flows and
-//! re-schedule.
+//! moves so the controller can hand the client's sessions over (or, absent a
+//! handover procedure, flush its memorized flows and re-schedule).
 
+use crate::flowmemory::IngressId;
 use desim::SimTime;
 use netsim::addr::Ipv4Addr;
 use std::collections::HashMap;
@@ -18,16 +22,29 @@ use std::collections::HashMap;
 pub struct ClientMove {
     /// The client that moved.
     pub client: Ipv4Addr,
+    /// Previous ingress switch.
+    pub from_ingress: IngressId,
     /// Previous ingress port.
     pub from_port: u32,
+    /// New ingress switch.
+    pub to_ingress: IngressId,
     /// New ingress port.
     pub to_port: u32,
     /// When the move was observed.
     pub at: SimTime,
 }
 
+impl ClientMove {
+    /// `true` if the move crossed ingress switches (a cell handover, not
+    /// just a port re-patch on the same switch).
+    pub fn crossed_ingress(&self) -> bool {
+        self.from_ingress != self.to_ingress
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Location {
+    ingress: IngressId,
     in_port: u32,
     last_seen: SimTime,
 }
@@ -46,20 +63,29 @@ impl ClientTracker {
         ClientTracker::default()
     }
 
-    /// Records that `client` was seen on `in_port` at `now`. Returns the
-    /// move if the client changed location.
-    pub fn observe(&mut self, client: Ipv4Addr, in_port: u32, now: SimTime) -> Option<ClientMove> {
+    /// Records that `client` was seen on `ingress`/`in_port` at `now`.
+    /// Returns the move if the client changed location.
+    pub fn observe(
+        &mut self,
+        client: Ipv4Addr,
+        ingress: IngressId,
+        in_port: u32,
+        now: SimTime,
+    ) -> Option<ClientMove> {
         match self.locations.insert(
             client,
             Location {
+                ingress,
                 in_port,
                 last_seen: now,
             },
         ) {
-            Some(prev) if prev.in_port != in_port => {
+            Some(prev) if prev.ingress != ingress || prev.in_port != in_port => {
                 let mv = ClientMove {
                     client,
+                    from_ingress: prev.ingress,
                     from_port: prev.in_port,
+                    to_ingress: ingress,
                     to_port: in_port,
                     at: now,
                 };
@@ -70,9 +96,9 @@ impl ClientTracker {
         }
     }
 
-    /// The client's current ingress port, if known.
-    pub fn location(&self, client: Ipv4Addr) -> Option<u32> {
-        self.locations.get(&client).map(|l| l.in_port)
+    /// The client's current `(ingress, port)` location, if known.
+    pub fn location(&self, client: Ipv4Addr) -> Option<(IngressId, u32)> {
+        self.locations.get(&client).map(|l| (l.ingress, l.in_port))
     }
 
     /// When the client was last seen, if ever.
@@ -112,57 +138,73 @@ mod tests {
         Ipv4Addr::new(192, 168, 1, last)
     }
 
+    const G0: IngressId = IngressId(0);
+    const G1: IngressId = IngressId(1);
+
     #[test]
     fn first_sighting_is_not_a_move() {
         let mut t = ClientTracker::new();
-        assert!(t.observe(ip(20), 3, SimTime::from_secs(1)).is_none());
-        assert_eq!(t.location(ip(20)), Some(3));
+        assert!(t.observe(ip(20), G0, 3, SimTime::from_secs(1)).is_none());
+        assert_eq!(t.location(ip(20)), Some((G0, 3)));
         assert_eq!(t.last_seen(ip(20)), Some(SimTime::from_secs(1)));
         assert!(t.moves().is_empty());
     }
 
     #[test]
-    fn same_port_refreshes_without_move() {
+    fn same_location_refreshes_without_move() {
         let mut t = ClientTracker::new();
-        t.observe(ip(20), 3, SimTime::from_secs(1));
-        assert!(t.observe(ip(20), 3, SimTime::from_secs(5)).is_none());
+        t.observe(ip(20), G0, 3, SimTime::from_secs(1));
+        assert!(t.observe(ip(20), G0, 3, SimTime::from_secs(5)).is_none());
         assert_eq!(t.last_seen(ip(20)), Some(SimTime::from_secs(5)));
     }
 
     #[test]
     fn port_change_is_a_move() {
         let mut t = ClientTracker::new();
-        t.observe(ip(20), 3, SimTime::from_secs(1));
-        let mv = t.observe(ip(20), 7, SimTime::from_secs(9)).unwrap();
+        t.observe(ip(20), G0, 3, SimTime::from_secs(1));
+        let mv = t.observe(ip(20), G0, 7, SimTime::from_secs(9)).unwrap();
         assert_eq!(
             mv,
             ClientMove {
                 client: ip(20),
+                from_ingress: G0,
                 from_port: 3,
+                to_ingress: G0,
                 to_port: 7,
                 at: SimTime::from_secs(9)
             }
         );
-        assert_eq!(t.location(ip(20)), Some(7));
+        assert!(!mv.crossed_ingress());
+        assert_eq!(t.location(ip(20)), Some((G0, 7)));
         assert_eq!(t.moves().len(), 1);
         // Moving back counts again.
-        assert!(t.observe(ip(20), 3, SimTime::from_secs(12)).is_some());
+        assert!(t.observe(ip(20), G0, 3, SimTime::from_secs(12)).is_some());
         assert_eq!(t.moves().len(), 2);
+    }
+
+    #[test]
+    fn ingress_change_is_a_move_even_on_the_same_port_number() {
+        let mut t = ClientTracker::new();
+        t.observe(ip(20), G0, 3, SimTime::from_secs(1));
+        let mv = t.observe(ip(20), G1, 3, SimTime::from_secs(4)).unwrap();
+        assert!(mv.crossed_ingress());
+        assert_eq!((mv.from_ingress, mv.to_ingress), (G0, G1));
+        assert_eq!(t.location(ip(20)), Some((G1, 3)));
     }
 
     #[test]
     fn clients_are_independent() {
         let mut t = ClientTracker::new();
-        t.observe(ip(20), 3, SimTime::from_secs(1));
-        assert!(t.observe(ip(21), 7, SimTime::from_secs(2)).is_none());
+        t.observe(ip(20), G0, 3, SimTime::from_secs(1));
+        assert!(t.observe(ip(21), G1, 7, SimTime::from_secs(2)).is_none());
         assert_eq!(t.len(), 2);
     }
 
     #[test]
     fn eviction_drops_stale_clients() {
         let mut t = ClientTracker::new();
-        t.observe(ip(20), 3, SimTime::from_secs(1));
-        t.observe(ip(21), 4, SimTime::from_secs(100));
+        t.observe(ip(20), G0, 3, SimTime::from_secs(1));
+        t.observe(ip(21), G0, 4, SimTime::from_secs(100));
         assert_eq!(t.evict_stale(SimTime::from_secs(50)), 1);
         assert_eq!(t.len(), 1);
         assert!(t.location(ip(20)).is_none());

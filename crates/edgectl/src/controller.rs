@@ -18,11 +18,11 @@
 use crate::clients::ClientTracker;
 use crate::cluster::{EdgeCluster, InstanceAddr};
 use crate::dispatch::{DispatchDecision, DispatchOutcome, Dispatcher, PhaseTimes};
-use crate::flowmemory::FlowMemory;
-use crate::scheduler::GlobalScheduler;
+use crate::flowmemory::{FlowMemory, IngressId};
+use crate::scheduler::{GlobalScheduler, RequestClass};
 use crate::service::EdgeService;
 use desim::{Duration, LogNormal, RetryPolicy, Sample, SimRng, SimTime};
-use netsim::addr::Ipv4Addr;
+use netsim::addr::{Ipv4Addr, MacAddr};
 use netsim::{ServiceAddr, TcpFrame};
 use openflow::actions::{Action, Instruction};
 use openflow::messages::{Message, OFPFF_SEND_FLOW_REM};
@@ -153,13 +153,68 @@ pub struct ScaleDownEvent {
     pub action: LifecycleAction,
 }
 
+/// How the controller treats a client's live sessions when it hands them
+/// over to a new ingress (gNB).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandoverPolicy {
+    /// Keep each session anchored to the instance that already serves it
+    /// (the old zone's edge), as long as that instance is still up; only
+    /// sessions whose instance vanished are re-dispatched. Zero service-side
+    /// state moves, at the cost of a longer data path through the new gNB.
+    Anchored,
+    /// Re-place every session through the Global Scheduler (with a
+    /// [`RequestClass::Handover`] context and distances measured from the
+    /// **new** ingress), re-using the on-demand deployment pipeline when the
+    /// new zone has no instance yet.
+    Redispatch,
+}
+
+impl HandoverPolicy {
+    /// Short lowercase label (`"anchored"` / `"redispatch"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            HandoverPolicy::Anchored => "anchored",
+            HandoverPolicy::Redispatch => "redispatch",
+        }
+    }
+}
+
+/// Result of one attachment-change handover.
+#[derive(Clone, Debug)]
+pub struct HandoverOutcome {
+    /// When the attachment change was reported.
+    pub at: SimTime,
+    /// When every migrated session had its flows installed at the new
+    /// ingress — the make-before-break point; `completed_at - at` is the
+    /// control-plane interruption the session observed.
+    pub completed_at: SimTime,
+    /// Sessions migrated to the new ingress (anchored + re-dispatched).
+    pub flows_migrated: usize,
+    /// Of those, sessions the scheduler re-placed (possibly on a new
+    /// cluster) rather than kept anchored.
+    pub redispatched: usize,
+    /// OpenFlow messages to deliver, each tagged with the ingress switch it
+    /// goes to. New-ingress installs precede old-ingress teardowns.
+    pub messages: Vec<(IngressId, OutboundMessage)>,
+}
+
 /// The transparent-edge SDN controller.
 pub struct Controller {
     services: crate::service::ServiceRegistry,
     clusters: Vec<Box<dyn EdgeCluster>>,
     dispatcher: Dispatcher,
     memory: FlowMemory,
-    ports: PortMap,
+    /// Per-ingress port maps; index = [`IngressId`]. The seed deployment's
+    /// single switch lives at ingress 0.
+    ingresses: Vec<PortMap>,
+    /// Cluster latency as seen from a given ingress, when it differs from
+    /// the cluster's advertised latency (which is measured from ingress 0).
+    ingress_distances: HashMap<(IngressId, usize), Duration>,
+    /// Exact redirect matches installed per `(client, ingress)` — the
+    /// controller-side bookkeeping that makes handover teardown possible:
+    /// switch-side deletion is exact-match, so the controller must remember
+    /// what it installed at the old switch to break it after the make.
+    installed: HashMap<(Ipv4Addr, IngressId), Vec<(Match, Match)>>,
     config: ControllerConfig,
     next_xid: u32,
     /// Per-request records (the harness reads these).
@@ -208,7 +263,9 @@ impl Controller {
             clusters: Vec::new(),
             dispatcher,
             memory: FlowMemory::new(config.memory_idle),
-            ports,
+            ingresses: vec![ports],
+            ingress_distances: HashMap::new(),
+            installed: HashMap::new(),
             config,
             next_xid: 1,
             records: Vec::new(),
@@ -230,14 +287,63 @@ impl Controller {
         self.dispatcher.coalesced_count()
     }
 
-    /// Registers an edge cluster reachable via `switch_port`. Returns its
-    /// index.
+    /// Registers an edge cluster reachable via `switch_port` on the default
+    /// ingress. Returns its index.
     pub fn add_cluster(&mut self, cluster: Box<dyn EdgeCluster>, switch_port: u32) -> usize {
-        self.ports
+        self.ingresses[0]
             .cluster_ports
             .insert(cluster.name().to_owned(), switch_port);
         self.clusters.push(cluster);
         self.clusters.len() - 1
+    }
+
+    /// Registers an additional ingress switch (gNB) with its own port map.
+    /// Returns its id; the constructor's port map is ingress 0.
+    pub fn add_ingress(&mut self, ports: PortMap) -> IngressId {
+        self.ingresses.push(ports);
+        IngressId(self.ingresses.len() as u32 - 1)
+    }
+
+    /// Number of ingress switches under management.
+    pub fn ingress_count(&self) -> usize {
+        self.ingresses.len()
+    }
+
+    /// Maps a cluster to an egress port on one specific ingress (a cluster
+    /// may be reachable from every gNB, through different ports).
+    pub fn map_cluster_port(&mut self, ingress: IngressId, cluster_name: &str, port: u32) {
+        self.ingresses[ingress.0 as usize]
+            .cluster_ports
+            .insert(cluster_name.to_owned(), port);
+    }
+
+    /// Overrides the latency toward `cluster` as seen from `ingress`. The
+    /// scheduler's "nearest edge" is relative to where the packet entered;
+    /// without an override, the cluster's advertised latency is used.
+    pub fn set_ingress_distance(&mut self, ingress: IngressId, cluster: usize, d: Duration) {
+        self.ingress_distances.insert((ingress, cluster), d);
+    }
+
+    /// Resolved per-cluster distances from `ingress`; `None` when no
+    /// override exists for this ingress (advertised latencies apply).
+    fn distances_from(&self, ingress: IngressId) -> Option<Vec<Duration>> {
+        if !self
+            .ingress_distances
+            .keys()
+            .any(|(i, _)| *i == ingress)
+        {
+            return None;
+        }
+        Some(
+            (0..self.clusters.len())
+                .map(|c| {
+                    self.ingress_distances
+                        .get(&(ingress, c))
+                        .copied()
+                        .unwrap_or_else(|| self.clusters[c].latency())
+                })
+                .collect(),
+        )
     }
 
     /// Registers an edge service.
@@ -304,9 +410,21 @@ impl Controller {
         ]
     }
 
-    /// Handles one encoded message from the switch.
+    /// Handles one encoded message from the default ingress switch.
     pub fn handle_switch_message(
         &mut self,
+        now: SimTime,
+        bytes: &[u8],
+        rng: &mut SimRng,
+    ) -> Result<Vec<OutboundMessage>, OfError> {
+        self.handle_switch_message_from(IngressId::DEFAULT, now, bytes, rng)
+    }
+
+    /// Handles one encoded message from a specific ingress switch. The
+    /// returned messages go back to that same switch.
+    pub fn handle_switch_message_from(
+        &mut self,
+        ingress: IngressId,
         now: SimTime,
         bytes: &[u8],
         rng: &mut SimRng,
@@ -325,7 +443,7 @@ impl Controller {
                 match_,
                 data,
                 ..
-            } => Ok(self.handle_packet_in(now, buffer_id, &match_, &data, rng)),
+            } => Ok(self.handle_packet_in(ingress, now, buffer_id, &match_, &data, rng)),
             Message::FlowRemoved { .. } => {
                 self.flows_removed += 1;
                 self.telemetry.metrics.inc("flows_removed");
@@ -366,6 +484,7 @@ impl Controller {
 
     fn handle_packet_in(
         &mut self,
+        ingress: IngressId,
         now: SimTime,
         buffer_id: u32,
         match_: &Match,
@@ -376,9 +495,13 @@ impl Controller {
         let Ok(frame) = TcpFrame::decode(data) else {
             return vec![];
         };
-        // Location tracking: a client arriving on a new ingress port moved;
-        // its memorized redirects were chosen for the old location.
-        if self.clients.observe(frame.src_ip, in_port, now).is_some() {
+        // Location tracking: a client arriving at a new location moved. An
+        // *announced* move goes through [`Controller::handle_attachment_change`]
+        // (which updates the tracker itself, so the next packet-in here sees
+        // no move); an unannounced one falls back to the pre-handover
+        // behavior — flush the client's memorized redirects and re-schedule,
+        // since they were chosen for the old location.
+        if self.clients.observe(frame.src_ip, ingress, in_port, now).is_some() {
             self.memory.forget_client(frame.src_ip);
         }
         let svc_addr = frame.dst_service();
@@ -407,12 +530,16 @@ impl Controller {
                 background_ready: None,
             });
             self.record_request_metrics(self.records.len() - 1);
-            return self.install_cloud_path(t, buffer_id, in_port, &frame);
+            return self.install_cloud_path(ingress, t, buffer_id, in_port, &frame);
         };
 
-        let outcome: DispatchOutcome = self.dispatcher.dispatch(
+        let distances = self.distances_from(ingress);
+        let outcome: DispatchOutcome = self.dispatcher.dispatch_at(
             &svc,
             frame.src_ip,
+            ingress,
+            distances.as_deref(),
+            RequestClass::NewFlow,
             t,
             &mut self.clusters,
             &mut self.memory,
@@ -425,7 +552,7 @@ impl Controller {
         let background_ready = outcome.background.map(|b| b.ready_at);
         let (kind, answered_at, cluster, msgs) = match outcome.decision {
             DispatchDecision::Redirect { instance, cluster } => {
-                let msgs = self.install_redirect(t, buffer_id, in_port, &frame, &svc, instance, cluster);
+                let msgs = self.install_redirect(ingress, t, buffer_id, in_port, &frame, &svc, instance, cluster);
                 let kind = if outcome.from_memory {
                     RequestKind::MemoryHit
                 } else {
@@ -444,18 +571,18 @@ impl Controller {
                 // before this hold releases.
                 let hold = self.held.entry((svc_addr, cluster)).or_insert(at);
                 *hold = (*hold).max(at);
-                let msgs = self.install_redirect(at, buffer_id, in_port, &frame, &svc, instance, cluster);
+                let msgs = self.install_redirect(ingress, at, buffer_id, in_port, &frame, &svc, instance, cluster);
                 (RequestKind::Waited, at, Some(cluster), msgs)
             }
             DispatchDecision::ForwardToCloud => {
-                let msgs = self.install_cloud_path(t, buffer_id, in_port, &frame);
+                let msgs = self.install_cloud_path(ingress, t, buffer_id, in_port, &frame);
                 (RequestKind::Cloud, t, None, msgs)
             }
             DispatchDecision::FallbackCloud { released_at } => {
                 // The deployment exhausted its retries while the request was
                 // held: release it toward the cloud instead.
                 let at = released_at.max(t);
-                let msgs = self.install_cloud_path(at, buffer_id, in_port, &frame);
+                let msgs = self.install_cloud_path(ingress, at, buffer_id, in_port, &frame);
                 (RequestKind::FallbackCloud, at, None, msgs)
             }
         };
@@ -524,11 +651,26 @@ impl Controller {
         }
     }
 
+    /// The egress port toward `cluster` on `ingress`.
+    fn cluster_port(&self, ingress: IngressId, cluster: usize) -> u32 {
+        *self.ingresses[ingress.0 as usize]
+            .cluster_ports
+            .get(self.clusters[cluster].name())
+            .unwrap_or_else(|| {
+                panic!(
+                    "no port on ingress {} for cluster {}",
+                    ingress.0,
+                    self.clusters[cluster].name()
+                )
+            })
+    }
+
     /// Builds the forward + reverse redirect flows (and a packet-out when the
     /// switch could not buffer).
     #[allow(clippy::too_many_arguments)]
     fn install_redirect(
         &mut self,
+        ingress: IngressId,
         at: SimTime,
         buffer_id: u32,
         in_port: u32,
@@ -537,11 +679,7 @@ impl Controller {
         instance: InstanceAddr,
         cluster: usize,
     ) -> Vec<OutboundMessage> {
-        let out_port = *self
-            .ports
-            .cluster_ports
-            .get(self.clusters[cluster].name())
-            .unwrap_or_else(|| panic!("no switch port for cluster {}", self.clusters[cluster].name()));
+        let out_port = self.cluster_port(ingress, cluster);
 
         let fwd_actions = vec![
             Action::SetField(OxmField::EthDst(instance.mac.octets())),
@@ -557,36 +695,37 @@ impl Controller {
             Action::SetField(OxmField::TcpSrc(svc.addr.port)),
             Action::output(in_port),
         ];
-        self.install_pair(
-            at,
-            buffer_id,
-            frame,
-            Match::connection(
-                frame.src_ip.octets(),
-                frame.src_port,
-                svc.addr.ip.octets(),
-                svc.addr.port,
-            ),
-            fwd_actions,
-            Match::connection(
-                instance.ip.octets(),
-                instance.port,
-                frame.src_ip.octets(),
-                frame.src_port,
-            ),
-            rev_actions,
-        )
+        let fwd_match = Match::connection(
+            frame.src_ip.octets(),
+            frame.src_port,
+            svc.addr.ip.octets(),
+            svc.addr.port,
+        );
+        let rev_match = Match::connection(
+            instance.ip.octets(),
+            instance.port,
+            frame.src_ip.octets(),
+            frame.src_port,
+        );
+        // Bookkeep the exact matches: switch-side deletion is exact-match,
+        // so handover teardown needs these verbatim.
+        self.installed
+            .entry((frame.src_ip, ingress))
+            .or_default()
+            .push((fwd_match.clone(), rev_match.clone()));
+        self.install_pair(at, buffer_id, frame, fwd_match, fwd_actions, rev_match, rev_actions)
     }
 
     /// Builds plain bidirectional cloud-forwarding flows.
     fn install_cloud_path(
         &mut self,
+        ingress: IngressId,
         at: SimTime,
         buffer_id: u32,
         in_port: u32,
         frame: &TcpFrame,
     ) -> Vec<OutboundMessage> {
-        let fwd = vec![Action::output(self.ports.cloud_port)];
+        let fwd = vec![Action::output(self.ingresses[ingress.0 as usize].cloud_port)];
         let rev = vec![Action::output(in_port)];
         self.install_pair(
             at,
@@ -672,6 +811,325 @@ impl Controller {
                 .encode(x),
             });
         }
+        msgs
+    }
+
+    /// Hands a client's live sessions over from ingress `from` to ingress
+    /// `to` — the 5G attachment change: the UE left one gNB's cell for
+    /// another's, and its traffic will now enter the network at the new
+    /// switch.
+    ///
+    /// The procedure is make-before-break. For every session the FlowMemory
+    /// holds for the client at the old ingress, redirect flows are first
+    /// installed at the **new** switch (wildcarded per client↔service, so
+    /// every live connection of the pair is covered without knowing its
+    /// ephemeral port), and only after the last install instant are the old
+    /// switch's exact flows deleted — the session never has zero paths.
+    /// Under [`HandoverPolicy::Anchored`] a session keeps its current
+    /// instance while it is still up; under [`HandoverPolicy::Redispatch`]
+    /// (and for anchored sessions whose instance vanished) the Global
+    /// Scheduler is consulted with a [`RequestClass::Handover`] context and
+    /// distances measured from the new ingress, re-using the on-demand
+    /// deployment pipeline — retries, fallback and all — when the new zone
+    /// has no instance yet.
+    ///
+    /// `client_mac`/`gw_mac` parameterize the wildcard reverse rewrite (no
+    /// triggering frame exists to read them from); `new_in_port` is the
+    /// client's uplink port at the new switch. The caller delivers
+    /// `messages` to the switches they are tagged with.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_attachment_change(
+        &mut self,
+        now: SimTime,
+        client: Ipv4Addr,
+        client_mac: MacAddr,
+        gw_mac: MacAddr,
+        from: IngressId,
+        to: IngressId,
+        new_in_port: u32,
+        policy: HandoverPolicy,
+        rng: &mut SimRng,
+    ) -> HandoverOutcome {
+        self.next_request += 1;
+        let request = self.next_request;
+        let root = self.telemetry.span(request, SpanId::NONE, "handover", now);
+        self.telemetry.event(root, "attachment-change", now, || {
+            format!(
+                "client={client} gnb {} -> {} ({})",
+                from.0,
+                to.0,
+                policy.label()
+            )
+        });
+        let t = now + self.config.processing.sample_duration(rng);
+        // The tracker learns the new location *now*, so the client's first
+        // packet-in at the new switch is not mistaken for an unannounced
+        // move (which would flush the very memory we are migrating).
+        self.clients.observe(client, to, new_in_port, t);
+        // Snapshot the old switch's exact matches before any new installs:
+        // with `from == to` (a re-attach to the same cell) the new wildcard
+        // pairs must not end up in their own teardown list.
+        let old_pairs = self.installed.remove(&(client, from)).unwrap_or_default();
+
+        let mut messages: Vec<(IngressId, OutboundMessage)> = Vec::new();
+        let mut completed_at = t;
+        let mut flows_migrated = 0usize;
+        let mut redispatched = 0usize;
+        let distances = self.distances_from(to);
+        for (key, flow) in self.memory.flows_of_client_at(client, from) {
+            let Some(svc) = self.services.get(key.service).cloned() else {
+                self.memory.forget(&key);
+                continue;
+            };
+            // Anchoring keeps the session on its current instance — valid
+            // only while that instance still serves.
+            let anchored_instance = match policy {
+                HandoverPolicy::Anchored if flow.cluster < self.clusters.len() => {
+                    match self.clusters[flow.cluster].state(&svc, t) {
+                        crate::cluster::InstanceState::Ready(inst) => Some(inst),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            let installed_at = if let Some(instance) = anchored_instance {
+                self.memory.rekey(&key, to, t);
+                let msgs = self.install_handover_redirect(
+                    to, t, client, client_mac, gw_mac, new_in_port, &svc, instance, flow.cluster,
+                );
+                messages.extend(msgs.into_iter().map(|m| (to, m)));
+                self.telemetry.event(root, "anchored", t, || {
+                    format!("{}: kept on cluster {}", svc.name, flow.cluster)
+                });
+                t
+            } else {
+                // Re-place the session through the scheduler, as a Handover.
+                self.memory.forget(&key);
+                let outcome = self.dispatcher.dispatch_at(
+                    &svc,
+                    client,
+                    to,
+                    distances.as_deref(),
+                    RequestClass::Handover,
+                    t,
+                    &mut self.clusters,
+                    &mut self.memory,
+                    rng,
+                    &mut self.telemetry,
+                    request,
+                    root,
+                );
+                redispatched += 1;
+                match outcome.decision {
+                    DispatchDecision::Redirect { instance, cluster } => {
+                        let msgs = self.install_handover_redirect(
+                            to, t, client, client_mac, gw_mac, new_in_port, &svc, instance, cluster,
+                        );
+                        messages.extend(msgs.into_iter().map(|m| (to, m)));
+                        t
+                    }
+                    DispatchDecision::WaitThenRedirect { instance, cluster, ready_at } => {
+                        let at = ready_at.max(t);
+                        // Pin the service against the idle sweep until the
+                        // deferred install goes out, as packet-ins do.
+                        let hold = self.held.entry((key.service, cluster)).or_insert(at);
+                        *hold = (*hold).max(at);
+                        let msgs = self.install_handover_redirect(
+                            to, at, client, client_mac, gw_mac, new_in_port, &svc, instance, cluster,
+                        );
+                        messages.extend(msgs.into_iter().map(|m| (to, m)));
+                        at
+                    }
+                    DispatchDecision::ForwardToCloud => {
+                        let msgs = self.install_handover_cloud(to, t, client, new_in_port, &svc);
+                        messages.extend(msgs.into_iter().map(|m| (to, m)));
+                        t
+                    }
+                    DispatchDecision::FallbackCloud { released_at } => {
+                        let at = released_at.max(t);
+                        let msgs = self.install_handover_cloud(to, at, client, new_in_port, &svc);
+                        messages.extend(msgs.into_iter().map(|m| (to, m)));
+                        at
+                    }
+                }
+            };
+            flows_migrated += 1;
+            completed_at = completed_at.max(installed_at);
+        }
+
+        // Break strictly after the make: the old paths outlive the last
+        // new-switch install by a guard interval sized to cover a full WAN
+        // round-trip, so replies to requests still in flight via the old
+        // cell (worst case: a cloud-served session) find their reverse
+        // flows intact. Deleting long-gone flows is a no-op, so generosity
+        // here costs nothing.
+        let break_at = completed_at + Duration::from_millis(50);
+        let n_old = old_pairs.len();
+        for (fwd, rev) in old_pairs {
+            for m in [fwd, rev] {
+                let x = self.xid();
+                messages.push((
+                    from,
+                    OutboundMessage {
+                        at: break_at,
+                        data: Message::FlowMod {
+                            cookie: 0,
+                            table_id: 0,
+                            command: openflow::messages::FlowModCommand::Delete,
+                            idle_timeout: 0,
+                            hard_timeout: 0,
+                            priority: 0,
+                            buffer_id: OFP_NO_BUFFER,
+                            flags: 0,
+                            match_: m,
+                            instructions: vec![],
+                        }
+                        .encode(x),
+                    },
+                ));
+            }
+        }
+
+        let m = &mut self.telemetry.metrics;
+        m.inc("handovers_total");
+        m.add("flows_migrated", flows_migrated as u64);
+        if redispatched > 0 {
+            m.add("handover_redispatched_total", redispatched as u64);
+        }
+        m.observe("handover_interruption_ns", completed_at.saturating_since(now));
+        self.telemetry.event(root, "break", break_at, || {
+            format!("{n_old} exact pair(s) deleted at old gnb {}", from.0)
+        });
+        self.telemetry.end_span(root, completed_at);
+        HandoverOutcome {
+            at: now,
+            completed_at,
+            flows_migrated,
+            redispatched,
+            messages,
+        }
+    }
+
+    /// Installs the wildcard (per client↔service) redirect pair at `ingress`
+    /// for a handed-over session, bookkeeping the matches for the next
+    /// teardown. One priority step below the exact per-connection flows, so
+    /// any surviving exact flow still shadows it.
+    #[allow(clippy::too_many_arguments)]
+    fn install_handover_redirect(
+        &mut self,
+        ingress: IngressId,
+        at: SimTime,
+        client: Ipv4Addr,
+        client_mac: MacAddr,
+        gw_mac: MacAddr,
+        in_port: u32,
+        svc: &EdgeService,
+        instance: InstanceAddr,
+        cluster: usize,
+    ) -> Vec<OutboundMessage> {
+        let out_port = self.cluster_port(ingress, cluster);
+        let fwd_match = Match::service(svc.addr.ip.octets(), svc.addr.port)
+            .with(OxmField::Ipv4Src(client.octets()));
+        let rev_match = Match::any()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::IpProto(6))
+            .with(OxmField::Ipv4Src(instance.ip.octets()))
+            .with(OxmField::TcpSrc(instance.port))
+            .with(OxmField::Ipv4Dst(client.octets()));
+        let fwd_actions = vec![
+            Action::SetField(OxmField::EthDst(instance.mac.octets())),
+            Action::SetField(OxmField::Ipv4Dst(instance.ip.octets())),
+            Action::SetField(OxmField::TcpDst(instance.port)),
+            Action::output(out_port),
+        ];
+        let rev_actions = vec![
+            Action::SetField(OxmField::EthSrc(gw_mac.octets())),
+            Action::SetField(OxmField::EthDst(client_mac.octets())),
+            Action::SetField(OxmField::Ipv4Src(svc.addr.ip.octets())),
+            Action::SetField(OxmField::TcpSrc(svc.addr.port)),
+            Action::output(in_port),
+        ];
+        self.installed
+            .entry((client, ingress))
+            .or_default()
+            .push((fwd_match.clone(), rev_match.clone()));
+        self.install_wildcard_pair(at, fwd_match, fwd_actions, rev_match, rev_actions)
+    }
+
+    /// Installs a wildcard cloud-forwarding pair at `ingress` for a
+    /// handed-over session whose edge placement fell through.
+    fn install_handover_cloud(
+        &mut self,
+        ingress: IngressId,
+        at: SimTime,
+        client: Ipv4Addr,
+        in_port: u32,
+        svc: &EdgeService,
+    ) -> Vec<OutboundMessage> {
+        let fwd_match = Match::service(svc.addr.ip.octets(), svc.addr.port)
+            .with(OxmField::Ipv4Src(client.octets()));
+        let rev_match = Match::any()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::IpProto(6))
+            .with(OxmField::Ipv4Src(svc.addr.ip.octets()))
+            .with(OxmField::TcpSrc(svc.addr.port))
+            .with(OxmField::Ipv4Dst(client.octets()));
+        let fwd_actions = vec![Action::output(self.ingresses[ingress.0 as usize].cloud_port)];
+        let rev_actions = vec![Action::output(in_port)];
+        self.installed
+            .entry((client, ingress))
+            .or_default()
+            .push((fwd_match.clone(), rev_match.clone()));
+        self.install_wildcard_pair(at, fwd_match, fwd_actions, rev_match, rev_actions)
+    }
+
+    /// Encodes an add-pair (reverse first) without a buffered packet, at one
+    /// priority step below the exact-flow priority.
+    fn install_wildcard_pair(
+        &mut self,
+        at: SimTime,
+        fwd_match: Match,
+        fwd_actions: Vec<Action>,
+        rev_match: Match,
+        rev_actions: Vec<Action>,
+    ) -> Vec<OutboundMessage> {
+        let idle = (self.config.switch_flow_idle.as_nanos() / 1_000_000_000) as u16;
+        let priority = self.config.flow_priority.saturating_sub(1);
+        let mut msgs = Vec::with_capacity(2);
+        let x = self.xid();
+        msgs.push(OutboundMessage {
+            at,
+            data: Message::FlowMod {
+                cookie: 2,
+                table_id: 0,
+                command: openflow::messages::FlowModCommand::Add,
+                idle_timeout: idle,
+                hard_timeout: 0,
+                priority,
+                buffer_id: OFP_NO_BUFFER,
+                flags: 0,
+                match_: rev_match,
+                instructions: vec![Instruction::ApplyActions(rev_actions)],
+            }
+            .encode(x),
+        });
+        let x = self.xid();
+        msgs.push(OutboundMessage {
+            at,
+            data: Message::FlowMod {
+                cookie: 1,
+                table_id: 0,
+                command: openflow::messages::FlowModCommand::Add,
+                idle_timeout: idle,
+                hard_timeout: 0,
+                priority,
+                buffer_id: OFP_NO_BUFFER,
+                flags: OFPFF_SEND_FLOW_REM,
+                match_: fwd_match,
+                instructions: vec![Instruction::ApplyActions(fwd_actions)],
+            }
+            .encode(x),
+        });
         msgs
     }
 
@@ -1096,7 +1554,10 @@ mod tests {
         let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
         let answered = out[0].at;
         assert_eq!(ctl.memory().len(), 1);
-        assert_eq!(ctl.clients.location(Ipv4Addr::new(192, 168, 1, 20)), Some(CLIENT_PORT));
+        assert_eq!(
+            ctl.clients.location(Ipv4Addr::new(192, 168, 1, 20)),
+            Some((IngressId::DEFAULT, CLIENT_PORT))
+        );
 
         // Same client shows up on a *different* ingress port (mobility):
         // its memorized flows must be flushed and the request rescheduled.
@@ -1105,9 +1566,167 @@ mod tests {
         let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
         ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap();
         assert_eq!(ctl.clients.moves().len(), 1);
-        assert_eq!(ctl.clients.location(Ipv4Addr::new(192, 168, 1, 20)), Some(CLOUD_PORT));
+        assert_eq!(
+            ctl.clients.location(Ipv4Addr::new(192, 168, 1, 20)),
+            Some((IngressId::DEFAULT, CLOUD_PORT))
+        );
         // Rescheduled (Redirect via scheduler), not a memory hit.
         assert_eq!(ctl.records[1].kind, RequestKind::Redirect);
+    }
+
+    /// Anchored handover across two ingress switches: make-before-break, the
+    /// memory entry re-keyed, the session carried by wildcard flows at the
+    /// new switch, and the old switch's exact flows torn down afterwards.
+    #[test]
+    fn handover_is_make_before_break_and_rekeys_memory() {
+        let mut rng = SimRng::new(11);
+        let (mut ctl, mut sw0) = setup(&mut rng);
+        // Second gNB, fronting the same cluster on the same port numbers.
+        let g1 = ctl.add_ingress(PortMap {
+            cluster_ports: HashMap::from([("edge-docker".into(), EDGE_PORT)]),
+            cloud_port: CLOUD_PORT,
+        });
+        let mut sw1 = Switch::new(SwitchConfig {
+            datapath_id: 2,
+            n_buffers: 64,
+            miss_send_len: 0xffff,
+            ports: vec![CLIENT_PORT, EDGE_PORT, CLOUD_PORT],
+        });
+        ctl.telemetry = Telemetry::recording();
+
+        // Session established at gNB 0.
+        let t0 = SimTime::from_secs(1);
+        let effects = sw0.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        for m in &out {
+            sw0.handle_controller(m.at, &m.data).unwrap();
+        }
+        let answered = out.iter().map(|m| m.at).max().unwrap();
+        assert_eq!(ctl.memory().len(), 1);
+
+        // The client attaches to gNB 1.
+        let t1 = answered + Duration::from_secs(2);
+        let client = Ipv4Addr::new(192, 168, 1, 20);
+        let ho = ctl.handle_attachment_change(
+            t1,
+            client,
+            MacAddr::from_id(1),
+            MacAddr::from_id(99),
+            IngressId::DEFAULT,
+            g1,
+            CLIENT_PORT,
+            HandoverPolicy::Anchored,
+            &mut rng,
+        );
+        assert_eq!(ho.flows_migrated, 1);
+        assert_eq!(ho.redispatched, 0, "anchored: instance kept");
+        assert!(ho.completed_at >= t1);
+
+        // Make-before-break: every install at the new switch precedes every
+        // delete at the old one.
+        let adds: Vec<_> = ho.messages.iter().filter(|(g, _)| *g == g1).collect();
+        let dels: Vec<_> =
+            ho.messages.iter().filter(|(g, _)| *g == IngressId::DEFAULT).collect();
+        assert_eq!(adds.len(), 2, "wildcard pair at the new gNB");
+        assert_eq!(dels.len(), 2, "exact pair deleted at the old gNB");
+        let last_add = adds.iter().map(|(_, m)| m.at).max().unwrap();
+        let first_del = dels.iter().map(|(_, m)| m.at).min().unwrap();
+        assert!(last_add < first_del, "break strictly after make");
+        assert_eq!(last_add, ho.completed_at);
+
+        // Memory re-keyed to the new ingress — nothing left on the old one.
+        assert_eq!(ctl.memory().len(), 1);
+        assert!(ctl.memory.flows_of_client_at(client, IngressId::DEFAULT).is_empty());
+        assert_eq!(ctl.memory.flows_of_client_at(client, g1).len(), 1);
+
+        // Deliver the messages. The in-flight session (same src port, a later
+        // packet) flows through the new switch without a packet-in.
+        for (g, m) in &ho.messages {
+            let sw = if *g == g1 { &mut sw1 } else { &mut sw0 };
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        let t2 = first_del + Duration::from_millis(1);
+        let mut pkt = client_syn(50000);
+        pkt.flags = TcpFlags::ACK;
+        let effects = sw1.handle_frame(t2, CLIENT_PORT, &pkt.encode());
+        let Effect::Forward { port, data } = &effects[0] else {
+            panic!("handed-over packet should flow: {effects:?}");
+        };
+        assert_eq!(*port, EDGE_PORT);
+        let f = TcpFrame::decode(data).unwrap();
+        assert_eq!(f.dst_ip, Ipv4Addr::new(10, 0, 0, 10), "rewritten to instance");
+        // And a *new* connection of the same pair is also covered (wildcard).
+        let effects = sw1.handle_frame(t2, CLIENT_PORT, &client_syn(51000).encode());
+        assert!(
+            matches!(&effects[0], Effect::Forward { port, .. } if *port == EDGE_PORT),
+            "wildcard covers new src ports: {effects:?}"
+        );
+        // The old switch no longer carries the session.
+        let effects = sw0.handle_frame(t2, CLIENT_PORT, &pkt.encode());
+        assert!(
+            matches!(&effects[0], Effect::ToController(_)),
+            "old exact flows deleted: {effects:?}"
+        );
+
+        // Reverse direction at the new switch masquerades back to the cloud
+        // address (transparency preserved across the handover).
+        let reply = f.reply(TcpFlags::ACK, vec![1, 2, 3]);
+        let effects = sw1.handle_frame(t2, EDGE_PORT, &reply.encode());
+        let Effect::Forward { port, data } = &effects[0] else {
+            panic!("reply should flow back: {effects:?}");
+        };
+        assert_eq!(*port, CLIENT_PORT);
+        let r = TcpFrame::decode(data).unwrap();
+        assert_eq!(r.src_ip, Ipv4Addr::new(203, 0, 113, 10), "masqueraded");
+        assert_eq!(r.dst_mac, MacAddr::from_id(1));
+
+        assert_eq!(ctl.telemetry.metrics.counter("handovers_total"), 1);
+        assert_eq!(ctl.telemetry.metrics.counter("flows_migrated"), 1);
+        let log = ctl.telemetry.span_log().unwrap();
+        assert!(log.check().ok(), "handover spans well-formed");
+    }
+
+    /// Redispatch handover consults the scheduler with the Handover class
+    /// and re-places the session through the normal dispatch pipeline.
+    #[test]
+    fn handover_redispatch_replaces_the_session() {
+        let mut rng = SimRng::new(12);
+        let (mut ctl, mut sw0) = setup(&mut rng);
+        let g1 = ctl.add_ingress(PortMap {
+            cluster_ports: HashMap::from([("edge-docker".into(), EDGE_PORT)]),
+            cloud_port: CLOUD_PORT,
+        });
+
+        let t0 = SimTime::from_secs(1);
+        let effects = sw0.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        let answered = out.iter().map(|m| m.at).max().unwrap();
+        assert_eq!(ctl.memory().len(), 1);
+
+        let t1 = answered + Duration::from_secs(2);
+        let ho = ctl.handle_attachment_change(
+            t1,
+            Ipv4Addr::new(192, 168, 1, 20),
+            MacAddr::from_id(1),
+            MacAddr::from_id(99),
+            IngressId::DEFAULT,
+            g1,
+            CLIENT_PORT,
+            HandoverPolicy::Redispatch,
+            &mut rng,
+        );
+        assert_eq!(ho.flows_migrated, 1);
+        assert_eq!(ho.redispatched, 1, "scheduler consulted");
+        // The re-dispatched session was memorized under the new ingress.
+        assert_eq!(
+            ctl.memory
+                .flows_of_client_at(Ipv4Addr::new(192, 168, 1, 20), g1)
+                .len(),
+            1
+        );
+        assert!(!ho.messages.is_empty());
     }
 
     #[test]
@@ -1327,6 +1946,7 @@ mod tests {
         let inst = ctl.cluster(0).instance_addr(&svc).unwrap();
         ctl.memory.memorize(
             crate::flowmemory::FlowKey {
+                ingress: IngressId::DEFAULT,
                 client_ip: Ipv4Addr::new(192, 168, 1, 99),
                 service: svc.addr,
             },
@@ -1413,6 +2033,7 @@ mod tests {
         let inst = ctl.cluster(0).instance_addr(&svc).unwrap();
         ctl.memory.memorize(
             crate::flowmemory::FlowKey {
+                ingress: IngressId::DEFAULT,
                 client_ip: Ipv4Addr::new(192, 168, 1, 99),
                 service: svc.addr,
             },

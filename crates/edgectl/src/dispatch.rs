@@ -17,7 +17,7 @@
 //! redirect flows once the port answers (Section VI).
 
 use crate::cluster::{DeployError, EdgeCluster, InstanceAddr, InstanceState};
-use crate::flowmemory::{FlowKey, FlowMemory};
+use crate::flowmemory::{FlowKey, FlowMemory, IngressId};
 use crate::scheduler::{
     ClusterView, GlobalScheduler, RequestClass, SchedulingContext, ServiceRef,
 };
@@ -257,7 +257,8 @@ impl Dispatcher {
         )
     }
 
-    /// Dispatches one request from `client_ip` to `svc` (Fig. 7).
+    /// Dispatches one request from `client_ip` to `svc` (Fig. 7) arriving at
+    /// the legacy default ingress.
     ///
     /// `tele` is the controller's telemetry endpoint; `request`/`parent`
     /// identify the request's root span so the dispatch's child spans
@@ -277,13 +278,56 @@ impl Dispatcher {
         request: u64,
         parent: SpanId,
     ) -> DispatchOutcome {
+        self.dispatch_at(
+            svc,
+            client_ip,
+            IngressId::DEFAULT,
+            None,
+            RequestClass::NewFlow,
+            now,
+            clusters,
+            memory,
+            rng,
+            tele,
+            request,
+            parent,
+        )
+    }
+
+    /// Dispatches one request arriving at a specific `ingress` (gNB).
+    ///
+    /// `distances` optionally overrides each cluster's advertised latency
+    /// with the latency *as seen from this ingress* — in a multi-gNB
+    /// topology "nearest edge" depends on which cell the packet entered at.
+    /// `base_class` is what the scheduler is told when no memorized flow
+    /// intervenes: [`RequestClass::NewFlow`] for ordinary table misses
+    /// (which may escalate to `Rescheduled` if a memorized instance
+    /// vanished), or [`RequestClass::Handover`] when the controller
+    /// re-places a session after an attachment change.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch_at(
+        &mut self,
+        svc: &EdgeService,
+        client_ip: Ipv4Addr,
+        ingress: IngressId,
+        distances: Option<&[Duration]>,
+        base_class: RequestClass,
+        now: SimTime,
+        clusters: &mut [Box<dyn EdgeCluster>],
+        memory: &mut FlowMemory,
+        rng: &mut SimRng,
+        tele: &mut Telemetry,
+        request: u64,
+        parent: SpanId,
+    ) -> DispatchOutcome {
         let key = FlowKey {
+            ingress,
             client_ip,
             service: svc.addr,
         };
 
         // 1. Memorized flow? Verify the instance still serves.
-        let mut class = RequestClass::NewFlow;
+        let mut class = base_class;
         if let Some(flow) = memory.lookup(key, now) {
             if flow.cluster < clusters.len()
                 && clusters[flow.cluster].state(svc, now).is_ready()
@@ -302,9 +346,13 @@ impl Dispatcher {
                     from_memory: true,
                 };
             }
-            // Instance vanished (scaled down elsewhere): forget and reschedule.
+            // Instance vanished (scaled down elsewhere): forget and
+            // reschedule. A handover stays a handover — the scheduler still
+            // needs to know the session is mid-migration.
             memory.forget_service(svc.addr);
-            class = RequestClass::Rescheduled;
+            if class == RequestClass::NewFlow {
+                class = RequestClass::Rescheduled;
+            }
             tele.event(parent, "memory-stale", now, || {
                 "memorized instance vanished; rescheduling".to_owned()
             });
@@ -313,10 +361,13 @@ impl Dispatcher {
         // 2. Gather views and consult the Global Scheduler.
         let views: Vec<ClusterView> = clusters
             .iter()
-            .map(|c| ClusterView {
+            .enumerate()
+            .map(|(i, c)| ClusterView {
                 name: c.name().to_owned(),
                 kind: c.kind(),
-                distance: c.latency(),
+                distance: distances
+                    .and_then(|d| d.get(i).copied())
+                    .unwrap_or_else(|| c.latency()),
                 image_cached: c.has_image_cached(svc),
                 state: c.state(svc, now),
                 load: c.load(),

@@ -22,9 +22,27 @@ use netsim::addr::Ipv4Addr;
 use netsim::ServiceAddr;
 use std::collections::{BTreeSet, HashMap};
 
-/// Key: one client talking to one registered service.
+/// Identifies one ingress switch (gNB) managed by the controller.
+///
+/// The seed deployment had a single ingress, so flows were keyed by
+/// `(client, service)` alone. With multiple gNBs a client's redirect is
+/// location-dependent — the same client↔service pair may need different
+/// rewrite flows (and even a different instance) depending on which cell it
+/// is attached to — so the ingress becomes part of the key. Ingress `0` is
+/// the legacy single-switch identity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct IngressId(pub u32);
+
+impl IngressId {
+    /// The legacy single-ingress identity.
+    pub const DEFAULT: IngressId = IngressId(0);
+}
+
+/// Key: one client talking to one registered service through one ingress.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FlowKey {
+    /// Ingress switch (gNB) the client is attached to.
+    pub ingress: IngressId,
     /// Client IP.
     pub client_ip: Ipv4Addr,
     /// Registered service address.
@@ -139,8 +157,67 @@ impl FlowMemory {
         true
     }
 
-    /// Forgets all flows of `client` (e.g. after the client moved to a
-    /// different ingress — its redirect decisions are location-dependent).
+    /// Unfiles one exact key; `true` if it was present. The public face of
+    /// [`remove`](Self::remove) for handover code that retires a single
+    /// migrated entry.
+    pub fn forget(&mut self, key: &FlowKey) -> bool {
+        self.remove(key)
+    }
+
+    /// All live flows of `client` at `ingress`, sorted by service address so
+    /// callers iterate deterministically regardless of hash-map order.
+    pub fn flows_of_client_at(
+        &self,
+        client: Ipv4Addr,
+        ingress: IngressId,
+    ) -> Vec<(FlowKey, MemorizedFlow)> {
+        let mut out: Vec<(FlowKey, MemorizedFlow)> = self
+            .flows
+            .iter()
+            .filter(|(k, _)| k.client_ip == client && k.ingress == ingress)
+            .map(|(k, f)| (*k, *f))
+            .collect();
+        out.sort_by_key(|(k, _)| k.service);
+        out
+    }
+
+    /// Migrates one entry to a new ingress, preserving its instance and
+    /// refreshing its idle timer (the handover itself is traffic). Returns
+    /// `false` if the entry does not exist (already expired mid-handover).
+    pub fn rekey(&mut self, key: &FlowKey, to: IngressId, now: SimTime) -> bool {
+        if key.ingress == to {
+            self.touch(*key, now);
+            return self.flows.contains_key(key);
+        }
+        let Some(flow) = self.flows.get(key).copied() else {
+            return false;
+        };
+        self.remove(key);
+        let new_key = FlowKey { ingress: to, ..*key };
+        self.memorize(new_key, flow.instance, flow.cluster, now);
+        true
+    }
+
+    /// Migrates every flow of `client` from ingress `from` to `to`; returns
+    /// how many entries moved.
+    pub fn rekey_client(
+        &mut self,
+        client: Ipv4Addr,
+        from: IngressId,
+        to: IngressId,
+        now: SimTime,
+    ) -> usize {
+        self.flows_of_client_at(client, from)
+            .iter()
+            .filter(|(k, _)| self.rekey(k, to, now))
+            .count()
+    }
+
+    /// Forgets all flows of `client` on **every** ingress (e.g. when the
+    /// client disappears entirely; a moving client is [`rekey_client`]ed
+    /// instead so its sessions survive).
+    ///
+    /// [`rekey_client`]: Self::rekey_client
     pub fn forget_client(&mut self, client: Ipv4Addr) -> usize {
         let victims: Vec<FlowKey> = self
             .flows
@@ -218,7 +295,12 @@ mod tests {
     use netsim::addr::MacAddr;
 
     fn key(client: u8, port: u16) -> FlowKey {
+        key_at(0, client, port)
+    }
+
+    fn key_at(ingress: u32, client: u8, port: u16) -> FlowKey {
         FlowKey {
+            ingress: IngressId(ingress),
             client_ip: Ipv4Addr::new(192, 168, 1, client),
             service: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), port),
         }
@@ -349,6 +431,63 @@ mod tests {
                 expired: 1
             }
         );
+    }
+
+    #[test]
+    fn same_pair_on_two_ingresses_are_distinct_flows() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        m.memorize(key_at(0, 20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key_at(1, 20, 80), inst(2), 1, SimTime::ZERO);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.lookup(key_at(0, 20, 80), SimTime::from_secs(1)).unwrap().cluster, 0);
+        assert_eq!(m.lookup(key_at(1, 20, 80), SimTime::from_secs(1)).unwrap().cluster, 1);
+        // Service count aggregates across ingresses (the instance serves both).
+        assert_eq!(m.flows_for(key(20, 80).service), 2);
+    }
+
+    #[test]
+    fn rekey_moves_entry_and_refreshes_timer() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        let old = key_at(0, 20, 80);
+        m.memorize(old, inst(31000), 2, SimTime::ZERO);
+        assert!(m.rekey(&old, IngressId(3), SimTime::from_secs(6)));
+        assert!(m.lookup(old, SimTime::from_secs(7)).is_none(), "old key gone");
+        let moved = m.lookup(key_at(3, 20, 80), SimTime::from_secs(7)).unwrap();
+        assert_eq!((moved.instance.port, moved.cluster), (31000, 2));
+        // Timer restarted at the rekey instant: alive past the original
+        // deadline, and exactly one service remains filed.
+        assert!(m.expire(SimTime::from_secs(10)).is_empty());
+        assert_eq!(m.len(), 1);
+        assert!(!m.rekey(&old, IngressId(4), SimTime::from_secs(8)), "already moved");
+    }
+
+    #[test]
+    fn rekey_client_moves_only_that_ingress() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        m.memorize(key_at(0, 20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key_at(0, 20, 81), inst(2), 0, SimTime::ZERO);
+        m.memorize(key_at(2, 20, 82), inst(3), 1, SimTime::ZERO);
+        m.memorize(key_at(0, 21, 80), inst(1), 0, SimTime::ZERO);
+        assert_eq!(m.rekey_client(Ipv4Addr::new(192, 168, 1, 20), IngressId(0), IngressId(1), SimTime::from_secs(1)), 2);
+        let moved = m.flows_of_client_at(Ipv4Addr::new(192, 168, 1, 20), IngressId(1));
+        assert_eq!(moved.len(), 2);
+        assert!(moved[0].1.last_used == SimTime::from_secs(1));
+        // Sorted by service for deterministic handover iteration.
+        assert!(moved[0].0.service < moved[1].0.service);
+        // The other ingress and the other client are untouched.
+        assert_eq!(m.flows_of_client_at(Ipv4Addr::new(192, 168, 1, 20), IngressId(2)).len(), 1);
+        assert_eq!(m.flows_of_client_at(Ipv4Addr::new(192, 168, 1, 21), IngressId(0)).len(), 1);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn forget_client_spans_all_ingresses() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        m.memorize(key_at(0, 20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key_at(1, 20, 81), inst(2), 1, SimTime::ZERO);
+        m.memorize(key_at(1, 21, 80), inst(1), 0, SimTime::ZERO);
+        assert_eq!(m.forget_client(Ipv4Addr::new(192, 168, 1, 20)), 2);
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

@@ -24,8 +24,10 @@
 //! * [`scheduler`] — the *Global Scheduler* trait returning the FAST/BEST
 //!   choice pair, with loadable implementations (Section IV-B, Fig. 6);
 //! * [`clients`] — client location tracking (the Dispatcher "also tracks
-//!   the clients' current location"); a location change flushes the
-//!   client's memorized flows so it gets re-scheduled;
+//!   the clients' current location") across multiple ingress switches; an
+//!   announced attachment change triggers the make-before-break handover
+//!   in [`controller`], an unannounced one flushes the client's memorized
+//!   flows so it gets re-scheduled;
 //! * [`predict`] — proactive-deployment predictors (Sections I/VII);
 //! * [`config`] — the controller's YAML configuration file;
 //! * [`dispatch`] — the Dispatcher: the flow chart of Fig. 7, including
@@ -55,9 +57,11 @@ pub mod service;
 
 pub use annotate::{annotate_deployment, AnnotateError, AnnotatedService};
 pub use cluster::{DockerCluster, EdgeCluster, InstanceAddr, InstanceState, K8sEdgeCluster};
-pub use controller::{Controller, ControllerConfig, OutboundMessage, PortMap};
+pub use controller::{
+    Controller, ControllerConfig, HandoverOutcome, HandoverPolicy, OutboundMessage, PortMap,
+};
 pub use dispatch::{DispatchDecision, Dispatcher};
-pub use flowmemory::FlowMemory;
+pub use flowmemory::{FlowKey, FlowMemory, IngressId};
 pub use scheduler::{
     scheduler_by_name, Choice, ClusterView, CloudOnlyScheduler, DockerFirstScheduler,
     GlobalScheduler, LatencyAwareScheduler, ProximityScheduler, RequestClass,

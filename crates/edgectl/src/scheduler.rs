@@ -71,15 +71,21 @@ pub enum RequestClass {
     /// A memorized redirect went stale (the instance scaled down or
     /// vanished), so the flow is being re-placed.
     Rescheduled,
+    /// The client moved to a new ingress (gNB) and the session is being
+    /// handed over: the scheduler decides whether it stays anchored to the
+    /// old zone's instance or re-dispatches to the new zone's nearer edge.
+    /// `clusters[i].distance` is measured from the **new** ingress.
+    Handover,
 }
 
 impl RequestClass {
-    /// Short lowercase label (`"new-flow"` / `"rescheduled"`), used in
-    /// trace events.
+    /// Short lowercase label (`"new-flow"` / `"rescheduled"` /
+    /// `"handover"`), used in trace events.
     pub fn label(self) -> &'static str {
         match self {
             RequestClass::NewFlow => "new-flow",
             RequestClass::Rescheduled => "rescheduled",
+            RequestClass::Handover => "handover",
         }
     }
 }
@@ -390,5 +396,6 @@ mod tests {
         assert_eq!(c.now, SimTime::ZERO);
         assert_eq!(c.class.label(), "new-flow");
         assert_eq!(RequestClass::Rescheduled.label(), "rescheduled");
+        assert_eq!(RequestClass::Handover.label(), "handover");
     }
 }

@@ -4,7 +4,7 @@ use desim::{Duration, SimRng, SimTime};
 use edgectl::annotate_deployment;
 use edgectl::cluster::{DockerCluster, EdgeCluster};
 use edgectl::dispatch::{DispatchDecision, Dispatcher};
-use edgectl::flowmemory::{FlowKey, FlowMemory};
+use edgectl::flowmemory::{FlowKey, FlowMemory, IngressId};
 use edgectl::scheduler::scheduler_by_name;
 use edgectl::EdgeService;
 use netsim::addr::{Ipv4Addr, MacAddr};
@@ -133,6 +133,7 @@ proptest! {
         let timeout = Duration::from_secs(timeout_s);
         let mut m = FlowMemory::new(timeout);
         let key = FlowKey {
+            ingress: IngressId::DEFAULT,
             client_ip: Ipv4Addr::new(192, 168, 1, 20),
             service: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
         };
@@ -161,5 +162,117 @@ proptest! {
         let idle = m.expire(at_expiry);
         prop_assert_eq!(idle.len(), 1);
         prop_assert!(m.is_empty());
+    }
+
+    /// Ingress isolation: entries memorized under one gNB's switch are never
+    /// visible through another's key — neither via `lookup` nor via
+    /// `flows_of_client_at` — whatever the mix of ingresses, clients, and
+    /// services.
+    #[test]
+    fn flow_memory_never_leaks_across_ingresses(
+        entries in prop::collection::vec((0u32..4, 0u8..6, 0u16..3), 1..24),
+    ) {
+        let mut m = FlowMemory::new(Duration::from_secs(600));
+        let now = SimTime::from_secs(1);
+        let mut expected = std::collections::HashSet::new();
+        for (g, c, s) in entries {
+            let key = FlowKey {
+                ingress: IngressId(g),
+                client_ip: Ipv4Addr::new(192, 168, 1, 20 + c),
+                service: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80 + s),
+            };
+            let inst = edgectl::InstanceAddr {
+                mac: MacAddr::from_id(g),
+                ip: Ipv4Addr::new(10, g as u8, 0, 1),
+                port: 31000 + g as u16,
+            };
+            m.memorize(key, inst, g as usize, now);
+            expected.insert(key);
+        }
+        prop_assert_eq!(m.len(), expected.len());
+        for g in 0..4u32 {
+            for c in 0..6u8 {
+                let client = Ipv4Addr::new(192, 168, 1, 20 + c);
+                let visible = m.flows_of_client_at(client, IngressId(g));
+                // Exactly the keys memorized under (g, c) — nothing borrowed
+                // from a neighbouring switch.
+                let want: std::collections::HashSet<FlowKey> = expected
+                    .iter()
+                    .filter(|k| k.ingress == IngressId(g) && k.client_ip == client)
+                    .copied()
+                    .collect();
+                let got: std::collections::HashSet<FlowKey> =
+                    visible.iter().map(|(k, _)| *k).collect();
+                prop_assert_eq!(got, want);
+                for (k, f) in visible {
+                    prop_assert_eq!(k.ingress, IngressId(g));
+                    // The memorized instance is the one for this ingress.
+                    prop_assert_eq!(f.cluster, k.ingress.0 as usize);
+                }
+            }
+        }
+        // A key that differs only in ingress never hits.
+        for key in &expected {
+            let foreign = FlowKey { ingress: IngressId(key.ingress.0 + 100), ..*key };
+            prop_assert!(m.lookup(foreign, now).is_none(), "foreign ingress must miss");
+        }
+    }
+
+    /// Handover re-keying is lossless: moving a client's entries from one
+    /// ingress to another preserves every (service → instance) binding, and
+    /// leaves both the old ingress empty and every *other* client and
+    /// ingress untouched.
+    #[test]
+    fn rekeying_on_handover_preserves_every_flow(
+        n_services in 1u16..5,
+        from in 0u32..3,
+        to in 0u32..3,
+        bystanders in prop::collection::vec((0u32..3, 0u16..5), 0..8),
+    ) {
+        let mut m = FlowMemory::new(Duration::from_secs(600));
+        let now = SimTime::from_secs(1);
+        let mover = Ipv4Addr::new(192, 168, 1, 20);
+        let other = Ipv4Addr::new(192, 168, 1, 99);
+        let inst_of = |s: u16| edgectl::InstanceAddr {
+            mac: MacAddr::from_id(s as u32),
+            ip: Ipv4Addr::new(10, 0, 0, 1 + s as u8),
+            port: 31000 + s,
+        };
+        for s in 0..n_services {
+            let key = FlowKey {
+                ingress: IngressId(from),
+                client_ip: mover,
+                service: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80 + s),
+            };
+            m.memorize(key, inst_of(s), s as usize, now);
+        }
+        let mut bystander_keys = std::collections::HashSet::new();
+        for (g, s) in bystanders {
+            let key = FlowKey {
+                ingress: IngressId(g),
+                client_ip: other,
+                service: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80 + s),
+            };
+            m.memorize(key, inst_of(s), 0, now);
+            bystander_keys.insert(key);
+        }
+        let later = now + Duration::from_secs(5);
+        let moved = m.rekey_client(mover, IngressId(from), IngressId(to), later);
+        prop_assert_eq!(moved, n_services as usize, "every entry re-keyed");
+        if from != to {
+            prop_assert!(m.flows_of_client_at(mover, IngressId(from)).is_empty());
+        }
+        let at_new = m.flows_of_client_at(mover, IngressId(to));
+        prop_assert_eq!(at_new.len(), n_services as usize);
+        for (k, f) in at_new {
+            let s = k.service.port - 80;
+            prop_assert_eq!(f.instance, inst_of(s), "binding survives the move");
+            prop_assert_eq!(f.cluster, s as usize);
+            prop_assert_eq!(f.last_used, later, "re-key refreshes idle time");
+        }
+        // Bystanders: exactly as memorized, wherever they were keyed.
+        for key in bystander_keys {
+            prop_assert!(m.lookup(key, later).is_some(), "bystander untouched");
+        }
     }
 }

@@ -1079,6 +1079,230 @@ fn chaos_impl(
     (fig, Some((merged_log, merged_metrics)))
 }
 
+// ---------------------------------------------------------------------------
+// Mobility: multi-gNB ingress, user mobility, transparent handover
+// ---------------------------------------------------------------------------
+
+/// Aggregates of one mobility run (one policy). Also consumed by the
+/// `bench` crate to emit `BENCH_mobility.json`.
+#[derive(Clone, Debug, Default)]
+pub struct MobilityStats {
+    /// Inter-gNB handovers performed.
+    pub handovers: u64,
+    /// FlowMemory entries migrated across all handovers.
+    pub flows_migrated: u64,
+    /// Sessions re-placed through the Global Scheduler.
+    pub redispatched: u64,
+    /// Control-plane interruption per handover, seconds.
+    pub interruptions: Vec<f64>,
+    /// Pings sent across all sessions.
+    pub pings_sent: u64,
+    /// Pings answered across all sessions.
+    pub pings_done: u64,
+    /// Frames dropped by the data plane.
+    pub drops: u64,
+    /// Responses arriving with no ping outstanding.
+    pub double_answered: u64,
+    /// RST replies seen by clients.
+    pub resets: u64,
+    /// Frames reaching a client with a non-cloud source address.
+    pub transparency_violations: u64,
+}
+
+/// One mobility run's aggregates for `policy` (no telemetry recording) —
+/// the building block behind [`mobility`], exposed for the bench harness.
+pub fn mobility_stats(policy: edgectl::HandoverPolicy, seed: u64, smoke: bool) -> MobilityStats {
+    mobility_run(policy, smoke, seed, false).0
+}
+
+fn mobility_run(
+    policy: edgectl::HandoverPolicy,
+    smoke: bool,
+    seed: u64,
+    telemetry: bool,
+) -> (MobilityStats, Option<(SpanLog, MetricsRegistry)>) {
+    use crate::mobility_run::{MobilityConfig, MobilityTestbed};
+    let (n_gnbs, n_clients, secs) = if smoke { (3, 4, 20) } else { (4, 12, 60) };
+    let mut tb = MobilityTestbed::new(MobilityConfig {
+        n_gnbs,
+        n_clients,
+        policy,
+        telemetry,
+        seed,
+        ..MobilityConfig::default()
+    });
+    let profile = ServiceSet::by_key("asm").expect("asm profile");
+    tb.register_service(profile, ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80));
+    // Images cached and containers created in every zone (a redispatch pays
+    // only the on-demand scale-up); instances *run* only where clients
+    // start, so moving onto a cold zone exercises the deployment pipeline.
+    tb.warm_all_zones();
+    // Vehicular mobility across a one-dimensional strip of small cells: one
+    // grid cell per gNB, crossings every few seconds.
+    let grid = mobility::CellGrid::new(n_gnbs as u32, 1, 120.0);
+    let mut model =
+        mobility::RandomWaypoint::new(grid, n_clients, seed ^ 0x6d6f_7665).with_speed(30.0, 50.0);
+    let mut seeded: Vec<usize> = (0..n_clients)
+        .map(|c| mobility::MobilityModel::initial_cell(&model, c) % n_gnbs)
+        .collect();
+    seeded.sort_unstable();
+    seeded.dedup();
+    for z in seeded {
+        tb.pre_deploy_on(z);
+    }
+    tb.run(
+        &mut model,
+        SimTime::from_secs(1),
+        SimTime::from_secs(secs),
+    );
+    let mut run = MobilityStats {
+        handovers: tb.handovers.len() as u64,
+        pings_sent: tb.pings_sent(),
+        pings_done: tb.pings_done(),
+        drops: tb.drops,
+        double_answered: tb.double_answered,
+        resets: tb.resets,
+        transparency_violations: tb.transparency_violations,
+        ..MobilityStats::default()
+    };
+    for h in &tb.handovers {
+        run.flows_migrated += h.flows_migrated as u64;
+        run.redispatched += h.redispatched as u64;
+        run.interruptions.push(h.interruption().as_secs_f64());
+    }
+    let tele = telemetry.then(|| {
+        let metrics = tb.telemetry_snapshot();
+        let log = std::mem::take(&mut tb.controller.telemetry)
+            .into_span_log()
+            .expect("recording tracer keeps a log");
+        (log, metrics)
+    });
+    (run, tele)
+}
+
+fn fmt_pcts(interruptions: &[f64]) -> String {
+    if interruptions.is_empty() {
+        return "-".to_owned();
+    }
+    let s = Summary::new(interruptions.to_vec());
+    format!(
+        "{:.1}/{:.1}/{:.1}",
+        s.percentile(50.0).unwrap_or(0.0) * 1e3,
+        s.percentile(95.0).unwrap_or(0.0) * 1e3,
+        s.percentile(99.0).unwrap_or(0.0) * 1e3,
+    )
+}
+
+/// The mobility experiment: user mobility across a multi-gNB RAN with
+/// transparent flow handover, comparing the **anchored** policy (sessions
+/// stay on their old zone's instance, reached across the metro link) against
+/// **re-dispatch** (sessions are re-placed through the Global Scheduler onto
+/// the new nearest edge, re-using the on-demand deployment pipeline).
+/// Reports handover counts and control-plane interruption percentiles, plus
+/// the session-continuity invariants (no ping dropped or double-answered,
+/// transparency preserved). Deterministic per seed; ends with a
+/// machine-readable `mobility-summary` line for CI.
+pub fn mobility(seed: u64, smoke: bool) -> Figure {
+    mobility_impl(seed, smoke, false).0
+}
+
+/// [`mobility`] with telemetry recording on: the same deterministic figure,
+/// plus the merged span log (anchored run prefixed `anchored/`, re-dispatch
+/// `redispatch/`) and combined metrics snapshot.
+pub fn mobility_traced(seed: u64, smoke: bool) -> (Figure, SpanLog, MetricsRegistry) {
+    let (fig, tele) = mobility_impl(seed, smoke, true);
+    let (log, metrics) = tele.expect("telemetry recorded");
+    (fig, log, metrics)
+}
+
+fn mobility_impl(
+    seed: u64,
+    smoke: bool,
+    telemetry: bool,
+) -> (Figure, Option<(SpanLog, MetricsRegistry)>) {
+    let mut t = Table::new(&[
+        "Policy",
+        "Handovers",
+        "Flows migrated",
+        "Redispatched",
+        "Interruption p50/p95/p99 [ms]",
+        "Pings",
+        "Answered",
+        "Drops",
+    ]);
+    let mut merged_log = SpanLog::new();
+    let mut merged_metrics = MetricsRegistry::new();
+    let mut request_offset = 0u64;
+    let mut total_handovers = 0u64;
+    let mut total_migrated = 0u64;
+    let mut dropped_flows = 0u64;
+    let mut double_answered = 0u64;
+    let mut resets = 0u64;
+    let mut violations = 0u64;
+    let mut all_interruptions = Vec::new();
+    for policy in [
+        edgectl::HandoverPolicy::Anchored,
+        edgectl::HandoverPolicy::Redispatch,
+    ] {
+        let (run, tele) = mobility_run(policy, smoke, seed, telemetry);
+        if let Some((log, metrics)) = tele {
+            merged_log.absorb(&log, policy.label(), request_offset);
+            merged_metrics.merge(&metrics);
+            request_offset += run.pings_sent + run.handovers + 8;
+        }
+        // The continuity invariants hold per policy, not just in aggregate.
+        assert_eq!(
+            run.pings_sent, run.pings_done,
+            "{}: every ping answered across handovers",
+            policy.label()
+        );
+        assert_eq!(run.double_answered, 0, "{}: no duplicates", policy.label());
+        t.row(vec![
+            policy.label().to_string(),
+            run.handovers.to_string(),
+            run.flows_migrated.to_string(),
+            run.redispatched.to_string(),
+            fmt_pcts(&run.interruptions),
+            run.pings_sent.to_string(),
+            run.pings_done.to_string(),
+            run.drops.to_string(),
+        ]);
+        total_handovers += run.handovers;
+        total_migrated += run.flows_migrated;
+        dropped_flows += run.pings_sent - run.pings_done + run.drops;
+        double_answered += run.double_answered;
+        resets += run.resets;
+        violations += run.transparency_violations;
+        all_interruptions.extend(run.interruptions);
+    }
+    let summary = format!(
+        "\nmobility-summary {{\"seed\":{seed},\"smoke\":{smoke},\"handovers\":{total_handovers},\
+\"flowsMigrated\":{total_migrated},\"droppedFlows\":{dropped_flows},\
+\"doubleAnswered\":{double_answered},\"resets\":{resets},\
+\"transparencyViolations\":{violations},\"panics\":0}}\n",
+    );
+    let fig = Figure::new(
+        "mobility",
+        format!(
+            "Session continuity under user mobility: anchored vs re-dispatch ({} trace)",
+            if smoke { "smoke" } else { "full" }
+        ),
+        t,
+    )
+    .with_extra(&summary);
+    if !telemetry {
+        return (fig, None);
+    }
+    if !all_interruptions.is_empty() {
+        let s = Summary::new(all_interruptions);
+        merged_metrics.set_gauge(
+            "handover_interruption_p99_ms",
+            s.percentile(99.0).unwrap_or(0.0) * 1e3,
+        );
+    }
+    (fig, Some((merged_log, merged_metrics)))
+}
+
 /// Renders a quick summary of every figure (used by `repro all`).
 pub fn summary_line(fig: &Figure) -> String {
     let mut s = String::new();
@@ -1266,6 +1490,44 @@ mod tests {
         assert!(line.contains("\"fallbacks\":0"), "{line}");
         assert!(line.contains("\"totalRetries\":0"), "{line}");
         assert!(line.contains("\"resets\":0"), "{line}");
+    }
+
+    #[test]
+    fn mobility_smoke_is_clean_and_deterministic() {
+        let f = mobility(7, true);
+        let again = mobility(7, true);
+        assert_eq!(f.body, again.body, "deterministic per seed");
+        let line = f
+            .body
+            .lines()
+            .find(|l| l.starts_with("mobility-summary "))
+            .unwrap();
+        assert!(line.contains("\"droppedFlows\":0"), "{line}");
+        assert!(line.contains("\"doubleAnswered\":0"), "{line}");
+        assert!(line.contains("\"transparencyViolations\":0"), "{line}");
+        assert!(line.contains("\"panics\":0"), "{line}");
+        let field = |name: &str| -> u64 {
+            let tail = &line[line.find(&format!("\"{name}\":")).unwrap() + name.len() + 3..];
+            tail[..tail.find([',', '}']).unwrap()].parse().unwrap()
+        };
+        assert!(field("handovers") > 0, "mobile clients must hand over: {line}");
+        assert!(field("flowsMigrated") > 0, "{line}");
+    }
+
+    #[test]
+    fn mobility_traced_matches_untraced_figure_and_validates() {
+        let plain = mobility(7, true);
+        let (fig, log, metrics) = mobility_traced(7, true);
+        assert_eq!(plain.body, fig.body, "recording must not change the figure");
+        let check = log.check();
+        assert!(check.ok(), "{check:?}");
+        assert!(log.spans().any(|s| s.name.starts_with("anchored/")));
+        assert!(log.spans().any(|s| s.name.starts_with("redispatch/")));
+        assert!(log.spans().any(|s| s.name.ends_with("handover")));
+        assert!(metrics.counter("handovers_total") > 0);
+        assert!(metrics.counter("flows_migrated") > 0);
+        assert!(metrics.histogram("handover_interruption_ns").is_some());
+        assert!(metrics.gauge("handover_interruption_p99_ms").is_some());
     }
 
     #[test]

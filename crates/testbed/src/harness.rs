@@ -867,7 +867,7 @@ impl Drop for Testbed {
 
 /// Splits `total_bytes` of application payload into MSS-sized TCP segments
 /// patterned on `template` (endpoints/flags copied, payload replaced).
-fn segments(template: &TcpFrame, total_bytes: usize) -> Vec<TcpFrame> {
+pub(crate) fn segments(template: &TcpFrame, total_bytes: usize) -> Vec<TcpFrame> {
     let n = total_bytes.div_ceil(MSS).max(1);
     let mut out = Vec::with_capacity(n);
     let mut remaining = total_bytes;

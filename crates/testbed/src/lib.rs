@@ -7,7 +7,10 @@
 //! (Fig. 8). This crate assembles the simulated equivalent from the substrate
 //! crates and drives complete experiments through it:
 //!
-//! * [`topology`] — the virtual network of Fig. 8;
+//! * [`topology`] — the virtual network of Fig. 8, plus the multi-cell
+//!   [`topology::MultiGnbTopology`] used by the mobility experiments;
+//! * [`mobility_run`] — the multi-gNB harness: long-lived sessions under
+//!   user mobility with transparent make-before-break flow handover;
 //! * [`harness`] — the event-driven end-to-end simulator: client TCP
 //!   connections traverse the OVS data plane as real frames, table misses
 //!   travel to the controller as real OpenFlow bytes, deployments run
@@ -21,8 +24,10 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod mobility_run;
 pub mod report;
 pub mod topology;
 
 pub use harness::{ClusterKind, CompletedRequest, Testbed, TestbedConfig};
-pub use topology::C3Topology;
+pub use mobility_run::{HandoverRecord, MobilityConfig, MobilityTestbed};
+pub use topology::{C3Topology, MultiGnbTopology};

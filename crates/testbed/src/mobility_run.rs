@@ -1,0 +1,828 @@
+//! The multi-gNB mobility harness: long-lived sessions under user mobility
+//! with transparent flow handover.
+//!
+//! A [`MobilityTestbed`] assembles a [`MultiGnbTopology`] — N OpenFlow
+//! ingress switches (gNBs), each fronting its own near-edge cluster zone,
+//! one controller managing them all — and drives long-lived client sessions
+//! through it in simulated time. A [`mobility::MobilityModel`] emits timed
+//! cell-attachment changes; each change that crosses gNBs triggers the
+//! controller's make-before-break handover
+//! ([`Controller::handle_attachment_change`]) under the configured
+//! [`HandoverPolicy`].
+//!
+//! Each client opens **one** TCP session to the registered service and then
+//! pings it at a fixed interval over that session — the session outlives
+//! every handover, which is exactly the continuity property under test. The
+//! harness asserts, per ping, that nothing is dropped (every ping answered)
+//! or double-answered, and that every byte the client sees still carries the
+//! cloud service address (transparency across handovers).
+
+use crate::harness::segments;
+use crate::topology::MultiGnbTopology;
+use desim::{Duration, Engine, LogNormal, Sample, SimRng, SimTime};
+use edgectl::{
+    annotate_deployment, Controller, ControllerConfig, DockerCluster, EdgeService,
+    HandoverPolicy, IngressId, PortMap,
+};
+use containerd::ServiceProfile;
+use dockersim::DockerEngine;
+use mobility::{AttachmentEvent, MobilityModel};
+use netsim::topo::{NodeId, PortNo};
+use netsim::{Ipv4Addr, ServiceAddr, TcpFlags, TcpFrame};
+use ovs::{Effect, Switch, SwitchConfig};
+use std::collections::HashMap;
+use telemetry::{MetricsRegistry, SpanLog, Telemetry};
+
+/// Mobility harness configuration.
+#[derive(Clone, Debug)]
+pub struct MobilityConfig {
+    /// Number of gNB ingress switches (= near-edge zones).
+    pub n_gnbs: usize,
+    /// Number of moving clients.
+    pub n_clients: usize,
+    /// Handover policy applied on every attachment change.
+    pub policy: HandoverPolicy,
+    /// Global Scheduler name (see [`edgectl::scheduler_by_name`]).
+    pub scheduler: String,
+    /// Controller configuration.
+    pub controller: ControllerConfig,
+    /// Record per-request span trees.
+    pub telemetry: bool,
+    /// Interval between pings on each client's session.
+    pub ping_interval: Duration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for MobilityConfig {
+    fn default() -> Self {
+        MobilityConfig {
+            n_gnbs: 3,
+            n_clients: 6,
+            policy: HandoverPolicy::Anchored,
+            scheduler: "proximity".to_owned(),
+            controller: ControllerConfig::default(),
+            telemetry: false,
+            ping_interval: Duration::from_millis(200),
+            seed: 1,
+        }
+    }
+}
+
+/// One completed handover, as observed by the harness.
+#[derive(Clone, Copy, Debug)]
+pub struct HandoverRecord {
+    /// The client that moved.
+    pub client: usize,
+    /// gNB left.
+    pub from: usize,
+    /// gNB joined.
+    pub to: usize,
+    /// When the attachment change was announced.
+    pub at: SimTime,
+    /// When the last new-switch flow install went out — `completed_at - at`
+    /// is the control-plane interruption.
+    pub completed_at: SimTime,
+    /// FlowMemory entries migrated.
+    pub flows_migrated: usize,
+    /// Sessions re-placed through the Global Scheduler.
+    pub redispatched: usize,
+}
+
+impl HandoverRecord {
+    /// Control-plane interruption: announce → last install.
+    pub fn interruption(&self) -> Duration {
+        self.completed_at.saturating_since(self.at)
+    }
+}
+
+/// Per-client session state (one long-lived connection each).
+struct Session {
+    service: ServiceAddr,
+    src_port: u16,
+    /// Reply template captured from the SYN-ACK (client → service).
+    template: Option<TcpFrame>,
+    /// Sent-at of the ping currently awaiting its response.
+    outstanding: Option<SimTime>,
+    /// Response bytes accumulated toward the outstanding ping.
+    pending_bytes: usize,
+    expected_bytes: usize,
+    request_bytes: usize,
+    pings_sent: u64,
+    pings_done: u64,
+    /// Per-ping round-trip times, in completion order.
+    rtts: Vec<Duration>,
+}
+
+enum Ev {
+    StartSession { client: usize },
+    Ping { client: usize },
+    FrameAt { node: NodeId, in_port: u32, data: Vec<u8> },
+    CtrlUp { gnb: usize, bytes: Vec<u8> },
+    CtrlDown { gnb: usize, bytes: Vec<u8> },
+    Attach(AttachmentEvent),
+    Tick,
+    SwitchExpiry { gnb: usize },
+    ServerSend { node: NodeId, port: PortNo, data: Vec<u8> },
+}
+
+/// The assembled multi-gNB testbed.
+pub struct MobilityTestbed {
+    engine: Engine<Ev>,
+    net: MultiGnbTopology,
+    switches: Vec<Switch>,
+    /// The controller under test (one, managing every gNB).
+    pub controller: Controller,
+    rng: SimRng,
+    policy: HandoverPolicy,
+    /// Current gNB per client.
+    attachment: Vec<usize>,
+    sessions: Vec<Session>,
+    profile: Option<ServiceProfile>,
+    service: Option<ServiceAddr>,
+    server_rx: HashMap<(Ipv4Addr, u16, Ipv4Addr, u16), usize>,
+    scheduled_tick: Option<SimTime>,
+    scheduled_expiry: Vec<Option<SimTime>>,
+    ctrl_latency: Duration,
+    accept_latency: LogNormal,
+    ping_interval: Duration,
+    /// Stop scheduling new pings after this instant (lets in-flight pings
+    /// drain before the run deadline).
+    ping_end: SimTime,
+    /// Handovers performed, in order.
+    pub handovers: Vec<HandoverRecord>,
+    /// Frames dropped by the data plane (must stay 0 across handovers).
+    pub drops: u64,
+    /// RST replies seen by clients.
+    pub resets: u64,
+    /// Responses arriving with no ping outstanding.
+    pub double_answered: u64,
+    /// Frames reaching a client with a non-cloud source address.
+    pub transparency_violations: u64,
+}
+
+impl MobilityTestbed {
+    /// Builds the testbed: topology, one switch per gNB, one Docker zone
+    /// cluster per gNB (every gNB can reach every zone), the controller with
+    /// per-ingress port maps and distances.
+    pub fn new(config: MobilityConfig) -> MobilityTestbed {
+        let mut rng = SimRng::new(config.seed);
+        let net = MultiGnbTopology::build(config.n_gnbs, config.n_clients);
+        let switches: Vec<Switch> = (0..config.n_gnbs)
+            .map(|g| {
+                Switch::new(SwitchConfig {
+                    datapath_id: 0xC300 + g as u64,
+                    n_buffers: 1024,
+                    miss_send_len: 0xffff,
+                    ports: net.gnb_ports(g),
+                })
+            })
+            .collect();
+        let scheduler =
+            edgectl::scheduler_by_name(&config.scheduler).unwrap_or_else(|e| panic!("{e}"));
+        let mut controller = Controller::new(
+            scheduler,
+            PortMap {
+                cluster_ports: HashMap::new(),
+                cloud_port: net.cloud_ports[0].0,
+            },
+            config.controller.clone(),
+        );
+        if config.telemetry {
+            controller.telemetry = Telemetry::recording();
+        }
+        for g in 1..config.n_gnbs {
+            let id = controller.add_ingress(PortMap {
+                cluster_ports: HashMap::new(),
+                cloud_port: net.cloud_ports[g].0,
+            });
+            assert_eq!(id, IngressId(g as u32));
+        }
+        // One Docker zone cluster per gNB; every ingress maps a port to
+        // every zone so anchored sessions stay reachable after a move.
+        let zone_latency = Duration::from_micros(50);
+        let metro = Duration::from_millis(2);
+        for z in 0..config.n_gnbs {
+            let mac = net.topo.node(net.zones[z]).mac;
+            let ip = net.topo.node(net.zones[z]).ip;
+            let name = format!("zone-{z}");
+            controller.add_cluster(
+                Box::new(DockerCluster::new(
+                    &name,
+                    DockerEngine::with_defaults(),
+                    mac,
+                    ip,
+                    zone_latency,
+                )),
+                net.zone_ports[0][z].0,
+            );
+            for g in 0..config.n_gnbs {
+                let ingress = IngressId(g as u32);
+                controller.map_cluster_port(ingress, &name, net.zone_ports[g][z].0);
+                // From gNB g, its own zone is a switch hop away; any other
+                // zone sits across the metro aggregation link.
+                let d = if g == z { zone_latency } else { metro + zone_latency };
+                controller.set_ingress_distance(ingress, z, d);
+            }
+        }
+        let n_clients = config.n_clients;
+        MobilityTestbed {
+            engine: Engine::new(),
+            net,
+            switches,
+            controller,
+            rng: rng.fork(0xbed),
+            policy: config.policy,
+            attachment: vec![0; n_clients],
+            sessions: Vec::new(),
+            profile: None,
+            service: None,
+            server_rx: HashMap::new(),
+            scheduled_tick: None,
+            scheduled_expiry: vec![None; config.n_gnbs],
+            ctrl_latency: Duration::from_micros(200),
+            accept_latency: LogNormal::from_median(0.0001, 0.3),
+            ping_interval: config.ping_interval,
+            ping_end: SimTime::MAX,
+            handovers: Vec::new(),
+            drops: 0,
+            resets: 0,
+            double_answered: 0,
+            transparency_violations: 0,
+        }
+    }
+
+    /// Registers `profile` as the edge service every client sessions to.
+    pub fn register_service(&mut self, profile: ServiceProfile, addr: ServiceAddr) -> EdgeService {
+        let yaml = format!(
+            "spec:\n  template:\n    spec:\n      containers:\n        - name: main\n          image: {}\n          ports:\n            - containerPort: {}\n",
+            profile.manifests[0].reference, profile.listen_port
+        );
+        let annotated = annotate_deployment(&yaml, addr, None).expect("valid generated definition");
+        let svc = EdgeService {
+            addr,
+            name: annotated.service_name.clone(),
+            annotated,
+            profile: profile.clone(),
+        };
+        self.controller.register_service(svc.clone());
+        self.profile = Some(profile);
+        self.service = Some(addr);
+        svc
+    }
+
+    /// Fully pre-deploys the service on zone `z` (pull + create + scale-up):
+    /// mobility experiments start from a warm home zone so handover effects
+    /// are not drowned in cold-start noise.
+    pub fn pre_deploy_on(&mut self, z: usize) {
+        let addr = self.service.expect("service registered");
+        let svc = self.controller.services().get(addr).cloned().unwrap();
+        let now = self.engine.now();
+        let rng = &mut self.rng;
+        let cluster = self.controller.cluster_mut(z);
+        let t = if cluster.state(&svc, now) == edgectl::InstanceState::NotDeployed {
+            let t = cluster.pull(&svc, now, rng).expect("pre-deploy: pull");
+            cluster.create(&svc, t, rng).expect("pre-deploy: create")
+        } else {
+            now
+        };
+        cluster.scale_up(&svc, t, rng).expect("pre-deploy: scale-up");
+    }
+
+    /// Pre-pulls + pre-creates the service on every zone (images cached
+    /// everywhere; redispatch pays only the scale-up).
+    pub fn warm_all_zones(&mut self) {
+        let addr = self.service.expect("service registered");
+        let svc = self.controller.services().get(addr).cloned().unwrap();
+        let now = self.engine.now();
+        for z in 0..self.net.zones.len() {
+            let rng = &mut self.rng;
+            let cluster = self.controller.cluster_mut(z);
+            let t = cluster.pull(&svc, now, rng).expect("warm: pull");
+            cluster.create(&svc, t, rng).expect("warm: create");
+        }
+    }
+
+    /// The topology (addressing, stats).
+    pub fn topology(&self) -> &MultiGnbTopology {
+        &self.net
+    }
+
+    /// The gNB switches.
+    pub fn switches(&self) -> &[Switch] {
+        &self.switches
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The recorded span log (telemetry runs only).
+    pub fn span_log(&self) -> Option<&SpanLog> {
+        self.controller.telemetry.span_log()
+    }
+
+    /// Metrics snapshot: controller registry plus per-switch gauges.
+    pub fn telemetry_snapshot(&self) -> MetricsRegistry {
+        let mut m = self.controller.telemetry.metrics.clone();
+        for (g, sw) in self.switches.iter().enumerate() {
+            m.set_gauge(&format!("gnb.{g}.fast_path_packets"), sw.fast_path_packets as f64);
+            m.set_gauge(&format!("gnb.{g}.table_misses"), sw.table_misses as f64);
+        }
+        m
+    }
+
+    /// Total pings sent across all sessions.
+    pub fn pings_sent(&self) -> u64 {
+        self.sessions.iter().map(|s| s.pings_sent).sum()
+    }
+
+    /// Total pings answered across all sessions.
+    pub fn pings_done(&self) -> u64 {
+        self.sessions.iter().map(|s| s.pings_done).sum()
+    }
+
+    /// Every recorded ping round-trip time, in seconds.
+    pub fn rtts_secs(&self) -> Vec<f64> {
+        self.sessions
+            .iter()
+            .flat_map(|s| s.rtts.iter().map(|d| d.as_secs_f64()))
+            .collect()
+    }
+
+    /// Runs the full scenario: seats every client at its model-given initial
+    /// cell, starts one session per client at `start`, schedules the model's
+    /// attachment changes, and drives the event loop until `deadline`.
+    /// New pings stop two seconds before the deadline so in-flight ones
+    /// drain. Returns the number of events processed.
+    pub fn run(
+        &mut self,
+        model: &mut dyn MobilityModel,
+        start: SimTime,
+        deadline: SimTime,
+    ) -> u64 {
+        let n_clients = self.attachment.len();
+        assert_eq!(
+            model.n_clients(),
+            n_clients,
+            "model must cover every client"
+        );
+        let n_gnbs = self.switches.len();
+        let addr = self.service.expect("service registered");
+        let profile = self.profile.clone().expect("service registered");
+        for c in 0..n_clients {
+            self.attachment[c] = model.initial_cell(c) % n_gnbs;
+            self.sessions.push(Session {
+                service: addr,
+                src_port: 49152 + c as u16,
+                template: None,
+                outstanding: None,
+                pending_bytes: 0,
+                expected_bytes: profile.response_bytes,
+                request_bytes: profile.request_bytes,
+                pings_sent: 0,
+                pings_done: 0,
+                rtts: Vec::new(),
+            });
+            // Stagger session starts so the initial deployment burst is a
+            // ramp, not a thundering herd.
+            let at = start + Duration::from_millis(50) * c as u64;
+            self.engine.schedule_at(at, Ev::StartSession { client: c });
+        }
+        // Last ping no later than two seconds before the deadline, so
+        // whatever is in flight when we stop sending still drains.
+        self.ping_end =
+            SimTime::ZERO + deadline.saturating_since(SimTime::ZERO + Duration::from_secs(2));
+        for ev in model.events(deadline.saturating_since(SimTime::ZERO)) {
+            self.engine.schedule_at(ev.at, Ev::Attach(ev));
+        }
+        let mut n = 0;
+        while let Some((now, ev)) = self.engine.pop_until(deadline) {
+            self.handle(now, ev);
+            n += 1;
+        }
+        n
+    }
+
+    // -- internal plumbing --------------------------------------------------
+
+    fn send_from(&mut self, node: NodeId, out_port: PortNo, data: Vec<u8>) {
+        let Some((peer, peer_port)) = self.net.topo.peer_of(node, out_port) else {
+            self.drops += 1;
+            return;
+        };
+        let link = self.net.topo.link_at(node, out_port).expect("link exists");
+        let delay = link.traversal_time(data.len(), &mut self.rng);
+        self.engine.schedule_in(
+            delay,
+            Ev::FrameAt {
+                node: peer,
+                in_port: peer_port.0,
+                data,
+            },
+        );
+    }
+
+    fn reschedule_tick(&mut self) {
+        if let Some(t) = self.controller.next_tick_at() {
+            let t = t.max(self.engine.now());
+            if self.scheduled_tick.is_none_or(|s| s > t || s < self.engine.now()) {
+                self.engine.schedule_at(t, Ev::Tick);
+                self.scheduled_tick = Some(t);
+            }
+        }
+    }
+
+    fn reschedule_expiry(&mut self, gnb: usize) {
+        if let Some(t) = self.switches[gnb].next_expiry() {
+            let t = t.max(self.engine.now());
+            if self.scheduled_expiry[gnb].is_none_or(|s| s > t || s < self.engine.now()) {
+                self.engine.schedule_at(t, Ev::SwitchExpiry { gnb });
+                self.scheduled_expiry[gnb] = Some(t);
+            }
+        }
+    }
+
+    fn process_switch_effects(&mut self, gnb: usize, effects: Vec<Effect>) {
+        for e in effects {
+            match e {
+                Effect::Forward { port, data } => {
+                    self.send_from(self.net.gnbs[gnb], PortNo(port), data);
+                }
+                Effect::ToController(bytes) => {
+                    self.engine
+                        .schedule_in(self.ctrl_latency, Ev::CtrlUp { gnb, bytes });
+                }
+                Effect::Drop => self.drops += 1,
+            }
+        }
+        self.reschedule_expiry(gnb);
+    }
+
+    fn send_ping(&mut self, now: SimTime, client: usize) {
+        let Some(template) = self.sessions[client].template.clone() else {
+            return;
+        };
+        let request_bytes = self.sessions[client].request_bytes;
+        self.sessions[client].pings_sent += 1;
+        self.sessions[client].outstanding = Some(now);
+        let node = self.net.clients[client];
+        let uplink = self.net.uplink_ports[self.attachment[client]][client];
+        for seg in segments(&template, request_bytes) {
+            self.send_from(node, uplink, seg.encode());
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::StartSession { client } => {
+                let node = self.net.clients[client];
+                let frame = TcpFrame::syn(
+                    self.net.topo.node(node).mac,
+                    self.net.topo.node(self.net.cloud).mac, // perceived gateway
+                    self.net.topo.node(node).ip,
+                    self.sessions[client].src_port,
+                    self.sessions[client].service,
+                );
+                let uplink = self.net.uplink_ports[self.attachment[client]][client];
+                self.send_from(node, uplink, frame.encode());
+            }
+            Ev::Ping { client } => self.send_ping(now, client),
+            Ev::FrameAt { node, in_port, data } => {
+                if let Some(g) = self.net.gnbs.iter().position(|&n| n == node) {
+                    let effects = self.switches[g].handle_frame(now, in_port, &data);
+                    self.process_switch_effects(g, effects);
+                } else if self.net.zones.contains(&node) || node == self.net.cloud {
+                    self.handle_server_frame(now, node, in_port, &data);
+                } else if let Some(c) = self.net.clients.iter().position(|&n| n == node) {
+                    self.handle_client_frame(now, c, &data);
+                }
+            }
+            Ev::CtrlUp { gnb, bytes } => {
+                let ingress = IngressId(gnb as u32);
+                match self
+                    .controller
+                    .handle_switch_message_from(ingress, now, &bytes, &mut self.rng)
+                {
+                    Ok(out) => {
+                        for m in out {
+                            let at = m.at.max(now) + self.ctrl_latency;
+                            self.engine.schedule_at(at, Ev::CtrlDown { gnb, bytes: m.data });
+                        }
+                    }
+                    Err(_) => self.drops += 1,
+                }
+                self.reschedule_tick();
+            }
+            Ev::CtrlDown { gnb, bytes } => match self.switches[gnb].handle_controller(now, &bytes) {
+                Ok(effects) => self.process_switch_effects(gnb, effects),
+                Err(_) => self.drops += 1,
+            },
+            Ev::Attach(ev) => self.handle_attach(now, ev),
+            Ev::Tick => {
+                self.scheduled_tick = None;
+                self.controller.tick(now, &mut self.rng);
+                self.reschedule_tick();
+            }
+            Ev::SwitchExpiry { gnb } => {
+                self.scheduled_expiry[gnb] = None;
+                let effects = self.switches[gnb].expire_flows(now);
+                self.process_switch_effects(gnb, effects);
+            }
+            Ev::ServerSend { node, port, data } => {
+                self.send_from(node, port, data);
+            }
+        }
+    }
+
+    fn handle_attach(&mut self, now: SimTime, ev: AttachmentEvent) {
+        let n_gnbs = self.switches.len();
+        let to = ev.to_cell % n_gnbs;
+        let from = self.attachment[ev.client];
+        if to == from {
+            return; // intra-gNB cell change: nothing to hand over
+        }
+        self.attachment[ev.client] = to;
+        let client_node = self.net.clients[ev.client];
+        let outcome = self.controller.handle_attachment_change(
+            now,
+            self.net.topo.node(client_node).ip,
+            self.net.topo.node(client_node).mac,
+            self.net.topo.node(self.net.cloud).mac,
+            IngressId(from as u32),
+            IngressId(to as u32),
+            self.net.client_ports[to][ev.client].0,
+            self.policy,
+            &mut self.rng,
+        );
+        self.handovers.push(HandoverRecord {
+            client: ev.client,
+            from,
+            to,
+            at: outcome.at,
+            completed_at: outcome.completed_at,
+            flows_migrated: outcome.flows_migrated,
+            redispatched: outcome.redispatched,
+        });
+        for (ingress, m) in outcome.messages {
+            let at = m.at.max(now) + self.ctrl_latency;
+            self.engine.schedule_at(
+                at,
+                Ev::CtrlDown {
+                    gnb: ingress.0 as usize,
+                    bytes: m.data,
+                },
+            );
+        }
+        // A redispatch may have started an on-demand deployment.
+        self.reschedule_tick();
+    }
+
+    /// Which instance (if any) listens at `(ip, port)` across the zones.
+    fn listener(&self, ip: Ipv4Addr, port: u16, now: SimTime) -> Option<(ServiceProfile, bool)> {
+        for svc in self.controller.services().iter() {
+            for idx in 0..self.controller.cluster_count() {
+                let cluster = self.controller.cluster(idx);
+                if let Some(addr) = cluster.instance_addr(svc) {
+                    if addr.ip == ip && addr.port == port {
+                        let ready = cluster.state(svc, now).is_ready();
+                        return Some((svc.profile.clone(), ready));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn handle_server_frame(&mut self, now: SimTime, node: NodeId, in_port: u32, data: &[u8]) {
+        let Ok(frame) = TcpFrame::decode(data) else {
+            self.drops += 1;
+            return;
+        };
+        let is_cloud = node == self.net.cloud;
+        let (processing, response_bytes, listening) = if is_cloud {
+            // The perceived cloud hosts the registered service too.
+            match &self.profile {
+                Some(p) if self.service == Some(frame.dst_service()) => {
+                    (p.request_processing, p.response_bytes, true)
+                }
+                _ => (LogNormal::from_median(0.002, 0.3), 500, true),
+            }
+        } else {
+            match self.listener(frame.dst_ip, frame.dst_port, now) {
+                Some((p, ready)) => (p.request_processing, p.response_bytes, ready),
+                None => (LogNormal::from_median(0.002, 0.3), 0, false),
+            }
+        };
+        // Replies retrace the ingress they arrived through — the gNB whose
+        // flows carried the request rewrites them back.
+        let reply_port = PortNo(in_port);
+        if frame.flags.contains(TcpFlags::SYN) {
+            let reply = if listening {
+                frame.reply(TcpFlags::SYN_ACK, Vec::new())
+            } else {
+                frame.reply(TcpFlags::RST, Vec::new())
+            };
+            let delay = self.accept_latency.sample_duration(&mut self.rng);
+            self.engine.schedule_in(
+                delay,
+                Ev::ServerSend {
+                    node,
+                    port: reply_port,
+                    data: reply.encode(),
+                },
+            );
+            return;
+        }
+        if !frame.payload.is_empty() && listening {
+            let expected = if is_cloud {
+                self.profile.as_ref().map(|p| p.request_bytes).unwrap_or(1)
+            } else {
+                self.listener(frame.dst_ip, frame.dst_port, now)
+                    .map(|(p, _)| p.request_bytes)
+                    .unwrap_or(1)
+            };
+            let key = (frame.src_ip, frame.src_port, frame.dst_ip, frame.dst_port);
+            let acc = self.server_rx.entry(key).or_insert(0);
+            *acc += frame.payload.len();
+            if *acc >= expected {
+                self.server_rx.remove(&key);
+                let delay = processing.sample_duration(&mut self.rng);
+                let template = frame.reply(TcpFlags::PSH_ACK, Vec::new());
+                for seg in segments(&template, response_bytes) {
+                    self.engine.schedule_in(
+                        delay,
+                        Ev::ServerSend {
+                            node,
+                            port: reply_port,
+                            data: seg.encode(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_client_frame(&mut self, now: SimTime, client: usize, data: &[u8]) {
+        let Ok(frame) = TcpFrame::decode(data) else {
+            self.drops += 1;
+            return;
+        };
+        let sess = &mut self.sessions[client];
+        if frame.dst_port != sess.src_port {
+            return; // stray frame
+        }
+        // Transparency across handovers: every frame the client sees must
+        // carry the registered cloud address, whichever zone answered.
+        if frame.src_ip != sess.service.ip || frame.src_port != sess.service.port {
+            self.transparency_violations += 1;
+        }
+        if frame.flags.contains(TcpFlags::RST) {
+            self.resets += 1;
+            return;
+        }
+        if frame.flags.contains(TcpFlags::SYN) && frame.flags.contains(TcpFlags::ACK) {
+            if sess.template.is_none() {
+                sess.template = Some(frame.reply(TcpFlags::PSH_ACK, Vec::new()));
+                self.send_ping(now, client);
+            }
+            return;
+        }
+        if !frame.payload.is_empty() {
+            sess.pending_bytes += frame.payload.len();
+            while sess.pending_bytes >= sess.expected_bytes {
+                sess.pending_bytes -= sess.expected_bytes;
+                match sess.outstanding.take() {
+                    Some(sent_at) => {
+                        sess.pings_done += 1;
+                        sess.rtts.push(now.saturating_since(sent_at));
+                        if now + self.ping_interval < self.ping_end {
+                            self.engine
+                                .schedule_at(now + self.ping_interval, Ev::Ping { client });
+                        }
+                    }
+                    None => self.double_answered += 1,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::{CellHops, Static};
+
+    fn setup(policy: HandoverPolicy, seed: u64) -> MobilityTestbed {
+        let mut tb = MobilityTestbed::new(MobilityConfig {
+            policy,
+            n_gnbs: 3,
+            n_clients: 3,
+            seed,
+            ..MobilityConfig::default()
+        });
+        let profile = containerd::ServiceSet::by_key("asm").unwrap();
+        tb.register_service(profile, ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80));
+        tb.warm_all_zones();
+        tb.pre_deploy_on(0);
+        tb
+    }
+
+    #[test]
+    fn static_clients_never_hand_over_and_lose_nothing() {
+        let mut tb = setup(HandoverPolicy::Anchored, 1);
+        let mut model = Static::round_robin(3, 3);
+        tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(20));
+        assert!(tb.handovers.is_empty());
+        assert!(tb.pings_sent() > 50, "sessions ping steadily");
+        assert_eq!(tb.pings_sent(), tb.pings_done(), "no ping lost");
+        assert_eq!(tb.drops, 0);
+        assert_eq!(tb.double_answered, 0);
+        assert_eq!(tb.transparency_violations, 0);
+    }
+
+    fn hop_run(policy: HandoverPolicy) -> MobilityTestbed {
+        let mut tb = setup(policy, 2);
+        // Client 0 hops 0 → 1 → 2; the others stay put.
+        let mut model = CellHops::new(
+            vec![0, 1, 2],
+            &[
+                (SimTime::from_secs(6), 0, 1),
+                (SimTime::from_secs(12), 0, 2),
+            ],
+        );
+        tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(20));
+        tb
+    }
+
+    #[test]
+    fn anchored_handover_keeps_every_ping() {
+        let tb = hop_run(HandoverPolicy::Anchored);
+        assert_eq!(tb.handovers.len(), 2);
+        assert_eq!(tb.handovers[0].client, 0);
+        assert_eq!((tb.handovers[0].from, tb.handovers[0].to), (0, 1));
+        assert!(tb.handovers.iter().all(|h| h.redispatched == 0));
+        assert!(tb.handovers.iter().all(|h| h.flows_migrated >= 1));
+        assert_eq!(tb.pings_sent(), tb.pings_done(), "session continuity");
+        assert_eq!(tb.drops, 0);
+        assert_eq!(tb.double_answered, 0);
+        assert_eq!(tb.transparency_violations, 0);
+        assert_eq!(
+            tb.controller.telemetry.metrics.counter("handovers_total"),
+            2
+        );
+    }
+
+    #[test]
+    fn redispatch_handover_moves_the_session_to_the_new_zone() {
+        let tb = hop_run(HandoverPolicy::Redispatch);
+        assert_eq!(tb.handovers.len(), 2);
+        assert!(tb.handovers.iter().all(|h| h.redispatched >= 1));
+        assert_eq!(tb.pings_sent(), tb.pings_done(), "session continuity");
+        assert_eq!(tb.drops, 0);
+        assert_eq!(tb.double_answered, 0);
+        assert_eq!(tb.transparency_violations, 0);
+        // The session ended up served by a cluster other than zone 0.
+        let ip = tb.topology().client_ip(0);
+        let flows = tb.controller.memory().flows_of_client_at(ip, IngressId(2));
+        assert_eq!(flows.len(), 1, "memory keyed to the final ingress");
+        assert_ne!(flows[0].1.cluster, 0, "re-placed off the home zone");
+    }
+
+    #[test]
+    fn anchored_steady_state_is_slower_than_redispatch_after_move() {
+        // After moving away, an anchored session crosses the metro link on
+        // every ping; a redispatched one is served by the local zone again.
+        let anchored = hop_run(HandoverPolicy::Anchored);
+        let redispatched = hop_run(HandoverPolicy::Redispatch);
+        let tail = |tb: &MobilityTestbed| {
+            let r = &tb.sessions[0].rtts;
+            let last = &r[r.len().saturating_sub(5)..];
+            last.iter().map(|d| d.as_secs_f64()).sum::<f64>() / last.len() as f64
+        };
+        assert!(
+            tail(&anchored) > tail(&redispatched),
+            "anchored {:.6}s vs redispatch {:.6}s",
+            tail(&anchored),
+            tail(&redispatched)
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let fingerprint = |tb: &MobilityTestbed| {
+            (
+                tb.pings_done(),
+                tb.handovers
+                    .iter()
+                    .map(|h| (h.at.as_nanos(), h.completed_at.as_nanos()))
+                    .collect::<Vec<_>>(),
+                tb.rtts_secs(),
+            )
+        };
+        let a = hop_run(HandoverPolicy::Anchored);
+        let b = hop_run(HandoverPolicy::Anchored);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

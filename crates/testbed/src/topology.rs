@@ -9,6 +9,17 @@ use netsim::link::LinkSpec;
 use netsim::topo::{NodeId, NodeKind, PortNo, Topology};
 use netsim::Ipv4Addr;
 
+/// Allocates the `i`-th client address from `192.168.0.0/16`.
+///
+/// The first 236 clients stay in `192.168.1.20..=192.168.1.255` — exactly
+/// the historical single-octet scheme, so existing figures are unchanged —
+/// and every 236 clients after that bump the third octet. (The old
+/// `20 + i as u8` arithmetic overflowed for `i > 235` even though the
+/// topology admits 250 clients.)
+pub(crate) fn client_ip_for(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(192, 168, 1 + (i / 236) as u8, 20 + (i % 236) as u8)
+}
+
 /// The assembled topology plus the node/port bookkeeping the harness needs.
 pub struct C3Topology {
     /// The network graph.
@@ -50,11 +61,7 @@ impl C3Topology {
         let mut clients = Vec::with_capacity(n_clients);
         let mut client_ports = Vec::with_capacity(n_clients);
         for i in 0..n_clients {
-            let c = topo.add_node(
-                &format!("pi-{:02}", i + 1),
-                NodeKind::Client,
-                Ipv4Addr::new(192, 168, 1, 20 + i as u8),
-            );
+            let c = topo.add_node(&format!("pi-{:02}", i + 1), NodeKind::Client, client_ip_for(i));
             // 1 GbE through the Aruba access switch: ~150 µs one way.
             let (p_ovs, _) = topo.connect(ovs, c, LinkSpec::gigabit(Duration::from_micros(150)));
             clients.push(c);
@@ -111,6 +118,133 @@ impl C3Topology {
     }
 }
 
+/// A multi-cell radio access network: `n_gnbs` OpenFlow ingress switches
+/// (gNBs), each fronting its own near-edge cluster zone, one shared cloud,
+/// all managed by a single controller.
+///
+/// Every client has a radio path to every gNB (it *attaches* to exactly one
+/// at a time — attachment is harness state, not topology); every gNB reaches
+/// every zone (its own over a local link, the others over a metro
+/// aggregation hop) and the cloud over the WAN, so a handed-over session can
+/// stay **anchored** to its old zone's instance from the new cell.
+pub struct MultiGnbTopology {
+    /// The network graph.
+    pub topo: Topology,
+    /// The gNB ingress switches, one per cell.
+    pub gnbs: Vec<NodeId>,
+    /// Near-edge cluster zone hosts (`zones[g]` is gNB `g`'s own zone).
+    pub zones: Vec<NodeId>,
+    /// The client (UE) nodes.
+    pub clients: Vec<NodeId>,
+    /// The cloud node.
+    pub cloud: NodeId,
+    /// `client_ports[g][i]` — gNB `g`'s port toward client `i`.
+    pub client_ports: Vec<Vec<PortNo>>,
+    /// `uplink_ports[g][i]` — client `i`'s own port toward gNB `g` (the
+    /// radio leg it transmits on while attached there).
+    pub uplink_ports: Vec<Vec<PortNo>>,
+    /// `zone_ports[g][z]` — gNB `g`'s port toward zone `z`.
+    pub zone_ports: Vec<Vec<PortNo>>,
+    /// `cloud_ports[g]` — gNB `g`'s WAN uplink port.
+    pub cloud_ports: Vec<PortNo>,
+}
+
+impl MultiGnbTopology {
+    /// Builds the multi-cell topology.
+    pub fn build(n_gnbs: usize, n_clients: usize) -> MultiGnbTopology {
+        assert!(n_gnbs > 0 && n_gnbs <= 32, "gNB count out of range");
+        assert!(n_clients > 0 && n_clients <= 250, "client count out of range");
+        let mut topo = Topology::new();
+        let gnbs: Vec<NodeId> = (0..n_gnbs)
+            .map(|g| {
+                topo.add_node(
+                    &format!("gnb-{g}"),
+                    NodeKind::OpenFlowSwitch,
+                    Ipv4Addr::new(10, 0, (g + 1) as u8, 1),
+                )
+            })
+            .collect();
+        let zones: Vec<NodeId> = (0..n_gnbs)
+            .map(|g| {
+                topo.add_node(
+                    &format!("zone-{g}"),
+                    NodeKind::EdgeHost,
+                    Ipv4Addr::new(10, 0, (g + 1) as u8, 10),
+                )
+            })
+            .collect();
+        let cloud = topo.add_node("cloud", NodeKind::Cloud, Ipv4Addr::new(198, 51, 100, 1));
+        let clients: Vec<NodeId> = (0..n_clients)
+            .map(|i| {
+                topo.add_node(&format!("pi-{:02}", i + 1), NodeKind::Client, client_ip_for(i))
+            })
+            .collect();
+        let mut client_ports = Vec::with_capacity(n_gnbs);
+        let mut uplink_ports = Vec::with_capacity(n_gnbs);
+        let mut zone_ports = Vec::with_capacity(n_gnbs);
+        let mut cloud_ports = Vec::with_capacity(n_gnbs);
+        for (g, &gnb) in gnbs.iter().enumerate() {
+            // Radio legs first, so per-gNB port numbering mirrors C3 (client
+            // ports low, infrastructure ports after them).
+            let mut cp = Vec::with_capacity(clients.len());
+            let mut up = Vec::with_capacity(clients.len());
+            for &c in &clients {
+                let (p_gnb, p_client) =
+                    topo.connect(gnb, c, LinkSpec::gigabit(Duration::from_micros(150)));
+                cp.push(p_gnb);
+                up.push(p_client);
+            }
+            let zp: Vec<PortNo> = zones
+                .iter()
+                .enumerate()
+                .map(|(z, &zone)| {
+                    let link = if z == g {
+                        LinkSpec::local()
+                    } else {
+                        // Metro aggregation between neighbouring zones.
+                        LinkSpec::wan(Duration::from_millis(2), 10_000_000_000)
+                    };
+                    topo.connect(gnb, zone, link).0
+                })
+                .collect();
+            let (wan, _) = topo.connect(
+                gnb,
+                cloud,
+                LinkSpec::wan(Duration::from_millis(15), 1_000_000_000),
+            );
+            client_ports.push(cp);
+            uplink_ports.push(up);
+            zone_ports.push(zp);
+            cloud_ports.push(wan);
+        }
+        MultiGnbTopology {
+            topo,
+            gnbs,
+            zones,
+            clients,
+            cloud,
+            client_ports,
+            uplink_ports,
+            zone_ports,
+            cloud_ports,
+        }
+    }
+
+    /// The IPv4 address of client `i`.
+    pub fn client_ip(&self, i: usize) -> Ipv4Addr {
+        self.topo.node(self.clients[i]).ip
+    }
+
+    /// All port numbers of gNB `g` (for the switch FLOOD config).
+    pub fn gnb_ports(&self, g: usize) -> Vec<u32> {
+        let mut v: Vec<u32> = self.client_ports[g].iter().map(|p| p.0).collect();
+        v.extend(self.zone_ports[g].iter().map(|p| p.0));
+        v.push(self.cloud_ports[g].0);
+        v.sort_unstable();
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +273,47 @@ mod tests {
         let mut ports = t.client_ports.clone();
         ports.dedup();
         assert_eq!(ports.len(), 3);
+    }
+
+    /// Regression: the full admitted range of 250 clients allocates distinct
+    /// addresses without octet overflow (`i = 236..250` used to wrap).
+    #[test]
+    fn client_addressing_does_not_overflow_at_250() {
+        let t = C3Topology::build(250);
+        let mut ips: Vec<Ipv4Addr> = (0..250).map(|i| t.client_ip(i)).collect();
+        // The historical scheme is preserved for the first 236 clients...
+        assert_eq!(ips[235], Ipv4Addr::new(192, 168, 1, 255));
+        // ...and the /16 absorbs the rest on the next third octet.
+        assert_eq!(ips[236], Ipv4Addr::new(192, 168, 2, 20));
+        assert_eq!(ips[249], Ipv4Addr::new(192, 168, 2, 33));
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), 250, "all client addresses distinct");
+    }
+
+    #[test]
+    fn multi_gnb_shape() {
+        let t = MultiGnbTopology::build(3, 6);
+        assert_eq!(t.gnbs.len(), 3);
+        assert_eq!(t.zones.len(), 3);
+        assert_eq!(t.clients.len(), 6);
+        for g in 0..3 {
+            // clients + 3 zones + cloud per gNB.
+            assert_eq!(t.gnb_ports(g).len(), 6 + 3 + 1);
+        }
+        assert_eq!(t.client_ip(0), Ipv4Addr::new(192, 168, 1, 20));
+    }
+
+    /// A gNB's own zone is closest, a neighbour zone farther, the cloud
+    /// farthest — the gradient the handover policies trade off.
+    #[test]
+    fn multi_gnb_latency_gradient() {
+        let t = MultiGnbTopology::build(2, 1);
+        let mut rng = SimRng::new(1);
+        let own = t.topo.path_latency(t.gnbs[0], t.zones[0], 64, &mut rng).unwrap();
+        let other = t.topo.path_latency(t.gnbs[0], t.zones[1], 64, &mut rng).unwrap();
+        let cloud = t.topo.path_latency(t.gnbs[0], t.cloud, 64, &mut rng).unwrap();
+        assert!(own < other, "own zone closest: {own} vs {other}");
+        assert!(other < cloud, "neighbour zone beats cloud: {other} vs {cloud}");
     }
 }

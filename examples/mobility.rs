@@ -1,0 +1,72 @@
+//! User mobility across a multi-gNB RAN with transparent flow handover.
+//!
+//! Three gNB ingress switches, each fronting its own near-edge zone, one
+//! controller managing them all. A client walks gNB 0 → 1 → 2 while pinging
+//! an edge service over a single long-lived TCP session. On every move the
+//! controller re-keys the client's FlowMemory entries and installs rewrite
+//! flows at the new switch *before* tearing down the old ones
+//! (make-before-break), so the session never notices.
+//!
+//! Both handover policies run side by side: **anchored** keeps the session
+//! on the zone it started at (reached across the metro link after the move);
+//! **re-dispatch** asks the Global Scheduler for the new nearest edge,
+//! re-using the on-demand deployment pipeline.
+//!
+//! ```text
+//! cargo run --release --example mobility
+//! ```
+
+use transparent_edge::desim::{SimTime, Summary};
+use transparent_edge::edgectl::HandoverPolicy;
+use transparent_edge::mobility::CellHops;
+use transparent_edge::prelude::*;
+use transparent_edge::testbed::{MobilityConfig, MobilityTestbed};
+
+fn walk(policy: HandoverPolicy) -> MobilityTestbed {
+    let mut tb = MobilityTestbed::new(MobilityConfig {
+        n_gnbs: 3,
+        n_clients: 1,
+        policy,
+        seed: 42,
+        ..MobilityConfig::default()
+    });
+    let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80);
+    tb.register_service(ServiceSet::by_key("asm").unwrap(), addr);
+    tb.warm_all_zones(); // images cached everywhere
+    tb.pre_deploy_on(0); // the session's home zone starts warm
+
+    // The client crosses a cell boundary at t=6s and again at t=12s.
+    let mut model = CellHops::new(
+        vec![0],
+        &[
+            (SimTime::from_secs(6), 0, 1),
+            (SimTime::from_secs(12), 0, 2),
+        ],
+    );
+    tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(20));
+    tb
+}
+
+fn main() {
+    println!("policy      handovers  migrated  redispatched  pings  answered  mean-rtt-tail");
+    for policy in [HandoverPolicy::Anchored, HandoverPolicy::Redispatch] {
+        let tb = walk(policy);
+        assert_eq!(tb.pings_sent(), tb.pings_done(), "session continuity");
+        assert_eq!(tb.drops + tb.double_answered + tb.transparency_violations, 0);
+        let rtts = tb.rtts_secs();
+        let tail = Summary::new(rtts[rtts.len().saturating_sub(10)..].to_vec());
+        println!(
+            "{:<12}{:>9}  {:>8}  {:>12}  {:>5}  {:>8}  {:>10.2} ms",
+            policy.label(),
+            tb.handovers.len(),
+            tb.handovers.iter().map(|h| h.flows_migrated).sum::<usize>(),
+            tb.handovers.iter().map(|h| h.redispatched).sum::<usize>(),
+            tb.pings_sent(),
+            tb.pings_done(),
+            tail.mean().unwrap_or(0.0) * 1e3,
+        );
+    }
+    println!("\nEvery ping answered under both policies; after the walk the anchored");
+    println!("session pays the metro link on every round trip, the re-dispatched one");
+    println!("is served by the local zone again.");
+}

@@ -20,6 +20,7 @@
 //! | [`ovs`] / [`openflow`] | Virtual OpenFlow switch + the protocol subset, byte-exact |
 //! | [`k8ssim`] / [`dockersim`] / [`containerd`] / [`registry`] | The cluster substrates: orchestrators over a simulated container runtime and image registries |
 //! | [`netsim`] | Frames (real Ethernet/IPv4/TCP bytes), links, the topology |
+//! | [`mobility`] | Deterministic, seedable user-mobility models emitting timed cell-attachment changes |
 //! | [`workload`] | bigFlows-like request traces and `timecurl` measurement semantics |
 //! | [`yamlite`] | Dependency-free YAML subset parser for service definitions |
 //! | [`desim`] | Deterministic discrete-event simulation kernel |
@@ -56,6 +57,7 @@ pub use desim;
 pub use dockersim;
 pub use edgectl;
 pub use k8ssim;
+pub use mobility;
 pub use netsim;
 pub use openflow;
 pub use ovs;

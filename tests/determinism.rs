@@ -70,3 +70,40 @@ fn figures_are_deterministic() {
     let b = testbed::experiments::fig13(8);
     assert_eq!(a.body, b.body);
 }
+
+#[test]
+fn mobility_figure_is_deterministic() {
+    let a = testbed::experiments::mobility(11, true);
+    let b = testbed::experiments::mobility(11, true);
+    assert_eq!(a.body, b.body, "same seed, byte-identical mobility figure");
+    let c = testbed::experiments::mobility(12, true);
+    assert_ne!(a.body, c.body, "seeds must matter");
+}
+
+#[test]
+fn zero_move_mobility_leaves_single_ingress_behaviour_intact() {
+    // A mobility run where nobody ever moves must behave exactly like the
+    // single-ingress world: no handovers, and — because ingress 0 is the
+    // default and client addressing is unchanged for i < 236 — the existing
+    // single-switch figures (fig9/fig13 above, the harness runs) stay
+    // byte-identical. Those figures never construct a mobility model, so it
+    // suffices that a zero-move run touches nothing beyond its own testbed.
+    use testbed::{MobilityConfig, MobilityTestbed};
+    use transparent_edge::mobility::Static;
+    let fig_before = testbed::experiments::fig13(8);
+    let mut tb = MobilityTestbed::new(MobilityConfig {
+        n_gnbs: 2,
+        n_clients: 4,
+        ..MobilityConfig::default()
+    });
+    let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80);
+    tb.register_service(ServiceSet::by_key("asm").unwrap(), addr);
+    tb.warm_all_zones();
+    tb.pre_deploy_on(0);
+    let mut model = Static::new(vec![0; 4]);
+    tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(10));
+    assert!(tb.handovers.is_empty(), "zero moves, zero handovers");
+    assert_eq!(tb.pings_sent(), tb.pings_done());
+    let fig_after = testbed::experiments::fig13(8);
+    assert_eq!(fig_before.body, fig_after.body);
+}
