@@ -9,6 +9,8 @@
 //! repro telemetry                   # telemetry-overhead bench
 //! repro chaos [--seed N] [--fault-rate F] [--smoke] [--telemetry]
 //! repro mobility [--seed N] [--smoke] [--telemetry]   # -> BENCH_mobility.json
+//! repro recovery [--seed N] [--fault-rate F] [--smoke] [--telemetry]
+//!                                   # runtime chaos -> BENCH_recovery.json
 //! ```
 //!
 //! `--telemetry` turns observability output on: `chaos` records per-request
@@ -65,7 +67,7 @@ fn main() -> ExitCode {
     // Figure modes collect metrics through the process-global registry
     // (every finished testbed run merges its snapshot); chaos records and
     // prints its own, richer output below.
-    if telemetry_on && id != "chaos" && id != "mobility" {
+    if telemetry_on && id != "chaos" && id != "mobility" && id != "recovery" {
         telemetry::global::enable();
     }
 
@@ -172,6 +174,44 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "recovery" => {
+            println!(
+                "transparent-edge-rs — recovery: self-healing control plane under runtime \
+chaos (seed {seed}, rate {fault_rate})\n"
+            );
+            let (fig, traced) = if telemetry_on {
+                let (fig, log, metrics) = bench::recovery_figure_traced(seed, fault_rate, smoke);
+                (fig, Some((log, metrics)))
+            } else {
+                (bench::recovery_figure(seed, fault_rate, smoke), None)
+            };
+            if csv {
+                print!("{}", fig.table.to_csv());
+                if let Some(line) = fig.body.lines().find(|l| l.starts_with("recovery-summary ")) {
+                    println!("{line}");
+                }
+            } else {
+                println!("{}", fig.body);
+            }
+            if let Some((log, metrics)) = traced {
+                println!("spans: {}", log.to_json());
+                println!("{}", log.check().to_json_line());
+                println!("\nmetrics: {}", metrics.to_json());
+            }
+            let report = bench::recovery::run(seed, fault_rate, smoke);
+            print!("{}", report.render());
+            let path = bench::recovery::default_output_path();
+            match std::fs::write(&path, report.to_json()) {
+                Ok(()) => {
+                    println!("\nwrote {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "telemetry" => {
             println!("transparent-edge-rs — telemetry overhead (disabled path vs fast path)\n");
             let report = bench::telemetry::run();
@@ -192,6 +232,7 @@ fn main() -> ExitCode {
             println!("telemetry");
             println!("chaos");
             println!("mobility");
+            println!("recovery");
             ExitCode::SUCCESS
         }
         "all" => {

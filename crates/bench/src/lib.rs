@@ -4,6 +4,7 @@
 
 pub mod fastpath;
 pub mod mobility;
+pub mod recovery;
 pub mod summary;
 pub mod telemetry;
 
@@ -87,6 +88,24 @@ pub fn mobility_figure_traced(
     smoke: bool,
 ) -> (Figure, ::telemetry::SpanLog, ::telemetry::MetricsRegistry) {
     experiments::mobility_traced(seed, smoke)
+}
+
+/// The recovery experiment: runtime chaos (instance crashes, zone outages,
+/// channel loss) against the self-healing control plane. Like chaos, not
+/// part of [`all_figures`] — the `repro recovery` subcommand drives it
+/// explicitly (and writes `BENCH_recovery.json`).
+pub fn recovery_figure(seed: u64, fault_rate: f64, smoke: bool) -> Figure {
+    experiments::recovery(seed, fault_rate, smoke)
+}
+
+/// The recovery experiment with span recording on: the same figure plus the
+/// merged span log and metrics snapshot (`repro recovery --telemetry`).
+pub fn recovery_figure_traced(
+    seed: u64,
+    fault_rate: f64,
+    smoke: bool,
+) -> (Figure, ::telemetry::SpanLog, ::telemetry::MetricsRegistry) {
+    experiments::recovery_traced(seed, fault_rate, smoke)
 }
 
 /// The figure ids `figure_by_id` accepts, in order.

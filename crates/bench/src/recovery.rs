@@ -1,0 +1,207 @@
+//! Runtime-chaos recovery bench: the self-healing control plane in numbers.
+//!
+//! Like [`crate::mobility`] this is plain `std` (no criterion) so the
+//! `repro recovery` subcommand can run it directly and emit the
+//! machine-readable `BENCH_recovery.json` summary that tracks the
+//! self-healing numbers across PRs. It replays the deterministic
+//! runtime-chaos scenario behind `testbed::experiments::recovery` — once per
+//! [`HandoverPolicy`] — and reduces each run to the injected-fault counts,
+//! the client-visible repair work (retransmits), and the two acceptance
+//! gates: permanently stranded sessions and the residual of the final
+//! switch-table reconciliation pass (both must be 0).
+
+use edgectl::HandoverPolicy;
+use std::path::PathBuf;
+use testbed::experiments;
+
+/// One policy's measurements.
+#[derive(Clone, Debug)]
+pub struct PolicyPoint {
+    /// Policy label (`anchored` / `redispatch`).
+    pub policy: &'static str,
+    /// Ready instances killed mid-run.
+    pub crashes: u64,
+    /// Whole-zone outage windows injected.
+    pub outages: u64,
+    /// Switch↔controller channel drops injected.
+    pub channel_losses: u64,
+    /// Control messages lost to a down channel.
+    pub ctrl_dropped: u64,
+    /// Client retransmissions (lost SYNs and pings resent).
+    pub retransmits: u64,
+    /// Pings sent.
+    pub pings_sent: u64,
+    /// Pings answered.
+    pub pings_done: u64,
+    /// Sessions permanently stranded after recovery settled (want 0).
+    pub stranded: u64,
+    /// Fixes issued by the final reconciliation sweep.
+    pub reconcile_fixes: u64,
+    /// Fixes the second sweep still wanted (want 0).
+    pub reconcile_residual: u64,
+}
+
+/// The full recovery report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Seed the scenario ran under.
+    pub seed: u64,
+    /// Per-zone / per-channel runtime-fault probability.
+    pub fault_rate: f64,
+    /// Smoke (short) or full trace.
+    pub smoke: bool,
+    /// One row per handover policy.
+    pub points: Vec<PolicyPoint>,
+}
+
+impl Report {
+    /// Permanently stranded sessions across both policies (want: 0).
+    pub fn total_stranded(&self) -> u64 {
+        self.points.iter().map(|p| p.stranded).sum()
+    }
+
+    /// Residual reconciliation fixes across both policies (want: 0 — the
+    /// switch tables diff clean against the controller's bookkeeping).
+    pub fn total_residual(&self) -> u64 {
+        self.points.iter().map(|p| p.reconcile_residual).sum()
+    }
+
+    /// Renders the hand-rolled JSON summary (`serde` is deliberately not a
+    /// dependency of this workspace).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\n  \"bench\": \"recovery\",\n  \"seed\": {},\n  \"fault_rate\": {},\n  \
+             \"smoke\": {},\n  \"policies\": [\n",
+            self.seed, self.fault_rate, self.smoke
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"policy\": \"{}\", \"crashes\": {}, \"outages\": {}, \
+                 \"channel_losses\": {}, \"ctrl_dropped\": {}, \"retransmits\": {}, \
+                 \"pings_sent\": {}, \"pings_done\": {}, \"stranded\": {}, \
+                 \"reconcile_fixes\": {}, \"reconcile_residual\": {}}}{}\n",
+                p.policy,
+                p.crashes,
+                p.outages,
+                p.channel_losses,
+                p.ctrl_dropped,
+                p.retransmits,
+                p.pings_sent,
+                p.pings_done,
+                p.stranded,
+                p.reconcile_fixes,
+                p.reconcile_residual,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"total_stranded\": {},\n  \"total_reconcile_residual\": {}\n}}\n",
+            self.total_stranded(),
+            self.total_residual()
+        ));
+        s
+    }
+
+    /// Renders a human-readable table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "policy       crashes  outages  ch.drops  ctrl lost  retransmits    pings  answered  stranded  fix/resid\n",
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{:<12} {:>7}  {:>7}  {:>8}  {:>9}  {:>11}  {:>7}  {:>8}  {:>8}  {:>4}/{}\n",
+                p.policy,
+                p.crashes,
+                p.outages,
+                p.channel_losses,
+                p.ctrl_dropped,
+                p.retransmits,
+                p.pings_sent,
+                p.pings_done,
+                p.stranded,
+                p.reconcile_fixes,
+                p.reconcile_residual
+            ));
+        }
+        s.push_str(&format!(
+            "total stranded {} (want 0), reconcile residual {} (want 0)\n",
+            self.total_stranded(),
+            self.total_residual()
+        ));
+        s
+    }
+}
+
+/// Where `BENCH_recovery.json` is written: the repository root.
+pub fn default_output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_recovery.json")
+}
+
+/// Runs the runtime-chaos scenario under both policies and reduces the
+/// results.
+pub fn run(seed: u64, fault_rate: f64, smoke: bool) -> Report {
+    let points = [HandoverPolicy::Anchored, HandoverPolicy::Redispatch]
+        .into_iter()
+        .map(|policy| {
+            let s = experiments::recovery_stats(policy, seed, fault_rate, smoke);
+            PolicyPoint {
+                policy: policy.label(),
+                crashes: s.instance_crashes,
+                outages: s.zone_outages,
+                channel_losses: s.channel_losses,
+                ctrl_dropped: s.ctrl_dropped,
+                retransmits: s.retransmits,
+                pings_sent: s.pings_sent,
+                pings_done: s.pings_done,
+                stranded: s.stranded,
+                reconcile_fixes: s.reconcile_fixes,
+                reconcile_residual: s.reconcile_residual,
+            }
+        })
+        .collect();
+    Report { seed, fault_rate, smoke, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = Report {
+            seed: 7,
+            fault_rate: 1.0,
+            smoke: true,
+            points: vec![PolicyPoint {
+                policy: "anchored",
+                crashes: 2,
+                outages: 3,
+                channel_losses: 3,
+                ctrl_dropped: 5,
+                retransmits: 4,
+                pings_sent: 300,
+                pings_done: 300,
+                stranded: 0,
+                reconcile_fixes: 1,
+                reconcile_residual: 0,
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"recovery\""));
+        assert!(j.contains("\"policy\": \"anchored\""));
+        assert!(j.contains("\"channel_losses\": 3"));
+        assert!(j.contains("\"total_stranded\": 0"));
+        assert!(j.contains("\"total_reconcile_residual\": 0"));
+        assert!(r.render().contains("want 0"));
+    }
+
+    #[test]
+    fn full_chaos_smoke_run_self_heals() {
+        let r = run(7, 1.0, true);
+        assert_eq!(r.points.len(), 2);
+        assert_eq!(r.total_stranded(), 0, "no session permanently stranded");
+        assert_eq!(r.total_residual(), 0, "switch tables reconcile clean");
+        assert!(r.points.iter().all(|p| p.outages > 0 && p.channel_losses > 0));
+        assert!(r.points.iter().all(|p| p.pings_done > 0));
+    }
+}

@@ -51,6 +51,22 @@ pub struct FaultPlan {
     /// Median extra readiness delay for a flapped probe (scaled by a uniform
     /// draw in `[0.5, 1.5)`).
     pub probe_flap_delay: Duration,
+    /// Probability that a *Ready* instance crashes while serving traffic
+    /// (post-ready runtime failure, per observation window).
+    pub crash_while_serving: f64,
+    /// Probability that an entire edge zone goes dark for a window
+    /// (per observation window).
+    pub zone_outage: f64,
+    /// Median outage duration for a dark zone (scaled by a uniform draw in
+    /// `[0.5, 1.5)`).
+    pub zone_outage_window: Duration,
+    /// Probability that the switch↔controller OpenFlow channel drops
+    /// (per observation window). The switch keeps forwarding on its
+    /// installed flows; control messages are lost until reconnect.
+    pub channel_loss: f64,
+    /// Median time before a dropped channel reconnects (scaled by a uniform
+    /// draw in `[0.5, 1.5)`).
+    pub channel_reconnect_delay: Duration,
 }
 
 impl Default for FaultPlan {
@@ -66,13 +82,19 @@ impl Default for FaultPlan {
             scale_up_rejection: 0.0,
             probe_flap: 0.0,
             probe_flap_delay: Duration::from_secs(2),
+            crash_while_serving: 0.0,
+            zone_outage: 0.0,
+            zone_outage_window: Duration::from_secs(30),
+            channel_loss: 0.0,
+            channel_reconnect_delay: Duration::from_secs(5),
         }
     }
 }
 
 impl FaultPlan {
-    /// A plan with every fault probability set to `rate` (the chaos
-    /// experiment's uniform per-phase fault rate).
+    /// A plan with every *deployment-phase* fault probability set to `rate`
+    /// (the chaos experiment's uniform per-phase fault rate). Post-ready
+    /// runtime faults stay at zero — see [`FaultPlan::runtime`].
     pub fn uniform(rate: f64, seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -83,6 +105,20 @@ impl FaultPlan {
             crash_after_start: rate,
             scale_up_rejection: rate,
             probe_flap: rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan with every *post-ready runtime* fault probability set to
+    /// `rate` (instance crashes while serving, zone outages, OpenFlow
+    /// channel loss) and all deployment-phase faults at zero — the
+    /// runtime-chaos experiment's knob.
+    pub fn runtime(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            crash_while_serving: rate,
+            zone_outage: rate,
+            channel_loss: rate,
             ..FaultPlan::default()
         }
     }
@@ -99,9 +135,22 @@ impl FaultPlan {
             self.crash_after_start,
             self.scale_up_rejection,
             self.probe_flap,
+            self.crash_while_serving,
+            self.zone_outage,
+            self.channel_loss,
         ]
         .iter()
         .any(|&p| p > 0.0)
+    }
+
+    /// `true` if any *post-ready runtime* fault (crash-while-serving, zone
+    /// outage, channel loss) can fire. Harnesses only schedule runtime
+    /// fault-injection sweeps when this holds, so deployment-only chaos
+    /// runs stay byte-identical to builds that predate runtime faults.
+    pub fn runtime_enabled(&self) -> bool {
+        [self.crash_while_serving, self.zone_outage, self.channel_loss]
+            .iter()
+            .any(|&p| p > 0.0)
     }
 
     /// Derives the injector for one injection site. Distinct `label`s give
@@ -193,6 +242,49 @@ impl FaultInjector {
             None
         }
     }
+
+    /// Does a Ready instance crash during this observation window? Returns
+    /// the position within the window, in `[0, 1)`, at which it dies.
+    pub fn crashes_while_serving(&mut self) -> Option<f64> {
+        let p = self.plan.crash_while_serving;
+        if self.fires(p) {
+            Some(self.rng.next_f64())
+        } else {
+            None
+        }
+    }
+
+    /// Does the whole zone go dark during this observation window? Returns
+    /// `(position, outage_duration)`: the position within the window, in
+    /// `[0, 1)`, at which the outage starts, and how long the zone stays
+    /// dark (median `zone_outage_window`, scaled by a uniform draw in
+    /// `[0.5, 1.5)`).
+    pub fn zone_outage(&mut self) -> Option<(f64, Duration)> {
+        let p = self.plan.zone_outage;
+        if self.fires(p) {
+            let pos = self.rng.next_f64();
+            let scale = 0.5 + self.rng.next_f64();
+            Some((pos, self.plan.zone_outage_window.mul_f64(scale)))
+        } else {
+            None
+        }
+    }
+
+    /// Does the switch↔controller channel drop during this observation
+    /// window? Returns `(position, reconnect_delay)`: the position within
+    /// the window, in `[0, 1)`, at which the channel drops, and how long it
+    /// stays down (median `channel_reconnect_delay`, scaled by a uniform
+    /// draw in `[0.5, 1.5)`).
+    pub fn channel_drops(&mut self) -> Option<(f64, Duration)> {
+        let p = self.plan.channel_loss;
+        if self.fires(p) {
+            let pos = self.rng.next_f64();
+            let scale = 0.5 + self.rng.next_f64();
+            Some((pos, self.plan.channel_reconnect_delay.mul_f64(scale)))
+        } else {
+            None
+        }
+    }
 }
 
 /// Capped exponential backoff with multiplicative jitter and a per-phase
@@ -252,6 +344,7 @@ mod tests {
     fn default_plan_is_disabled_and_never_fires() {
         let plan = FaultPlan::default();
         assert!(!plan.enabled());
+        assert!(!plan.runtime_enabled());
         let mut inj = plan.injector(0x11);
         for _ in 0..100 {
             assert!(!inj.pull_fails());
@@ -261,7 +354,58 @@ mod tests {
             assert!(inj.crashes_after_start().is_none());
             assert!(!inj.scale_up_rejected());
             assert!(inj.probe_flap().is_none());
+            assert!(inj.crashes_while_serving().is_none());
+            assert!(inj.zone_outage().is_none());
+            assert!(inj.channel_drops().is_none());
         }
+    }
+
+    #[test]
+    fn uniform_plan_keeps_runtime_faults_at_zero() {
+        // The deployment-chaos knob must not start injecting runtime faults:
+        // existing chaos figures are pinned to the uniform plan's stream.
+        let plan = FaultPlan::uniform(1.0, 3);
+        assert!(plan.enabled());
+        assert!(!plan.runtime_enabled());
+        let mut inj = plan.injector(0x12);
+        for _ in 0..100 {
+            assert!(inj.crashes_while_serving().is_none());
+            assert!(inj.zone_outage().is_none());
+            assert!(inj.channel_drops().is_none());
+        }
+    }
+
+    #[test]
+    fn runtime_plan_fires_runtime_faults_only() {
+        let plan = FaultPlan::runtime(1.0, 4);
+        assert!(plan.enabled());
+        assert!(plan.runtime_enabled());
+        let mut inj = plan.injector(0x13);
+        for _ in 0..100 {
+            assert!(!inj.pull_fails());
+            assert!(!inj.create_fails());
+            let pos = inj.crashes_while_serving().unwrap();
+            assert!((0.0..1.0).contains(&pos));
+            let (pos, window) = inj.zone_outage().unwrap();
+            assert!((0.0..1.0).contains(&pos));
+            assert!(window >= plan.zone_outage_window.mul_f64(0.5));
+            assert!(window < plan.zone_outage_window.mul_f64(1.5));
+            let (pos, delay) = inj.channel_drops().unwrap();
+            assert!((0.0..1.0).contains(&pos));
+            assert!(delay >= plan.channel_reconnect_delay.mul_f64(0.5));
+            assert!(delay < plan.channel_reconnect_delay.mul_f64(1.5));
+        }
+    }
+
+    #[test]
+    fn runtime_faults_are_deterministic_per_seed_and_label() {
+        let plan = FaultPlan::runtime(0.3, 77);
+        let seq = |label: u64| -> Vec<Option<f64>> {
+            let mut inj = plan.injector(label);
+            (0..64).map(|_| inj.crashes_while_serving()).collect()
+        };
+        assert_eq!(seq(1), seq(1));
+        assert_ne!(seq(1), seq(2), "labels decorrelate sites");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use registry::{ImageManifest, ImageRef};
 use std::collections::BTreeMap;
 
 /// Where a ready instance can be reached by the data plane.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstanceAddr {
     /// MAC to address frames to (the cluster host's NIC).
     pub mac: MacAddr,
@@ -157,6 +157,22 @@ pub trait EdgeCluster {
 
     /// **Scale Down** phase. Returns its completion instant.
     fn scale_down(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime;
+
+    /// A *runtime crash*: the instance dies in place (node failure, OOM
+    /// kill, zone power loss) rather than being scaled down in an orderly
+    /// way. The service drops back to `Created` so the normal Scale Up path
+    /// can redeploy it; returns `true` if an instance was actually running
+    /// (Ready or Starting). Only called by fault-injection harnesses, never
+    /// on the fault-free path.
+    fn fail_instance(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> bool {
+        match self.state(svc, now) {
+            InstanceState::Ready(_) | InstanceState::Starting { .. } => {
+                self.scale_down(svc, now, rng);
+                true
+            }
+            InstanceState::NotDeployed | InstanceState::Created => false,
+        }
+    }
 
     /// **Remove** phase. Returns its completion instant.
     fn remove(&mut self, svc: &EdgeService, now: SimTime, rng: &mut SimRng) -> SimTime;
@@ -1028,6 +1044,35 @@ mod tests {
         c.engine_mut().node_mut().set_faults(FaultPlan::default().injector(0x34));
         let (_, ready) = c.scale_up(&svc, err.at, &mut rng).unwrap();
         assert!(c.state(&svc, ready).is_ready());
+    }
+
+    #[test]
+    fn fail_instance_drops_to_created_and_is_redeployable() {
+        let mut rng = SimRng::new(11);
+        for (label, mut c) in [
+            ("docker", Box::new(docker_cluster()) as Box<dyn EdgeCluster>),
+            ("k8s", Box::new(k8s_cluster())),
+        ] {
+            let svc = make_service("nginx", 80);
+            assert!(
+                !c.fail_instance(&svc, SimTime::ZERO, &mut rng),
+                "{label}: nothing running to crash"
+            );
+            let t = c.pull(&svc, SimTime::ZERO, &mut rng).unwrap();
+            let t = c.create(&svc, t, &mut rng).unwrap();
+            assert!(!c.fail_instance(&svc, t, &mut rng), "{label}: Created is not running");
+            let (_, ready) = c.scale_up(&svc, t, &mut rng).unwrap();
+            assert!(c.fail_instance(&svc, ready, &mut rng), "{label}: crashed a Ready instance");
+            assert_eq!(
+                c.state(&svc, ready + Duration::from_secs(5)),
+                InstanceState::Created,
+                "{label}: crash leaves the service Created for redeploy"
+            );
+            assert_eq!(c.load(), 0, "{label}");
+            // The normal Scale Up path recovers the instance.
+            let (_, again) = c.scale_up(&svc, ready + Duration::from_secs(5), &mut rng).unwrap();
+            assert!(c.state(&svc, again).is_ready(), "{label}: redeployed");
+        }
     }
 
     #[test]

@@ -28,6 +28,15 @@
 //!   crashAfterStart: 0.05
 //!   scaleUpRejection: 0.1
 //!   probeFlap: 0.1
+//!   crashWhileServing: 0.05  # runtime faults: post-Ready instance crash,
+//!   zoneOutage: 0.02         # whole-zone outage window,
+//!   channelLoss: 0.02        # control-channel drop + reconnect
+//!   zoneOutageWindowMs: 30000
+//!   channelReconnectDelayMs: 5000
+//! health:                    # runtime failure detection / circuit breaker
+//!   detectIntervalMs: 500
+//!   breakerThreshold: 3
+//!   breakerCooldownMs: 10000
 //! clusters:
 //!   - name: egs-docker
 //!     kind: docker
@@ -249,6 +258,9 @@ impl EdgeConfig {
                 ("crashAfterStart", &mut cfg.faults.crash_after_start),
                 ("scaleUpRejection", &mut cfg.faults.scale_up_rejection),
                 ("probeFlap", &mut cfg.faults.probe_flap),
+                ("crashWhileServing", &mut cfg.faults.crash_while_serving),
+                ("zoneOutage", &mut cfg.faults.zone_outage),
+                ("channelLoss", &mut cfg.faults.channel_loss),
             ] {
                 if let Some(p) = fraction(faults, key)? {
                     *slot = p;
@@ -266,6 +278,52 @@ impl EdgeConfig {
             }
             if let Some(d) = millis(faults, "probeFlapDelayMs")? {
                 cfg.faults.probe_flap_delay = d;
+            }
+            if let Some(d) = millis(faults, "zoneOutageWindowMs")? {
+                cfg.faults.zone_outage_window = d;
+            }
+            if let Some(d) = millis(faults, "channelReconnectDelayMs")? {
+                cfg.faults.channel_reconnect_delay = d;
+            }
+        }
+
+        let health = &doc["health"];
+        if !health.is_null() {
+            if health.as_map().is_none() {
+                return Err(ConfigError::Invalid("health must be a mapping".into()));
+            }
+            match &health["detectIntervalMs"] {
+                Value::Null => {}
+                Value::Int(ms) if *ms > 0 => {
+                    cfg.controller.health.detect_interval = Duration::from_millis(*ms as u64);
+                }
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "health.detectIntervalMs: expected a positive integer, got {other:?}"
+                    )))
+                }
+            }
+            match &health["breakerThreshold"] {
+                Value::Null => {}
+                Value::Int(k) if *k >= 1 => {
+                    cfg.controller.health.breaker_threshold = *k as u32;
+                }
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "health.breakerThreshold: expected an integer >= 1, got {other:?}"
+                    )))
+                }
+            }
+            match &health["breakerCooldownMs"] {
+                Value::Null => {}
+                Value::Int(ms) if *ms > 0 => {
+                    cfg.controller.health.breaker_cooldown = Duration::from_millis(*ms as u64);
+                }
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "health.breakerCooldownMs: expected a positive integer, got {other:?}"
+                    )))
+                }
             }
         }
 
@@ -357,6 +415,15 @@ faults:
   probeFlap: 0.15
   pullSlowdownFactor: 4.0
   probeFlapDelayMs: 750
+  crashWhileServing: 0.05
+  zoneOutage: 0.02
+  channelLoss: 0.03
+  zoneOutageWindowMs: 45000
+  channelReconnectDelayMs: 2500
+health:
+  detectIntervalMs: 250
+  breakerThreshold: 5
+  breakerCooldownMs: 30000
 ",
         )
         .unwrap();
@@ -375,7 +442,16 @@ faults:
         assert_eq!(cfg.faults.probe_flap, 0.15);
         assert_eq!(cfg.faults.pull_slowdown_factor, 4.0);
         assert_eq!(cfg.faults.probe_flap_delay, Duration::from_millis(750));
+        assert_eq!(cfg.faults.crash_while_serving, 0.05);
+        assert_eq!(cfg.faults.zone_outage, 0.02);
+        assert_eq!(cfg.faults.channel_loss, 0.03);
+        assert_eq!(cfg.faults.zone_outage_window, Duration::from_secs(45));
+        assert_eq!(cfg.faults.channel_reconnect_delay, Duration::from_millis(2500));
         assert!(cfg.faults.enabled());
+        assert!(cfg.faults.runtime_enabled());
+        assert_eq!(cfg.controller.health.detect_interval, Duration::from_millis(250));
+        assert_eq!(cfg.controller.health.breaker_threshold, 5);
+        assert_eq!(cfg.controller.health.breaker_cooldown, Duration::from_secs(30));
     }
 
     #[test]
@@ -396,6 +472,45 @@ faults:
         assert!(EdgeConfig::from_yaml("faults:\n  createFailure: -0.1").is_err());
         assert!(EdgeConfig::from_yaml("faults:\n  seed: -1").is_err());
         assert!(EdgeConfig::from_yaml("faults: chaos").is_err());
+    }
+
+    #[test]
+    fn invalid_runtime_fault_and_health_values_rejected() {
+        // Probabilities outside [0, 1] are typed errors, not clamps.
+        for bad in [
+            "faults:\n  crashWhileServing: 1.5",
+            "faults:\n  zoneOutage: -0.2",
+            "faults:\n  channelLoss: 2",
+            "faults:\n  zoneOutageWindowMs: -5",
+            "faults:\n  channelReconnectDelayMs: soon",
+        ] {
+            let err = EdgeConfig::from_yaml(bad).unwrap_err();
+            assert!(matches!(err, ConfigError::Invalid(_)), "{bad}: {err}");
+        }
+        // A zero detection interval would mean a busy-looping health sweep;
+        // a zero threshold would trip the breaker before any failure.
+        for bad in [
+            "health:\n  detectIntervalMs: 0",
+            "health:\n  detectIntervalMs: -100",
+            "health:\n  breakerThreshold: 0",
+            "health:\n  breakerCooldownMs: 0",
+            "health: robust",
+        ] {
+            let err = EdgeConfig::from_yaml(bad).unwrap_err();
+            assert!(matches!(err, ConfigError::Invalid(_)), "{bad}: {err}");
+        }
+        // Error messages name the offending key.
+        let err = EdgeConfig::from_yaml("health:\n  detectIntervalMs: 0").unwrap_err();
+        assert!(err.to_string().contains("detectIntervalMs"), "{err}");
+        let err = EdgeConfig::from_yaml("faults:\n  crashWhileServing: 1.5").unwrap_err();
+        assert!(err.to_string().contains("crashWhileServing"), "{err}");
+    }
+
+    #[test]
+    fn missing_health_block_keeps_defaults() {
+        let cfg = EdgeConfig::from_yaml("scheduler: proximity").unwrap();
+        assert_eq!(cfg.controller.health, crate::health::HealthConfig::default());
+        assert!(!cfg.faults.runtime_enabled());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::clients::ClientTracker;
 use crate::cluster::{EdgeCluster, InstanceAddr};
 use crate::dispatch::{DispatchDecision, DispatchOutcome, Dispatcher, PhaseTimes};
 use crate::flowmemory::{FlowMemory, IngressId};
+use crate::health::{BreakerState, HealthConfig};
 use crate::scheduler::{GlobalScheduler, RequestClass};
 use crate::service::EdgeService;
 use desim::{Duration, LogNormal, RetryPolicy, Sample, SimRng, SimTime};
@@ -27,7 +28,7 @@ use netsim::{ServiceAddr, TcpFrame};
 use openflow::actions::{Action, Instruction};
 use openflow::messages::{Message, OFPFF_SEND_FLOW_REM};
 use openflow::oxm::{Match, OxmField};
-use openflow::{OfError, OFP_NO_BUFFER};
+use openflow::{FlowEntry, OfError, OFP_NO_BUFFER};
 use std::collections::HashMap;
 use telemetry::{SpanId, Telemetry};
 
@@ -64,6 +65,9 @@ pub struct ControllerConfig {
     pub remove_after: Option<Duration>,
     /// Per-phase retry/backoff/deadline policy for deployment phases.
     pub retry: RetryPolicy,
+    /// Runtime health: failure-detection interval and circuit-breaker
+    /// tuning (the `health:` YAML block).
+    pub health: HealthConfig,
 }
 
 impl Default for ControllerConfig {
@@ -77,6 +81,7 @@ impl Default for ControllerConfig {
             scale_down_idle: true,
             remove_after: None,
             retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -198,6 +203,41 @@ pub struct HandoverOutcome {
     pub messages: Vec<(IngressId, OutboundMessage)>,
 }
 
+/// One flow as the controller believes it exists on a switch — enough
+/// detail to re-install it verbatim during reconciliation.
+#[derive(Clone, Debug)]
+struct InstalledFlow {
+    match_: Match,
+    instructions: Vec<Instruction>,
+    priority: u16,
+    cookie: u64,
+    flags: u16,
+}
+
+/// A forward/reverse flow pair the controller installed for one session,
+/// with enough context for the self-healing loop: which service/cluster/
+/// instance it redirects to (repair tears down exactly the pairs aimed at a
+/// dead instance) and whether a handover retires it.
+#[derive(Clone, Debug)]
+struct InstalledPair {
+    fwd: InstalledFlow,
+    rev: InstalledFlow,
+    service: ServiceAddr,
+    /// Cluster the pair redirects into; `None` for cloud-forwarding pairs.
+    cluster: Option<usize>,
+    /// Instance the forward flow rewrites toward; `None` for cloud pairs.
+    instance: Option<InstanceAddr>,
+    /// Whether an attachment-change handover tears this pair down. Redirect
+    /// and handover pairs are; plain packet-in cloud paths never were (they
+    /// just idle out), and reconciliation must not change that.
+    teardown_on_handover: bool,
+    /// Tombstone: the switch reported the flow gone (`FLOW_REMOVED`) or a
+    /// repair tore it down. Dead pairs are kept — not removed — so the
+    /// handover teardown's message sequence is exactly what it was before
+    /// reconciliation existed; reconciliation simply skips them.
+    dead: bool,
+}
+
 /// The transparent-edge SDN controller.
 pub struct Controller {
     services: crate::service::ServiceRegistry,
@@ -210,11 +250,11 @@ pub struct Controller {
     /// Cluster latency as seen from a given ingress, when it differs from
     /// the cluster's advertised latency (which is measured from ingress 0).
     ingress_distances: HashMap<(IngressId, usize), Duration>,
-    /// Exact redirect matches installed per `(client, ingress)` — the
-    /// controller-side bookkeeping that makes handover teardown possible:
-    /// switch-side deletion is exact-match, so the controller must remember
-    /// what it installed at the old switch to break it after the make.
-    installed: HashMap<(Ipv4Addr, IngressId), Vec<(Match, Match)>>,
+    /// Flow pairs installed per `(client, ingress)` — the controller-side
+    /// bookkeeping that makes handover teardown, stale-redirect repair and
+    /// channel-reconnect reconciliation possible: switch-side deletion is
+    /// exact-match, so the controller must remember what it installed.
+    installed: HashMap<(Ipv4Addr, IngressId), Vec<InstalledPair>>,
     config: ControllerConfig,
     next_xid: u32,
     /// Per-request records (the harness reads these).
@@ -247,6 +287,9 @@ pub struct Controller {
     /// Request ids handed to spans; each packet-in gets the id its record
     /// will have (index + 1).
     next_request: u64,
+    /// When each instance crashed (fault injection), so the repair sweep's
+    /// `stale_redirect_repair_ns` histogram measures crash→repair latency.
+    crash_records: HashMap<InstanceAddr, SimTime>,
 }
 
 impl Controller {
@@ -258,6 +301,7 @@ impl Controller {
     ) -> Controller {
         let mut dispatcher = Dispatcher::new(scheduler, config.poll_interval);
         dispatcher.set_retry_policy(config.retry);
+        dispatcher.health_mut().set_config(config.health);
         Controller {
             services: crate::service::ServiceRegistry::new(),
             clusters: Vec::new(),
@@ -278,6 +322,7 @@ impl Controller {
             last_flow_stats: None,
             telemetry: Telemetry::disabled(),
             next_request: 0,
+            crash_records: HashMap::new(),
         }
     }
 
@@ -444,9 +489,26 @@ impl Controller {
                 data,
                 ..
             } => Ok(self.handle_packet_in(ingress, now, buffer_id, &match_, &data, rng)),
-            Message::FlowRemoved { .. } => {
+            Message::FlowRemoved { match_, priority, .. } => {
                 self.flows_removed += 1;
                 self.telemetry.metrics.inc("flows_removed");
+                // Tombstone the bookkeeping: the switch no longer holds this
+                // flow, so reconciliation must not claim it. Forward flows
+                // carry `OFPFF_SEND_FLOW_REM` and match on the client source
+                // IP, which keys the bookkeeping.
+                let client = match_.fields().iter().find_map(|f| match f {
+                    OxmField::Ipv4Src(ip) => Some(Ipv4Addr(*ip)),
+                    _ => None,
+                });
+                if let Some(client) = client {
+                    if let Some(pairs) = self.installed.get_mut(&(client, ingress)) {
+                        for p in pairs.iter_mut() {
+                            if !p.dead && p.fwd.priority == priority && p.fwd.match_ == match_ {
+                                p.dead = true;
+                            }
+                        }
+                    }
+                }
                 Ok(vec![])
             }
             Message::Error { error_type, code, .. } => {
@@ -707,13 +769,68 @@ impl Controller {
             frame.src_ip.octets(),
             frame.src_port,
         );
-        // Bookkeep the exact matches: switch-side deletion is exact-match,
-        // so handover teardown needs these verbatim.
-        self.installed
-            .entry((frame.src_ip, ingress))
-            .or_default()
-            .push((fwd_match.clone(), rev_match.clone()));
+        // Bookkeep the exact pair: switch-side deletion is exact-match, so
+        // handover teardown and stale-redirect repair need it verbatim, and
+        // reconciliation needs the full flow to re-install it.
+        self.book_pair(
+            frame.src_ip,
+            ingress,
+            &fwd_match,
+            &fwd_actions,
+            &rev_match,
+            &rev_actions,
+            self.config.flow_priority,
+            svc.addr,
+            Some(cluster),
+            Some(instance),
+            true,
+        );
         self.install_pair(at, buffer_id, frame, fwd_match, fwd_actions, rev_match, rev_actions)
+    }
+
+    /// Files a forward/reverse pair into the bookkeeping. `fwd`/`rev` carry
+    /// the conventions of [`install_pair`](Self::install_pair) /
+    /// [`install_wildcard_pair`](Self::install_wildcard_pair): forward flows
+    /// use cookie 1 and request `FLOW_REMOVED`, reverse flows cookie 2.
+    #[allow(clippy::too_many_arguments)]
+    fn book_pair(
+        &mut self,
+        client: Ipv4Addr,
+        ingress: IngressId,
+        fwd_match: &Match,
+        fwd_actions: &[Action],
+        rev_match: &Match,
+        rev_actions: &[Action],
+        priority: u16,
+        service: ServiceAddr,
+        cluster: Option<usize>,
+        instance: Option<InstanceAddr>,
+        teardown_on_handover: bool,
+    ) {
+        self.installed
+            .entry((client, ingress))
+            .or_default()
+            .push(InstalledPair {
+                fwd: InstalledFlow {
+                    match_: fwd_match.clone(),
+                    instructions: vec![Instruction::ApplyActions(fwd_actions.to_vec())],
+                    priority,
+                    cookie: 1,
+                    flags: OFPFF_SEND_FLOW_REM,
+                },
+                rev: InstalledFlow {
+                    match_: rev_match.clone(),
+                    instructions: vec![Instruction::ApplyActions(rev_actions.to_vec())],
+                    priority,
+                    cookie: 2,
+                    flags: 0,
+                },
+                service,
+                cluster,
+                instance,
+                teardown_on_handover,
+                dead: false,
+            });
     }
 
     /// Builds plain bidirectional cloud-forwarding flows.
@@ -727,25 +844,35 @@ impl Controller {
     ) -> Vec<OutboundMessage> {
         let fwd = vec![Action::output(self.ingresses[ingress.0 as usize].cloud_port)];
         let rev = vec![Action::output(in_port)];
-        self.install_pair(
-            at,
-            buffer_id,
-            frame,
-            Match::connection(
-                frame.src_ip.octets(),
-                frame.src_port,
-                frame.dst_ip.octets(),
-                frame.dst_port,
-            ),
-            fwd,
-            Match::connection(
-                frame.dst_ip.octets(),
-                frame.dst_port,
-                frame.src_ip.octets(),
-                frame.src_port,
-            ),
-            rev,
-        )
+        let fwd_match = Match::connection(
+            frame.src_ip.octets(),
+            frame.src_port,
+            frame.dst_ip.octets(),
+            frame.dst_port,
+        );
+        let rev_match = Match::connection(
+            frame.dst_ip.octets(),
+            frame.dst_port,
+            frame.src_ip.octets(),
+            frame.src_port,
+        );
+        // Bookkept (reconciliation must not strict-delete live cloud paths
+        // as orphans) but *not* handover-retired: these pairs were never
+        // torn down by handovers, only idled out.
+        self.book_pair(
+            frame.src_ip,
+            ingress,
+            &fwd_match,
+            &fwd,
+            &rev_match,
+            &rev,
+            self.config.flow_priority,
+            frame.dst_service(),
+            None,
+            None,
+            false,
+        );
+        self.install_pair(at, buffer_id, frame, fwd_match, fwd, rev_match, rev)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -868,8 +995,20 @@ impl Controller {
         self.clients.observe(client, to, new_in_port, t);
         // Snapshot the old switch's exact matches before any new installs:
         // with `from == to` (a re-attach to the same cell) the new wildcard
-        // pairs must not end up in their own teardown list.
-        let old_pairs = self.installed.remove(&(client, from)).unwrap_or_default();
+        // pairs must not end up in their own teardown list. Cloud packet-in
+        // pairs stay filed — handovers never tore those down (they idle out
+        // and tombstone via `FLOW_REMOVED`), and reconciliation still needs
+        // to claim them until then.
+        let mut old_pairs = self.installed.remove(&(client, from)).unwrap_or_default();
+        let kept: Vec<InstalledPair> = old_pairs
+            .iter()
+            .filter(|p| !p.teardown_on_handover)
+            .cloned()
+            .collect();
+        old_pairs.retain(|p| p.teardown_on_handover);
+        if !kept.is_empty() {
+            self.installed.insert((client, from), kept);
+        }
 
         let mut messages: Vec<(IngressId, OutboundMessage)> = Vec::new();
         let mut completed_at = t;
@@ -965,8 +1104,8 @@ impl Controller {
         // here costs nothing.
         let break_at = completed_at + Duration::from_millis(50);
         let n_old = old_pairs.len();
-        for (fwd, rev) in old_pairs {
-            for m in [fwd, rev] {
+        for pair in old_pairs {
+            for m in [pair.fwd.match_, pair.rev.match_] {
                 let x = self.xid();
                 messages.push((
                     from,
@@ -1049,10 +1188,19 @@ impl Controller {
             Action::SetField(OxmField::TcpSrc(svc.addr.port)),
             Action::output(in_port),
         ];
-        self.installed
-            .entry((client, ingress))
-            .or_default()
-            .push((fwd_match.clone(), rev_match.clone()));
+        self.book_pair(
+            client,
+            ingress,
+            &fwd_match,
+            &fwd_actions,
+            &rev_match,
+            &rev_actions,
+            self.config.flow_priority.saturating_sub(1),
+            svc.addr,
+            Some(cluster),
+            Some(instance),
+            true,
+        );
         self.install_wildcard_pair(at, fwd_match, fwd_actions, rev_match, rev_actions)
     }
 
@@ -1076,10 +1224,19 @@ impl Controller {
             .with(OxmField::Ipv4Dst(client.octets()));
         let fwd_actions = vec![Action::output(self.ingresses[ingress.0 as usize].cloud_port)];
         let rev_actions = vec![Action::output(in_port)];
-        self.installed
-            .entry((client, ingress))
-            .or_default()
-            .push((fwd_match.clone(), rev_match.clone()));
+        self.book_pair(
+            client,
+            ingress,
+            &fwd_match,
+            &fwd_actions,
+            &rev_match,
+            &rev_actions,
+            self.config.flow_priority.saturating_sub(1),
+            svc.addr,
+            None,
+            None,
+            true,
+        );
         self.install_wildcard_pair(at, fwd_match, fwd_actions, rev_match, rev_actions)
     }
 
@@ -1252,6 +1409,379 @@ impl Controller {
             });
         }
         events
+    }
+
+    /// The circuit-breaker state of `cluster` (telemetry snapshots).
+    pub fn breaker_state(&self, cluster: usize) -> BreakerState {
+        self.dispatcher.health().breaker_state(cluster)
+    }
+
+    /// The active health configuration (the harness schedules its detection
+    /// sweep every `health_config().detect_interval`).
+    pub fn health_config(&self) -> HealthConfig {
+        self.dispatcher.health().config()
+    }
+
+    /// Fault injection: a *Ready* instance of `svc_addr` on `cluster`
+    /// crashes while serving. The crash itself is silent — clients keep
+    /// being redirected at the corpse until the next [`health_check`] sweep
+    /// notices; the instant is recorded so `stale_redirect_repair_ns`
+    /// measures crash→repair latency. Returns `false` if there was nothing
+    /// running to kill.
+    ///
+    /// [`health_check`]: Self::health_check
+    pub fn inject_instance_crash(
+        &mut self,
+        cluster: usize,
+        svc_addr: ServiceAddr,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> bool {
+        if cluster >= self.clusters.len() {
+            return false;
+        }
+        let Some(svc) = self.services.get(svc_addr).cloned() else {
+            return false;
+        };
+        let instance = self.clusters[cluster].instance_addr(&svc);
+        if !self.clusters[cluster].fail_instance(&svc, now, rng) {
+            return false;
+        }
+        if let Some(inst) = instance {
+            self.crash_records.insert(inst, now);
+        }
+        true
+    }
+
+    /// The failure-detection sweep, run every `health.detect_interval`:
+    /// walks every instance the FlowMemory still redirects clients at and
+    /// repairs the state around each one that is no longer Ready — forgets
+    /// its memory entries (no lookup ever returns the dead address again),
+    /// tombstones and deletes the matching switch flows, and feeds the
+    /// cluster's circuit breaker. Subsequent packets from the affected
+    /// clients miss the table and re-enter the ordinary dispatch pipeline.
+    /// Returns the Delete FlowMods, tagged with the ingress they go to.
+    ///
+    /// Ordinary idle scale-down cannot false-positive here: a service is
+    /// only scaled down after its last memorized flow expired, so by then
+    /// the memory holds nothing pointing at it.
+    pub fn health_check(&mut self, now: SimTime) -> Vec<(IngressId, OutboundMessage)> {
+        let mut out: Vec<(IngressId, OutboundMessage)> = Vec::new();
+        for (cluster, inst, svc_addr) in self.memory.instances() {
+            let mut alive = false;
+            if cluster < self.clusters.len() {
+                if let Some(svc) = self.services.get(svc_addr) {
+                    alive = matches!(
+                        self.clusters[cluster].state(svc, now),
+                        crate::cluster::InstanceState::Ready(i) if i == inst
+                    );
+                }
+            }
+            if alive {
+                continue;
+            }
+            out.extend(self.repair_dead_instance(cluster, inst, now));
+        }
+        out
+    }
+
+    /// Stale-redirect repair for one dead instance: forget its FlowMemory
+    /// entries, tombstone + delete its switch flows everywhere, record the
+    /// failure with the cluster's breaker, and update the repair metrics.
+    fn repair_dead_instance(
+        &mut self,
+        cluster: usize,
+        inst: InstanceAddr,
+        now: SimTime,
+    ) -> Vec<(IngressId, OutboundMessage)> {
+        let victims = self.memory.forget_instance(inst);
+        self.next_request += 1;
+        let request = self.next_request;
+        let root = self.telemetry.span(request, SpanId::NONE, "recovery", now);
+        let n = victims.len();
+        self.telemetry.event(root, "instance-failure", now, || {
+            format!(
+                "cluster {cluster}: instance {}:{} dead, {n} stale redirect(s)",
+                inst.ip, inst.port
+            )
+        });
+        // Tear down every bookkept pair aimed at the corpse — not only the
+        // memorized ones: handover leftovers reference it too.
+        let mut keys: Vec<(Ipv4Addr, IngressId)> = self.installed.keys().copied().collect();
+        keys.sort();
+        let mut out = Vec::new();
+        for (client, ing) in keys {
+            out.extend(self.teardown_pairs_for(client, ing, |p| p.instance == Some(inst), now));
+        }
+        self.dispatcher.health_mut().record_failure(cluster, now);
+        let m = &mut self.telemetry.metrics;
+        m.inc("instance_failures_total");
+        if n > 0 {
+            m.add("stale_redirects_repaired", n as u64);
+        }
+        if let Some(crashed_at) = self.crash_records.remove(&inst) {
+            m.observe("stale_redirect_repair_ns", now.saturating_since(crashed_at));
+        }
+        self.set_breaker_gauges();
+        self.telemetry.event(root, "repaired", now, || {
+            format!("{} flow delete(s) toward the switches", out.len())
+        });
+        self.telemetry.end_span(root, now);
+        out
+    }
+
+    /// Declares `cluster` dark until `until` — the zone-outage fault: every
+    /// Ready/Starting instance in the zone fails at once, all memorized
+    /// redirects into it are forgotten, their switch flows torn down, and
+    /// the zone is blocked for scheduling until the window passes (or
+    /// [`end_zone_outage`] is called). Returns the Delete FlowMods per
+    /// ingress.
+    ///
+    /// [`end_zone_outage`]: Self::end_zone_outage
+    pub fn begin_zone_outage(
+        &mut self,
+        cluster: usize,
+        now: SimTime,
+        until: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<(IngressId, OutboundMessage)> {
+        if cluster >= self.clusters.len() {
+            return vec![];
+        }
+        self.next_request += 1;
+        let request = self.next_request;
+        let root = self.telemetry.span(request, SpanId::NONE, "zone-outage", now);
+        let svcs: Vec<EdgeService> = self.services.iter().cloned().collect();
+        let mut failed = 0usize;
+        for svc in &svcs {
+            if self.clusters[cluster].fail_instance(svc, now, rng) {
+                failed += 1;
+            }
+        }
+        let victims = self.memory.forget_cluster(cluster);
+        self.telemetry.event(root, "zone-dark", now, || {
+            format!(
+                "cluster {cluster}: {failed} instance(s) down, {} stale redirect(s), until {until:?}",
+                victims.len()
+            )
+        });
+        let mut keys: Vec<(Ipv4Addr, IngressId)> = self.installed.keys().copied().collect();
+        keys.sort();
+        let mut out = Vec::new();
+        for (client, ing) in keys {
+            out.extend(self.teardown_pairs_for(client, ing, |p| p.cluster == Some(cluster), now));
+        }
+        self.dispatcher.health_mut().begin_outage(cluster, until);
+        let m = &mut self.telemetry.metrics;
+        m.inc("zone_outages_total");
+        if !victims.is_empty() {
+            m.add("stale_redirects_repaired", victims.len() as u64);
+        }
+        self.telemetry.end_span(root, now);
+        out
+    }
+
+    /// Clears a declared zone outage: the cluster becomes schedulable again
+    /// immediately (its services were failed to Created, so the next request
+    /// re-deploys through the ordinary pipeline).
+    pub fn end_zone_outage(&mut self, cluster: usize) {
+        self.dispatcher.health_mut().end_outage(cluster);
+    }
+
+    /// Flow-table reconciliation after an OpenFlow channel reconnect. The
+    /// switch kept forwarding on its installed flows while control messages
+    /// were lost, so its table and the controller's bookkeeping may have
+    /// drifted: installs the controller sent into the void are *missing*,
+    /// and switch flows whose teardown was lost are *orphans*. Compares
+    /// `switch_flows` — the switch's current table — against the bookkeeping
+    /// for `ingress`: live expected flows missing from the switch are
+    /// re-installed verbatim, and switch entries the controller does not
+    /// claim are strict-deleted. Expected pairs whose instance died while
+    /// the channel was down are tombstoned here (their switch entries, if
+    /// any, become orphans). A second pass right after the returned FlowMods
+    /// are applied returns nothing.
+    pub fn reconcile(
+        &mut self,
+        ingress: IngressId,
+        switch_flows: &[FlowEntry],
+        now: SimTime,
+    ) -> Vec<OutboundMessage> {
+        let mut clients: Vec<Ipv4Addr> = self
+            .installed
+            .keys()
+            .filter(|(_, i)| *i == ingress)
+            .map(|(c, _)| *c)
+            .collect();
+        clients.sort();
+        let mut claimed: Vec<(Match, u16)> = Vec::new();
+        let mut missing: Vec<InstalledFlow> = Vec::new();
+        for client in clients {
+            let Some(pairs) = self.installed.get_mut(&(client, ingress)) else {
+                continue;
+            };
+            for p in pairs.iter_mut() {
+                if p.dead {
+                    continue;
+                }
+                // A redirect pair is expected only while its instance still
+                // serves; cloud pairs have nothing to die.
+                if let (Some(c), Some(inst)) = (p.cluster, p.instance) {
+                    let mut alive = false;
+                    if c < self.clusters.len() {
+                        if let Some(svc) = self.services.get(p.service) {
+                            alive = matches!(
+                                self.clusters[c].state(svc, now),
+                                crate::cluster::InstanceState::Ready(i) if i == inst
+                            );
+                        }
+                    }
+                    if !alive {
+                        p.dead = true;
+                        continue;
+                    }
+                }
+                // Reverse before forward, as installs always go out: if both
+                // directions are missing, the reply path comes back first.
+                for f in [&p.rev, &p.fwd] {
+                    claimed.push((f.match_.clone(), f.priority));
+                    let on_switch = switch_flows
+                        .iter()
+                        .any(|e| e.priority == f.priority && e.match_ == f.match_);
+                    if !on_switch {
+                        missing.push(f.clone());
+                    }
+                }
+            }
+        }
+
+        let idle = (self.config.switch_flow_idle.as_nanos() / 1_000_000_000) as u16;
+        let n_missing = missing.len();
+        let mut msgs: Vec<OutboundMessage> = Vec::with_capacity(n_missing);
+        for f in missing {
+            let x = self.xid();
+            msgs.push(OutboundMessage {
+                at: now,
+                data: Message::FlowMod {
+                    cookie: f.cookie,
+                    table_id: 0,
+                    command: openflow::messages::FlowModCommand::Add,
+                    idle_timeout: idle,
+                    hard_timeout: 0,
+                    priority: f.priority,
+                    buffer_id: OFP_NO_BUFFER,
+                    flags: f.flags,
+                    match_: f.match_,
+                    instructions: f.instructions,
+                }
+                .encode(x),
+            });
+        }
+        // Strict-delete unclaimed switch entries. Switch-side deletion is by
+        // exact match across every priority, so one Delete per distinct
+        // match suffices.
+        let mut deleted: Vec<Match> = Vec::new();
+        let mut n_orphans = 0usize;
+        for e in switch_flows {
+            if claimed
+                .iter()
+                .any(|(m, pr)| *pr == e.priority && *m == e.match_)
+            {
+                continue;
+            }
+            n_orphans += 1;
+            if deleted.contains(&e.match_) {
+                continue;
+            }
+            deleted.push(e.match_.clone());
+            let x = self.xid();
+            msgs.push(OutboundMessage {
+                at: now,
+                data: Message::FlowMod {
+                    cookie: 0,
+                    table_id: 0,
+                    command: openflow::messages::FlowModCommand::Delete,
+                    idle_timeout: 0,
+                    hard_timeout: 0,
+                    priority: 0,
+                    buffer_id: OFP_NO_BUFFER,
+                    flags: 0,
+                    match_: e.match_.clone(),
+                    instructions: vec![],
+                }
+                .encode(x),
+            });
+        }
+
+        self.next_request += 1;
+        let request = self.next_request;
+        let root = self.telemetry.span(request, SpanId::NONE, "reconcile", now);
+        self.telemetry.event(root, "diff", now, || {
+            format!("ingress {}: {n_missing} missing, {n_orphans} orphan(s)", ingress.0)
+        });
+        self.telemetry.end_span(root, now);
+        let m = &mut self.telemetry.metrics;
+        m.inc("reconciliations_total");
+        if n_missing > 0 {
+            m.add("reconcile_reinstalled", n_missing as u64);
+        }
+        if n_orphans > 0 {
+            m.add("reconcile_orphans_deleted", n_orphans as u64);
+        }
+        msgs
+    }
+
+    /// Tombstones every live pair at `(client, ingress)` matched by `pick`
+    /// and emits exact Delete FlowMods for both directions.
+    fn teardown_pairs_for(
+        &mut self,
+        client: Ipv4Addr,
+        ingress: IngressId,
+        pick: impl Fn(&InstalledPair) -> bool,
+        at: SimTime,
+    ) -> Vec<(IngressId, OutboundMessage)> {
+        let mut doomed: Vec<(Match, Match)> = Vec::new();
+        if let Some(pairs) = self.installed.get_mut(&(client, ingress)) {
+            for p in pairs.iter_mut() {
+                if !p.dead && pick(p) {
+                    p.dead = true;
+                    doomed.push((p.fwd.match_.clone(), p.rev.match_.clone()));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (fwd, rev) in doomed {
+            for m in [fwd, rev] {
+                let x = self.xid();
+                out.push((
+                    ingress,
+                    OutboundMessage {
+                        at,
+                        data: Message::FlowMod {
+                            cookie: 0,
+                            table_id: 0,
+                            command: openflow::messages::FlowModCommand::Delete,
+                            idle_timeout: 0,
+                            hard_timeout: 0,
+                            priority: 0,
+                            buffer_id: OFP_NO_BUFFER,
+                            flags: 0,
+                            match_: m,
+                            instructions: vec![],
+                        }
+                        .encode(x),
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Refreshes the per-cluster breaker gauges (`breaker_state.{i}`).
+    fn set_breaker_gauges(&mut self) {
+        for i in 0..self.clusters.len() {
+            let s = self.dispatcher.health().breaker_state(i);
+            self.telemetry.metrics.set_gauge(&format!("breaker_state.{i}"), s.gauge());
+        }
     }
 
     /// Earliest instant the next `tick` could have work.
@@ -2142,5 +2672,285 @@ mod tests {
             2 * u64::from(ctl.config.retry.max_attempts - 1)
         );
         assert_eq!(ctl.telemetry.metrics.counter("deploys_gave_up"), 2);
+    }
+
+    /// Drives one request to completion and delivers its flows to the
+    /// switch; returns the answer instant.
+    fn serve_one(
+        ctl: &mut Controller,
+        sw: &mut Switch,
+        at: SimTime,
+        src_port: u16,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let effects = sw.handle_frame(at, CLIENT_PORT, &client_syn(src_port).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(at, pkt_in, rng).unwrap();
+        let answered = out[0].at;
+        for m in &out {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        answered
+    }
+
+    /// The runtime-failure tentpole, end to end at the unit level: a Ready
+    /// instance crashes while serving; the next health sweep forgets its
+    /// memorized redirects, deletes its switch flows, feeds the breaker and
+    /// the metrics; the client's next packet re-enters dispatch and
+    /// redeploys.
+    #[test]
+    fn crashed_instance_is_detected_and_repaired() {
+        let mut rng = SimRng::new(31);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        ctl.telemetry = Telemetry::recording();
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+        assert_eq!(ctl.memory().len(), 1);
+        let flows_before = sw.table().entries().count();
+        assert!(flows_before >= 2);
+
+        // Crash while serving — silent until the next sweep.
+        let svc_addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80);
+        let crash_at = answered + Duration::from_secs(1);
+        assert!(ctl.inject_instance_crash(0, svc_addr, crash_at, &mut rng));
+        assert_eq!(ctl.memory().len(), 1, "not yet detected");
+
+        // Detection sweep: memory purged, exact deletes emitted.
+        let detect_at = crash_at + ctl.health_config().detect_interval;
+        let repairs = ctl.health_check(detect_at);
+        assert!(ctl.memory().is_empty(), "no lookup returns the dead address");
+        assert_eq!(repairs.len(), 2, "fwd + rev delete");
+        for (ing, m) in &repairs {
+            assert_eq!(*ing, IngressId::DEFAULT);
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        assert_eq!(sw.table().entries().count(), flows_before - 2);
+        // A second sweep finds nothing left to repair.
+        assert!(ctl.health_check(detect_at + ctl.health_config().detect_interval).is_empty());
+
+        // One failure is below the breaker threshold: cluster still offered.
+        assert_eq!(ctl.breaker_state(0), BreakerState::Closed);
+        assert_eq!(ctl.telemetry.metrics.counter("instance_failures_total"), 1);
+        assert_eq!(ctl.telemetry.metrics.counter("stale_redirects_repaired"), 1);
+        let hist = ctl.telemetry.metrics.histogram("stale_redirect_repair_ns").unwrap();
+        assert_eq!(hist.count(), 1, "crash→repair latency observed");
+
+        // The client's next connection redeploys through the pipeline.
+        let t1 = detect_at + Duration::from_secs(1);
+        serve_one(&mut ctl, &mut sw, t1, 50001, &mut rng);
+        let rec = ctl.records.last().unwrap();
+        assert_eq!(rec.kind, RequestKind::Waited, "fresh deployment, not a stale hit");
+        assert_eq!(rec.cluster, Some(0));
+        // The recovery span closed cleanly.
+        let log = ctl.telemetry.span_log().unwrap();
+        assert!(log.check().ok());
+        assert!(log.spans().any(|s| s.name == "recovery"));
+    }
+
+    /// Repeated crashes trip the cluster's breaker: the scheduler stops
+    /// seeing the zone and requests go to the cloud until the cooldown
+    /// half-opens it again.
+    #[test]
+    fn breaker_trips_after_repeated_crashes_and_probes_after_cooldown() {
+        let mut rng = SimRng::new(32);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        let svc_addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80);
+        let threshold = ctl.health_config().breaker_threshold;
+        let mut t = SimTime::from_secs(1);
+        // Alternating crash/redeploy cycles never trip the breaker: each
+        // successful redeployment resets the failure streak.
+        for i in 0..threshold {
+            let answered = serve_one(&mut ctl, &mut sw, t, 50000 + i as u16, &mut rng);
+            let crash_at = answered + Duration::from_secs(1);
+            assert!(ctl.inject_instance_crash(0, svc_addr, crash_at, &mut rng));
+            t = crash_at + ctl.health_config().detect_interval;
+            for (_, m) in ctl.health_check(t) {
+                sw.handle_controller(m.at, &m.data).unwrap();
+            }
+            t += Duration::from_secs(1);
+        }
+        assert_eq!(ctl.breaker_state(0), BreakerState::Closed);
+
+        // K *consecutive* failures with no success in between do trip it
+        // (the same record_failure path the health sweep and the
+        // deployment give-up feed).
+        for i in 0..threshold {
+            ctl.dispatcher
+                .health_mut()
+                .record_failure(0, t + Duration::from_millis(u64::from(i)));
+        }
+        assert_eq!(ctl.breaker_state(0), BreakerState::Open);
+
+        // Open breaker: the scheduler sees no clusters; requests go cloud.
+        let t1 = t + Duration::from_secs(1);
+        serve_one(&mut ctl, &mut sw, t1, 51000, &mut rng);
+        assert_eq!(ctl.records.last().unwrap().kind, RequestKind::Cloud);
+
+        // After the cooldown the half-open probe lets a deployment through,
+        // and its success closes the breaker.
+        let t2 = t + ctl.health_config().breaker_cooldown + Duration::from_secs(1);
+        serve_one(&mut ctl, &mut sw, t2, 51001, &mut rng);
+        assert_eq!(ctl.records.last().unwrap().kind, RequestKind::Waited);
+        assert_eq!(ctl.breaker_state(0), BreakerState::Closed);
+    }
+
+    /// A declared zone outage tears everything down at once, blocks the zone
+    /// for scheduling for the window, and the zone serves again afterwards.
+    #[test]
+    fn zone_outage_blocks_scheduling_until_it_ends() {
+        let mut rng = SimRng::new(33);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        ctl.telemetry = Telemetry::recording();
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+        let flows_before = sw.table().entries().count();
+
+        let dark_at = answered + Duration::from_secs(1);
+        let until = dark_at + Duration::from_secs(30);
+        let repairs = ctl.begin_zone_outage(0, dark_at, until, &mut rng);
+        assert!(ctl.memory().is_empty());
+        assert_eq!(repairs.len(), 2);
+        for (_, m) in &repairs {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        assert_eq!(sw.table().entries().count(), flows_before - 2);
+        assert_eq!(ctl.telemetry.metrics.counter("zone_outages_total"), 1);
+
+        // During the window: the zone is not offered; requests go cloud.
+        serve_one(&mut ctl, &mut sw, dark_at + Duration::from_secs(5), 50001, &mut rng);
+        assert_eq!(ctl.records.last().unwrap().kind, RequestKind::Cloud);
+
+        // After the window passes, the next request redeploys at the edge.
+        serve_one(&mut ctl, &mut sw, until + Duration::from_secs(1), 50002, &mut rng);
+        let rec = ctl.records.last().unwrap();
+        assert_eq!(rec.kind, RequestKind::Waited);
+        assert_eq!(rec.cluster, Some(0));
+
+        // An explicit early end also restores the zone.
+        let dark2 = until + Duration::from_secs(40);
+        ctl.begin_zone_outage(0, dark2, dark2 + Duration::from_secs(60), &mut rng);
+        ctl.end_zone_outage(0);
+        serve_one(&mut ctl, &mut sw, dark2 + Duration::from_secs(1), 50003, &mut rng);
+        assert_eq!(ctl.records.last().unwrap().kind, RequestKind::Waited);
+    }
+
+    /// Channel-reconnect reconciliation: flows the switch lost while the
+    /// channel was down are re-installed verbatim; switch entries the
+    /// controller does not claim are strict-deleted; a second pass is a
+    /// no-op — the table and the bookkeeping agree exactly.
+    #[test]
+    fn reconcile_reinstalls_missing_and_deletes_orphans() {
+        let mut rng = SimRng::new(34);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+        let flows_before: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        assert!(flows_before.len() >= 2);
+
+        // The switch flows idle out *with the channel down*: the
+        // FLOW_REMOVED effects are never delivered, so the controller's
+        // bookkeeping still claims the pair.
+        let lost_at = answered + ctl.config.switch_flow_idle + Duration::from_secs(1);
+        let _undelivered = sw.expire_flows(lost_at);
+        assert_eq!(sw.table().entries().count(), 0, "switch lost everything");
+
+        // An orphan the controller never installed (its teardown was lost).
+        let orphan = Message::FlowMod {
+            cookie: 7,
+            table_id: 0,
+            command: openflow::messages::FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 42,
+            buffer_id: OFP_NO_BUFFER,
+            flags: 0,
+            match_: Match::connection([1, 2, 3, 4], 9, [5, 6, 7, 8], 10),
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(CLOUD_PORT)])],
+        };
+        sw.handle_controller(lost_at, &orphan.encode(1234)).unwrap();
+
+        // Reconnect: diff the switch table against the bookkeeping.
+        let reconnect_at = lost_at + Duration::from_secs(1);
+        let table: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        let fixes = ctl.reconcile(IngressId::DEFAULT, &table, reconnect_at);
+        assert_eq!(fixes.len(), 3, "2 re-adds + 1 orphan delete");
+        for m in &fixes {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+
+        // The repaired table matches what was installed originally, modulo
+        // bookkeeping fields the switch resets (timestamps, counters).
+        let repaired: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        assert_eq!(repaired.len(), flows_before.len());
+        for b in &flows_before {
+            assert!(
+                repaired.iter().any(|a| a.match_ == b.match_
+                    && a.priority == b.priority
+                    && a.instructions == b.instructions
+                    && a.flags == b.flags),
+                "original flow missing after repair: {:?}",
+                b.match_
+            );
+        }
+        // Traffic flows again without a packet-in.
+        let misses_before = sw.table_misses;
+        let mut ack = client_syn(50000);
+        ack.flags = TcpFlags::ACK;
+        let fx = sw.handle_frame(reconnect_at + Duration::from_millis(1), CLIENT_PORT, &ack.encode());
+        assert!(matches!(fx[0], Effect::Forward { port: EDGE_PORT, .. }));
+        assert_eq!(sw.table_misses, misses_before);
+
+        // Convergence: a second pass finds nothing to fix.
+        let table: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        assert!(ctl.reconcile(IngressId::DEFAULT, &table, reconnect_at + Duration::from_secs(1)).is_empty());
+    }
+
+    /// A delivered FLOW_REMOVED tombstones its pair: reconciliation does not
+    /// resurrect flows the switch legitimately expired.
+    #[test]
+    fn flow_removed_tombstones_so_reconcile_does_not_resurrect() {
+        let mut rng = SimRng::new(35);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+
+        // The flows idle out and the notification *is* delivered.
+        let expire_at = answered + ctl.config.switch_flow_idle + Duration::from_secs(1);
+        for fx in sw.expire_flows(expire_at) {
+            if let Effect::ToController(bytes) = fx {
+                ctl.handle_switch_message(expire_at, &bytes, &mut rng).unwrap();
+            }
+        }
+        assert!(ctl.flows_removed > 0);
+        assert_eq!(sw.table().entries().count(), 0);
+
+        // Reconciliation agrees with the switch: nothing to re-install.
+        let table: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        let fixes = ctl.reconcile(IngressId::DEFAULT, &table, expire_at + Duration::from_secs(1));
+        assert!(fixes.is_empty(), "expired pairs are tombstoned, not resurrected: {}", fixes.len());
+    }
+
+    /// Reconciliation tombstones pairs whose instance died while the channel
+    /// was down: their surviving switch flows become orphans and are
+    /// deleted, not re-installed.
+    #[test]
+    fn reconcile_drops_pairs_of_dead_instances() {
+        let mut rng = SimRng::new(36);
+        let (mut ctl, mut sw) = setup(&mut rng);
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+        let svc_addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80);
+
+        // The instance dies while the channel is down — no repair Deletes
+        // could be delivered, so the switch still redirects at the corpse.
+        let crash_at = answered + Duration::from_secs(1);
+        assert!(ctl.inject_instance_crash(0, svc_addr, crash_at, &mut rng));
+        assert!(sw.table().entries().count() >= 2, "stale flows survive on the switch");
+
+        // On reconnect, reconciliation deletes them instead of re-adding.
+        let table: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        let fixes = ctl.reconcile(IngressId::DEFAULT, &table, crash_at + Duration::from_secs(2));
+        assert!(!fixes.is_empty());
+        for m in &fixes {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        assert_eq!(sw.table().entries().count(), 0, "stale redirects purged");
+        let table: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        assert!(ctl.reconcile(IngressId::DEFAULT, &table, crash_at + Duration::from_secs(3)).is_empty());
     }
 }

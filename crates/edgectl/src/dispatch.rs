@@ -18,6 +18,7 @@
 
 use crate::cluster::{DeployError, EdgeCluster, InstanceAddr, InstanceState};
 use crate::flowmemory::{FlowKey, FlowMemory, IngressId};
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::scheduler::{
     ClusterView, GlobalScheduler, RequestClass, SchedulingContext, ServiceRef,
 };
@@ -189,6 +190,9 @@ pub struct Dispatcher {
     in_flight: HashMap<(ServiceAddr, usize), FailedDeploy>,
     /// Requests that coalesced onto an in-flight failure.
     coalesced: u64,
+    /// Per-cluster circuit breakers + outage windows: clusters the monitor
+    /// reports unavailable are never offered to the Global Scheduler.
+    health: HealthMonitor,
 }
 
 impl Dispatcher {
@@ -202,6 +206,7 @@ impl Dispatcher {
             retry: RetryPolicy::default(),
             in_flight: HashMap::new(),
             coalesced: 0,
+            health: HealthMonitor::new(HealthConfig::default()),
         }
     }
 
@@ -229,6 +234,17 @@ impl Dispatcher {
     /// instead of re-driving the phases (single-flight hits).
     pub fn coalesced_count(&self) -> u64 {
         self.coalesced
+    }
+
+    /// The runtime health monitor (breakers + outages).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Mutable access for the controller's repair loop: declare outages,
+    /// report detected runtime crashes.
+    pub fn health_mut(&mut self) -> &mut HealthMonitor {
+        &mut self.health
     }
 
     /// Dispatches one request from `client_ip` to `svc` (Fig. 7), without
@@ -358,11 +374,29 @@ impl Dispatcher {
             });
         }
 
-        // 2. Gather views and consult the Global Scheduler.
-        let views: Vec<ClusterView> = clusters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| ClusterView {
+        // 2. Gather views and consult the Global Scheduler. Clusters the
+        // health monitor reports unavailable — breaker Open, or inside a
+        // declared zone-outage window — are withheld from the candidate
+        // list entirely, so no scheduler implementation can pick a flapping
+        // zone. `candidates` maps view indices back to cluster indices.
+        let health = &mut self.health;
+        let mut candidates: Vec<usize> = Vec::with_capacity(clusters.len());
+        let mut views: Vec<ClusterView> = Vec::with_capacity(clusters.len());
+        for (i, c) in clusters.iter().enumerate() {
+            if !health.available(i, now) {
+                let state = health.breaker_state(i);
+                tele.event(parent, "cluster-blocked", now, || {
+                    format!(
+                        "cluster {} withheld from scheduling (breaker {}{})",
+                        c.name(),
+                        state.label(),
+                        if health.in_outage(i, now) { ", zone outage" } else { "" },
+                    )
+                });
+                continue;
+            }
+            candidates.push(i);
+            views.push(ClusterView {
                 name: c.name().to_owned(),
                 kind: c.kind(),
                 distance: distances
@@ -371,8 +405,8 @@ impl Dispatcher {
                 image_cached: c.has_image_cached(svc),
                 state: c.state(svc, now),
                 load: c.load(),
-            })
-            .collect();
+            });
+        }
         let ctx = SchedulingContext {
             clusters: &views,
             service: ServiceRef {
@@ -395,6 +429,12 @@ impl Dispatcher {
             )
         });
         tele.end_span(sched_span, now);
+        // The scheduler chose among the *available* candidates; translate
+        // its view indices back to controller cluster indices.
+        let choice = crate::scheduler::Choice {
+            fast: choice.fast.map(|v| candidates[v]),
+            best: choice.best.map(|v| candidates[v]),
+        };
 
         // 3. BEST ≠ FAST: deploy in the background (without waiting).
         let background = match choice.best {
@@ -631,6 +671,9 @@ impl Dispatcher {
                 desim::fmt_duration(poll)
             )
         });
+        // A confirmed instance is breaker feedback: closes a half-open
+        // probe and resets the cluster's failure streak.
+        self.health.record_success(cluster);
         EnsureOutcome::Ready(confirmed)
     }
 
@@ -643,6 +686,9 @@ impl Dispatcher {
         phases: &mut PhaseTimes,
     ) -> EnsureOutcome {
         phases.gave_up_at = Some(at);
+        // Breaker feedback: coalesced joiners don't re-record — one
+        // exhausted deployment is one failure.
+        self.health.record_failure(key.1, at);
         self.in_flight.insert(
             key,
             FailedDeploy {
@@ -1017,6 +1063,95 @@ mod tests {
         }
         assert!(recovered > 0, "some runs recover via retries");
         assert!(fell_back > 0, "some runs exhaust the budget");
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_give_ups_and_gates_scheduling() {
+        use crate::health::BreakerState;
+        use desim::FaultPlan;
+        let mut rng = SimRng::new(21);
+        let svc = make_service("asm");
+        let plan = FaultPlan {
+            create_failure: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut clusters = vec![docker_faulty("near", 1, plan, 0x51, &mut rng)];
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<ProximityScheduler>::default());
+
+        // Three fresh give-ups trip the breaker (default threshold 3). Each
+        // request starts after the previous failure's give-up window so none
+        // coalesce.
+        let mut now = SimTime::from_secs(1);
+        for i in 0..3u8 {
+            let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20 + i), now, &mut clusters, &mut memory, &mut rng);
+            let DispatchDecision::FallbackCloud { released_at } = out.decision else {
+                panic!("expected fallback: {:?}", out.decision);
+            };
+            now = released_at + Duration::from_secs(1);
+        }
+        assert_eq!(d.health().breaker_state(0), BreakerState::Open);
+
+        // While Open, the only cluster is withheld: straight to cloud with
+        // no deployment attempt (no phases, no held request).
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 30), now, &mut clusters, &mut memory, &mut rng);
+        assert!(matches!(out.decision, DispatchDecision::ForwardToCloud), "{:?}", out.decision);
+        assert!(out.phases.scale_up_at.is_none() && out.phases.gave_up_at.is_none());
+
+        // After the cooldown the half-open probe re-attempts (and, still
+        // faulty, re-opens with a fresh cooldown).
+        let probe_at = now + d.health().config().breaker_cooldown;
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 31), probe_at, &mut clusters, &mut memory, &mut rng);
+        assert!(matches!(out.decision, DispatchDecision::FallbackCloud { .. }), "{:?}", out.decision);
+        assert_eq!(d.health().breaker_state(0), BreakerState::Open, "failed probe re-opens");
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_the_breaker() {
+        use crate::health::BreakerState;
+        let mut rng = SimRng::new(22);
+        let svc = make_service("asm");
+        let mut clusters = vec![docker("near", 1, 100, true, &mut rng)];
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<ProximityScheduler>::default());
+        // Trip the breaker by hand (as the controller's crash detector does).
+        let t = SimTime::from_secs(1);
+        for _ in 0..3 {
+            d.health_mut().record_failure(0, t);
+        }
+        assert_eq!(d.health().breaker_state(0), BreakerState::Open);
+        // The healthy cluster's probe succeeds and closes the breaker.
+        let probe_at = t + d.health().config().breaker_cooldown;
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), probe_at, &mut clusters, &mut memory, &mut rng);
+        assert!(matches!(out.decision, DispatchDecision::WaitThenRedirect { .. }), "{:?}", out.decision);
+        assert_eq!(d.health().breaker_state(0), BreakerState::Closed);
+    }
+
+    #[test]
+    fn outaged_zone_is_withheld_and_restored() {
+        let mut rng = SimRng::new(23);
+        let svc = make_service("asm");
+        let mut clusters = vec![
+            docker("zone-a", 1, 100, true, &mut rng),
+            docker("zone-b", 2, 500, true, &mut rng),
+        ];
+        let mut memory = FlowMemory::new(Duration::from_secs(30));
+        let mut d = dispatcher(Box::<ProximityScheduler>::default());
+        let t = SimTime::from_secs(1);
+        // Zone A (the nearest) goes dark: dispatch lands on zone B.
+        d.health_mut().begin_outage(0, t + Duration::from_secs(30));
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 20), t, &mut clusters, &mut memory, &mut rng);
+        let DispatchDecision::WaitThenRedirect { cluster, ready_at, .. } = out.decision else {
+            panic!("expected deployment on the surviving zone: {:?}", out.decision);
+        };
+        assert_eq!(cluster, 1, "outaged zone withheld; index maps back to zone-b");
+        // After the outage window, a new client is placed on zone A again.
+        let later = (t + Duration::from_secs(30)).max(ready_at + Duration::from_secs(1));
+        let out = d.dispatch_untraced(&svc, Ipv4Addr::new(192, 168, 1, 21), later, &mut clusters, &mut memory, &mut rng);
+        match out.decision {
+            DispatchDecision::WaitThenRedirect { cluster, .. } => assert_eq!(cluster, 0),
+            other => panic!("expected zone-a deployment: {other:?}"),
+        }
     }
 
     #[test]

@@ -239,6 +239,54 @@ impl FlowMemory {
         victims.iter().filter(|k| self.remove(k)).count()
     }
 
+    /// Forgets every flow redirected at `instance` — the stale-redirect
+    /// repair primitive: after a Ready instance crashes, no lookup may ever
+    /// return its address again. Returns the removed entries, sorted by
+    /// `(client, ingress, service)` so callers tear down the matching switch
+    /// flows deterministically.
+    pub fn forget_instance(&mut self, instance: InstanceAddr) -> Vec<(FlowKey, MemorizedFlow)> {
+        let mut victims: Vec<(FlowKey, MemorizedFlow)> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.instance == instance)
+            .map(|(k, f)| (*k, *f))
+            .collect();
+        victims.sort_by_key(|(k, _)| (k.client_ip, k.ingress, k.service));
+        for (k, _) in &victims {
+            self.remove(k);
+        }
+        victims
+    }
+
+    /// Forgets every flow served by cluster index `cluster` — the zone-outage
+    /// repair primitive. Returns the removed entries, sorted like
+    /// [`forget_instance`](Self::forget_instance).
+    pub fn forget_cluster(&mut self, cluster: usize) -> Vec<(FlowKey, MemorizedFlow)> {
+        let mut victims: Vec<(FlowKey, MemorizedFlow)> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.cluster == cluster)
+            .map(|(k, f)| (*k, *f))
+            .collect();
+        victims.sort_by_key(|(k, _)| (k.client_ip, k.ingress, k.service));
+        for (k, _) in &victims {
+            self.remove(k);
+        }
+        victims
+    }
+
+    /// The distinct `(cluster, instance, service)` triples currently
+    /// memorized, sorted — the health sweep's work list: every instance that
+    /// appears here has at least one client actively redirected at it, so a
+    /// crash of that instance strands real traffic until repaired.
+    pub fn instances(&self) -> Vec<(usize, InstanceAddr, ServiceAddr)> {
+        let mut out: BTreeSet<(usize, InstanceAddr, ServiceAddr)> = BTreeSet::new();
+        for (k, f) in &self.flows {
+            out.insert((f.cluster, f.instance, k.service));
+        }
+        out.into_iter().collect()
+    }
+
     /// Removes expired entries; returns the services that now have **zero**
     /// remaining flows (candidates for scale-down) along with the cluster
     /// that served them, one report per distinct `(service, cluster)` pair,
@@ -488,6 +536,54 @@ mod tests {
         m.memorize(key_at(1, 21, 80), inst(1), 0, SimTime::ZERO);
         assert_eq!(m.forget_client(Ipv4Addr::new(192, 168, 1, 20)), 2);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn forget_instance_removes_exactly_its_flows_sorted() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        m.memorize(key_at(1, 21, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key_at(0, 20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key_at(0, 20, 81), inst(2), 1, SimTime::ZERO);
+        let removed = m.forget_instance(inst(1));
+        assert_eq!(removed.len(), 2);
+        // Sorted by (client, ingress, service) for deterministic teardown.
+        assert!(removed[0].0.client_ip < removed[1].0.client_ip);
+        assert_eq!(m.len(), 1);
+        // The invariant the repair loop relies on: the dead instance's
+        // address is never returned again.
+        assert!(m.lookup(key_at(0, 20, 80), SimTime::from_secs(1)).is_none());
+        assert!(m.lookup(key_at(1, 21, 80), SimTime::from_secs(1)).is_none());
+        assert_eq!(m.flows_for(key(20, 80).service), 0, "both :80 flows were its");
+        assert_eq!(m.flows_for(key(20, 81).service), 1);
+        // Cancelled wheel deadlines: a sweep expires only the survivor.
+        let idle = m.expire(SimTime::from_secs(10));
+        assert_eq!(idle, vec![(key(20, 81).service, 1)]);
+    }
+
+    #[test]
+    fn forget_cluster_removes_every_zone_flow() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        m.memorize(key_at(0, 20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key_at(0, 21, 81), inst(2), 0, SimTime::ZERO);
+        m.memorize(key_at(1, 22, 80), inst(3), 2, SimTime::ZERO);
+        let removed = m.forget_cluster(0);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookup(key_at(1, 22, 80), SimTime::from_secs(1)).unwrap().cluster, 2);
+    }
+
+    #[test]
+    fn instances_lists_distinct_triples_sorted() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        m.memorize(key_at(0, 20, 80), inst(2), 1, SimTime::ZERO);
+        m.memorize(key_at(1, 21, 80), inst(2), 1, SimTime::ZERO); // duplicate triple
+        m.memorize(key_at(0, 22, 81), inst(1), 0, SimTime::ZERO);
+        let list = m.instances();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0], (0, inst(1), key(22, 81).service));
+        assert_eq!(list[1], (1, inst(2), key(20, 80).service));
+        m.forget_instance(inst(2));
+        assert_eq!(m.instances().len(), 1);
     }
 
     #[test]

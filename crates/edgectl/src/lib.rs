@@ -28,6 +28,9 @@
 //!   announced attachment change triggers the make-before-break handover
 //!   in [`controller`], an unannounced one flushes the client's memorized
 //!   flows so it gets re-scheduled;
+//! * [`health`] — runtime health: per-cluster circuit breakers (closed →
+//!   open → half-open) gating the scheduler, plus declared zone-outage
+//!   windows; the detection/repair loop itself lives in [`controller`];
 //! * [`predict`] — proactive-deployment predictors (Sections I/VII);
 //! * [`config`] — the controller's YAML configuration file;
 //! * [`dispatch`] — the Dispatcher: the flow chart of Fig. 7, including
@@ -51,6 +54,7 @@ pub mod config;
 pub mod controller;
 pub mod dispatch;
 pub mod flowmemory;
+pub mod health;
 pub mod predict;
 pub mod scheduler;
 pub mod service;
@@ -62,6 +66,7 @@ pub use controller::{
 };
 pub use dispatch::{DispatchDecision, Dispatcher};
 pub use flowmemory::{FlowKey, FlowMemory, IngressId};
+pub use health::{BreakerState, HealthConfig, HealthMonitor};
 pub use scheduler::{
     scheduler_by_name, Choice, ClusterView, CloudOnlyScheduler, DockerFirstScheduler,
     GlobalScheduler, LatencyAwareScheduler, ProximityScheduler, RequestClass,

@@ -275,4 +275,63 @@ proptest! {
             prop_assert!(m.lookup(key, later).is_some(), "bystander untouched");
         }
     }
+
+    /// The stale-redirect oracle: after an instance crash is repaired with
+    /// `forget_instance` (or a whole zone with `forget_cluster`), no lookup —
+    /// through any key, at any later time — ever returns the removed
+    /// address again, while every binding to a surviving instance remains
+    /// intact.
+    #[test]
+    fn crashed_instance_is_never_returned_again(
+        entries in prop::collection::vec((0u32..3, 0u8..6, 0u16..3, 0u32..4), 1..32),
+        victim in 0u32..4,
+        by_cluster in any::<bool>(),
+        later_s in 0u64..300,
+    ) {
+        let mut m = FlowMemory::new(Duration::from_secs(600));
+        let now = SimTime::from_secs(1);
+        let inst_of = |i: u32| edgectl::InstanceAddr {
+            mac: MacAddr::from_id(500 + i),
+            ip: Ipv4Addr::new(10, i as u8, 0, 1),
+            port: 31000 + i as u16,
+        };
+        let mut keys_of = std::collections::HashMap::new();
+        for (g, c, s, i) in entries {
+            let key = FlowKey {
+                ingress: IngressId(g),
+                client_ip: Ipv4Addr::new(192, 168, 1, 20 + c),
+                service: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80 + s),
+            };
+            // Instance i lives on cluster i: forgetting by address and by
+            // cluster must evict exactly the same set.
+            m.memorize(key, inst_of(i), i as usize, now);
+            keys_of.insert(key, i);
+        }
+        let before = m.len();
+        let evicted = if by_cluster {
+            m.forget_cluster(victim as usize)
+        } else {
+            m.forget_instance(inst_of(victim))
+        };
+        let hit: Vec<&FlowKey> =
+            keys_of.iter().filter(|(_, i)| **i == victim).map(|(k, _)| k).collect();
+        prop_assert_eq!(evicted.len(), hit.len(), "exactly the victim's flows evicted");
+        prop_assert_eq!(m.len(), before - hit.len());
+        let later = now + Duration::from_secs(later_s);
+        for (key, i) in &keys_of {
+            let got = m.lookup(*key, later);
+            if *i == victim {
+                prop_assert!(got.is_none(), "stale redirect for {key:?} after crash");
+            } else {
+                let f = got.expect("survivor binding intact");
+                prop_assert_eq!(f.instance, inst_of(*i));
+            }
+        }
+        // The crashed address is gone from the instance inventory too — the
+        // health sweep can never see (and re-repair) a ghost.
+        prop_assert!(
+            m.instances().iter().all(|(_, inst, _)| *inst != inst_of(victim)),
+            "inventory still lists the crashed instance"
+        );
+    }
 }

@@ -1303,6 +1303,246 @@ fn mobility_impl(
     (fig, Some((merged_log, merged_metrics)))
 }
 
+// ---------------------------------------------------------------------------
+// Runtime chaos: the self-healing control plane
+// ---------------------------------------------------------------------------
+
+/// Aggregates of one runtime-chaos run (one policy). Also consumed by the
+/// `bench` crate to emit `BENCH_recovery.json`.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Inter-gNB handovers performed (chaos composes with mobility).
+    pub handovers: u64,
+    /// Pings sent across all sessions.
+    pub pings_sent: u64,
+    /// Pings answered across all sessions.
+    pub pings_done: u64,
+    /// Client retransmissions (lost SYNs and pings resent).
+    pub retransmits: u64,
+    /// Ready instances killed mid-run.
+    pub instance_crashes: u64,
+    /// Whole-zone outage windows injected.
+    pub zone_outages: u64,
+    /// Switch↔controller channel drops injected.
+    pub channel_losses: u64,
+    /// Control messages lost to a down channel.
+    pub ctrl_dropped: u64,
+    /// Responses arriving with no ping outstanding (a retransmitted ping
+    /// answered twice — expected under loss, must stay small).
+    pub double_answered: u64,
+    /// Sessions permanently stranded after the drain window (must be 0).
+    pub stranded: u64,
+    /// Fix messages issued by the final switch-table reconciliation pass.
+    pub reconcile_fixes: u64,
+    /// Fix messages the *second* pass still wanted (must be 0: the tables
+    /// diff clean against the controller's bookkeeping).
+    pub reconcile_residual: u64,
+}
+
+/// One recovery run's aggregates for `policy` — the building block behind
+/// [`recovery`], exposed for the bench harness.
+pub fn recovery_stats(
+    policy: edgectl::HandoverPolicy,
+    seed: u64,
+    fault_rate: f64,
+    smoke: bool,
+) -> RecoveryStats {
+    recovery_run(policy, fault_rate, smoke, seed, false).0
+}
+
+fn recovery_run(
+    policy: edgectl::HandoverPolicy,
+    fault_rate: f64,
+    smoke: bool,
+    seed: u64,
+    telemetry: bool,
+) -> (RecoveryStats, Option<(SpanLog, MetricsRegistry)>) {
+    use crate::mobility_run::{MobilityConfig, MobilityTestbed};
+    // Identical scenario constants to `mobility_run`: at fault rate 0 the
+    // two runs are the same simulation, which is exactly the determinism
+    // guarantee the tests pin down.
+    let (n_gnbs, n_clients, secs) = if smoke { (3, 4, 20) } else { (4, 12, 60) };
+    let mut tb = MobilityTestbed::new(MobilityConfig {
+        n_gnbs,
+        n_clients,
+        policy,
+        telemetry,
+        seed,
+        faults: desim::FaultPlan::runtime(fault_rate, seed ^ 0x5E1F_4EA1),
+        retransmit: Some(Duration::from_secs(1)),
+        ..MobilityConfig::default()
+    });
+    let profile = ServiceSet::by_key("asm").expect("asm profile");
+    tb.register_service(profile, ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80));
+    tb.warm_all_zones();
+    let grid = mobility::CellGrid::new(n_gnbs as u32, 1, 120.0);
+    let mut model =
+        mobility::RandomWaypoint::new(grid, n_clients, seed ^ 0x6d6f_7665).with_speed(30.0, 50.0);
+    let mut seeded: Vec<usize> = (0..n_clients)
+        .map(|c| mobility::MobilityModel::initial_cell(&model, c) % n_gnbs)
+        .collect();
+    seeded.sort_unstable();
+    seeded.dedup();
+    for z in seeded {
+        tb.pre_deploy_on(z);
+    }
+    tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(secs));
+    // Let recovery settle: the longest channel-reconnect window plus
+    // detection, redeployment, and a client retransmit all fit in 15 s.
+    tb.drain(SimTime::from_secs(secs) + Duration::from_secs(15));
+    let reconcile_fixes = tb.reconcile_now() as u64;
+    let reconcile_residual = tb.reconcile_now() as u64;
+    let run = RecoveryStats {
+        handovers: tb.handovers.len() as u64,
+        pings_sent: tb.pings_sent(),
+        pings_done: tb.pings_done(),
+        retransmits: tb.retransmits,
+        instance_crashes: tb.instance_crashes,
+        zone_outages: tb.zone_outages,
+        channel_losses: tb.channel_losses,
+        ctrl_dropped: tb.ctrl_dropped,
+        double_answered: tb.double_answered,
+        stranded: tb.stranded(),
+        reconcile_fixes,
+        reconcile_residual,
+    };
+    let tele = telemetry.then(|| {
+        let metrics = tb.telemetry_snapshot();
+        let log = std::mem::take(&mut tb.controller.telemetry)
+            .into_span_log()
+            .expect("recording tracer keeps a log");
+        (log, metrics)
+    });
+    (run, tele)
+}
+
+/// The runtime-chaos experiment (the self-healing control plane): the
+/// mobility scenario re-run while a seedable [`desim::FaultPlan`] kills
+/// Ready instances mid-service, takes whole zones dark, and drops
+/// switch↔controller channels. The health loop detects crashes within its
+/// sweep interval and repairs stale redirects; the per-cluster circuit
+/// breaker keeps failing zones out of scheduling; reconnecting channels
+/// reconcile their switch tables against the controller's bookkeeping.
+/// Reports per-policy fault and recovery counts; panics if any session is
+/// permanently stranded or the final reconciliation does not converge.
+/// Deterministic per seed; ends with a machine-readable `recovery-summary`
+/// line for CI.
+pub fn recovery(seed: u64, fault_rate: f64, smoke: bool) -> Figure {
+    recovery_impl(seed, fault_rate, smoke, false).0
+}
+
+/// [`recovery`] with telemetry recording on: the same deterministic figure,
+/// plus the merged span log (runs prefixed by policy label) and the combined
+/// metrics snapshot with the failure/repair counters and breaker gauges.
+pub fn recovery_traced(
+    seed: u64,
+    fault_rate: f64,
+    smoke: bool,
+) -> (Figure, SpanLog, MetricsRegistry) {
+    let (fig, tele) = recovery_impl(seed, fault_rate, smoke, true);
+    let (log, metrics) = tele.expect("telemetry recorded");
+    (fig, log, metrics)
+}
+
+fn recovery_impl(
+    seed: u64,
+    fault_rate: f64,
+    smoke: bool,
+    telemetry: bool,
+) -> (Figure, Option<(SpanLog, MetricsRegistry)>) {
+    let mut t = Table::new(&[
+        "Policy",
+        "Crashes",
+        "Outages",
+        "Channel drops",
+        "Ctrl lost",
+        "Retransmits",
+        "Pings",
+        "Answered",
+        "Stranded",
+        "Reconcile fix/residual",
+    ]);
+    let mut merged_log = SpanLog::new();
+    let mut merged_metrics = MetricsRegistry::new();
+    let mut request_offset = 0u64;
+    let mut total = RecoveryStats::default();
+    for policy in [
+        edgectl::HandoverPolicy::Anchored,
+        edgectl::HandoverPolicy::Redispatch,
+    ] {
+        let (run, tele) = recovery_run(policy, fault_rate, smoke, seed, telemetry);
+        if let Some((log, metrics)) = tele {
+            merged_log.absorb(&log, policy.label(), request_offset);
+            merged_metrics.merge(&metrics);
+            request_offset += run.pings_sent + run.handovers + 8;
+        }
+        // The self-healing acceptance bar, per policy: no session may be
+        // permanently stranded, and the switch tables must diff clean
+        // against the controller's bookkeeping once recovery settles.
+        assert_eq!(run.stranded, 0, "{}: stranded sessions", policy.label());
+        assert_eq!(
+            run.reconcile_residual,
+            0,
+            "{}: reconciliation did not converge",
+            policy.label()
+        );
+        assert!(run.pings_done > 0, "{}: nothing was served", policy.label());
+        t.row(vec![
+            policy.label().to_string(),
+            run.instance_crashes.to_string(),
+            run.zone_outages.to_string(),
+            run.channel_losses.to_string(),
+            run.ctrl_dropped.to_string(),
+            run.retransmits.to_string(),
+            run.pings_sent.to_string(),
+            run.pings_done.to_string(),
+            run.stranded.to_string(),
+            format!("{}/{}", run.reconcile_fixes, run.reconcile_residual),
+        ]);
+        total.handovers += run.handovers;
+        total.pings_sent += run.pings_sent;
+        total.pings_done += run.pings_done;
+        total.retransmits += run.retransmits;
+        total.instance_crashes += run.instance_crashes;
+        total.zone_outages += run.zone_outages;
+        total.channel_losses += run.channel_losses;
+        total.ctrl_dropped += run.ctrl_dropped;
+        total.double_answered += run.double_answered;
+        total.stranded += run.stranded;
+        total.reconcile_fixes += run.reconcile_fixes;
+        total.reconcile_residual += run.reconcile_residual;
+    }
+    let summary = format!(
+        "\nrecovery-summary {{\"seed\":{seed},\"faultRate\":{fault_rate},\"smoke\":{smoke},\
+\"crashes\":{},\"outages\":{},\"channelLosses\":{},\"ctrlDropped\":{},\
+\"retransmits\":{},\"doubleAnswered\":{},\"stranded\":{},\
+\"reconcileFixes\":{},\"reconcileResidual\":{},\"handovers\":{},\"panics\":0}}\n",
+        total.instance_crashes,
+        total.zone_outages,
+        total.channel_losses,
+        total.ctrl_dropped,
+        total.retransmits,
+        total.double_answered,
+        total.stranded,
+        total.reconcile_fixes,
+        total.reconcile_residual,
+        total.handovers,
+    );
+    let fig = Figure::new(
+        "recovery",
+        format!(
+            "Self-healing control plane under runtime chaos (rate {fault_rate}, {} trace)",
+            if smoke { "smoke" } else { "full" }
+        ),
+        t,
+    )
+    .with_extra(&summary);
+    if !telemetry {
+        return (fig, None);
+    }
+    (fig, Some((merged_log, merged_metrics)))
+}
+
 /// Renders a quick summary of every figure (used by `repro all`).
 pub fn summary_line(fig: &Figure) -> String {
     let mut s = String::new();
@@ -1528,6 +1768,78 @@ mod tests {
         assert!(metrics.counter("flows_migrated") > 0);
         assert!(metrics.histogram("handover_interruption_ns").is_some());
         assert!(metrics.gauge("handover_interruption_p99_ms").is_some());
+    }
+
+    #[test]
+    fn recovery_is_deterministic_and_self_heals() {
+        let a = recovery(7, 1.0, true);
+        let b = recovery(7, 1.0, true);
+        assert_eq!(a.body, b.body, "same seed ⇒ byte-identical output");
+        let line = a
+            .body
+            .lines()
+            .find(|l| l.starts_with("recovery-summary "))
+            .expect("machine-readable summary line");
+        assert!(line.contains("\"panics\":0"), "{line}");
+        assert!(line.contains("\"stranded\":0"), "{line}");
+        assert!(line.contains("\"reconcileResidual\":0"), "{line}");
+        let field = |key: &str| -> u64 {
+            line.split(&format!("\"{key}\":"))
+                .nth(1)
+                .unwrap()
+                .split([',', '}'])
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        // At rate 1.0 every zone suffers an outage and every channel drops:
+        // the run must actually exercise all three failure modes and still
+        // strand nothing.
+        assert!(field("crashes") > 0, "instances crashed mid-serve: {line}");
+        assert!(field("outages") > 0, "zone outages fired: {line}");
+        assert!(field("channelLosses") > 0, "channels dropped: {line}");
+        assert!(field("handovers") > 0, "chaos composes with mobility: {line}");
+    }
+
+    #[test]
+    fn recovery_traced_matches_untraced_figure_and_validates() {
+        let plain = recovery(7, 1.0, true);
+        let (fig, log, metrics) = recovery_traced(7, 1.0, true);
+        assert_eq!(plain.body, fig.body, "recording must not change the figure");
+        let check = log.check();
+        assert!(check.ok(), "{check:?}");
+        assert!(log.spans().any(|s| s.name.starts_with("anchored/")));
+        assert!(log.spans().any(|s| s.name.starts_with("redispatch/")));
+        assert!(metrics.counter("zone_outages_total") > 0);
+        assert!(metrics.counter("instance_failures_total") > 0);
+        assert!(metrics.counter("stale_redirects_repaired") > 0);
+        assert!(metrics.histogram("stale_redirect_repair_ns").is_some());
+        assert!(metrics.gauge("cluster.0.breaker_state").is_some());
+    }
+
+    #[test]
+    fn recovery_at_rate_zero_matches_mobility_baseline() {
+        // The whole fault machinery is inert at rate 0: the recovery run is
+        // byte-for-byte the plain mobility run, and the reconciliation sweep
+        // finds nothing to fix.
+        for policy in [
+            edgectl::HandoverPolicy::Anchored,
+            edgectl::HandoverPolicy::Redispatch,
+        ] {
+            let base = mobility_stats(policy, 7, true);
+            let quiet = recovery_stats(policy, 7, 0.0, true);
+            assert_eq!(quiet.pings_sent, base.pings_sent);
+            assert_eq!(quiet.pings_done, base.pings_done);
+            assert_eq!(quiet.handovers, base.handovers);
+            assert_eq!(quiet.instance_crashes, 0);
+            assert_eq!(quiet.zone_outages, 0);
+            assert_eq!(quiet.channel_losses, 0);
+            assert_eq!(quiet.retransmits, 0);
+            assert_eq!(quiet.stranded, 0);
+            assert_eq!(quiet.reconcile_fixes, 0);
+            assert_eq!(quiet.reconcile_residual, 0);
+        }
     }
 
     #[test]

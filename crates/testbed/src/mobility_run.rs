@@ -19,7 +19,8 @@
 
 use crate::harness::segments;
 use crate::topology::MultiGnbTopology;
-use desim::{Duration, Engine, LogNormal, Sample, SimRng, SimTime};
+use desim::{Duration, Engine, FaultPlan, LogNormal, Sample, SimRng, SimTime};
+use openflow::FlowEntry;
 use edgectl::{
     annotate_deployment, Controller, ControllerConfig, DockerCluster, EdgeService,
     HandoverPolicy, IngressId, PortMap,
@@ -52,6 +53,17 @@ pub struct MobilityConfig {
     pub ping_interval: Duration,
     /// Simulation seed.
     pub seed: u64,
+    /// Fault plan; only the *runtime* faults (`crash_while_serving`,
+    /// `zone_outage`, `channel_loss`) are injected by this harness. At the
+    /// default all-zero rates the harness schedules nothing and runs are
+    /// byte-identical to a fault-free build.
+    pub faults: FaultPlan,
+    /// Client retransmit timer: a session whose SYN or ping has been
+    /// unanswered this long resends it. `None` (the default) disables
+    /// retransmission — fine for fault-free runs where nothing is ever
+    /// lost, required under runtime chaos where a single lost segment
+    /// would otherwise stall its session forever.
+    pub retransmit: Option<Duration>,
 }
 
 impl Default for MobilityConfig {
@@ -65,6 +77,8 @@ impl Default for MobilityConfig {
             telemetry: false,
             ping_interval: Duration::from_millis(200),
             seed: 1,
+            faults: FaultPlan::default(),
+            retransmit: None,
         }
     }
 }
@@ -100,6 +114,8 @@ impl HandoverRecord {
 struct Session {
     service: ServiceAddr,
     src_port: u16,
+    /// When the (latest) SYN went out; cleared once the handshake lands.
+    syn_sent: Option<SimTime>,
     /// Reply template captured from the SYN-ACK (client → service).
     template: Option<TcpFrame>,
     /// Sent-at of the ping currently awaiting its response.
@@ -124,6 +140,15 @@ enum Ev {
     Tick,
     SwitchExpiry { gnb: usize },
     ServerSend { node: NodeId, port: PortNo, data: Vec<u8> },
+    // Runtime-chaos events; none are scheduled unless the fault plan's
+    // runtime rates are non-zero.
+    CrashZone { zone: usize },
+    OutageBegin { zone: usize, until: SimTime },
+    OutageEnd { zone: usize },
+    ChannelDown { gnb: usize, until: SimTime },
+    ChannelUp { gnb: usize },
+    HealthTick,
+    RetransmitCheck,
 }
 
 /// The assembled multi-gNB testbed.
@@ -159,6 +184,22 @@ pub struct MobilityTestbed {
     pub double_answered: u64,
     /// Frames reaching a client with a non-cloud source address.
     pub transparency_violations: u64,
+    // -- runtime-chaos state (inert at zero fault rates) --------------------
+    faults: FaultPlan,
+    retransmit: Option<Duration>,
+    /// While `Some(t)`, gNB g's control channel is down until `t`: control
+    /// messages in either direction are dropped, not delayed.
+    channel_down_until: Vec<Option<SimTime>>,
+    /// Instance crashes injected.
+    pub instance_crashes: u64,
+    /// Zone outages injected.
+    pub zone_outages: u64,
+    /// Control-channel drops injected.
+    pub channel_losses: u64,
+    /// Control messages lost to a down channel.
+    pub ctrl_dropped: u64,
+    /// Client retransmissions (SYNs and pings).
+    pub retransmits: u64,
 }
 
 impl MobilityTestbed {
@@ -249,6 +290,14 @@ impl MobilityTestbed {
             resets: 0,
             double_answered: 0,
             transparency_violations: 0,
+            faults: config.faults,
+            retransmit: config.retransmit,
+            channel_down_until: vec![None; config.n_gnbs],
+            instance_crashes: 0,
+            zone_outages: 0,
+            channel_losses: 0,
+            ctrl_dropped: 0,
+            retransmits: 0,
         }
     }
 
@@ -323,12 +372,21 @@ impl MobilityTestbed {
         self.controller.telemetry.span_log()
     }
 
-    /// Metrics snapshot: controller registry plus per-switch gauges.
+    /// Metrics snapshot: controller registry plus per-switch gauges; under
+    /// runtime chaos, also the per-zone breaker-state gauges.
     pub fn telemetry_snapshot(&self) -> MetricsRegistry {
         let mut m = self.controller.telemetry.metrics.clone();
         for (g, sw) in self.switches.iter().enumerate() {
             m.set_gauge(&format!("gnb.{g}.fast_path_packets"), sw.fast_path_packets as f64);
             m.set_gauge(&format!("gnb.{g}.table_misses"), sw.table_misses as f64);
+        }
+        if self.faults.runtime_enabled() {
+            for z in 0..self.net.zones.len() {
+                m.set_gauge(
+                    &format!("cluster.{z}.breaker_state"),
+                    self.controller.breaker_state(z).gauge(),
+                );
+            }
         }
         m
     }
@@ -376,6 +434,7 @@ impl MobilityTestbed {
             self.sessions.push(Session {
                 service: addr,
                 src_port: 49152 + c as u16,
+                syn_sent: None,
                 template: None,
                 outstanding: None,
                 pending_bytes: 0,
@@ -397,12 +456,96 @@ impl MobilityTestbed {
         for ev in model.events(deadline.saturating_since(SimTime::ZERO)) {
             self.engine.schedule_at(ev.at, Ev::Attach(ev));
         }
+        self.schedule_runtime_faults(start, deadline);
         let mut n = 0;
         while let Some((now, ev)) = self.engine.pop_until(deadline) {
             self.handle(now, ev);
             n += 1;
         }
         n
+    }
+
+    /// Continues the event loop past the run deadline without sending new
+    /// pings: in-flight recovery (channel reconnects, health sweeps, client
+    /// retransmits) settles, so "permanently stranded" is distinguishable
+    /// from "still in flight". Returns the number of events processed.
+    pub fn drain(&mut self, until: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some((now, ev)) = self.engine.pop_until(until) {
+            self.handle(now, ev);
+            n += 1;
+        }
+        n
+    }
+
+    /// Sessions left permanently stranded: never connected, or still
+    /// waiting on a ping answer. Zero after a drained chaos run is the
+    /// self-healing acceptance bar.
+    pub fn stranded(&self) -> u64 {
+        self.sessions
+            .iter()
+            .filter(|s| s.template.is_none() || s.outstanding.is_some())
+            .count() as u64
+    }
+
+    /// Draws the run's runtime faults from the plan and schedules them.
+    /// With all runtime rates at zero this neither draws randomness nor
+    /// schedules anything, so fault-free runs stay byte-identical.
+    fn schedule_runtime_faults(&mut self, start: SimTime, deadline: SimTime) {
+        if !self.faults.runtime_enabled() {
+            return;
+        }
+        let window = deadline.saturating_since(start);
+        let at_pos = |pos: f64| start + window.mul_f64(pos);
+        for z in 0..self.net.zones.len() {
+            if let Some(pos) = self.faults.injector(100 + z as u64).crashes_while_serving() {
+                self.engine.schedule_at(at_pos(pos), Ev::CrashZone { zone: z });
+            }
+            if let Some((pos, dur)) = self.faults.injector(200 + z as u64).zone_outage() {
+                let begin = at_pos(pos);
+                self.engine.schedule_at(begin, Ev::OutageBegin { zone: z, until: begin + dur });
+            }
+        }
+        for g in 0..self.switches.len() {
+            if let Some((pos, delay)) = self.faults.injector(300 + g as u64).channel_drops() {
+                let down = at_pos(pos);
+                self.engine.schedule_at(down, Ev::ChannelDown { gnb: g, until: down + delay });
+            }
+        }
+        // The detection loop and the client retransmit timer only run under
+        // chaos; without faults they would fire, observe nothing, and change
+        // the event interleaving for nothing.
+        let detect = self.controller.health_config().detect_interval;
+        self.engine.schedule_at(start + detect, Ev::HealthTick);
+        if let Some(rto) = self.retransmit {
+            self.engine.schedule_at(start + rto, Ev::RetransmitCheck);
+        }
+    }
+
+    /// Whether gNB `g`'s control channel is up at `now`.
+    fn channel_up(&self, gnb: usize, now: SimTime) -> bool {
+        self.channel_down_until[gnb].is_none_or(|until| now >= until)
+    }
+
+    /// Reconciles every switch table against the controller's bookkeeping
+    /// *now*, applying the fixes synchronously (no control latency), and
+    /// returns the number of fix messages issued. A converged control plane
+    /// returns 0; experiments call this twice after a chaos run to prove the
+    /// tables diff clean.
+    pub fn reconcile_now(&mut self) -> usize {
+        let now = self.engine.now();
+        let mut fixes = 0;
+        for g in 0..self.switches.len() {
+            let flows: Vec<FlowEntry> = self.switches[g].table().entries().cloned().collect();
+            let out = self.controller.reconcile(IngressId(g as u32), &flows, now);
+            fixes += out.len();
+            for m in out {
+                if let Ok(effects) = self.switches[g].handle_controller(now, &m.data) {
+                    self.process_switch_effects(g, effects);
+                }
+            }
+        }
+        fixes
     }
 
     // -- internal plumbing --------------------------------------------------
@@ -477,16 +620,8 @@ impl MobilityTestbed {
     fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::StartSession { client } => {
-                let node = self.net.clients[client];
-                let frame = TcpFrame::syn(
-                    self.net.topo.node(node).mac,
-                    self.net.topo.node(self.net.cloud).mac, // perceived gateway
-                    self.net.topo.node(node).ip,
-                    self.sessions[client].src_port,
-                    self.sessions[client].service,
-                );
-                let uplink = self.net.uplink_ports[self.attachment[client]][client];
-                self.send_from(node, uplink, frame.encode());
+                self.sessions[client].syn_sent = Some(now);
+                self.send_syn(client);
             }
             Ev::Ping { client } => self.send_ping(now, client),
             Ev::FrameAt { node, in_port, data } => {
@@ -500,6 +635,10 @@ impl MobilityTestbed {
                 }
             }
             Ev::CtrlUp { gnb, bytes } => {
+                if !self.channel_up(gnb, now) {
+                    self.ctrl_dropped += 1;
+                    return;
+                }
                 let ingress = IngressId(gnb as u32);
                 match self
                     .controller
@@ -515,10 +654,16 @@ impl MobilityTestbed {
                 }
                 self.reschedule_tick();
             }
-            Ev::CtrlDown { gnb, bytes } => match self.switches[gnb].handle_controller(now, &bytes) {
-                Ok(effects) => self.process_switch_effects(gnb, effects),
-                Err(_) => self.drops += 1,
-            },
+            Ev::CtrlDown { gnb, bytes } => {
+                if !self.channel_up(gnb, now) {
+                    self.ctrl_dropped += 1;
+                    return;
+                }
+                match self.switches[gnb].handle_controller(now, &bytes) {
+                    Ok(effects) => self.process_switch_effects(gnb, effects),
+                    Err(_) => self.drops += 1,
+                }
+            }
             Ev::Attach(ev) => self.handle_attach(now, ev),
             Ev::Tick => {
                 self.scheduled_tick = None;
@@ -533,7 +678,102 @@ impl MobilityTestbed {
             Ev::ServerSend { node, port, data } => {
                 self.send_from(node, port, data);
             }
+            Ev::CrashZone { zone } => {
+                // Silent death: nothing is announced; the health sweep has
+                // to notice and repair.
+                if let Some(addr) = self.service {
+                    if self.controller.inject_instance_crash(zone, addr, now, &mut self.rng) {
+                        self.instance_crashes += 1;
+                    }
+                }
+            }
+            Ev::OutageBegin { zone, until } => {
+                self.zone_outages += 1;
+                let repairs = self.controller.begin_zone_outage(zone, now, until, &mut self.rng);
+                for (ingress, m) in repairs {
+                    let at = m.at.max(now) + self.ctrl_latency;
+                    self.engine.schedule_at(
+                        at,
+                        Ev::CtrlDown { gnb: ingress.0 as usize, bytes: m.data },
+                    );
+                }
+                self.engine.schedule_at(until, Ev::OutageEnd { zone });
+            }
+            Ev::OutageEnd { zone } => self.controller.end_zone_outage(zone),
+            Ev::ChannelDown { gnb, until } => {
+                self.channel_losses += 1;
+                self.channel_down_until[gnb] = Some(until);
+                self.engine.schedule_at(until, Ev::ChannelUp { gnb });
+            }
+            Ev::ChannelUp { gnb } => {
+                self.channel_down_until[gnb] = None;
+                // Reconcile the switch's table against the controller's
+                // bookkeeping: both drifted while the channel was down.
+                let flows: Vec<FlowEntry> =
+                    self.switches[gnb].table().entries().cloned().collect();
+                let out = self.controller.reconcile(IngressId(gnb as u32), &flows, now);
+                for m in out {
+                    let at = m.at.max(now) + self.ctrl_latency;
+                    self.engine.schedule_at(at, Ev::CtrlDown { gnb, bytes: m.data });
+                }
+            }
+            Ev::HealthTick => {
+                for (ingress, m) in self.controller.health_check(now) {
+                    let at = m.at.max(now) + self.ctrl_latency;
+                    self.engine.schedule_at(
+                        at,
+                        Ev::CtrlDown { gnb: ingress.0 as usize, bytes: m.data },
+                    );
+                }
+                let detect = self.controller.health_config().detect_interval;
+                self.engine.schedule_at(now + detect, Ev::HealthTick);
+            }
+            Ev::RetransmitCheck => {
+                let rto = self.retransmit.expect("scheduled only with a timer");
+                for c in 0..self.sessions.len() {
+                    let sess = &mut self.sessions[c];
+                    if sess.template.is_none() {
+                        // Handshake still pending: resend the SYN if stale.
+                        if let Some(sent) = sess.syn_sent {
+                            if now.saturating_since(sent) >= rto {
+                                sess.syn_sent = Some(now);
+                                self.retransmits += 1;
+                                self.send_syn(c);
+                            }
+                        }
+                    } else if let Some(sent) = self.sessions[c].outstanding {
+                        if now.saturating_since(sent) >= rto {
+                            // Resend the ping's segments; `outstanding`
+                            // keeps the original send time so the RTT
+                            // covers the loss.
+                            self.retransmits += 1;
+                            let template = self.sessions[c].template.clone().unwrap();
+                            let request_bytes = self.sessions[c].request_bytes;
+                            let node = self.net.clients[c];
+                            let uplink = self.net.uplink_ports[self.attachment[c]][c];
+                            for seg in segments(&template, request_bytes) {
+                                self.send_from(node, uplink, seg.encode());
+                            }
+                        }
+                    }
+                }
+                self.engine.schedule_at(now + rto, Ev::RetransmitCheck);
+            }
         }
+    }
+
+    /// (Re)sends client `c`'s opening SYN through its current gNB.
+    fn send_syn(&mut self, client: usize) {
+        let node = self.net.clients[client];
+        let frame = TcpFrame::syn(
+            self.net.topo.node(node).mac,
+            self.net.topo.node(self.net.cloud).mac, // perceived gateway
+            self.net.topo.node(node).ip,
+            self.sessions[client].src_port,
+            self.sessions[client].service,
+        );
+        let uplink = self.net.uplink_ports[self.attachment[client]][client];
+        self.send_from(node, uplink, frame.encode());
     }
 
     fn handle_attach(&mut self, now: SimTime, ev: AttachmentEvent) {
@@ -684,6 +924,7 @@ impl MobilityTestbed {
         }
         if frame.flags.contains(TcpFlags::SYN) && frame.flags.contains(TcpFlags::ACK) {
             if sess.template.is_none() {
+                sess.syn_sent = None;
                 sess.template = Some(frame.reply(TcpFlags::PSH_ACK, Vec::new()));
                 self.send_ping(now, client);
             }
@@ -811,18 +1052,116 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic_per_seed() {
-        let fingerprint = |tb: &MobilityTestbed| {
-            (
-                tb.pings_done(),
-                tb.handovers
-                    .iter()
-                    .map(|h| (h.at.as_nanos(), h.completed_at.as_nanos()))
-                    .collect::<Vec<_>>(),
-                tb.rtts_secs(),
-            )
-        };
         let a = hop_run(HandoverPolicy::Anchored);
         let b = hop_run(HandoverPolicy::Anchored);
         assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    fn fingerprint(tb: &MobilityTestbed) -> (u64, Vec<(u64, u64)>, Vec<f64>) {
+        (
+            tb.pings_done(),
+            tb.handovers
+                .iter()
+                .map(|h| (h.at.as_nanos(), h.completed_at.as_nanos()))
+                .collect::<Vec<_>>(),
+            tb.rtts_secs(),
+        )
+    }
+
+    fn chaos_run(faults: FaultPlan, retransmit: Option<Duration>) -> MobilityTestbed {
+        let mut tb = MobilityTestbed::new(MobilityConfig {
+            policy: HandoverPolicy::Anchored,
+            n_gnbs: 3,
+            n_clients: 3,
+            seed: 2,
+            faults,
+            retransmit,
+            ..MobilityConfig::default()
+        });
+        let profile = containerd::ServiceSet::by_key("asm").unwrap();
+        tb.register_service(profile, ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80));
+        tb.warm_all_zones();
+        tb.pre_deploy_on(0);
+        let mut model = CellHops::new(
+            vec![0, 1, 2],
+            &[
+                (SimTime::from_secs(6), 0, 1),
+                (SimTime::from_secs(12), 0, 2),
+            ],
+        );
+        tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(20));
+        tb
+    }
+
+    /// Satellite 3b at the harness level: a runtime fault plan with every
+    /// rate at zero draws no randomness and schedules nothing — the run is
+    /// indistinguishable from one with no plan at all.
+    #[test]
+    fn zero_rate_runtime_plan_is_inert() {
+        let plain = hop_run(HandoverPolicy::Anchored);
+        let zeroed = chaos_run(FaultPlan::runtime(0.0, 0xDEAD_BEEF), None);
+        assert_eq!(fingerprint(&plain), fingerprint(&zeroed));
+        assert_eq!(zeroed.instance_crashes, 0);
+        assert_eq!(zeroed.zone_outages, 0);
+        assert_eq!(zeroed.channel_losses, 0);
+        assert_eq!(zeroed.ctrl_dropped, 0);
+        assert_eq!(zeroed.retransmits, 0);
+    }
+
+    /// Full runtime chaos — crashes, zone outages, channel drops all firing
+    /// — and every session still finishes: repairs + breaker + retransmits
+    /// mean nothing is permanently stranded, and reconciliation converges.
+    #[test]
+    fn runtime_chaos_strands_no_session_and_reconciles_clean() {
+        let mut tb = chaos_run(FaultPlan::runtime(1.0, 7), Some(Duration::from_secs(1)));
+        // At rate 1 every zone outage and every channel loss fires.
+        assert_eq!(tb.zone_outages, 3);
+        assert_eq!(tb.channel_losses, 3);
+        // Let recovery settle well past the last reconnect window.
+        tb.drain(SimTime::from_secs(40));
+        assert_eq!(tb.stranded(), 0, "no session permanently stranded");
+        assert!(tb.pings_done() > 0);
+        // Post-run the switch tables diff clean against the bookkeeping:
+        // one pass applies any leftover fixes, the second finds none.
+        tb.reconcile_now();
+        assert_eq!(tb.reconcile_now(), 0, "tables converged to bookkeeping");
+    }
+
+    /// Failure during handover must not strand the moving session: crash
+    /// the home instance right as its client hops gNBs.
+    #[test]
+    fn crash_during_handover_does_not_strand_the_flow() {
+        let mut tb2 = MobilityTestbed::new(MobilityConfig {
+            policy: HandoverPolicy::Anchored,
+            n_gnbs: 3,
+            n_clients: 3,
+            seed: 2,
+            retransmit: Some(Duration::from_secs(1)),
+            ..MobilityConfig::default()
+        });
+        let profile = containerd::ServiceSet::by_key("asm").unwrap();
+        let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80);
+        tb2.register_service(profile, addr);
+        tb2.warm_all_zones();
+        tb2.pre_deploy_on(0);
+        let mut model = CellHops::new(
+            vec![0, 1, 2],
+            &[(SimTime::from_secs(6), 0, 1)],
+        );
+        // Run up to just past the hop, crash the anchor zone's instance
+        // exactly then, and keep running with the health loop active.
+        tb2.engine.schedule_at(SimTime::from_secs(6), Ev::CrashZone { zone: 0 });
+        tb2.engine.schedule_at(
+            SimTime::from_secs(1) + tb2.controller.health_config().detect_interval,
+            Ev::HealthTick,
+        );
+        tb2.engine.schedule_at(SimTime::from_secs(2), Ev::RetransmitCheck);
+        tb2.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(20));
+        tb2.drain(SimTime::from_secs(30));
+        assert_eq!(tb2.instance_crashes, 1, "the crash was injected");
+        assert_eq!(tb2.stranded(), 0, "the moving session recovered");
+        assert_eq!(tb2.transparency_violations, 0);
+        tb2.reconcile_now();
+        assert_eq!(tb2.reconcile_now(), 0);
     }
 }
