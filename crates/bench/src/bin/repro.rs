@@ -6,6 +6,7 @@
 //! repro list                        # available figure ids
 //! repro summary [--seed N]          # verify every textual claim
 //! repro fastpath                    # data-plane bench -> BENCH_flowtable.json
+//! repro engine [--smoke]            # event-core bench -> BENCH_engine.json
 //! repro telemetry                   # telemetry-overhead bench
 //! repro chaos [--seed N] [--fault-rate F] [--smoke] [--telemetry]
 //! repro mobility [--seed N] [--smoke] [--telemetry]   # -> BENCH_mobility.json
@@ -78,6 +79,11 @@ fn main() -> ExitCode {
             print!("{}", bench::summary::render(&claims));
             let all_hold = claims.iter().all(|c| c.holds);
             println!("\n{} / {} claims hold", claims.iter().filter(|c| c.holds).count(), claims.len());
+            println!("\nperf trajectory (committed BENCH_*.json artifacts):\n");
+            print!(
+                "{}",
+                bench::summary::render_trajectory(&bench::summary::perf_trajectory())
+            );
             print_global_metrics(telemetry_on);
             if all_hold {
                 ExitCode::SUCCESS
@@ -100,6 +106,38 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "engine" => {
+            println!(
+                "transparent-edge-rs — event-core throughput (calendar queue vs naive heap)\n"
+            );
+            let report = bench::engine::run(smoke);
+            print!("{}", report.render());
+            let path = bench::engine::default_output_path();
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("\nwrote {}", path.display());
+            if report.mixed_speedup() < bench::engine::MIXED_SPEEDUP_FLOOR {
+                eprintln!(
+                    "mixed speedup {:.2}x below the {:.0}x floor",
+                    report.mixed_speedup(),
+                    bench::engine::MIXED_SPEEDUP_FLOOR
+                );
+                return ExitCode::FAILURE;
+            }
+            // The absolute floor is machine-dependent; smoke runs (scaled
+            // ~20x down for CI) check only the relative bar above.
+            if !smoke && !report.floor_met() {
+                eprintln!(
+                    "calendar mixed throughput {:.0} ev/s below the {:.0} ev/s floor",
+                    report.mixed().calendar_events_per_sec,
+                    bench::engine::EVENTS_PER_SEC_FLOOR
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
         }
         "chaos" => {
             println!(
@@ -229,6 +267,7 @@ chaos (seed {seed}, rate {fault_rate})\n"
                 println!("{f}");
             }
             println!("fastpath");
+            println!("engine");
             println!("telemetry");
             println!("chaos");
             println!("mobility");

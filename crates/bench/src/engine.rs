@@ -1,0 +1,375 @@
+//! Event-core throughput: the desim calendar queue vs the naive binary heap.
+//!
+//! This module is plain `std` (no criterion) so it can run both from the
+//! `repro engine` subcommand and from the `engine` criterion bench; it emits
+//! the machine-readable `BENCH_engine.json` summary that tracks the perf
+//! trajectory across PRs. Three workload shapes, each run over both queue
+//! implementations with identical seeds:
+//!
+//! * **schedule_heavy** — push a large batch of uniformly-spread future
+//!   events, then drain. Dominated by insertion cost.
+//! * **pop_heavy** — pre-fill the queue (untimed), then time the drain
+//!   alone. Dominated by extraction cost.
+//! * **mixed** — the mobility-shaped steady state: a fixed pending
+//!   population where every pop schedules a successor, 80% near-future
+//!   (sub-2 ms timers, frames, ticks) and 20% far-future (idle expiries,
+//!   think times). This is the cycle real testbed runs spend their time in
+//!   and the one the CI floor gates.
+//!
+//! The headline acceptance numbers: mixed-workload calendar throughput at
+//! least [`MIXED_SPEEDUP_FLOOR`]× the naive baseline measured in the same
+//! run, and at least [`EVENTS_PER_SEC_FLOOR`] events/sec absolute (full
+//! runs; smoke runs check only the relative bar, which is
+//! machine-independent).
+
+use desim::{EventQueue, NaiveEventQueue, SimRng, SimTime};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Relative bar: calendar mixed throughput over naive, same run (want ≥ 3).
+pub const MIXED_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Absolute CI floor on full-run mixed calendar throughput, in events/sec.
+/// Set to one quarter of the number measured on the reference machine when
+/// this bench landed, so CI machine jitter does not flake the gate while a
+/// real regression (a reverted fast path pops at well under half) still
+/// trips it.
+pub const EVENTS_PER_SEC_FLOOR: f64 = 3_800_000.0;
+
+/// One workload measured over both queue implementations.
+#[derive(Clone, Debug)]
+pub struct WorkloadPoint {
+    /// Workload id: `schedule_heavy`, `pop_heavy`, or `mixed`.
+    pub name: &'static str,
+    /// Events pushed through each queue.
+    pub events: usize,
+    /// Calendar-queue throughput (events through the queue per wall second).
+    pub calendar_events_per_sec: f64,
+    /// Binary-heap reference throughput, same seed and schedule.
+    pub naive_events_per_sec: f64,
+    /// Highest pending-event count the workload reaches.
+    pub peak_pending: usize,
+}
+
+impl WorkloadPoint {
+    /// Calendar over naive throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.calendar_events_per_sec / self.naive_events_per_sec
+    }
+}
+
+/// The full engine-throughput report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// One row per workload shape.
+    pub points: Vec<WorkloadPoint>,
+    /// `true` when sizes were scaled down for a smoke run (absolute floor
+    /// not asserted).
+    pub smoke: bool,
+}
+
+impl Report {
+    /// The mixed-workload row — the one the acceptance gates read.
+    pub fn mixed(&self) -> &WorkloadPoint {
+        self.points
+            .iter()
+            .find(|p| p.name == "mixed")
+            .expect("mixed workload always measured")
+    }
+
+    /// Mixed-workload calendar speedup over the naive baseline.
+    pub fn mixed_speedup(&self) -> f64 {
+        self.mixed().speedup()
+    }
+
+    /// `true` when the absolute events/sec floor holds (only meaningful for
+    /// full runs; smoke runs scale the workload down).
+    pub fn floor_met(&self) -> bool {
+        self.mixed().calendar_events_per_sec >= EVENTS_PER_SEC_FLOOR
+    }
+
+    /// Renders the hand-rolled JSON summary (`serde` is deliberately not a
+    /// dependency of this workspace).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\n  \"bench\": \"engine\",\n  \"smoke\": {},\n  \"workloads\": [\n",
+            self.smoke
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"events\": {}, \
+                 \"calendar_events_per_sec\": {:.0}, \"naive_events_per_sec\": {:.0}, \
+                 \"speedup\": {:.2}, \"peak_pending\": {}}}{}\n",
+                p.name,
+                p.events,
+                p.calendar_events_per_sec,
+                p.naive_events_per_sec,
+                p.speedup(),
+                p.peak_pending,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"mixed_speedup\": {:.2},\n  \
+             \"events_per_sec_floor\": {:.0},\n  \"floor_met\": {}\n}}\n",
+            self.mixed_speedup(),
+            EVENTS_PER_SEC_FLOOR,
+            self.floor_met()
+        ));
+        s
+    }
+
+    /// Renders a human-readable table.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "workload         events     calendar ev/s      naive ev/s   speedup   peak depth\n",
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{:<16} {:>7}   {:>13.0}   {:>13.0}   {:>6.2}x   {:>10}\n",
+                p.name,
+                p.events,
+                p.calendar_events_per_sec,
+                p.naive_events_per_sec,
+                p.speedup(),
+                p.peak_pending
+            ));
+        }
+        s.push_str(&format!(
+            "mixed speedup {:.2}x (want >= {:.0}); calendar mixed {:.2}M ev/s (floor {:.1}M{})\n",
+            self.mixed_speedup(),
+            MIXED_SPEEDUP_FLOOR,
+            self.mixed().calendar_events_per_sec / 1e6,
+            EVENTS_PER_SEC_FLOOR / 1e6,
+            if self.smoke {
+                ", not asserted in smoke mode"
+            } else {
+                ""
+            }
+        ));
+        s
+    }
+}
+
+/// Where `BENCH_engine.json` is written: the repository root.
+pub fn default_output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+}
+
+/// The two queue implementations measured, behind one trait so every
+/// workload is a single generic function (identical code for both sides).
+pub trait BenchQueue {
+    /// Creates a queue pre-sized for `cap` pending events.
+    fn with_capacity(cap: usize) -> Self;
+    /// Inserts an event to fire at `t`.
+    fn push(&mut self, t: SimTime, v: u64);
+    /// Removes the earliest event, FIFO among ties.
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+impl BenchQueue for EventQueue<u64> {
+    fn with_capacity(cap: usize) -> Self {
+        EventQueue::with_capacity(cap)
+    }
+    fn push(&mut self, t: SimTime, v: u64) {
+        EventQueue::push(self, t, v)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl BenchQueue for NaiveEventQueue<u64> {
+    fn with_capacity(cap: usize) -> Self {
+        NaiveEventQueue::with_capacity(cap)
+    }
+    fn push(&mut self, t: SimTime, v: u64) {
+        NaiveEventQueue::push(self, t, v)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        NaiveEventQueue::pop(self)
+    }
+}
+
+/// The mobility-shaped successor delay: 80% near-future (200 µs – 2 ms:
+/// frame turnarounds, controller ticks), 20% far (0.5 s – 5 s: idle
+/// expiries, client think time). Nanoseconds.
+fn mixed_delay(rng: &mut SimRng) -> u64 {
+    if rng.below(5) < 4 {
+        200_000 + rng.below(1_800_000)
+    } else {
+        500_000_000 + rng.below(4_500_000_000)
+    }
+}
+
+/// schedule_heavy: `n` pushes at uniform offsets over a 60 s horizon, then a
+/// full drain. Returns (elapsed_secs, peak_pending).
+fn run_schedule_heavy<Q: BenchQueue>(n: usize, seed: u64) -> (f64, usize) {
+    let mut rng = SimRng::new(seed);
+    let mut q = Q::with_capacity(n);
+    let start = Instant::now();
+    for i in 0..n {
+        q.push(SimTime::from_nanos(rng.below(60_000_000_000)), i as u64);
+    }
+    while let Some(e) = q.pop() {
+        black_box(e);
+    }
+    (start.elapsed().as_secs_f64(), n)
+}
+
+/// pop_heavy: pre-fill untimed, time the drain alone.
+fn run_pop_heavy<Q: BenchQueue>(n: usize, seed: u64) -> (f64, usize) {
+    let mut rng = SimRng::new(seed);
+    let mut q = Q::with_capacity(n);
+    for i in 0..n {
+        q.push(SimTime::from_nanos(rng.below(60_000_000_000)), i as u64);
+    }
+    let start = Instant::now();
+    while let Some(e) = q.pop() {
+        black_box(e);
+    }
+    (start.elapsed().as_secs_f64(), n)
+}
+
+/// mixed: steady-state population of `depth` pending events; `n` pop-then-
+/// reschedule cycles with mobility-shaped delays. One full population
+/// turnover runs untimed first so both queues are measured at steady state
+/// (warm slabs, warm caches), not during their fill transient.
+fn run_mixed<Q: BenchQueue>(n: usize, depth: usize, seed: u64) -> (f64, usize) {
+    let mut rng = SimRng::new(seed);
+    let mut q = Q::with_capacity(depth);
+    for i in 0..depth {
+        q.push(SimTime::from_nanos(mixed_delay(&mut rng)), i as u64);
+    }
+    for _ in 0..depth {
+        let (now, v) = q.pop().expect("population is closed");
+        q.push(now + desim::Duration::from_nanos(mixed_delay(&mut rng)), v);
+    }
+    let start = Instant::now();
+    for _ in 0..n {
+        let (now, v) = q.pop().expect("population is closed");
+        q.push(now + desim::Duration::from_nanos(mixed_delay(&mut rng)), v);
+    }
+    (start.elapsed().as_secs_f64(), depth)
+}
+
+fn point(
+    name: &'static str,
+    events: usize,
+    calendar: (f64, usize),
+    naive: (f64, usize),
+) -> WorkloadPoint {
+    assert_eq!(
+        calendar.1, naive.1,
+        "both implementations must see the same schedule"
+    );
+    WorkloadPoint {
+        name,
+        events,
+        calendar_events_per_sec: events as f64 / calendar.0,
+        naive_events_per_sec: events as f64 / naive.0,
+        peak_pending: calendar.1,
+    }
+}
+
+/// Runs the full workload matrix over both implementations. Full runs take
+/// a few seconds; `smoke` scales the (ungated) batch workloads down ~20×
+/// for CI. The mixed workload is NOT scaled in either dimension: its depth
+/// drives the naive heap's `log n` factor (shrinking it would flatter the
+/// baseline), and its cycle count keeps the timed section hundreds of
+/// milliseconds long (shrinking it would hand the relative gate to
+/// scheduler noise).
+pub fn run(smoke: bool) -> Report {
+    let scale = if smoke { 20 } else { 1 };
+    run_sized(400_000 / scale, 2_000_000, 100_000, smoke)
+}
+
+/// Workload matrix with explicit sizes — `run` picks the real ones; tests
+/// use tiny counts to exercise the shape without paying measurement time.
+fn run_sized(n_batch: usize, n_mixed: usize, depth: usize, smoke: bool) -> Report {
+    let seed = 0xE1137;
+    let points = vec![
+        point(
+            "schedule_heavy",
+            n_batch,
+            run_schedule_heavy::<EventQueue<u64>>(n_batch, seed),
+            run_schedule_heavy::<NaiveEventQueue<u64>>(n_batch, seed),
+        ),
+        point(
+            "pop_heavy",
+            n_batch,
+            run_pop_heavy::<EventQueue<u64>>(n_batch, seed),
+            run_pop_heavy::<NaiveEventQueue<u64>>(n_batch, seed),
+        ),
+        point(
+            "mixed",
+            n_mixed,
+            run_mixed::<EventQueue<u64>>(n_mixed, depth, seed),
+            run_mixed::<NaiveEventQueue<u64>>(n_mixed, depth, seed),
+        ),
+    ];
+    Report { points, smoke }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = Report {
+            points: vec![WorkloadPoint {
+                name: "mixed",
+                events: 100,
+                calendar_events_per_sec: 2.0e7,
+                naive_events_per_sec: 4.0e6,
+                peak_pending: 50,
+            }],
+            smoke: true,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"engine\""));
+        assert!(j.contains("\"smoke\": true"));
+        assert!(j.contains("\"name\": \"mixed\""));
+        assert!(j.contains("\"speedup\": 5.00"));
+        assert!(j.contains("\"mixed_speedup\": 5.00"));
+        assert!(j.contains("\"events_per_sec_floor\""));
+        assert!(j.contains("\"floor_met\": true"));
+        assert!(r.render().contains("mixed speedup"));
+    }
+
+    #[test]
+    fn both_queues_agree_on_the_mixed_schedule() {
+        // The bench is only meaningful if both sides replay the identical
+        // event sequence: a cycle-by-cycle shadow run must match.
+        let mut rng_a = SimRng::new(1);
+        let mut rng_b = SimRng::new(1);
+        let mut a: EventQueue<u64> = BenchQueue::with_capacity(64);
+        let mut b: NaiveEventQueue<u64> = BenchQueue::with_capacity(64);
+        for i in 0..64u64 {
+            a.push(SimTime::from_nanos(mixed_delay(&mut rng_a)), i);
+            b.push(SimTime::from_nanos(mixed_delay(&mut rng_b)), i);
+        }
+        for _ in 0..5_000 {
+            let ea = a.pop().unwrap();
+            let eb = b.pop().unwrap();
+            assert_eq!(ea, eb);
+            a.push(ea.0 + desim::Duration::from_nanos(mixed_delay(&mut rng_a)), ea.1);
+            b.push(eb.0 + desim::Duration::from_nanos(mixed_delay(&mut rng_b)), eb.1);
+        }
+    }
+
+    #[test]
+    fn smoke_run_emits_all_three_workloads() {
+        let r = run_sized(2_000, 5_000, 1_000, true);
+        assert_eq!(r.points.len(), 3);
+        let names: Vec<&str> = r.points.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["schedule_heavy", "pop_heavy", "mixed"]);
+        for p in &r.points {
+            assert!(p.calendar_events_per_sec > 0.0);
+            assert!(p.naive_events_per_sec > 0.0);
+            assert!(p.peak_pending > 0);
+        }
+    }
+}

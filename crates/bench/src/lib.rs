@@ -2,6 +2,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod fastpath;
 pub mod mobility;
 pub mod recovery;

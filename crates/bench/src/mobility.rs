@@ -180,4 +180,13 @@ mod tests {
         assert!(r.points.iter().all(|p| p.handovers > 0));
         assert!(r.points.iter().any(|p| p.p99_ms > 0.0));
     }
+
+    #[test]
+    fn repro_artifact_is_deterministic() {
+        // The whole BENCH_mobility.json artifact — not just the figure —
+        // must be byte-identical per seed on the calendar event core.
+        let a = run(7, true);
+        let b = run(7, true);
+        assert_eq!(a.to_json(), b.to_json(), "same seed ⇒ same artifact");
+    }
 }

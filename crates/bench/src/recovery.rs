@@ -204,4 +204,13 @@ mod tests {
         assert!(r.points.iter().all(|p| p.outages > 0 && p.channel_losses > 0));
         assert!(r.points.iter().all(|p| p.pings_done > 0));
     }
+
+    #[test]
+    fn repro_artifact_is_deterministic() {
+        // The whole BENCH_recovery.json artifact — not just the figure —
+        // must be byte-identical per seed on the calendar event core.
+        let a = run(7, 1.0, true);
+        let b = run(7, 1.0, true);
+        assert_eq!(a.to_json(), b.to_json(), "same seed ⇒ same artifact");
+    }
 }

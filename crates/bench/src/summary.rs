@@ -1,7 +1,9 @@
 //! The claim-by-claim verdict table: every quantitative statement in the
-//! paper's evaluation text, measured fresh and judged.
+//! paper's evaluation text, measured fresh and judged — plus the perf
+//! trajectory folded from the committed `BENCH_*.json` artifacts.
 
 use desim::Summary;
+use std::path::PathBuf;
 use testbed::experiments::{self, run_trace_experiment};
 use testbed::report::Table;
 use testbed::ClusterKind;
@@ -148,9 +150,172 @@ pub fn render(claims: &[Claim]) -> String {
     t.render()
 }
 
+/// One row of the perf trajectory: the headline number of a committed
+/// `BENCH_*.json` artifact.
+pub struct PerfPoint {
+    /// Artifact file name at the repository root.
+    pub artifact: &'static str,
+    /// The subsystem the bench measures.
+    pub subsystem: &'static str,
+    /// Its headline number, formatted.
+    pub headline: String,
+    /// Supporting numbers.
+    pub detail: String,
+}
+
+/// Pulls the number following `"key":` out of hand-rolled bench JSON
+/// (`serde` is deliberately not a workspace dependency). Matches the first
+/// occurrence at any nesting depth.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let tail = &json[json.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    tail.trim_start()
+        .split([',', '}', '\n', ']'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Like [`json_number`], but scoped to the text after `anchor` — used to
+/// reach into a specific element of a JSON array (e.g. the `mixed` workload
+/// row) without a parser.
+fn json_number_after(json: &str, anchor: &str, key: &str) -> Option<f64> {
+    json_number(&json[json.find(anchor)?..], key)
+}
+
+/// Reads the four committed bench artifacts and condenses each into one
+/// trajectory row. Artifacts that have not been generated yet show up as
+/// `missing` rather than failing the summary.
+pub fn perf_trajectory() -> Vec<PerfPoint> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let read = |name: &str| std::fs::read_to_string(root.join(name)).ok();
+    let missing = || ("(missing — see README for the repro command)".to_string(), String::new());
+
+    let flowtable = read("BENCH_flowtable.json")
+        .and_then(|j| {
+            Some((
+                format!(
+                    "microflow {:.0}x vs naive lookup @100k flows",
+                    json_number(&j, "microflow_speedup_vs_naive_100k")?
+                ),
+                format!("cache hit rate {:.4}", json_number(&j, "cache_hit_rate")?),
+            ))
+        })
+        .unwrap_or_else(missing);
+    let engine = read("BENCH_engine.json")
+        .and_then(|j| {
+            Some((
+                format!(
+                    "calendar {:.2}M ev/s mixed ({:.2}x naive)",
+                    json_number_after(&j, "\"name\": \"mixed\"", "calendar_events_per_sec")? / 1e6,
+                    json_number(&j, "mixed_speedup")?
+                ),
+                format!(
+                    "CI floor {:.1}M ev/s, met: {}",
+                    json_number(&j, "events_per_sec_floor")? / 1e6,
+                    j.contains("\"floor_met\": true")
+                ),
+            ))
+        })
+        .unwrap_or_else(missing);
+    let mobility = read("BENCH_mobility.json")
+        .and_then(|j| {
+            Some((
+                format!(
+                    "anchored p99 interruption {:.3} ms",
+                    json_number(&j, "interruption_p99_ms")?
+                ),
+                format!(
+                    "{:.0} handovers, {:.0} pings dropped",
+                    json_number(&j, "handovers")?,
+                    json_number(&j, "total_dropped")?
+                ),
+            ))
+        })
+        .unwrap_or_else(missing);
+    let recovery = read("BENCH_recovery.json")
+        .and_then(|j| {
+            Some((
+                format!(
+                    "{:.0} stranded, {:.0} reconcile residual",
+                    json_number(&j, "total_stranded")?,
+                    json_number(&j, "total_reconcile_residual")?
+                ),
+                format!(
+                    "{:.0} crashes, {:.0} outages survived",
+                    json_number(&j, "crashes")?,
+                    json_number(&j, "outages")?
+                ),
+            ))
+        })
+        .unwrap_or_else(missing);
+
+    vec![
+        PerfPoint {
+            artifact: "BENCH_flowtable.json",
+            subsystem: "data plane",
+            headline: flowtable.0,
+            detail: flowtable.1,
+        },
+        PerfPoint {
+            artifact: "BENCH_engine.json",
+            subsystem: "event core",
+            headline: engine.0,
+            detail: engine.1,
+        },
+        PerfPoint {
+            artifact: "BENCH_mobility.json",
+            subsystem: "handover",
+            headline: mobility.0,
+            detail: mobility.1,
+        },
+        PerfPoint {
+            artifact: "BENCH_recovery.json",
+            subsystem: "self-healing",
+            headline: recovery.0,
+            detail: recovery.1,
+        },
+    ]
+}
+
+/// Renders the perf trajectory table.
+pub fn render_trajectory(points: &[PerfPoint]) -> String {
+    let mut t = Table::new(&["Artifact", "Subsystem", "Headline", "Detail"]);
+    for p in points {
+        t.row(vec![
+            p.artifact.to_string(),
+            p.subsystem.to_string(),
+            p.headline.clone(),
+            p.detail.clone(),
+        ]);
+    }
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_extractor_reads_ints_floats_and_anchored_keys() {
+        let j = "{\n  \"a\": 3,\n  \"rows\": [\n    {\"name\": \"x\", \"v\": 1.5},\n    {\"name\": \"y\", \"v\": 2.5}\n  ],\n  \"last\": 0.25\n}\n";
+        assert_eq!(json_number(j, "a"), Some(3.0));
+        assert_eq!(json_number(j, "v"), Some(1.5), "first match wins");
+        assert_eq!(json_number_after(j, "\"name\": \"y\"", "v"), Some(2.5));
+        assert_eq!(json_number(j, "last"), Some(0.25));
+        assert_eq!(json_number(j, "absent"), None);
+        assert_eq!(json_number_after(j, "no-such-anchor", "v"), None);
+    }
+
+    #[test]
+    fn trajectory_always_has_all_four_rows() {
+        let points = perf_trajectory();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[1].artifact, "BENCH_engine.json");
+        let text = render_trajectory(&points);
+        assert!(text.contains("event core"));
+        assert!(text.contains("data plane"));
+    }
 
     #[test]
     fn every_claim_holds() {

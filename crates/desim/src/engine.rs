@@ -23,7 +23,7 @@
 //! assert_eq!(ticks, 5);
 //! ```
 
-use crate::queue::EventQueue;
+use crate::calendar::EventQueue;
 use crate::time::{Duration, SimTime};
 
 /// A discrete-event simulation engine generic over the event type `E`.
@@ -31,6 +31,8 @@ pub struct Engine<E> {
     now: SimTime,
     queue: EventQueue<E>,
     processed: u64,
+    clamped: u64,
+    peak_pending: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -42,10 +44,18 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an engine at time zero with an empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an engine whose queue is pre-sized for `cap` pending events,
+    /// so steady-state simulations never re-grow event storage mid-run.
+    pub fn with_capacity(cap: usize) -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(cap),
             processed: 0,
+            clamped: 0,
+            peak_pending: 0,
         }
     }
 
@@ -67,25 +77,55 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// High-water mark of the pending-event count over the engine's life.
+    #[inline]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Number of events whose requested time was in the past and had to be
+    /// clamped to `now` by [`Engine::schedule_at`]. Non-zero means some
+    /// caller's intent was silently reordered — worth surfacing in run stats.
+    #[inline]
+    pub fn clamped_events(&self) -> u64 {
+        self.clamped
+    }
+
+    #[inline]
+    fn note_pending(&mut self) {
+        let n = self.queue.len();
+        if n > self.peak_pending {
+            self.peak_pending = n;
+        }
+    }
+
     /// Schedules `event` at the absolute instant `at`.
     ///
     /// Scheduling in the past is a logic error; the event is clamped to `now`
-    /// (and flagged in debug builds) so simulations never travel backwards.
+    /// and counted in [`Engine::clamped_events`] so simulations never travel
+    /// backwards and the reordering never goes unnoticed.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduled event in the past: {at:?} < {:?}", self.now);
-        let at = at.max(self.now);
+        let at = if at < self.now {
+            self.clamped += 1;
+            self.now
+        } else {
+            at
+        };
         self.queue.push(at, event);
+        self.note_pending();
     }
 
     /// Schedules `event` to fire `delay` after the current time.
     pub fn schedule_in(&mut self, delay: Duration, event: E) {
         self.queue.push(self.now + delay, event);
+        self.note_pending();
     }
 
     /// Schedules `event` to fire immediately (after already-queued events for
     /// the current instant).
     pub fn schedule_now(&mut self, event: E) {
         self.queue.push(self.now, event);
+        self.note_pending();
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
@@ -176,6 +216,34 @@ mod tests {
         let mut e: Engine<u8> = Engine::new();
         e.schedule_in(Duration::from_secs(1), 1);
         e.advance_to(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn past_schedule_clamps_and_counts() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(SimTime::from_secs(5), 1);
+        e.pop().unwrap();
+        assert_eq!(e.clamped_events(), 0);
+        e.schedule_at(SimTime::from_secs(1), 2);
+        assert_eq!(e.clamped_events(), 1);
+        let (t, ev) = e.pop().unwrap();
+        assert_eq!((t, ev), (SimTime::from_secs(5), 2), "clamped to now");
+        // Scheduling exactly at `now` is fine and not counted.
+        e.schedule_at(SimTime::from_secs(5), 3);
+        assert_eq!(e.clamped_events(), 1);
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        let mut e: Engine<u8> = Engine::with_capacity(16);
+        assert_eq!(e.peak_pending(), 0);
+        for i in 0..10 {
+            e.schedule_in(Duration::from_millis(i as u64 + 1), i);
+        }
+        assert_eq!(e.peak_pending(), 10);
+        while e.pop().is_some() {}
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.peak_pending(), 10, "peak survives the drain");
     }
 
     #[test]

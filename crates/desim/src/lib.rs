@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod dist;
 pub mod engine;
 pub mod fault;
@@ -40,10 +41,11 @@ pub mod stats;
 pub mod time;
 pub mod wheel;
 
+pub use calendar::EventQueue;
 pub use dist::{Constant, Empirical, Exponential, LogNormal, Normal, Sample, Shifted, Uniform};
 pub use engine::Engine;
 pub use fault::{FaultInjector, FaultPlan, RetryPolicy};
-pub use queue::EventQueue;
+pub use queue::NaiveEventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, LogHistogram, Summary};
 pub use time::{fmt_duration, Duration, SimTime};

@@ -1,9 +1,15 @@
-//! Stable-ordered event queue.
+//! Stable-ordered event queue — reference implementation.
 //!
 //! A binary-heap priority queue keyed by `(SimTime, sequence)`. The sequence
 //! number breaks ties between events scheduled for the same instant in FIFO
 //! order of insertion, which keeps simulations deterministic regardless of
 //! heap internals.
+//!
+//! This is the original engine queue, kept as [`NaiveEventQueue`]: a dozen
+//! lines of obviously-correct heap code that serves as the differential
+//! oracle for the calendar-queue fast path ([`crate::calendar::EventQueue`])
+//! and as its baseline in `bench::engine`. The two are API-identical and
+//! must pop in exactly the same `(time, seq)` order for every schedule.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -38,22 +44,28 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic min-priority queue of timestamped events.
-pub struct EventQueue<E> {
+/// A deterministic min-priority queue of timestamped events, backed by a
+/// single global binary heap.
+///
+/// Correct and simple, but every push/pop pays an `O(log n)` sift over the
+/// whole pending set. The engine uses [`crate::EventQueue`] (the calendar
+/// queue) instead; this type remains as the determinism oracle and bench
+/// baseline.
+pub struct NaiveEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for NaiveEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> NaiveEventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        NaiveEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -61,7 +73,7 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue with room for `cap` events.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
+        NaiveEventQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
         }
@@ -107,7 +119,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = NaiveEventQueue::new();
         q.push(SimTime::from_millis(30), "c");
         q.push(SimTime::from_millis(10), "a");
         q.push(SimTime::from_millis(20), "b");
@@ -119,7 +131,7 @@ mod tests {
 
     #[test]
     fn ties_are_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = NaiveEventQueue::new();
         let t = SimTime::from_millis(5);
         for i in 0..100 {
             q.push(t, i);
@@ -131,7 +143,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
+        let mut q = NaiveEventQueue::new();
         q.push(SimTime::from_secs(1), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
         assert_eq!(q.len(), 1);
@@ -142,7 +154,7 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
+        let mut q = NaiveEventQueue::new();
         q.push(SimTime::from_millis(10), 1);
         q.push(SimTime::from_millis(5), 0);
         assert_eq!(q.pop().unwrap().1, 0);

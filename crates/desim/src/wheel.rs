@@ -59,6 +59,10 @@ pub struct TimerWheel<K> {
     deadlines: HashMap<K, u64>,
     /// The instant the wheel last advanced to.
     now_ns: u64,
+    /// Recycled drain buffer: slot storage rotates through here during
+    /// sweeps instead of being dropped, so steady-state sweeps allocate
+    /// nothing.
+    scratch: Vec<(K, u64)>,
 }
 
 impl<K: Eq + Hash + Clone> TimerWheel<K> {
@@ -69,6 +73,7 @@ impl<K: Eq + Hash + Clone> TimerWheel<K> {
             slot_min: vec![u64::MAX; LEVELS * SLOTS],
             deadlines: HashMap::new(),
             now_ns: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -143,10 +148,20 @@ impl<K: Eq + Hash + Clone> TimerWheel<K> {
     /// not O(total entries). Time never moves backwards; a stale `now` just
     /// re-examines the current level-0 slot.
     pub fn expired(&mut self, now: SimTime) -> Vec<K> {
+        let mut due = Vec::new();
+        self.expired_into(now, &mut due);
+        due
+    }
+
+    /// Batched form of [`TimerWheel::expired`]: appends due keys to `out`
+    /// (which is *not* cleared) instead of allocating a fresh `Vec`. Hot
+    /// expiry paths call this with a reused buffer so periodic sweeps are
+    /// allocation-free; internally, drained slot storage is recycled through
+    /// a scratch buffer rather than dropped.
+    pub fn expired_into(&mut self, now: SimTime, out: &mut Vec<K>) {
         let new_now = now.as_nanos().max(self.now_ns);
         let old_now = self.now_ns;
         self.now_ns = new_now;
-        let mut due = Vec::new();
         for level in 0..LEVELS {
             let sh = shift(level);
             let old_t = old_now >> sh;
@@ -165,23 +180,28 @@ impl<K: Eq + Hash + Clone> TimerWheel<K> {
                 if self.slots[idx].is_empty() {
                     continue;
                 }
-                let drained = std::mem::take(&mut self.slots[idx]);
+                // Swap the slot's storage out through the scratch buffer so
+                // its capacity is recycled instead of freed: the (empty)
+                // scratch becomes the new slot Vec, and the drained Vec is
+                // parked as the next scratch once emptied.
+                let mut drained = std::mem::take(&mut self.scratch);
+                std::mem::swap(&mut drained, &mut self.slots[idx]);
                 self.slot_min[idx] = u64::MAX;
-                for (k, dl) in drained {
+                for (k, dl) in drained.drain(..) {
                     if self.deadlines.get(&k) != Some(&dl) {
                         continue; // stale copy of a moved/cancelled timer
                     }
                     if dl <= new_now {
                         self.deadlines.remove(&k);
-                        due.push(k);
+                        out.push(k);
                     } else {
                         // Entered a coarse slot early: cascade down.
                         self.place(k, dl);
                     }
                 }
+                self.scratch = drained;
             }
         }
-        due
     }
 
     /// A lower bound on the earliest live deadline, in time independent of

@@ -1,9 +1,73 @@
 //! Property-based tests for the simulation kernel.
 
-use desim::{Duration, EventQueue, Exponential, LogNormal, Sample, SimRng, SimTime, Summary};
+use desim::{
+    Duration, EventQueue, Exponential, LogNormal, NaiveEventQueue, Sample, SimRng, SimTime,
+    Summary,
+};
 use proptest::prelude::*;
 
+/// One step of a differential queue schedule: `Push(delay)` schedules an
+/// event `delay` ns after the last popped time, `Pop` extracts (a no-op on
+/// empty queues so arbitrary sequences stay valid).
+#[derive(Clone, Debug)]
+enum QueueOp {
+    Push(u64),
+    Pop,
+}
+
+/// Delays spanning every calendar level: same-instant ties, the current
+/// bucket (< 131 µs), the near ring (< 134 ms), the far ring (< 137 s), and
+/// the overflow spill beyond it.
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        3 => Just(QueueOp::Pop),
+        1 => Just(QueueOp::Push(0)),
+        2 => (1u64..100_000).prop_map(QueueOp::Push),
+        2 => (100_000u64..100_000_000).prop_map(QueueOp::Push),
+        2 => (100_000_000u64..100_000_000_000).prop_map(QueueOp::Push),
+        1 => (100_000_000_000u64..500_000_000_000).prop_map(QueueOp::Push),
+    ]
+}
+
 proptest! {
+    /// Differential oracle: the calendar queue and the binary-heap reference
+    /// pop identical `(time, payload)` sequences for arbitrary interleaved
+    /// push/pop schedules — the determinism contract the engine swap rests
+    /// on.
+    #[test]
+    fn calendar_matches_naive_reference(ops in prop::collection::vec(queue_op(), 1..400)) {
+        let mut fast = EventQueue::new();
+        let mut naive = NaiveEventQueue::new();
+        let mut clock = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                QueueOp::Push(delay) => {
+                    let t = SimTime::from_nanos(clock + delay);
+                    fast.push(t, i);
+                    naive.push(t, i);
+                }
+                QueueOp::Pop => {
+                    let a = fast.pop();
+                    let b = naive.pop();
+                    prop_assert_eq!(a, b, "divergence at op {}", i);
+                    if let Some((t, _)) = a {
+                        clock = t.as_nanos();
+                    }
+                }
+            }
+            prop_assert_eq!(fast.len(), naive.len());
+            prop_assert_eq!(fast.peek_time(), naive.peek_time());
+        }
+        loop {
+            let a = fast.pop();
+            let b = naive.pop();
+            prop_assert_eq!(a, b, "divergence during final drain");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Popping the queue always yields events in non-decreasing time order,
     /// FIFO among equal timestamps.
     #[test]

@@ -290,6 +290,9 @@ pub struct Controller {
     /// When each instance crashed (fault injection), so the repair sweep's
     /// `stale_redirect_repair_ns` histogram measures crash→repair latency.
     crash_records: HashMap<InstanceAddr, SimTime>,
+    /// Recycled per-packet-in buffer for resolved ingress distances, so the
+    /// hot path never allocates for them.
+    distance_scratch: Vec<Duration>,
 }
 
 impl Controller {
@@ -323,6 +326,7 @@ impl Controller {
             telemetry: Telemetry::disabled(),
             next_request: 0,
             crash_records: HashMap::new(),
+            distance_scratch: Vec::new(),
         }
     }
 
@@ -372,23 +376,29 @@ impl Controller {
     /// Resolved per-cluster distances from `ingress`; `None` when no
     /// override exists for this ingress (advertised latencies apply).
     fn distances_from(&self, ingress: IngressId) -> Option<Vec<Duration>> {
+        let mut out = Vec::new();
+        self.fill_distances(ingress, &mut out).then_some(out)
+    }
+
+    /// Allocation-free form of [`Controller::distances_from`]: fills `out`
+    /// (cleared first) and returns whether an override exists for `ingress`.
+    /// The packet-in fast path calls this with a recycled buffer.
+    fn fill_distances(&self, ingress: IngressId, out: &mut Vec<Duration>) -> bool {
+        out.clear();
         if !self
             .ingress_distances
             .keys()
             .any(|(i, _)| *i == ingress)
         {
-            return None;
+            return false;
         }
-        Some(
-            (0..self.clusters.len())
-                .map(|c| {
-                    self.ingress_distances
-                        .get(&(ingress, c))
-                        .copied()
-                        .unwrap_or_else(|| self.clusters[c].latency())
-                })
-                .collect(),
-        )
+        out.extend((0..self.clusters.len()).map(|c| {
+            self.ingress_distances
+                .get(&(ingress, c))
+                .copied()
+                .unwrap_or_else(|| self.clusters[c].latency())
+        }));
+        true
     }
 
     /// Registers an edge service.
@@ -575,7 +585,8 @@ impl Controller {
         });
         let t = now + self.config.processing.sample_duration(rng);
 
-        let Some(svc) = self.services.get(svc_addr).cloned() else {
+        // Shared handle: Rc clone, not a deep copy of the service definition.
+        let Some(svc) = self.services.get_shared(svc_addr) else {
             // Not an edge service: plain cloud forwarding flows.
             self.telemetry.event(root, "unregistered", t, || {
                 "not an edge service; plain cloud forwarding".to_owned()
@@ -595,12 +606,13 @@ impl Controller {
             return self.install_cloud_path(ingress, t, buffer_id, in_port, &frame);
         };
 
-        let distances = self.distances_from(ingress);
+        let mut distances = std::mem::take(&mut self.distance_scratch);
+        let have_distances = self.fill_distances(ingress, &mut distances);
         let outcome: DispatchOutcome = self.dispatcher.dispatch_at(
             &svc,
             frame.src_ip,
             ingress,
-            distances.as_deref(),
+            have_distances.then_some(distances.as_slice()),
             RequestClass::NewFlow,
             t,
             &mut self.clusters,
@@ -610,6 +622,7 @@ impl Controller {
             request,
             root,
         );
+        self.distance_scratch = distances;
 
         let background_ready = outcome.background.map(|b| b.ready_at);
         let (kind, answered_at, cluster, msgs) = match outcome.decision {
@@ -1016,7 +1029,7 @@ impl Controller {
         let mut redispatched = 0usize;
         let distances = self.distances_from(to);
         for (key, flow) in self.memory.flows_of_client_at(client, from) {
-            let Some(svc) = self.services.get(key.service).cloned() else {
+            let Some(svc) = self.services.get_shared(key.service) else {
                 self.memory.forget(&key);
                 continue;
             };

@@ -86,6 +86,9 @@ pub struct FlowMemory {
     /// Expiry wheel; a key's deadline is never later than its true expiry
     /// (refreshes are applied lazily at sweep time).
     wheel: TimerWheel<FlowKey>,
+    /// Recycled buffer for expiry sweeps so periodic ticks allocate nothing
+    /// in the steady state.
+    expiry_scratch: Vec<FlowKey>,
 }
 
 impl FlowMemory {
@@ -98,6 +101,7 @@ impl FlowMemory {
             flows: HashMap::new(),
             per_service: HashMap::new(),
             wheel: TimerWheel::new(),
+            expiry_scratch: Vec::new(),
         }
     }
 
@@ -296,7 +300,10 @@ impl FlowMemory {
     pub fn expire(&mut self, now: SimTime) -> Vec<(ServiceAddr, usize)> {
         let timeout = self.idle_timeout;
         let mut expired: BTreeSet<(ServiceAddr, usize)> = BTreeSet::new();
-        for key in self.wheel.expired(now) {
+        let mut due = std::mem::take(&mut self.expiry_scratch);
+        due.clear();
+        self.wheel.expired_into(now, &mut due);
+        for key in due.drain(..) {
             let f = self.flows[&key];
             if now.saturating_since(f.last_used) >= timeout {
                 self.remove(&key);
@@ -307,6 +314,7 @@ impl FlowMemory {
                 self.wheel.schedule(key, f.last_used + timeout);
             }
         }
+        self.expiry_scratch = due;
         expired
             .into_iter()
             .filter(|(svc, _)| !self.per_service.contains_key(svc))

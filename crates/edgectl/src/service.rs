@@ -10,6 +10,7 @@ use crate::annotate::AnnotatedService;
 use containerd::ServiceProfile;
 use netsim::ServiceAddr;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// A registered edge service.
 #[derive(Clone, Debug)]
@@ -27,9 +28,13 @@ pub struct EdgeService {
 /// The registry of services eligible for transparent edge redirection.
 /// Requests to addresses not present here are forwarded to the cloud
 /// untouched.
+///
+/// Entries are reference-counted so the controller's packet-in fast path can
+/// take a cheap shared handle ([`ServiceRegistry::get_shared`]) instead of
+/// deep-cloning the annotated YAML and manifest strings per packet.
 #[derive(Default)]
 pub struct ServiceRegistry {
-    services: BTreeMap<ServiceAddr, EdgeService>,
+    services: BTreeMap<ServiceAddr, Rc<EdgeService>>,
 }
 
 impl ServiceRegistry {
@@ -40,18 +45,24 @@ impl ServiceRegistry {
 
     /// Registers a service; replaces an existing registration for the same
     /// address and returns the previous one, if any.
-    pub fn register(&mut self, service: EdgeService) -> Option<EdgeService> {
-        self.services.insert(service.addr, service)
+    pub fn register(&mut self, service: EdgeService) -> Option<Rc<EdgeService>> {
+        self.services.insert(service.addr, Rc::new(service))
     }
 
     /// Removes a registration.
-    pub fn deregister(&mut self, addr: ServiceAddr) -> Option<EdgeService> {
+    pub fn deregister(&mut self, addr: ServiceAddr) -> Option<Rc<EdgeService>> {
         self.services.remove(&addr)
     }
 
     /// Looks up the service registered at `addr`.
     pub fn get(&self, addr: ServiceAddr) -> Option<&EdgeService> {
-        self.services.get(&addr)
+        self.services.get(&addr).map(|rc| rc.as_ref())
+    }
+
+    /// Shared-handle lookup for hot paths: clones an `Rc`, never the
+    /// underlying service definition.
+    pub fn get_shared(&self, addr: ServiceAddr) -> Option<Rc<EdgeService>> {
+        self.services.get(&addr).cloned()
     }
 
     /// `true` if `addr` belongs to a registered edge service.
@@ -61,7 +72,7 @@ impl ServiceRegistry {
 
     /// All registered services in address order.
     pub fn iter(&self) -> impl Iterator<Item = &EdgeService> {
-        self.services.values()
+        self.services.values().map(|rc| rc.as_ref())
     }
 
     /// Number of registered services.

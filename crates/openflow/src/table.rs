@@ -272,6 +272,9 @@ pub struct FlowTable {
     /// Bumped on every mutation that can change classification results
     /// (add/modify/delete/expire). Caches key on this to self-invalidate.
     revision: u64,
+    /// Recycled buffer for expiry sweeps, so periodic [`FlowTable::expire`]
+    /// ticks allocate nothing in the steady state.
+    expiry_scratch: Vec<FlowId>,
 }
 
 /// `true` if candidate `(priority, id)` `a` beats `b` (higher priority wins;
@@ -552,7 +555,10 @@ impl FlowTable {
     /// since their deadline was set are rescheduled, not scanned again.
     pub fn expire(&mut self, now: SimTime) -> Vec<Removed> {
         let mut taken: Vec<(FlowId, FlowEntry, RemovedReason)> = Vec::new();
-        for id in self.wheel.expired(now) {
+        let mut due = std::mem::take(&mut self.expiry_scratch);
+        due.clear();
+        self.wheel.expired_into(now, &mut due);
+        for id in due.drain(..) {
             let e = &self.flows[&id];
             let hard_exp =
                 e.hard_timeout != Duration::ZERO && now - e.installed_at >= e.hard_timeout;
@@ -572,6 +578,7 @@ impl FlowTable {
                 self.wheel.schedule(id, deadline);
             }
         }
+        self.expiry_scratch = due;
         if !taken.is_empty() {
             self.revision += 1;
         }

@@ -313,7 +313,10 @@ impl Testbed {
         }
         let n_clients = config.n_clients;
         Testbed {
-            engine: Engine::new(),
+            // Pre-size the event core from the population: each client keeps
+            // a handful of in-flight events (frames, ticks, expiries), so
+            // steady-state runs never re-grow event storage mid-simulation.
+            engine: Engine::with_capacity(n_clients * 64 + 1024),
             c3,
             switch,
             controller,
@@ -447,6 +450,11 @@ impl Testbed {
         m.set_gauge("flowmemory.lookups", fm.lookups as f64);
         m.set_gauge("flowmemory.hits", fm.hits as f64);
         m.set_gauge("flowmemory.expired", fm.expired as f64);
+        m.set_gauge("engine.processed", self.engine.processed() as f64);
+        m.set_gauge("engine.peak_pending", self.engine.peak_pending() as f64);
+        // Non-zero means some event asked for a past instant and was clamped
+        // to `now` — intent silently reordered, worth seeing in every run.
+        m.set_gauge("engine.clamped_events", self.engine.clamped_events() as f64);
         for idx in 0..self.controller.cluster_count() {
             let c = self.controller.cluster(idx);
             m.set_gauge(&format!("cluster.{}.load", c.name()), c.load() as f64);
@@ -709,14 +717,28 @@ impl Testbed {
     }
 
     /// Which service instance (if any) listens at `(ip, port)` on the EGS.
-    fn egs_listener(&self, ip: Ipv4Addr, port: u16, now: SimTime) -> Option<(ServiceProfile, bool)> {
+    /// Returns only `Copy` scalars from the profile — `(request_processing,
+    /// request_bytes, response_bytes, ready)` — so the per-frame server path
+    /// never clones a `ServiceProfile` (manifest strings and all).
+    fn egs_listener(
+        &self,
+        ip: Ipv4Addr,
+        port: u16,
+        now: SimTime,
+    ) -> Option<(LogNormal, usize, usize, bool)> {
         for svc in self.controller.services().iter() {
             for idx in 0..self.controller.cluster_count() {
                 let cluster = self.controller.cluster(idx);
                 if let Some(addr) = cluster.instance_addr(svc) {
                     if addr.ip == ip && addr.port == port {
                         let ready = cluster.state(svc, now).is_ready();
-                        return Some((svc.profile.clone(), ready));
+                        let p = &svc.profile;
+                        return Some((
+                            p.request_processing,
+                            p.request_bytes,
+                            p.response_bytes,
+                            ready,
+                        ));
                     }
                 }
             }
@@ -729,7 +751,13 @@ impl Testbed {
             self.drops += 1;
             return;
         };
-        // What serves here?
+        // What serves here? One listener lookup covers the whole frame —
+        // both the SYN/response branch and the request-reassembly branch.
+        let edge = if is_cloud {
+            None
+        } else {
+            self.egs_listener(frame.dst_ip, frame.dst_port, now)
+        };
         let (processing, response_bytes, listening) = if is_cloud {
             // The real cloud hosts every registered service (and a generic
             // web server for everything else) — the "perceived cloud".
@@ -738,8 +766,10 @@ impl Testbed {
                 None => (self.cloud_processing, 500, true),
             }
         } else {
-            match self.egs_listener(frame.dst_ip, frame.dst_port, now) {
-                Some((p, ready)) => (p.request_processing, p.response_bytes, ready),
+            match edge {
+                Some((processing, _, response_bytes, ready)) => {
+                    (processing, response_bytes, ready)
+                }
                 None => (self.cloud_processing, 0, false),
             }
         };
@@ -771,9 +801,7 @@ impl Testbed {
                     .map(|p| p.request_bytes)
                     .unwrap_or(1)
             } else {
-                self.egs_listener(frame.dst_ip, frame.dst_port, now)
-                    .map(|(p, _)| p.request_bytes)
-                    .unwrap_or(1)
+                edge.map(|(_, request_bytes, _, _)| request_bytes).unwrap_or(1)
             };
             let key = (frame.src_ip, frame.src_port, frame.dst_ip, frame.dst_port);
             let acc = self.server_rx.entry(key).or_insert(0);
