@@ -41,9 +41,9 @@ fn bench_docker_cycle(c: &mut Criterion) {
                     Ipv4Addr::new(10, 0, 0, 10),
                     Duration::from_micros(50),
                 );
-                let t = cl.pull(&svc, SimTime::ZERO, &mut rng);
-                let t = cl.create(&svc, t, &mut rng);
-                black_box(cl.scale_up(&svc, t, &mut rng))
+                let t = cl.pull(&svc, SimTime::ZERO, &mut rng).expect("no fault injection");
+                let t = cl.create(&svc, t, &mut rng).expect("no fault injection");
+                black_box(cl.scale_up(&svc, t, &mut rng).expect("no fault injection"))
             })
         });
     }
@@ -62,9 +62,9 @@ fn bench_k8s_cycle(c: &mut Criterion) {
                 Duration::from_micros(50),
                 None,
             );
-            let t = cl.pull(&svc, SimTime::ZERO, &mut rng);
-            let t = cl.create(&svc, t, &mut rng);
-            black_box(cl.scale_up(&svc, t, &mut rng))
+            let t = cl.pull(&svc, SimTime::ZERO, &mut rng).expect("no fault injection");
+            let t = cl.create(&svc, t, &mut rng).expect("no fault injection");
+            black_box(cl.scale_up(&svc, t, &mut rng).expect("no fault injection"))
         })
     });
 }

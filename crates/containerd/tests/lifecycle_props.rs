@@ -24,12 +24,14 @@ proptest! {
         let spec = ContainerSpec::new("c", ImageRef::parse("josefhammer/web-asm:amd64"), Some(80));
 
         let t0 = SimTime::from_millis(1000);
-        let (id, created_at) = n.create(spec, &catalog::web_asm(), t0, &mut rng);
+        let (id, created_at) = n.create(spec, &catalog::web_asm(), t0, &mut rng)
+            .expect("no fault injection configured");
         prop_assert!(created_at > t0);
 
         let t1 = created_at + Duration::from_millis(gap1);
         let ready_delay = Duration::from_millis(ready_ms);
-        let (started_at, ready_at) = n.start(id, t1, ready_delay, &mut rng);
+        let (started_at, ready_at) = n.start(id, t1, ready_delay, &mut rng)
+            .expect("no fault injection configured");
         prop_assert!(started_at > t1);
         prop_assert_eq!(ready_at, started_at + ready_delay);
 
@@ -59,9 +61,11 @@ proptest! {
         let mut n = ContainerdNode::with_defaults();
         n.pull(&[catalog::web_asm()], &mut rng);
         let spec = ContainerSpec::new("c", ImageRef::parse("josefhammer/web-asm:amd64"), Some(80));
-        let (id, mut t) = n.create(spec, &catalog::web_asm(), SimTime::from_secs(1), &mut rng);
+        let (id, mut t) = n.create(spec, &catalog::web_asm(), SimTime::from_secs(1), &mut rng)
+            .expect("no fault injection configured");
         for _ in 0..cycles {
-            let (_, ready) = n.start(id, t, Duration::from_millis(5), &mut rng);
+            let (_, ready) = n.start(id, t, Duration::from_millis(5), &mut rng)
+                .expect("no fault injection configured");
             prop_assert!(n.port_open(id, 80, ready));
             t = n.stop(id, ready + Duration::from_secs(1), &mut rng);
             prop_assert!(!n.port_open(id, 80, t + Duration::from_secs(1)));
@@ -83,7 +87,8 @@ proptest! {
                 Some(80),
             )
             .with_label("edge.service", format!("svc-{l}"));
-            n.create(spec, &catalog::web_asm(), SimTime::from_secs(1), &mut rng);
+            n.create(spec, &catalog::web_asm(), SimTime::from_secs(1), &mut rng)
+                .expect("no fault injection configured");
             *expected.entry(l).or_default() += 1;
         }
         for l in 0u8..4 {

@@ -72,7 +72,9 @@ proptest! {
         let ready = match first.decision {
             DispatchDecision::WaitThenRedirect { ready_at, .. } => ready_at,
             DispatchDecision::Redirect { .. } => now,
-            DispatchDecision::ForwardToCloud => return Ok(()), // cloud-only path
+            // Cloud-only paths (including breaker fallback) prove nothing here.
+            DispatchDecision::ForwardToCloud => return Ok(()),
+            DispatchDecision::FallbackCloud { .. } => return Ok(()),
         };
         now = ready;
         for g in gaps {
@@ -112,7 +114,7 @@ proptest! {
                     instances.insert((instance.ip, instance.port));
                     now = now.max(ready_at);
                 }
-                DispatchDecision::ForwardToCloud => {
+                DispatchDecision::ForwardToCloud | DispatchDecision::FallbackCloud { .. } => {
                     return Err(TestCaseError::fail("unexpected cloud"));
                 }
             }

@@ -57,7 +57,7 @@ proptest! {
         for t in targets {
             c.scale("svc", t, now, &mut rng);
             c.settle(&mut rng);
-            now = now + Duration::from_secs(60);
+            now += Duration::from_secs(60);
             last = t;
         }
         let live = c.live_pods("svc").len();
