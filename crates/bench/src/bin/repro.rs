@@ -12,6 +12,8 @@
 //! repro mobility [--seed N] [--smoke] [--telemetry]   # -> BENCH_mobility.json
 //! repro recovery [--seed N] [--fault-rate F] [--smoke] [--telemetry]
 //!                                   # runtime chaos -> BENCH_recovery.json
+//! repro scale [--seed N] [--smoke]  # fleet-scale controller (1M clients,
+//!                                   # aggregated vs exact) -> BENCH_scale.json
 //! ```
 //!
 //! `--telemetry` turns observability output on: `chaos` records per-request
@@ -250,6 +252,30 @@ chaos (seed {seed}, rate {fault_rate})\n"
                 }
             }
         }
+        "scale" => {
+            println!(
+                "transparent-edge-rs — fleet scale: sharded controller, aggregated vs \
+exact rules (seed {seed}{})\n",
+                if smoke { ", smoke" } else { "" }
+            );
+            let report = bench::scale::run(seed, smoke);
+            print!("{}", report.render());
+            let path = bench::scale::default_output_path();
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("\nwrote {}", path.display());
+            if report.aggregated().table_flows >= report.exact().table_flows {
+                eprintln!(
+                    "aggregated table ({} flows) not smaller than exact ({} flows)",
+                    report.aggregated().table_flows,
+                    report.exact().table_flows
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
         "telemetry" => {
             println!("transparent-edge-rs — telemetry overhead (disabled path vs fast path)\n");
             let report = bench::telemetry::run();
@@ -272,6 +298,7 @@ chaos (seed {seed}, rate {fault_rate})\n"
             println!("chaos");
             println!("mobility");
             println!("recovery");
+            println!("scale");
             ExitCode::SUCCESS
         }
         "all" => {

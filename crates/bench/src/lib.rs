@@ -6,6 +6,7 @@ pub mod engine;
 pub mod fastpath;
 pub mod mobility;
 pub mod recovery;
+pub mod scale;
 pub mod summary;
 pub mod telemetry;
 

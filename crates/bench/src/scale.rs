@@ -1,0 +1,442 @@
+//! Fleet-scale controller bench: 1M clients, 10M packet-ins per arm.
+//!
+//! Like [`crate::mobility`] this is plain `std` (no criterion) so the
+//! `repro scale` subcommand can run it directly and emit the
+//! machine-readable `BENCH_scale.json` artifact. It bypasses the emulated
+//! switch entirely and drives [`edgectl::Controller`] with hand-built
+//! `PACKET_IN` messages — the switch would absorb repeat connections on its
+//! fast path long before 10M misses, so to exercise the *controller* at
+//! fleet scale every connection must arrive as a genuine table miss.
+//!
+//! Two arms over the identical workload:
+//!
+//! * **aggregated** — [`edgectl::ControllerConfig::aggregate_rules`] on: one
+//!   wildcard pair per `(service, ingress, instance)`, covered misses
+//!   answered with a bare `PACKET_OUT`;
+//! * **exact** — the default per-connection pairs, two flows per miss.
+//!
+//! The headline is the switch-table footprint (`flow_adds`) of each arm at
+//! the same client population, plus controller packet-in throughput and the
+//! process peak RSS.
+
+use desim::{Duration, SimRng, SimTime};
+use edgectl::annotate_deployment;
+use edgectl::{Controller, ControllerConfig, DockerCluster, EdgeService, PortMap};
+use edgectl::{IngressId, ProximityScheduler};
+use dockersim::DockerEngine;
+use netsim::addr::{Ipv4Addr, MacAddr};
+use netsim::{ServiceAddr, TcpFrame};
+use openflow::messages::Message;
+use openflow::oxm::{Match, OxmField};
+use openflow::PacketInReason;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use testbed::{client_ip_for, fleet_client_ip};
+
+/// Ingress-side port clients arrive on (every gNB uses the same layout).
+const CLIENT_PORT: u32 = 1;
+/// Egress port toward the edge cluster, on every ingress.
+const EDGE_PORT: u32 = 2;
+/// Port toward the cloud uplink.
+const CLOUD_PORT: u32 = 3;
+
+/// Workload dimensions for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Ingress switches (gNBs) under one controller.
+    pub ingresses: u32,
+    /// Registered edge services; each client opens one connection to each.
+    pub services: u16,
+    /// Simulated clients attached to each ingress.
+    pub clients_per_ingress: usize,
+}
+
+impl Params {
+    /// The full run: 16 gNBs × 62 500 clients = 1M clients; one connection
+    /// per client per service = 10M packet-ins per arm.
+    pub fn full() -> Params {
+        Params { ingresses: 16, services: 10, clients_per_ingress: 62_500 }
+    }
+
+    /// CI-sized smoke run (same shape, ~4k packet-ins per arm).
+    pub fn smoke() -> Params {
+        Params { ingresses: 4, services: 2, clients_per_ingress: 500 }
+    }
+
+    /// Total simulated clients.
+    pub fn clients(&self) -> usize {
+        self.ingresses as usize * self.clients_per_ingress
+    }
+}
+
+/// One arm's measurements.
+#[derive(Clone, Debug)]
+pub struct ArmStats {
+    /// Arm label (`aggregated` / `exact`).
+    pub arm: &'static str,
+    /// Packet-ins driven through the controller (measured loop only).
+    pub packet_ins: u64,
+    /// Misses answered through an existing aggregate (no table change).
+    pub covered: u64,
+    /// Messages the controller sent back toward the switches.
+    pub messages_out: u64,
+    /// Wall-clock seconds for the measured loop.
+    pub wall_s: f64,
+    /// Controller packet-in throughput.
+    pub packet_ins_per_sec: f64,
+    /// Flow adds sent to the switches (switch-table footprint; nothing is
+    /// ever removed during the run).
+    pub table_flows: u64,
+    /// FlowMemory entries at the end of the run.
+    pub memory_entries: u64,
+    /// Process peak RSS (`VmHWM`) sampled after the arm, MB. Monotone per
+    /// process: the aggregated arm runs first so its sample is its own.
+    pub peak_rss_mb: f64,
+}
+
+/// The full scale report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Seed the workload ran under.
+    pub seed: u64,
+    /// Smoke (CI-sized) or full 1M-client run.
+    pub smoke: bool,
+    /// Workload dimensions.
+    pub params: Params,
+    /// Aggregated arm first, then exact.
+    pub arms: Vec<ArmStats>,
+}
+
+impl Report {
+    /// The aggregated arm.
+    pub fn aggregated(&self) -> &ArmStats {
+        &self.arms[0]
+    }
+
+    /// The exact (per-connection pairs) arm.
+    pub fn exact(&self) -> &ArmStats {
+        &self.arms[1]
+    }
+
+    /// How many times smaller the aggregated switch table is.
+    pub fn table_reduction(&self) -> f64 {
+        self.exact().table_flows as f64 / (self.aggregated().table_flows as f64).max(1.0)
+    }
+
+    /// Renders the hand-rolled JSON artifact (`serde` is deliberately not a
+    /// dependency of this workspace).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\n  \"bench\": \"scale\",\n  \"seed\": {},\n  \"smoke\": {},\n  \
+             \"ingresses\": {},\n  \"services\": {},\n  \"clients\": {},\n  \"arms\": [\n",
+            self.seed,
+            self.smoke,
+            self.params.ingresses,
+            self.params.services,
+            self.params.clients()
+        );
+        for (i, a) in self.arms.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"arm\": \"{}\", \"packet_ins\": {}, \"covered\": {}, \
+                 \"messages_out\": {}, \"wall_s\": {:.3}, \"packet_ins_per_sec\": {:.0}, \
+                 \"table_flows\": {}, \"memory_entries\": {}, \"peak_rss_mb\": {:.1}}}{}\n",
+                a.arm,
+                a.packet_ins,
+                a.covered,
+                a.messages_out,
+                a.wall_s,
+                a.packet_ins_per_sec,
+                a.table_flows,
+                a.memory_entries,
+                a.peak_rss_mb,
+                if i + 1 < self.arms.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"aggregated_table_flows\": {},\n  \"exact_table_flows\": {},\n  \
+             \"table_reduction_x\": {:.1}\n}}\n",
+            self.aggregated().table_flows,
+            self.exact().table_flows,
+            self.table_reduction()
+        ));
+        s
+    }
+
+    /// Renders a human-readable table.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{} clients over {} ingresses, {} services, {} packet-ins per arm\n\n",
+            self.params.clients(),
+            self.params.ingresses,
+            self.params.services,
+            self.arms[0].packet_ins
+        );
+        s.push_str("arm          packet-ins   covered     pkt-in/s  table flows   memory  peak RSS [MB]\n");
+        for a in &self.arms {
+            s.push_str(&format!(
+                "{:<12} {:>10}  {:>8}  {:>10.0}  {:>11}  {:>7}  {:>13.1}\n",
+                a.arm,
+                a.packet_ins,
+                a.covered,
+                a.packet_ins_per_sec,
+                a.table_flows,
+                a.memory_entries,
+                a.peak_rss_mb
+            ));
+        }
+        s.push_str(&format!(
+            "aggregation shrinks the switch table {:.0}x (want > 1x)\n",
+            self.table_reduction()
+        ));
+        s
+    }
+}
+
+/// Where `BENCH_scale.json` is written: the repository root.
+pub fn default_output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json")
+}
+
+/// Process peak RSS from `/proc/self/status` (`VmHWM`), MB; 0 where absent.
+fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// An edge service at `203.0.113.10:port` backed by the (cached) `asm`
+/// profile — service names are address-derived, so one profile can back any
+/// number of registered services.
+fn scale_service(port: u16) -> EdgeService {
+    let profile = containerd::ServiceSet::by_key("asm").unwrap();
+    let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), port);
+    let yaml = format!(
+        "spec:\n  template:\n    spec:\n      containers:\n        - name: main\n          image: {}\n          ports:\n            - containerPort: {}\n",
+        profile.manifests[0].reference, profile.listen_port
+    );
+    let annotated = annotate_deployment(&yaml, addr, None).unwrap();
+    EdgeService { addr, name: annotated.service_name.clone(), annotated, profile }
+}
+
+/// Builds the fleet controller: one Docker cluster reachable from every
+/// ingress, every service registered, image pre-pulled.
+fn build_controller(p: Params, aggregate: bool, rng: &mut SimRng) -> Controller {
+    let mut engine = DockerEngine::with_defaults();
+    engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, rng);
+    let cluster = DockerCluster::new(
+        "edge-docker",
+        engine,
+        MacAddr::from_id(200),
+        Ipv4Addr::new(10, 0, 0, 10),
+        Duration::from_micros(150),
+    );
+    let mut ctl = Controller::new(
+        Box::<ProximityScheduler>::default(),
+        PortMap { cluster_ports: HashMap::new(), cloud_port: CLOUD_PORT },
+        ControllerConfig {
+            aggregate_rules: aggregate,
+            // The point of the bench is throughput/footprint, not the
+            // request log: 10M RequestRecords would measure the log.
+            record_requests: false,
+            ..ControllerConfig::default()
+        },
+    );
+    ctl.add_cluster(Box::new(cluster), EDGE_PORT);
+    for g in 1..p.ingresses {
+        let id = ctl.add_ingress(PortMap {
+            cluster_ports: HashMap::new(),
+            cloud_port: CLOUD_PORT,
+        });
+        assert_eq!(id, IngressId(g));
+        ctl.map_cluster_port(id, "edge-docker", EDGE_PORT);
+    }
+    for s in 0..p.services {
+        ctl.register_service(scale_service(8000 + s));
+    }
+    ctl
+}
+
+/// Encodes a `PACKET_IN` carrying `frame`, as the ingress switch would send
+/// it on a table miss.
+fn packet_in(frame: &TcpFrame, buffer_id: u32) -> Vec<u8> {
+    let data = frame.encode();
+    Message::PacketIn {
+        buffer_id,
+        total_len: data.len() as u16,
+        reason: PacketInReason::NoMatch,
+        table_id: 0,
+        cookie: 0,
+        match_: Match::any().with(OxmField::InPort(CLIENT_PORT)),
+        data,
+    }
+    .encode(1)
+}
+
+/// Runs one arm: deploys every service through a warm-up client, then
+/// drives one table miss per `(client, service)` through the controller.
+fn run_arm(arm: &'static str, aggregate: bool, p: Params, seed: u64) -> ArmStats {
+    let mut rng = SimRng::new(seed);
+    let mut ctl = build_controller(p, aggregate, &mut rng);
+    let gw_mac = MacAddr::from_id(900);
+
+    // Warm-up: one connection per service from a legacy-range client
+    // deploys the instances (the on-demand `Waited` path), spaced out so
+    // each deployment completes in sim time before the measured loop.
+    let warm_ip = client_ip_for(0);
+    for s in 0..p.services {
+        let t = SimTime::from_secs(1 + u64::from(s));
+        let frame = TcpFrame::syn(
+            MacAddr::from_id(999),
+            gw_mac,
+            warm_ip,
+            1000 + s,
+            ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 8000 + s),
+        );
+        ctl.handle_switch_message(t, &packet_in(&frame, u32::from(s)), &mut rng)
+            .expect("warm-up packet-in");
+    }
+
+    // Measured loop: every instance is ready, every miss is a fresh flow.
+    let mut t = SimTime::from_secs(600);
+    let mut n: u64 = 0;
+    let mut messages_out: u64 = 0;
+    let tick = Duration::from_micros(1);
+    let start = std::time::Instant::now();
+    for s in 0..p.services {
+        let svc = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 8000 + s);
+        let src_port = 10_000 + s;
+        for g in 0..p.ingresses {
+            let ingress = IngressId(g);
+            for i in 0..p.clients_per_ingress {
+                let cid = g * p.clients_per_ingress as u32 + i as u32;
+                let frame = TcpFrame::syn(
+                    MacAddr::from_id(1_000 + cid),
+                    gw_mac,
+                    fleet_client_ip(g, i),
+                    src_port,
+                    svc,
+                );
+                // Real buffer ids (never OFP_NO_BUFFER): covered misses are
+                // answered by releasing the switch buffer, not by carrying
+                // the frame back.
+                let msg = packet_in(&frame, (n as u32) & 0x00ff_ffff);
+                let out = ctl
+                    .handle_switch_message_from(ingress, t, &msg, &mut rng)
+                    .expect("packet-in");
+                messages_out += out.len() as u64;
+                t += tick;
+                n += 1;
+            }
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    ArmStats {
+        arm,
+        packet_ins: n,
+        covered: ctl.telemetry.metrics.counter("aggregate_covered"),
+        messages_out,
+        wall_s,
+        packet_ins_per_sec: n as f64 / wall_s.max(1e-9),
+        table_flows: ctl.flow_adds,
+        memory_entries: ctl.memory().len() as u64,
+        peak_rss_mb: peak_rss_mb(),
+    }
+}
+
+/// Runs both arms over the identical workload. The aggregated arm goes
+/// first so its peak-RSS sample is not inflated by the exact arm's
+/// per-connection bookkeeping.
+pub fn run(seed: u64, smoke: bool) -> Report {
+    let params = if smoke { Params::smoke() } else { Params::full() };
+    let arms = vec![
+        run_arm("aggregated", true, params, seed),
+        run_arm("exact", false, params, seed),
+    ];
+    Report { seed, smoke, params, arms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let stats = |arm, table_flows| ArmStats {
+            arm,
+            packet_ins: 4000,
+            covered: 3990,
+            messages_out: 4000,
+            wall_s: 0.5,
+            packet_ins_per_sec: 8000.0,
+            table_flows,
+            memory_entries: 4000,
+            peak_rss_mb: 12.0,
+        };
+        let r = Report {
+            seed: 7,
+            smoke: true,
+            params: Params::smoke(),
+            arms: vec![stats("aggregated", 20), stats("exact", 8004)],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"scale\""));
+        assert!(j.contains("\"arm\": \"aggregated\""));
+        assert!(j.contains("\"aggregated_table_flows\": 20"));
+        assert!(j.contains("\"exact_table_flows\": 8004"));
+        assert!(j.contains("\"table_reduction_x\": 400.2"));
+        assert!(r.render().contains("want > 1x"));
+    }
+
+    #[test]
+    fn smoke_run_shrinks_the_table() {
+        let r = run(7, true);
+        let p = Params::smoke();
+        let per_arm = (p.clients() * p.services as usize) as u64;
+        for a in &r.arms {
+            assert_eq!(a.packet_ins, per_arm);
+            assert!(a.messages_out >= per_arm, "every miss is answered");
+        }
+        // Exact: two flows per miss plus the warm-up pairs.
+        assert_eq!(
+            r.exact().table_flows,
+            2 * (per_arm + u64::from(p.services))
+        );
+        assert_eq!(r.exact().covered, 0);
+        // Aggregated: one pair per (ingress, service) plus the warm-up
+        // pairs; everything after the first miss per pair is covered.
+        assert_eq!(
+            r.aggregated().table_flows,
+            2 * u64::from(p.ingresses * u32::from(p.services) + u32::from(p.services))
+        );
+        assert_eq!(
+            r.aggregated().covered,
+            per_arm - u64::from(p.ingresses) * u64::from(p.services)
+        );
+        assert!(r.table_reduction() > 100.0, "got {:.1}x", r.table_reduction());
+        // Both arms memorize every flow: controller-side per-client state is
+        // independent of the switch-table representation.
+        assert_eq!(r.exact().memory_entries, r.aggregated().memory_entries);
+    }
+
+    #[test]
+    fn repro_artifact_is_deterministic() {
+        // Timing fields vary run to run; every counted field must not.
+        let key = |r: &Report| {
+            r.arms
+                .iter()
+                .map(|a| (a.arm, a.packet_ins, a.covered, a.messages_out, a.table_flows, a.memory_entries))
+                .collect::<Vec<_>>()
+        };
+        let a = run(7, true);
+        let b = run(7, true);
+        assert_eq!(key(&a), key(&b), "same seed ⇒ same counters");
+    }
+}

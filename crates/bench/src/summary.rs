@@ -183,7 +183,7 @@ fn json_number_after(json: &str, anchor: &str, key: &str) -> Option<f64> {
     json_number(&json[json.find(anchor)?..], key)
 }
 
-/// Reads the four committed bench artifacts and condenses each into one
+/// Reads the five committed bench artifacts and condenses each into one
 /// trajectory row. Artifacts that have not been generated yet show up as
 /// `missing` rather than failing the summary.
 pub fn perf_trajectory() -> Vec<PerfPoint> {
@@ -249,6 +249,24 @@ pub fn perf_trajectory() -> Vec<PerfPoint> {
             ))
         })
         .unwrap_or_else(missing);
+    let scale = read("BENCH_scale.json")
+        .and_then(|j| {
+            Some((
+                format!(
+                    "aggregated table {:.0}x smaller @{:.0}M clients",
+                    json_number(&j, "table_reduction_x")?,
+                    json_number(&j, "clients")? / 1e6
+                ),
+                format!(
+                    "{:.0} vs {:.0} flows, {:.0}k pkt-in/s",
+                    json_number(&j, "aggregated_table_flows")?,
+                    json_number(&j, "exact_table_flows")?,
+                    json_number_after(&j, "\"arm\": \"aggregated\"", "packet_ins_per_sec")?
+                        / 1e3
+                ),
+            ))
+        })
+        .unwrap_or_else(missing);
 
     vec![
         PerfPoint {
@@ -274,6 +292,12 @@ pub fn perf_trajectory() -> Vec<PerfPoint> {
             subsystem: "self-healing",
             headline: recovery.0,
             detail: recovery.1,
+        },
+        PerfPoint {
+            artifact: "BENCH_scale.json",
+            subsystem: "fleet scale",
+            headline: scale.0,
+            detail: scale.1,
         },
     ]
 }
@@ -308,10 +332,11 @@ mod tests {
     }
 
     #[test]
-    fn trajectory_always_has_all_four_rows() {
+    fn trajectory_always_has_all_five_rows() {
         let points = perf_trajectory();
-        assert_eq!(points.len(), 4);
+        assert_eq!(points.len(), 5);
         assert_eq!(points[1].artifact, "BENCH_engine.json");
+        assert_eq!(points[4].artifact, "BENCH_scale.json");
         let text = render_trajectory(&points);
         assert!(text.contains("event core"));
         assert!(text.contains("data plane"));

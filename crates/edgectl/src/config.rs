@@ -13,6 +13,8 @@
 //! removeAfter: 600           # seconds from scale-down to full removal
 //! pollIntervalMs: 25         # readiness port-probe interval
 //! scaleDownIdle: true
+//! aggregateRules: false      # fleet-scale wildcard rule aggregation
+//! recordRequests: true       # per-request records for the harness
 //! retry:                     # deployment retry/backoff policy
 //!   maxAttempts: 3           # total attempts per phase
 //!   baseMs: 250
@@ -176,6 +178,12 @@ impl EdgeConfig {
         }
         if let Some(b) = doc["scaleDownIdle"].as_bool() {
             cfg.controller.scale_down_idle = b;
+        }
+        if let Some(b) = doc["aggregateRules"].as_bool() {
+            cfg.controller.aggregate_rules = b;
+        }
+        if let Some(b) = doc["recordRequests"].as_bool() {
+            cfg.controller.record_requests = b;
         }
 
         let millis = |v: &Value, key: &str| -> Result<Option<Duration>, ConfigError> {
@@ -549,5 +557,49 @@ health:
             EdgeConfig::from_yaml("scheduler: [unclosed"),
             Err(ConfigError::Yaml(_))
         ));
+    }
+
+    /// Sub-second and multi-hour `flowIdleTimeout` values parse exactly as
+    /// written: the config layer carries the full `Duration`; only the wire
+    /// encoding clamps (to `[1, 65535]` s — see `openflow::timeout_secs`).
+    #[test]
+    fn sub_second_and_multi_hour_flow_idle_parse() {
+        let cfg = EdgeConfig::from_yaml("flowIdleTimeout: 0.5").unwrap();
+        assert_eq!(cfg.controller.switch_flow_idle, Duration::from_millis(500));
+        assert_eq!(openflow::timeout_secs(cfg.controller.switch_flow_idle), 1);
+
+        let cfg = EdgeConfig::from_yaml("flowIdleTimeout: 72000").unwrap();
+        assert_eq!(cfg.controller.switch_flow_idle, Duration::from_secs(72_000));
+        assert_eq!(
+            openflow::timeout_secs(cfg.controller.switch_flow_idle),
+            u16::MAX,
+            "20 h saturates instead of wrapping mod 65536"
+        );
+
+        // Boundary: exactly one second and exactly u16::MAX seconds survive
+        // the wire encoding unclamped.
+        assert_eq!(openflow::timeout_secs(Duration::from_secs(1)), 1);
+        assert_eq!(openflow::timeout_secs(Duration::from_secs(65_535)), u16::MAX);
+    }
+
+    #[test]
+    fn health_intervals_parse_across_magnitudes() {
+        let cfg = EdgeConfig::from_yaml(
+            "health:\n  detectIntervalMs: 250\n  breakerCooldownMs: 7200000\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.controller.health.detect_interval, Duration::from_millis(250));
+        assert_eq!(cfg.controller.health.breaker_cooldown, Duration::from_secs(7200));
+    }
+
+    #[test]
+    fn fleet_flags_parse() {
+        let cfg = EdgeConfig::from_yaml("aggregateRules: true\nrecordRequests: false").unwrap();
+        assert!(cfg.controller.aggregate_rules);
+        assert!(!cfg.controller.record_requests);
+        // Defaults: exact rules, full records.
+        let cfg = EdgeConfig::from_yaml("scheduler: proximity").unwrap();
+        assert!(!cfg.controller.aggregate_rules);
+        assert!(cfg.controller.record_requests);
     }
 }

@@ -68,6 +68,18 @@ pub struct ControllerConfig {
     /// Runtime health: failure-detection interval and circuit-breaker
     /// tuning (the `health:` YAML block).
     pub health: HealthConfig,
+    /// Install one aggregated wildcard rewrite pair per
+    /// `(service, ingress, instance)` instead of an exact-match pair per
+    /// client connection, whenever the scheduler decision is shared. Keeps
+    /// the switch table size proportional to the service catalogue, not the
+    /// client population. Off by default: exact pairs are the reference
+    /// behavior and every published figure is produced with them.
+    pub aggregate_rules: bool,
+    /// Keep a [`RequestRecord`] per packet-in for the evaluation harness.
+    /// Metrics counters are always maintained; turning this off removes the
+    /// per-request allocation and unbounded retention, which matters when a
+    /// fleet-scale run pushes 10M+ packet-ins through one controller.
+    pub record_requests: bool,
 }
 
 impl Default for ControllerConfig {
@@ -82,6 +94,8 @@ impl Default for ControllerConfig {
             remove_after: None,
             retry: RetryPolicy::default(),
             health: HealthConfig::default(),
+            aggregate_rules: false,
+            record_requests: true,
         }
     }
 }
@@ -238,6 +252,32 @@ struct InstalledPair {
     dead: bool,
 }
 
+/// Bookkeeping client address for aggregated wildcard pairs: they belong to
+/// no single client, so they are filed under the unspecified address. It
+/// sorts before every real client, and no real client can carry it (the
+/// allocators start at 10.x/192.168.x), so repair and outage sweeps visit
+/// aggregates first and exactly once.
+const AGGREGATE_CLIENT: Ipv4Addr = Ipv4Addr::UNSPECIFIED;
+
+/// One live aggregated rule pair, keyed by `(ingress, service)` in
+/// [`Controller::aggregates`]. A packet-in whose scheduler decision matches
+/// the anchored instance (and arrives through the same client-side port,
+/// behind the same perceived gateway) is *covered*: the controller releases
+/// the packet with a bare `PACKET_OUT` and installs nothing.
+#[derive(Clone, Debug)]
+struct AggregateRule {
+    instance: InstanceAddr,
+    cluster: usize,
+    /// Shared client-side port replies are emitted through.
+    in_port: u32,
+    /// The gateway MAC clients perceive (the `eth_dst` of their requests);
+    /// replies are re-sourced from it.
+    gw_mac: MacAddr,
+    /// The forward rewrite, cached so a covered packet-in releases its
+    /// buffered packet without rebuilding the action list.
+    fwd_actions: Vec<Action>,
+}
+
 /// The transparent-edge SDN controller.
 pub struct Controller {
     services: crate::service::ServiceRegistry,
@@ -250,11 +290,21 @@ pub struct Controller {
     /// Cluster latency as seen from a given ingress, when it differs from
     /// the cluster's advertised latency (which is measured from ingress 0).
     ingress_distances: HashMap<(IngressId, usize), Duration>,
-    /// Flow pairs installed per `(client, ingress)` — the controller-side
-    /// bookkeeping that makes handover teardown, stale-redirect repair and
-    /// channel-reconnect reconciliation possible: switch-side deletion is
-    /// exact-match, so the controller must remember what it installed.
-    installed: HashMap<(Ipv4Addr, IngressId), Vec<InstalledPair>>,
+    /// Flow pairs installed per client, sharded by ingress (outer index =
+    /// [`IngressId`]) — the controller-side bookkeeping that makes handover
+    /// teardown, stale-redirect repair and channel-reconnect reconciliation
+    /// possible: switch-side deletion is exact-match, so the controller must
+    /// remember what it installed. Sharding keeps per-packet bookkeeping and
+    /// per-switch reconciliation O(one cell) at fleet scale.
+    installed: Vec<HashMap<Ipv4Addr, Vec<InstalledPair>>>,
+    /// Live aggregated rule pairs by `(ingress, service)`; their bookkeeping
+    /// pairs are filed under [`AGGREGATE_CLIENT`] in `installed`.
+    aggregates: HashMap<(IngressId, ServiceAddr), AggregateRule>,
+    /// `FLOW_MOD` **Add** messages emitted over the controller's lifetime —
+    /// the controller's own view of how much switch table space it has
+    /// claimed (the scale benchmark reads this to compare exact-match vs
+    /// aggregated rule footprints).
+    pub flow_adds: u64,
     config: ControllerConfig,
     next_xid: u32,
     /// Per-request records (the harness reads these).
@@ -312,7 +362,9 @@ impl Controller {
             memory: FlowMemory::new(config.memory_idle),
             ingresses: vec![ports],
             ingress_distances: HashMap::new(),
-            installed: HashMap::new(),
+            installed: Vec::new(),
+            aggregates: HashMap::new(),
+            flow_adds: 0,
             config,
             next_xid: 1,
             records: Vec::new(),
@@ -334,6 +386,38 @@ impl Controller {
     /// (single-flight hits in the dispatcher).
     pub fn coalesced_count(&self) -> u64 {
         self.dispatcher.coalesced_count()
+    }
+
+    /// The bookkeeping shard of one ingress, grown on demand.
+    fn installed_shard_mut(&mut self, ingress: IngressId) -> &mut HashMap<Ipv4Addr, Vec<InstalledPair>> {
+        let idx = ingress.0 as usize;
+        if idx >= self.installed.len() {
+            self.installed.resize_with(idx + 1, HashMap::new);
+        }
+        &mut self.installed[idx]
+    }
+
+    /// The installed pairs of one `(client, ingress)`, if any.
+    fn installed_pairs_mut(
+        &mut self,
+        client: Ipv4Addr,
+        ingress: IngressId,
+    ) -> Option<&mut Vec<InstalledPair>> {
+        self.installed.get_mut(ingress.0 as usize)?.get_mut(&client)
+    }
+
+    /// Every `(client, ingress)` with bookkeeping, sorted — fleet-wide
+    /// repair sweeps iterate in this order so their message sequences are
+    /// deterministic (and identical to the pre-sharding layout's).
+    fn installed_keys_sorted(&self) -> Vec<(Ipv4Addr, IngressId)> {
+        let mut keys: Vec<(Ipv4Addr, IngressId)> = self
+            .installed
+            .iter()
+            .enumerate()
+            .flat_map(|(i, shard)| shard.keys().map(move |c| (*c, IngressId(i as u32))))
+            .collect();
+        keys.sort();
+        keys
     }
 
     /// Registers an edge cluster reachable via `switch_port` on the default
@@ -511,12 +595,29 @@ impl Controller {
                     _ => None,
                 });
                 if let Some(client) = client {
-                    if let Some(pairs) = self.installed.get_mut(&(client, ingress)) {
+                    if let Some(pairs) = self.installed_pairs_mut(client, ingress) {
                         for p in pairs.iter_mut() {
                             if !p.dead && p.fwd.priority == priority && p.fwd.match_ == match_ {
                                 p.dead = true;
                             }
                         }
+                    }
+                } else {
+                    // No client source in the match: an aggregated pair's
+                    // forward flow (it wildcards the client). Tombstone it
+                    // and drop the aggregate anchor so the next packet-in
+                    // re-installs a fresh pair.
+                    let mut gone: Option<ServiceAddr> = None;
+                    if let Some(pairs) = self.installed_pairs_mut(AGGREGATE_CLIENT, ingress) {
+                        for p in pairs.iter_mut() {
+                            if !p.dead && p.fwd.priority == priority && p.fwd.match_ == match_ {
+                                p.dead = true;
+                                gone = Some(p.service);
+                            }
+                        }
+                    }
+                    if let Some(svc) = gone {
+                        self.aggregates.remove(&(ingress, svc));
                     }
                 }
                 Ok(vec![])
@@ -592,7 +693,7 @@ impl Controller {
                 "not an edge service; plain cloud forwarding".to_owned()
             });
             self.telemetry.end_span(root, t);
-            self.records.push(RequestRecord {
+            let rec = RequestRecord {
                 at: now,
                 service: svc_addr,
                 client: frame.src_ip,
@@ -601,8 +702,11 @@ impl Controller {
                 phases: PhaseTimes::default(),
                 cluster: None,
                 background_ready: None,
-            });
-            self.record_request_metrics(self.records.len() - 1);
+            };
+            self.record_request_metrics(&rec);
+            if self.config.record_requests {
+                self.records.push(rec);
+            }
             return self.install_cloud_path(ingress, t, buffer_id, in_port, &frame);
         };
 
@@ -627,7 +731,15 @@ impl Controller {
         let background_ready = outcome.background.map(|b| b.ready_at);
         let (kind, answered_at, cluster, msgs) = match outcome.decision {
             DispatchDecision::Redirect { instance, cluster } => {
-                let msgs = self.install_redirect(ingress, t, buffer_id, in_port, &frame, &svc, instance, cluster);
+                let msgs = if self.config.aggregate_rules {
+                    self.install_aggregate_or_exact(
+                        ingress, t, buffer_id, in_port, &frame, &svc, instance, cluster,
+                    )
+                } else {
+                    self.install_redirect(
+                        ingress, t, buffer_id, in_port, &frame, &svc, instance, cluster,
+                    )
+                };
                 let kind = if outcome.from_memory {
                     RequestKind::MemoryHit
                 } else {
@@ -670,7 +782,7 @@ impl Controller {
             format!("{kind:?}: {n_msgs} message(s) toward the switch")
         });
         self.telemetry.end_span(root, answered_at);
-        self.records.push(RequestRecord {
+        let rec = RequestRecord {
             at: now,
             service: svc_addr,
             client: frame.src_ip,
@@ -679,8 +791,11 @@ impl Controller {
             phases: outcome.phases,
             cluster,
             background_ready,
-        });
-        self.record_request_metrics(self.records.len() - 1);
+        };
+        self.record_request_metrics(&rec);
+        if self.config.record_requests {
+            self.records.push(rec);
+        }
         msgs
     }
 
@@ -689,8 +804,7 @@ impl Controller {
     /// packet arrival (plus controller processing), create from pull
     /// completion, scale-up between its issue/return instants, and the
     /// readiness wait is [`PhaseTimes::wait_time`].
-    fn record_request_metrics(&mut self, idx: usize) {
-        let rec = &self.records[idx];
+    fn record_request_metrics(&mut self, rec: &RequestRecord) {
         let m = &mut self.telemetry.metrics;
         m.inc("requests_total");
         m.inc(match rec.kind {
@@ -801,6 +915,197 @@ impl Controller {
         self.install_pair(at, buffer_id, frame, fwd_match, fwd_actions, rev_match, rev_actions)
     }
 
+    /// Rule-aggregation front end for ready-instance redirects
+    /// ([`ControllerConfig::aggregate_rules`]). Three cases:
+    ///
+    /// * **covered** — an aggregate pair for `(ingress, service)` already
+    ///   redirects to the very instance the scheduler chose, through the
+    ///   same client-side port and gateway: release the packet with a bare
+    ///   `PACKET_OUT`; the switch table does not grow at all;
+    /// * **divergent** — an aggregate exists but this client's decision
+    ///   differs (circuit-breaker redirect to another cluster, a different
+    ///   uplink): fall back to an exact per-connection pair at base
+    ///   priority, which shadows the aggregate for exactly this connection;
+    /// * **first** — no aggregate yet: install one wildcard pair for the
+    ///   whole `(service, ingress, instance)` population.
+    ///
+    /// The aggregate forward flow keeps the client's source MAC intact, so
+    /// the instance's replies already carry each client's own address in
+    /// `eth_dst` — which is why one reverse rule serves every client without
+    /// a per-client rewrite.
+    #[allow(clippy::too_many_arguments)]
+    fn install_aggregate_or_exact(
+        &mut self,
+        ingress: IngressId,
+        at: SimTime,
+        buffer_id: u32,
+        in_port: u32,
+        frame: &TcpFrame,
+        svc: &EdgeService,
+        instance: InstanceAddr,
+        cluster: usize,
+    ) -> Vec<OutboundMessage> {
+        match self.aggregates.get(&(ingress, svc.addr)) {
+            Some(r) if r.instance == instance && r.in_port == in_port && r.gw_mac == frame.dst_mac => {
+                let actions = r.fwd_actions.clone();
+                let x = self.xid();
+                let data = if buffer_id == OFP_NO_BUFFER {
+                    // Nothing buffered at the switch: carry the packet back.
+                    Message::PacketOut {
+                        buffer_id: OFP_NO_BUFFER,
+                        in_port: 0,
+                        actions,
+                        data: frame.encode(),
+                    }
+                    .encode(x)
+                } else {
+                    // Release the switch's buffered copy through the
+                    // aggregate's rewrite; no table change.
+                    Message::PacketOut {
+                        buffer_id,
+                        in_port: 0,
+                        actions,
+                        data: vec![],
+                    }
+                    .encode(x)
+                };
+                self.telemetry.metrics.inc("aggregate_covered");
+                vec![OutboundMessage { at, data }]
+            }
+            Some(_) => {
+                self.telemetry.metrics.inc("aggregate_divergent");
+                self.install_redirect(ingress, at, buffer_id, in_port, frame, svc, instance, cluster)
+            }
+            None => self.install_aggregate(ingress, at, buffer_id, in_port, frame, svc, instance, cluster),
+        }
+    }
+
+    /// Installs the aggregated wildcard pair for `(service, ingress,
+    /// instance)` and anchors it in [`Self::aggregates`]. Two priority steps
+    /// below the exact flows so both exact pairs (base) and per-client
+    /// handover wildcards (base − 1) shadow it.
+    ///
+    /// The pair carries its own idle timeout, exactly like an exact pair —
+    /// per *rule*, not per client: the rule stays hot as long as *any*
+    /// client keeps using the service, which is precisely the aggregate's
+    /// lifetime of interest. (A per-client timeout is meaningless here; the
+    /// controller-side per-client state lives in the FlowMemory, which keeps
+    /// its own per-flow idle accounting.)
+    #[allow(clippy::too_many_arguments)]
+    fn install_aggregate(
+        &mut self,
+        ingress: IngressId,
+        at: SimTime,
+        buffer_id: u32,
+        in_port: u32,
+        frame: &TcpFrame,
+        svc: &EdgeService,
+        instance: InstanceAddr,
+        cluster: usize,
+    ) -> Vec<OutboundMessage> {
+        let out_port = self.cluster_port(ingress, cluster);
+        // Any client, this service.
+        let fwd_match = Match::service(svc.addr.ip.octets(), svc.addr.port);
+        // Any client, replies from this instance.
+        let rev_match = Match::any()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::IpProto(6))
+            .with(OxmField::Ipv4Src(instance.ip.octets()))
+            .with(OxmField::TcpSrc(instance.port));
+        let fwd_actions = vec![
+            Action::SetField(OxmField::EthDst(instance.mac.octets())),
+            Action::SetField(OxmField::Ipv4Dst(instance.ip.octets())),
+            Action::SetField(OxmField::TcpDst(instance.port)),
+            Action::output(out_port),
+        ];
+        // No EthDst rewrite: the reply frame already addresses the client
+        // (the instance answers to the MAC the forward path preserved).
+        let rev_actions = vec![
+            Action::SetField(OxmField::EthSrc(frame.dst_mac.octets())),
+            Action::SetField(OxmField::Ipv4Src(svc.addr.ip.octets())),
+            Action::SetField(OxmField::TcpSrc(svc.addr.port)),
+            Action::output(in_port),
+        ];
+        let priority = self.config.flow_priority.saturating_sub(2);
+        self.aggregates.insert(
+            (ingress, svc.addr),
+            AggregateRule {
+                instance,
+                cluster,
+                in_port,
+                gw_mac: frame.dst_mac,
+                fwd_actions: fwd_actions.clone(),
+            },
+        );
+        self.book_pair(
+            AGGREGATE_CLIENT,
+            ingress,
+            &fwd_match,
+            &fwd_actions,
+            &rev_match,
+            &rev_actions,
+            priority,
+            svc.addr,
+            Some(cluster),
+            Some(instance),
+            false,
+        );
+        self.telemetry.metrics.inc("aggregate_installed");
+        let idle = openflow::timeout_secs(self.config.switch_flow_idle);
+        self.flow_adds += 2;
+        let mut msgs = Vec::with_capacity(3);
+        // Reverse first, as everywhere: the reply path must exist before the
+        // buffered packet is released through the forward flow.
+        let x = self.xid();
+        msgs.push(OutboundMessage {
+            at,
+            data: Message::FlowMod {
+                cookie: 2,
+                table_id: 0,
+                command: openflow::messages::FlowModCommand::Add,
+                idle_timeout: idle,
+                hard_timeout: 0,
+                priority,
+                buffer_id: OFP_NO_BUFFER,
+                flags: 0,
+                match_: rev_match,
+                instructions: vec![Instruction::ApplyActions(rev_actions)],
+            }
+            .encode(x),
+        });
+        let x = self.xid();
+        msgs.push(OutboundMessage {
+            at,
+            data: Message::FlowMod {
+                cookie: 1,
+                table_id: 0,
+                command: openflow::messages::FlowModCommand::Add,
+                idle_timeout: idle,
+                hard_timeout: 0,
+                priority,
+                buffer_id,
+                flags: OFPFF_SEND_FLOW_REM,
+                match_: fwd_match,
+                instructions: vec![Instruction::ApplyActions(fwd_actions.clone())],
+            }
+            .encode(x),
+        });
+        if buffer_id == OFP_NO_BUFFER {
+            let x = self.xid();
+            msgs.push(OutboundMessage {
+                at,
+                data: Message::PacketOut {
+                    buffer_id: OFP_NO_BUFFER,
+                    in_port: 0,
+                    actions: fwd_actions,
+                    data: frame.encode(),
+                }
+                .encode(x),
+            });
+        }
+        msgs
+    }
+
     /// Files a forward/reverse pair into the bookkeeping. `fwd`/`rev` carry
     /// the conventions of [`install_pair`](Self::install_pair) /
     /// [`install_wildcard_pair`](Self::install_wildcard_pair): forward flows
@@ -820,8 +1125,8 @@ impl Controller {
         instance: Option<InstanceAddr>,
         teardown_on_handover: bool,
     ) {
-        self.installed
-            .entry((client, ingress))
+        self.installed_shard_mut(ingress)
+            .entry(client)
             .or_default()
             .push(InstalledPair {
                 fwd: InstalledFlow {
@@ -899,7 +1204,8 @@ impl Controller {
         rev_match: Match,
         rev_actions: Vec<Action>,
     ) -> Vec<OutboundMessage> {
-        let idle = (self.config.switch_flow_idle.as_nanos() / 1_000_000_000) as u16;
+        let idle = openflow::timeout_secs(self.config.switch_flow_idle);
+        self.flow_adds += 2;
         let mut msgs = Vec::with_capacity(3);
         // Reverse flow first: when the buffered packet is released through
         // the forward flow, the reply path must already exist.
@@ -1012,7 +1318,7 @@ impl Controller {
         // pairs stay filed — handovers never tore those down (they idle out
         // and tombstone via `FLOW_REMOVED`), and reconciliation still needs
         // to claim them until then.
-        let mut old_pairs = self.installed.remove(&(client, from)).unwrap_or_default();
+        let mut old_pairs = self.installed_shard_mut(from).remove(&client).unwrap_or_default();
         let kept: Vec<InstalledPair> = old_pairs
             .iter()
             .filter(|p| !p.teardown_on_handover)
@@ -1020,7 +1326,7 @@ impl Controller {
             .collect();
         old_pairs.retain(|p| p.teardown_on_handover);
         if !kept.is_empty() {
-            self.installed.insert((client, from), kept);
+            self.installed_shard_mut(from).insert(client, kept);
         }
 
         let mut messages: Vec<(IngressId, OutboundMessage)> = Vec::new();
@@ -1263,8 +1569,9 @@ impl Controller {
         rev_match: Match,
         rev_actions: Vec<Action>,
     ) -> Vec<OutboundMessage> {
-        let idle = (self.config.switch_flow_idle.as_nanos() / 1_000_000_000) as u16;
+        let idle = openflow::timeout_secs(self.config.switch_flow_idle);
         let priority = self.config.flow_priority.saturating_sub(1);
+        self.flow_adds += 2;
         let mut msgs = Vec::with_capacity(2);
         let x = self.xid();
         msgs.push(OutboundMessage {
@@ -1519,13 +1826,16 @@ impl Controller {
             )
         });
         // Tear down every bookkept pair aimed at the corpse — not only the
-        // memorized ones: handover leftovers reference it too.
-        let mut keys: Vec<(Ipv4Addr, IngressId)> = self.installed.keys().copied().collect();
-        keys.sort();
+        // memorized ones: handover leftovers reference it too. Aggregated
+        // pairs are filed under the sentinel client, so this sweep retires
+        // them like any other pair; dropping the anchor below makes the next
+        // packet-in install a fresh aggregate toward the replacement.
+        let keys = self.installed_keys_sorted();
         let mut out = Vec::new();
         for (client, ing) in keys {
             out.extend(self.teardown_pairs_for(client, ing, |p| p.instance == Some(inst), now));
         }
+        self.aggregates.retain(|_, r| r.instance != inst);
         self.dispatcher.health_mut().record_failure(cluster, now);
         let m = &mut self.telemetry.metrics;
         m.inc("instance_failures_total");
@@ -1578,12 +1888,12 @@ impl Controller {
                 victims.len()
             )
         });
-        let mut keys: Vec<(Ipv4Addr, IngressId)> = self.installed.keys().copied().collect();
-        keys.sort();
+        let keys = self.installed_keys_sorted();
         let mut out = Vec::new();
         for (client, ing) in keys {
             out.extend(self.teardown_pairs_for(client, ing, |p| p.cluster == Some(cluster), now));
         }
+        self.aggregates.retain(|_, r| r.cluster != cluster);
         self.dispatcher.health_mut().begin_outage(cluster, until);
         let m = &mut self.telemetry.metrics;
         m.inc("zone_outages_total");
@@ -1621,15 +1931,18 @@ impl Controller {
     ) -> Vec<OutboundMessage> {
         let mut clients: Vec<Ipv4Addr> = self
             .installed
-            .keys()
-            .filter(|(_, i)| *i == ingress)
-            .map(|(c, _)| *c)
-            .collect();
+            .get(ingress.0 as usize)
+            .map(|shard| shard.keys().copied().collect())
+            .unwrap_or_default();
         clients.sort();
         let mut claimed: Vec<(Match, u16)> = Vec::new();
         let mut missing: Vec<InstalledFlow> = Vec::new();
         for client in clients {
-            let Some(pairs) = self.installed.get_mut(&(client, ingress)) else {
+            let Some(pairs) = self
+                .installed
+                .get_mut(ingress.0 as usize)
+                .and_then(|s| s.get_mut(&client))
+            else {
                 continue;
             };
             for p in pairs.iter_mut() {
@@ -1667,7 +1980,7 @@ impl Controller {
             }
         }
 
-        let idle = (self.config.switch_flow_idle.as_nanos() / 1_000_000_000) as u16;
+        let idle = openflow::timeout_secs(self.config.switch_flow_idle);
         let n_missing = missing.len();
         let mut msgs: Vec<OutboundMessage> = Vec::with_capacity(n_missing);
         for f in missing {
@@ -1753,7 +2066,7 @@ impl Controller {
         at: SimTime,
     ) -> Vec<(IngressId, OutboundMessage)> {
         let mut doomed: Vec<(Match, Match)> = Vec::new();
-        if let Some(pairs) = self.installed.get_mut(&(client, ingress)) {
+        if let Some(pairs) = self.installed_pairs_mut(client, ingress) {
             for p in pairs.iter_mut() {
                 if !p.dead && pick(p) {
                     p.dead = true;
@@ -1847,6 +2160,10 @@ mod tests {
     }
 
     fn setup(rng: &mut SimRng) -> (Controller, Switch) {
+        setup_with(rng, ControllerConfig::default())
+    }
+
+    fn setup_with(rng: &mut SimRng, config: ControllerConfig) -> (Controller, Switch) {
         let mut engine = DockerEngine::with_defaults();
         engine.pull(&containerd::ServiceSet::by_key("asm").unwrap().manifests, rng);
         let cluster = DockerCluster::new(
@@ -1862,7 +2179,7 @@ mod tests {
                 cluster_ports: HashMap::new(),
                 cloud_port: CLOUD_PORT,
             },
-            ControllerConfig::default(),
+            config,
         );
         ctl.add_cluster(Box::new(cluster), EDGE_PORT);
         ctl.register_service(make_service("asm", 80));
@@ -2965,5 +3282,334 @@ mod tests {
         assert_eq!(sw.table().entries().count(), 0, "stale redirects purged");
         let table: Vec<FlowEntry> = sw.table().entries().cloned().collect();
         assert!(ctl.reconcile(IngressId::DEFAULT, &table, crash_at + Duration::from_secs(3)).is_empty());
+    }
+
+    /// A SYN from an arbitrary client toward the registered service.
+    fn syn_from(client_id: u32, src_port: u16) -> TcpFrame {
+        TcpFrame::syn(
+            MacAddr::from_id(client_id),
+            MacAddr::from_id(99),
+            Ipv4Addr::new(192, 168, 1, client_id as u8),
+            src_port,
+            ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+        )
+    }
+
+    fn aggregate_config() -> ControllerConfig {
+        ControllerConfig {
+            aggregate_rules: true,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Rule aggregation end to end: the first shared-decision client puts
+    /// one wildcard pair on the switch; every later client rides it with no
+    /// table growth — their packets do not even miss — and replies are still
+    /// rewritten transparently per client.
+    #[test]
+    fn aggregated_rules_collapse_per_client_pairs() {
+        let mut rng = SimRng::new(41);
+        let (mut ctl, mut sw) = setup_with(&mut rng, aggregate_config());
+        let t0 = SimTime::from_secs(1);
+        // Client 20 deploys the service (Waited keeps exact pairs: the
+        // deferred release predates any aggregate decision).
+        let answered = serve_one(&mut ctl, &mut sw, t0, 50000, &mut rng);
+        let after_first = sw.table().entries().count();
+        assert_eq!(after_first, 2, "exact pair for the deploying client");
+
+        // Client 21 is a fresh Redirect: the aggregate pair goes in.
+        let t1 = answered + Duration::from_secs(1);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &syn_from(21, 51000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap();
+        let mut released = Vec::new();
+        for m in &out {
+            released.extend(sw.handle_controller(m.at, &m.data).unwrap());
+        }
+        assert_eq!(sw.table().entries().count(), after_first + 2, "one aggregate pair");
+        let fwd = released
+            .iter()
+            .find_map(|e| match e {
+                Effect::Forward { port, data } => Some((*port, data.clone())),
+                _ => None,
+            })
+            .expect("buffered packet released through the aggregate");
+        assert_eq!(fwd.0, EDGE_PORT);
+        let f = TcpFrame::decode(&fwd.1).unwrap();
+        assert_eq!(f.dst_ip, Ipv4Addr::new(10, 0, 0, 10), "rewritten toward the instance");
+        assert_eq!(f.src_mac, MacAddr::from_id(21), "client source kept");
+
+        // Client 22 never even misses: the wildcard already covers it.
+        let misses_before = sw.table_misses;
+        let t2 = t1 + Duration::from_secs(1);
+        let effects = sw.handle_frame(t2, CLIENT_PORT, &syn_from(22, 52000).encode());
+        assert!(
+            matches!(effects[0], Effect::Forward { port: EDGE_PORT, .. }),
+            "no packet-in for covered clients: {effects:?}"
+        );
+        assert_eq!(sw.table_misses, misses_before);
+        assert_eq!(sw.table().entries().count(), after_first + 2, "table did not grow");
+
+        // Transparency per client: the instance's reply to client 22 leaves
+        // re-sourced from the cloud address, addressed to 22's own MAC.
+        let reply = TcpFrame::decode(&match &effects[0] {
+            Effect::Forward { data, .. } => data.clone(),
+            _ => unreachable!(),
+        })
+        .unwrap()
+        .reply(TcpFlags::SYN_ACK, Vec::new());
+        let effects = sw.handle_frame(t2, EDGE_PORT, &reply.encode());
+        let Effect::Forward { port, data } = &effects[0] else {
+            panic!("reply must flow back: {effects:?}");
+        };
+        assert_eq!(*port, CLIENT_PORT);
+        let r = TcpFrame::decode(data).unwrap();
+        assert_eq!(r.src_ip, Ipv4Addr::new(203, 0, 113, 10), "masqueraded");
+        assert_eq!(r.src_port, 80);
+        assert_eq!(r.dst_mac, MacAddr::from_id(22), "per-client reply without a per-client rule");
+    }
+
+    /// A covered packet-in (the race where a packet missed before the
+    /// aggregate landed) is answered with a bare `PACKET_OUT` — nothing is
+    /// added to the table.
+    #[test]
+    fn covered_packet_in_installs_nothing() {
+        let mut rng = SimRng::new(42);
+        let (mut ctl, mut sw) = setup_with(&mut rng, aggregate_config());
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+        // Install the aggregate via client 21.
+        let t1 = answered + Duration::from_secs(1);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &syn_from(21, 51000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        for m in ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap() {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        let table_before = sw.table().entries().count();
+        let adds_before = ctl.flow_adds;
+
+        // Hand-built packet-in for client 23 — as if its SYN raced the
+        // aggregate install.
+        let frame = syn_from(23, 53000);
+        let pkt_in = Message::PacketIn {
+            buffer_id: OFP_NO_BUFFER,
+            total_len: frame.encode().len() as u16,
+            reason: openflow::PacketInReason::NoMatch,
+            table_id: 0,
+            cookie: 0,
+            match_: Match::any().with(OxmField::InPort(CLIENT_PORT)),
+            data: frame.encode(),
+        }
+        .encode(777);
+        let t2 = t1 + Duration::from_secs(1);
+        let out = ctl.handle_switch_message(t2, &pkt_in, &mut rng).unwrap();
+        assert_eq!(out.len(), 1, "one PACKET_OUT, no FlowMods: {out:?}");
+        let (_, decoded, _) = Message::decode(&out[0].data).unwrap();
+        assert!(matches!(decoded, Message::PacketOut { .. }));
+        assert_eq!(ctl.flow_adds, adds_before, "no table space claimed");
+
+        // The released packet still reaches the edge, rewritten.
+        let released = sw.handle_controller(out[0].at, &out[0].data).unwrap();
+        let Effect::Forward { port, data } = &released[0] else {
+            panic!("released: {released:?}");
+        };
+        assert_eq!(*port, EDGE_PORT);
+        assert_eq!(TcpFrame::decode(data).unwrap().dst_port, 31000);
+        assert_eq!(sw.table().entries().count(), table_before);
+    }
+
+    /// A client whose decision differs from the aggregate's anchor (here: a
+    /// different perceived gateway) falls back to exact pairs at base
+    /// priority, which shadow the aggregate for exactly that connection.
+    #[test]
+    fn divergent_client_falls_back_to_exact_pairs() {
+        let mut rng = SimRng::new(43);
+        let (mut ctl, mut sw) = setup_with(&mut rng, aggregate_config());
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+        let t1 = answered + Duration::from_secs(1);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &syn_from(21, 51000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        for m in ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap() {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+
+        // Client 24 sits behind a different gateway: the aggregate's reverse
+        // rewrite would mis-source its replies, so it must not be covered.
+        let mut frame = syn_from(24, 54000);
+        frame.dst_mac = MacAddr::from_id(98);
+        let pkt_in = Message::PacketIn {
+            buffer_id: OFP_NO_BUFFER,
+            total_len: frame.encode().len() as u16,
+            reason: openflow::PacketInReason::NoMatch,
+            table_id: 0,
+            cookie: 0,
+            match_: Match::any().with(OxmField::InPort(CLIENT_PORT)),
+            data: frame.encode(),
+        }
+        .encode(778);
+        let t2 = t1 + Duration::from_secs(1);
+        let out = ctl.handle_switch_message(t2, &pkt_in, &mut rng).unwrap();
+        let kinds: Vec<&'static str> = out
+            .iter()
+            .map(|m| match Message::decode(&m.data).unwrap().1 {
+                Message::FlowMod { priority, .. } => {
+                    assert_eq!(priority, ctl.config.flow_priority, "exact pairs at base priority");
+                    "flowmod"
+                }
+                Message::PacketOut { .. } => "packetout",
+                other => panic!("unexpected: {other:?}"),
+            })
+            .collect();
+        assert_eq!(kinds, ["flowmod", "flowmod", "packetout"]);
+    }
+
+    /// Repairing a dead instance retires its aggregate like any other pair:
+    /// the switch-side wildcards are deleted and the next shared decision
+    /// re-installs a fresh aggregate toward the replacement.
+    #[test]
+    fn aggregates_are_retired_with_their_instance() {
+        let mut rng = SimRng::new(44);
+        let (mut ctl, mut sw) = setup_with(&mut rng, aggregate_config());
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+        let t1 = answered + Duration::from_secs(1);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &syn_from(21, 51000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        for m in ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap() {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        assert_eq!(sw.table().entries().count(), 4, "exact pair + aggregate pair");
+
+        let svc_addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80);
+        let crash_at = t1 + Duration::from_secs(1);
+        assert!(ctl.inject_instance_crash(0, svc_addr, crash_at, &mut rng));
+        let detect_at = crash_at + ctl.health_config().detect_interval;
+        let repairs = ctl.health_check(detect_at);
+        assert_eq!(repairs.len(), 4, "deletes for the exact AND the aggregate pair");
+        for (_, m) in &repairs {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        assert_eq!(sw.table().entries().count(), 0, "no stale wildcard survives");
+        assert!(ctl.aggregates.is_empty(), "anchor dropped with the instance");
+    }
+
+    /// Reconciliation treats aggregate pairs like any bookkept pair: lost
+    /// installs are re-added verbatim and a second pass is empty.
+    #[test]
+    fn reconcile_reinstalls_lost_aggregate_pairs() {
+        let mut rng = SimRng::new(45);
+        let (mut ctl, mut sw) = setup_with(&mut rng, aggregate_config());
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+        let t1 = answered + Duration::from_secs(1);
+        let effects = sw.handle_frame(t1, CLIENT_PORT, &syn_from(21, 51000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        for m in ctl.handle_switch_message(t1, pkt_in, &mut rng).unwrap() {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        let flows_before: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        assert_eq!(flows_before.len(), 4);
+
+        // The whole table idles out with the channel down.
+        let lost_at = t1 + ctl.config.switch_flow_idle + Duration::from_secs(1);
+        let _undelivered = sw.expire_flows(lost_at);
+        assert_eq!(sw.table().entries().count(), 0);
+
+        let table: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        let fixes = ctl.reconcile(IngressId::DEFAULT, &table, lost_at + Duration::from_secs(1));
+        assert_eq!(fixes.len(), 4, "both pairs re-added");
+        for m in &fixes {
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        let repaired: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        assert_eq!(repaired.len(), flows_before.len());
+        for b in &flows_before {
+            assert!(repaired
+                .iter()
+                .any(|a| a.match_ == b.match_ && a.priority == b.priority));
+        }
+        let table: Vec<FlowEntry> = sw.table().entries().cloned().collect();
+        assert!(ctl
+            .reconcile(IngressId::DEFAULT, &table, lost_at + Duration::from_secs(2))
+            .is_empty());
+    }
+
+    /// Regression for the idle-timeout truncation bug: a sub-second
+    /// `switch_flow_idle` used to floor to 0 seconds on the wire — OpenFlow's
+    /// "never expire" — so switch flows leaked forever. It must clamp up to
+    /// 1 s and provably expire at the switch.
+    #[test]
+    fn sub_second_idle_config_provably_expires_switch_flows() {
+        let mut rng = SimRng::new(46);
+        let cfg = ControllerConfig {
+            switch_flow_idle: Duration::from_millis(500),
+            ..ControllerConfig::default()
+        };
+        let (mut ctl, mut sw) = setup_with(&mut rng, cfg);
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        let answered = out[0].at;
+        for m in &out {
+            let (_, decoded, _) = Message::decode(&m.data).unwrap();
+            if let Message::FlowMod { idle_timeout, .. } = decoded {
+                assert_eq!(idle_timeout, 1, "500 ms clamps up to 1 s, never 0");
+            }
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        assert_eq!(sw.table().entries().count(), 2);
+
+        // Idle past the clamped timeout: the flows actually expire.
+        let effects = sw.expire_flows(answered + Duration::from_millis(1600));
+        assert!(
+            effects.iter().any(|e| matches!(e, Effect::ToController(_))),
+            "FLOW_REMOVED reported: {effects:?}"
+        );
+        assert_eq!(sw.table().entries().count(), 0, "sub-second config expires flows");
+    }
+
+    /// The other end of the truncation bug: a 20-hour idle config used to
+    /// wrap modulo 65536 to ~6464 s. It must saturate at `u16::MAX` seconds.
+    #[test]
+    fn multi_hour_idle_config_saturates_at_u16_max() {
+        let mut rng = SimRng::new(47);
+        let cfg = ControllerConfig {
+            switch_flow_idle: Duration::from_secs(20 * 3600),
+            ..ControllerConfig::default()
+        };
+        let (mut ctl, mut sw) = setup_with(&mut rng, cfg);
+        let t0 = SimTime::from_secs(1);
+        let effects = sw.handle_frame(t0, CLIENT_PORT, &client_syn(50000).encode());
+        let Effect::ToController(pkt_in) = &effects[0] else { panic!() };
+        let out = ctl.handle_switch_message(t0, pkt_in, &mut rng).unwrap();
+        let answered = out[0].at;
+        for m in &out {
+            let (_, decoded, _) = Message::decode(&m.data).unwrap();
+            if let Message::FlowMod { idle_timeout, .. } = decoded {
+                assert_eq!(idle_timeout, u16::MAX, "20 h saturates, never wraps");
+            }
+            sw.handle_controller(m.at, &m.data).unwrap();
+        }
+        // Still alive where the wrapped value (~6464 s) would have expired.
+        sw.expire_flows(answered + Duration::from_secs(60_000));
+        assert_eq!(sw.table().entries().count(), 2, "no premature expiry from wraparound");
+        // And genuinely idle-expires once 65535 s pass.
+        sw.expire_flows(answered + Duration::from_secs(70_000));
+        assert_eq!(sw.table().entries().count(), 0);
+    }
+
+    /// `record_requests: false` keeps the metrics but drops the unbounded
+    /// per-request retention — the fleet-scale memory gate.
+    #[test]
+    fn record_requests_off_keeps_metrics_only() {
+        let mut rng = SimRng::new(48);
+        let cfg = ControllerConfig {
+            record_requests: false,
+            ..ControllerConfig::default()
+        };
+        let (mut ctl, mut sw) = setup_with(&mut rng, cfg);
+        let answered = serve_one(&mut ctl, &mut sw, SimTime::from_secs(1), 50000, &mut rng);
+        serve_one(&mut ctl, &mut sw, answered + Duration::from_secs(1), 50001, &mut rng);
+        assert!(ctl.records.is_empty(), "no per-request retention");
+        assert_eq!(ctl.telemetry.metrics.counter("requests_total"), 2);
+        assert_eq!(ctl.telemetry.metrics.counter("requests_memory_hit"), 1);
     }
 }

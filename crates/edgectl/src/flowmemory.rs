@@ -74,18 +74,32 @@ pub struct FlowMemoryStats {
     pub expired: u64,
 }
 
-/// The controller-side flow memory with idle expiry.
+/// One per-ingress shard: the flows entering through a single gNB and
+/// their expiry wheel. A fleet-scale controller fronts many ingress
+/// switches; keying the hot structures by ingress keeps every per-packet
+/// lookup and every expiry sweep O(one cell), not O(fleet).
+#[derive(Default)]
+struct Shard {
+    flows: HashMap<FlowKey, MemorizedFlow>,
+    /// Expiry wheel; a key's deadline is never later than its true expiry
+    /// (refreshes are applied lazily at sweep time).
+    wheel: TimerWheel<FlowKey>,
+}
+
+/// The controller-side flow memory with idle expiry, sharded by
+/// [`IngressId`].
 pub struct FlowMemory {
     /// Lifetime counters for telemetry.
     pub stats: FlowMemoryStats,
     idle_timeout: Duration,
-    flows: HashMap<FlowKey, MemorizedFlow>,
-    /// Live flow count per service; an expiring service is a scale-down
-    /// candidate exactly when its count reaches zero.
+    /// Per-ingress shards, indexed by `IngressId.0`; grown on demand.
+    shards: Vec<Shard>,
+    /// Total entries across all shards.
+    len: usize,
+    /// Live flow count per service **across all ingresses** (the instance
+    /// serves every cell); an expiring service is a scale-down candidate
+    /// exactly when its count reaches zero.
     per_service: HashMap<ServiceAddr, usize>,
-    /// Expiry wheel; a key's deadline is never later than its true expiry
-    /// (refreshes are applied lazily at sweep time).
-    wheel: TimerWheel<FlowKey>,
     /// Recycled buffer for expiry sweeps so periodic ticks allocate nothing
     /// in the steady state.
     expiry_scratch: Vec<FlowKey>,
@@ -98,9 +112,9 @@ impl FlowMemory {
         FlowMemory {
             stats: FlowMemoryStats::default(),
             idle_timeout,
-            flows: HashMap::new(),
+            shards: Vec::new(),
+            len: 0,
             per_service: HashMap::new(),
-            wheel: TimerWheel::new(),
             expiry_scratch: Vec::new(),
         }
     }
@@ -110,22 +124,39 @@ impl FlowMemory {
         self.idle_timeout
     }
 
-    /// Looks up a memorized flow, refreshing its idle timer on hit.
+    fn shard(&self, ingress: IngressId) -> Option<&Shard> {
+        self.shards.get(ingress.0 as usize)
+    }
+
+    fn shard_mut(&mut self, ingress: IngressId) -> &mut Shard {
+        let idx = ingress.0 as usize;
+        if idx >= self.shards.len() {
+            self.shards.resize_with(idx + 1, Shard::default);
+        }
+        &mut self.shards[idx]
+    }
+
+    /// Looks up a memorized flow, refreshing its idle timer on hit. Touches
+    /// only the shard of `key.ingress`.
     pub fn lookup(&mut self, key: FlowKey, now: SimTime) -> Option<MemorizedFlow> {
         self.stats.lookups += 1;
-        let flow = self.flows.get_mut(&key)?;
-        if now.saturating_since(flow.last_used) >= self.idle_timeout {
+        let idle = self.idle_timeout;
+        let flow = self.shards.get_mut(key.ingress.0 as usize)?.flows.get_mut(&key)?;
+        if now.saturating_since(flow.last_used) >= idle {
             // Already stale — treat as absent; `expire` will reap it.
             return None;
         }
         flow.last_used = now;
+        let hit = *flow;
         self.stats.hits += 1;
-        Some(*flow)
+        Some(hit)
     }
 
     /// Memorizes (or refreshes) a redirect decision.
     pub fn memorize(&mut self, key: FlowKey, instance: InstanceAddr, cluster: usize, now: SimTime) {
-        let prev = self.flows.insert(
+        let deadline = now + self.idle_timeout;
+        let shard = self.shard_mut(key.ingress);
+        let prev = shard.flows.insert(
             key,
             MemorizedFlow {
                 instance,
@@ -133,31 +164,39 @@ impl FlowMemory {
                 last_used: now,
             },
         );
+        shard.wheel.schedule(key, deadline);
         if prev.is_none() {
+            self.len += 1;
             *self.per_service.entry(key.service).or_insert(0) += 1;
         }
-        self.wheel.schedule(key, now + self.idle_timeout);
     }
 
     /// Refreshes the idle timer (e.g. when the switch reports traffic via a
     /// flow-removed + reinstall cycle).
     pub fn touch(&mut self, key: FlowKey, now: SimTime) {
-        if let Some(f) = self.flows.get_mut(&key) {
-            f.last_used = now;
+        if let Some(shard) = self.shards.get_mut(key.ingress.0 as usize) {
+            if let Some(f) = shard.flows.get_mut(&key) {
+                f.last_used = now;
+            }
         }
     }
 
-    /// Unfiles `key` from the count and wheel; `true` if it was present.
+    /// Unfiles `key` from its shard, the count and the wheel; `true` if it
+    /// was present.
     fn remove(&mut self, key: &FlowKey) -> bool {
-        if self.flows.remove(key).is_none() {
+        let Some(shard) = self.shards.get_mut(key.ingress.0 as usize) else {
+            return false;
+        };
+        if shard.flows.remove(key).is_none() {
             return false;
         }
+        shard.wheel.cancel(key);
+        self.len -= 1;
         let n = self.per_service.get_mut(&key.service).expect("service count");
         *n -= 1;
         if *n == 0 {
             self.per_service.remove(&key.service);
         }
-        self.wheel.cancel(key);
         true
     }
 
@@ -169,16 +208,20 @@ impl FlowMemory {
     }
 
     /// All live flows of `client` at `ingress`, sorted by service address so
-    /// callers iterate deterministically regardless of hash-map order.
+    /// callers iterate deterministically regardless of hash-map order. Scans
+    /// one shard — a handover touches the cells involved, never the fleet.
     pub fn flows_of_client_at(
         &self,
         client: Ipv4Addr,
         ingress: IngressId,
     ) -> Vec<(FlowKey, MemorizedFlow)> {
-        let mut out: Vec<(FlowKey, MemorizedFlow)> = self
+        let Some(shard) = self.shard(ingress) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(FlowKey, MemorizedFlow)> = shard
             .flows
             .iter()
-            .filter(|(k, _)| k.client_ip == client && k.ingress == ingress)
+            .filter(|(k, _)| k.client_ip == client)
             .map(|(k, f)| (*k, *f))
             .collect();
         out.sort_by_key(|(k, _)| k.service);
@@ -191,9 +234,11 @@ impl FlowMemory {
     pub fn rekey(&mut self, key: &FlowKey, to: IngressId, now: SimTime) -> bool {
         if key.ingress == to {
             self.touch(*key, now);
-            return self.flows.contains_key(key);
+            return self
+                .shard(key.ingress)
+                .is_some_and(|s| s.flows.contains_key(key));
         }
-        let Some(flow) = self.flows.get(key).copied() else {
+        let Some(flow) = self.shard(key.ingress).and_then(|s| s.flows.get(key)).copied() else {
             return false;
         };
         self.remove(key);
@@ -224,8 +269,9 @@ impl FlowMemory {
     /// [`rekey_client`]: Self::rekey_client
     pub fn forget_client(&mut self, client: Ipv4Addr) -> usize {
         let victims: Vec<FlowKey> = self
-            .flows
-            .keys()
+            .shards
+            .iter()
+            .flat_map(|s| s.flows.keys())
             .filter(|k| k.client_ip == client)
             .copied()
             .collect();
@@ -235,8 +281,9 @@ impl FlowMemory {
     /// Forgets all flows toward `service` (e.g. after its instance moved).
     pub fn forget_service(&mut self, service: ServiceAddr) -> usize {
         let victims: Vec<FlowKey> = self
-            .flows
-            .keys()
+            .shards
+            .iter()
+            .flat_map(|s| s.flows.keys())
             .filter(|k| k.service == service)
             .copied()
             .collect();
@@ -250,8 +297,9 @@ impl FlowMemory {
     /// flows deterministically.
     pub fn forget_instance(&mut self, instance: InstanceAddr) -> Vec<(FlowKey, MemorizedFlow)> {
         let mut victims: Vec<(FlowKey, MemorizedFlow)> = self
-            .flows
+            .shards
             .iter()
+            .flat_map(|s| s.flows.iter())
             .filter(|(_, f)| f.instance == instance)
             .map(|(k, f)| (*k, *f))
             .collect();
@@ -267,8 +315,9 @@ impl FlowMemory {
     /// [`forget_instance`](Self::forget_instance).
     pub fn forget_cluster(&mut self, cluster: usize) -> Vec<(FlowKey, MemorizedFlow)> {
         let mut victims: Vec<(FlowKey, MemorizedFlow)> = self
-            .flows
+            .shards
             .iter()
+            .flat_map(|s| s.flows.iter())
             .filter(|(_, f)| f.cluster == cluster)
             .map(|(k, f)| (*k, *f))
             .collect();
@@ -285,8 +334,10 @@ impl FlowMemory {
     /// crash of that instance strands real traffic until repaired.
     pub fn instances(&self) -> Vec<(usize, InstanceAddr, ServiceAddr)> {
         let mut out: BTreeSet<(usize, InstanceAddr, ServiceAddr)> = BTreeSet::new();
-        for (k, f) in &self.flows {
-            out.insert((f.cluster, f.instance, k.service));
+        for shard in &self.shards {
+            for (k, f) in &shard.flows {
+                out.insert((f.cluster, f.instance, k.service));
+            }
         }
         out.into_iter().collect()
     }
@@ -301,17 +352,21 @@ impl FlowMemory {
         let timeout = self.idle_timeout;
         let mut expired: BTreeSet<(ServiceAddr, usize)> = BTreeSet::new();
         let mut due = std::mem::take(&mut self.expiry_scratch);
-        due.clear();
-        self.wheel.expired_into(now, &mut due);
-        for key in due.drain(..) {
-            let f = self.flows[&key];
-            if now.saturating_since(f.last_used) >= timeout {
-                self.remove(&key);
-                self.stats.expired += 1;
-                expired.insert((key.service, f.cluster));
-            } else {
-                // Refreshed since its deadline was set: re-arm.
-                self.wheel.schedule(key, f.last_used + timeout);
+        // Sweep shard by shard: a wheel with nothing due costs O(1) to ask,
+        // so a quiet cell adds nothing to the sweep even at fleet scale.
+        for idx in 0..self.shards.len() {
+            due.clear();
+            self.shards[idx].wheel.expired_into(now, &mut due);
+            for key in due.drain(..) {
+                let f = self.shards[idx].flows[&key];
+                if now.saturating_since(f.last_used) >= timeout {
+                    self.remove(&key);
+                    self.stats.expired += 1;
+                    expired.insert((key.service, f.cluster));
+                } else {
+                    // Refreshed since its deadline was set: re-arm.
+                    self.shards[idx].wheel.schedule(key, f.last_used + timeout);
+                }
             }
         }
         self.expiry_scratch = due;
@@ -326,22 +381,23 @@ impl FlowMemory {
         self.per_service.get(&service).copied().unwrap_or(0)
     }
 
-    /// Total memorized flows.
+    /// Total memorized flows across all shards.
     pub fn len(&self) -> usize {
-        self.flows.len()
+        self.len
     }
 
     /// `true` if no flows are memorized.
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.len == 0
     }
 
-    /// The earliest instant any entry could expire: a constant-time lower
-    /// bound (exact when no entry was refreshed since it was scheduled);
-    /// `None` iff the memory is empty. An early sweep is harmless — it
-    /// re-arms refreshed entries and tightens the bound.
+    /// The earliest instant any entry could expire: a lower bound that costs
+    /// one constant-time wheel query per shard (exact when no entry was
+    /// refreshed since it was scheduled); `None` iff the memory is empty. An
+    /// early sweep is harmless — it re-arms refreshed entries and tightens
+    /// the bound.
     pub fn next_expiry(&self) -> Option<SimTime> {
-        self.wheel.next_deadline()
+        self.shards.iter().filter_map(|s| s.wheel.next_deadline()).min()
     }
 }
 

@@ -53,7 +53,7 @@ pub mod oxm;
 pub mod table;
 
 pub use actions::{Action, Instruction};
-pub use messages::{FlowModCommand, Message, PacketInReason, RemovedReason};
+pub use messages::{timeout_secs, FlowModCommand, Message, PacketInReason, RemovedReason};
 pub use naive::NaiveFlowTable;
 pub use oxm::{Match, MatchView};
 pub use table::{FlowEntry, FlowId, FlowTable};

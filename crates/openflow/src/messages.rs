@@ -9,6 +9,24 @@
 use crate::actions::{Action, Instruction};
 use crate::oxm::Match;
 use crate::{OfError, OFP_VERSION};
+use desim::Duration;
+
+/// Converts a timeout [`Duration`] to the `u16` whole-seconds wire field of
+/// `FLOW_MOD` / `FLOW_REMOVED` / flow stats.
+///
+/// The wire value `0` means *no timeout* ("never expire"), so a flooring
+/// division would silently turn any sub-second timeout into an immortal
+/// flow, and a plain `as u16` cast wraps timeouts above `u16::MAX` seconds
+/// (18.2 h) around to arbitrary small values. Instead: `Duration::ZERO`
+/// stays `0` (genuinely no timeout), and every non-zero duration clamps to
+/// `[1, u16::MAX]` seconds.
+pub fn timeout_secs(d: Duration) -> u16 {
+    if d == Duration::ZERO {
+        0
+    } else {
+        (d.as_nanos() / 1_000_000_000).clamp(1, u16::MAX as u64) as u16
+    }
+}
 
 const T_HELLO: u8 = 0;
 const T_ECHO_REQUEST: u8 = 2;
@@ -914,5 +932,21 @@ mod tests {
             Message::PacketIn { data, .. } => assert_eq!(data, frame),
             other => panic!("wrong message {other:?}"),
         }
+    }
+
+    #[test]
+    fn timeout_secs_clamps_to_expressible_nonzero_seconds() {
+        // Zero is the wire encoding for "no timeout" and must survive.
+        assert_eq!(timeout_secs(Duration::ZERO), 0);
+        // Sub-second timeouts round *up* to 1 s: flooring them to 0 would
+        // silently install immortal flows.
+        assert_eq!(timeout_secs(Duration::from_millis(500)), 1);
+        assert_eq!(timeout_secs(Duration::from_nanos(1)), 1);
+        // Whole seconds pass through unchanged.
+        assert_eq!(timeout_secs(Duration::from_secs(10)), 10);
+        assert_eq!(timeout_secs(Duration::from_secs(65_535)), u16::MAX);
+        // A 20-hour timeout saturates instead of wrapping (72 000 s would
+        // truncate to 6 464 s as a plain cast).
+        assert_eq!(timeout_secs(Duration::from_secs(20 * 3600)), u16::MAX);
     }
 }

@@ -349,8 +349,8 @@ impl Switch {
                         table_id: 0,
                         duration_sec: ((now - e.installed_at).as_nanos() / 1_000_000_000) as u32,
                         priority: e.priority,
-                        idle_timeout: (e.idle_timeout.as_nanos() / 1_000_000_000) as u16,
-                        hard_timeout: (e.hard_timeout.as_nanos() / 1_000_000_000) as u16,
+                        idle_timeout: openflow::timeout_secs(e.idle_timeout),
+                        hard_timeout: openflow::timeout_secs(e.hard_timeout),
                         cookie: e.cookie,
                         packet_count: e.packet_count,
                         byte_count: e.byte_count,
@@ -385,8 +385,8 @@ impl Switch {
             table_id: 0,
             duration_sec: (d.as_nanos() / 1_000_000_000) as u32,
             duration_nsec: (d.as_nanos() % 1_000_000_000) as u32,
-            idle_timeout: (removed.entry.idle_timeout.as_nanos() / 1_000_000_000) as u16,
-            hard_timeout: (removed.entry.hard_timeout.as_nanos() / 1_000_000_000) as u16,
+            idle_timeout: openflow::timeout_secs(removed.entry.idle_timeout),
+            hard_timeout: openflow::timeout_secs(removed.entry.hard_timeout),
             packet_count: removed.entry.packet_count,
             byte_count: removed.entry.byte_count,
             match_: removed.entry.match_.clone(),

@@ -30,4 +30,4 @@ pub mod topology;
 
 pub use harness::{ClusterKind, CompletedRequest, Testbed, TestbedConfig};
 pub use mobility_run::{HandoverRecord, MobilityConfig, MobilityTestbed};
-pub use topology::{C3Topology, MultiGnbTopology};
+pub use topology::{client_ip_for, fleet_client_ip, C3Topology, MultiGnbTopology};

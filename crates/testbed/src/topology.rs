@@ -9,15 +9,44 @@ use netsim::link::LinkSpec;
 use netsim::topo::{NodeId, NodeKind, PortNo, Topology};
 use netsim::Ipv4Addr;
 
-/// Allocates the `i`-th client address from `192.168.0.0/16`.
+/// Allocates the `i`-th client address.
 ///
 /// The first 236 clients stay in `192.168.1.20..=192.168.1.255` — exactly
 /// the historical single-octet scheme, so existing figures are unchanged —
 /// and every 236 clients after that bump the third octet. (The old
 /// `20 + i as u8` arithmetic overflowed for `i > 235` even though the
-/// topology admits 250 clients.)
-pub(crate) fn client_ip_for(i: usize) -> Ipv4Addr {
-    Ipv4Addr::new(192, 168, 1 + (i / 236) as u8, 20 + (i % 236) as u8)
+/// topology admits 250 clients.) The `192.168.0.0/16` scheme holds 60,180
+/// addresses; beyond that the allocator continues into `172.16.0.0/12`
+/// (the third octet would itself overflow at `i = 60,180`), which collides
+/// with no other address family in the simulation.
+pub fn client_ip_for(i: usize) -> Ipv4Addr {
+    const LEGACY: usize = 236 * 255; // 192.168.1.20 .. 192.168.255.255
+    if i < LEGACY {
+        Ipv4Addr::new(192, 168, 1 + (i / 236) as u8, 20 + (i % 236) as u8)
+    } else {
+        let j = i - LEGACY;
+        assert!(j < 16 << 16, "client index exhausts 172.16.0.0/12");
+        Ipv4Addr::new(172, 16 + (j >> 16) as u8, (j >> 8) as u8, j as u8)
+    }
+}
+
+/// Allocates a client address for a *fleet* topology: client `i` attached
+/// at ingress (gNB) `ingress` draws from that ingress's own `/16` block in
+/// `10.64.0.0/10` — `10.(64 + ingress).0.0/16`, 65,534 clients per ingress,
+/// 192 ingress blocks. Ingress-prefixed blocks keep fleet addressing
+/// collision-free by construction: distinct ingresses can never allocate
+/// the same address, and the region is disjoint from zone addressing
+/// (`10.0.(g+1).x`, far edge `10.8.0.10`), from the legacy
+/// `192.168.0.0/16` pool and its `172.16.0.0/12` overflow above.
+///
+/// The per-client exact-match scheme collided at scale: a single shared
+/// pool spanning one `/16` wraps after 65,536 clients, silently aliasing
+/// two real clients onto one address (and therefore one rewrite pair).
+pub fn fleet_client_ip(ingress: u32, i: usize) -> Ipv4Addr {
+    assert!(ingress < 192, "fleet addressing holds 192 ingress blocks");
+    assert!(i < 0xfffe, "65,534 clients per ingress block");
+    let host = i + 1; // skip the .0.0 network address
+    Ipv4Addr::new(10, 64 + ingress as u8, (host >> 8) as u8, host as u8)
 }
 
 /// The assembled topology plus the node/port bookkeeping the harness needs.
@@ -289,6 +318,38 @@ mod tests {
         ips.sort_unstable();
         ips.dedup();
         assert_eq!(ips.len(), 250, "all client addresses distinct");
+    }
+
+    /// Regression: the shared pool used to alias clients past one `/16`
+    /// (65,536+ clients collided). The extended allocator and the
+    /// ingress-prefixed fleet allocator stay collision-free past that mark,
+    /// against each other and against infrastructure addressing.
+    #[test]
+    fn allocators_are_collision_free_past_a_slash_sixteen() {
+        let n = 70_000;
+        let mut ips: Vec<Ipv4Addr> = (0..n).map(client_ip_for).collect();
+        // Legacy prefix byte-identical.
+        assert_eq!(ips[0], Ipv4Addr::new(192, 168, 1, 20));
+        assert_eq!(ips[235], Ipv4Addr::new(192, 168, 1, 255));
+        assert_eq!(ips[236], Ipv4Addr::new(192, 168, 2, 20));
+        // Fleet blocks for two ingresses, 40k clients each.
+        for ing in 0..2 {
+            ips.extend((0..40_000).map(|i| fleet_client_ip(ing, i)));
+        }
+        // Infrastructure addresses must never be allocated to a client:
+        // zone gNB/instance (10.0.(g+1).{1,10}), far edge, OVS, EGS, cloud.
+        for g in 0..32u8 {
+            ips.push(Ipv4Addr::new(10, 0, g + 1, 1));
+            ips.push(Ipv4Addr::new(10, 0, g + 1, 10));
+        }
+        ips.push(Ipv4Addr::new(10, 8, 0, 10));
+        ips.push(Ipv4Addr::new(10, 0, 0, 1));
+        ips.push(Ipv4Addr::new(10, 0, 0, 10));
+        ips.push(Ipv4Addr::new(198, 51, 100, 1));
+        let total = ips.len();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), total, "no collisions anywhere in the fleet");
     }
 
     #[test]
