@@ -14,6 +14,8 @@
 //!                                   # runtime chaos -> BENCH_recovery.json
 //! repro scale [--seed N] [--smoke]  # fleet-scale controller (1M clients,
 //!                                   # aggregated vs exact) -> BENCH_scale.json
+//! repro tournament [--seed N] [--smoke]   # scheduler tournament, bursty
+//!                                   # workload -> BENCH_tournament.json
 //! ```
 //!
 //! `--telemetry` turns observability output on: `chaos` records per-request
@@ -276,6 +278,30 @@ exact rules (seed {seed}{})\n",
             }
             ExitCode::SUCCESS
         }
+        "tournament" => {
+            println!(
+                "transparent-edge-rs — scheduler tournament: bursty workload, autoscaling \
+on (seed {seed}{})\n",
+                if smoke { ", smoke" } else { "" }
+            );
+            let report = bench::tournament::run(seed, smoke);
+            print!("{}", report.render());
+            let path = bench::tournament::default_output_path();
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("\nwrote {}", path.display());
+            let lc = report.arm("least-connections").p99_ms;
+            let random = report.arm("random").p99_ms;
+            if lc > random {
+                eprintln!(
+                    "least-connections p99 ({lc:.2} ms) worse than random ({random:.2} ms)"
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
         "telemetry" => {
             println!("transparent-edge-rs — telemetry overhead (disabled path vs fast path)\n");
             let report = bench::telemetry::run();
@@ -299,6 +325,7 @@ exact rules (seed {seed}{})\n",
             println!("mobility");
             println!("recovery");
             println!("scale");
+            println!("tournament");
             ExitCode::SUCCESS
         }
         "all" => {

@@ -9,6 +9,7 @@ pub mod recovery;
 pub mod scale;
 pub mod summary;
 pub mod telemetry;
+pub mod tournament;
 
 use testbed::experiments::{self, EvalRuns, Figure};
 

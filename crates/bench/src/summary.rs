@@ -183,7 +183,7 @@ fn json_number_after(json: &str, anchor: &str, key: &str) -> Option<f64> {
     json_number(&json[json.find(anchor)?..], key)
 }
 
-/// Reads the five committed bench artifacts and condenses each into one
+/// Reads the six committed bench artifacts and condenses each into one
 /// trajectory row. Artifacts that have not been generated yet show up as
 /// `missing` rather than failing the summary.
 pub fn perf_trajectory() -> Vec<PerfPoint> {
@@ -267,6 +267,22 @@ pub fn perf_trajectory() -> Vec<PerfPoint> {
             ))
         })
         .unwrap_or_else(missing);
+    let tournament = read("BENCH_tournament.json")
+        .and_then(|j| {
+            Some((
+                format!(
+                    "least-connections p99 {:.1} ms vs random {:.1} ms",
+                    json_number(&j, "least_connections_p99_ms")?,
+                    json_number(&j, "random_p99_ms")?
+                ),
+                format!(
+                    "{:.0} arms, lc cost {:.2} mean replicas",
+                    ARMS_IN_TOURNAMENT,
+                    json_number_after(&j, "\"arm\": \"least-connections\"", "mean_replicas")?
+                ),
+            ))
+        })
+        .unwrap_or_else(missing);
 
     vec![
         PerfPoint {
@@ -299,8 +315,18 @@ pub fn perf_trajectory() -> Vec<PerfPoint> {
             headline: scale.0,
             detail: scale.1,
         },
+        PerfPoint {
+            artifact: "BENCH_tournament.json",
+            subsystem: "load-aware scheduling",
+            headline: tournament.0,
+            detail: tournament.1,
+        },
     ]
 }
+
+/// Arms in the scheduler tournament (kept in sync with
+/// [`crate::tournament::ARMS`]).
+const ARMS_IN_TOURNAMENT: usize = crate::tournament::ARMS.len();
 
 /// Renders the perf trajectory table.
 pub fn render_trajectory(points: &[PerfPoint]) -> String {
@@ -332,14 +358,16 @@ mod tests {
     }
 
     #[test]
-    fn trajectory_always_has_all_five_rows() {
+    fn trajectory_always_has_all_six_rows() {
         let points = perf_trajectory();
-        assert_eq!(points.len(), 5);
+        assert_eq!(points.len(), 6);
         assert_eq!(points[1].artifact, "BENCH_engine.json");
         assert_eq!(points[4].artifact, "BENCH_scale.json");
+        assert_eq!(points[5].artifact, "BENCH_tournament.json");
         let text = render_trajectory(&points);
         assert!(text.contains("event core"));
         assert!(text.contains("data plane"));
+        assert!(text.contains("load-aware scheduling"));
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Scheduler tournament under a bursty workload with autoscaling on.
+//!
+//! Every registered scheduler runs the identical [`workload::BurstConfig`]
+//! trace against the same two-cluster testbed — a near edge zone (150 µs)
+//! and a far one (900 µs), images pre-pulled — with per-instance queueing
+//! and the horizontal autoscaler enabled. Bursts slam one hot service at a
+//! time hard enough to saturate a single replica, so the ranking separates
+//! schedulers by what they *see*: load-blind ones (proximity, random) pile
+//! the burst onto one queue and pay in tail latency and queue rejections,
+//! while instance-granular ones (least-connections, latency-ewma) spread it
+//! across the replicas the autoscaler adds.
+//!
+//! Like [`crate::scale`] this is plain `std` (no criterion): the
+//! `repro tournament` subcommand runs it directly and emits
+//! `BENCH_tournament.json`. Every reported field is sim-derived — no
+//! wall-clock values — so the artifact is byte-identical per `(seed, smoke)`.
+
+use desim::{Duration, SimRng, SimTime};
+use edgectl::annotate_deployment;
+use edgectl::{AutoscaleConfig, QueueConfig};
+use edgectl::{Controller, ControllerConfig, DockerCluster, EdgeService, PortMap};
+use dockersim::DockerEngine;
+use netsim::addr::{Ipv4Addr, MacAddr};
+use netsim::{ServiceAddr, TcpFrame};
+use openflow::messages::Message;
+use openflow::oxm::{Match, OxmField};
+use openflow::PacketInReason;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use testbed::client_ip_for;
+use workload::BurstConfig;
+
+/// Ingress-side port clients arrive on.
+const CLIENT_PORT: u32 = 1;
+/// Egress port toward the near edge cluster.
+const NEAR_PORT: u32 = 2;
+/// Port toward the cloud uplink.
+const CLOUD_PORT: u32 = 3;
+/// Egress port toward the far edge cluster.
+const FAR_PORT: u32 = 4;
+
+/// The schedulers entered into the tournament, in report order.
+pub const ARMS: &[&str] = &[
+    "proximity",
+    "round-robin",
+    "random",
+    "least-connections",
+    "latency-ewma",
+    "predictive",
+];
+
+/// One arm's measurements (all sim-derived; no wall-clock fields).
+#[derive(Clone, Debug)]
+pub struct ArmStats {
+    /// Scheduler name (one of [`ARMS`]).
+    pub arm: &'static str,
+    /// Requests replayed (equals the trace length).
+    pub requests: u64,
+    /// Median answer delay, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile answer delay, ms — the headline column.
+    pub p99_ms: f64,
+    /// Mean answer delay, ms.
+    pub mean_ms: f64,
+    /// Fraction of requests answered by the cloud (scheduler fallback or
+    /// queue rejection overflow).
+    pub fallback_rate: f64,
+    /// Requests bounced off a full instance queue.
+    pub rejections: u64,
+    /// `rejections / requests`.
+    pub rejection_rate: f64,
+    /// Autoscaler scale-up operations across the run.
+    pub scale_ups: u64,
+    /// Autoscaler scale-down operations across the run.
+    pub scale_downs: u64,
+    /// Mean concurrently-provisioned replicas over the trace (replica-seconds
+    /// divided by the trace duration) — the capacity cost of the arm.
+    pub mean_replicas: f64,
+}
+
+/// The full tournament report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Seed the workload ran under.
+    pub seed: u64,
+    /// Smoke (CI-sized) or full run.
+    pub smoke: bool,
+    /// Services in the workload.
+    pub services: usize,
+    /// Requests per arm.
+    pub requests: u64,
+    /// One entry per scheduler, in [`ARMS`] order.
+    pub arms: Vec<ArmStats>,
+}
+
+impl Report {
+    /// The named arm's stats.
+    pub fn arm(&self, name: &str) -> &ArmStats {
+        self.arms
+            .iter()
+            .find(|a| a.arm == name)
+            .unwrap_or_else(|| panic!("no arm `{name}`"))
+    }
+
+    /// Renders the hand-rolled JSON artifact (`serde` is deliberately not a
+    /// dependency of this workspace).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\n  \"bench\": \"tournament\",\n  \"seed\": {},\n  \"smoke\": {},\n  \
+             \"services\": {},\n  \"requests\": {},\n  \"arms\": [\n",
+            self.seed, self.smoke, self.services, self.requests
+        );
+        for (i, a) in self.arms.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"arm\": \"{}\", \"requests\": {}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"fallback_rate\": {:.4}, \
+                 \"rejections\": {}, \"rejection_rate\": {:.4}, \"scale_ups\": {}, \
+                 \"scale_downs\": {}, \"mean_replicas\": {:.3}}}{}\n",
+                a.arm,
+                a.requests,
+                a.p50_ms,
+                a.p99_ms,
+                a.mean_ms,
+                a.fallback_rate,
+                a.rejections,
+                a.rejection_rate,
+                a.scale_ups,
+                a.scale_downs,
+                a.mean_replicas,
+                if i + 1 < self.arms.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"least_connections_p99_ms\": {:.3},\n  \"random_p99_ms\": {:.3}\n}}\n",
+            self.arm("least-connections").p99_ms,
+            self.arm("random").p99_ms
+        ));
+        s
+    }
+
+    /// Renders a human-readable table.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{} requests over {} services per arm, autoscaling on\n\n",
+            self.requests, self.services
+        );
+        s.push_str(
+            "arm                p50 [ms]  p99 [ms]  mean [ms]  fallback  rejects  ups  downs  replicas\n",
+        );
+        for a in &self.arms {
+            s.push_str(&format!(
+                "{:<17} {:>9.2} {:>9.2} {:>10.2} {:>9.3} {:>8} {:>4} {:>6} {:>9.2}\n",
+                a.arm,
+                a.p50_ms,
+                a.p99_ms,
+                a.mean_ms,
+                a.fallback_rate,
+                a.rejections,
+                a.scale_ups,
+                a.scale_downs,
+                a.mean_replicas
+            ));
+        }
+        s.push_str(&format!(
+            "least-connections p99 {:.2} ms vs random {:.2} ms (want <=)\n",
+            self.arm("least-connections").p99_ms,
+            self.arm("random").p99_ms
+        ));
+        s
+    }
+}
+
+/// Where `BENCH_tournament.json` is written: the repository root.
+pub fn default_output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_tournament.json")
+}
+
+/// An edge service at `203.0.113.20:port` backed by the cached `asm`
+/// profile.
+fn tournament_service(port: u16) -> EdgeService {
+    let profile = containerd::ServiceSet::by_key("asm").unwrap();
+    let addr = ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 20), port);
+    let yaml = format!(
+        "spec:\n  template:\n    spec:\n      containers:\n        - name: main\n          image: {}\n          ports:\n            - containerPort: {}\n",
+        profile.manifests[0].reference, profile.listen_port
+    );
+    let annotated = annotate_deployment(&yaml, addr, None).unwrap();
+    EdgeService { addr, name: annotated.service_name.clone(), annotated, profile }
+}
+
+/// The tournament's autoscale policy: replicas of 100 req/s each
+/// (20 ms service time, 2 in-flight slots), a short backlog, and a sweep
+/// fast enough to react inside a burst.
+fn autoscale_policy() -> AutoscaleConfig {
+    AutoscaleConfig {
+        enabled: true,
+        min_replicas: 1,
+        max_replicas: 4,
+        cooldown: Duration::from_millis(300),
+        sweep_interval: Duration::from_millis(100),
+        queue: QueueConfig {
+            service_time: Duration::from_millis(20),
+            concurrency: 2,
+            backlog: 6,
+        },
+        ..AutoscaleConfig::default()
+    }
+}
+
+/// Builds the two-zone controller for one arm: near (150 µs) and far
+/// (900 µs) Docker clusters, images pre-pulled, every service registered.
+fn build_controller(scheduler: &str, services: usize, rng: &mut SimRng) -> Controller {
+    let manifests = &containerd::ServiceSet::by_key("asm").unwrap().manifests;
+    let mut near_engine = DockerEngine::with_defaults();
+    near_engine.pull(manifests, rng);
+    let mut far_engine = DockerEngine::with_defaults();
+    far_engine.pull(manifests, rng);
+    let near = DockerCluster::new(
+        "edge-near",
+        near_engine,
+        MacAddr::from_id(200),
+        Ipv4Addr::new(10, 0, 0, 20),
+        Duration::from_micros(150),
+    );
+    let far = DockerCluster::new(
+        "edge-far",
+        far_engine,
+        MacAddr::from_id(201),
+        Ipv4Addr::new(10, 0, 1, 20),
+        Duration::from_micros(900),
+    );
+    let mut ctl = Controller::new(
+        edgectl::scheduler_by_name(scheduler).unwrap_or_else(|e| panic!("{e}")),
+        PortMap { cluster_ports: HashMap::new(), cloud_port: CLOUD_PORT },
+        ControllerConfig {
+            autoscale: autoscale_policy(),
+            ..ControllerConfig::default()
+        },
+    );
+    ctl.add_cluster(Box::new(near), NEAR_PORT);
+    ctl.add_cluster(Box::new(far), FAR_PORT);
+    for s in 0..services {
+        ctl.register_service(tournament_service(9000 + s as u16));
+    }
+    ctl
+}
+
+/// Encodes a `PACKET_IN` carrying `frame`, as the ingress switch would send
+/// it on a table miss.
+fn packet_in(frame: &TcpFrame, buffer_id: u32) -> Vec<u8> {
+    let data = frame.encode();
+    Message::PacketIn {
+        buffer_id,
+        total_len: data.len() as u16,
+        reason: PacketInReason::NoMatch,
+        table_id: 0,
+        cookie: 0,
+        match_: Match::any().with(OxmField::InPort(CLIENT_PORT)),
+        data,
+    }
+    .encode(1)
+}
+
+/// `q`-th percentile (nearest-rank) of an unsorted sample, in ms.
+fn percentile_ms(delays_ns: &mut [u64], q: f64) -> f64 {
+    if delays_ns.is_empty() {
+        return 0.0;
+    }
+    delays_ns.sort_unstable();
+    let idx = ((delays_ns.len() - 1) as f64 * q).round() as usize;
+    delays_ns[idx] as f64 / 1e6
+}
+
+/// Runs one arm: replays the bursty trace through the controller, sweeping
+/// the autoscaler every `sweep_interval` of sim time. Each request arrives
+/// on a fresh source port, so every connection is a genuine table miss.
+fn run_arm(arm: &'static str, workload: &BurstConfig, seed: u64) -> ArmStats {
+    let mut rng = SimRng::new(seed);
+    let trace = workload.clone().generate(seed);
+    let mut ctl = build_controller(arm, workload.n_services, &mut rng);
+    let gw_mac = MacAddr::from_id(900);
+
+    let sweep_every = ctl.load().config().sweep_interval;
+    let mut next_sweep = SimTime::ZERO + sweep_every;
+    let mut n: u64 = 0;
+    for r in &trace.requests {
+        while next_sweep <= r.at {
+            ctl.autoscale_sweep(next_sweep);
+            next_sweep += sweep_every;
+        }
+        let frame = TcpFrame::syn(
+            MacAddr::from_id(1_000 + r.client as u32),
+            gw_mac,
+            client_ip_for(r.client),
+            10_000 + n as u16,
+            ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 20), 9000 + r.service as u16),
+        );
+        let msg = packet_in(&frame, (n as u32) & 0x00ff_ffff);
+        ctl.handle_switch_message(r.at, &msg, &mut rng).expect("packet-in");
+        n += 1;
+    }
+    let end = SimTime::ZERO + workload.duration;
+
+    let mut delays: Vec<u64> = ctl
+        .records
+        .iter()
+        .map(|r| r.answered_at.saturating_since(r.at).as_nanos())
+        .collect();
+    let fallbacks = ctl
+        .records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.kind,
+                edgectl::controller::RequestKind::Cloud
+                    | edgectl::controller::RequestKind::FallbackCloud
+            )
+        })
+        .count() as u64;
+    let total = delays.len() as f64;
+    let mean_ms = delays.iter().map(|&d| d as f64).sum::<f64>() / total.max(1.0) / 1e6;
+    let p50_ms = percentile_ms(&mut delays, 0.50);
+    let p99_ms = percentile_ms(&mut delays, 0.99);
+    let rejections = ctl.load().rejections();
+    let replica_seconds = ctl.load_mut().replica_seconds(end);
+
+    ArmStats {
+        arm,
+        requests: n,
+        p50_ms,
+        p99_ms,
+        mean_ms,
+        fallback_rate: fallbacks as f64 / total.max(1.0),
+        rejections,
+        rejection_rate: rejections as f64 / (n as f64).max(1.0),
+        scale_ups: ctl.load().scale_ups(),
+        scale_downs: ctl.load().scale_downs(),
+        mean_replicas: replica_seconds / workload.duration.as_secs_f64(),
+    }
+}
+
+/// Runs every arm over the identical workload.
+pub fn run(seed: u64, smoke: bool) -> Report {
+    let workload = if smoke { BurstConfig::smoke() } else { BurstConfig::full() };
+    let arms: Vec<ArmStats> = ARMS.iter().map(|a| run_arm(a, &workload, seed)).collect();
+    Report {
+        seed,
+        smoke,
+        services: workload.n_services,
+        requests: arms.first().map_or(0, |a| a.requests),
+        arms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let stats = |arm, p99_ms| ArmStats {
+            arm,
+            requests: 100,
+            p50_ms: 1.0,
+            p99_ms,
+            mean_ms: 2.0,
+            fallback_rate: 0.01,
+            rejections: 3,
+            rejection_rate: 0.03,
+            scale_ups: 2,
+            scale_downs: 1,
+            mean_replicas: 1.5,
+        };
+        let r = Report {
+            seed: 7,
+            smoke: true,
+            services: 4,
+            requests: 100,
+            arms: vec![stats("random", 40.0), stats("least-connections", 20.0)],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"tournament\""));
+        assert!(j.contains("\"arm\": \"least-connections\""));
+        assert!(j.contains("\"least_connections_p99_ms\": 20.000"));
+        assert!(j.contains("\"random_p99_ms\": 40.000"));
+        assert!(r.render().contains("want <="));
+    }
+
+    #[test]
+    fn smoke_tournament_runs_all_arms_deterministically() {
+        let r = run(7, true);
+        assert_eq!(r.arms.len(), ARMS.len());
+        let expected = BurstConfig::smoke().generate(7).requests.len() as u64;
+        for a in &r.arms {
+            assert_eq!(a.requests, expected, "{}", a.arm);
+            assert!(a.p99_ms > 0.0, "{}", a.arm);
+            assert!(a.mean_replicas > 0.0, "{}: pools must accrue", a.arm);
+        }
+        // The gate the CI smoke job enforces: seeing per-instance load must
+        // not be worse than ignoring it.
+        assert!(
+            r.arm("least-connections").p99_ms <= r.arm("random").p99_ms,
+            "lc {} vs random {}",
+            r.arm("least-connections").p99_ms,
+            r.arm("random").p99_ms
+        );
+        // Bursts overload single replicas: the autoscaler must have acted.
+        assert!(r.arms.iter().any(|a| a.scale_ups > 0));
+        let again = run(7, true);
+        assert_eq!(r.to_json(), again.to_json(), "same seed ⇒ same artifact");
+    }
+}

@@ -1,0 +1,44 @@
+//! With the autoscaler at its defaults — disabled, one replica per service —
+//! the load tracker is never consulted, so every committed experiment
+//! artifact stays byte-identical to its pre-autoscaling output. These tests
+//! pin that: run each experiment twice and require identical bytes, and pin
+//! the defaults themselves so a future default-flip fails loudly here rather
+//! than silently perturbing the committed figures.
+
+use edgectl::AutoscaleConfig;
+
+#[test]
+fn autoscaling_is_off_by_default() {
+    let d = AutoscaleConfig::default();
+    assert!(!d.enabled, "autoscaling must stay opt-in");
+    assert_eq!(d.min_replicas, 1, "defaults are replicas=1");
+    // A default-constructed controller carries the same disabled config.
+    let cc = edgectl::ControllerConfig::default();
+    assert!(!cc.autoscale.enabled);
+}
+
+#[test]
+fn fig13_is_byte_identical_across_runs() {
+    let a = testbed::experiments::fig13(8);
+    let b = testbed::experiments::fig13(8);
+    assert_eq!(a.body, b.body);
+    assert_eq!(a.table.to_csv(), b.table.to_csv());
+}
+
+#[test]
+fn mobility_figure_is_byte_identical_across_runs() {
+    let a = bench::mobility_figure(7, true);
+    let b = bench::mobility_figure(7, true);
+    assert_eq!(a.body, b.body);
+    assert_eq!(a.table.to_csv(), b.table.to_csv());
+}
+
+#[test]
+fn recovery_figure_at_rate_zero_is_byte_identical_across_runs() {
+    // Fault rate 0: the pure control path, no chaos — exactly the regime
+    // the committed baseline artifacts were generated in.
+    let a = bench::recovery_figure(7, 0.0, true);
+    let b = bench::recovery_figure(7, 0.0, true);
+    assert_eq!(a.body, b.body);
+    assert_eq!(a.table.to_csv(), b.table.to_csv());
+}

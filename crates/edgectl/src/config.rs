@@ -39,6 +39,18 @@
 //!   detectIntervalMs: 500
 //!   breakerThreshold: 3
 //!   breakerCooldownMs: 10000
+//! autoscale:                 # horizontal autoscaling (off by default)
+//!   enabled: true
+//!   minReplicas: 1
+//!   maxReplicas: 4
+//!   scaleUpUtilization: 0.8  # mean pool utilization that triggers +1
+//!   scaleDownUtilization: 0.2
+//!   scaleUpBacklog: 4        # queued requests that trigger +1 regardless
+//!   cooldownMs: 5000         # minimum gap between scalings of one pool
+//!   sweepIntervalMs: 1000
+//!   serviceTimeMs: 20        # deterministic per-request service time
+//!   concurrency: 4           # in-flight slots per replica
+//!   backlog: 8               # queue depth beyond which requests reject
 //! clusters:
 //!   - name: egs-docker
 //!     kind: docker
@@ -140,8 +152,8 @@ impl EdgeConfig {
             cfg.scheduler = s.to_owned();
         }
         if let Some(p) = doc["predictor"].as_str() {
-            if crate::predictor_by_name(p).is_none() {
-                return Err(ConfigError::Unknown(format!("predictor `{p}`")));
+            if let Err(e) = crate::predictor_by_name(p) {
+                return Err(ConfigError::Unknown(e.to_string()));
             }
             cfg.predictor = p.to_owned();
         }
@@ -330,6 +342,104 @@ impl EdgeConfig {
                 other => {
                     return Err(ConfigError::Invalid(format!(
                         "health.breakerCooldownMs: expected a positive integer, got {other:?}"
+                    )))
+                }
+            }
+        }
+
+        let autoscale = &doc["autoscale"];
+        if !autoscale.is_null() {
+            if autoscale.as_map().is_none() {
+                return Err(ConfigError::Invalid("autoscale must be a mapping".into()));
+            }
+            let a = &mut cfg.controller.autoscale;
+            if let Some(b) = autoscale["enabled"].as_bool() {
+                a.enabled = b;
+            }
+            let replicas = |key: &str| -> Result<Option<usize>, ConfigError> {
+                match &autoscale[key] {
+                    Value::Null => Ok(None),
+                    Value::Int(n) if *n >= 1 => Ok(Some(*n as usize)),
+                    other => Err(ConfigError::Invalid(format!(
+                        "autoscale.{key}: expected an integer >= 1, got {other:?}"
+                    ))),
+                }
+            };
+            if let Some(n) = replicas("minReplicas")? {
+                a.min_replicas = n;
+            }
+            if let Some(n) = replicas("maxReplicas")? {
+                a.max_replicas = n;
+            }
+            if a.max_replicas < a.min_replicas {
+                return Err(ConfigError::Invalid(format!(
+                    "autoscale.maxReplicas ({}) must be >= minReplicas ({})",
+                    a.max_replicas, a.min_replicas
+                )));
+            }
+            if let Some(p) = fraction(autoscale, "scaleUpUtilization")? {
+                a.scale_up_utilization = p;
+            }
+            if let Some(p) = fraction(autoscale, "scaleDownUtilization")? {
+                a.scale_down_utilization = p;
+            }
+            if a.scale_down_utilization >= a.scale_up_utilization {
+                return Err(ConfigError::Invalid(format!(
+                    "autoscale.scaleDownUtilization ({}) must be below \
+                     scaleUpUtilization ({}) — the hysteresis band must not collapse",
+                    a.scale_down_utilization, a.scale_up_utilization
+                )));
+            }
+            match &autoscale["scaleUpBacklog"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 1 => a.scale_up_backlog = *n as usize,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "autoscale.scaleUpBacklog: expected an integer >= 1, got {other:?}"
+                    )))
+                }
+            }
+            if let Some(d) = millis(autoscale, "cooldownMs")? {
+                a.cooldown = d;
+            }
+            match &autoscale["sweepIntervalMs"] {
+                Value::Null => {}
+                Value::Int(ms) if *ms > 0 => a.sweep_interval = Duration::from_millis(*ms as u64),
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "autoscale.sweepIntervalMs: expected a positive integer, got {other:?}"
+                    )))
+                }
+            }
+            match &autoscale["serviceTimeMs"] {
+                Value::Null => {}
+                Value::Int(ms) if *ms > 0 => {
+                    a.queue.service_time = Duration::from_millis(*ms as u64);
+                }
+                Value::Float(ms) if *ms > 0.0 => {
+                    a.queue.service_time = Duration::from_millis_f64(*ms);
+                }
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "autoscale.serviceTimeMs: expected a positive number, got {other:?}"
+                    )))
+                }
+            }
+            match &autoscale["concurrency"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 1 => a.queue.concurrency = *n as usize,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "autoscale.concurrency: expected an integer >= 1, got {other:?}"
+                    )))
+                }
+            }
+            match &autoscale["backlog"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 0 => a.queue.backlog = *n as usize,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "autoscale.backlog: expected a non-negative integer, got {other:?}"
                     )))
                 }
             }
@@ -590,6 +700,79 @@ health:
         .unwrap();
         assert_eq!(cfg.controller.health.detect_interval, Duration::from_millis(250));
         assert_eq!(cfg.controller.health.breaker_cooldown, Duration::from_secs(7200));
+    }
+
+    #[test]
+    fn autoscale_block_parses() {
+        let cfg = EdgeConfig::from_yaml(
+            "
+autoscale:
+  enabled: true
+  minReplicas: 2
+  maxReplicas: 6
+  scaleUpUtilization: 0.75
+  scaleDownUtilization: 0.25
+  scaleUpBacklog: 3
+  cooldownMs: 2500
+  sweepIntervalMs: 500
+  serviceTimeMs: 15
+  concurrency: 8
+  backlog: 16
+",
+        )
+        .unwrap();
+        let a = &cfg.controller.autoscale;
+        assert!(a.enabled);
+        assert_eq!(a.min_replicas, 2);
+        assert_eq!(a.max_replicas, 6);
+        assert_eq!(a.scale_up_utilization, 0.75);
+        assert_eq!(a.scale_down_utilization, 0.25);
+        assert_eq!(a.scale_up_backlog, 3);
+        assert_eq!(a.cooldown, Duration::from_millis(2500));
+        assert_eq!(a.sweep_interval, Duration::from_millis(500));
+        assert_eq!(a.queue.service_time, Duration::from_millis(15));
+        assert_eq!(a.queue.concurrency, 8);
+        assert_eq!(a.queue.backlog, 16);
+    }
+
+    #[test]
+    fn autoscale_defaults_to_disabled() {
+        let cfg = EdgeConfig::from_yaml("scheduler: proximity").unwrap();
+        assert_eq!(cfg.controller.autoscale, crate::AutoscaleConfig::default());
+        assert!(!cfg.controller.autoscale.enabled);
+        // Partial blocks inherit every unset knob from the defaults.
+        let cfg = EdgeConfig::from_yaml("autoscale:\n  maxReplicas: 8").unwrap();
+        assert!(!cfg.controller.autoscale.enabled);
+        assert_eq!(cfg.controller.autoscale.max_replicas, 8);
+        assert_eq!(cfg.controller.autoscale.min_replicas, 1);
+    }
+
+    #[test]
+    fn invalid_autoscale_values_rejected() {
+        for bad in [
+            "autoscale: always",
+            "autoscale:\n  minReplicas: 0",
+            "autoscale:\n  maxReplicas: 0",
+            "autoscale:\n  minReplicas: 4\n  maxReplicas: 2",
+            "autoscale:\n  scaleUpUtilization: 1.5",
+            "autoscale:\n  scaleDownUtilization: -0.1",
+            "autoscale:\n  scaleUpUtilization: 0.3\n  scaleDownUtilization: 0.6",
+            "autoscale:\n  scaleUpBacklog: 0",
+            "autoscale:\n  cooldownMs: -1",
+            "autoscale:\n  sweepIntervalMs: 0",
+            "autoscale:\n  serviceTimeMs: 0",
+            "autoscale:\n  concurrency: 0",
+            "autoscale:\n  backlog: -1",
+        ] {
+            let err = EdgeConfig::from_yaml(bad).unwrap_err();
+            assert!(matches!(err, ConfigError::Invalid(_)), "{bad}: {err}");
+        }
+        // The hysteresis-band error names both thresholds.
+        let err = EdgeConfig::from_yaml(
+            "autoscale:\n  scaleUpUtilization: 0.3\n  scaleDownUtilization: 0.6",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("hysteresis"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! Expired switch flows (`FLOW_REMOVED`) and the controller's own FlowMemory
 //! timeouts feed the idle-service scale-down (Section V).
 
+use crate::autoscale::{AutoscaleConfig, LoadTracker, ScaleEvent};
 use crate::clients::ClientTracker;
 use crate::cluster::{EdgeCluster, InstanceAddr};
 use crate::dispatch::{DispatchDecision, DispatchOutcome, Dispatcher, PhaseTimes};
@@ -80,6 +81,10 @@ pub struct ControllerConfig {
     /// per-request allocation and unbounded retention, which matters when a
     /// fleet-scale run pushes 10M+ packet-ins through one controller.
     pub record_requests: bool,
+    /// Per-instance queueing and horizontal autoscaling (the `autoscale:`
+    /// YAML block). Off by default: the dispatch path never consults the
+    /// load tracker then, and every published figure stays byte-identical.
+    pub autoscale: AutoscaleConfig,
 }
 
 impl Default for ControllerConfig {
@@ -96,6 +101,7 @@ impl Default for ControllerConfig {
             health: HealthConfig::default(),
             aggregate_rules: false,
             record_requests: true,
+            autoscale: AutoscaleConfig::default(),
         }
     }
 }
@@ -355,6 +361,7 @@ impl Controller {
         let mut dispatcher = Dispatcher::new(scheduler, config.poll_interval);
         dispatcher.set_retry_policy(config.retry);
         dispatcher.health_mut().set_config(config.health);
+        dispatcher.set_autoscale(config.autoscale.clone());
         Controller {
             services: crate::service::ServiceRegistry::new(),
             clusters: Vec::new(),
@@ -1682,6 +1689,7 @@ impl Controller {
             };
             if cluster_idx < self.clusters.len() {
                 self.clusters[cluster_idx].scale_down(&svc, now, rng);
+                self.dispatcher.load_mut().remove_pool(svc_addr, cluster_idx, now);
                 self.scaled_down.insert((svc_addr, cluster_idx), now);
                 events.push(ScaleDownEvent {
                     at: now,
@@ -1729,6 +1737,16 @@ impl Controller {
             });
         }
         events
+    }
+
+    /// The load tracker: per-instance queues, admission counters, pools.
+    pub fn load(&self) -> &LoadTracker {
+        self.dispatcher.load()
+    }
+
+    /// Mutable load-tracker access (replica-second accrual needs `&mut`).
+    pub fn load_mut(&mut self) -> &mut LoadTracker {
+        self.dispatcher.load_mut()
     }
 
     /// The circuit-breaker state of `cluster` (telemetry snapshots).
@@ -1791,15 +1809,26 @@ impl Controller {
             let mut alive = false;
             if cluster < self.clusters.len() {
                 if let Some(svc) = self.services.get(svc_addr) {
-                    alive = matches!(
-                        self.clusters[cluster].state(svc, now),
-                        crate::cluster::InstanceState::Ready(i) if i == inst
-                    );
+                    // With autoscaling on, memorized addresses may be replica
+                    // addresses derived from the Ready base; the pool vouches
+                    // for those as long as the base instance itself is up.
+                    alive = match self.clusters[cluster].state(svc, now) {
+                        crate::cluster::InstanceState::Ready(i) => {
+                            i == inst
+                                || self
+                                    .dispatcher
+                                    .load()
+                                    .index_of(svc_addr, cluster, inst)
+                                    .is_some()
+                        }
+                        _ => false,
+                    };
                 }
             }
             if alive {
                 continue;
             }
+            self.dispatcher.load_mut().remove_pool(svc_addr, cluster, now);
             out.extend(self.repair_dead_instance(cluster, inst, now));
         }
         out
@@ -1880,6 +1909,7 @@ impl Controller {
             if self.clusters[cluster].fail_instance(svc, now, rng) {
                 failed += 1;
             }
+            self.dispatcher.load_mut().remove_pool(svc.addr, cluster, now);
         }
         let victims = self.memory.forget_cluster(cluster);
         self.telemetry.event(root, "zone-dark", now, || {
@@ -2100,6 +2130,36 @@ impl Controller {
             }
         }
         out
+    }
+
+    /// One horizontal-autoscaler pass, run every `autoscale.sweep_interval`
+    /// of simulated time: flexes each service's replica pool on queue depth
+    /// and utilization (hysteresis + cooldown live in
+    /// [`LoadTracker::sweep`](crate::autoscale::LoadTracker::sweep)), bumps
+    /// the `autoscale_ups`/`autoscale_downs` counters, and refreshes the
+    /// per-pool `replicas.{service}.{cluster}` gauges. A no-op while
+    /// autoscaling is disabled (the default), so experiments that never
+    /// opt in stay byte-identical.
+    pub fn autoscale_sweep(&mut self, now: SimTime) -> Vec<ScaleEvent> {
+        if !self.dispatcher.load().enabled() {
+            return Vec::new();
+        }
+        let events = self.dispatcher.load_mut().sweep(now);
+        for ev in &events {
+            self.telemetry.metrics.inc(if ev.up {
+                "autoscale_ups"
+            } else {
+                "autoscale_downs"
+            });
+        }
+        let counts = self.dispatcher.load().replica_counts();
+        for ((svc, cluster), n) in counts {
+            self.telemetry.metrics.set_gauge(
+                &format!("replicas.{}:{}.{cluster}", svc.ip, svc.port),
+                n as f64,
+            );
+        }
+        events
     }
 
     /// Refreshes the per-cluster breaker gauges (`breaker_state.{i}`).

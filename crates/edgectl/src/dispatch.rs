@@ -16,11 +16,12 @@
 //! controller repeatedly probes the service port and only installs the
 //! redirect flows once the port answers (Section VI).
 
+use crate::autoscale::{Admission, AutoscaleConfig, LoadTracker};
 use crate::cluster::{DeployError, EdgeCluster, InstanceAddr, InstanceState};
 use crate::flowmemory::{FlowKey, FlowMemory, IngressId};
 use crate::health::{HealthConfig, HealthMonitor};
 use crate::scheduler::{
-    ClusterView, GlobalScheduler, RequestClass, SchedulingContext, ServiceRef,
+    ClusterView, GlobalScheduler, RequestClass, SchedulingContext, ServiceRef, Target,
 };
 use crate::service::EdgeService;
 use desim::{Duration, RetryPolicy, SimRng, SimTime};
@@ -193,6 +194,9 @@ pub struct Dispatcher {
     /// Per-cluster circuit breakers + outage windows: clusters the monitor
     /// reports unavailable are never offered to the Global Scheduler.
     health: HealthMonitor,
+    /// Per-instance queue tracking and the horizontal autoscaler state.
+    /// Disabled by default: the dispatch path never consults it then.
+    tracker: LoadTracker,
 }
 
 impl Dispatcher {
@@ -207,6 +211,7 @@ impl Dispatcher {
             in_flight: HashMap::new(),
             coalesced: 0,
             health: HealthMonitor::new(HealthConfig::default()),
+            tracker: LoadTracker::default(),
         }
     }
 
@@ -245,6 +250,23 @@ impl Dispatcher {
     /// report detected runtime crashes.
     pub fn health_mut(&mut self) -> &mut HealthMonitor {
         &mut self.health
+    }
+
+    /// Replaces the autoscale/queueing configuration (controller
+    /// construction time).
+    pub fn set_autoscale(&mut self, cfg: AutoscaleConfig) {
+        self.tracker.set_config(cfg);
+    }
+
+    /// The per-instance load tracker (queue state, replica pools).
+    pub fn load(&self) -> &LoadTracker {
+        &self.tracker
+    }
+
+    /// Mutable tracker access for the controller's autoscaler sweep and
+    /// pool cleanup on scale-down/repair.
+    pub fn load_mut(&mut self) -> &mut LoadTracker {
+        &mut self.tracker
     }
 
     /// Dispatches one request from `client_ip` to `svc` (Fig. 7), without
@@ -349,18 +371,55 @@ impl Dispatcher {
                 && clusters[flow.cluster].state(svc, now).is_ready()
             {
                 let cluster = flow.cluster;
-                tele.event(parent, "memory-hit", now, || {
-                    format!("memorized redirect to cluster {cluster}")
-                });
-                return DispatchOutcome {
-                    decision: DispatchDecision::Redirect {
-                        instance: flow.instance,
-                        cluster: flow.cluster,
-                    },
-                    background: None,
-                    phases: PhaseTimes::default(),
-                    from_memory: true,
-                };
+                if !self.tracker.enabled() {
+                    tele.event(parent, "memory-hit", now, || {
+                        format!("memorized redirect to cluster {cluster}")
+                    });
+                    return DispatchOutcome {
+                        decision: DispatchDecision::Redirect {
+                            instance: flow.instance,
+                            cluster: flow.cluster,
+                        },
+                        background: None,
+                        phases: PhaseTimes::default(),
+                        from_memory: true,
+                    };
+                }
+                // Instance-granular path: the memorized address must map
+                // back to a live replica, and the request must win a queue
+                // slot on it. A full queue bounces this request to the
+                // cloud but keeps the flow memorized — the replica is
+                // overloaded, not gone.
+                if let Some(idx) = self.tracker.index_of(svc.addr, cluster, flow.instance) {
+                    let (outcome, instance) = self
+                        .tracker
+                        .admit(svc.addr, cluster, idx, now)
+                        .expect("owned replica index has a pool");
+                    tele.event(parent, "memory-hit", now, || {
+                        format!("memorized redirect to cluster {cluster} replica {idx}")
+                    });
+                    let decision = match outcome {
+                        Admission::Rejected => DispatchDecision::ForwardToCloud,
+                        Admission::Served { start, .. } if start > now => {
+                            DispatchDecision::WaitThenRedirect {
+                                instance,
+                                cluster,
+                                ready_at: start,
+                            }
+                        }
+                        Admission::Served { .. } => {
+                            DispatchDecision::Redirect { instance, cluster }
+                        }
+                    };
+                    return DispatchOutcome {
+                        decision,
+                        background: None,
+                        phases: PhaseTimes::default(),
+                        from_memory: true,
+                    };
+                }
+                // The memorized replica scaled away: fall through to the
+                // stale path and reschedule.
             }
             // Instance vanished (scaled down elsewhere): forget and
             // reschedule. A handover stays a handover — the scheduler still
@@ -380,6 +439,7 @@ impl Dispatcher {
         // list entirely, so no scheduler implementation can pick a flapping
         // zone. `candidates` maps view indices back to cluster indices.
         let health = &mut self.health;
+        let tracker = &mut self.tracker;
         let mut candidates: Vec<usize> = Vec::with_capacity(clusters.len());
         let mut views: Vec<ClusterView> = Vec::with_capacity(clusters.len());
         for (i, c) in clusters.iter().enumerate() {
@@ -395,6 +455,16 @@ impl Dispatcher {
                 });
                 continue;
             }
+            let state = c.state(svc, now);
+            // With instance tracking on, a ready cluster exposes its
+            // replica queues so load-aware schedulers can split traffic.
+            let instances = match state {
+                InstanceState::Ready(base) if tracker.enabled() => {
+                    tracker.ensure_pool(svc.addr, i, base, now);
+                    tracker.views(svc.addr, i, now)
+                }
+                _ => Vec::new(),
+            };
             candidates.push(i);
             views.push(ClusterView {
                 name: c.name().to_owned(),
@@ -403,8 +473,9 @@ impl Dispatcher {
                     .and_then(|d| d.get(i).copied())
                     .unwrap_or_else(|| c.latency()),
                 image_cached: c.has_image_cached(svc),
-                state: c.state(svc, now),
+                state,
                 load: c.load(),
+                instances,
             });
         }
         let ctx = SchedulingContext {
@@ -424,37 +495,42 @@ impl Dispatcher {
                 "{} ({}): fast={} best={}",
                 sched_name,
                 class.label(),
-                choice.fast.map_or("cloud".to_owned(), |i| views[i].name.clone()),
-                choice.best.map_or("-".to_owned(), |i| views[i].name.clone()),
+                choice.fast.map_or("cloud".to_owned(), |t| views[t.cluster].name.clone()),
+                choice.best.map_or("-".to_owned(), |t| views[t.cluster].name.clone()),
             )
         });
         tele.end_span(sched_span, now);
         // The scheduler chose among the *available* candidates; translate
-        // its view indices back to controller cluster indices.
+        // its view indices back to controller cluster indices (replica
+        // indices pass through unchanged).
         let choice = crate::scheduler::Choice {
-            fast: choice.fast.map(|v| candidates[v]),
-            best: choice.best.map(|v| candidates[v]),
+            fast: choice.fast.map(|t| Target { cluster: candidates[t.cluster], ..t }),
+            best: choice.best.map(|t| Target { cluster: candidates[t.cluster], ..t }),
         };
 
-        // 3. BEST ≠ FAST: deploy in the background (without waiting).
+        // 3. BEST in another cluster than FAST: deploy it in the background
+        // (without waiting). Deployment is cluster-granular — a different
+        // replica of the same cluster is a balancing decision, not one that
+        // spawns a deployment.
         let background = match choice.best {
-            Some(b) if choice.best != choice.fast => {
+            Some(b) if choice.is_without_waiting() => {
                 let mut phases = PhaseTimes::default();
                 let bg_span = tele.span(request, parent, "background-deploy", now);
-                let outcome =
-                    self.ensure_ready(svc, b, now, clusters, &mut phases, rng, tele, request, bg_span);
+                let outcome = self.ensure_ready(
+                    svc, b.cluster, now, clusters, &mut phases, rng, tele, request, bg_span,
+                );
                 match outcome {
                     EnsureOutcome::Ready(ready_at) => {
                         tele.end_span(bg_span, ready_at);
                         Some(BackgroundDeployment {
-                            cluster: b,
+                            cluster: b.cluster,
                             ready_at,
                         })
                     }
                     EnsureOutcome::Unschedulable => {
                         tele.end_span(bg_span, now);
                         Some(BackgroundDeployment {
-                            cluster: b,
+                            cluster: b.cluster,
                             ready_at: SimTime::MAX,
                         })
                     }
@@ -479,12 +555,49 @@ impl Dispatcher {
             };
         };
 
-        if let InstanceState::Ready(instance) = clusters[f].state(svc, now) {
-            memory.memorize(key, instance, f, now);
+        if let InstanceState::Ready(base) = clusters[f.cluster].state(svc, now) {
+            if self.tracker.enabled() {
+                // Admit into the chosen replica's queue: the queue wait (if
+                // any) surfaces as a WaitThenRedirect, a full queue bounces
+                // to the cloud — overload is observable in answer delay.
+                self.tracker.ensure_pool(svc.addr, f.cluster, base, now);
+                let (outcome, instance) = self
+                    .tracker
+                    .admit(svc.addr, f.cluster, f.instance, now)
+                    .expect("pool just ensured");
+                let decision = match outcome {
+                    Admission::Rejected => {
+                        let cluster = f.cluster;
+                        tele.event(parent, "queue-reject", now, || {
+                            format!("replica queue full on cluster {cluster}; to cloud")
+                        });
+                        DispatchDecision::ForwardToCloud
+                    }
+                    Admission::Served { start, .. } if start > now => {
+                        memory.memorize(key, instance, f.cluster, now);
+                        DispatchDecision::WaitThenRedirect {
+                            instance,
+                            cluster: f.cluster,
+                            ready_at: start,
+                        }
+                    }
+                    Admission::Served { .. } => {
+                        memory.memorize(key, instance, f.cluster, now);
+                        DispatchDecision::Redirect { instance, cluster: f.cluster }
+                    }
+                };
+                return DispatchOutcome {
+                    decision,
+                    background,
+                    phases: PhaseTimes::default(),
+                    from_memory: false,
+                };
+            }
+            memory.memorize(key, base, f.cluster, now);
             return DispatchOutcome {
                 decision: DispatchDecision::Redirect {
-                    instance,
-                    cluster: f,
+                    instance: base,
+                    cluster: f.cluster,
                 },
                 background,
                 phases: PhaseTimes::default(),
@@ -495,8 +608,9 @@ impl Dispatcher {
         // On-demand deployment with waiting.
         let mut phases = PhaseTimes::default();
         let deploy_span = tele.span(request, parent, "deploy", now);
-        let outcome =
-            self.ensure_ready(svc, f, now, clusters, &mut phases, rng, tele, request, deploy_span);
+        let outcome = self.ensure_ready(
+            svc, f.cluster, now, clusters, &mut phases, rng, tele, request, deploy_span,
+        );
         let ready_at = match outcome {
             EnsureOutcome::Ready(t) => {
                 tele.end_span(deploy_span, t);
@@ -524,14 +638,35 @@ impl Dispatcher {
                 };
             }
         };
-        let instance = clusters[f]
+        let base = clusters[f.cluster]
             .instance_addr(svc)
             .expect("deployed instance has an address");
-        memory.memorize(key, instance, f, ready_at);
+        let (instance, ready_at) = if self.tracker.enabled() {
+            // The fresh deployment anchors (or re-anchors, after a
+            // redeploy on a new port) the replica pool; the request is
+            // admitted the instant the instance is up.
+            self.tracker.ensure_pool(svc.addr, f.cluster, base, ready_at);
+            match self.tracker.admit(svc.addr, f.cluster, f.instance, ready_at) {
+                Some((Admission::Served { start, .. }, addr)) => (addr, start.max(ready_at)),
+                // A pre-existing saturated pool (same base survived the
+                // redeploy): bounce to the cloud like any full queue.
+                Some((Admission::Rejected, _)) | None => {
+                    return DispatchOutcome {
+                        decision: DispatchDecision::ForwardToCloud,
+                        background,
+                        phases,
+                        from_memory: false,
+                    };
+                }
+            }
+        } else {
+            (base, ready_at)
+        };
+        memory.memorize(key, instance, f.cluster, ready_at);
         DispatchOutcome {
             decision: DispatchDecision::WaitThenRedirect {
                 instance,
-                cluster: f,
+                cluster: f.cluster,
                 ready_at,
             },
             background,

@@ -31,6 +31,10 @@
 //! * [`health`] — runtime health: per-cluster circuit breakers (closed →
 //!   open → half-open) gating the scheduler, plus declared zone-outage
 //!   windows; the detection/repair loop itself lives in [`controller`];
+//! * [`autoscale`] — per-instance request queues (deterministic service
+//!   time, concurrency limit, bounded backlog with rejection) and the
+//!   horizontal autoscaler flexing replica counts on queue depth and
+//!   utilization with hysteresis and cooldown (off by default);
 //! * [`predict`] — proactive-deployment predictors (Sections I/VII);
 //! * [`config`] — the controller's YAML configuration file;
 //! * [`dispatch`] — the Dispatcher: the flow chart of Fig. 7, including
@@ -48,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod annotate;
+pub mod autoscale;
 pub mod clients;
 pub mod cluster;
 pub mod config;
@@ -60,6 +65,7 @@ pub mod scheduler;
 pub mod service;
 
 pub use annotate::{annotate_deployment, AnnotateError, AnnotatedService};
+pub use autoscale::{Admission, AutoscaleConfig, LoadTracker, QueueConfig, ScaleEvent};
 pub use cluster::{DockerCluster, EdgeCluster, InstanceAddr, InstanceState, K8sEdgeCluster};
 pub use controller::{
     Controller, ControllerConfig, HandoverOutcome, HandoverPolicy, OutboundMessage, PortMap,
@@ -69,10 +75,12 @@ pub use flowmemory::{FlowKey, FlowMemory, IngressId};
 pub use health::{BreakerState, HealthConfig, HealthMonitor};
 pub use scheduler::{
     scheduler_by_name, Choice, ClusterView, CloudOnlyScheduler, DockerFirstScheduler,
-    GlobalScheduler, LatencyAwareScheduler, ProximityScheduler, RequestClass,
-    RoundRobinScheduler, SchedulingContext, ServiceRef, UnknownScheduler, KNOWN_SCHEDULERS,
+    GlobalScheduler, InstanceView, LatencyAwareScheduler, LatencyEwmaScheduler,
+    LeastConnectionsScheduler, PredictiveScheduler, ProximityScheduler, RandomScheduler,
+    RequestClass, RoundRobinScheduler, SchedulingContext, ServiceRef, Target, UnknownComponent,
+    KNOWN_SCHEDULERS,
 };
 pub use clients::{ClientMove, ClientTracker};
 pub use config::EdgeConfig;
-pub use predict::{predictor_by_name, DeploymentPredictor};
+pub use predict::{predictor_by_name, DeploymentPredictor, KNOWN_PREDICTORS};
 pub use service::{EdgeService, ServiceRegistry};

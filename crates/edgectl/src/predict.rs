@@ -221,18 +221,29 @@ impl DeploymentPredictor for OraclePredictor {
     }
 }
 
-/// Loads a predictor by configured name (`none`, `recency`, `frequency`,
-/// `markov`).
-pub fn predictor_by_name(name: &str) -> Option<Box<dyn DeploymentPredictor>> {
+/// Names [`predictor_by_name`] accepts, in documentation order.
+pub const KNOWN_PREDICTORS: &[&str] = &["none", "recency", "frequency", "markov"];
+
+/// Loads a predictor by configured name. Shares the typed
+/// [`UnknownComponent`](crate::scheduler::UnknownComponent) error with
+/// [`scheduler_by_name`](crate::scheduler::scheduler_by_name), so both
+/// registries report unknown names (and the accepted list) identically.
+pub fn predictor_by_name(
+    name: &str,
+) -> Result<Box<dyn DeploymentPredictor>, crate::scheduler::UnknownComponent> {
     match name {
-        "none" => Some(Box::<NoPredictor>::default()),
-        "recency" => Some(Box::new(RecencyPredictor::new(Duration::from_secs(60)))),
-        "frequency" => Some(Box::new(FrequencyPredictor::new(
+        "none" => Ok(Box::<NoPredictor>::default()),
+        "recency" => Ok(Box::new(RecencyPredictor::new(Duration::from_secs(60)))),
+        "frequency" => Ok(Box::new(FrequencyPredictor::new(
             Duration::from_secs(120),
             8,
         ))),
-        "markov" => Some(Box::new(MarkovPredictor::new(3))),
-        _ => None,
+        "markov" => Ok(Box::new(MarkovPredictor::new(3))),
+        _ => Err(crate::scheduler::UnknownComponent {
+            kind: "predictor",
+            requested: name.to_owned(),
+            known: KNOWN_PREDICTORS,
+        }),
     }
 }
 
@@ -321,9 +332,16 @@ mod tests {
 
     #[test]
     fn loading_by_name() {
-        for name in ["none", "recency", "frequency", "markov"] {
-            assert_eq!(predictor_by_name(name).unwrap().name(), name);
+        for name in KNOWN_PREDICTORS {
+            assert_eq!(predictor_by_name(name).unwrap().name(), *name);
         }
-        assert!(predictor_by_name("crystal-ball").is_none());
+        let err = predictor_by_name("crystal-ball").err().unwrap();
+        assert_eq!(err.kind, "predictor");
+        assert_eq!(err.requested, "crystal-ball");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown predictor `crystal-ball`"), "{msg}");
+        for name in KNOWN_PREDICTORS {
+            assert!(msg.contains(name), "error must list `{name}`: {msg}");
+        }
     }
 }

@@ -1,22 +1,68 @@
 //! The Global Scheduler (Section IV-B, Fig. 6).
 //!
-//! The Global Scheduler chooses the appropriate edge **cluster** and returns
+//! The Global Scheduler chooses the appropriate edge location and returns
 //! two results:
 //!
 //! * **FAST** — the fastest location for the *current* request;
 //! * **BEST** — the best location for *future* requests (empty when equal to
 //!   FAST).
 //!
-//! A non-empty BEST different from FAST is exactly *on-demand deployment
-//! without waiting* (Fig. 3): answer now from FAST, deploy at BEST in
-//! parallel. An empty FAST forwards the request toward the cloud.
+//! A non-empty BEST in a different cluster than FAST is exactly *on-demand
+//! deployment without waiting* (Fig. 3): answer now from FAST, deploy at
+//! BEST in parallel. An empty FAST forwards the request toward the cloud.
+//!
+//! Decisions are **instance-granular**: a [`Choice`] names a [`Target`]
+//! (`{cluster, instance}`), not just a cluster. With autoscaling off every
+//! service has exactly one instance per cluster and [`Target::sole`] is the
+//! only constructor in play; with autoscaling on, load-aware schedulers
+//! ([`LeastConnectionsScheduler`], [`LatencyEwmaScheduler`]) split traffic
+//! across a cluster's replicas using the per-instance queue state exposed in
+//! [`ClusterView::instances`].
 //!
 //! Concrete schedulers are pluggable; [`scheduler_by_name`] mirrors the
-//! reference controller's configuration-driven dynamic loading.
+//! reference controller's configuration-driven dynamic loading. It shares
+//! the typed [`UnknownComponent`] error with
+//! [`predictor_by_name`](crate::predict::predictor_by_name) so every
+//! registry lookup reports the accepted names the same way.
 
 use crate::cluster::InstanceState;
+use crate::predict::{DeploymentPredictor, RecencyPredictor};
 use desim::{Duration, SimTime};
 use netsim::ServiceAddr;
+
+/// What a scheduler sees about one running (or potential) instance of the
+/// service inside a cluster: the observable state of its request queue.
+/// Replica 0 always exists once the service is deployed; further replicas
+/// appear only when the autoscaler creates them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstanceView {
+    /// Replica index within the cluster (0-based, stable).
+    pub instance: usize,
+    /// Requests currently being served (bounded by `concurrency`).
+    pub in_flight: usize,
+    /// Requests queued behind the concurrency limit.
+    pub backlog: usize,
+    /// How many requests the instance serves at once.
+    pub concurrency: usize,
+    /// `in_flight / concurrency` at the decision instant.
+    pub utilization: f64,
+    /// Exponentially weighted sojourn time (queue wait + service) of
+    /// recently admitted requests; zero until the first completion.
+    pub ewma_latency: Duration,
+}
+
+impl InstanceView {
+    /// `true` when the instance cannot start another request immediately —
+    /// a new admission would queue (or be rejected once the backlog fills).
+    pub fn at_capacity(&self) -> bool {
+        self.in_flight >= self.concurrency
+    }
+
+    /// Jobs queued or in service — the load a new admission sorts behind.
+    pub fn queue_depth(&self) -> usize {
+        self.in_flight + self.backlog
+    }
+}
 
 /// What the scheduler sees about one candidate cluster.
 #[derive(Clone, Debug)]
@@ -33,22 +79,47 @@ pub struct ClusterView {
     pub state: InstanceState,
     /// Services currently scaled up (load).
     pub load: usize,
+    /// Per-replica queue state for the service being placed. Empty when
+    /// instance tracking is off (the default) or the service is not ready
+    /// here; then the cluster behaves as a single unobserved instance 0.
+    pub instances: Vec<InstanceView>,
 }
 
-/// The scheduler's decision: indices into the candidate list.
+/// An instance-granular placement: which cluster, and which replica within
+/// it. The unit a [`Choice`] is made of.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Target {
+    /// Index into the candidate cluster list.
+    pub cluster: usize,
+    /// Replica index within that cluster.
+    pub instance: usize,
+}
+
+impl Target {
+    /// The cluster's sole (or first) replica — the conversion every
+    /// cluster-granular call site goes through explicitly, so a reviewer can
+    /// grep for the sites that do **not** pick an instance by load.
+    pub fn sole(cluster: usize) -> Target {
+        Target { cluster, instance: 0 }
+    }
+}
+
+/// The scheduler's decision: instance-granular targets into the candidate
+/// list.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Choice {
     /// Where to serve the *current* request; `None` = forward to the cloud.
-    pub fast: Option<usize>,
+    pub fast: Option<Target>,
     /// Where *future* requests should go; `None` = same as FAST.
-    pub best: Option<usize>,
+    pub best: Option<Target>,
 }
 
 impl Choice {
     /// `true` if this decision triggers on-demand deployment *without*
-    /// waiting (a BEST differing from FAST).
+    /// waiting (a BEST cluster differing from FAST's). Deployment is
+    /// cluster-granular: differing replicas of one cluster never trigger it.
     pub fn is_without_waiting(&self) -> bool {
-        self.best.is_some() && self.best != self.fast
+        self.best.is_some() && self.best.map(|t| t.cluster) != self.fast.map(|t| t.cluster)
     }
 }
 
@@ -125,6 +196,44 @@ fn nearest(clusters: &[ClusterView], pred: impl Fn(&ClusterView) -> bool) -> Opt
         .map(|(i, _)| i)
 }
 
+/// The least-loaded replica within one cluster: fewest queued-or-in-service
+/// jobs, preferring instances below their concurrency limit. Falls back to
+/// replica 0 when the cluster exposes no instance state.
+pub fn least_loaded(cluster: &ClusterView) -> usize {
+    cluster
+        .instances
+        .iter()
+        .min_by_key(|v| (v.at_capacity(), v.queue_depth(), v.instance))
+        .map(|v| v.instance)
+        .unwrap_or(0)
+}
+
+/// Iterates every schedulable (cluster, instance-view) pair of the ready
+/// clusters. A ready cluster without instance state contributes one
+/// synthetic idle view for replica 0, so load-aware schedulers degrade to
+/// cluster-granular behaviour when tracking is off.
+fn ready_instances<'a>(
+    clusters: &'a [ClusterView],
+) -> impl Iterator<Item = (usize, &'a ClusterView, InstanceView)> + 'a {
+    const IDLE: InstanceView = InstanceView {
+        instance: 0,
+        in_flight: 0,
+        backlog: 0,
+        concurrency: usize::MAX,
+        utilization: 0.0,
+        ewma_latency: Duration::ZERO,
+    };
+    clusters
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.state.is_ready())
+        .flat_map(|(i, c)| {
+            let views: Vec<InstanceView> =
+                if c.instances.is_empty() { vec![IDLE] } else { c.instances.clone() };
+            views.into_iter().map(move |v| (i, c, v))
+        })
+}
+
 /// The default scheduler: always serve from the nearest cluster, deploying
 /// there if needed — on-demand deployment **with waiting** (Fig. 5). The
 /// evaluation's primary configuration.
@@ -138,7 +247,7 @@ impl GlobalScheduler for ProximityScheduler {
 
     fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
         Choice {
-            fast: nearest(ctx.clusters, |_| true),
+            fast: nearest(ctx.clusters, |_| true).map(Target::sole),
             best: None,
         }
     }
@@ -161,12 +270,15 @@ impl GlobalScheduler for LatencyAwareScheduler {
         let running = nearest(ctx.clusters, |c| c.state.is_ready());
         match (running, optimal) {
             // An instance is already running at the optimal spot: done.
-            (Some(r), Some(o)) if r == o => Choice { fast: Some(r), best: None },
+            (Some(r), Some(o)) if r == o => Choice { fast: Some(Target::sole(r)), best: None },
             // Serve from the farther running instance, deploy at the optimum.
-            (Some(r), o) => Choice { fast: Some(r), best: o.filter(|&x| x != r) },
+            (Some(r), o) => Choice {
+                fast: Some(Target::sole(r)),
+                best: o.filter(|&x| x != r).map(Target::sole),
+            },
             // Nothing runs anywhere: current request goes to the cloud while
             // the optimal edge deploys.
-            (None, o) => Choice { fast: None, best: o },
+            (None, o) => Choice { fast: None, best: o.map(Target::sole) },
         }
     }
 }
@@ -188,11 +300,11 @@ impl GlobalScheduler for RoundRobinScheduler {
         }
         // Keep serving from a cluster that already runs the instance.
         if let Some(i) = ctx.clusters.iter().position(|c| c.state.is_ready()) {
-            return Choice { fast: Some(i), best: None };
+            return Choice { fast: Some(Target::sole(i)), best: None };
         }
         let i = self.next % ctx.clusters.len();
         self.next += 1;
-        Choice { fast: Some(i), best: None }
+        Choice { fast: Some(Target::sole(i)), best: None }
     }
 }
 
@@ -211,13 +323,13 @@ impl GlobalScheduler for DockerFirstScheduler {
 
     fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
         if let Some(r) = nearest(ctx.clusters, |c| c.state.is_ready()) {
-            return Choice { fast: Some(r), best: None };
+            return Choice { fast: Some(Target::sole(r)), best: None };
         }
         let docker = nearest(ctx.clusters, |c| c.kind == "docker");
         let k8s = nearest(ctx.clusters, |c| c.kind == "k8s");
         match (docker, k8s) {
-            (Some(d), k) => Choice { fast: Some(d), best: k },
-            (None, k) => Choice { fast: k, best: None },
+            (Some(d), k) => Choice { fast: Some(Target::sole(d)), best: k.map(Target::sole) },
+            (None, k) => Choice { fast: k.map(Target::sole), best: None },
         }
     }
 }
@@ -237,42 +349,226 @@ impl GlobalScheduler for CloudOnlyScheduler {
     }
 }
 
-/// Names [`scheduler_by_name`] accepts, in documentation order.
-pub const KNOWN_SCHEDULERS: &[&str] =
-    &["proximity", "latency-aware", "round-robin", "cloud-only", "docker-first"];
-
-/// A scheduler name no built-in answers to. The message lists the known
-/// names so a YAML typo points straight at the fix.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct UnknownScheduler {
-    /// The name that failed to resolve.
-    pub requested: String,
+/// Uniform-random spreading over ready replicas: the load-blind control arm
+/// of the scheduler tournament. Uses its own deterministic generator (a
+/// fixed-seed LCG) so tournament runs are byte-identical — it never touches
+/// the simulation's RNG streams.
+pub struct RandomScheduler {
+    state: u64,
 }
 
-impl std::fmt::Display for UnknownScheduler {
+impl Default for RandomScheduler {
+    fn default() -> Self {
+        RandomScheduler { state: 0x9E37_79B9_7F4A_7C15 }
+    }
+}
+
+impl RandomScheduler {
+    fn next(&mut self) -> u64 {
+        // Knuth's MMIX LCG; the top bits are the usable ones.
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 33
+    }
+}
+
+impl GlobalScheduler for RandomScheduler {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
+        let ready: Vec<usize> = ctx
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state.is_ready())
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            // Nothing runs yet: deploy-with-waiting at the nearest cluster.
+            return Choice {
+                fast: nearest(ctx.clusters, |_| true).map(Target::sole),
+                best: None,
+            };
+        }
+        let cluster = ready[(self.next() as usize) % ready.len()];
+        let n = ctx.clusters[cluster].instances.len().max(1);
+        let instance = (self.next() as usize) % n;
+        Choice { fast: Some(Target { cluster, instance }), best: None }
+    }
+}
+
+/// Classic least-connections balancing at instance granularity: admit to
+/// the ready replica with the fewest queued-or-in-service requests,
+/// preferring replicas below their concurrency limit, breaking ties by
+/// distance then stable index. Never picks a saturated replica while a
+/// sibling has headroom.
+#[derive(Default)]
+pub struct LeastConnectionsScheduler;
+
+impl GlobalScheduler for LeastConnectionsScheduler {
+    fn name(&self) -> &str {
+        "least-connections"
+    }
+
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
+        let pick = ready_instances(ctx.clusters)
+            .min_by_key(|(i, c, v)| (v.at_capacity(), v.queue_depth(), c.distance, *i, v.instance))
+            .map(|(i, _, v)| Target { cluster: i, instance: v.instance });
+        match pick {
+            Some(t) => Choice { fast: Some(t), best: None },
+            // Nothing ready anywhere: deploy-with-waiting at the nearest.
+            None => Choice {
+                fast: nearest(ctx.clusters, |_| true).map(Target::sole),
+                best: None,
+            },
+        }
+    }
+}
+
+/// Latency-EWMA balancing: scores each ready replica by expected answer
+/// time — network round trip plus the replica's observed sojourn EWMA plus
+/// the wait implied by its current queue depth — and admits to the lowest
+/// score. Reacts to *measured* slowness, not just queue counts.
+#[derive(Default)]
+pub struct LatencyEwmaScheduler;
+
+impl GlobalScheduler for LatencyEwmaScheduler {
+    fn name(&self) -> &str {
+        "latency-ewma"
+    }
+
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
+        // A replica with no history yet is estimated at 5 ms per queued job
+        // so a cold replica still pays for a deep queue.
+        const COLD_ESTIMATE: Duration = Duration::from_millis(5);
+        let pick = ready_instances(ctx.clusters)
+            .min_by_key(|(i, c, v)| {
+                let per_job =
+                    if v.ewma_latency.is_zero() { COLD_ESTIMATE } else { v.ewma_latency };
+                let score = 2 * c.distance.as_nanos()
+                    + v.ewma_latency.as_nanos()
+                    + v.queue_depth() as u64 * per_job.as_nanos();
+                (score, *i, v.instance)
+            })
+            .map(|(i, _, v)| Target { cluster: i, instance: v.instance });
+        match pick {
+            Some(t) => Choice { fast: Some(t), best: None },
+            None => Choice {
+                fast: nearest(ctx.clusters, |_| true).map(Target::sole),
+                best: None,
+            },
+        }
+    }
+}
+
+/// Wires the [`DeploymentPredictor`] hook into placement: serves like
+/// least-connections, but when the predictor nominates the service as hot
+/// and the optimal (nearest) cluster is not where the request is served
+/// from, it asks for a background deployment there — prediction-driven
+/// on-demand deployment without waiting.
+pub struct PredictiveScheduler {
+    predictor: Box<dyn DeploymentPredictor>,
+}
+
+impl PredictiveScheduler {
+    /// Builds the scheduler around any predictor implementation.
+    pub fn new(predictor: Box<dyn DeploymentPredictor>) -> PredictiveScheduler {
+        PredictiveScheduler { predictor }
+    }
+}
+
+impl Default for PredictiveScheduler {
+    fn default() -> Self {
+        PredictiveScheduler::new(Box::new(RecencyPredictor::new(Duration::from_secs(60))))
+    }
+}
+
+impl GlobalScheduler for PredictiveScheduler {
+    fn name(&self) -> &str {
+        "predictive"
+    }
+
+    fn choose(&mut self, ctx: &SchedulingContext) -> Choice {
+        self.predictor.observe(ctx.service.addr, ctx.now);
+        let fast = ready_instances(ctx.clusters)
+            .min_by_key(|(i, c, v)| (v.at_capacity(), v.queue_depth(), c.distance, *i, v.instance))
+            .map(|(i, _, v)| Target { cluster: i, instance: v.instance });
+        let Some(fast) = fast else {
+            return Choice {
+                fast: nearest(ctx.clusters, |_| true).map(Target::sole),
+                best: None,
+            };
+        };
+        let optimal = nearest(ctx.clusters, |_| true);
+        let hot = self.predictor.predict(ctx.now).contains(&ctx.service.addr);
+        let best = optimal
+            .filter(|&o| hot && o != fast.cluster)
+            .map(Target::sole);
+        Choice { fast: Some(fast), best }
+    }
+}
+
+/// Names [`scheduler_by_name`] accepts, in documentation order.
+pub const KNOWN_SCHEDULERS: &[&str] = &[
+    "proximity",
+    "latency-aware",
+    "round-robin",
+    "cloud-only",
+    "docker-first",
+    "random",
+    "least-connections",
+    "latency-ewma",
+    "predictive",
+];
+
+/// A registry lookup that no built-in component answers to. Shared by the
+/// scheduler and predictor registries; the message names the component kind
+/// and lists the accepted names so a YAML typo points straight at the fix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownComponent {
+    /// What was being looked up (`"scheduler"` / `"predictor"`).
+    pub kind: &'static str,
+    /// The name that failed to resolve.
+    pub requested: String,
+    /// Every name the registry accepts, in documentation order.
+    pub known: &'static [&'static str],
+}
+
+impl std::fmt::Display for UnknownComponent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown scheduler `{}` (known: {})",
+            "unknown {} `{}` (known: {})",
+            self.kind,
             self.requested,
-            KNOWN_SCHEDULERS.join(", ")
+            self.known.join(", ")
         )
     }
 }
 
-impl std::error::Error for UnknownScheduler {}
+impl std::error::Error for UnknownComponent {}
 
 /// Loads a scheduler by its configured name (the controller's
 /// `scheduler = "..."` configuration key).
-pub fn scheduler_by_name(name: &str) -> Result<Box<dyn GlobalScheduler>, UnknownScheduler> {
+pub fn scheduler_by_name(name: &str) -> Result<Box<dyn GlobalScheduler>, UnknownComponent> {
     match name {
         "proximity" => Ok(Box::<ProximityScheduler>::default()),
         "latency-aware" => Ok(Box::<LatencyAwareScheduler>::default()),
         "round-robin" => Ok(Box::<RoundRobinScheduler>::default()),
         "cloud-only" => Ok(Box::<CloudOnlyScheduler>::default()),
         "docker-first" => Ok(Box::<DockerFirstScheduler>::default()),
-        _ => Err(UnknownScheduler {
+        "random" => Ok(Box::<RandomScheduler>::default()),
+        "least-connections" => Ok(Box::<LeastConnectionsScheduler>::default()),
+        "latency-ewma" => Ok(Box::<LatencyEwmaScheduler>::default()),
+        "predictive" => Ok(Box::<PredictiveScheduler>::default()),
+        _ => Err(UnknownComponent {
+            kind: "scheduler",
             requested: name.to_owned(),
+            known: KNOWN_SCHEDULERS,
         }),
     }
 }
@@ -311,6 +607,18 @@ mod tests {
                 InstanceState::NotDeployed
             },
             load: 0,
+            instances: Vec::new(),
+        }
+    }
+
+    fn iview(instance: usize, in_flight: usize, backlog: usize, concurrency: usize) -> InstanceView {
+        InstanceView {
+            instance,
+            in_flight,
+            backlog,
+            concurrency,
+            utilization: in_flight as f64 / concurrency as f64,
+            ewma_latency: Duration::ZERO,
         }
     }
 
@@ -319,7 +627,7 @@ mod tests {
         let mut s = ProximityScheduler;
         let clusters = [view("far", 500, true), view("near", 100, false)];
         let c = s.choose(&ctx(&clusters));
-        assert_eq!(c, Choice { fast: Some(1), best: None });
+        assert_eq!(c, Choice { fast: Some(Target::sole(1)), best: None });
         assert!(!c.is_without_waiting());
         // Empty cluster list → cloud.
         assert_eq!(s.choose(&ctx(&[])), Choice { fast: None, best: None });
@@ -331,7 +639,7 @@ mod tests {
         // Near cluster idle, far cluster running: answer from far, deploy near.
         let clusters = [view("far", 500, true), view("near", 100, false)];
         let c = s.choose(&ctx(&clusters));
-        assert_eq!(c, Choice { fast: Some(0), best: Some(1) });
+        assert_eq!(c, Choice { fast: Some(Target::sole(0)), best: Some(Target::sole(1)) });
         assert!(c.is_without_waiting());
     }
 
@@ -340,7 +648,7 @@ mod tests {
         let mut s = LatencyAwareScheduler;
         let clusters = [view("far", 500, false), view("near", 100, false)];
         let c = s.choose(&ctx(&clusters));
-        assert_eq!(c, Choice { fast: None, best: Some(1) });
+        assert_eq!(c, Choice { fast: None, best: Some(Target::sole(1)) });
         assert!(c.is_without_waiting());
     }
 
@@ -349,7 +657,7 @@ mod tests {
         let mut s = LatencyAwareScheduler;
         let clusters = [view("far", 500, false), view("near", 100, true)];
         let c = s.choose(&ctx(&clusters));
-        assert_eq!(c, Choice { fast: Some(1), best: None });
+        assert_eq!(c, Choice { fast: Some(Target::sole(1)), best: None });
         assert!(!c.is_without_waiting());
     }
 
@@ -357,11 +665,11 @@ mod tests {
     fn round_robin_rotates_but_sticks_to_running() {
         let mut s = RoundRobinScheduler::default();
         let idle = [view("a", 100, false), view("b", 100, false)];
-        assert_eq!(s.choose(&ctx(&idle)).fast, Some(0));
-        assert_eq!(s.choose(&ctx(&idle)).fast, Some(1));
-        assert_eq!(s.choose(&ctx(&idle)).fast, Some(0));
+        assert_eq!(s.choose(&ctx(&idle)).fast, Some(Target::sole(0)));
+        assert_eq!(s.choose(&ctx(&idle)).fast, Some(Target::sole(1)));
+        assert_eq!(s.choose(&ctx(&idle)).fast, Some(Target::sole(0)));
         let with_running = [view("a", 100, false), view("b", 100, true)];
-        assert_eq!(s.choose(&ctx(&with_running)).fast, Some(1));
+        assert_eq!(s.choose(&ctx(&with_running)).fast, Some(Target::sole(1)));
     }
 
     #[test]
@@ -372,6 +680,94 @@ mod tests {
     }
 
     #[test]
+    fn random_is_deterministic_and_stays_on_ready_clusters() {
+        let clusters = [view("a", 100, false), view("b", 200, true), view("c", 300, true)];
+        let picks: Vec<Choice> = {
+            let mut s = RandomScheduler::default();
+            (0..32).map(|_| s.choose(&ctx(&clusters))).collect()
+        };
+        let again: Vec<Choice> = {
+            let mut s = RandomScheduler::default();
+            (0..32).map(|_| s.choose(&ctx(&clusters))).collect()
+        };
+        assert_eq!(picks, again, "fixed-seed generator replays exactly");
+        for c in &picks {
+            let t = c.fast.expect("ready clusters exist");
+            assert!(t.cluster == 1 || t.cluster == 2, "never the idle cluster");
+        }
+        // Nothing ready: falls back to deploy-with-waiting at the nearest.
+        let idle = [view("a", 100, false), view("b", 50, false)];
+        let mut s = RandomScheduler::default();
+        assert_eq!(s.choose(&ctx(&idle)).fast, Some(Target::sole(1)));
+    }
+
+    #[test]
+    fn least_connections_picks_emptiest_replica() {
+        let mut near = view("near", 100, true);
+        near.instances = vec![iview(0, 4, 2, 4), iview(1, 2, 0, 4)];
+        let mut far = view("far", 500, true);
+        far.instances = vec![iview(0, 0, 0, 4)];
+        let clusters = [near, far];
+        let mut s = LeastConnectionsScheduler;
+        // The far replica is idle; both near replicas hold work.
+        let c = s.choose(&ctx(&clusters));
+        assert_eq!(c.fast, Some(Target { cluster: 1, instance: 0 }));
+    }
+
+    #[test]
+    fn least_connections_avoids_saturated_replica_with_idle_sibling() {
+        let mut near = view("near", 100, true);
+        // Replica 0 saturated (at its concurrency limit), replica 1 idle.
+        near.instances = vec![iview(0, 4, 3, 4), iview(1, 0, 0, 4)];
+        let clusters = [near];
+        let mut s = LeastConnectionsScheduler;
+        let c = s.choose(&ctx(&clusters));
+        assert_eq!(c.fast, Some(Target { cluster: 0, instance: 1 }));
+    }
+
+    #[test]
+    fn latency_ewma_penalizes_slow_and_deep_queues() {
+        let mut near = view("near", 100, true);
+        near.instances = vec![
+            // Deep queue: pays a per-job estimate despite zero EWMA.
+            iview(0, 4, 4, 4),
+            iview(1, 0, 0, 4),
+        ];
+        let mut s = LatencyEwmaScheduler;
+        let c = s.choose(&ctx(&[near.clone()]));
+        assert_eq!(c.fast, Some(Target { cluster: 0, instance: 1 }));
+        // A measured-slow replica loses to a fresh one even at equal depth.
+        near.instances[1].ewma_latency = Duration::from_millis(200);
+        near.instances[1].in_flight = 1;
+        near.instances[0] = iview(0, 1, 0, 4);
+        let c = s.choose(&ctx(&[near]));
+        assert_eq!(c.fast, Some(Target { cluster: 0, instance: 0 }));
+    }
+
+    #[test]
+    fn predictive_deploys_at_optimum_for_hot_services() {
+        let mut s = PredictiveScheduler::default();
+        // Only the far cluster runs the service; the near one is optimal.
+        let clusters = [view("far", 500, true), view("near", 100, false)];
+        // First sight: the recency predictor already nominates the service,
+        // so the optimum gets a background deployment.
+        let c = s.choose(&ctx(&clusters));
+        assert_eq!(c.fast, Some(Target::sole(0)));
+        assert_eq!(c.best, Some(Target::sole(1)));
+        assert!(c.is_without_waiting());
+        // Once the optimum is ready, the decision is terminal.
+        let both = [view("far", 500, true), view("near", 100, true)];
+        let c = s.choose(&ctx(&both));
+        assert_eq!(c.fast, Some(Target::sole(1)));
+        assert_eq!(c.best, None);
+    }
+
+    #[test]
+    fn target_sole_is_replica_zero() {
+        assert_eq!(Target::sole(3), Target { cluster: 3, instance: 0 });
+    }
+
+    #[test]
     fn dynamic_loading_by_name() {
         for name in KNOWN_SCHEDULERS {
             let s = scheduler_by_name(name).unwrap();
@@ -379,6 +775,7 @@ mod tests {
         }
         let err = scheduler_by_name("nope").err().unwrap();
         assert_eq!(err.requested, "nope");
+        assert_eq!(err.kind, "scheduler");
         let msg = err.to_string();
         assert!(msg.contains("unknown scheduler `nope`"), "{msg}");
         for name in KNOWN_SCHEDULERS {

@@ -337,3 +337,113 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Least-connections never selects an at-capacity replica while any
+    /// schedulable sibling still has headroom: saturation of the pick
+    /// implies saturation of the whole ready fleet.
+    #[test]
+    fn least_connections_never_picks_saturated_over_headroom(
+        shapes in prop::collection::vec(
+            // (ready, distance µs, per-instance (in_flight, backlog))
+            (
+                any::<bool>(),
+                100u64..1000,
+                prop::collection::vec((0usize..6, 0usize..4), 0..4),
+            ),
+            1..5,
+        ),
+    ) {
+        use edgectl::cluster::{InstanceAddr, InstanceState};
+        use edgectl::scheduler::{
+            ClusterView, GlobalScheduler, InstanceView, LeastConnectionsScheduler,
+            RequestClass, SchedulingContext, ServiceRef,
+        };
+
+        const CONCURRENCY: usize = 3;
+        let views: Vec<ClusterView> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (ready, us, loads))| ClusterView {
+                name: format!("edge-{i}"),
+                kind: "docker",
+                distance: Duration::from_micros(*us),
+                image_cached: true,
+                state: if *ready {
+                    InstanceState::Ready(InstanceAddr {
+                        mac: MacAddr::from_id(1 + i as u32),
+                        ip: Ipv4Addr::new(10, i as u8, 0, 1),
+                        port: 31000,
+                    })
+                } else {
+                    InstanceState::NotDeployed
+                },
+                load: 0,
+                instances: loads
+                    .iter()
+                    .enumerate()
+                    .map(|(r, (in_flight, backlog))| InstanceView {
+                        instance: r,
+                        in_flight: *in_flight,
+                        backlog: *backlog,
+                        concurrency: CONCURRENCY,
+                        utilization: *in_flight as f64 / CONCURRENCY as f64,
+                        ewma_latency: Duration::ZERO,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut s = LeastConnectionsScheduler;
+        let choice = s.choose(&SchedulingContext {
+            clusters: &views,
+            service: ServiceRef {
+                addr: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+                name: "svc",
+            },
+            now: SimTime::ZERO,
+            class: RequestClass::NewFlow,
+        });
+        // Every schedulable (ready) instance, with the synthetic idle view a
+        // ready-but-untracked cluster contributes as replica 0.
+        let schedulable: Vec<(usize, usize, bool)> = views
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state.is_ready())
+            .flat_map(|(ci, c)| {
+                if c.instances.is_empty() {
+                    vec![(ci, 0, false)]
+                } else {
+                    c.instances
+                        .iter()
+                        .map(|v| (ci, v.instance, v.at_capacity()))
+                        .collect()
+                }
+            })
+            .collect();
+        match choice.fast {
+            None => prop_assert!(schedulable.is_empty() && views.is_empty()),
+            Some(t) => {
+                if schedulable.is_empty() {
+                    // No ready cluster anywhere: LC falls back to the
+                    // nearest cluster's sole replica for deployment.
+                    prop_assert_eq!(t.instance, 0);
+                } else {
+                    let picked_saturated = schedulable
+                        .iter()
+                        .find(|(c, i, _)| (*c, *i) == (t.cluster, t.instance))
+                        .map(|(_, _, s)| *s)
+                        .expect("pick must be a schedulable instance");
+                    let headroom_exists = schedulable.iter().any(|(_, _, s)| !s);
+                    prop_assert!(
+                        !(picked_saturated && headroom_exists),
+                        "picked saturated ({}, {}) while headroom existed: {views:?}",
+                        t.cluster,
+                        t.instance,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -328,7 +328,7 @@ impl Testbed {
             scheduled_tick: None,
             scheduled_expiry: None,
             predictor: edgectl::predictor_by_name(&config.predictor)
-                .unwrap_or_else(|| panic!("unknown predictor `{}`", config.predictor)),
+                .unwrap_or_else(|e| panic!("{e}")),
             predict_interval: Duration::from_millis(500),
             predict_scheduled: false,
             last_request_at: SimTime::ZERO,

@@ -32,4 +32,4 @@ pub mod client;
 pub mod trace;
 
 pub use client::RequestTiming;
-pub use trace::{Request, Trace, TraceConfig};
+pub use trace::{BurstConfig, Request, Trace, TraceConfig};

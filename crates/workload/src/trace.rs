@@ -169,6 +169,114 @@ impl Trace {
     }
 }
 
+/// Parameters of the bursty workload used by the scheduler tournament:
+/// periodic request bursts slam one (rotating) hot service hard enough to
+/// saturate a single instance, over a uniform background trickle that keeps
+/// every service deployed. Unlike the bigFlows-style trace — whose load is
+/// spread thin — a burst makes per-instance queueing and horizontal scaling
+/// *matter*: schedulers that ignore load (proximity, random) pile the burst
+/// onto one replica while load-aware ones spread it.
+#[derive(Clone, Debug)]
+pub struct BurstConfig {
+    /// Number of distinct services.
+    pub n_services: usize,
+    /// Number of client hosts issuing requests.
+    pub n_clients: usize,
+    /// Number of bursts; burst `b` targets service `b % n_services`.
+    pub bursts: usize,
+    /// Requests per burst, arriving within one [`burst_width`](Self::burst_width).
+    pub burst_size: usize,
+    /// Window the burst's requests spread across (small ⇒ deep queues).
+    pub burst_width: Duration,
+    /// Gap between consecutive burst starts.
+    pub gap: Duration,
+    /// Warm-up before the first burst (lets the trickle deploy everything).
+    pub warmup: Duration,
+    /// Mean background request rate (per second, across all services).
+    pub background_rps: f64,
+    /// Trace length.
+    pub duration: Duration,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig::full()
+    }
+}
+
+impl BurstConfig {
+    /// The tournament workload: 6 bursts of 48 requests in 400 ms — a
+    /// ~120 req/s spike against replicas that serve 100 req/s each — every
+    /// 5 s, over a 4 req/s trickle. The client pool is wide (96) so most
+    /// burst arrivals are *fresh* flows: placement is decided by the
+    /// scheduler under load, not replayed from flow memory.
+    pub fn full() -> BurstConfig {
+        BurstConfig {
+            n_services: 4,
+            n_clients: 96,
+            bursts: 6,
+            burst_size: 48,
+            burst_width: Duration::from_millis(400),
+            gap: Duration::from_secs(5),
+            warmup: Duration::from_secs(2),
+            background_rps: 4.0,
+            duration: Duration::from_secs(36),
+        }
+    }
+
+    /// A shrunk burst workload for CI smoke runs.
+    pub fn smoke() -> BurstConfig {
+        BurstConfig {
+            bursts: 2,
+            burst_size: 32,
+            duration: Duration::from_secs(14),
+            ..BurstConfig::full()
+        }
+    }
+
+    /// Generates the bursty trace. Identical `(config, seed)` pairs generate
+    /// identical traces. The embedded [`TraceConfig`] describes the result
+    /// (so the histogram helpers work), not generator knobs.
+    pub fn generate(self, seed: u64) -> Trace {
+        assert!(self.n_services > 0 && self.n_clients > 0);
+        let mut rng = SimRng::new(seed);
+        let mut requests = Vec::new();
+        let horizon = self.duration.as_secs_f64();
+        for b in 0..self.bursts {
+            let start = self.warmup + self.gap.mul_f64(b as f64);
+            let window = Uniform::new(0.0, self.burst_width.as_secs_f64());
+            for _ in 0..self.burst_size {
+                let at = start + Duration::from_secs_f64(window.sample(&mut rng));
+                requests.push(Request {
+                    at: SimTime::ZERO + at,
+                    service: b % self.n_services,
+                    client: rng.below(self.n_clients as u64) as usize,
+                });
+            }
+        }
+        let n_background = (self.background_rps * horizon) as usize;
+        let span = Uniform::new(0.0, horizon);
+        for _ in 0..n_background {
+            requests.push(Request {
+                at: SimTime::from_nanos((span.sample(&mut rng) * 1e9) as u64),
+                service: rng.below(self.n_services as u64) as usize,
+                client: rng.below(self.n_clients as u64) as usize,
+            });
+        }
+        requests.sort_by_key(|r| (r.at, r.service, r.client));
+        let config = TraceConfig {
+            n_services: self.n_services,
+            n_requests: requests.len(),
+            min_per_service: 0,
+            duration: self.duration,
+            n_clients: self.n_clients,
+            skew: 0.0,
+            start_mean_secs: self.warmup.as_secs_f64(),
+        };
+        Trace { config, requests }
+    }
+}
+
 /// Splits `n_requests` over services: Zipf-like weights with a hard floor of
 /// `min_per_service`, summing exactly to `n_requests`.
 fn request_counts(config: &TraceConfig) -> Vec<usize> {
@@ -281,6 +389,32 @@ mod tests {
                 .iter()
                 .all(|&c| c >= cfg.min_per_service));
         }
+    }
+
+    #[test]
+    fn bursty_trace_is_deterministic_and_bursty() {
+        let cfg = BurstConfig::full();
+        let a = cfg.clone().generate(7);
+        let b = cfg.clone().generate(7);
+        assert_eq!(a.requests, b.requests);
+        assert_ne!(a.requests, cfg.clone().generate(8).requests);
+        assert!(a.requests.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.requests.iter().all(|r| r.service < cfg.n_services));
+        assert!(a.requests.iter().all(|r| r.client < cfg.n_clients));
+        // The peak second carries a full burst; the background alone is an
+        // order of magnitude below it.
+        let peak = *a.requests_per_second().iter().max().unwrap();
+        assert!(peak as usize >= cfg.burst_size, "peak {peak}/s");
+        // Every service sees traffic (bursts rotate + trickle covers all).
+        assert!(a.per_service_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn bursty_smoke_is_a_subset_scale() {
+        let t = BurstConfig::smoke().generate(7);
+        let full = BurstConfig::full().generate(7);
+        assert!(t.requests.len() < full.requests.len());
+        assert!(t.requests.iter().all(|r| r.at <= SimTime::from_secs(14)));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use desim::{Duration, SimRng, SimTime};
 use std::collections::HashMap;
 use transparent_edge::prelude::*;
-use edgectl::{Choice, SchedulingContext};
+use edgectl::{Choice, SchedulingContext, Target};
 
 /// Deploy only where images are cached; otherwise answer from the cloud and
 /// warm the nearest cluster in the background.
@@ -33,8 +33,8 @@ impl GlobalScheduler for CacheAwareScheduler {
             .filter(|(_, c)| c.state.is_ready())
             .min_by_key(|(_, c)| c.distance)
             .map(|(i, _)| i);
-        if ready.is_some() {
-            return Choice { fast: ready, best: None };
+        if let Some(i) = ready {
+            return Choice { fast: Some(Target::sole(i)), best: None };
         }
         let cached = clusters
             .iter()
@@ -44,7 +44,7 @@ impl GlobalScheduler for CacheAwareScheduler {
             .map(|(i, _)| i);
         match cached {
             // Cached nearby: deploy with waiting, it is fast.
-            Some(i) => Choice { fast: Some(i), best: None },
+            Some(i) => Choice { fast: Some(Target::sole(i)), best: None },
             // Cold everywhere: cloud now, warm the nearest in the background.
             None => Choice {
                 fast: None,
@@ -52,7 +52,7 @@ impl GlobalScheduler for CacheAwareScheduler {
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, c)| c.distance)
-                    .map(|(i, _)| i),
+                    .map(|(i, _)| Target::sole(i)),
             },
         }
     }
