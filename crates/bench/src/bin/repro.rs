@@ -16,6 +16,8 @@
 //!                                   # aggregated vs exact) -> BENCH_scale.json
 //! repro tournament [--seed N] [--smoke]   # scheduler tournament, bursty
 //!                                   # workload -> BENCH_tournament.json
+//! repro migrate [--seed N] [--smoke]   # live migration, state-size sweep
+//!                                   # -> BENCH_migrate.json
 //! ```
 //!
 //! `--telemetry` turns observability output on: `chaos` records per-request
@@ -302,6 +304,35 @@ on (seed {seed}{})\n",
             }
             ExitCode::SUCCESS
         }
+        "migrate" => {
+            println!(
+                "transparent-edge-rs — live migration: interruption vs state size, live \
+vs cold re-dispatch (seed {seed}{})\n",
+                if smoke { ", smoke" } else { "" }
+            );
+            let report = bench::migrate::run(seed, smoke);
+            print!("{}", report.render());
+            let path = bench::migrate::default_output_path();
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("\nwrote {}", path.display());
+            if report.total_dropped() > 0 {
+                eprintln!("{} pings/frames dropped (want 0)", report.total_dropped());
+                return ExitCode::FAILURE;
+            }
+            if !report.gate_holds() {
+                let live = report.sizes.last().map(|p| p.p99_ms).unwrap_or(f64::NAN);
+                let cold = report.sizes.last().map(|p| p.cold_p99_ms).unwrap_or(f64::NAN);
+                eprintln!(
+                    "live interruption p99 ({live:.2} ms) at the largest state size \
+exceeds the cold baseline ({cold:.2} ms)"
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
         "telemetry" => {
             println!("transparent-edge-rs — telemetry overhead (disabled path vs fast path)\n");
             let report = bench::telemetry::run();
@@ -326,6 +357,7 @@ on (seed {seed}{})\n",
             println!("recovery");
             println!("scale");
             println!("tournament");
+            println!("migrate");
             ExitCode::SUCCESS
         }
         "all" => {

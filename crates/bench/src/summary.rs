@@ -183,7 +183,7 @@ fn json_number_after(json: &str, anchor: &str, key: &str) -> Option<f64> {
     json_number(&json[json.find(anchor)?..], key)
 }
 
-/// Reads the six committed bench artifacts and condenses each into one
+/// Reads the seven committed bench artifacts and condenses each into one
 /// trajectory row. Artifacts that have not been generated yet show up as
 /// `missing` rather than failing the summary.
 pub fn perf_trajectory() -> Vec<PerfPoint> {
@@ -267,6 +267,23 @@ pub fn perf_trajectory() -> Vec<PerfPoint> {
             ))
         })
         .unwrap_or_else(missing);
+    let migrate = read("BENCH_migrate.json")
+        .and_then(|j| {
+            Some((
+                format!(
+                    "live p99 {:.2} ms vs cold {:.1} ms at largest state",
+                    json_number(&j, "live_p99_ms_at_largest")?,
+                    json_number(&j, "cold_p99_ms")?
+                ),
+                format!(
+                    "{:.0} migrations, {:.1} MB shipped, {:.0} dropped",
+                    json_number(&j, "total_migrations")?,
+                    json_number(&j, "total_state_bytes_transferred")? / 1e6,
+                    json_number(&j, "total_dropped")?
+                ),
+            ))
+        })
+        .unwrap_or_else(missing);
     let tournament = read("BENCH_tournament.json")
         .and_then(|j| {
             Some((
@@ -321,6 +338,12 @@ pub fn perf_trajectory() -> Vec<PerfPoint> {
             headline: tournament.0,
             detail: tournament.1,
         },
+        PerfPoint {
+            artifact: "BENCH_migrate.json",
+            subsystem: "live migration",
+            headline: migrate.0,
+            detail: migrate.1,
+        },
     ]
 }
 
@@ -358,16 +381,18 @@ mod tests {
     }
 
     #[test]
-    fn trajectory_always_has_all_six_rows() {
+    fn trajectory_always_has_all_seven_rows() {
         let points = perf_trajectory();
-        assert_eq!(points.len(), 6);
+        assert_eq!(points.len(), 7);
         assert_eq!(points[1].artifact, "BENCH_engine.json");
         assert_eq!(points[4].artifact, "BENCH_scale.json");
         assert_eq!(points[5].artifact, "BENCH_tournament.json");
+        assert_eq!(points[6].artifact, "BENCH_migrate.json");
         let text = render_trajectory(&points);
         assert!(text.contains("event core"));
         assert!(text.contains("data plane"));
         assert!(text.contains("load-aware scheduling"));
+        assert!(text.contains("live migration"));
     }
 
     #[test]

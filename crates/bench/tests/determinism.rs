@@ -18,6 +18,22 @@ fn autoscaling_is_off_by_default() {
 }
 
 #[test]
+fn migration_is_off_by_default() {
+    let d = edgectl::MigrationConfig::default();
+    assert!(!d.live(), "live migration must stay opt-in");
+    assert_eq!(
+        d.state_bytes_per_request, 0,
+        "defaults keep the session ledger untouched"
+    );
+    // A default-constructed controller carries the same inert config, so
+    // with no `migration:` block the committed figures stay byte-identical:
+    // no ledger entry is ever created, no trigger fires, no tick schedules.
+    let cc = edgectl::ControllerConfig::default();
+    assert!(!cc.migration.live());
+    assert_eq!(cc.migration.state_bytes_per_request, 0);
+}
+
+#[test]
 fn fig13_is_byte_identical_across_runs() {
     let a = testbed::experiments::fig13(8);
     let b = testbed::experiments::fig13(8);

@@ -51,6 +51,13 @@
 //!   serviceTimeMs: 20        # deterministic per-request service time
 //!   concurrency: 4           # in-flight slots per replica
 //!   backlog: 8               # queue depth beyond which requests reject
+//! migration:                 # live zone-to-zone migration (off by default)
+//!   policy: live             # anchored | redispatch | live
+//!   stateBytesPerRequest: 4096
+//!   transferPropagationMs: 2 # metro-link one-way propagation
+//!   transferBandwidthMbps: 10000
+//!   maxConcurrent: 2         # simultaneous in-flight migrations
+//!   mobilityHops: 1          # clusters-closer threshold for the trigger
 //! clusters:
 //!   - name: egs-docker
 //!     kind: docker
@@ -60,6 +67,7 @@
 //! ```
 
 use crate::controller::ControllerConfig;
+use crate::migrate::MigrationPolicy;
 use desim::{Duration, FaultPlan};
 use yamlite::Value;
 
@@ -445,6 +453,74 @@ impl EdgeConfig {
             }
         }
 
+        let migration = &doc["migration"];
+        if !migration.is_null() {
+            if migration.as_map().is_none() {
+                return Err(ConfigError::Invalid("migration must be a mapping".into()));
+            }
+            let m = &mut cfg.controller.migration;
+            match &migration["policy"] {
+                Value::Null => {}
+                Value::Str(s) => {
+                    m.policy = match s.as_str() {
+                        "anchored" => MigrationPolicy::Anchored,
+                        "redispatch" => MigrationPolicy::Redispatch,
+                        "live" => MigrationPolicy::Live,
+                        other => {
+                            return Err(ConfigError::Invalid(format!(
+                                "migration.policy: must be anchored|redispatch|live, got `{other}`"
+                            )))
+                        }
+                    };
+                }
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "migration.policy: expected a string, got {other:?}"
+                    )))
+                }
+            }
+            match &migration["stateBytesPerRequest"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 0 => m.state_bytes_per_request = *n as u64,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "migration.stateBytesPerRequest: expected a non-negative integer, \
+                         got {other:?}"
+                    )))
+                }
+            }
+            if let Some(d) = millis(migration, "transferPropagationMs")? {
+                m.transfer_propagation = d;
+            }
+            match &migration["transferBandwidthMbps"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 1 => m.transfer_bandwidth_bps = *n as u64 * 1_000_000,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "migration.transferBandwidthMbps: expected an integer >= 1, got {other:?}"
+                    )))
+                }
+            }
+            match &migration["maxConcurrent"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 1 => m.max_concurrent = *n as usize,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "migration.maxConcurrent: expected an integer >= 1, got {other:?}"
+                    )))
+                }
+            }
+            match &migration["mobilityHops"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 1 => m.mobility_hops = *n as usize,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "migration.mobilityHops: expected an integer >= 1, got {other:?}"
+                    )))
+                }
+            }
+        }
+
         if let Some(clusters) = doc["clusters"].as_seq() {
             for (i, c) in clusters.iter().enumerate() {
                 let name = c["name"]
@@ -773,6 +849,59 @@ autoscale:
         )
         .unwrap_err();
         assert!(err.to_string().contains("hysteresis"), "{err}");
+    }
+
+    #[test]
+    fn migration_block_parses() {
+        let cfg = EdgeConfig::from_yaml(
+            "
+migration:
+  policy: live
+  stateBytesPerRequest: 4096
+  transferPropagationMs: 5
+  transferBandwidthMbps: 200
+  maxConcurrent: 4
+  mobilityHops: 2
+",
+        )
+        .unwrap();
+        let m = &cfg.controller.migration;
+        assert_eq!(m.policy, MigrationPolicy::Live);
+        assert!(m.live());
+        assert_eq!(m.state_bytes_per_request, 4096);
+        assert_eq!(m.transfer_propagation, Duration::from_millis(5));
+        assert_eq!(m.transfer_bandwidth_bps, 200_000_000);
+        assert_eq!(m.max_concurrent, 4);
+        assert_eq!(m.mobility_hops, 2);
+    }
+
+    #[test]
+    fn migration_defaults_to_off() {
+        let cfg = EdgeConfig::from_yaml("scheduler: proximity").unwrap();
+        assert_eq!(cfg.controller.migration, crate::MigrationConfig::default());
+        assert!(!cfg.controller.migration.live());
+        // Partial blocks inherit every unset knob from the defaults —
+        // naming a state size does not switch the policy to live.
+        let cfg = EdgeConfig::from_yaml("migration:\n  stateBytesPerRequest: 1024").unwrap();
+        assert!(!cfg.controller.migration.live());
+        assert_eq!(cfg.controller.migration.state_bytes_per_request, 1024);
+    }
+
+    #[test]
+    fn invalid_migration_values_rejected() {
+        for bad in [
+            "migration: always",
+            "migration:\n  policy: teleport",
+            "migration:\n  policy: 3",
+            "migration:\n  stateBytesPerRequest: -1",
+            "migration:\n  transferPropagationMs: -1",
+            "migration:\n  transferBandwidthMbps: 0",
+            "migration:\n  maxConcurrent: 0",
+            "migration:\n  mobilityHops: 0",
+        ] {
+            let err = EdgeConfig::from_yaml(bad).unwrap_err();
+            assert!(matches!(err, ConfigError::Invalid(_)), "{bad}: {err}");
+        }
     }
 
     #[test]

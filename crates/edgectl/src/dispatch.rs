@@ -475,6 +475,7 @@ impl Dispatcher {
                 image_cached: c.has_image_cached(svc),
                 state,
                 load: c.load(),
+                breaker: health.breaker_state(i),
                 instances,
             });
         }

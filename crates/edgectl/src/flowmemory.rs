@@ -328,6 +328,50 @@ impl FlowMemory {
         victims
     }
 
+    /// All live flows redirected at `(service, cluster)`, sorted by
+    /// `(client, ingress)` — the work list of a migration flow flip. Scans
+    /// every shard: the clients of one instance may enter anywhere.
+    pub fn entries_at(
+        &self,
+        service: ServiceAddr,
+        cluster: usize,
+    ) -> Vec<(FlowKey, MemorizedFlow)> {
+        let mut out: Vec<(FlowKey, MemorizedFlow)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.flows.iter())
+            .filter(|(k, f)| k.service == service && f.cluster == cluster)
+            .map(|(k, f)| (*k, *f))
+            .collect();
+        out.sort_by_key(|(k, _)| (k.client_ip, k.ingress));
+        out
+    }
+
+    /// Re-targets one entry at a new `(instance, cluster)` in place,
+    /// refreshing its idle timer — the migration flip primitive: unlike
+    /// [`rekey`](Self::rekey) the key (client + ingress) is unchanged, only
+    /// where the flow points moves. Returns `false` if the entry is gone
+    /// (expired mid-transfer).
+    pub fn repoint(
+        &mut self,
+        key: &FlowKey,
+        instance: InstanceAddr,
+        cluster: usize,
+        now: SimTime,
+    ) -> bool {
+        let Some(flow) = self
+            .shards
+            .get_mut(key.ingress.0 as usize)
+            .and_then(|s| s.flows.get_mut(key))
+        else {
+            return false;
+        };
+        flow.instance = instance;
+        flow.cluster = cluster;
+        flow.last_used = now;
+        true
+    }
+
     /// The distinct `(cluster, instance, service)` triples currently
     /// memorized, sorted — the health sweep's work list: every instance that
     /// appears here has at least one client actively redirected at it, so a
@@ -437,6 +481,39 @@ mod tests {
         assert_eq!(f.cluster, 0);
         // Lookup refreshed the timer: still alive at t=14.
         assert!(m.lookup(k, SimTime::from_secs(14)).is_some());
+    }
+
+    #[test]
+    fn repoint_moves_target_not_key() {
+        let mut m = FlowMemory::new(Duration::from_secs(10));
+        let k = key_at(2, 20, 80);
+        m.memorize(k, inst(31000), 0, SimTime::ZERO);
+        let moved = InstanceAddr {
+            mac: MacAddr::from_id(4),
+            ip: Ipv4Addr::new(10, 0, 1, 5),
+            port: 31007,
+        };
+        assert!(m.repoint(&k, moved, 1, SimTime::from_secs(9)));
+        let f = m.lookup(k, SimTime::from_secs(15)).expect("timer refreshed");
+        assert_eq!((f.instance, f.cluster), (moved, 1));
+        assert_eq!(m.len(), 1, "repoint never creates or drops entries");
+        assert_eq!(m.flows_for(k.service), 1);
+        // Absent keys report failure instead of materializing entries.
+        assert!(!m.repoint(&key_at(0, 9, 80), moved, 1, SimTime::ZERO));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn entries_at_lists_one_clusters_flows_sorted() {
+        let mut m = FlowMemory::new(Duration::from_secs(100));
+        m.memorize(key_at(1, 30, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key_at(0, 20, 80), inst(1), 0, SimTime::ZERO);
+        m.memorize(key_at(2, 21, 80), inst(2), 1, SimTime::ZERO);
+        m.memorize(key_at(0, 20, 81), inst(1), 0, SimTime::ZERO);
+        let at0 = m.entries_at(key(20, 80).service, 0);
+        let clients: Vec<u8> = at0.iter().map(|(k, _)| k.client_ip.octets()[3]).collect();
+        assert_eq!(clients, vec![20, 30], "sorted by client, one service+cluster only");
+        assert!(m.entries_at(key(20, 80).service, 5).is_empty());
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //!   time, concurrency limit, bounded backlog with rejection) and the
 //!   horizontal autoscaler flexing replica counts on queue depth and
 //!   utilization with hysteresis and cooldown (off by default);
+//! * [`migrate`] — live stateful service migration between zones: a
+//!   session-state ledger growing with served requests, snapshot transfer
+//!   over a bandwidth-modelled metro link, warm start at the target, and a
+//!   make-before-break flow flip (off by default);
 //! * [`predict`] — proactive-deployment predictors (Sections I/VII);
 //! * [`config`] — the controller's YAML configuration file;
 //! * [`dispatch`] — the Dispatcher: the flow chart of Fig. 7, including
@@ -60,6 +64,7 @@ pub mod controller;
 pub mod dispatch;
 pub mod flowmemory;
 pub mod health;
+pub mod migrate;
 pub mod predict;
 pub mod scheduler;
 pub mod service;
@@ -73,6 +78,10 @@ pub use controller::{
 pub use dispatch::{DispatchDecision, Dispatcher};
 pub use flowmemory::{FlowKey, FlowMemory, IngressId};
 pub use health::{BreakerState, HealthConfig, HealthMonitor};
+pub use migrate::{
+    Migration, MigrationConfig, MigrationManager, MigrationPolicy, MigrationReason,
+    MigrationRecord, SessionLedger,
+};
 pub use scheduler::{
     scheduler_by_name, Choice, ClusterView, CloudOnlyScheduler, DockerFirstScheduler,
     GlobalScheduler, InstanceView, LatencyAwareScheduler, LatencyEwmaScheduler,

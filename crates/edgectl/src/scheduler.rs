@@ -26,6 +26,7 @@
 //! registry lookup reports the accepted names the same way.
 
 use crate::cluster::InstanceState;
+use crate::health::BreakerState;
 use crate::predict::{DeploymentPredictor, RecencyPredictor};
 use desim::{Duration, SimTime};
 use netsim::ServiceAddr;
@@ -79,6 +80,11 @@ pub struct ClusterView {
     pub state: InstanceState,
     /// Services currently scaled up (load).
     pub load: usize,
+    /// The cluster's circuit-breaker state. Dispatch withholds unavailable
+    /// clusters from its candidate views entirely, but call sites that build
+    /// views themselves (migration target selection) rely on load-aware
+    /// schedulers never picking an [`BreakerState::Open`] cluster.
+    pub breaker: BreakerState,
     /// Per-replica queue state for the service being placed. Empty when
     /// instance tracking is off (the default) or the service is not ready
     /// here; then the cluster behaves as a single unobserved instance 0.
@@ -226,7 +232,7 @@ fn ready_instances<'a>(
     clusters
         .iter()
         .enumerate()
-        .filter(|(_, c)| c.state.is_ready())
+        .filter(|(_, c)| c.state.is_ready() && c.breaker != BreakerState::Open)
         .flat_map(|(i, c)| {
             let views: Vec<InstanceView> =
                 if c.instances.is_empty() { vec![IDLE] } else { c.instances.clone() };
@@ -420,9 +426,11 @@ impl GlobalScheduler for LeastConnectionsScheduler {
             .map(|(i, _, v)| Target { cluster: i, instance: v.instance });
         match pick {
             Some(t) => Choice { fast: Some(t), best: None },
-            // Nothing ready anywhere: deploy-with-waiting at the nearest.
+            // Nothing ready anywhere: deploy-with-waiting at the nearest
+            // cluster whose breaker has not tripped.
             None => Choice {
-                fast: nearest(ctx.clusters, |_| true).map(Target::sole),
+                fast: nearest(ctx.clusters, |c| c.breaker != BreakerState::Open)
+                    .map(Target::sole),
                 best: None,
             },
         }
@@ -458,7 +466,8 @@ impl GlobalScheduler for LatencyEwmaScheduler {
         match pick {
             Some(t) => Choice { fast: Some(t), best: None },
             None => Choice {
-                fast: nearest(ctx.clusters, |_| true).map(Target::sole),
+                fast: nearest(ctx.clusters, |c| c.breaker != BreakerState::Open)
+                    .map(Target::sole),
                 best: None,
             },
         }
@@ -607,6 +616,7 @@ mod tests {
                 InstanceState::NotDeployed
             },
             load: 0,
+            breaker: BreakerState::Closed,
             instances: Vec::new(),
         }
     }
@@ -723,6 +733,28 @@ mod tests {
         let mut s = LeastConnectionsScheduler;
         let c = s.choose(&ctx(&clusters));
         assert_eq!(c.fast, Some(Target { cluster: 0, instance: 1 }));
+    }
+
+    #[test]
+    fn open_breaker_excludes_a_ready_cluster_from_load_aware_choices() {
+        // The near cluster is ready, idle — and its breaker is Open. Both
+        // load-aware schedulers must take the far (worse) cluster instead:
+        // a migration target selection never lands on a tripped zone.
+        let mut near = view("near", 100, true);
+        near.breaker = BreakerState::Open;
+        near.instances = vec![iview(0, 0, 0, 4)];
+        let mut far = view("far", 500, true);
+        far.instances = vec![iview(0, 3, 1, 4)];
+        let clusters = [near, far];
+        let c = LeastConnectionsScheduler.choose(&ctx(&clusters));
+        assert_eq!(c.fast, Some(Target { cluster: 1, instance: 0 }));
+        let c = LatencyEwmaScheduler.choose(&ctx(&clusters));
+        assert_eq!(c.fast, Some(Target { cluster: 1, instance: 0 }));
+        // Every ready cluster tripped → cloud, not the open zone.
+        let mut only = view("near", 100, true);
+        only.breaker = BreakerState::Open;
+        let c = LeastConnectionsScheduler.choose(&ctx(&[only]));
+        assert_eq!(c.fast, None);
     }
 
     #[test]

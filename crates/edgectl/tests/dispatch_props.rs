@@ -381,6 +381,7 @@ proptest! {
                     InstanceState::NotDeployed
                 },
                 load: 0,
+                breaker: edgectl::BreakerState::Closed,
                 instances: loads
                     .iter()
                     .enumerate()
@@ -443,6 +444,103 @@ proptest! {
                         t.instance,
                     );
                 }
+            }
+        }
+    }
+
+    /// Satellite of the migration work: `ClusterView` now carries the
+    /// circuit-breaker state, and the load-aware schedulers must never serve
+    /// from (or migrate onto) a cluster whose breaker is Open — however
+    /// ready or idle it looks. Migration target selection builds its own
+    /// views, so this holds at the scheduler layer, not just in dispatch's
+    /// candidate filtering.
+    #[test]
+    fn load_aware_schedulers_never_pick_an_open_cluster(
+        shapes in prop::collection::vec(
+            // (ready, breaker 0=closed/1=open/2=half-open, distance µs,
+            //  per-instance (in_flight, backlog))
+            (
+                any::<bool>(),
+                0u8..3,
+                100u64..1000,
+                prop::collection::vec((0usize..6, 0usize..4), 0..4),
+            ),
+            1..6,
+        ),
+        use_ewma in any::<bool>(),
+    ) {
+        use edgectl::cluster::{InstanceAddr, InstanceState};
+        use edgectl::scheduler::{
+            ClusterView, GlobalScheduler, InstanceView, LatencyEwmaScheduler,
+            LeastConnectionsScheduler, RequestClass, SchedulingContext, ServiceRef,
+        };
+        use edgectl::BreakerState;
+
+        const CONCURRENCY: usize = 3;
+        let views: Vec<ClusterView> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (ready, breaker, us, loads))| ClusterView {
+                name: format!("edge-{i}"),
+                kind: "docker",
+                distance: Duration::from_micros(*us),
+                image_cached: true,
+                state: if *ready {
+                    InstanceState::Ready(InstanceAddr {
+                        mac: MacAddr::from_id(1 + i as u32),
+                        ip: Ipv4Addr::new(10, i as u8, 0, 1),
+                        port: 31000,
+                    })
+                } else {
+                    InstanceState::NotDeployed
+                },
+                load: 0,
+                breaker: match breaker {
+                    0 => BreakerState::Closed,
+                    1 => BreakerState::Open,
+                    _ => BreakerState::HalfOpen,
+                },
+                instances: loads
+                    .iter()
+                    .enumerate()
+                    .map(|(r, (in_flight, backlog))| InstanceView {
+                        instance: r,
+                        in_flight: *in_flight,
+                        backlog: *backlog,
+                        concurrency: CONCURRENCY,
+                        utilization: *in_flight as f64 / CONCURRENCY as f64,
+                        ewma_latency: Duration::ZERO,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let ctx = SchedulingContext {
+            clusters: &views,
+            service: ServiceRef {
+                addr: ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80),
+                name: "svc",
+            },
+            now: SimTime::ZERO,
+            class: RequestClass::Rescheduled,
+        };
+        let choice = if use_ewma {
+            LatencyEwmaScheduler.choose(&ctx)
+        } else {
+            LeastConnectionsScheduler.choose(&ctx)
+        };
+        let any_serving = views
+            .iter()
+            .any(|c| c.state.is_ready() && c.breaker != BreakerState::Open);
+        for t in choice.fast.iter().chain(choice.best.iter()) {
+            let c = &views[t.cluster];
+            // A fallback (deploy-here) pick of a not-ready cluster is fine;
+            // an Open cluster must never be *served from*.
+            if c.state.is_ready() {
+                prop_assert!(
+                    c.breaker != BreakerState::Open || !any_serving,
+                    "picked ready cluster {} with an open breaker: {views:?}",
+                    c.name,
+                );
             }
         }
     }

@@ -1304,6 +1304,144 @@ fn mobility_impl(
 }
 
 // ---------------------------------------------------------------------------
+// Live migration: the service follows the user
+// ---------------------------------------------------------------------------
+
+/// Aggregates of one migration run (one arm). Also consumed by the `bench`
+/// crate to emit `BENCH_migrate.json`.
+#[derive(Clone, Debug, Default)]
+pub struct MigrationStats {
+    /// Inter-gNB handovers performed.
+    pub handovers: u64,
+    /// Live migrations completed.
+    pub migrations: u64,
+    /// Migrations abandoned (source retired mid-transfer).
+    pub migrations_aborted: u64,
+    /// Session-state bytes shipped zone-to-zone.
+    pub state_bytes_transferred: u64,
+    /// Redirect flows flipped make-before-break.
+    pub flows_flipped: u64,
+    /// Client-visible interruption per move, seconds: every handover flip
+    /// plus (on the live arm) every migration flip.
+    pub interruptions: Vec<f64>,
+    /// Background state-transfer time per migration, seconds — the source
+    /// keeps serving throughout, so this is cost, not interruption.
+    pub transfers: Vec<f64>,
+    /// Pings sent across all sessions.
+    pub pings_sent: u64,
+    /// Pings answered across all sessions.
+    pub pings_done: u64,
+    /// Frames dropped by the data plane.
+    pub drops: u64,
+    /// Frames reaching a client with a non-cloud source address.
+    pub transparency_violations: u64,
+}
+
+/// One migration run's aggregates — the building block behind the bench
+/// crate's `BENCH_migrate.json`. The **live** arm anchors handovers and lets
+/// `edgectl::migrate` chase the client with snapshot + transfer + flip; the
+/// **cold** arm is the PR 4 re-dispatch baseline (state lost, sessions
+/// re-placed through the Global Scheduler). Same scenario constants as
+/// [`mobility_stats`], so the two compose into one comparison table.
+///
+/// Both arms ship the same session state over the same metro link — the
+/// difference is *where* the cost lands. Live snapshots in the background
+/// while the source keeps serving, so the client only sees the flip. Cold
+/// loses the state on re-dispatch: before the replacement instance can
+/// answer, it must re-fetch an equivalent snapshot from the old zone, and
+/// that fetch sits squarely in the client-visible path — one propagation
+/// round even at state zero, plus serialization of everything the session
+/// accrued so far (`state_bytes_per_request` × requests served, estimated
+/// from the session's age at the hop and the ping cadence).
+pub fn migration_stats(
+    live: bool,
+    state_bytes_per_request: u64,
+    seed: u64,
+    smoke: bool,
+) -> MigrationStats {
+    use crate::mobility_run::{MobilityConfig, MobilityTestbed};
+    let (n_gnbs, n_clients, secs) = if smoke { (3, 4, 20) } else { (4, 12, 60) };
+    let mut controller = edgectl::ControllerConfig::default();
+    let policy = if live {
+        controller.migration = edgectl::MigrationConfig {
+            policy: edgectl::MigrationPolicy::Live,
+            state_bytes_per_request,
+            // A metro link slow enough that the swept state sizes produce
+            // visibly linear transfer cost (the default 10 Gbps ships even
+            // megabytes in microseconds).
+            transfer_bandwidth_bps: 200_000_000,
+            ..edgectl::MigrationConfig::default()
+        };
+        edgectl::HandoverPolicy::Anchored
+    } else {
+        edgectl::HandoverPolicy::Redispatch
+    };
+    let mut tb = MobilityTestbed::new(MobilityConfig {
+        n_gnbs,
+        n_clients,
+        policy,
+        seed,
+        controller,
+        ..MobilityConfig::default()
+    });
+    let profile = ServiceSet::by_key("asm").expect("asm profile");
+    tb.register_service(profile, ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80));
+    tb.warm_all_zones();
+    let grid = mobility::CellGrid::new(n_gnbs as u32, 1, 120.0);
+    let mut model =
+        mobility::RandomWaypoint::new(grid, n_clients, seed ^ 0x6d6f_7665).with_speed(30.0, 50.0);
+    let mut seeded: Vec<usize> = (0..n_clients)
+        .map(|c| mobility::MobilityModel::initial_cell(&model, c) % n_gnbs)
+        .collect();
+    seeded.sort_unstable();
+    seeded.dedup();
+    for z in seeded {
+        tb.pre_deploy_on(z);
+    }
+    tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(secs));
+    // Let in-flight transfers reach their flip before reading the records.
+    tb.drain(SimTime::from_secs(secs) + Duration::from_secs(10));
+    let mut run = MigrationStats {
+        handovers: tb.handovers.len() as u64,
+        migrations: tb.controller.migrate.records.len() as u64,
+        migrations_aborted: tb.controller.migrate.aborted,
+        pings_sent: tb.pings_sent(),
+        pings_done: tb.pings_done(),
+        drops: tb.drops,
+        transparency_violations: tb.transparency_violations,
+        ..MigrationStats::default()
+    };
+    // The cold arm's state-rebuild cost model: same per-request state and
+    // metro bandwidth as the live arm, so the comparison isolates *where*
+    // the transfer happens, not how much is transferred.
+    let rebuild = edgectl::MigrationConfig {
+        state_bytes_per_request,
+        transfer_bandwidth_bps: 200_000_000,
+        ..edgectl::MigrationConfig::default()
+    };
+    let session_start = SimTime::from_secs(1);
+    let ping_interval = MobilityConfig::default().ping_interval;
+    for h in &tb.handovers {
+        let mut interruption = h.interruption().as_secs_f64();
+        if !live && h.redispatched > 0 {
+            let requests =
+                h.at.saturating_since(session_start).as_nanos() / ping_interval.as_nanos();
+            let lost = state_bytes_per_request * requests;
+            run.state_bytes_transferred += lost;
+            interruption += rebuild.transfer_time(lost).as_secs_f64();
+        }
+        run.interruptions.push(interruption);
+    }
+    for r in &tb.controller.migrate.records {
+        run.state_bytes_transferred += r.state_bytes;
+        run.flows_flipped += r.flows_flipped as u64;
+        run.interruptions.push(r.interruption().as_secs_f64());
+        run.transfers.push(r.transfer_time().as_secs_f64());
+    }
+    run
+}
+
+// ---------------------------------------------------------------------------
 // Runtime chaos: the self-healing control plane
 // ---------------------------------------------------------------------------
 

@@ -138,6 +138,9 @@ enum Ev {
     CtrlDown { gnb: usize, bytes: Vec<u8> },
     Attach(AttachmentEvent),
     Tick,
+    /// A live migration's transfer (and warm start) lands: flip the flows.
+    /// Never scheduled unless the controller's migration policy is live.
+    MigrationTick,
     SwitchExpiry { gnb: usize },
     ServerSend { node: NodeId, port: PortNo, data: Vec<u8> },
     // Runtime-chaos events; none are scheduled unless the fault plan's
@@ -167,6 +170,7 @@ pub struct MobilityTestbed {
     service: Option<ServiceAddr>,
     server_rx: HashMap<(Ipv4Addr, u16, Ipv4Addr, u16), usize>,
     scheduled_tick: Option<SimTime>,
+    scheduled_migration: Option<SimTime>,
     scheduled_expiry: Vec<Option<SimTime>>,
     ctrl_latency: Duration,
     accept_latency: LogNormal,
@@ -280,6 +284,7 @@ impl MobilityTestbed {
             service: None,
             server_rx: HashMap::new(),
             scheduled_tick: None,
+            scheduled_migration: None,
             scheduled_expiry: vec![None; config.n_gnbs],
             ctrl_latency: Duration::from_micros(200),
             accept_latency: LogNormal::from_median(0.0001, 0.3),
@@ -577,6 +582,16 @@ impl MobilityTestbed {
         }
     }
 
+    fn reschedule_migration(&mut self) {
+        if let Some(t) = self.controller.next_migration_at() {
+            let t = t.max(self.engine.now());
+            if self.scheduled_migration.is_none_or(|s| s > t || s < self.engine.now()) {
+                self.engine.schedule_at(t, Ev::MigrationTick);
+                self.scheduled_migration = Some(t);
+            }
+        }
+    }
+
     fn reschedule_expiry(&mut self, gnb: usize) {
         if let Some(t) = self.switches[gnb].next_expiry() {
             let t = t.max(self.engine.now());
@@ -670,6 +685,19 @@ impl MobilityTestbed {
                 self.controller.tick(now, &mut self.rng);
                 self.reschedule_tick();
             }
+            Ev::MigrationTick => {
+                self.scheduled_migration = None;
+                for (ingress, m) in self.controller.migration_tick(now, &mut self.rng) {
+                    let at = m.at.max(now) + self.ctrl_latency;
+                    self.engine.schedule_at(
+                        at,
+                        Ev::CtrlDown { gnb: ingress.0 as usize, bytes: m.data },
+                    );
+                }
+                self.reschedule_migration();
+                // The flip repoints memorized flows; their next expiry moved.
+                self.reschedule_tick();
+            }
             Ev::SwitchExpiry { gnb } => {
                 self.scheduled_expiry[gnb] = None;
                 let effects = self.switches[gnb].expire_flows(now);
@@ -725,6 +753,11 @@ impl MobilityTestbed {
                         Ev::CtrlDown { gnb: ingress.0 as usize, bytes: m.data },
                     );
                 }
+                // A sweep that tripped a breaker open evacuates the zone:
+                // every service still anchored there live-migrates to the
+                // nearest serving cluster (a no-op unless policy is live).
+                self.controller.migrate_on_breaker_open(now, &mut self.rng);
+                self.reschedule_migration();
                 let detect = self.controller.health_config().detect_interval;
                 self.engine.schedule_at(now + detect, Ev::HealthTick);
             }
@@ -817,6 +850,8 @@ impl MobilityTestbed {
         }
         // A redispatch may have started an on-demand deployment.
         self.reschedule_tick();
+        // The move may have started a mobility-triggered live migration.
+        self.reschedule_migration();
     }
 
     /// Which instance (if any) listens at `(ip, port)` across the zones.
@@ -888,6 +923,17 @@ impl MobilityTestbed {
             *acc += frame.payload.len();
             if *acc >= expected {
                 self.server_rx.remove(&key);
+                // An edge instance completed a request: its session state
+                // grows by the configured per-request bytes (no-op while
+                // migration is off or stateless).
+                if !is_cloud {
+                    if let (Some(addr), Some(z)) = (
+                        self.service,
+                        self.net.zones.iter().position(|&n| n == node),
+                    ) {
+                        self.controller.note_served(addr, z);
+                    }
+                }
                 let delay = processing.sample_duration(&mut self.rng);
                 let template = frame.reply(TcpFlags::PSH_ACK, Vec::new());
                 for seg in segments(&template, response_bytes) {
@@ -1163,5 +1209,129 @@ mod tests {
         assert_eq!(tb2.transparency_violations, 0);
         tb2.reconcile_now();
         assert_eq!(tb2.reconcile_now(), 0);
+    }
+
+    fn live_setup(state_bytes: u64, bandwidth_bps: u64, seed: u64) -> MobilityTestbed {
+        let controller = ControllerConfig {
+            migration: edgectl::MigrationConfig {
+                policy: edgectl::MigrationPolicy::Live,
+                state_bytes_per_request: state_bytes,
+                transfer_bandwidth_bps: bandwidth_bps,
+                ..edgectl::MigrationConfig::default()
+            },
+            ..ControllerConfig::default()
+        };
+        let mut tb = MobilityTestbed::new(MobilityConfig {
+            policy: HandoverPolicy::Anchored,
+            n_gnbs: 3,
+            n_clients: 3,
+            seed,
+            controller,
+            ..MobilityConfig::default()
+        });
+        let profile = containerd::ServiceSet::by_key("asm").unwrap();
+        tb.register_service(profile, ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80));
+        tb.warm_all_zones();
+        tb.pre_deploy_on(0);
+        tb
+    }
+
+    /// Live migration follows the moving client: the mobility trigger
+    /// fires after each hop, session state lands at the nearer zone, and
+    /// the session never misses a ping.
+    #[test]
+    fn live_migration_follows_the_client_and_loses_nothing() {
+        let mut tb = live_setup(512, 10_000_000_000, 2);
+        let mut model = CellHops::new(
+            vec![0, 1, 2],
+            &[
+                (SimTime::from_secs(6), 0, 1),
+                (SimTime::from_secs(12), 0, 2),
+            ],
+        );
+        tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(20));
+        let records = &tb.controller.migrate.records;
+        assert!(!records.is_empty(), "the mobility trigger fired");
+        assert!(records
+            .iter()
+            .all(|r| r.reason == edgectl::MigrationReason::Mobility));
+        assert!(records[0].state_bytes > 0, "state accrued before the move");
+        assert!(records[0].flows_flipped >= 1);
+        // The session ended where the client is, not at the home zone.
+        let ip = tb.topology().client_ip(0);
+        let flows = tb.controller.memory().flows_of_client_at(ip, IngressId(2));
+        assert_eq!(flows.len(), 1);
+        assert_ne!(flows[0].1.cluster, 0, "state followed the client");
+        // Make-before-break: session continuity is unconditional.
+        assert_eq!(tb.pings_sent(), tb.pings_done(), "no ping lost");
+        assert_eq!(tb.drops, 0);
+        assert_eq!(tb.double_answered, 0);
+        assert_eq!(tb.transparency_violations, 0);
+        assert!(tb.controller.telemetry.metrics.counter("migrations_total") >= 1);
+        assert_eq!(tb.controller.migrate.aborted, 0);
+    }
+
+    /// Satellite 3, degenerate case: at state size zero a live migration
+    /// is pure flow flipping — the transfer is a bare propagation delay,
+    /// zero bytes move, and the continuity guarantees are exactly the
+    /// handover's (zero dropped pings).
+    #[test]
+    fn live_migration_at_state_zero_matches_handover_guarantees() {
+        let mut tb = live_setup(0, 10_000_000_000, 2);
+        let mut model = CellHops::new(
+            vec![0, 1, 2],
+            &[
+                (SimTime::from_secs(6), 0, 1),
+                (SimTime::from_secs(12), 0, 2),
+            ],
+        );
+        tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(20));
+        let records = &tb.controller.migrate.records;
+        assert!(!records.is_empty(), "migrations still run at state zero");
+        for r in records {
+            assert_eq!(r.state_bytes, 0);
+            assert_eq!(
+                r.transfer_time(),
+                tb.controller.migrate.config().transfer_propagation,
+                "zero bytes: the transfer is pure propagation"
+            );
+        }
+        assert_eq!(tb.controller.migrate.ledger().total(), 0);
+        assert_eq!(tb.pings_sent(), tb.pings_done(), "zero dropped pings");
+        assert_eq!(tb.drops, 0);
+        assert_eq!(tb.transparency_violations, 0);
+    }
+
+    /// Satellite 1: a crash injected *during* the state transfer must not
+    /// leave the migration wedged or the session stranded — the health
+    /// sweep aborts the migration first (lifting the pin), then repairs
+    /// the dead instance, and the session re-dispatches cleanly.
+    #[test]
+    fn crash_during_migration_transfer_aborts_and_recovers() {
+        // ~25 pings by the 6 s hop at 20 kB each ≈ 500 kB of state; at
+        // 1 Mb/s the transfer takes ≈ 4 s, so a crash at 7 s lands mid-
+        // transfer with certainty.
+        let mut tb = live_setup(20_000, 1_000_000, 2);
+        tb.retransmit = Some(Duration::from_secs(1));
+        let mut model = CellHops::new(vec![0, 1, 2], &[(SimTime::from_secs(6), 0, 1)]);
+        tb.engine.schedule_at(SimTime::from_secs(7), Ev::CrashZone { zone: 0 });
+        tb.engine.schedule_at(
+            SimTime::from_secs(1) + tb.controller.health_config().detect_interval,
+            Ev::HealthTick,
+        );
+        tb.engine.schedule_at(SimTime::from_secs(2), Ev::RetransmitCheck);
+        tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(20));
+        tb.drain(SimTime::from_secs(30));
+        assert_eq!(tb.instance_crashes, 1, "the crash was injected");
+        assert!(
+            tb.controller.telemetry.metrics.counter("migrations_total") >= 1,
+            "a migration was in flight"
+        );
+        assert!(tb.controller.migrate.aborted >= 1, "it was aborted, not wedged");
+        assert!(tb.controller.migrate.active().is_empty(), "the pin lifted");
+        assert_eq!(tb.stranded(), 0, "the session recovered via redispatch");
+        assert_eq!(tb.transparency_violations, 0);
+        tb.reconcile_now();
+        assert_eq!(tb.reconcile_now(), 0, "tables converged to bookkeeping");
     }
 }
