@@ -18,6 +18,8 @@
 //!                                   # workload -> BENCH_tournament.json
 //! repro migrate [--seed N] [--smoke]   # live migration, state-size sweep
 //!                                   # -> BENCH_migrate.json
+//! repro ha [--seed N] [--smoke]     # controller crash-recovery, warm vs
+//!                                   # cold restart -> BENCH_ha.json
 //! ```
 //!
 //! `--telemetry` turns observability output on: `chaos` records per-request
@@ -333,6 +335,49 @@ exceeds the cold baseline ({cold:.2} ms)"
             }
             ExitCode::SUCCESS
         }
+        "ha" => {
+            println!(
+                "transparent-edge-rs — crash recovery: warm journal replay vs cold \
+restart, crash rate 1.0 (seed {seed}{})\n",
+                if smoke { ", smoke" } else { "" }
+            );
+            let report = bench::ha::run(seed, smoke);
+            print!("{}", report.render());
+            let path = bench::ha::default_output_path();
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("\nwrote {}", path.display());
+            if report.panics > 0 {
+                eprintln!("{} restart runs panicked (want 0)", report.panics);
+                return ExitCode::FAILURE;
+            }
+            if report.total_stranded() > 0 {
+                eprintln!(
+                    "{} sessions permanently stranded (want 0)",
+                    report.total_stranded()
+                );
+                return ExitCode::FAILURE;
+            }
+            if report.total_residual() > 0 {
+                eprintln!(
+                    "reconciliation left {} residual fixes (want 0)",
+                    report.total_residual()
+                );
+                return ExitCode::FAILURE;
+            }
+            if !report.warm_gate_holds() {
+                let warm = report.points.last().map(|p| p.warm_p99_ms).unwrap_or(f64::NAN);
+                let cold = report.points.last().map(|p| p.cold_p99_ms).unwrap_or(f64::NAN);
+                eprintln!(
+                    "warm recovery p99 ({warm:.2} ms) at the largest state size \
+exceeds the cold baseline ({cold:.2} ms)"
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
         "telemetry" => {
             println!("transparent-edge-rs — telemetry overhead (disabled path vs fast path)\n");
             let report = bench::telemetry::run();
@@ -358,6 +403,7 @@ exceeds the cold baseline ({cold:.2} ms)"
             println!("scale");
             println!("tournament");
             println!("migrate");
+            println!("ha");
             ExitCode::SUCCESS
         }
         "all" => {

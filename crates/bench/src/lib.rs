@@ -4,6 +4,7 @@
 
 pub mod engine;
 pub mod fastpath;
+pub mod ha;
 pub mod migrate;
 pub mod mobility;
 pub mod recovery;

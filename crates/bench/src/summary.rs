@@ -284,6 +284,24 @@ pub fn perf_trajectory() -> Vec<PerfPoint> {
             ))
         })
         .unwrap_or_else(missing);
+    let ha = read("BENCH_ha.json")
+        .and_then(|j| {
+            Some((
+                format!(
+                    "warm p99 {:.1} ms vs cold {:.1} ms at largest state",
+                    json_number(&j, "warm_p99_ms_at_largest")?,
+                    json_number(&j, "cold_p99_ms_at_largest")?
+                ),
+                format!(
+                    "{:.0} stranded, {:.0} residual, {:.0} panics at crash rate {:.0}",
+                    json_number(&j, "total_stranded")?,
+                    json_number(&j, "total_reconcile_residual")?,
+                    json_number(&j, "panics")?,
+                    json_number(&j, "crash_rate")?
+                ),
+            ))
+        })
+        .unwrap_or_else(missing);
     let tournament = read("BENCH_tournament.json")
         .and_then(|j| {
             Some((
@@ -344,6 +362,12 @@ pub fn perf_trajectory() -> Vec<PerfPoint> {
             headline: migrate.0,
             detail: migrate.1,
         },
+        PerfPoint {
+            artifact: "BENCH_ha.json",
+            subsystem: "crash recovery",
+            headline: ha.0,
+            detail: ha.1,
+        },
     ]
 }
 
@@ -381,18 +405,20 @@ mod tests {
     }
 
     #[test]
-    fn trajectory_always_has_all_seven_rows() {
+    fn trajectory_always_has_all_eight_rows() {
         let points = perf_trajectory();
-        assert_eq!(points.len(), 7);
+        assert_eq!(points.len(), 8);
         assert_eq!(points[1].artifact, "BENCH_engine.json");
         assert_eq!(points[4].artifact, "BENCH_scale.json");
         assert_eq!(points[5].artifact, "BENCH_tournament.json");
         assert_eq!(points[6].artifact, "BENCH_migrate.json");
+        assert_eq!(points[7].artifact, "BENCH_ha.json");
         let text = render_trajectory(&points);
         assert!(text.contains("event core"));
         assert!(text.contains("data plane"));
         assert!(text.contains("load-aware scheduling"));
         assert!(text.contains("live migration"));
+        assert!(text.contains("crash recovery"));
     }
 
     #[test]

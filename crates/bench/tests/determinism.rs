@@ -34,6 +34,23 @@ fn migration_is_off_by_default() {
 }
 
 #[test]
+fn journal_is_off_by_default() {
+    let d = edgectl::JournalConfig::default();
+    assert!(!d.enabled, "the write-ahead journal must stay opt-in");
+    // A default-constructed controller carries the same disabled config:
+    // with no `journal:` block nothing is appended, no snapshot is cut, no
+    // crash can be scheduled (FaultPlan::runtime() leaves controller_crash
+    // at 0), so every committed figure stays byte-identical.
+    let cc = edgectl::ControllerConfig::default();
+    assert!(!cc.journal.enabled);
+    assert_eq!(
+        desim::FaultPlan::runtime(0.1, 1).controller_crash,
+        0.0,
+        "runtime chaos presets must not start crashing the controller"
+    );
+}
+
+#[test]
 fn fig13_is_byte_identical_across_runs() {
     let a = testbed::experiments::fig13(8);
     let b = testbed::experiments::fig13(8);

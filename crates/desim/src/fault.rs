@@ -67,6 +67,14 @@ pub struct FaultPlan {
     /// Median time before a dropped channel reconnects (scaled by a uniform
     /// draw in `[0.5, 1.5)`).
     pub channel_reconnect_delay: Duration,
+    /// Probability that the controller process itself crashes during the
+    /// run (drawn once per run, not per window). While the controller is
+    /// down every switch keeps forwarding on its installed rules; packet-ins
+    /// go unanswered until the restarted controller recovers.
+    pub controller_crash: f64,
+    /// Median time before a crashed controller process is restarted (scaled
+    /// by a uniform draw in `[0.5, 1.5)`).
+    pub controller_restart_delay: Duration,
 }
 
 impl Default for FaultPlan {
@@ -87,6 +95,8 @@ impl Default for FaultPlan {
             zone_outage_window: Duration::from_secs(30),
             channel_loss: 0.0,
             channel_reconnect_delay: Duration::from_secs(5),
+            controller_crash: 0.0,
+            controller_restart_delay: Duration::from_secs(3),
         }
     }
 }
@@ -138,6 +148,7 @@ impl FaultPlan {
             self.crash_while_serving,
             self.zone_outage,
             self.channel_loss,
+            self.controller_crash,
         ]
         .iter()
         .any(|&p| p > 0.0)
@@ -148,9 +159,14 @@ impl FaultPlan {
     /// fault-injection sweeps when this holds, so deployment-only chaos
     /// runs stay byte-identical to builds that predate runtime faults.
     pub fn runtime_enabled(&self) -> bool {
-        [self.crash_while_serving, self.zone_outage, self.channel_loss]
-            .iter()
-            .any(|&p| p > 0.0)
+        [
+            self.crash_while_serving,
+            self.zone_outage,
+            self.channel_loss,
+            self.controller_crash,
+        ]
+        .iter()
+        .any(|&p| p > 0.0)
     }
 
     /// Derives the injector for one injection site. Distinct `label`s give
@@ -285,6 +301,23 @@ impl FaultInjector {
             None
         }
     }
+
+    /// Does the controller process crash during this run? Drawn once per
+    /// run by the harness. Returns `(position, restart_delay)`: the
+    /// position within the run's horizon, in `[0, 1)`, at which the
+    /// controller dies, and how long it stays down before the restarted
+    /// process begins recovery (median `controller_restart_delay`, scaled
+    /// by a uniform draw in `[0.5, 1.5)`).
+    pub fn controller_crashes(&mut self) -> Option<(f64, Duration)> {
+        let p = self.plan.controller_crash;
+        if self.fires(p) {
+            let pos = self.rng.next_f64();
+            let scale = 0.5 + self.rng.next_f64();
+            Some((pos, self.plan.controller_restart_delay.mul_f64(scale)))
+        } else {
+            None
+        }
+    }
 }
 
 /// Capped exponential backoff with multiplicative jitter and a per-phase
@@ -357,6 +390,7 @@ mod tests {
             assert!(inj.crashes_while_serving().is_none());
             assert!(inj.zone_outage().is_none());
             assert!(inj.channel_drops().is_none());
+            assert!(inj.controller_crashes().is_none());
         }
     }
 
@@ -372,6 +406,36 @@ mod tests {
             assert!(inj.crashes_while_serving().is_none());
             assert!(inj.zone_outage().is_none());
             assert!(inj.channel_drops().is_none());
+            assert!(inj.controller_crashes().is_none());
+        }
+    }
+
+    #[test]
+    fn runtime_plan_leaves_controller_crash_at_zero() {
+        // `runtime()` pins PR 5's committed runtime-chaos figures; the
+        // controller-crash knob must be opted into explicitly.
+        let plan = FaultPlan::runtime(1.0, 6);
+        assert_eq!(plan.controller_crash, 0.0);
+        let mut inj = plan.injector(400);
+        for _ in 0..100 {
+            assert!(inj.controller_crashes().is_none());
+        }
+    }
+
+    #[test]
+    fn controller_crash_plan_is_runtime_enabled_and_bounded() {
+        let plan = FaultPlan {
+            controller_crash: 1.0,
+            ..FaultPlan::default()
+        };
+        assert!(plan.enabled());
+        assert!(plan.runtime_enabled());
+        let mut inj = plan.injector(400);
+        for _ in 0..100 {
+            let (pos, delay) = inj.controller_crashes().unwrap();
+            assert!((0.0..1.0).contains(&pos));
+            assert!(delay >= plan.controller_restart_delay.mul_f64(0.5));
+            assert!(delay < plan.controller_restart_delay.mul_f64(1.5));
         }
     }
 

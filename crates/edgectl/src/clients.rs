@@ -121,6 +121,36 @@ impl ClientTracker {
         &self.moves
     }
 
+    /// Exports every tracked location, sorted by client address, for
+    /// journal snapshots. Detected moves are diagnostics and excluded: a
+    /// warm-restarted controller re-derives post-snapshot moves by
+    /// replaying the journal's sighting events through [`Self::observe`].
+    pub fn export_locations(&self) -> Vec<(Ipv4Addr, IngressId, u32, SimTime)> {
+        let mut out: Vec<_> = self
+            .locations
+            .iter()
+            .map(|(c, l)| (*c, l.ingress, l.in_port, l.last_seen))
+            .collect();
+        out.sort_unstable_by_key(|&(c, ..)| c);
+        out
+    }
+
+    /// Restores locations from a journal snapshot. Call only on a fresh
+    /// tracker: entries are inserted as first sightings, so no moves are
+    /// recorded.
+    pub fn restore_locations(&mut self, locs: &[(Ipv4Addr, IngressId, u32, SimTime)]) {
+        for &(client, ingress, in_port, last_seen) in locs {
+            self.locations.insert(
+                client,
+                Location {
+                    ingress,
+                    in_port,
+                    last_seen,
+                },
+            );
+        }
+    }
+
     /// Drops clients not seen since `cutoff` (bookkeeping hygiene on very
     /// long-running controllers).
     pub fn evict_stale(&mut self, cutoff: SimTime) -> usize {

@@ -58,6 +58,9 @@
 //!   transferBandwidthMbps: 10000
 //!   maxConcurrent: 2         # simultaneous in-flight migrations
 //!   mobilityHops: 1          # clusters-closer threshold for the trigger
+//! journal:                   # crash-recovery write-ahead journal (off by default)
+//!   enabled: true
+//!   snapshotEvery: 256       # tail events between compacted snapshots
 //! clusters:
 //!   - name: egs-docker
 //!     kind: docker
@@ -521,6 +524,26 @@ impl EdgeConfig {
             }
         }
 
+        let journal = &doc["journal"];
+        if !journal.is_null() {
+            if journal.as_map().is_none() {
+                return Err(ConfigError::Invalid("journal must be a mapping".into()));
+            }
+            let j = &mut cfg.controller.journal;
+            if let Some(b) = journal["enabled"].as_bool() {
+                j.enabled = b;
+            }
+            match &journal["snapshotEvery"] {
+                Value::Null => {}
+                Value::Int(n) if *n >= 1 => j.snapshot_every = *n as usize,
+                other => {
+                    return Err(ConfigError::Invalid(format!(
+                        "journal.snapshotEvery: expected an integer >= 1, got {other:?}"
+                    )))
+                }
+            }
+        }
+
         if let Some(clusters) = doc["clusters"].as_seq() {
             for (i, c) in clusters.iter().enumerate() {
                 let name = c["name"]
@@ -898,6 +921,31 @@ migration:
             "migration:\n  transferBandwidthMbps: 0",
             "migration:\n  maxConcurrent: 0",
             "migration:\n  mobilityHops: 0",
+        ] {
+            let err = EdgeConfig::from_yaml(bad).unwrap_err();
+            assert!(matches!(err, ConfigError::Invalid(_)), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn journal_block_parses_and_defaults_to_off() {
+        let cfg = EdgeConfig::from_yaml("journal:\n  enabled: true\n  snapshotEvery: 64\n").unwrap();
+        assert!(cfg.controller.journal.enabled);
+        assert_eq!(cfg.controller.journal.snapshot_every, 64);
+        // Off by default — parsing a config without the block must leave
+        // every journal hook a never-taken branch.
+        let cfg = EdgeConfig::from_yaml("scheduler: proximity").unwrap();
+        assert_eq!(cfg.controller.journal, crate::JournalConfig::default());
+        assert!(!cfg.controller.journal.enabled);
+        // Partial blocks inherit the unset knobs.
+        let cfg = EdgeConfig::from_yaml("journal:\n  snapshotEvery: 16").unwrap();
+        assert!(!cfg.controller.journal.enabled);
+        assert_eq!(cfg.controller.journal.snapshot_every, 16);
+        for bad in [
+            "journal: durable",
+            "journal:\n  snapshotEvery: 0",
+            "journal:\n  snapshotEvery: -4",
+            "journal:\n  snapshotEvery: often",
         ] {
             let err = EdgeConfig::from_yaml(bad).unwrap_err();
             assert!(matches!(err, ConfigError::Invalid(_)), "{bad}: {err}");

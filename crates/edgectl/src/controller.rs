@@ -20,7 +20,10 @@ use crate::clients::ClientTracker;
 use crate::cluster::{EdgeCluster, InstanceAddr};
 use crate::dispatch::{DispatchDecision, DispatchOutcome, Dispatcher, PhaseTimes};
 use crate::flowmemory::{FlowMemory, IngressId};
-use crate::health::{BreakerState, HealthConfig};
+use crate::health::{BreakerState, HealthConfig, HealthMonitor};
+use crate::journal::{
+    Journal, JournalConfig, JournalEvent, JournalStats, RecoveryMode, RecoveryReport, Snapshot,
+};
 use crate::migrate::{Migration, MigrationConfig, MigrationManager, MigrationReason};
 use crate::scheduler::{GlobalScheduler, RequestClass};
 use crate::service::EdgeService;
@@ -91,6 +94,10 @@ pub struct ControllerConfig {
     /// request): no ledger entry is ever written, no migration ever
     /// starts, and every published figure stays byte-identical.
     pub migration: MigrationConfig,
+    /// Crash-recovery write-ahead journal (the `journal:` YAML block).
+    /// Off by default: no component logs ops, no event is ever recorded,
+    /// and every published figure stays byte-identical.
+    pub journal: JournalConfig,
 }
 
 impl Default for ControllerConfig {
@@ -109,6 +116,7 @@ impl Default for ControllerConfig {
             record_requests: true,
             autoscale: AutoscaleConfig::default(),
             migration: MigrationConfig::default(),
+            journal: JournalConfig::default(),
         }
     }
 }
@@ -233,12 +241,12 @@ pub struct HandoverOutcome {
 /// One flow as the controller believes it exists on a switch — enough
 /// detail to re-install it verbatim during reconciliation.
 #[derive(Clone, Debug)]
-struct InstalledFlow {
-    match_: Match,
-    instructions: Vec<Instruction>,
-    priority: u16,
-    cookie: u64,
-    flags: u16,
+pub(crate) struct InstalledFlow {
+    pub(crate) match_: Match,
+    pub(crate) instructions: Vec<Instruction>,
+    pub(crate) priority: u16,
+    pub(crate) cookie: u64,
+    pub(crate) flags: u16,
 }
 
 /// A forward/reverse flow pair the controller installed for one session,
@@ -246,23 +254,23 @@ struct InstalledFlow {
 /// instance it redirects to (repair tears down exactly the pairs aimed at a
 /// dead instance) and whether a handover retires it.
 #[derive(Clone, Debug)]
-struct InstalledPair {
-    fwd: InstalledFlow,
-    rev: InstalledFlow,
-    service: ServiceAddr,
+pub(crate) struct InstalledPair {
+    pub(crate) fwd: InstalledFlow,
+    pub(crate) rev: InstalledFlow,
+    pub(crate) service: ServiceAddr,
     /// Cluster the pair redirects into; `None` for cloud-forwarding pairs.
-    cluster: Option<usize>,
+    pub(crate) cluster: Option<usize>,
     /// Instance the forward flow rewrites toward; `None` for cloud pairs.
-    instance: Option<InstanceAddr>,
+    pub(crate) instance: Option<InstanceAddr>,
     /// Whether an attachment-change handover tears this pair down. Redirect
     /// and handover pairs are; plain packet-in cloud paths never were (they
     /// just idle out), and reconciliation must not change that.
-    teardown_on_handover: bool,
+    pub(crate) teardown_on_handover: bool,
     /// Tombstone: the switch reported the flow gone (`FLOW_REMOVED`) or a
     /// repair tore it down. Dead pairs are kept — not removed — so the
     /// handover teardown's message sequence is exactly what it was before
     /// reconciliation existed; reconciliation simply skips them.
-    dead: bool,
+    pub(crate) dead: bool,
 }
 
 /// Bookkeeping client address for aggregated wildcard pairs: they belong to
@@ -278,17 +286,33 @@ const AGGREGATE_CLIENT: Ipv4Addr = Ipv4Addr::UNSPECIFIED;
 /// behind the same perceived gateway) is *covered*: the controller releases
 /// the packet with a bare `PACKET_OUT` and installs nothing.
 #[derive(Clone, Debug)]
-struct AggregateRule {
-    instance: InstanceAddr,
-    cluster: usize,
+pub(crate) struct AggregateRule {
+    pub(crate) instance: InstanceAddr,
+    pub(crate) cluster: usize,
     /// Shared client-side port replies are emitted through.
-    in_port: u32,
+    pub(crate) in_port: u32,
     /// The gateway MAC clients perceive (the `eth_dst` of their requests);
     /// replies are re-sourced from it.
-    gw_mac: MacAddr,
+    pub(crate) gw_mac: MacAddr,
     /// The forward rewrite, cached so a covered packet-in releases its
     /// buffered packet without rebuilding the action list.
-    fwd_actions: Vec<Action>,
+    pub(crate) fwd_actions: Vec<Action>,
+}
+
+/// A control-plane inconsistency the controller detected and survived
+/// (instead of panicking): the affected request degrades gracefully — a
+/// redirect with no usable egress port becomes a cloud forward — and the
+/// condition is recorded here for diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlPlaneError {
+    /// No egress port is mapped toward `cluster` on `ingress` (a PortMap
+    /// misconfiguration); the session was forwarded to the cloud instead.
+    MissingClusterPort {
+        /// The ingress whose port map lacks the cluster.
+        ingress: IngressId,
+        /// The unroutable cluster index.
+        cluster: usize,
+    },
 }
 
 /// The transparent-edge SDN controller.
@@ -366,6 +390,11 @@ pub struct Controller {
     client_macs: HashMap<Ipv4Addr, (MacAddr, MacAddr)>,
     /// Open telemetry spans of in-flight migrations, by request id.
     migration_spans: HashMap<u64, SpanId>,
+    /// The crash-recovery write-ahead journal (inert unless
+    /// `config.journal.enabled`).
+    journal: Journal,
+    /// Control-plane inconsistencies survived (see [`ControlPlaneError`]).
+    pub control_errors: Vec<ControlPlaneError>,
 }
 
 impl Controller {
@@ -379,12 +408,19 @@ impl Controller {
         dispatcher.set_retry_policy(config.retry);
         dispatcher.health_mut().set_config(config.health);
         dispatcher.set_autoscale(config.autoscale.clone());
-        let migrate = MigrationManager::new(config.migration.clone());
+        let mut migrate = MigrationManager::new(config.migration.clone());
+        let journal = Journal::new(config.journal);
+        let mut memory = FlowMemory::new(config.memory_idle);
+        if journal.enabled() {
+            memory.set_logging(true);
+            dispatcher.health_mut().set_logging(true);
+            migrate.set_logging(true);
+        }
         Controller {
             services: crate::service::ServiceRegistry::new(),
             clusters: Vec::new(),
             dispatcher,
-            memory: FlowMemory::new(config.memory_idle),
+            memory,
             ingresses: vec![ports],
             ingress_distances: HashMap::new(),
             installed: Vec::new(),
@@ -407,6 +443,8 @@ impl Controller {
             migrate,
             client_macs: HashMap::new(),
             migration_spans: HashMap::new(),
+            journal,
+            control_errors: Vec::new(),
         }
     }
 
@@ -414,6 +452,159 @@ impl Controller {
     /// (single-flight hits in the dispatcher).
     pub fn coalesced_count(&self) -> u64 {
         self.dispatcher.coalesced_count()
+    }
+
+    /// Appends one controller-level event to the journal (a never-taken
+    /// branch while the journal is off).
+    fn journal_record(&mut self, ev: JournalEvent) {
+        self.journal.record(ev);
+    }
+
+    /// Drains the component op logs into the journal and compacts when the
+    /// tail passed its threshold. Called at the end of every public
+    /// mutating entry point; events of different structures commute, so
+    /// batching the drain does not change what replay rebuilds. A no-op
+    /// while the journal is off.
+    fn journal_sync(&mut self) {
+        if !self.journal.enabled() {
+            return;
+        }
+        for op in self.memory.take_ops() {
+            self.journal.record(JournalEvent::Flow(op));
+        }
+        for op in self.dispatcher.health_mut().take_ops() {
+            self.journal.record(JournalEvent::Health(op));
+        }
+        for op in self.migrate.take_ops() {
+            self.journal.record(JournalEvent::Migration(op));
+        }
+        if self.journal.should_compact() {
+            // Captured after the tail's last event took effect, so the
+            // compacted snapshot equals old-snapshot + tail exactly.
+            let snap = self.capture_snapshot();
+            self.journal.compact(snap);
+        }
+    }
+
+    /// Captures the recoverable state (sorted, deterministic).
+    fn capture_snapshot(&self) -> Snapshot {
+        Snapshot::capture(
+            &self.memory,
+            &self.installed,
+            &self.aggregates,
+            &self.scaled_down,
+            &self.clients,
+            &self.client_macs,
+            self.dispatcher.health(),
+            &self.migrate,
+        )
+    }
+
+    /// Deterministic textual digest of the recoverable state. Two
+    /// controllers with identical recoverable state produce byte-identical
+    /// digests — the differential oracle the crash-recovery tests compare.
+    pub fn state_digest(&self) -> String {
+        self.capture_snapshot().encode()
+    }
+
+    /// Rebuilds state from the journal (snapshot + tail) and digests it,
+    /// without touching the live controller. `None` while the journal is
+    /// off. Equal to [`Controller::state_digest`] at every mutation
+    /// boundary — the compaction test's oracle.
+    pub fn journal_rebuild_digest(&self) -> Option<String> {
+        if !self.journal.enabled() {
+            return None;
+        }
+        let (st, _, _) = self.journal.rebuild(&self.config);
+        Some(st.snapshot().encode())
+    }
+
+    /// Journal counters (events appended, tail length, compactions).
+    pub fn journal_stats(&self) -> JournalStats {
+        self.journal.stats()
+    }
+
+    /// Simulates a controller process crash followed by a restart at
+    /// `now`: every piece of in-memory state a real process death loses is
+    /// wiped, then rebuilt according to `mode` — **warm** restores the
+    /// journal snapshot and replays the tail; **cold** starts empty and
+    /// leans on reconciliation plus packet-in re-dispatch. In both modes
+    /// volatile state (held requests, deferred expiries, in-flight
+    /// single-flight deployments) is dropped, and in-flight migrations
+    /// that cannot survive the death of their coordinator are aborted
+    /// (session state stays in the source ledger; the trigger re-fires).
+    ///
+    /// Cluster handles, the service registry, ingress port maps and the
+    /// monotone counters (xids, request ids) are the process's *durable
+    /// environment* — config and restart-safe identifier ranges — and
+    /// survive. After this returns, run [`Controller::reconcile`] against
+    /// each live switch table to converge the drift accrued during the
+    /// blackout; a second pass returns nothing.
+    pub fn crash_restart(&mut self, mode: RecoveryMode, _now: SimTime) -> RecoveryReport {
+        let t0 = std::time::Instant::now();
+        let (replayed_events, snapshot_entries) = match mode {
+            RecoveryMode::Warm if self.journal.enabled() => {
+                let (st, replayed, snap_entries) = self.journal.rebuild(&self.config);
+                self.memory = st.memory;
+                self.installed = st.installed;
+                self.aggregates = st.aggregates;
+                self.scaled_down = st.scaled_down;
+                self.clients = st.clients;
+                self.client_macs = st.client_macs;
+                *self.dispatcher.health_mut() = st.health;
+                self.migrate = st.migrate;
+                (replayed, snap_entries)
+            }
+            _ => {
+                self.memory = FlowMemory::new(self.config.memory_idle);
+                self.installed = Vec::new();
+                self.aggregates = HashMap::new();
+                self.scaled_down = HashMap::new();
+                self.clients = ClientTracker::new();
+                self.client_macs = HashMap::new();
+                *self.dispatcher.health_mut() = HealthMonitor::new(self.config.health);
+                self.migrate = MigrationManager::new(self.config.migration.clone());
+                (0, 0)
+            }
+        };
+        // The journal restarts from the recovered state's next mutation
+        // (its pre-crash contents are already folded into that state or
+        // deliberately discarded).
+        self.journal.reset();
+        // Volatile state a process death loses in both modes.
+        self.held.clear();
+        self.deferred.clear();
+        self.dispatcher.reset_volatile();
+        self.crash_records.clear();
+        self.migration_spans.clear();
+        self.last_flow_stats = None;
+        // Re-arm op logging on the freshly built components, and re-seed
+        // the journal with a snapshot of the recovered state — otherwise a
+        // *second* crash would rebuild from an empty journal and lose it.
+        if self.journal.enabled() {
+            self.memory.set_logging(true);
+            self.dispatcher.health_mut().set_logging(true);
+            self.migrate.set_logging(true);
+            let snap = self.capture_snapshot();
+            self.journal.compact(snap);
+        }
+        // In-flight migrations lost their coordinator: abort them (state
+        // stays at the source; the breaker/mobility trigger re-fires).
+        let aborted_migrations = self.migrate.abort_all();
+        if aborted_migrations > 0 {
+            self.telemetry
+                .metrics
+                .add("migrations_aborted", aborted_migrations as u64);
+        }
+        self.telemetry.metrics.inc("controller_restarts");
+        self.journal_sync();
+        RecoveryReport {
+            mode,
+            replayed_events,
+            snapshot_entries,
+            aborted_migrations,
+            replay_wall_ns: t0.elapsed().as_nanos() as u64,
+        }
     }
 
     /// The bookkeeping shard of one ingress, grown on demand.
@@ -597,7 +788,7 @@ impl Controller {
         rng: &mut SimRng,
     ) -> Result<Vec<OutboundMessage>, OfError> {
         let (_xid, msg, _) = Message::decode(bytes)?;
-        match msg {
+        let out = match msg {
             Message::EchoRequest(payload) => {
                 let x = self.xid();
                 Ok(vec![OutboundMessage {
@@ -623,12 +814,17 @@ impl Controller {
                     _ => None,
                 });
                 if let Some(client) = client {
+                    let mut dead_idx: Vec<usize> = Vec::new();
                     if let Some(pairs) = self.installed_pairs_mut(client, ingress) {
-                        for p in pairs.iter_mut() {
+                        for (i, p) in pairs.iter_mut().enumerate() {
                             if !p.dead && p.fwd.priority == priority && p.fwd.match_ == match_ {
                                 p.dead = true;
+                                dead_idx.push(i);
                             }
                         }
+                    }
+                    for idx in dead_idx {
+                        self.journal_record(JournalEvent::PairDead { client, ingress, idx });
                     }
                 } else {
                     // No client source in the match: an aggregated pair's
@@ -636,16 +832,29 @@ impl Controller {
                     // and drop the aggregate anchor so the next packet-in
                     // re-installs a fresh pair.
                     let mut gone: Option<ServiceAddr> = None;
+                    let mut dead_idx: Vec<usize> = Vec::new();
                     if let Some(pairs) = self.installed_pairs_mut(AGGREGATE_CLIENT, ingress) {
-                        for p in pairs.iter_mut() {
+                        for (i, p) in pairs.iter_mut().enumerate() {
                             if !p.dead && p.fwd.priority == priority && p.fwd.match_ == match_ {
                                 p.dead = true;
                                 gone = Some(p.service);
+                                dead_idx.push(i);
                             }
                         }
                     }
+                    for idx in dead_idx {
+                        self.journal_record(JournalEvent::PairDead {
+                            client: AGGREGATE_CLIENT,
+                            ingress,
+                            idx,
+                        });
+                    }
                     if let Some(svc) = gone {
                         self.aggregates.remove(&(ingress, svc));
+                        self.journal_record(JournalEvent::AggregateDrop {
+                            ingress,
+                            service: svc,
+                        });
                     }
                 }
                 Ok(vec![])
@@ -669,7 +878,9 @@ impl Controller {
             | Message::FlowMod { .. }
             | Message::FlowStatsRequest { .. }
             | Message::BarrierRequest => Ok(vec![]),
-        }
+        };
+        self.journal_sync();
+        out
     }
 
     fn in_port_of(match_: &Match) -> u32 {
@@ -705,10 +916,21 @@ impl Controller {
         if self.clients.observe(frame.src_ip, ingress, in_port, now).is_some() {
             self.memory.forget_client(frame.src_ip);
         }
+        self.journal_record(JournalEvent::ClientSeen {
+            client: frame.src_ip,
+            ingress,
+            in_port,
+            at: now,
+        });
         // Remember the client's MAC and the gateway MAC it perceives: a
         // later migration flow flip re-installs reverse rewrites for this
         // client without a packet of its own to crib them from.
         self.client_macs.insert(frame.src_ip, (frame.src_mac, frame.dst_mac));
+        self.journal_record(JournalEvent::MacsSeen {
+            client: frame.src_ip,
+            client_mac: frame.src_mac,
+            gw_mac: frame.dst_mac,
+        });
         let svc_addr = frame.dst_service();
         self.next_request += 1;
         let request = self.next_request;
@@ -872,18 +1094,24 @@ impl Controller {
         }
     }
 
-    /// The egress port toward `cluster` on `ingress`.
-    fn cluster_port(&self, ingress: IngressId, cluster: usize) -> u32 {
-        *self.ingresses[ingress.0 as usize]
+    /// The egress port toward `cluster` on `ingress`, if one is mapped.
+    /// This used to panic on a missing mapping; a malformed or
+    /// misconfigured port map must never take the controller down, so
+    /// callers now degrade to cloud forwarding and record a
+    /// [`ControlPlaneError::MissingClusterPort`].
+    fn cluster_port(&self, ingress: IngressId, cluster: usize) -> Option<u32> {
+        self.ingresses
+            .get(ingress.0 as usize)?
             .cluster_ports
-            .get(self.clusters[cluster].name())
-            .unwrap_or_else(|| {
-                panic!(
-                    "no port on ingress {} for cluster {}",
-                    ingress.0,
-                    self.clusters[cluster].name()
-                )
-            })
+            .get(self.clusters.get(cluster)?.name())
+            .copied()
+    }
+
+    /// Records a missing-port inconsistency (see [`ControlPlaneError`]).
+    fn note_missing_port(&mut self, ingress: IngressId, cluster: usize) {
+        self.telemetry.metrics.inc("control_plane_errors");
+        self.control_errors
+            .push(ControlPlaneError::MissingClusterPort { ingress, cluster });
     }
 
     /// Builds the forward + reverse redirect flows (and a packet-out when the
@@ -900,7 +1128,10 @@ impl Controller {
         instance: InstanceAddr,
         cluster: usize,
     ) -> Vec<OutboundMessage> {
-        let out_port = self.cluster_port(ingress, cluster);
+        let Some(out_port) = self.cluster_port(ingress, cluster) else {
+            self.note_missing_port(ingress, cluster);
+            return self.install_cloud_path(ingress, at, buffer_id, in_port, frame);
+        };
 
         let fwd_actions = vec![
             Action::SetField(OxmField::EthDst(instance.mac.octets())),
@@ -1035,7 +1266,10 @@ impl Controller {
         instance: InstanceAddr,
         cluster: usize,
     ) -> Vec<OutboundMessage> {
-        let out_port = self.cluster_port(ingress, cluster);
+        let Some(out_port) = self.cluster_port(ingress, cluster) else {
+            self.note_missing_port(ingress, cluster);
+            return self.install_cloud_path(ingress, at, buffer_id, in_port, frame);
+        };
         // Any client, this service.
         let fwd_match = Match::service(svc.addr.ip.octets(), svc.addr.port);
         // Any client, replies from this instance.
@@ -1059,16 +1293,21 @@ impl Controller {
             Action::output(in_port),
         ];
         let priority = self.config.flow_priority.saturating_sub(2);
-        self.aggregates.insert(
-            (ingress, svc.addr),
-            AggregateRule {
-                instance,
-                cluster,
-                in_port,
-                gw_mac: frame.dst_mac,
-                fwd_actions: fwd_actions.clone(),
-            },
-        );
+        let rule = AggregateRule {
+            instance,
+            cluster,
+            in_port,
+            gw_mac: frame.dst_mac,
+            fwd_actions: fwd_actions.clone(),
+        };
+        if self.journal.enabled() {
+            self.journal.record(JournalEvent::AggregateSet {
+                ingress,
+                service: svc.addr,
+                rule: rule.clone(),
+            });
+        }
+        self.aggregates.insert((ingress, svc.addr), rule);
         self.book_pair(
             AGGREGATE_CLIENT,
             ingress,
@@ -1157,30 +1396,38 @@ impl Controller {
         instance: Option<InstanceAddr>,
         teardown_on_handover: bool,
     ) {
+        let pair = InstalledPair {
+            fwd: InstalledFlow {
+                match_: fwd_match.clone(),
+                instructions: vec![Instruction::ApplyActions(fwd_actions.to_vec())],
+                priority,
+                cookie: 1,
+                flags: OFPFF_SEND_FLOW_REM,
+            },
+            rev: InstalledFlow {
+                match_: rev_match.clone(),
+                instructions: vec![Instruction::ApplyActions(rev_actions.to_vec())],
+                priority,
+                cookie: 2,
+                flags: 0,
+            },
+            service,
+            cluster,
+            instance,
+            teardown_on_handover,
+            dead: false,
+        };
+        if self.journal.enabled() {
+            self.journal.record(JournalEvent::PairAdd {
+                client,
+                ingress,
+                pair: pair.clone(),
+            });
+        }
         self.installed_shard_mut(ingress)
             .entry(client)
             .or_default()
-            .push(InstalledPair {
-                fwd: InstalledFlow {
-                    match_: fwd_match.clone(),
-                    instructions: vec![Instruction::ApplyActions(fwd_actions.to_vec())],
-                    priority,
-                    cookie: 1,
-                    flags: OFPFF_SEND_FLOW_REM,
-                },
-                rev: InstalledFlow {
-                    match_: rev_match.clone(),
-                    instructions: vec![Instruction::ApplyActions(rev_actions.to_vec())],
-                    priority,
-                    cookie: 2,
-                    flags: 0,
-                },
-                service,
-                cluster,
-                instance,
-                teardown_on_handover,
-                dead: false,
-            });
+            .push(pair);
     }
 
     /// Builds plain bidirectional cloud-forwarding flows.
@@ -1344,7 +1591,18 @@ impl Controller {
         // packet-in at the new switch is not mistaken for an unannounced
         // move (which would flush the very memory we are migrating).
         self.clients.observe(client, to, new_in_port, t);
+        self.journal_record(JournalEvent::ClientSeen {
+            client,
+            ingress: to,
+            in_port: new_in_port,
+            at: t,
+        });
         self.client_macs.insert(client, (client_mac, gw_mac));
+        self.journal_record(JournalEvent::MacsSeen {
+            client,
+            client_mac,
+            gw_mac,
+        });
         // Snapshot the old switch's exact matches before any new installs:
         // with `from == to` (a re-attach to the same cell) the new wildcard
         // pairs must not end up in their own teardown list. Cloud packet-in
@@ -1361,6 +1619,7 @@ impl Controller {
         if !kept.is_empty() {
             self.installed_shard_mut(from).insert(client, kept);
         }
+        self.journal_record(JournalEvent::HandoverSweep { client, from });
 
         let mut messages: Vec<(IngressId, OutboundMessage)> = Vec::new();
         let mut completed_at = t;
@@ -1501,6 +1760,7 @@ impl Controller {
         if self.migrate.live() {
             self.migrate_lagging_sessions(t, client, to, rng);
         }
+        self.journal_sync();
         HandoverOutcome {
             at: now,
             completed_at,
@@ -1527,7 +1787,10 @@ impl Controller {
         instance: InstanceAddr,
         cluster: usize,
     ) -> Vec<OutboundMessage> {
-        let out_port = self.cluster_port(ingress, cluster);
+        let Some(out_port) = self.cluster_port(ingress, cluster) else {
+            self.note_missing_port(ingress, cluster);
+            return self.install_handover_cloud(ingress, at, client, in_port, svc);
+        };
         let fwd_match = Match::service(svc.addr.ip.octets(), svc.addr.port)
             .with(OxmField::Ipv4Src(client.octets()));
         let rev_match = Match::any()
@@ -1692,6 +1955,7 @@ impl Controller {
         self.held.retain(|_, until| now < *until);
         if !self.config.scale_down_idle {
             self.memory.expire(now);
+            self.journal_sync();
             return events;
         }
         let mut expired = self.memory.expire(now);
@@ -1729,6 +1993,11 @@ impl Controller {
                 self.clusters[cluster_idx].scale_down(&svc, now, rng);
                 self.dispatcher.load_mut().remove_pool(svc_addr, cluster_idx, now);
                 self.scaled_down.insert((svc_addr, cluster_idx), now);
+                self.journal_record(JournalEvent::ScaledDown {
+                    service: svc_addr,
+                    cluster: cluster_idx,
+                    at: now,
+                });
                 events.push(ScaleDownEvent {
                     at: now,
                     service: svc_addr,
@@ -1747,6 +2016,10 @@ impl Controller {
                 .collect();
             for (svc_addr, cluster_idx) in due {
                 self.scaled_down.remove(&(svc_addr, cluster_idx));
+                self.journal_record(JournalEvent::ScaleRestored {
+                    service: svc_addr,
+                    cluster: cluster_idx,
+                });
                 let Some(svc) = self.services.get(svc_addr).cloned() else {
                     continue;
                 };
@@ -1774,6 +2047,7 @@ impl Controller {
                 LifecycleAction::Remove => "removes",
             });
         }
+        self.journal_sync();
         events
     }
 
@@ -1877,6 +2151,7 @@ impl Controller {
             self.dispatcher.load_mut().remove_pool(svc_addr, cluster, now);
             out.extend(self.repair_dead_instance(cluster, inst, now));
         }
+        self.journal_sync();
         out
     }
 
@@ -1911,6 +2186,7 @@ impl Controller {
             out.extend(self.teardown_pairs_for(client, ing, |p| p.instance == Some(inst), now));
         }
         self.aggregates.retain(|_, r| r.instance != inst);
+        self.journal_record(JournalEvent::AggregateRetainInstance { instance: inst });
         self.dispatcher.health_mut().record_failure(cluster, now);
         let m = &mut self.telemetry.metrics;
         m.inc("instance_failures_total");
@@ -1975,6 +2251,7 @@ impl Controller {
             out.extend(self.teardown_pairs_for(client, ing, |p| p.cluster == Some(cluster), now));
         }
         self.aggregates.retain(|_, r| r.cluster != cluster);
+        self.journal_record(JournalEvent::AggregateRetainCluster { cluster });
         self.dispatcher.health_mut().begin_outage(cluster, until);
         let m = &mut self.telemetry.metrics;
         m.inc("zone_outages_total");
@@ -1982,6 +2259,7 @@ impl Controller {
             m.add("stale_redirects_repaired", victims.len() as u64);
         }
         self.telemetry.end_span(root, now);
+        self.journal_sync();
         out
     }
 
@@ -1990,6 +2268,7 @@ impl Controller {
     /// re-deploys through the ordinary pipeline).
     pub fn end_zone_outage(&mut self, cluster: usize) {
         self.dispatcher.health_mut().end_outage(cluster);
+        self.journal_sync();
     }
 
     /// Flow-table reconciliation after an OpenFlow channel reconnect. The
@@ -2018,6 +2297,7 @@ impl Controller {
         clients.sort();
         let mut claimed: Vec<(Match, u16)> = Vec::new();
         let mut missing: Vec<InstalledFlow> = Vec::new();
+        let mut tombstoned: Vec<(Ipv4Addr, usize)> = Vec::new();
         for client in clients {
             let Some(pairs) = self
                 .installed
@@ -2026,7 +2306,7 @@ impl Controller {
             else {
                 continue;
             };
-            for p in pairs.iter_mut() {
+            for (i, p) in pairs.iter_mut().enumerate() {
                 if p.dead {
                     continue;
                 }
@@ -2044,6 +2324,7 @@ impl Controller {
                     }
                     if !alive {
                         p.dead = true;
+                        tombstoned.push((client, i));
                         continue;
                     }
                 }
@@ -2059,6 +2340,10 @@ impl Controller {
                     }
                 }
             }
+        }
+
+        for (client, idx) in tombstoned {
+            self.journal_record(JournalEvent::PairDead { client, ingress, idx });
         }
 
         let idle = openflow::timeout_secs(self.config.switch_flow_idle);
@@ -2134,6 +2419,7 @@ impl Controller {
         if n_orphans > 0 {
             m.add("reconcile_orphans_deleted", n_orphans as u64);
         }
+        self.journal_sync();
         msgs
     }
 
@@ -2147,13 +2433,18 @@ impl Controller {
         at: SimTime,
     ) -> Vec<(IngressId, OutboundMessage)> {
         let mut doomed: Vec<(Match, Match)> = Vec::new();
+        let mut dead_idx: Vec<usize> = Vec::new();
         if let Some(pairs) = self.installed_pairs_mut(client, ingress) {
-            for p in pairs.iter_mut() {
+            for (i, p) in pairs.iter_mut().enumerate() {
                 if !p.dead && pick(p) {
                     p.dead = true;
+                    dead_idx.push(i);
                     doomed.push((p.fwd.match_.clone(), p.rev.match_.clone()));
                 }
             }
+        }
+        for idx in dead_idx {
+            self.journal_record(JournalEvent::PairDead { client, ingress, idx });
         }
         let mut out = Vec::new();
         for (fwd, rev) in doomed {
@@ -2244,6 +2535,7 @@ impl Controller {
     /// the hot path costs one branch by default.
     pub fn note_served(&mut self, svc_addr: ServiceAddr, cluster: usize) {
         self.migrate.note_served(svc_addr, cluster);
+        self.journal_sync();
     }
 
     /// Earliest instant an in-flight migration's flow flip becomes due
@@ -2334,6 +2626,7 @@ impl Controller {
             format!("state landed; warm target ready at {ready_at:?}")
         });
         self.telemetry.metrics.inc("migrations_total");
+        self.journal_sync();
         true
     }
 
@@ -2352,6 +2645,7 @@ impl Controller {
         for m in due {
             out.extend(self.finish_migration(&m, now, rng));
         }
+        self.journal_sync();
         out
     }
 
@@ -2474,6 +2768,7 @@ impl Controller {
                 started += 1;
             }
         }
+        self.journal_sync();
         started
     }
 
@@ -2540,16 +2835,21 @@ impl Controller {
                 .with(OxmField::Ipv4Src(client.octets()))
         });
         let mut doomed: Vec<Match> = Vec::new();
+        let mut dead_idx: Vec<usize> = Vec::new();
         if let Some(pairs) = self.installed_pairs_mut(client, ingress) {
-            for p in pairs.iter_mut() {
+            for (i, p) in pairs.iter_mut().enumerate() {
                 if !p.dead && p.service == service && p.cluster == Some(from) {
                     p.dead = true;
+                    dead_idx.push(i);
                     if replaced_fwd.as_ref() != Some(&p.fwd.match_) {
                         doomed.push(p.fwd.match_.clone());
                     }
                     doomed.push(p.rev.match_.clone());
                 }
             }
+        }
+        for idx in dead_idx {
+            self.journal_record(JournalEvent::PairDead { client, ingress, idx });
         }
         let mut out = Vec::new();
         for m in doomed {

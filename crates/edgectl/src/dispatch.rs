@@ -269,6 +269,15 @@ impl Dispatcher {
         &mut self.tracker
     }
 
+    /// Clears the state a controller crash would lose: the single-flight
+    /// failure cache (its give-up instants refer to deployments the dead
+    /// controller was tracking). Replica pools and the health monitor are
+    /// restored separately — pools re-anchor lazily on the next dispatch,
+    /// and breakers come back from the journal.
+    pub fn reset_volatile(&mut self) {
+        self.in_flight.clear();
+    }
+
     /// Dispatches one request from `client_ip` to `svc` (Fig. 7), without
     /// tracing — a convenience wrapper over [`Dispatcher::dispatch`] for
     /// callers that drive the dispatcher directly (tests, examples).
@@ -390,11 +399,19 @@ impl Dispatcher {
                 // slot on it. A full queue bounces this request to the
                 // cloud but keeps the flow memorized — the replica is
                 // overloaded, not gone.
-                if let Some(idx) = self.tracker.index_of(svc.addr, cluster, flow.instance) {
-                    let (outcome, instance) = self
-                        .tracker
-                        .admit(svc.addr, cluster, idx, now)
-                        .expect("owned replica index has a pool");
+                if let Some((outcome, instance, idx)) = self
+                    .tracker
+                    .index_of(svc.addr, cluster, flow.instance)
+                    .and_then(|idx| {
+                        // The pool can vanish between `index_of` and here
+                        // (e.g. state rebuilt after a controller restart);
+                        // a miss falls through to the stale path below
+                        // instead of panicking mid-dispatch.
+                        self.tracker
+                            .admit(svc.addr, cluster, idx, now)
+                            .map(|(o, a)| (o, a, idx))
+                    })
+                {
                     tele.event(parent, "memory-hit", now, || {
                         format!("memorized redirect to cluster {cluster} replica {idx}")
                     });
@@ -562,10 +579,20 @@ impl Dispatcher {
                 // any) surfaces as a WaitThenRedirect, a full queue bounces
                 // to the cloud — overload is observable in answer delay.
                 self.tracker.ensure_pool(svc.addr, f.cluster, base, now);
-                let (outcome, instance) = self
-                    .tracker
-                    .admit(svc.addr, f.cluster, f.instance, now)
-                    .expect("pool just ensured");
+                let Some((outcome, instance)) =
+                    self.tracker.admit(svc.addr, f.cluster, f.instance, now)
+                else {
+                    // The pool the scheduler saw is gone (it can only have
+                    // been torn down between the view and this admit, e.g.
+                    // by a concurrent repair): degrade to the cloud rather
+                    // than panic on a hot-path invariant.
+                    return DispatchOutcome {
+                        decision: DispatchDecision::ForwardToCloud,
+                        background,
+                        phases: PhaseTimes::default(),
+                        from_memory: false,
+                    };
+                };
                 let decision = match outcome {
                     Admission::Rejected => {
                         let cluster = f.cluster;
@@ -639,9 +666,17 @@ impl Dispatcher {
                 };
             }
         };
-        let base = clusters[f.cluster]
-            .instance_addr(svc)
-            .expect("deployed instance has an address");
+        let Some(base) = clusters[f.cluster].instance_addr(svc) else {
+            // `ensure_ready` said Ready but the instance has no address —
+            // the deployment was reaped between the readiness check and
+            // here. Treat like any other unschedulable outcome.
+            return DispatchOutcome {
+                decision: DispatchDecision::ForwardToCloud,
+                background,
+                phases,
+                from_memory: false,
+            };
+        };
         let (instance, ready_at) = if self.tracker.enabled() {
             // The fresh deployment anchors (or re-anchors, after a
             // redeploy on a new port) the replica pool; the request is

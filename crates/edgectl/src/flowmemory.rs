@@ -74,6 +74,50 @@ pub struct FlowMemoryStats {
     pub expired: u64,
 }
 
+/// One FlowMemory mutation, as appended to the controller's write-ahead
+/// journal (see [`crate::journal`]). Every bulk operation — client/service/
+/// instance/cluster forgets, re-keys, expiry sweeps — decomposes into these
+/// four leaves, so replaying the leaf stream rebuilds the memory exactly.
+#[derive(Clone, Copy, Debug)]
+pub enum FlowOp {
+    /// An entry was inserted (or refreshed in place) at `at`.
+    Memorize {
+        /// The entry's key.
+        key: FlowKey,
+        /// Redirect target instance.
+        instance: InstanceAddr,
+        /// Redirect target cluster.
+        cluster: usize,
+        /// Insertion instant (`last_used` baseline).
+        at: SimTime,
+    },
+    /// An entry's idle timer was refreshed at `at` (lookup hit or explicit
+    /// touch).
+    Touch {
+        /// The refreshed entry.
+        key: FlowKey,
+        /// Refresh instant.
+        at: SimTime,
+    },
+    /// An entry was removed (forget, bulk forget, re-key departure, or an
+    /// expiry sweep reaping it).
+    Forget {
+        /// The removed entry.
+        key: FlowKey,
+    },
+    /// An entry was re-targeted in place at `at` (migration flip).
+    Repoint {
+        /// The retargeted entry.
+        key: FlowKey,
+        /// New instance.
+        instance: InstanceAddr,
+        /// New cluster.
+        cluster: usize,
+        /// Flip instant (`last_used` refresh).
+        at: SimTime,
+    },
+}
+
 /// One per-ingress shard: the flows entering through a single gNB and
 /// their expiry wheel. A fleet-scale controller fronts many ingress
 /// switches; keying the hot structures by ingress keeps every per-packet
@@ -103,6 +147,9 @@ pub struct FlowMemory {
     /// Recycled buffer for expiry sweeps so periodic ticks allocate nothing
     /// in the steady state.
     expiry_scratch: Vec<FlowKey>,
+    /// Mutation log drained by the controller's journal; `None` (the
+    /// default) keeps every mutator free of logging work.
+    log: Option<Vec<FlowOp>>,
 }
 
 impl FlowMemory {
@@ -116,12 +163,76 @@ impl FlowMemory {
             len: 0,
             per_service: HashMap::new(),
             expiry_scratch: Vec::new(),
+            log: None,
         }
     }
 
     /// The configured idle timeout.
     pub fn idle_timeout(&self) -> Duration {
         self.idle_timeout
+    }
+
+    /// Turns mutation logging on or off. Off (the default) keeps the
+    /// mutators allocation- and branch-free for the no-journal path;
+    /// turning it off discards any undrained ops.
+    pub fn set_logging(&mut self, on: bool) {
+        self.log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the mutation ops accumulated since the last drain. Empty when
+    /// logging is off.
+    pub fn take_ops(&mut self) -> Vec<FlowOp> {
+        self.log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Every live entry, sorted by `(ingress, client, service)` — the
+    /// snapshot export. Stats and wheel internals are excluded: a restore
+    /// re-arms each entry at `last_used + idle_timeout`, which is never
+    /// later than the original wheel deadline, so sweep behaviour is
+    /// preserved.
+    pub fn export_entries(&self) -> Vec<(FlowKey, MemorizedFlow)> {
+        let mut out: Vec<(FlowKey, MemorizedFlow)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.flows.iter())
+            .map(|(k, f)| (*k, *f))
+            .collect();
+        out.sort_by_key(|(k, _)| (k.ingress, k.client_ip, k.service));
+        out
+    }
+
+    /// Rebuilds the memory from a snapshot export. Intended for a fresh,
+    /// non-logging instance (journal replay); entries keep their recorded
+    /// `last_used`.
+    pub fn restore_entries(&mut self, entries: &[(FlowKey, MemorizedFlow)]) {
+        for (k, f) in entries {
+            self.memorize(*k, f.instance, f.cluster, f.last_used);
+        }
+    }
+
+    /// Applies one logged mutation — the journal replay primitive. Call on
+    /// a non-logging instance, or the replayed ops are re-logged.
+    pub fn apply(&mut self, op: &FlowOp) {
+        match *op {
+            FlowOp::Memorize {
+                key,
+                instance,
+                cluster,
+                at,
+            } => self.memorize(key, instance, cluster, at),
+            FlowOp::Touch { key, at } => self.touch(key, at),
+            FlowOp::Forget { key } => {
+                self.remove(&key);
+            }
+            FlowOp::Repoint {
+                key,
+                instance,
+                cluster,
+                at,
+            } => {
+                self.repoint(&key, instance, cluster, at);
+            }
+        }
     }
 
     fn shard(&self, ingress: IngressId) -> Option<&Shard> {
@@ -149,6 +260,9 @@ impl FlowMemory {
         flow.last_used = now;
         let hit = *flow;
         self.stats.hits += 1;
+        if let Some(log) = &mut self.log {
+            log.push(FlowOp::Touch { key, at: now });
+        }
         Some(hit)
     }
 
@@ -169,6 +283,14 @@ impl FlowMemory {
             self.len += 1;
             *self.per_service.entry(key.service).or_insert(0) += 1;
         }
+        if let Some(log) = &mut self.log {
+            log.push(FlowOp::Memorize {
+                key,
+                instance,
+                cluster,
+                at: now,
+            });
+        }
     }
 
     /// Refreshes the idle timer (e.g. when the switch reports traffic via a
@@ -177,6 +299,9 @@ impl FlowMemory {
         if let Some(shard) = self.shards.get_mut(key.ingress.0 as usize) {
             if let Some(f) = shard.flows.get_mut(&key) {
                 f.last_used = now;
+                if let Some(log) = &mut self.log {
+                    log.push(FlowOp::Touch { key, at: now });
+                }
             }
         }
     }
@@ -196,6 +321,9 @@ impl FlowMemory {
         *n -= 1;
         if *n == 0 {
             self.per_service.remove(&key.service);
+        }
+        if let Some(log) = &mut self.log {
+            log.push(FlowOp::Forget { key: *key });
         }
         true
     }
@@ -369,6 +497,14 @@ impl FlowMemory {
         flow.instance = instance;
         flow.cluster = cluster;
         flow.last_used = now;
+        if let Some(log) = &mut self.log {
+            log.push(FlowOp::Repoint {
+                key: *key,
+                instance,
+                cluster,
+                at: now,
+            });
+        }
         true
     }
 

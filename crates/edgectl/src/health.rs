@@ -84,6 +84,55 @@ impl BreakerState {
     }
 }
 
+/// One health-state mutation, as appended to the controller's write-ahead
+/// journal (see [`crate::journal`]). Replaying the stream on a fresh
+/// monitor reproduces every breaker and outage window exactly.
+#[derive(Clone, Copy, Debug)]
+pub enum HealthOp {
+    /// A failure was recorded against `cluster` at `at`.
+    Failure {
+        /// The failing cluster.
+        cluster: usize,
+        /// When (fixes the Open cooldown deadline on replay).
+        at: SimTime,
+    },
+    /// A success was recorded (breaker closed, streak reset).
+    Success {
+        /// The recovering cluster.
+        cluster: usize,
+    },
+    /// An Open breaker's cooldown elapsed inside
+    /// [`HealthMonitor::available`] and it moved to HalfOpen.
+    HalfOpen {
+        /// The probing cluster.
+        cluster: usize,
+    },
+    /// A zone outage was declared until `until`.
+    OutageBegin {
+        /// The dark cluster.
+        cluster: usize,
+        /// Declared end of the window.
+        until: SimTime,
+    },
+    /// A declared outage was cleared early.
+    OutageEnd {
+        /// The recovered cluster.
+        cluster: usize,
+    },
+}
+
+/// Plain-data snapshot of one breaker — the journal's snapshot encoding of
+/// [`HealthMonitor`] state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// Current state.
+    pub state: BreakerState,
+    /// Consecutive-failure streak.
+    pub consecutive_failures: u32,
+    /// Cooldown deadline (meaningful while Open).
+    pub open_until: SimTime,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Breaker {
     state: BreakerState,
@@ -110,6 +159,9 @@ pub struct HealthMonitor {
     breakers: Vec<Breaker>,
     /// Declared outage end per cluster (`None` = zone up).
     outages: Vec<Option<SimTime>>,
+    /// Mutation log drained by the controller's journal; `None` (the
+    /// default) keeps the breaker hot path free of logging work.
+    log: Option<Vec<HealthOp>>,
 }
 
 impl HealthMonitor {
@@ -120,6 +172,60 @@ impl HealthMonitor {
             config,
             breakers: Vec::new(),
             outages: Vec::new(),
+            log: None,
+        }
+    }
+
+    /// Turns mutation logging on or off (off discards undrained ops).
+    pub fn set_logging(&mut self, on: bool) {
+        self.log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the ops accumulated since the last drain. Empty when logging
+    /// is off.
+    pub fn take_ops(&mut self) -> Vec<HealthOp> {
+        self.log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Breakers and outage windows as plain data — the snapshot export.
+    pub fn export_state(&self) -> (Vec<BreakerSnapshot>, Vec<Option<SimTime>>) {
+        let breakers = self
+            .breakers
+            .iter()
+            .map(|b| BreakerSnapshot {
+                state: b.state,
+                consecutive_failures: b.consecutive_failures,
+                open_until: b.open_until,
+            })
+            .collect();
+        (breakers, self.outages.clone())
+    }
+
+    /// Restores a snapshot taken by [`export_state`](Self::export_state).
+    pub fn restore_state(&mut self, breakers: &[BreakerSnapshot], outages: &[Option<SimTime>]) {
+        self.breakers = breakers
+            .iter()
+            .map(|s| Breaker {
+                state: s.state,
+                consecutive_failures: s.consecutive_failures,
+                open_until: s.open_until,
+            })
+            .collect();
+        self.outages = outages.to_vec();
+    }
+
+    /// Applies one logged mutation — the journal replay primitive. Call on
+    /// a non-logging instance, or the replayed ops are re-logged.
+    pub fn apply(&mut self, op: &HealthOp) {
+        match *op {
+            HealthOp::Failure { cluster, at } => self.record_failure(cluster, at),
+            HealthOp::Success { cluster } => self.record_success(cluster),
+            HealthOp::HalfOpen { cluster } => {
+                self.grow(cluster);
+                self.breakers[cluster].state = BreakerState::HalfOpen;
+            }
+            HealthOp::OutageBegin { cluster, until } => self.begin_outage(cluster, until),
+            HealthOp::OutageEnd { cluster } => self.end_outage(cluster),
         }
     }
 
@@ -154,6 +260,9 @@ impl HealthMonitor {
             b.state = BreakerState::Open;
             b.open_until = now + cooldown;
         }
+        if let Some(log) = &mut self.log {
+            log.push(HealthOp::Failure { cluster, at: now });
+        }
     }
 
     /// Records a success (a deployment reached Ready): closes the breaker
@@ -163,6 +272,9 @@ impl HealthMonitor {
         let b = &mut self.breakers[cluster];
         b.state = BreakerState::Closed;
         b.consecutive_failures = 0;
+        if let Some(log) = &mut self.log {
+            log.push(HealthOp::Success { cluster });
+        }
     }
 
     /// Whether `cluster` may be offered to the scheduler at `now`. An Open
@@ -180,6 +292,9 @@ impl HealthMonitor {
             BreakerState::Open => {
                 if now >= b.open_until {
                     b.state = BreakerState::HalfOpen;
+                    if let Some(log) = &mut self.log {
+                        log.push(HealthOp::HalfOpen { cluster });
+                    }
                     true
                 } else {
                     false
@@ -199,12 +314,18 @@ impl HealthMonitor {
     pub fn begin_outage(&mut self, cluster: usize, until: SimTime) {
         self.grow(cluster);
         self.outages[cluster] = Some(until);
+        if let Some(log) = &mut self.log {
+            log.push(HealthOp::OutageBegin { cluster, until });
+        }
     }
 
     /// Clears a declared outage (the zone returned).
     pub fn end_outage(&mut self, cluster: usize) {
         self.grow(cluster);
         self.outages[cluster] = None;
+        if let Some(log) = &mut self.log {
+            log.push(HealthOp::OutageEnd { cluster });
+        }
     }
 
     /// `true` while a declared outage window covers `now`.

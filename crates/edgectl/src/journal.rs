@@ -1,0 +1,611 @@
+//! Controller crash-recovery: a write-ahead journal of state mutations
+//! with periodic compacted snapshots and deterministic replay.
+//!
+//! The controller is the last single point of failure in the transparent
+//! edge: PR 5 recovers from instance crashes, zone outages, and channel
+//! loss, but a controller death used to lose the FlowMemory, the
+//! installed-pair bookkeeping, breaker state, and in-flight migrations
+//! outright. The journal closes that gap:
+//!
+//! * every state mutation the controller performs is appended as a
+//!   [`JournalEvent`] — component-level ops ([`FlowOp`], [`HealthOp`],
+//!   [`MigrationOp`]) drained from the mutated structures, plus
+//!   controller-level events (pair add/tombstone, aggregate anchor
+//!   changes, scale-down bookkeeping, client sightings);
+//! * every `snapshot_every` events the tail is **compacted** into a
+//!   [`Snapshot`] — a sorted, deterministic export of the full recoverable
+//!   state — and the tail restarts empty;
+//! * a **warm restart** rebuilds the controller's state by restoring the
+//!   snapshot and replaying the tail ([`Journal::rebuild`]); a **cold
+//!   restart** starts empty and leans on reconciliation plus packet-in
+//!   re-dispatch alone.
+//!
+//! Replay is deterministic: the same journal always rebuilds the same
+//! state, and a rebuilt state's [`Snapshot::encode`] is byte-identical to
+//! the uncrashed controller's at every mutation boundary (the differential
+//! oracle the tests enforce). Volatile state — held requests, deferred
+//! expiries, in-flight single-flight deployments, per-request records,
+//! telemetry — is deliberately *not* journaled: it is either rebuilt on
+//! demand by the ordinary pipeline or pure diagnostics.
+//!
+//! The journal is **off by default** ([`JournalConfig::enabled`] =
+//! `false`): no component logs ops, `record` is a never-taken branch, and
+//! every previously committed figure stays byte-identical.
+
+use crate::clients::ClientTracker;
+use crate::cluster::InstanceAddr;
+use crate::controller::{AggregateRule, ControllerConfig, InstalledPair};
+use crate::flowmemory::{FlowKey, FlowMemory, FlowOp, IngressId, MemorizedFlow};
+use crate::health::{BreakerSnapshot, HealthMonitor, HealthOp};
+use crate::migrate::{MigrationManager, MigrationOp, MigrationSnapshot};
+use desim::SimTime;
+use netsim::addr::{Ipv4Addr, MacAddr};
+use netsim::ServiceAddr;
+use std::collections::HashMap;
+
+/// Write-ahead journal configuration (the `journal:` YAML block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Whether the journal records at all. Off by default: every component
+    /// op log stays `None`, `record` is a never-taken branch, and every
+    /// committed figure stays byte-identical.
+    pub enabled: bool,
+    /// Compact the tail into a snapshot once it holds this many events.
+    pub snapshot_every: usize,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            enabled: false,
+            snapshot_every: 256,
+        }
+    }
+}
+
+/// One journaled state mutation. Component ops are drained from the
+/// mutated structures' own logs; the rest are controller-level mutations
+/// of the installed-pair bookkeeping and its satellites.
+///
+/// Events touching *different* structures commute, so the controller may
+/// batch component-op drains at the end of an entry point; events touching
+/// the *same* structure are strictly ordered. `PairDead` addresses a pair
+/// by its index in the client's vector — stable because replay rebuilds
+/// the vector through the very same `PairAdd`/`HandoverSweep` sequence.
+#[derive(Clone, Debug)]
+pub(crate) enum JournalEvent {
+    /// A FlowMemory mutation.
+    Flow(FlowOp),
+    /// A breaker/outage mutation.
+    Health(HealthOp),
+    /// A migration-manager mutation.
+    Migration(MigrationOp),
+    /// A forward/reverse pair was filed into the bookkeeping.
+    PairAdd {
+        client: Ipv4Addr,
+        ingress: IngressId,
+        pair: InstalledPair,
+    },
+    /// The pair at `idx` of `(client, ingress)` was tombstoned.
+    PairDead {
+        client: Ipv4Addr,
+        ingress: IngressId,
+        idx: usize,
+    },
+    /// An attachment-change handover swept `(client, from)`: pairs marked
+    /// `teardown_on_handover` were dropped, the rest kept.
+    HandoverSweep { client: Ipv4Addr, from: IngressId },
+    /// An aggregated wildcard rule was anchored for `(ingress, service)`.
+    AggregateSet {
+        ingress: IngressId,
+        service: ServiceAddr,
+        rule: AggregateRule,
+    },
+    /// The aggregate anchor of `(ingress, service)` was dropped.
+    AggregateDrop {
+        ingress: IngressId,
+        service: ServiceAddr,
+    },
+    /// Every aggregate anchored on `instance` was dropped (repair sweep).
+    AggregateRetainInstance { instance: InstanceAddr },
+    /// Every aggregate into `cluster` was dropped (zone outage).
+    AggregateRetainCluster { cluster: usize },
+    /// `(service, cluster)` was scaled down at `at`, awaiting removal.
+    ScaledDown {
+        service: ServiceAddr,
+        cluster: usize,
+        at: SimTime,
+    },
+    /// `(service, cluster)` left the scaled-down set (removed or timed).
+    ScaleRestored { service: ServiceAddr, cluster: usize },
+    /// A client was sighted at `(ingress, in_port)` — replayed through the
+    /// tracker's `observe`, which reproduces any detected move.
+    ClientSeen {
+        client: Ipv4Addr,
+        ingress: IngressId,
+        in_port: u32,
+        at: SimTime,
+    },
+    /// The client's MAC and perceived gateway MAC were learned.
+    MacsSeen {
+        client: Ipv4Addr,
+        client_mac: MacAddr,
+        gw_mac: MacAddr,
+    },
+}
+
+/// A compacted, deterministic export of the controller's recoverable
+/// state: every collection sorted by a stable key, so [`Snapshot::encode`]
+/// is byte-identical for semantically identical states regardless of hash
+/// iteration order.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Snapshot {
+    pub(crate) memory: Vec<(FlowKey, MemorizedFlow)>,
+    /// Per-ingress shards; each shard sorted by client.
+    pub(crate) installed: Vec<Vec<(Ipv4Addr, Vec<InstalledPair>)>>,
+    pub(crate) aggregates: Vec<((IngressId, ServiceAddr), AggregateRule)>,
+    pub(crate) scaled_down: Vec<((ServiceAddr, usize), SimTime)>,
+    pub(crate) locations: Vec<(Ipv4Addr, IngressId, u32, SimTime)>,
+    pub(crate) client_macs: Vec<(Ipv4Addr, (MacAddr, MacAddr))>,
+    pub(crate) breakers: Vec<BreakerSnapshot>,
+    pub(crate) outages: Vec<Option<SimTime>>,
+    pub(crate) migrate: MigrationSnapshot,
+}
+
+impl Snapshot {
+    /// Captures the recoverable state from the live structures (the
+    /// controller's own fields, or a [`ReplayedState`]'s).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn capture(
+        memory: &FlowMemory,
+        installed: &[HashMap<Ipv4Addr, Vec<InstalledPair>>],
+        aggregates: &HashMap<(IngressId, ServiceAddr), AggregateRule>,
+        scaled_down: &HashMap<(ServiceAddr, usize), SimTime>,
+        clients: &ClientTracker,
+        client_macs: &HashMap<Ipv4Addr, (MacAddr, MacAddr)>,
+        health: &HealthMonitor,
+        migrate: &MigrationManager,
+    ) -> Snapshot {
+        let installed = installed
+            .iter()
+            .map(|shard| {
+                let mut v: Vec<_> = shard.iter().map(|(c, ps)| (*c, ps.clone())).collect();
+                v.sort_unstable_by_key(|&(c, _)| c);
+                v
+            })
+            .collect();
+        let mut aggregates: Vec<_> = aggregates.iter().map(|(k, r)| (*k, r.clone())).collect();
+        aggregates.sort_unstable_by_key(|&((i, s), _)| (i.0, s.ip.octets(), s.port));
+        let mut scaled_down: Vec<_> = scaled_down.iter().map(|(k, t)| (*k, *t)).collect();
+        scaled_down.sort_unstable_by_key(|&((s, c), _)| (s.ip.octets(), s.port, c));
+        let mut client_macs: Vec<_> = client_macs.iter().map(|(c, m)| (*c, *m)).collect();
+        client_macs.sort_unstable_by_key(|&(c, _)| c);
+        let (breakers, outages) = health.export_state();
+        Snapshot {
+            memory: memory.export_entries(),
+            installed,
+            aggregates,
+            scaled_down,
+            locations: clients.export_locations(),
+            client_macs,
+            breakers,
+            outages,
+            migrate: migrate.export_state(),
+        }
+    }
+
+    /// Deterministic textual encoding — the differential oracle's currency.
+    /// Debug formatting over sorted vectors: byte-identical iff the
+    /// recoverable state is identical.
+    pub(crate) fn encode(&self) -> String {
+        format!(
+            "memory={:?}\ninstalled={:?}\naggregates={:?}\nscaled_down={:?}\n\
+             locations={:?}\nclient_macs={:?}\nbreakers={:?}\noutages={:?}\nmigrate={:?}\n",
+            self.memory,
+            self.installed,
+            self.aggregates,
+            self.scaled_down,
+            self.locations,
+            self.client_macs,
+            self.breakers,
+            self.outages,
+            self.migrate,
+        )
+    }
+
+    /// Total entries across the snapshot's collections (the recovery
+    /// report's "state size").
+    pub(crate) fn entry_count(&self) -> usize {
+        self.memory.len()
+            + self
+                .installed
+                .iter()
+                .flat_map(|shard| shard.iter())
+                .map(|(_, ps)| ps.len())
+                .sum::<usize>()
+            + self.aggregates.len()
+            + self.scaled_down.len()
+            + self.locations.len()
+            + self.client_macs.len()
+            + self.migrate.ledger.len()
+            + self.migrate.active.len()
+    }
+}
+
+/// The recoverable state rebuilt by replay: the same component types the
+/// controller owns, with op logging off (replay must not re-log).
+pub(crate) struct ReplayedState {
+    pub(crate) memory: FlowMemory,
+    pub(crate) installed: Vec<HashMap<Ipv4Addr, Vec<InstalledPair>>>,
+    pub(crate) aggregates: HashMap<(IngressId, ServiceAddr), AggregateRule>,
+    pub(crate) scaled_down: HashMap<(ServiceAddr, usize), SimTime>,
+    pub(crate) clients: ClientTracker,
+    pub(crate) client_macs: HashMap<Ipv4Addr, (MacAddr, MacAddr)>,
+    pub(crate) health: HealthMonitor,
+    pub(crate) migrate: MigrationManager,
+}
+
+impl ReplayedState {
+    /// Fresh, empty state under the controller's configuration.
+    pub(crate) fn new(config: &ControllerConfig) -> ReplayedState {
+        ReplayedState {
+            memory: FlowMemory::new(config.memory_idle),
+            installed: Vec::new(),
+            aggregates: HashMap::new(),
+            scaled_down: HashMap::new(),
+            clients: ClientTracker::new(),
+            client_macs: HashMap::new(),
+            health: HealthMonitor::new(config.health),
+            migrate: MigrationManager::new(config.migration.clone()),
+        }
+    }
+
+    /// Restores a compacted snapshot into the (empty) state.
+    pub(crate) fn restore(&mut self, snap: &Snapshot) {
+        self.memory.restore_entries(&snap.memory);
+        self.installed = snap
+            .installed
+            .iter()
+            .map(|shard| shard.iter().map(|(c, ps)| (*c, ps.clone())).collect())
+            .collect();
+        self.aggregates = snap.aggregates.iter().map(|(k, r)| (*k, r.clone())).collect();
+        self.scaled_down = snap.scaled_down.iter().copied().collect();
+        self.clients.restore_locations(&snap.locations);
+        self.client_macs = snap.client_macs.iter().copied().collect();
+        self.health.restore_state(&snap.breakers, &snap.outages);
+        self.migrate.restore_state(&snap.migrate);
+    }
+
+    fn shard_mut(&mut self, ingress: IngressId) -> &mut HashMap<Ipv4Addr, Vec<InstalledPair>> {
+        let idx = ingress.0 as usize;
+        if idx >= self.installed.len() {
+            self.installed.resize_with(idx + 1, HashMap::new);
+        }
+        &mut self.installed[idx]
+    }
+
+    /// Replays one journal event.
+    pub(crate) fn apply(&mut self, ev: &JournalEvent) {
+        match ev {
+            JournalEvent::Flow(op) => self.memory.apply(op),
+            JournalEvent::Health(op) => self.health.apply(op),
+            JournalEvent::Migration(op) => self.migrate.apply(op),
+            JournalEvent::PairAdd {
+                client,
+                ingress,
+                pair,
+            } => {
+                self.shard_mut(*ingress)
+                    .entry(*client)
+                    .or_default()
+                    .push(pair.clone());
+            }
+            JournalEvent::PairDead {
+                client,
+                ingress,
+                idx,
+            } => {
+                if let Some(pairs) = self
+                    .installed
+                    .get_mut(ingress.0 as usize)
+                    .and_then(|s| s.get_mut(client))
+                {
+                    if let Some(p) = pairs.get_mut(*idx) {
+                        p.dead = true;
+                    }
+                }
+            }
+            JournalEvent::HandoverSweep { client, from } => {
+                if let Some(shard) = self.installed.get_mut(from.0 as usize) {
+                    if let Some(mut pairs) = shard.remove(client) {
+                        pairs.retain(|p| !p.teardown_on_handover);
+                        if !pairs.is_empty() {
+                            shard.insert(*client, pairs);
+                        }
+                    }
+                }
+            }
+            JournalEvent::AggregateSet {
+                ingress,
+                service,
+                rule,
+            } => {
+                self.aggregates.insert((*ingress, *service), rule.clone());
+            }
+            JournalEvent::AggregateDrop { ingress, service } => {
+                self.aggregates.remove(&(*ingress, *service));
+            }
+            JournalEvent::AggregateRetainInstance { instance } => {
+                self.aggregates.retain(|_, r| r.instance != *instance);
+            }
+            JournalEvent::AggregateRetainCluster { cluster } => {
+                self.aggregates.retain(|_, r| r.cluster != *cluster);
+            }
+            JournalEvent::ScaledDown {
+                service,
+                cluster,
+                at,
+            } => {
+                self.scaled_down.insert((*service, *cluster), *at);
+            }
+            JournalEvent::ScaleRestored { service, cluster } => {
+                self.scaled_down.remove(&(*service, *cluster));
+            }
+            JournalEvent::ClientSeen {
+                client,
+                ingress,
+                in_port,
+                at,
+            } => {
+                self.clients.observe(*client, *ingress, *in_port, *at);
+            }
+            JournalEvent::MacsSeen {
+                client,
+                client_mac,
+                gw_mac,
+            } => {
+                self.client_macs.insert(*client, (*client_mac, *gw_mac));
+            }
+        }
+    }
+
+    /// The rebuilt state's own snapshot (for the differential oracle).
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(
+            &self.memory,
+            &self.installed,
+            &self.aggregates,
+            &self.scaled_down,
+            &self.clients,
+            &self.client_macs,
+            &self.health,
+            &self.migrate,
+        )
+    }
+}
+
+/// Read-only journal counters (the bench and the recovery report read
+/// these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Whether the journal is recording.
+    pub enabled: bool,
+    /// Events appended over the journal's lifetime (pre-compaction
+    /// included).
+    pub appended: u64,
+    /// Events currently in the tail (since the last compaction).
+    pub tail_len: usize,
+    /// Compactions performed.
+    pub snapshots_taken: u64,
+    /// Entries in the current compacted snapshot (0 when none).
+    pub snapshot_entries: usize,
+}
+
+/// The write-ahead journal: an optional compacted [`Snapshot`] plus the
+/// tail of [`JournalEvent`]s since.
+pub struct Journal {
+    config: JournalConfig,
+    snapshot: Option<Snapshot>,
+    tail: Vec<JournalEvent>,
+    appended: u64,
+    snapshots_taken: u64,
+}
+
+impl Journal {
+    /// A journal under `config` — empty, no snapshot.
+    pub(crate) fn new(config: JournalConfig) -> Journal {
+        Journal {
+            config,
+            snapshot: None,
+            tail: Vec::new(),
+            appended: 0,
+            snapshots_taken: 0,
+        }
+    }
+
+    /// Whether the journal records at all.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Appends one event (a no-op while disabled).
+    pub(crate) fn record(&mut self, ev: JournalEvent) {
+        if self.config.enabled {
+            self.tail.push(ev);
+            self.appended += 1;
+        }
+    }
+
+    /// Whether the tail has grown past the compaction threshold.
+    pub(crate) fn should_compact(&self) -> bool {
+        self.config.enabled && self.tail.len() >= self.config.snapshot_every.max(1)
+    }
+
+    /// Replaces snapshot + tail with a freshly captured snapshot. The
+    /// caller captures it *after* the tail's last event took effect, so
+    /// snapshot ≡ old-snapshot + tail.
+    pub(crate) fn compact(&mut self, snap: Snapshot) {
+        self.snapshot = Some(snap);
+        self.tail.clear();
+        self.snapshots_taken += 1;
+    }
+
+    /// Rebuilds the recoverable state: restore the snapshot, replay the
+    /// tail. Returns the state, the tail events replayed, and the entries
+    /// restored from the snapshot.
+    pub(crate) fn rebuild(&self, config: &ControllerConfig) -> (ReplayedState, usize, usize) {
+        let mut st = ReplayedState::new(config);
+        let mut snapshot_entries = 0;
+        if let Some(snap) = &self.snapshot {
+            snapshot_entries = snap.entry_count();
+            st.restore(snap);
+        }
+        for ev in &self.tail {
+            st.apply(ev);
+        }
+        (st, self.tail.len(), snapshot_entries)
+    }
+
+    /// Drops everything — the cold-restart (and post-warm-rebuild) reset:
+    /// the journal restarts from the recovered state's next mutation.
+    pub(crate) fn reset(&mut self) {
+        self.snapshot = None;
+        self.tail.clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            enabled: self.config.enabled,
+            appended: self.appended,
+            tail_len: self.tail.len(),
+            snapshots_taken: self.snapshots_taken,
+            snapshot_entries: self.snapshot.as_ref().map_or(0, Snapshot::entry_count),
+        }
+    }
+}
+
+/// How a restarted controller rebuilds its state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Restore the journal snapshot and replay the tail, then reconcile.
+    Warm,
+    /// Start empty; reconciliation, `FLOW_REMOVED`, and packet-in
+    /// re-dispatch rebuild everything on demand.
+    Cold,
+}
+
+impl RecoveryMode {
+    /// Short lowercase label (`"warm"` / `"cold"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryMode::Warm => "warm",
+            RecoveryMode::Cold => "cold",
+        }
+    }
+}
+
+/// What a crash-restart did (the HA bench reads this).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// The mode that ran.
+    pub mode: RecoveryMode,
+    /// Tail events replayed (0 for cold).
+    pub replayed_events: usize,
+    /// Entries restored from the compacted snapshot (0 for cold or when
+    /// no compaction had happened).
+    pub snapshot_entries: usize,
+    /// In-flight migrations aborted because their pinned transfer cannot
+    /// survive the crash.
+    pub aborted_migrations: usize,
+    /// Wall-clock nanoseconds the rebuild took (replay throughput; not
+    /// simulation time and not deterministic across machines).
+    pub replay_wall_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_off() {
+        let c = JournalConfig::default();
+        assert!(!c.enabled);
+        assert_eq!(c.snapshot_every, 256);
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let mut j = Journal::new(JournalConfig::default());
+        j.record(JournalEvent::ScaleRestored {
+            service: ServiceAddr {
+                ip: Ipv4Addr::new(10, 0, 0, 1),
+                port: 80,
+            },
+            cluster: 0,
+        });
+        assert_eq!(j.stats().appended, 0);
+        assert_eq!(j.stats().tail_len, 0);
+        assert!(!j.should_compact());
+    }
+
+    #[test]
+    fn compaction_replaces_tail_with_snapshot() {
+        let mut j = Journal::new(JournalConfig {
+            enabled: true,
+            snapshot_every: 2,
+        });
+        let svc = ServiceAddr {
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            port: 80,
+        };
+        j.record(JournalEvent::ScaledDown {
+            service: svc,
+            cluster: 0,
+            at: SimTime::ZERO,
+        });
+        assert!(!j.should_compact());
+        j.record(JournalEvent::ScaleRestored {
+            service: svc,
+            cluster: 0,
+        });
+        assert!(j.should_compact());
+        j.compact(Snapshot::default());
+        let s = j.stats();
+        assert_eq!((s.tail_len, s.snapshots_taken, s.appended), (0, 1, 2));
+    }
+
+    #[test]
+    fn rebuild_replays_scale_events_over_the_snapshot() {
+        let cfg = ControllerConfig::default();
+        let mut j = Journal::new(JournalConfig {
+            enabled: true,
+            snapshot_every: 1000,
+        });
+        let svc = ServiceAddr {
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            port: 80,
+        };
+        j.record(JournalEvent::ScaledDown {
+            service: svc,
+            cluster: 2,
+            at: SimTime::from_secs(5),
+        });
+        j.record(JournalEvent::ClientSeen {
+            client: Ipv4Addr::new(192, 168, 1, 9),
+            ingress: IngressId(0),
+            in_port: 4,
+            at: SimTime::from_secs(6),
+        });
+        let (st, replayed, snap_entries) = j.rebuild(&cfg);
+        assert_eq!((replayed, snap_entries), (2, 0));
+        assert_eq!(
+            st.scaled_down.get(&(svc, 2)).copied(),
+            Some(SimTime::from_secs(5))
+        );
+        assert_eq!(
+            st.clients.location(Ipv4Addr::new(192, 168, 1, 9)),
+            Some((IngressId(0), 4))
+        );
+    }
+}

@@ -39,6 +39,11 @@
 //!   session-state ledger growing with served requests, snapshot transfer
 //!   over a bandwidth-modelled metro link, warm start at the target, and a
 //!   make-before-break flow flip (off by default);
+//! * [`journal`] — controller crash-recovery: a write-ahead journal of
+//!   state mutations with periodic compacted snapshots, and deterministic
+//!   replay rebuilding the controller's recoverable state after a crash
+//!   (off by default — with the journal disabled every mutation hook is a
+//!   never-taken branch);
 //! * [`predict`] — proactive-deployment predictors (Sections I/VII);
 //! * [`config`] — the controller's YAML configuration file;
 //! * [`dispatch`] — the Dispatcher: the flow chart of Fig. 7, including
@@ -64,6 +69,7 @@ pub mod controller;
 pub mod dispatch;
 pub mod flowmemory;
 pub mod health;
+pub mod journal;
 pub mod migrate;
 pub mod predict;
 pub mod scheduler;
@@ -73,11 +79,13 @@ pub use annotate::{annotate_deployment, AnnotateError, AnnotatedService};
 pub use autoscale::{Admission, AutoscaleConfig, LoadTracker, QueueConfig, ScaleEvent};
 pub use cluster::{DockerCluster, EdgeCluster, InstanceAddr, InstanceState, K8sEdgeCluster};
 pub use controller::{
-    Controller, ControllerConfig, HandoverOutcome, HandoverPolicy, OutboundMessage, PortMap,
+    ControlPlaneError, Controller, ControllerConfig, HandoverOutcome, HandoverPolicy,
+    OutboundMessage, PortMap,
 };
 pub use dispatch::{DispatchDecision, Dispatcher};
 pub use flowmemory::{FlowKey, FlowMemory, IngressId};
 pub use health::{BreakerState, HealthConfig, HealthMonitor};
+pub use journal::{Journal, JournalConfig, JournalStats, RecoveryMode, RecoveryReport};
 pub use migrate::{
     Migration, MigrationConfig, MigrationManager, MigrationPolicy, MigrationReason,
     MigrationRecord, SessionLedger,

@@ -176,6 +176,61 @@ impl SessionLedger {
     pub fn forget(&mut self, service: ServiceAddr, cluster: usize) -> u64 {
         self.bytes.remove(&(service, cluster)).unwrap_or(0)
     }
+
+    /// Every ledger entry, sorted — the snapshot export.
+    pub fn export_entries(&self) -> Vec<((ServiceAddr, usize), u64)> {
+        self.bytes.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Rebuilds the ledger from a snapshot export.
+    pub fn restore_entries(&mut self, entries: &[((ServiceAddr, usize), u64)]) {
+        self.bytes = entries.iter().copied().collect();
+    }
+}
+
+/// One migration-state mutation, as appended to the controller's
+/// write-ahead journal (see [`crate::journal`]).
+#[derive(Clone, Copy, Debug)]
+pub enum MigrationOp {
+    /// A served request credited session state at `(service, cluster)`.
+    Served {
+        /// The serving service.
+        service: ServiceAddr,
+        /// The serving cluster.
+        cluster: usize,
+    },
+    /// A migration started (already carries its computed transfer deadline).
+    Begun {
+        /// The in-flight record as pushed to the active set.
+        migration: Migration,
+    },
+    /// A migration flipped: state transferred, cooldown armed.
+    Completed {
+        /// The migration taken from the active set.
+        migration: Migration,
+        /// Flip completion instant.
+        at: SimTime,
+        /// Redirect flows moved.
+        flows_flipped: usize,
+    },
+    /// A migration was abandoned; state and flows stay at the source.
+    Aborted {
+        /// The abandoned migration.
+        migration: Migration,
+    },
+}
+
+/// Plain-data snapshot of the migration subsystem — ledger, in-flight
+/// transfers, and cooldown deadlines. Completed-migration records and the
+/// abort counter are diagnostics and deliberately excluded.
+#[derive(Clone, Debug, Default)]
+pub struct MigrationSnapshot {
+    /// Session-state bytes per `(service, cluster)`.
+    pub ledger: Vec<((ServiceAddr, usize), u64)>,
+    /// In-flight migrations, in start order.
+    pub active: Vec<Migration>,
+    /// Per-service flip-cooldown deadlines.
+    pub cooled: Vec<(ServiceAddr, SimTime)>,
 }
 
 /// An in-flight migration: state is on the wire, the target is warming up,
@@ -260,6 +315,9 @@ pub struct MigrationManager {
     /// Migrations that reached their flip with no ready target (source
     /// crash took the warm-up down too); flows stay where they were.
     pub aborted: u64,
+    /// Mutation log drained by the controller's journal; `None` (the
+    /// default) keeps every mutator free of logging work.
+    log: Option<Vec<MigrationOp>>,
 }
 
 impl MigrationManager {
@@ -281,6 +339,79 @@ impl MigrationManager {
         self.config.live()
     }
 
+    /// Turns mutation logging on or off (off discards undrained ops).
+    pub fn set_logging(&mut self, on: bool) {
+        self.log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the ops accumulated since the last drain. Empty when logging
+    /// is off.
+    pub fn take_ops(&mut self) -> Vec<MigrationOp> {
+        self.log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Ledger, active set and cooldowns as plain data — the snapshot
+    /// export.
+    pub fn export_state(&self) -> MigrationSnapshot {
+        MigrationSnapshot {
+            ledger: self.ledger.export_entries(),
+            active: self.active.clone(),
+            cooled: self.cooled.iter().map(|(k, v)| (*k, *v)).collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`export_state`](Self::export_state).
+    pub fn restore_state(&mut self, s: &MigrationSnapshot) {
+        self.ledger.restore_entries(&s.ledger);
+        self.active = s.active.clone();
+        self.cooled = s.cooled.iter().copied().collect();
+    }
+
+    /// Applies one logged mutation — the journal replay primitive. Call on
+    /// a non-logging instance, or the replayed ops are re-logged.
+    pub fn apply(&mut self, op: &MigrationOp) {
+        match *op {
+            MigrationOp::Served { service, cluster } => self.note_served(service, cluster),
+            // Begun bypasses `can_start`: the original manager already
+            // admitted this migration, and its deadline travels with it.
+            MigrationOp::Begun { migration } => self.active.push(migration),
+            MigrationOp::Completed {
+                migration,
+                at,
+                flows_flipped,
+            } => {
+                self.active.retain(|a| {
+                    !(a.service == migration.service
+                        && a.from == migration.from
+                        && a.started_at == migration.started_at)
+                });
+                self.complete(&migration, at, flows_flipped);
+            }
+            MigrationOp::Aborted { migration } => {
+                self.active.retain(|a| {
+                    !(a.service == migration.service
+                        && a.from == migration.from
+                        && a.started_at == migration.started_at)
+                });
+                self.aborted += 1;
+            }
+        }
+    }
+
+    /// Abandons every in-flight migration — the warm-restart policy: a
+    /// transfer interrupted by a controller crash cannot be trusted to
+    /// flip, so state and flows stay at the source and the pins lift.
+    /// Returns how many were dropped.
+    pub fn abort_all(&mut self) -> usize {
+        let dropped = std::mem::take(&mut self.active);
+        let n = dropped.len();
+        self.aborted += n as u64;
+        if let Some(log) = &mut self.log {
+            log.extend(dropped.into_iter().map(|m| MigrationOp::Aborted { migration: m }));
+        }
+        n
+    }
+
     /// Records one served request at `(service, cluster)`. No-op at the
     /// default 0 bytes/request.
     pub fn note_served(&mut self, service: ServiceAddr, cluster: usize) {
@@ -291,6 +422,9 @@ impl MigrationManager {
         }
         self.ledger
             .credit(service, cluster, self.config.state_bytes_per_request);
+        if let Some(log) = &mut self.log {
+            log.push(MigrationOp::Served { service, cluster });
+        }
     }
 
     /// Session-state bookkeeping (read-only).
@@ -344,6 +478,9 @@ impl MigrationManager {
             request,
         };
         self.active.push(m);
+        if let Some(log) = &mut self.log {
+            log.push(MigrationOp::Begun { migration: m });
+        }
         m
     }
 
@@ -397,14 +534,24 @@ impl MigrationManager {
             completed_at,
             flows_flipped,
         });
+        if let Some(log) = &mut self.log {
+            log.push(MigrationOp::Completed {
+                migration: *m,
+                at: completed_at,
+                flows_flipped,
+            });
+        }
         moved
     }
 
     /// Abandons a migration whose target never became ready (e.g. the
     /// fault plan took the target zone dark mid-transfer). State and flows
     /// stay at the source.
-    pub fn abort(&mut self, _m: &Migration) {
+    pub fn abort(&mut self, m: &Migration) {
         self.aborted += 1;
+        if let Some(log) = &mut self.log {
+            log.push(MigrationOp::Aborted { migration: *m });
+        }
     }
 
     /// Abandons every in-flight migration touching `(service, cluster)` —
@@ -412,11 +559,20 @@ impl MigrationManager {
     /// session state and flows stay wherever they currently are. Returns
     /// how many migrations were dropped.
     pub fn abort_involving(&mut self, service: ServiceAddr, cluster: usize) -> usize {
-        let before = self.active.len();
-        self.active
-            .retain(|m| !(m.service == service && (m.from == cluster || m.to == cluster)));
-        let n = before - self.active.len();
+        let mut dropped = Vec::new();
+        self.active.retain(|m| {
+            if m.service == service && (m.from == cluster || m.to == cluster) {
+                dropped.push(*m);
+                false
+            } else {
+                true
+            }
+        });
+        let n = dropped.len();
         self.aborted += n as u64;
+        if let Some(log) = &mut self.log {
+            log.extend(dropped.into_iter().map(|m| MigrationOp::Aborted { migration: m }));
+        }
         n
     }
 
@@ -424,10 +580,20 @@ impl MigrationManager {
     /// zone-outage fault takes the whole zone dark at once. Returns how
     /// many migrations were dropped.
     pub fn abort_cluster(&mut self, cluster: usize) -> usize {
-        let before = self.active.len();
-        self.active.retain(|m| m.from != cluster && m.to != cluster);
-        let n = before - self.active.len();
+        let mut dropped = Vec::new();
+        self.active.retain(|m| {
+            if m.from == cluster || m.to == cluster {
+                dropped.push(*m);
+                false
+            } else {
+                true
+            }
+        });
+        let n = dropped.len();
         self.aborted += n as u64;
+        if let Some(log) = &mut self.log {
+            log.extend(dropped.into_iter().map(|m| MigrationOp::Aborted { migration: m }));
+        }
         n
     }
 }

@@ -1554,6 +1554,158 @@ fn recovery_run(
     (run, tele)
 }
 
+// ---------------------------------------------------------------------------
+// Controller crash-recovery (HA): warm journal replay vs cold restart
+// ---------------------------------------------------------------------------
+
+/// Aggregates of one controller-crash run (one restart mode). Consumed by
+/// the `bench` crate to emit `BENCH_ha.json`.
+#[derive(Clone, Debug, Default)]
+pub struct HaStats {
+    /// Client sessions driven (the recoverable-state-size knob).
+    pub sessions: u64,
+    /// Inter-gNB handovers the controller heard about.
+    pub handovers: u64,
+    /// Attachment changes that happened during the blackout — physical
+    /// moves the controller only learns of from post-restart traffic.
+    pub missed_handovers: u64,
+    /// Pings sent across all sessions.
+    pub pings_sent: u64,
+    /// Pings answered across all sessions.
+    pub pings_done: u64,
+    /// Client retransmissions (lost SYNs and pings resent).
+    pub retransmits: u64,
+    /// Control messages lost while the controller was dead (unanswered
+    /// packet-ins, dropped flow-removed notifications).
+    pub ctrl_dropped: u64,
+    /// Control-plane blackout: crash instant → restart instant.
+    pub blackout_secs: f64,
+    /// Per-session recovery times: first ping completed after the restart,
+    /// relative to the restart instant. Sessions carried straight through
+    /// by installed switch rules score near zero — data-plane continuity.
+    pub recovery_secs: Vec<f64>,
+    /// Journal tail events replayed on restart (0 for cold).
+    pub replayed_events: u64,
+    /// Entries restored from the compacted snapshot (0 for cold).
+    pub snapshot_entries: u64,
+    /// Wall-clock nanoseconds the journal rebuild took (throughput only;
+    /// not simulated time, not deterministic across machines).
+    pub replay_wall_ns: u64,
+    /// Events the journal appended over the whole run (state-mutation
+    /// volume — the work a cold restart throws away).
+    pub journal_appended: u64,
+    /// Compactions the journal performed.
+    pub snapshots_taken: u64,
+    /// In-flight migrations the restart had to abort.
+    pub aborted_migrations: u64,
+    /// Sessions permanently stranded after the drain window (must be 0).
+    pub stranded: u64,
+    /// Flow mods the restart-time reconcile issued. Warm restarts find the
+    /// tables already matching the replayed state (≈0); cold restarts tear
+    /// down every surviving rule, scaling with state size.
+    pub restart_fixes: u64,
+    /// Fix messages issued by the final reconciliation pass.
+    pub reconcile_fixes: u64,
+    /// Fix messages the second pass still wanted (must be 0).
+    pub reconcile_residual: u64,
+}
+
+/// One controller-crash run: the mobility scenario with the write-ahead
+/// journal recording, a `controller_crash` fault at the given rate, and the
+/// chosen restart mode. During the blackout switches keep forwarding on
+/// installed rules while packet-ins go unanswered; on restart the controller
+/// recovers (warm: snapshot + tail replay; cold: empty state), reconciles
+/// every switch table, and aborts whatever migrations were pinned in flight.
+/// `n_clients` scales the recoverable state. Deterministic per seed except
+/// `replay_wall_ns`. Identical fault seeds give warm and cold the *same*
+/// blackout window, so the two modes race the same crash.
+pub fn ha_stats(
+    mode: edgectl::RecoveryMode,
+    n_clients: usize,
+    seed: u64,
+    crash_rate: f64,
+    smoke: bool,
+) -> HaStats {
+    use crate::mobility_run::{MobilityConfig, MobilityTestbed};
+    let (n_gnbs, secs) = if smoke { (3, 20) } else { (4, 60) };
+    let controller = edgectl::ControllerConfig {
+        // The journal records in BOTH modes so the pre-crash simulation is
+        // identical; only the restart path differs.
+        journal: edgectl::JournalConfig { enabled: true, snapshot_every: 64 },
+        // Live migration on: crashing with a pinned transfer in flight is
+        // the interesting interleaving (the restart must abort it).
+        migration: edgectl::MigrationConfig {
+            policy: edgectl::MigrationPolicy::Live,
+            state_bytes_per_request: 512,
+            ..edgectl::MigrationConfig::default()
+        },
+        ..edgectl::ControllerConfig::default()
+    };
+    let mut tb = MobilityTestbed::new(MobilityConfig {
+        n_gnbs,
+        n_clients,
+        policy: edgectl::HandoverPolicy::Anchored,
+        controller,
+        seed,
+        faults: desim::FaultPlan {
+            controller_crash: crash_rate,
+            seed: seed ^ 0x4A11_0C4A,
+            ..desim::FaultPlan::default()
+        },
+        retransmit: Some(Duration::from_secs(1)),
+        recovery: mode,
+        // Non-zero service time makes control-plane congestion
+        // client-visible: the cold restart's teardown/re-dispatch storm
+        // serializes through the controller queue, which is what the warm
+        // path saves.
+        ctrl_service_time: Duration::from_millis(1),
+        ..MobilityConfig::default()
+    });
+    let profile = ServiceSet::by_key("asm").expect("asm profile");
+    tb.register_service(profile, ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80));
+    tb.warm_all_zones();
+    let grid = mobility::CellGrid::new(n_gnbs as u32, 1, 120.0);
+    let mut model =
+        mobility::RandomWaypoint::new(grid, n_clients, seed ^ 0x6d6f_7665).with_speed(30.0, 50.0);
+    let mut seeded: Vec<usize> = (0..n_clients)
+        .map(|c| mobility::MobilityModel::initial_cell(&model, c) % n_gnbs)
+        .collect();
+    seeded.sort_unstable();
+    seeded.dedup();
+    for z in seeded {
+        tb.pre_deploy_on(z);
+    }
+    tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(secs));
+    // Let the restart land (it may fall past the run deadline) and client
+    // retransmits settle before judging strandedness.
+    tb.drain(SimTime::from_secs(secs) + Duration::from_secs(15));
+    let journal = tb.controller.journal_stats();
+    let reconcile_fixes = tb.reconcile_now() as u64;
+    let reconcile_residual = tb.reconcile_now() as u64;
+    let report = tb.recovery_report;
+    HaStats {
+        sessions: n_clients as u64,
+        handovers: tb.handovers.len() as u64,
+        missed_handovers: tb.missed_handovers,
+        pings_sent: tb.pings_sent(),
+        pings_done: tb.pings_done(),
+        retransmits: tb.retransmits,
+        ctrl_dropped: tb.ctrl_dropped,
+        blackout_secs: tb.blackout.as_secs_f64(),
+        recovery_secs: tb.recovery_times_secs(),
+        replayed_events: report.map_or(0, |r| r.replayed_events as u64),
+        snapshot_entries: report.map_or(0, |r| r.snapshot_entries as u64),
+        replay_wall_ns: report.map_or(0, |r| r.replay_wall_ns),
+        journal_appended: journal.appended,
+        snapshots_taken: journal.snapshots_taken,
+        aborted_migrations: report.map_or(0, |r| r.aborted_migrations as u64),
+        stranded: tb.stranded(),
+        restart_fixes: tb.restart_fixes,
+        reconcile_fixes,
+        reconcile_residual,
+    }
+}
+
 /// The runtime-chaos experiment (the self-healing control plane): the
 /// mobility scenario re-run while a seedable [`desim::FaultPlan`] kills
 /// Ready instances mid-service, takes whole zones dark, and drops
@@ -1978,6 +2130,39 @@ mod tests {
             assert_eq!(quiet.reconcile_fixes, 0);
             assert_eq!(quiet.reconcile_residual, 0);
         }
+    }
+
+    #[test]
+    fn ha_stats_warm_and_cold_race_the_same_blackout_and_strand_nothing() {
+        let warm = ha_stats(edgectl::RecoveryMode::Warm, 4, 7, 1.0, true);
+        let cold = ha_stats(edgectl::RecoveryMode::Cold, 4, 7, 1.0, true);
+        // Same fault seed ⇒ the crash instant and blackout are identical;
+        // only the restart path differs.
+        assert!(warm.blackout_secs > 0.0, "the crash fired");
+        assert_eq!(warm.blackout_secs, cold.blackout_secs, "a fair race");
+        assert_eq!(warm.pings_sent, cold.pings_sent, "identical pre-crash runs");
+        // Warm recovered real state from the journal; cold threw it away.
+        assert!(warm.replayed_events + warm.snapshot_entries > 0);
+        assert_eq!(cold.replayed_events, 0);
+        assert_eq!(cold.snapshot_entries, 0);
+        assert!(warm.journal_appended > 0);
+        // The acceptance gates hold in both modes.
+        for (label, s) in [("warm", &warm), ("cold", &cold)] {
+            assert_eq!(s.stranded, 0, "{label}: no session permanently stranded");
+            assert_eq!(s.reconcile_residual, 0, "{label}: tables converged");
+        }
+    }
+
+    #[test]
+    fn ha_stats_at_crash_rate_zero_never_restarts() {
+        let s = ha_stats(edgectl::RecoveryMode::Warm, 3, 7, 0.0, true);
+        assert_eq!(s.blackout_secs, 0.0);
+        assert!(s.recovery_secs.is_empty());
+        assert_eq!(s.replayed_events, 0);
+        assert_eq!(s.ctrl_dropped, 0);
+        assert_eq!(s.stranded, 0);
+        assert_eq!(s.reconcile_residual, 0);
+        assert!(s.journal_appended > 0, "the journal still records");
     }
 
     #[test]

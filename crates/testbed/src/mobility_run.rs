@@ -23,7 +23,7 @@ use desim::{Duration, Engine, FaultPlan, LogNormal, Sample, SimRng, SimTime};
 use openflow::FlowEntry;
 use edgectl::{
     annotate_deployment, Controller, ControllerConfig, DockerCluster, EdgeService,
-    HandoverPolicy, IngressId, PortMap,
+    HandoverPolicy, IngressId, PortMap, RecoveryMode, RecoveryReport,
 };
 use containerd::ServiceProfile;
 use dockersim::DockerEngine;
@@ -64,6 +64,19 @@ pub struct MobilityConfig {
     /// lost, required under runtime chaos where a single lost segment
     /// would otherwise stall its session forever.
     pub retransmit: Option<Duration>,
+    /// Restart mode applied when a `controller_crash` fault fires: warm
+    /// replays the write-ahead journal, cold starts from empty state and
+    /// leans on reconciliation. Ignored unless the plan schedules a crash.
+    pub recovery: RecoveryMode,
+    /// Per-message controller service time: switch→controller messages
+    /// queue behind each other and each occupies the controller this long
+    /// before its handling runs. `ZERO` (the default) processes messages
+    /// instantly with no extra events — byte-identical to the historical
+    /// behaviour. Non-zero makes control-plane congestion client-visible,
+    /// which is what separates a warm restart (tables intact, no storm)
+    /// from a cold one (a re-dispatch storm serialized through the
+    /// controller).
+    pub ctrl_service_time: Duration,
 }
 
 impl Default for MobilityConfig {
@@ -79,6 +92,8 @@ impl Default for MobilityConfig {
             seed: 1,
             faults: FaultPlan::default(),
             retransmit: None,
+            recovery: RecoveryMode::Warm,
+            ctrl_service_time: Duration::ZERO,
         }
     }
 }
@@ -128,6 +143,9 @@ struct Session {
     pings_done: u64,
     /// Per-ping round-trip times, in completion order.
     rtts: Vec<Duration>,
+    /// First ping completed after a controller restart — the session's
+    /// recovery instant.
+    first_done_after_restart: Option<SimTime>,
 }
 
 enum Ev {
@@ -135,6 +153,9 @@ enum Ev {
     Ping { client: usize },
     FrameAt { node: NodeId, in_port: u32, data: Vec<u8> },
     CtrlUp { gnb: usize, bytes: Vec<u8> },
+    /// A queued switch→controller message finishes its service time and is
+    /// actually handled. Only scheduled when `ctrl_service_time` is non-zero.
+    CtrlProcess { gnb: usize, bytes: Vec<u8> },
     CtrlDown { gnb: usize, bytes: Vec<u8> },
     Attach(AttachmentEvent),
     Tick,
@@ -150,6 +171,12 @@ enum Ev {
     OutageEnd { zone: usize },
     ChannelDown { gnb: usize, until: SimTime },
     ChannelUp { gnb: usize },
+    /// The controller process dies: every control-plane interaction is a
+    /// no-op until the restart; switches keep forwarding on installed rules.
+    ControllerCrash { restart_at: SimTime },
+    /// The controller comes back: crash-restart (warm journal replay or
+    /// cold empty start), then reconcile every switch table.
+    ControllerRestart,
     HealthTick,
     RetransmitCheck,
 }
@@ -204,6 +231,32 @@ pub struct MobilityTestbed {
     pub ctrl_dropped: u64,
     /// Client retransmissions (SYNs and pings).
     pub retransmits: u64,
+    /// Restart mode applied when a controller crash fires.
+    recovery: RecoveryMode,
+    /// While `Some(t)`, the controller is dead until `t`: packet-ins go
+    /// unanswered (clients retransmit), ticks and sweeps are skipped, but
+    /// switches keep forwarding on the rules already installed.
+    ctrl_blackout_until: Option<SimTime>,
+    /// Controller crashes injected.
+    pub controller_crashes: u64,
+    /// Duration of the (last) control-plane blackout.
+    pub blackout: Duration,
+    /// When the controller (last) came back.
+    pub restarted_at: Option<SimTime>,
+    /// The last restart's recovery report.
+    pub recovery_report: Option<RecoveryReport>,
+    /// Attachment changes that happened while the controller was down —
+    /// the physical move still happens; the controller only learns of it
+    /// from post-restart traffic (the unannounced-move path).
+    pub missed_handovers: u64,
+    /// Per-message controller service time (see [`MobilityConfig`]).
+    ctrl_service_time: Duration,
+    /// The controller is busy serving queued messages until this instant.
+    ctrl_busy_until: SimTime,
+    /// Flow mods the restart-time reconcile issued — cold restarts tear
+    /// down (and later re-install) every surviving rule, warm restarts
+    /// find the tables already consistent with the replayed state.
+    pub restart_fixes: u64,
 }
 
 impl MobilityTestbed {
@@ -303,6 +356,16 @@ impl MobilityTestbed {
             channel_losses: 0,
             ctrl_dropped: 0,
             retransmits: 0,
+            recovery: config.recovery,
+            ctrl_blackout_until: None,
+            controller_crashes: 0,
+            blackout: Duration::ZERO,
+            restarted_at: None,
+            recovery_report: None,
+            missed_handovers: 0,
+            ctrl_service_time: config.ctrl_service_time,
+            ctrl_busy_until: SimTime::ZERO,
+            restart_fixes: 0,
         }
     }
 
@@ -448,6 +511,7 @@ impl MobilityTestbed {
                 pings_sent: 0,
                 pings_done: 0,
                 rtts: Vec::new(),
+                first_done_after_restart: None,
             });
             // Stagger session starts so the initial deployment burst is a
             // ramp, not a thundering herd.
@@ -517,6 +581,11 @@ impl MobilityTestbed {
                 self.engine.schedule_at(down, Ev::ChannelDown { gnb: g, until: down + delay });
             }
         }
+        // One controller process, one crash draw per run.
+        if let Some((pos, delay)) = self.faults.injector(400).controller_crashes() {
+            let down = at_pos(pos);
+            self.engine.schedule_at(down, Ev::ControllerCrash { restart_at: down + delay });
+        }
         // The detection loop and the client retransmit timer only run under
         // chaos; without faults they would fire, observe nothing, and change
         // the event interleaving for nothing.
@@ -530,6 +599,50 @@ impl MobilityTestbed {
     /// Whether gNB `g`'s control channel is up at `now`.
     fn channel_up(&self, gnb: usize, now: SimTime) -> bool {
         self.channel_down_until[gnb].is_none_or(|until| now >= until)
+    }
+
+    /// Whether the controller process is alive at `now` (not inside a
+    /// crash blackout).
+    fn controller_up(&self, now: SimTime) -> bool {
+        self.ctrl_blackout_until.is_none_or(|until| now >= until)
+    }
+
+    /// Hands a switch→controller message to the controller and schedules
+    /// whatever it sends back down. Called straight from `Ev::CtrlUp` when
+    /// service time is zero, or from `Ev::CtrlProcess` once the message's
+    /// turn in the controller queue comes up.
+    fn process_ctrl_up(&mut self, now: SimTime, gnb: usize, bytes: &[u8]) {
+        let ingress = IngressId(gnb as u32);
+        match self
+            .controller
+            .handle_switch_message_from(ingress, now, bytes, &mut self.rng)
+        {
+            Ok(out) => {
+                for m in out {
+                    let at = m.at.max(now) + self.ctrl_latency;
+                    self.engine.schedule_at(at, Ev::CtrlDown { gnb, bytes: m.data });
+                }
+            }
+            Err(_) => self.drops += 1,
+        }
+        self.reschedule_tick();
+    }
+
+    /// Per-session recovery time after the (last) controller restart: the
+    /// first ping completed after the restart, relative to the restart
+    /// instant. Sessions with nothing completed afterwards are excluded
+    /// (use [`Self::stranded`] for those). Sessions whose installed flows
+    /// carried them straight through score near zero — that is the
+    /// data-plane-continuity half of the recovery story.
+    pub fn recovery_times_secs(&self) -> Vec<f64> {
+        let Some(restart) = self.restarted_at else {
+            return Vec::new();
+        };
+        self.sessions
+            .iter()
+            .filter_map(|s| s.first_done_after_restart)
+            .map(|t| t.saturating_since(restart).as_secs_f64())
+            .collect()
     }
 
     /// Reconciles every switch table against the controller's bookkeeping
@@ -650,24 +763,28 @@ impl MobilityTestbed {
                 }
             }
             Ev::CtrlUp { gnb, bytes } => {
-                if !self.channel_up(gnb, now) {
+                if !self.channel_up(gnb, now) || !self.controller_up(now) {
                     self.ctrl_dropped += 1;
                     return;
                 }
-                let ingress = IngressId(gnb as u32);
-                match self
-                    .controller
-                    .handle_switch_message_from(ingress, now, &bytes, &mut self.rng)
-                {
-                    Ok(out) => {
-                        for m in out {
-                            let at = m.at.max(now) + self.ctrl_latency;
-                            self.engine.schedule_at(at, Ev::CtrlDown { gnb, bytes: m.data });
-                        }
-                    }
-                    Err(_) => self.drops += 1,
+                if self.ctrl_service_time > Duration::ZERO {
+                    // The controller is a single queue: this message waits
+                    // behind whatever is already being served, then takes
+                    // its own service time before the handling runs.
+                    let done = self.ctrl_busy_until.max(now) + self.ctrl_service_time;
+                    self.ctrl_busy_until = done;
+                    self.engine.schedule_at(done, Ev::CtrlProcess { gnb, bytes });
+                    return;
                 }
-                self.reschedule_tick();
+                self.process_ctrl_up(now, gnb, &bytes);
+            }
+            Ev::CtrlProcess { gnb, bytes } => {
+                // A crash may have landed between arrival and service.
+                if !self.controller_up(now) {
+                    self.ctrl_dropped += 1;
+                    return;
+                }
+                self.process_ctrl_up(now, gnb, &bytes);
             }
             Ev::CtrlDown { gnb, bytes } => {
                 if !self.channel_up(gnb, now) {
@@ -682,11 +799,17 @@ impl MobilityTestbed {
             Ev::Attach(ev) => self.handle_attach(now, ev),
             Ev::Tick => {
                 self.scheduled_tick = None;
+                if !self.controller_up(now) {
+                    return; // rescheduled by the restart
+                }
                 self.controller.tick(now, &mut self.rng);
                 self.reschedule_tick();
             }
             Ev::MigrationTick => {
                 self.scheduled_migration = None;
+                if !self.controller_up(now) {
+                    return; // in-flight migrations are pinned until restart
+                }
                 for (ingress, m) in self.controller.migration_tick(now, &mut self.rng) {
                     let at = m.at.max(now) + self.ctrl_latency;
                     self.engine.schedule_at(
@@ -735,6 +858,9 @@ impl MobilityTestbed {
             }
             Ev::ChannelUp { gnb } => {
                 self.channel_down_until[gnb] = None;
+                if !self.controller_up(now) {
+                    return; // the restart reconciles every switch anyway
+                }
                 // Reconcile the switch's table against the controller's
                 // bookkeeping: both drifted while the channel was down.
                 let flows: Vec<FlowEntry> =
@@ -745,7 +871,58 @@ impl MobilityTestbed {
                     self.engine.schedule_at(at, Ev::CtrlDown { gnb, bytes: m.data });
                 }
             }
+            Ev::ControllerCrash { restart_at } => {
+                self.controller_crashes += 1;
+                self.blackout = restart_at.saturating_since(now);
+                self.ctrl_blackout_until = Some(restart_at);
+                self.engine.schedule_at(restart_at, Ev::ControllerRestart);
+            }
+            Ev::ControllerRestart => {
+                self.ctrl_blackout_until = None;
+                // The old process's queue died with it.
+                self.ctrl_busy_until = now;
+                let report = self.controller.crash_restart(self.recovery, now);
+                self.recovery_report = Some(report);
+                self.restarted_at = Some(now);
+                for s in &mut self.sessions {
+                    s.first_done_after_restart = None;
+                }
+                // Replay (or cold start) done — diff every switch table
+                // against the recovered bookkeeping and fix the drift. Each
+                // fix occupies the controller for one service time, so a
+                // cold restart (which tears down every surviving rule)
+                // keeps post-restart packet-ins waiting behind the sweep;
+                // a warm restart finds the tables consistent and serves
+                // them immediately.
+                for g in 0..self.switches.len() {
+                    let flows: Vec<FlowEntry> =
+                        self.switches[g].table().entries().cloned().collect();
+                    let out = self.controller.reconcile(IngressId(g as u32), &flows, now);
+                    self.restart_fixes += out.len() as u64;
+                    for m in out {
+                        let mut at = m.at.max(now);
+                        if self.ctrl_service_time > Duration::ZERO {
+                            self.ctrl_busy_until =
+                                self.ctrl_busy_until.max(at) + self.ctrl_service_time;
+                            at = self.ctrl_busy_until;
+                        }
+                        self.engine.schedule_at(
+                            at + self.ctrl_latency,
+                            Ev::CtrlDown { gnb: g, bytes: m.data },
+                        );
+                    }
+                }
+                self.reschedule_tick();
+                self.reschedule_migration();
+            }
             Ev::HealthTick => {
+                if !self.controller_up(now) {
+                    // The sweep keeps its cadence through the blackout so
+                    // detection resumes immediately after the restart.
+                    let detect = self.controller.health_config().detect_interval;
+                    self.engine.schedule_at(now + detect, Ev::HealthTick);
+                    return;
+                }
                 for (ingress, m) in self.controller.health_check(now) {
                     let at = m.at.max(now) + self.ctrl_latency;
                     self.engine.schedule_at(
@@ -817,6 +994,13 @@ impl MobilityTestbed {
             return; // intra-gNB cell change: nothing to hand over
         }
         self.attachment[ev.client] = to;
+        if !self.controller_up(now) {
+            // The move happens physically but nobody hears the announcement;
+            // post-restart traffic from the new gNB takes the unannounced-
+            // move path (flush + re-dispatch).
+            self.missed_handovers += 1;
+            return;
+        }
         let client_node = self.net.clients[ev.client];
         let outcome = self.controller.handle_attachment_change(
             now,
@@ -984,6 +1168,9 @@ impl MobilityTestbed {
                     Some(sent_at) => {
                         sess.pings_done += 1;
                         sess.rtts.push(now.saturating_since(sent_at));
+                        if self.restarted_at.is_some() && sess.first_done_after_restart.is_none() {
+                            sess.first_done_after_restart = Some(now);
+                        }
                         if now + self.ping_interval < self.ping_end {
                             self.engine
                                 .schedule_at(now + self.ping_interval, Ev::Ping { client });
@@ -1152,6 +1339,8 @@ mod tests {
         assert_eq!(zeroed.channel_losses, 0);
         assert_eq!(zeroed.ctrl_dropped, 0);
         assert_eq!(zeroed.retransmits, 0);
+        assert_eq!(zeroed.controller_crashes, 0);
+        assert!(zeroed.recovery_report.is_none());
     }
 
     /// Full runtime chaos — crashes, zone outages, channel drops all firing
@@ -1209,6 +1398,66 @@ mod tests {
         assert_eq!(tb2.transparency_violations, 0);
         tb2.reconcile_now();
         assert_eq!(tb2.reconcile_now(), 0);
+    }
+
+    /// Tentpole: the controller process crashes mid-run. Switches keep
+    /// forwarding on installed rules through the blackout; on restart the
+    /// controller recovers (warm journal replay or cold empty start),
+    /// reconciles, and no session is permanently stranded in either mode.
+    #[test]
+    fn controller_crash_blackout_recovers_and_strands_no_session() {
+        for (mode, journal_on) in [(RecoveryMode::Warm, true), (RecoveryMode::Cold, false)] {
+            let controller = ControllerConfig {
+                journal: edgectl::JournalConfig {
+                    enabled: journal_on,
+                    snapshot_every: 32,
+                },
+                ..ControllerConfig::default()
+            };
+            let mut tb = MobilityTestbed::new(MobilityConfig {
+                policy: HandoverPolicy::Anchored,
+                n_gnbs: 3,
+                n_clients: 3,
+                seed: 2,
+                controller,
+                faults: FaultPlan {
+                    controller_crash: 1.0,
+                    seed: 11,
+                    ..FaultPlan::default()
+                },
+                retransmit: Some(Duration::from_secs(1)),
+                recovery: mode,
+                ..MobilityConfig::default()
+            });
+            let profile = containerd::ServiceSet::by_key("asm").unwrap();
+            tb.register_service(profile, ServiceAddr::new(Ipv4Addr::new(203, 0, 113, 10), 80));
+            tb.warm_all_zones();
+            tb.pre_deploy_on(0);
+            let mut model = CellHops::new(
+                vec![0, 1, 2],
+                &[
+                    (SimTime::from_secs(6), 0, 1),
+                    (SimTime::from_secs(12), 0, 2),
+                ],
+            );
+            tb.run(&mut model, SimTime::from_secs(1), SimTime::from_secs(20));
+            tb.drain(SimTime::from_secs(40));
+            assert_eq!(tb.controller_crashes, 1, "{mode:?}: the crash fired");
+            assert!(tb.blackout > Duration::ZERO, "{mode:?}: a real blackout");
+            let report = tb.recovery_report.expect("the controller restarted");
+            assert_eq!(report.mode, mode);
+            if journal_on {
+                assert!(
+                    report.replayed_events + report.snapshot_entries > 0,
+                    "warm restart recovered state from the journal"
+                );
+            }
+            assert_eq!(tb.stranded(), 0, "{mode:?}: no session permanently stranded");
+            assert_eq!(tb.transparency_violations, 0);
+            assert!(!tb.recovery_times_secs().is_empty(), "recovery was measured");
+            tb.reconcile_now();
+            assert_eq!(tb.reconcile_now(), 0, "{mode:?}: tables converged");
+        }
     }
 
     fn live_setup(state_bytes: u64, bandwidth_bps: u64, seed: u64) -> MobilityTestbed {
